@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation for §IV-D(b): concurrent GC thread count. More concurrent
+ * workers finish Shenandoah's cycles sooner (shorter windows, fewer
+ * pacing stalls) but take more cores from the mutator and raise
+ * contention — the "opportunity cost" the paper warns is invisible in
+ * wall-clock-only evaluations.
+ */
+
+#include "bench_common.hh"
+#include "heap/layout.hh"
+#include "lbo/run.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("lusearch"), env);
+    std::uint64_t heap = roundUp(
+        static_cast<std::uint64_t>(2.4 *
+                                   static_cast<double>(spec.minHeapBytes)),
+        heap::regionSize);
+    unsigned invocations = lbo::invocationsFromEnv(3);
+
+    std::printf("Ablation (paper SIV-D(b)): Shenandoah concurrent "
+                "worker count on lusearch at 2.4x heap\n");
+    TextTable table({"conc workers", "wall ms", "Gcycles",
+                     "mutator Gcycles", "stall ms", "metered p99.99 us"});
+    for (unsigned workers : {1u, 2u, 4u}) {
+        lbo::Environment custom = env;
+        custom.gcOptions.concWorkers = workers;
+        RunningStat wall;
+        RunningStat cycles;
+        RunningStat mut_cycles;
+        RunningStat stall;
+        RunningStat p9999;
+        for (unsigned inv = 0; inv < invocations; ++inv) {
+            lbo::RunRecord r = lbo::runOne(
+                spec, gc::CollectorKind::Shenandoah, heap, 2.4,
+                lbo::invocationSeed(0xC0C0, spec.name, inv), inv,
+                custom);
+            if (!r.completed)
+                continue;
+            wall.add(r.wallNs);
+            cycles.add(r.cycles);
+            mut_cycles.add(r.mutatorCycles);
+            stall.add(r.allocStallNs);
+            p9999.add(r.meteredP9999Ns);
+        }
+        table.beginRow();
+        table.cell(strprintf("%u", workers));
+        table.cell(wall.mean() / 1e6, 3);
+        table.cell(cycles.mean() / 1e9, 3);
+        table.cell(mut_cycles.mean() / 1e9, 3);
+        table.cell(stall.mean() / 1e6, 2);
+        table.cell(p9999.mean() / 1e3, 1);
+    }
+    table.print();
+    std::printf("(mutator cycles rise with workers: contention; stalls "
+                "fall: cycles finish sooner)\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation for §IV-C(d): Shenandoah's pacing on vs off, on the
+ * allocation-heavy xalan. Pacing converts would-be degenerated
+ * (STW) collections into mutator stalls: wall-clock time gets worse
+ * while CPU cycles stay modest — the exact mechanism behind xalan's
+ * enormous time LBO but unremarkable cycle LBO in Table VIII/IX.
+ */
+
+#include "bench_common.hh"
+#include "heap/layout.hh"
+#include "lbo/run.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec("xalan"), env);
+    std::uint64_t heap = roundUp(
+        static_cast<std::uint64_t>(3.0 *
+                                   static_cast<double>(spec.minHeapBytes)),
+        heap::regionSize);
+    unsigned invocations = lbo::invocationsFromEnv(3);
+
+    std::printf("Ablation (paper SIV-C(d)): Shenandoah pacing on "
+                "xalan at 3.0x heap\n");
+    TextTable table({"pacing", "wall ms", "Gcycles", "stall ms",
+                     "degenerated", "STW ms"});
+    for (bool pacing : {true, false}) {
+        lbo::Environment custom = env;
+        custom.gcOptions.shenPacing = pacing;
+        RunningStat wall;
+        RunningStat cycles;
+        RunningStat stall;
+        RunningStat degen;
+        RunningStat stw;
+        for (unsigned inv = 0; inv < invocations; ++inv) {
+            lbo::RunRecord r = lbo::runOne(
+                spec, gc::CollectorKind::Shenandoah, heap, 3.0,
+                lbo::invocationSeed(0xFACE, spec.name, inv), inv,
+                custom);
+            if (!r.completed)
+                continue;
+            wall.add(r.wallNs);
+            cycles.add(r.cycles);
+            stall.add(r.allocStallNs);
+            degen.add(static_cast<double>(r.degeneratedGcs));
+            stw.add(r.stwWallNs);
+        }
+        table.beginRow();
+        table.cell(pacing ? "on" : "off");
+        table.cell(wall.mean() / 1e6, 3);
+        table.cell(cycles.mean() / 1e9, 3);
+        table.cell(stall.mean() / 1e6, 2);
+        table.cell(degen.mean(), 1);
+        table.cell(stw.mean() / 1e6, 3);
+    }
+    table.print();
+    std::printf("(stalled threads burn wall-clock time but no cycles; "
+                "without pacing the pressure surfaces as degenerated "
+                "STW collections instead)\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation for §IV-C(b): the Serial-vs-Parallel tradeoff as a
+ * function of GC worker count. Sweeps the Parallel collector's gang
+ * size on one benchmark and reports wall time, cycles, and STW time —
+ * parallelism buys pause time with synchronization cycles, and the
+ * marginal benefit shrinks with each added worker.
+ */
+
+#include "bench_common.hh"
+#include "heap/layout.hh"
+#include "lbo/run.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec("h2"), env);
+    std::uint64_t heap = roundUp(
+        static_cast<std::uint64_t>(2.0 *
+                                   static_cast<double>(spec.minHeapBytes)),
+        heap::regionSize);
+    unsigned invocations = lbo::invocationsFromEnv(3);
+
+    std::printf("Ablation (paper SIV-C(b)): Parallel GC worker count "
+                "on h2 at 2.0x heap\n");
+    TextTable table({"workers", "wall ms", "Gcycles", "STW ms",
+                     "gc Mcycles"});
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        lbo::Environment custom = env;
+        custom.gcOptions.parallelWorkers = workers;
+        RunningStat wall;
+        RunningStat cycles;
+        RunningStat stw;
+        RunningStat gc_cycles;
+        for (unsigned inv = 0; inv < invocations; ++inv) {
+            lbo::RunRecord r = lbo::runOne(
+                spec, gc::CollectorKind::Parallel, heap, 2.0,
+                lbo::invocationSeed(0xAB1A, spec.name, inv), inv,
+                custom);
+            if (!r.completed)
+                continue;
+            wall.add(r.wallNs);
+            cycles.add(r.cycles);
+            stw.add(r.stwWallNs);
+            gc_cycles.add(r.gcThreadCycles);
+        }
+        table.beginRow();
+        table.cell(strprintf("%u", workers));
+        table.cell(wall.mean() / 1e6, 3);
+        table.cell(cycles.mean() / 1e9, 3);
+        table.cell(stw.mean() / 1e6, 3);
+        table.cell(gc_cycles.mean() / 1e6, 2);
+    }
+    table.print();
+    std::printf("(workers=1 is the Serial design point: cheapest "
+                "cycles, longest pauses)\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared setup for the table/figure bench binaries.
+ *
+ * Every bench uses the same environment (machine, cost model,
+ * collector options), the same per-benchmark measured min heaps, and
+ * the same on-disk run cache, so the binaries can share one sweep's
+ * runs. Invocation count defaults to 5 (the paper uses 20); raise it
+ * with DISTILL_INVOCATIONS for tighter confidence intervals.
+ */
+
+#ifndef DISTILL_BENCH_BENCH_COMMON_HH
+#define DISTILL_BENCH_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "gc/collectors.hh"
+#include "lbo/analyzer.hh"
+#include "lbo/report.hh"
+#include "lbo/sweep.hh"
+#include "wl/suite.hh"
+
+namespace distill::bench
+{
+
+/** The five production collectors, in the paper's row order. */
+inline const std::vector<gc::CollectorKind> &
+paperCollectors()
+{
+    return gc::productionCollectors();
+}
+
+/** Standard sweep over the paper's grid for @p benchmarks. */
+inline std::vector<lbo::RunRecord>
+runGrid(lbo::SweepRunner &runner,
+        const std::vector<wl::WorkloadSpec> &benchmarks,
+        const std::vector<double> &factors,
+        const std::vector<gc::CollectorKind> &collectors)
+{
+    lbo::SweepConfig config;
+    config.benchmarks = benchmarks;
+    config.heapFactors = factors;
+    config.collectors = collectors;
+    config.invocations = lbo::invocationsFromEnv(5);
+    return runner.run(config);
+}
+
+/** Aggregate a per-invocation field of one configuration. */
+inline RunningStat
+statOf(const lbo::LboAnalyzer &analyzer, const std::string &bench,
+       const std::string &collector, double factor,
+       double lbo::RunRecord::*field)
+{
+    RunningStat stat;
+    for (const lbo::RunRecord *r :
+         analyzer.configRecords(bench, collector, factor)) {
+        stat.add(r->*field);
+    }
+    return stat;
+}
+
+} // namespace distill::bench
+
+#endif // DISTILL_BENCH_BENCH_COMMON_HH

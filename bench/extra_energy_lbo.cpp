@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Extension: energy LBO (the paper's §IV-E recommends energy — e.g.
+ * RAPL — as an additional evaluation metric). Energy is estimated
+ * linearly from active cycles plus wall-time-proportional static
+ * power (metrics::CostVector::energyNj), so the energy LBO blends the
+ * time and cycle pictures: parallelism stops paying once its cycle
+ * overhead outweighs the static-power saving of finishing sooner.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    std::vector<wl::WorkloadSpec> benchmarks;
+    for (const wl::WorkloadSpec &spec : wl::geomeanSet())
+        benchmarks.push_back(runner.withMinHeap(spec, env));
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors()));
+
+    lbo::printHeapSweepTable(
+        analyzer, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors(), metrics::Metric::Energy,
+        lbo::Attribution::GcThreads,
+        "Extension: LBO energy overhead (linear model), geomean over "
+        "16 benchmarks",
+        /*stw_percent=*/false);
+    return 0;
+}

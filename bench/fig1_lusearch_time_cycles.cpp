@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates the paper's Fig. 1: total wall-clock time (1a) and
+ * total CPU cycles (1b) of Serial vs G1 on lusearch across heap
+ * sizes, each normalized to the best value. The paper's point: G1
+ * wins on time at most heap sizes, yet Serial always wins on cycles —
+ * G1's cost is masked by parallelism.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("lusearch"), env);
+
+    std::vector<gc::CollectorKind> collectors = {
+        gc::CollectorKind::Serial, gc::CollectorKind::G1};
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, {spec}, lbo::paperHeapFactors(), collectors));
+
+    for (auto [title, metric] :
+         {std::pair{"Fig. 1a: total wall-clock time on lusearch "
+                    "(normalized to best; lower is better)",
+                    metrics::Metric::WallTime},
+          std::pair{"Fig. 1b: total CPU cycles on lusearch "
+                    "(normalized to best; lower is better)",
+                    metrics::Metric::Cycles}}) {
+        std::printf("%s\n", title);
+        TextTable table({"Heap", "Serial", "ci95", "G1", "ci95",
+                         "best"});
+        for (double f : lbo::paperHeapFactors()) {
+            auto serial = analyzer.total("lusearch", "Serial", f, metric);
+            auto g1 = analyzer.total("lusearch", "G1", f, metric);
+            if (!serial.valid || !g1.valid) {
+                table.beginRow();
+                table.cell(strprintf("%.1fx", f));
+                for (int i = 0; i < 5; ++i)
+                    table.blank();
+                continue;
+            }
+            double best = std::min(serial.mean, g1.mean);
+            table.beginRow();
+            table.cell(strprintf("%.1fx", f));
+            table.cell(serial.mean / best, 3);
+            table.cell(serial.ci / best, 3);
+            table.cell(g1.mean / best, 3);
+            table.cell(g1.ci / best, 3);
+            table.cell(serial.mean < g1.mean ? "Serial" : "G1");
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

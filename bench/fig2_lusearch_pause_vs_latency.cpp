@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates the paper's Fig. 2: on lusearch across heap sizes,
+ * (2a) Shenandoah's average GC pause beats G1's, while (2b) its
+ * 99.99th-percentile *metered* request latency is worse — the
+ * paper's "low pause != low latency" misinterpretation trap.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("lusearch"), env);
+
+    std::vector<gc::CollectorKind> collectors = {
+        gc::CollectorKind::G1, gc::CollectorKind::Shenandoah};
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, {spec}, lbo::paperHeapFactors(), collectors));
+
+    std::printf("Fig. 2a: average GC pause (us) on lusearch "
+                "(lower is better)\n");
+    TextTable t2a({"Heap", "G1", "Shenandoah"});
+    for (double f : lbo::paperHeapFactors()) {
+        t2a.beginRow();
+        t2a.cell(strprintf("%.1fx", f));
+        for (const char *name : {"G1", "Shenandoah"}) {
+            if (!analyzer.ran("lusearch", name, f)) {
+                t2a.blank();
+                continue;
+            }
+            RunningStat s = bench::statOf(analyzer, "lusearch", name, f,
+                                          &lbo::RunRecord::pauseMeanNs);
+            t2a.cell(s.mean() / 1e3, 1);
+        }
+    }
+    t2a.print();
+    std::printf("\n");
+
+    std::printf("Fig. 2b: 99.99th percentile metered query latency "
+                "(us) on lusearch (lower is better)\n");
+    TextTable t2b({"Heap", "G1", "Shenandoah"});
+    for (double f : lbo::paperHeapFactors()) {
+        t2b.beginRow();
+        t2b.cell(strprintf("%.1fx", f));
+        for (const char *name : {"G1", "Shenandoah"}) {
+            if (!analyzer.ran("lusearch", name, f)) {
+                t2b.blank();
+                continue;
+            }
+            RunningStat s = bench::statOf(
+                analyzer, "lusearch", name, f,
+                &lbo::RunRecord::meteredP9999Ns);
+            t2b.cell(s.mean() / 1e3, 1);
+        }
+    }
+    t2b.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates the paper's Fig. 3: the distribution of GC pause times
+ * for lusearch at 3.0x heap across all five collectors. Low-pause
+ * collectors should dominate below the 90th percentile; degenerated
+ * collections put Shenandoah's tail above them.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("lusearch"), env);
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, {spec}, {3.0}, bench::paperCollectors()));
+
+    std::printf("Fig. 3: GC pause time (us) for lusearch at 3.0x heap\n");
+    TextTable table({"Percentile", "Serial", "Parallel", "G1", "Shen.",
+                     "ZGC"});
+    struct Row
+    {
+        const char *label;
+        double lbo::RunRecord::*field;
+    };
+    const Row rows[] = {
+        {"p50", &lbo::RunRecord::pauseP50Ns},
+        {"p90", &lbo::RunRecord::pauseP90Ns},
+        {"p99", &lbo::RunRecord::pauseP99Ns},
+        {"p99.99", &lbo::RunRecord::pauseP9999Ns},
+        {"max", &lbo::RunRecord::pauseMaxNs},
+    };
+    for (const Row &row : rows) {
+        table.beginRow();
+        table.cell(row.label);
+        for (gc::CollectorKind kind : bench::paperCollectors()) {
+            const char *name = gc::collectorName(kind);
+            if (!analyzer.ran("lusearch", name, 3.0)) {
+                table.blank();
+                continue;
+            }
+            RunningStat s = bench::statOf(analyzer, "lusearch", name,
+                                          3.0, row.field);
+            table.cell(s.mean() / 1e3, 1);
+        }
+    }
+    table.print();
+
+    std::printf("\npauses per invocation (mean)\n");
+    TextTable counts({"Serial", "Parallel", "G1", "Shen.", "ZGC"});
+    counts.beginRow();
+    for (gc::CollectorKind kind : bench::paperCollectors()) {
+        const char *name = gc::collectorName(kind);
+        if (!analyzer.ran("lusearch", name, 3.0)) {
+            counts.blank();
+            continue;
+        }
+        RunningStat s;
+        for (const lbo::RunRecord *r :
+             analyzer.configRecords("lusearch", name, 3.0)) {
+            s.add(static_cast<double>(r->pauses));
+        }
+        counts.cell(s.mean(), 1);
+    }
+    counts.print();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates the paper's Fig. 4: the distribution of metered query
+ * latency for lusearch at 3.0x heap. Despite their shorter pauses
+ * (Fig. 3), the concurrent copying collectors deliver far worse tail
+ * latency than the STW collectors.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("lusearch"), env);
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, {spec}, {3.0}, bench::paperCollectors()));
+
+    std::printf("Fig. 4: metered query latency (us) for lusearch at "
+                "3.0x heap\n");
+    TextTable table({"Percentile", "Serial", "Parallel", "G1", "Shen.",
+                     "ZGC"});
+    struct Row
+    {
+        const char *label;
+        double lbo::RunRecord::*field;
+    };
+    const Row rows[] = {
+        {"p50", &lbo::RunRecord::meteredP50Ns},
+        {"p90", &lbo::RunRecord::meteredP90Ns},
+        {"p99", &lbo::RunRecord::meteredP99Ns},
+        {"p99.99", &lbo::RunRecord::meteredP9999Ns},
+        {"max", &lbo::RunRecord::meteredMaxNs},
+    };
+    for (const Row &row : rows) {
+        table.beginRow();
+        table.cell(row.label);
+        for (gc::CollectorKind kind : bench::paperCollectors()) {
+            const char *name = gc::collectorName(kind);
+            if (!analyzer.ran("lusearch", name, 3.0)) {
+                table.blank();
+                continue;
+            }
+            RunningStat s = bench::statOf(analyzer, "lusearch", name,
+                                          3.0, row.field);
+            table.cell(s.mean() / 1e3, 1);
+        }
+    }
+    table.print();
+
+    std::printf("\nsimple (queuing-free) latency p99 (us), for "
+                "contrast with the metered measure\n");
+    TextTable simple({"Serial", "Parallel", "G1", "Shen.", "ZGC"});
+    simple.beginRow();
+    for (gc::CollectorKind kind : bench::paperCollectors()) {
+        const char *name = gc::collectorName(kind);
+        if (!analyzer.ran("lusearch", name, 3.0)) {
+            simple.blank();
+            continue;
+        }
+        RunningStat s = bench::statOf(analyzer, "lusearch", name, 3.0,
+                                      &lbo::RunRecord::simpleP99Ns);
+        simple.cell(s.mean() / 1e3, 1);
+    }
+    simple.print();
+    return 0;
+}

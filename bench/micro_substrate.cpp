@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulation substrate
+ * itself (host performance, not simulated cost): allocation fast
+ * path, tracing, copying, histograms, and the RNG. These guard the
+ * practicality of the full sweeps, which execute millions of these
+ * operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/histogram.hh"
+#include "base/rng.hh"
+#include "gc/space.hh"
+#include "gc/trace.hh"
+#include "heap/region.hh"
+#include "lbo/run.hh"
+#include "rt/runtime.hh"
+#include "wl/suite.hh"
+
+namespace
+{
+
+using namespace distill;
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngBelow(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1000));
+}
+BENCHMARK(BM_RngBelow);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    Histogram h;
+    Rng rng(2);
+    for (auto _ : state)
+        h.record(rng.below(1u << 20));
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_BumpAlloc(benchmark::State &state)
+{
+    heap::RegionManager rm(64 * heap::regionSize);
+    gc::BumpSpace space(rm, heap::RegionState::Old);
+    std::uint64_t allocated = 0;
+    for (auto _ : state) {
+        Addr a = space.alloc(64);
+        if (a == nullRef) {
+            state.PauseTiming();
+            space.releaseAll();
+            state.ResumeTiming();
+            a = space.alloc(64);
+        }
+        gc::initObject(rm.arena(), a, 64, 2);
+        allocated += 64;
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(allocated));
+}
+BENCHMARK(BM_BumpAlloc);
+
+void
+BM_CopyObject(benchmark::State &state)
+{
+    heap::RegionManager rm(4 * heap::regionSize);
+    heap::Region *src_region = rm.allocRegion(heap::RegionState::Old);
+    heap::Region *dst_region = rm.allocRegion(heap::RegionState::Old);
+    Addr src = src_region->tryAlloc(static_cast<std::uint64_t>(
+        state.range(0)));
+    gc::initObject(rm.arena(), src,
+                   static_cast<std::uint64_t>(state.range(0)), 4);
+    Addr dst = dst_region->tryAlloc(static_cast<std::uint64_t>(
+        state.range(0)));
+    rt::CostModel costs;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            gc::copyObjectData(rm.arena(), src, dst, costs));
+}
+BENCHMARK(BM_CopyObject)->Arg(64)->Arg(256)->Arg(4096);
+
+void
+BM_MarkChain(benchmark::State &state)
+{
+    // Host cost of tracing a linked chain of the given length.
+    const std::int64_t n = state.range(0);
+    rt::RunConfig config;
+    config.heapBytes = 64 * heap::regionSize;
+
+    // Build the chain through a scripted program.
+    class ChainProgram : public rt::MutatorProgram
+    {
+      public:
+        explicit ChainProgram(std::int64_t n) : n_(n) {}
+        rt::StepResult
+        step(rt::Mutator &mutator) override
+        {
+            Addr obj = mutator.allocate(1, 16);
+            if (mutator.wasBlocked())
+                return rt::StepResult::Running;
+            if (head_ != nullRef)
+                mutator.storeRef(obj, 0, head_);
+            head_ = obj;
+            return --n_ > 0 ? rt::StepResult::Running
+                            : rt::StepResult::Done;
+        }
+        void
+        forEachRootSlot(const rt::RootSlotVisitor &visit) override
+        {
+            visit(head_);
+        }
+        Addr head_ = nullRef;
+        std::int64_t n_;
+    };
+
+    auto program = std::make_unique<ChainProgram>(n);
+    rt::WorkloadInstance w;
+    w.programs.push_back(std::move(program));
+    rt::Runtime runtime(config,
+                        gc::makeCollector(gc::CollectorKind::Epsilon),
+                        std::move(w));
+    runtime.execute();
+
+    Cycles cost = 0;
+    std::vector<Addr> seeds = gc::collectRootSeeds(runtime, cost);
+    for (auto _ : state) {
+        runtime.heap().bitmap.clearAll();
+        benchmark::DoNotOptimize(
+            gc::markFromRoots(runtime, seeds, false));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MarkChain)->Arg(1000)->Arg(100000);
+
+void
+BM_FullInvocation(benchmark::State &state)
+{
+    // Host cost of one complete (small) benchmark invocation.
+    wl::WorkloadSpec spec = wl::findSpec("jme");
+    spec.allocBytesPerThread = 512 * KiB;
+    spec.minHeapBytes = 12 * heap::regionSize;
+    lbo::Environment env;
+    for (auto _ : state) {
+        lbo::RunRecord r = lbo::runOne(
+            spec, gc::CollectorKind::G1, 36 * heap::regionSize, 3.0,
+            42, 0, env);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_FullInvocation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates the paper's §IV-C(d) analysis of the concurrent
+ * copying collectors' pathological modes on xalan at 3.0x heap:
+ *
+ *  - Shenandoah shows a far larger time LBO than cycle LBO because
+ *    pacing stalls burn wall-clock time without burning cycles, and
+ *    degenerated GCs pile on STW work;
+ *  - ZGC fails the benchmark outright with OOM.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("xalan"), env);
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, {spec}, {3.0}, bench::paperCollectors()));
+
+    std::printf("xalan at 3.0x heap: the concurrent copying "
+                "pathologies (paper SIV-C(d))\n");
+    TextTable table({"Collector", "time LBO", "cycle LBO", "degen GCs",
+                     "alloc stalls", "stall ms", "status"});
+    for (gc::CollectorKind kind : bench::paperCollectors()) {
+        const char *name = gc::collectorName(kind);
+        table.beginRow();
+        table.cell(name);
+        if (!analyzer.ran("xalan", name, 3.0)) {
+            for (int i = 0; i < 5; ++i)
+                table.blank();
+            table.cell("OOM");
+            continue;
+        }
+        table.cell(analyzer
+                       .lbo("xalan", name, 3.0, metrics::Metric::WallTime,
+                            lbo::Attribution::GcThreads)
+                       .mean,
+                   2);
+        table.cell(analyzer
+                       .lbo("xalan", name, 3.0, metrics::Metric::Cycles,
+                            lbo::Attribution::GcThreads)
+                       .mean,
+                   2);
+        RunningStat degens;
+        RunningStat stall_ns;
+        for (const lbo::RunRecord *r :
+             analyzer.configRecords("xalan", name, 3.0)) {
+            degens.add(static_cast<double>(r->degeneratedGcs));
+            stall_ns.add(r->allocStallNs);
+        }
+        table.cell(degens.mean(), 1);
+        table.cell(stall_ns.mean() > 0 ? "yes" : "no");
+        table.cell(stall_ns.mean() / 1e6, 2);
+        table.cell("ok");
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates the paper's Table X: percent of wall-clock time spent
+ * in STW pauses, geomean over the 16-benchmark set. The paper's
+ * point: this classic "GC overhead" proxy is wildly misleading for
+ * concurrent collectors (compare against Table VI/VII).
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    std::vector<wl::WorkloadSpec> benchmarks;
+    for (const wl::WorkloadSpec &spec : wl::geomeanSet())
+        benchmarks.push_back(runner.withMinHeap(spec, env));
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors()));
+
+    lbo::printHeapSweepTable(
+        analyzer, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors(), metrics::Metric::WallTime,
+        lbo::Attribution::PausesOnly,
+        "Table X: percent of time spent in STW pauses, geomean over "
+        "16 benchmarks",
+        /*stw_percent=*/true);
+    return 0;
+}

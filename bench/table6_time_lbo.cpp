@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates the paper's Table VI: time LBO geomean over the
+ * 16-benchmark set at eight heap multipliers, for all five production
+ * collectors. Cells are blank where a collector failed any benchmark
+ * at that heap size (the paper's convention).
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    std::vector<wl::WorkloadSpec> benchmarks;
+    for (const wl::WorkloadSpec &spec : wl::geomeanSet())
+        benchmarks.push_back(runner.withMinHeap(spec, env));
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors()));
+
+    lbo::printHeapSweepTable(
+        analyzer, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors(), metrics::Metric::WallTime,
+        lbo::Attribution::GcThreads,
+        "Table VI: LBO total time overhead, geomean over 16 benchmarks",
+        /*stw_percent=*/false);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates the paper's Table VII: cycle LBO geomean over the
+ * 16-benchmark set at eight heap multipliers, using the refined
+ * per-thread-cycle GC attribution (§III-C).
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    std::vector<wl::WorkloadSpec> benchmarks;
+    for (const wl::WorkloadSpec &spec : wl::geomeanSet())
+        benchmarks.push_back(runner.withMinHeap(spec, env));
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors()));
+
+    lbo::printHeapSweepTable(
+        analyzer, benchmarks, lbo::paperHeapFactors(),
+        bench::paperCollectors(), metrics::Metric::Cycles,
+        lbo::Attribution::GcThreads,
+        "Table VII: LBO cycle overhead, geomean over 16 benchmarks",
+        /*stw_percent=*/false);
+    return 0;
+}

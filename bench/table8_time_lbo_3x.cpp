@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regenerates the paper's Table VIII: per-benchmark time LBO at
+ * 3.0x heap for all 18 benchmarks, with min/max/mean/geomean summary
+ * rows. xalan is shown but excluded from the summary (ZGC fails it),
+ * exactly as in the paper.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    std::vector<wl::WorkloadSpec> benchmarks;
+    for (const wl::WorkloadSpec &spec : wl::dacapoSuite())
+        benchmarks.push_back(runner.withMinHeap(spec, env));
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, benchmarks, {3.0}, bench::paperCollectors()));
+
+    lbo::printPerBenchmarkTable(
+        analyzer, benchmarks, 3.0, bench::paperCollectors(),
+        metrics::Metric::WallTime, lbo::Attribution::GcThreads,
+        "Table VIII: total time overhead at 3.0x heap using LBO",
+        {"xalan"});
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Regenerates the paper's Table IX: per-benchmark cycle LBO at 3.0x
+ * heap for all 18 benchmarks, with summary rows (xalan excluded from
+ * the summary, as in the paper).
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    std::vector<wl::WorkloadSpec> benchmarks;
+    for (const wl::WorkloadSpec &spec : wl::dacapoSuite())
+        benchmarks.push_back(runner.withMinHeap(spec, env));
+
+    lbo::LboAnalyzer analyzer(bench::runGrid(
+        runner, benchmarks, {3.0}, bench::paperCollectors()));
+
+    lbo::printPerBenchmarkTable(
+        analyzer, benchmarks, 3.0, bench::paperCollectors(),
+        metrics::Metric::Cycles, lbo::Attribution::GcThreads,
+        "Table IX: cycle overhead at 3.0x heap using LBO", {"xalan"});
+    return 0;
+}

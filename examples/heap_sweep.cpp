@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Example: the time-space tradeoff for one benchmark.
+ *
+ * Sweeps a benchmark across heap multipliers under every production
+ * collector and prints time and cycle LBOs side by side — a compact
+ * view of the paper's Tables VI/VII for a single workload, showing
+ * how every collector's overhead falls as memory becomes generous,
+ * and how time and cycle rankings disagree.
+ *
+ * Usage: heap_sweep [benchmark]   (default: h2)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "gc/collectors.hh"
+#include "lbo/analyzer.hh"
+#include "lbo/sweep.hh"
+#include "wl/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace distill;
+
+    std::string bench = argc > 1 ? argv[1] : "h2";
+
+    lbo::Environment env;
+    lbo::SweepRunner runner;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
+    std::printf("%s: min heap %.1f MiB (measured with G1)\n\n",
+                bench.c_str(),
+                static_cast<double>(spec.minHeapBytes) / (1 << 20));
+
+    lbo::SweepConfig config;
+    config.benchmarks = {spec};
+    config.heapFactors = lbo::paperHeapFactors();
+    config.collectors = gc::productionCollectors();
+    config.invocations = lbo::invocationsFromEnv(3);
+    config.env = env;
+    lbo::LboAnalyzer analyzer(runner.run(config));
+
+    for (auto [title, metric] :
+         {std::pair{"time LBO", metrics::Metric::WallTime},
+          std::pair{"cycle LBO", metrics::Metric::Cycles}}) {
+        std::printf("%s by heap multiplier (blank = failed to run)\n",
+                    title);
+        std::vector<std::string> headers = {"GC"};
+        for (double f : lbo::paperHeapFactors())
+            headers.push_back(strprintf("%.1fx", f));
+        TextTable table(std::move(headers));
+        for (gc::CollectorKind kind : config.collectors) {
+            std::string name = gc::collectorName(kind);
+            table.beginRow();
+            table.cell(name);
+            for (double f : lbo::paperHeapFactors()) {
+                auto v = analyzer.lbo(bench, name, f, metric,
+                                      lbo::Attribution::GcThreads);
+                if (v.valid)
+                    table.cell(v.mean, 2);
+                else
+                    table.blank();
+            }
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Example: "low pause != low latency" on a latency-sensitive
+ * benchmark.
+ *
+ * Runs one of the suite's latency-sensitive benchmarks under every
+ * production collector and contrasts three views that the paper shows
+ * can lead to opposite conclusions (§IV-D(c)):
+ *
+ *   1. GC pause percentiles      (the metric low-pause GCs optimize)
+ *   2. simple request latency    (processing only)
+ *   3. metered request latency   (including queuing — the measure
+ *                                 that matters for a service)
+ *
+ * Usage: latency_study [benchmark] [heap-multiplier]
+ *        (default: lusearch 3.0; also try tomcat / tradebeans / jme)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "gc/collectors.hh"
+#include "lbo/analyzer.hh"
+#include "lbo/sweep.hh"
+#include "wl/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace distill;
+
+    std::string bench = argc > 1 ? argv[1] : "lusearch";
+    double factor = argc > 2 ? std::atof(argv[2]) : 3.0;
+
+    lbo::Environment env;
+    lbo::SweepRunner runner;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
+    if (!spec.latencySensitive)
+        fatal("%s is not a latency-sensitive benchmark", bench.c_str());
+
+    lbo::SweepConfig config;
+    config.benchmarks = {spec};
+    config.heapFactors = {factor};
+    config.collectors = gc::productionCollectors();
+    config.invocations = lbo::invocationsFromEnv(3);
+    config.env = env;
+    lbo::LboAnalyzer analyzer(runner.run(config));
+
+    auto mean_of = [&](const std::string &collector,
+                       double lbo::RunRecord::*field) {
+        RunningStat s;
+        for (const lbo::RunRecord *r :
+             analyzer.configRecords(bench, collector, factor))
+            s.add(r->*field);
+        return s.mean() / 1e3; // us
+    };
+
+    std::printf("%s at %.1fx heap: pauses vs latency (us)\n\n",
+                bench.c_str(), factor);
+    TextTable table({"Collector", "pause p50", "pause p99.99",
+                     "simple p99", "metered p99", "metered p99.99",
+                     "verdict by pauses", "verdict by latency"});
+
+    double best_pause = 1e300;
+    double best_latency = 1e300;
+    std::string best_pause_name;
+    std::string best_latency_name;
+    for (gc::CollectorKind kind : config.collectors) {
+        std::string name = gc::collectorName(kind);
+        if (!analyzer.ran(bench, name, factor))
+            continue;
+        double pause = mean_of(name, &lbo::RunRecord::pauseP9999Ns);
+        double latency = mean_of(name, &lbo::RunRecord::meteredP9999Ns);
+        if (pause < best_pause) {
+            best_pause = pause;
+            best_pause_name = name;
+        }
+        if (latency < best_latency) {
+            best_latency = latency;
+            best_latency_name = name;
+        }
+    }
+
+    for (gc::CollectorKind kind : config.collectors) {
+        std::string name = gc::collectorName(kind);
+        table.beginRow();
+        table.cell(name);
+        if (!analyzer.ran(bench, name, factor)) {
+            for (int i = 0; i < 7; ++i)
+                table.blank();
+            continue;
+        }
+        table.cell(mean_of(name, &lbo::RunRecord::pauseP50Ns), 1);
+        table.cell(mean_of(name, &lbo::RunRecord::pauseP9999Ns), 1);
+        table.cell(mean_of(name, &lbo::RunRecord::simpleP99Ns), 1);
+        table.cell(mean_of(name, &lbo::RunRecord::meteredP99Ns), 1);
+        table.cell(mean_of(name, &lbo::RunRecord::meteredP9999Ns), 1);
+        table.cell(name == best_pause_name ? "best" : "");
+        table.cell(name == best_latency_name ? "best" : "");
+    }
+    table.print();
+    std::printf("\nIf the two verdict columns disagree, choosing a GC "
+                "by pause time alone would pick the wrong collector "
+                "for this service (paper SIV-D(c)).\n");
+    return 0;
+}

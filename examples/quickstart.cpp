@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under every collector and print the
+ * paper's core metrics — total time, total cycles, STW share, pause
+ * count — plus the LBO values computed from the runs themselves.
+ *
+ * Usage: quickstart [benchmark] [heap-multiplier]
+ *   benchmark        one of the DaCapo-like suite names (default: h2)
+ *   heap-multiplier  heap size relative to the min heap (default: 3.0)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "gc/collectors.hh"
+#include "lbo/analyzer.hh"
+#include "lbo/sweep.hh"
+#include "wl/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace distill;
+
+    std::string bench = argc > 1 ? argv[1] : "h2";
+    double factor = argc > 2 ? std::atof(argv[2]) : 3.0;
+
+    lbo::Environment env;
+    lbo::SweepRunner runner;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
+    std::printf("benchmark %s: min heap %.1f MiB, running at %.1fx\n",
+                bench.c_str(),
+                static_cast<double>(spec.minHeapBytes) / (1 << 20),
+                factor);
+
+    lbo::SweepConfig config;
+    config.benchmarks = {spec};
+    config.heapFactors = {factor};
+    config.collectors = gc::productionCollectors();
+    config.invocations = lbo::invocationsFromEnv(3);
+    config.env = env;
+
+    lbo::LboAnalyzer analyzer(runner.run(config));
+
+    TextTable table({"Collector", "time (ms)", "Gcycles", "STW-time %",
+                     "STW-cycle %", "pauses", "time LBO", "cycle LBO"});
+    for (gc::CollectorKind kind : config.collectors) {
+        std::string name = gc::collectorName(kind);
+        table.beginRow();
+        table.cell(name);
+        if (!analyzer.ran(bench, name, factor)) {
+            for (int i = 0; i < 7; ++i)
+                table.blank();
+            continue;
+        }
+        auto records = analyzer.configRecords(bench, name, factor);
+        double pauses = 0;
+        for (auto *r : records)
+            pauses += static_cast<double>(r->pauses);
+        pauses /= static_cast<double>(records.size());
+
+        table.cell(analyzer.total(bench, name, factor,
+                                  metrics::Metric::WallTime).mean / 1e6,
+                   2);
+        table.cell(analyzer.total(bench, name, factor,
+                                  metrics::Metric::Cycles).mean / 1e9,
+                   2);
+        table.cell(analyzer.stwPercent(bench, name, factor,
+                                       metrics::Metric::WallTime).mean,
+                   1);
+        table.cell(analyzer.stwPercent(bench, name, factor,
+                                       metrics::Metric::Cycles).mean,
+                   1);
+        table.cell(pauses, 0);
+        table.cell(analyzer.lbo(bench, name, factor,
+                                metrics::Metric::WallTime,
+                                lbo::Attribution::GcThreads).mean,
+                   3);
+        table.cell(analyzer.lbo(bench, name, factor,
+                                metrics::Metric::Cycles,
+                                lbo::Attribution::GcThreads).mean,
+                   3);
+    }
+    table.print();
+    return 0;
+}

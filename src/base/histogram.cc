@@ -1,0 +1,132 @@
+#include "base/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace distill
+{
+
+Histogram::Histogram()
+{
+    // 64 magnitudes x 64 sub-buckets covers the full uint64 range.
+    buckets_.assign(64 * subBucketCount, 0);
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value) const
+{
+    if (value < subBucketCount)
+        return static_cast<std::size_t>(value);
+    // Magnitude = position of the highest set bit above the sub-bucket
+    // resolution; sub-index = the next subBucketBits bits below it.
+    int high_bit = 63 - std::countl_zero(value);
+    int shift = high_bit - subBucketBits;
+    std::uint64_t sub = (value >> shift) & (subBucketCount - 1);
+    std::size_t magnitude = static_cast<std::size_t>(high_bit) -
+        subBucketBits + 1;
+    return magnitude * subBucketCount + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::size_t index) const
+{
+    std::size_t magnitude = index / subBucketCount;
+    std::uint64_t sub = index % subBucketCount;
+    if (magnitude == 0)
+        return sub;
+    int shift = static_cast<int>(magnitude) - 1;
+    std::uint64_t base = (subBucketCount + sub) << shift;
+    std::uint64_t width = 1ULL << shift;
+    return base + width - 1;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    std::size_t idx = bucketIndex(value);
+    distill_assert(idx < buckets_.size(), "bucket index out of range");
+    buckets_[idx] += n;
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += n;
+    totalWeightedValue_ += value * n;
+}
+
+double
+Histogram::meanValue() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(totalWeightedValue_) /
+        static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested percentile (ceiling, so p=99.99 with few
+    // samples selects the tail value); at least 1 so p=0 returns the
+    // first populated bucket.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    distill_assert(buckets_.size() == other.buckets_.size(),
+                   "histogram shape mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    totalWeightedValue_ += other.totalWeightedValue_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    totalWeightedValue_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+} // namespace distill

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Log-bucketed value histogram with percentile queries.
+ *
+ * Pause times and request latencies in the paper are reported as
+ * percentile curves (Fig. 3 and Fig. 4), spanning four-plus orders of
+ * magnitude. Histogram uses HDR-style buckets: values are grouped by
+ * power-of-two magnitude, with a fixed number of linear sub-buckets per
+ * magnitude, giving a bounded relative error at every scale.
+ */
+
+#ifndef DISTILL_BASE_HISTOGRAM_HH
+#define DISTILL_BASE_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace distill
+{
+
+/**
+ * HDR-style histogram over non-negative 64-bit values with ~1.5 %
+ * worst-case relative quantization error.
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one @p value. */
+    void record(std::uint64_t value);
+
+    /** Record @p value with an integral weight @p count. */
+    void record(std::uint64_t value, std::uint64_t count);
+
+    /** Total number of recorded values (including weights). */
+    std::uint64_t count() const { return count_; }
+
+    /** Largest recorded value (bucket upper bound; 0 when empty). */
+    std::uint64_t max() const { return max_; }
+
+    /** Smallest recorded value (exact as recorded; 0 when empty). */
+    std::uint64_t min() const { return min_; }
+
+    /** Arithmetic mean of recorded values (bucket midpoints). */
+    double meanValue() const;
+
+    /**
+     * Value at percentile @p p in [0, 100]. Returns the representative
+     * (upper bound) of the bucket containing that rank; 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    /** Discard all recorded values. */
+    void reset();
+
+  private:
+    static constexpr int subBucketBits = 6; // 64 sub-buckets/magnitude
+    static constexpr std::uint64_t subBucketCount = 1ULL << subBucketBits;
+
+    std::size_t bucketIndex(std::uint64_t value) const;
+    std::uint64_t bucketUpperBound(std::size_t index) const;
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t totalWeightedValue_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace distill
+
+#endif // DISTILL_BASE_HISTOGRAM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in distill itself), fatal() is for user errors that
+ * make continuing impossible (bad configuration, impossible heap size),
+ * and warn()/inform() provide non-fatal status.
+ */
+
+#ifndef DISTILL_BASE_LOGGING_HH
+#define DISTILL_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace distill
+{
+
+/**
+ * Abort with a message. Use for conditions that indicate a bug in the
+ * simulator or a broken internal invariant, never for user error.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error message. Use for conditions caused by the caller
+ * (invalid configuration, unusable parameters).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. Execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. Execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable or disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Backend for distill_assert; never call directly. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const std::string &message);
+
+} // namespace distill
+
+/**
+ * Assert a simulator invariant with a formatted message.
+ * Compiled in all build types: invariant violations in a discrete-event
+ * simulator silently corrupt results, so they must always trap.
+ */
+#define distill_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::distill::panicAssert(#cond, __FILE__, __LINE__,              \
+                                   ::distill::strprintf(__VA_ARGS__));     \
+        }                                                                  \
+    } while (0)
+
+#endif // DISTILL_BASE_LOGGING_HH

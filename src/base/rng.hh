@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic, splittable random-number generation.
+ *
+ * Every invocation of a (workload, collector, heap size, seed) tuple
+ * must replay identically, so all randomness in distill flows from an
+ * explicitly seeded Rng. Rng is xoshiro256** seeded via SplitMix64,
+ * following the reference implementations of Blackman and Vigna.
+ * split() derives an independent child stream so per-thread generators
+ * never share state.
+ */
+
+#ifndef DISTILL_BASE_RNG_HH
+#define DISTILL_BASE_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace distill
+{
+
+/** SplitMix64 step; used for seeding and stream splitting. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        distill_assert(bound != 0, "below(0)");
+        // Lemire's nearly-divisionless bounded sampling (biased by at
+        // most 2^-64, irrelevant at simulation scale).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        distill_assert(lo <= hi, "bad range");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /** Exponentially distributed double with mean @p mean. */
+    double
+    exponential(double mean)
+    {
+        double u = real();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /**
+     * Derive an independent child generator. The child stream is
+     * decorrelated from the parent by running the parent forward and
+     * remixing through SplitMix64.
+     */
+    Rng
+    split()
+    {
+        std::uint64_t sm = next();
+        return Rng(splitMix64(sm));
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace distill
+
+#endif // DISTILL_BASE_RNG_HH

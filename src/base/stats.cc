@@ -1,0 +1,96 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace distill
+{
+
+void
+RunningStat::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::ci95() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double sem = stddev() / std::sqrt(static_cast<double>(count_));
+    return tQuantile975(count_ - 1) * sem;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+tQuantile975(std::size_t dof)
+{
+    // Abridged two-sided 95 % Student-t table; dof >= 30 is treated as
+    // normal. Experiment invocation counts are small, so only the head
+    // of the table matters.
+    static const double table[] = {
+        0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    constexpr std::size_t table_size = sizeof(table) / sizeof(table[0]);
+    if (dof == 0)
+        return 0.0;
+    if (dof < table_size)
+        return table[dof];
+    return 1.96;
+}
+
+} // namespace distill

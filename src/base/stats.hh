@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Summary statistics used by the experiment harness.
+ *
+ * The paper reports, for every configuration, the mean and 95 %
+ * confidence interval over repeated invocations, and geometric means
+ * across benchmarks. RunningStat accumulates samples incrementally
+ * (Welford) and reproduces exactly those summaries.
+ */
+
+#ifndef DISTILL_BASE_STATS_HH
+#define DISTILL_BASE_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace distill
+{
+
+/**
+ * Incremental mean/variance accumulator (Welford's algorithm) with a
+ * Student-t 95 % confidence half-interval.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Number of samples added so far. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean. Zero when empty. */
+    double mean() const;
+
+    /** Unbiased sample variance. Zero with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Half-width of the 95 % confidence interval on the mean, using a
+     * Student-t quantile for the actual sample count. Zero with fewer
+     * than two samples.
+     */
+    double ci95() const;
+
+    /** Smallest sample seen. */
+    double min() const { return min_; }
+
+    /** Largest sample seen. */
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Geometric mean of @p values. Values must be positive; an empty input
+ * yields zero.
+ */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean of @p values; zero when empty. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Two-sided Student-t 0.975 quantile for @p dof degrees of freedom,
+ * from a table for small dof, converging to 1.96.
+ */
+double tQuantile975(std::size_t dof);
+
+} // namespace distill
+
+#endif // DISTILL_BASE_STATS_HH

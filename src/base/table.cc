@@ -1,0 +1,97 @@
+#include "base/table.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace distill
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    distill_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    distill_assert(cells.size() == headers_.size(),
+                   "row width %zu != header width %zu",
+                   cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::beginRow()
+{
+    distill_assert(current_.empty(), "previous row not finished");
+    current_.reserve(headers_.size());
+}
+
+void
+TextTable::cell(std::string text)
+{
+    current_.push_back(std::move(text));
+    if (current_.size() == headers_.size()) {
+        rows_.push_back(std::move(current_));
+        current_.clear();
+    }
+}
+
+void
+TextTable::cell(double value, int precision)
+{
+    cell(strprintf("%.*f", precision, value));
+}
+
+void
+TextTable::blank()
+{
+    cell(std::string());
+}
+
+std::string
+TextTable::str() const
+{
+    distill_assert(current_.empty(), "unfinished row at render time");
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string padded = row[c];
+            padded.resize(widths[c], ' ');
+            out += padded;
+            if (c + 1 < row.size())
+                out += "  ";
+        }
+        // Trim trailing spaces.
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+        return out;
+    };
+
+    std::string out = render_row(headers_);
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(rule_width, '-') + '\n';
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace distill

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plain-text aligned table printer.
+ *
+ * Every bench binary regenerates one of the paper's tables or figure
+ * data series as rows on stdout; TextTable handles alignment, headers,
+ * and blank cells (the paper leaves a cell blank when a collector
+ * cannot run a configuration).
+ */
+
+#ifndef DISTILL_BASE_TABLE_HH
+#define DISTILL_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace distill
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * helpers format with fixed precision. Rendered with two-space column
+ * separation and a dashed rule under the header.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column @p headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell by cell. */
+    void beginRow();
+
+    /** Append one cell to the row under construction. */
+    void cell(std::string text);
+
+    /** Append a numeric cell with @p precision fraction digits. */
+    void cell(double value, int precision);
+
+    /** Append a blank cell (collector could not run). */
+    void blank();
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render the table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> current_;
+};
+
+} // namespace distill
+
+#endif // DISTILL_BASE_TABLE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types and unit constants shared across distill.
+ *
+ * Two clocks exist in the simulation and must never be confused:
+ * Cycles counts CPU work actually executed on a core (the PMU "cycles"
+ * metric of the paper), while Ticks counts virtual wall-clock
+ * nanoseconds. A sleeping thread accrues Ticks but no Cycles; that
+ * distinction is what separates the paper's time LBO from its cycle
+ * LBO.
+ */
+
+#ifndef DISTILL_BASE_TYPES_HH
+#define DISTILL_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace distill
+{
+
+/** CPU cycles executed on some core. */
+using Cycles = std::uint64_t;
+
+/** Virtual wall-clock time in nanoseconds. */
+using Ticks = std::uint64_t;
+
+/** Simulated heap address (see heap::Arena for the encoding). */
+using Addr = std::uint64_t;
+
+/** Null simulated reference. */
+constexpr Addr nullRef = 0;
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+constexpr Ticks usec = 1000;
+constexpr Ticks msec = 1000 * usec;
+constexpr Ticks sec = 1000 * msec;
+
+/** Round @p value up to the next multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** @return whether @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace distill
+
+#endif // DISTILL_BASE_TYPES_HH

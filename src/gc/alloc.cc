@@ -1,0 +1,69 @@
+#include "gc/alloc.hh"
+
+#include "base/logging.hh"
+#include "gc/trace.hh"
+#include "rt/runtime.hh"
+
+namespace distill::gc
+{
+
+void
+retireTlab(heap::Arena &arena, rt::Tlab &tlab)
+{
+    if (!tlab.valid()) {
+        tlab.reset();
+        return;
+    }
+    std::uint64_t gap = tlab.end - tlab.cur;
+    if (gap > 0)
+        heap::writeFiller(arena, tlab.cur, gap);
+    tlab.reset();
+}
+
+LocalAlloc
+allocFromSpace(rt::Mutator &mutator, BumpSpace &space,
+               const GcOptions &opts, std::uint64_t size,
+               std::uint32_t num_refs, Addr &out)
+{
+    rt::Runtime &rt = mutator.runtime();
+    const rt::CostModel &costs = rt.costs();
+    heap::Arena &arena = rt.heap().regions.arena();
+    rt::Tlab &tlab = mutator.tlab();
+
+    mutator.charge(costs.allocFastPath +
+                   static_cast<Cycles>(costs.allocInitPerByte *
+                                       static_cast<double>(size)));
+
+    if (tlab.valid() && tlab.end - tlab.cur >= size) {
+        out = tlab.cur;
+        tlab.cur += size;
+        initObject(arena, out, size, num_refs);
+        return LocalAlloc::Ok;
+    }
+
+    // Objects comparable to the TLAB size bypass it.
+    if (size * 2 > opts.tlabBytes) {
+        mutator.charge(costs.tlabRefill);
+        Addr a = space.alloc(size);
+        if (a == nullRef)
+            return LocalAlloc::NeedsSpace;
+        out = a;
+        initObject(arena, out, size, num_refs);
+        return LocalAlloc::Ok;
+    }
+
+    mutator.charge(costs.tlabRefill);
+    retireTlab(arena, tlab);
+    Addr start = nullRef;
+    Addr end = nullRef;
+    if (!space.allocTlab(opts.tlabBytes, size, start, end))
+        return LocalAlloc::NeedsSpace;
+    tlab.cur = start;
+    tlab.end = end;
+    out = tlab.cur;
+    tlab.cur += size;
+    initObject(arena, out, size, num_refs);
+    return LocalAlloc::Ok;
+}
+
+} // namespace distill::gc

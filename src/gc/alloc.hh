@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared TLAB allocation paths.
+ *
+ * All collectors allocate through thread-local allocation buffers
+ * carved from a BumpSpace; they differ only in which space TLABs come
+ * from and what happens when the space is exhausted. These helpers
+ * implement the common fast/medium paths and their costs.
+ */
+
+#ifndef DISTILL_GC_ALLOC_HH
+#define DISTILL_GC_ALLOC_HH
+
+#include "base/types.hh"
+#include "gc/options.hh"
+#include "gc/space.hh"
+#include "heap/arena.hh"
+#include "rt/mutator.hh"
+
+namespace distill::gc
+{
+
+/** Outcome of a local (non-blocking) allocation attempt. */
+enum class LocalAlloc
+{
+    Ok,         //!< object allocated and initialized
+    NeedsSpace, //!< the space could not provide; collector decides
+};
+
+/**
+ * Retire @p tlab: plug its unused tail with a filler object so the
+ * owning region stays walkable, then reset it.
+ */
+void retireTlab(heap::Arena &arena, rt::Tlab &tlab);
+
+/**
+ * Allocate @p size bytes (an object with @p num_refs reference slots)
+ * for @p mutator from @p space via its TLAB, charging fast-path,
+ * refill, and initialization costs. On success the object header and
+ * slots are initialized.
+ */
+LocalAlloc allocFromSpace(rt::Mutator &mutator, BumpSpace &space,
+                          const GcOptions &opts, std::uint64_t size,
+                          std::uint32_t num_refs, Addr &out);
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_ALLOC_HH

@@ -1,0 +1,86 @@
+#include "gc/collectors.hh"
+
+#include "base/logging.hh"
+#include "gc/epsilon.hh"
+#include "gc/g1.hh"
+#include "gc/shenandoah.hh"
+#include "gc/stw_gen.hh"
+#include "gc/zgc.hh"
+
+namespace distill::gc
+{
+
+const std::vector<CollectorKind> &
+allCollectors()
+{
+    static const std::vector<CollectorKind> kinds = {
+        CollectorKind::Epsilon,   CollectorKind::Serial,
+        CollectorKind::Parallel,  CollectorKind::G1,
+        CollectorKind::Shenandoah, CollectorKind::Zgc,
+    };
+    return kinds;
+}
+
+const std::vector<CollectorKind> &
+productionCollectors()
+{
+    static const std::vector<CollectorKind> kinds = {
+        CollectorKind::Serial,     CollectorKind::Parallel,
+        CollectorKind::G1,         CollectorKind::Shenandoah,
+        CollectorKind::Zgc,
+    };
+    return kinds;
+}
+
+const char *
+collectorName(CollectorKind kind)
+{
+    switch (kind) {
+      case CollectorKind::Epsilon:
+        return "Epsilon";
+      case CollectorKind::Serial:
+        return "Serial";
+      case CollectorKind::Parallel:
+        return "Parallel";
+      case CollectorKind::G1:
+        return "G1";
+      case CollectorKind::Shenandoah:
+        return "Shenandoah";
+      case CollectorKind::Zgc:
+        return "ZGC";
+    }
+    return "?";
+}
+
+CollectorKind
+collectorFromName(const std::string &name)
+{
+    for (CollectorKind kind : allCollectors()) {
+        if (name == collectorName(kind))
+            return kind;
+    }
+    fatal("unknown collector '%s'", name.c_str());
+}
+
+std::unique_ptr<rt::Collector>
+makeCollector(CollectorKind kind, const GcOptions &opts)
+{
+    switch (kind) {
+      case CollectorKind::Epsilon:
+        return std::make_unique<Epsilon>(opts);
+      case CollectorKind::Serial:
+        return std::make_unique<StwGenCollector>("Serial", 1, opts);
+      case CollectorKind::Parallel:
+        return std::make_unique<StwGenCollector>(
+            "Parallel", opts.parallelWorkers, opts);
+      case CollectorKind::G1:
+        return std::make_unique<G1>(opts);
+      case CollectorKind::Shenandoah:
+        return std::make_unique<Shenandoah>(opts);
+      case CollectorKind::Zgc:
+        return std::make_unique<Zgc>(opts);
+    }
+    panic("bad collector kind");
+}
+
+} // namespace distill::gc

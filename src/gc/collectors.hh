@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Collector registry (the paper's Table I).
+ */
+
+#ifndef DISTILL_GC_COLLECTORS_HH
+#define DISTILL_GC_COLLECTORS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/options.hh"
+#include "rt/collector.hh"
+
+namespace distill::gc
+{
+
+/** The six collectors studied by the paper. */
+enum class CollectorKind
+{
+    Epsilon,
+    Serial,
+    Parallel,
+    G1,
+    Shenandoah,
+    Zgc,
+};
+
+/** All kinds, in the paper's table order. */
+const std::vector<CollectorKind> &allCollectors();
+
+/** The five real collectors (everything but Epsilon). */
+const std::vector<CollectorKind> &productionCollectors();
+
+/** Collector display name (matches the paper's tables). */
+const char *collectorName(CollectorKind kind);
+
+/** Parse a collector name; fatal() on unknown names. */
+CollectorKind collectorFromName(const std::string &name);
+
+/** Instantiate a collector. */
+std::unique_ptr<rt::Collector> makeCollector(CollectorKind kind,
+                                             const GcOptions &opts = {});
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_COLLECTORS_HH

@@ -1,0 +1,167 @@
+#include "gc/compact.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "gc/trace.hh"
+#include "rt/runtime.hh"
+
+namespace distill::gc
+{
+
+CompactResult
+fullCompact(rt::Runtime &runtime)
+{
+    auto &ctx = runtime.heap();
+    auto &rm = ctx.regions;
+    heap::Arena &arena = rm.arena();
+    const rt::CostModel &costs = runtime.costs();
+    CompactResult result;
+
+    // Pass 1: mark.
+    ctx.bitmap.clearAll();
+    Cycles root_cost = 0;
+    std::vector<Addr> seeds = collectRootSeeds(runtime, root_cost);
+    result.cost += root_cost;
+    TraceResult marked = markFromRoots(runtime, seeds, false);
+    result.cost += marked.cost;
+
+    std::vector<heap::Region *> sources;
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state != heap::RegionState::Free)
+            sources.push_back(&r);
+    }
+
+    heap::setWalkContext("compact-plan");
+    // Pass 2: plan forwarding addresses.
+    std::size_t target_idx = 0;
+    std::uint64_t target_top = 0;
+    std::vector<std::uint64_t> final_tops(sources.size(), 0);
+    auto plan = [&](std::uint64_t size) {
+        while (target_top + size > heap::regionSize) {
+            final_tops[target_idx] = target_top;
+            ++target_idx;
+            target_top = 0;
+            distill_assert(target_idx < sources.size(),
+                           "compaction overran the region sequence");
+        }
+        Addr a = sources[target_idx]->startAddr() + target_top;
+        target_top += size;
+        return a;
+    };
+    for (heap::Region *src : sources) {
+        rm.forEachObject(*src, [&](Addr obj) {
+            result.cost += costs.walkObject;
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            heap::ObjectHeader *h = arena.header(obj);
+            h->setForwarded(plan(h->size));
+        });
+    }
+    if (target_idx < sources.size())
+        final_tops[target_idx] = target_top;
+
+    heap::setWalkContext("compact-update");
+    // Pass 3: update references.
+    auto forward_of = [&](Addr ref) -> Addr {
+        Addr a = heap::uncolor(ref);
+        heap::ObjectHeader *h = arena.header(a);
+        distill_assert(h->isForwarded(), "live ref to unmarked object");
+        return static_cast<Addr>(h->forward);
+    };
+    runtime.forEachRoot([&](Addr &slot) {
+        result.cost += costs.rootSlot;
+        if (slot != nullRef)
+            slot = forward_of(slot);
+    });
+    for (heap::Region *src : sources) {
+        rm.forEachObject(*src, [&](Addr obj) {
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            heap::ObjectHeader *h = arena.header(obj);
+            Addr *slots = h->refSlots();
+            for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+                result.cost += costs.updateRefSlot;
+                if (slots[i] != nullRef)
+                    slots[i] = forward_of(slots[i]);
+            }
+        });
+    }
+
+    heap::setWalkContext("compact-move");
+    // Pass 4: move.
+    for (heap::Region *src : sources) {
+        rm.forEachObject(*src, [&](Addr obj) {
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            heap::ObjectHeader *h = arena.header(obj);
+            Addr dst = static_cast<Addr>(h->forward);
+            if (dst != obj) {
+                result.cost += copyObjectData(arena, obj, dst, costs);
+            } else {
+                h->flags &= static_cast<std::uint16_t>(
+                    ~(heap::flagForwarded | heap::flagRemembered));
+                h->forward = 0;
+                result.cost += costs.copyObject;
+            }
+            arena.header(dst)->setAge(0);
+        });
+    }
+
+    // Rebuild region states: the compacted prefix survives as Old.
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+        heap::Region *r = sources[k];
+        result.cost += costs.regionOverhead;
+        if (k < target_idx || (k == target_idx && final_tops[k] > 0)) {
+            r->state = heap::RegionState::Old;
+            r->top = final_tops[k];
+            r->liveBytes = 0;
+            r->inCset = false;
+            result.kept.push_back(r);
+        } else {
+            rm.freeRegion(*r);
+        }
+    }
+    ctx.bitmap.clearAll();
+    ctx.oldToYoung.clear();
+
+    result.packets = marked.objects / std::max<std::uint32_t>(
+                         costs.packetObjects, 1) + 1;
+    return result;
+}
+
+Cycles
+rebuildRemsets(rt::Runtime &runtime)
+{
+    auto &ctx = runtime.heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = runtime.costs();
+    Cycles cost = 0;
+
+    heap::setWalkContext("rebuild-remsets");
+    ctx.remsets.clearAll();
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state == heap::RegionState::Free)
+            continue;
+        rm.forEachObject(r, [&](Addr obj) {
+            cost += costs.walkObject;
+            heap::ObjectHeader *h = rm.header(obj);
+            Addr *slots = h->refSlots();
+            for (std::uint32_t s = 0; s < h->numRefs; ++s) {
+                cost += costs.scanRefSlot;
+                Addr v = heap::uncolor(slots[s]);
+                if (v == nullRef)
+                    continue;
+                if (heap::regionIndexOf(v) != r.index) {
+                    ctx.remsets.forRegion(heap::regionIndexOf(v)).add(obj);
+                    cost += costs.remsetInsert;
+                }
+            }
+        });
+    }
+    return cost;
+}
+
+} // namespace distill::gc

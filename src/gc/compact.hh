@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared full-heap mark-compact (LISP-2 sliding compaction).
+ *
+ * Serial and Parallel use this as their mature-space collection; G1,
+ * Shenandoah and ZGC use it as the last-resort full GC when their
+ * normal machinery cannot free memory. The compaction walks every
+ * used region in index order and slides live objects toward the front
+ * of that sequence in four passes (mark, plan, update, move), which
+ * guarantees writes never overtake unread headers.
+ */
+
+#ifndef DISTILL_GC_COMPACT_HH
+#define DISTILL_GC_COMPACT_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "heap/region.hh"
+
+namespace distill::rt
+{
+class Runtime;
+} // namespace distill::rt
+
+namespace distill::gc
+{
+
+/** Outcome of a full compaction. */
+struct CompactResult
+{
+    Cycles cost = 0;
+    std::uint64_t packets = 1;
+
+    /** Surviving regions, in address order, now RegionState::Old. */
+    std::vector<heap::Region *> kept;
+};
+
+/**
+ * Mark from roots and compact the whole heap. On return every
+ * surviving region is Old and every other region is free; the mark
+ * bitmap and the old->young remembered set are cleared. Callers must
+ * reset their space bookkeeping from @p CompactResult::kept and
+ * rebuild any auxiliary structures (G1 remsets, SATB state).
+ */
+CompactResult fullCompact(rt::Runtime &runtime);
+
+/**
+ * Rebuild the per-region remembered sets by scanning every object in
+ * the heap for cross-region references (used by G1 after a full
+ * compaction). @return the cycle cost of the scan.
+ */
+Cycles rebuildRemsets(rt::Runtime &runtime);
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_COMPACT_HH

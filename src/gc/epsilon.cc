@@ -1,0 +1,53 @@
+#include "gc/epsilon.hh"
+
+#include "gc/alloc.hh"
+#include "heap/object.hh"
+#include "rt/runtime.hh"
+
+namespace distill::gc
+{
+
+Epsilon::Epsilon(const GcOptions &opts)
+    : opts_(opts)
+{
+}
+
+void
+Epsilon::attach(rt::Runtime &runtime)
+{
+    Collector::attach(runtime);
+    space_ = std::make_unique<BumpSpace>(runtime.heap().regions,
+                                         heap::RegionState::Old);
+}
+
+rt::AllocResult
+Epsilon::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+                  std::uint64_t payload_bytes)
+{
+    std::uint64_t size = heap::objectSize(num_refs, payload_bytes);
+    Addr out = nullRef;
+    if (allocFromSpace(mutator, *space_, opts_, size, num_refs, out) ==
+        LocalAlloc::Ok) {
+        return rt::AllocResult::ok(out);
+    }
+    return rt::AllocResult::oom();
+}
+
+Addr
+Epsilon::loadRef(rt::Mutator &mutator, Addr obj, unsigned slot)
+{
+    const rt::CostModel &costs = rt_->costs();
+    mutator.charge(costs.refLoad);
+    return rt_->heap().regions.header(obj)->refSlots()[slot];
+}
+
+void
+Epsilon::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
+                  Addr value)
+{
+    const rt::CostModel &costs = rt_->costs();
+    mutator.charge(costs.refStore);
+    rt_->heap().regions.header(obj)->refSlots()[slot] = value;
+}
+
+} // namespace distill::gc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Epsilon: the no-op collector.
+ *
+ * Epsilon allocates and never collects (JEP 318). The paper uses it
+ * as the closest real approximation of the zero-cost GC scheme in the
+ * LBO estimate, wherever a benchmark's total allocation fits in the
+ * machine's physical memory. Its heap is therefore sized to the
+ * machine memory budget, not to the benchmark's heap multiplier, and
+ * it has no barriers and no GC threads.
+ */
+
+#ifndef DISTILL_GC_EPSILON_HH
+#define DISTILL_GC_EPSILON_HH
+
+#include <memory>
+
+#include "gc/options.hh"
+#include "gc/space.hh"
+#include "rt/collector.hh"
+
+namespace distill::gc
+{
+
+/**
+ * Bump-allocation-only collector; OOMs when the heap is exhausted.
+ */
+class Epsilon : public rt::Collector
+{
+  public:
+    explicit Epsilon(const GcOptions &opts);
+
+    const char *name() const override { return "Epsilon"; }
+
+    void attach(rt::Runtime &runtime) override;
+
+    rt::AllocResult allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+                             std::uint64_t payload_bytes) override;
+
+    Addr loadRef(rt::Mutator &mutator, Addr obj, unsigned slot) override;
+
+    void storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
+                  Addr value) override;
+
+  private:
+    GcOptions opts_;
+    std::unique_ptr<BumpSpace> space_;
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_EPSILON_HH

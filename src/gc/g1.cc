@@ -1,0 +1,672 @@
+#include "gc/g1.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "gc/alloc.hh"
+#include "gc/compact.hh"
+#include "gc/trace.hh"
+#include "rt/runtime.hh"
+#include "rt/validate.hh"
+
+namespace distill::gc
+{
+
+namespace
+{
+
+/** Mutator-local SATB buffer flush threshold. */
+constexpr std::size_t satbFlushThreshold = 64;
+
+} // namespace
+
+/**
+ * Pause-service thread: young/mixed evacuation pauses, remark pauses,
+ * and full-GC fallbacks, in priority order full > remark > young.
+ */
+class G1::ControlThread : public rt::WorkerThread
+{
+  public:
+    explicit ControlThread(G1 &gc)
+        : rt::WorkerThread("g1-control", Kind::Gc), gc_(gc)
+    {
+        block();
+    }
+
+  protected:
+    bool
+    step() override
+    {
+        rt::Runtime &rt = *gc_.rt_;
+        switch (phase_) {
+          case Phase::Idle: {
+            if (gc_.pendingRemark_ && !gc_.cycleInProgress_) {
+                // The cycle was aborted by a full GC; drop the remark.
+                gc_.pendingRemark_ = false;
+            }
+            if (gc_.pending_ == Request::Full) {
+                job_ = PauseJob::Full;
+            } else if (gc_.pendingRemark_) {
+                job_ = PauseJob::Remark;
+            } else if (gc_.pending_ == Request::Young) {
+                job_ = PauseJob::Young;
+            } else {
+                block();
+                return false;
+            }
+            switch (job_) {
+              case PauseJob::Young:
+                rt.agent().pauseBegin(metrics::PauseKind::EvacPause);
+                break;
+              case PauseJob::Full:
+                rt.agent().pauseBegin(metrics::PauseKind::FullGc);
+                break;
+              case PauseJob::Remark:
+                rt.agent().pauseBegin(metrics::PauseKind::FinalMark);
+                break;
+            }
+            charge(rt.costs().safepointSync);
+            phase_ = Phase::PauseWork;
+            rt.requestSafepoint(this);
+            return false;
+          }
+          case Phase::PauseWork: {
+            GcWork work;
+            switch (job_) {
+              case PauseJob::Young: {
+                gc_.pending_ = Request::None;
+                bool evac_failed = false;
+                work = gc_.doEvacPause(evac_failed);
+                if (evac_failed) {
+                    GcWork full = gc_.doFullGc();
+                    work.cost += full.cost;
+                    work.packets += full.packets;
+                }
+                break;
+              }
+              case PauseJob::Full:
+                gc_.pending_ = Request::None;
+                work = gc_.doFullGc();
+                break;
+              case PauseJob::Remark:
+                gc_.pendingRemark_ = false;
+                work = gc_.doRemarkCleanup();
+                break;
+            }
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "g1-post-pause-work");
+            phase_ = Phase::PauseFinish;
+            gc_.pauseGang_->dispatch(work.cost, work.packets, this);
+            block();
+            return false;
+          }
+          case Phase::PauseFinish: {
+            if (job_ != PauseJob::Remark)
+                ++gc_.gcEpoch_; // remark frees no allocation space
+            if (job_ == PauseJob::Young &&
+                !gc_.cycleInProgress_ &&
+                gc_.oldOccupancy() > gc_.opts_.g1TriggerFraction) {
+                // Start a concurrent cycle (the initial-mark work is
+                // piggybacked on this pause, as in HotSpot).
+                gc_.cycleInProgress_ = true;
+                gc_.markingActive_ = true;
+                gc_.markPending_ = true;
+                ++gc_.cycleId_;
+                auto &ctx = rt.heap();
+                ctx.bitmap.clearAll();
+                for (std::size_t i = 0; i < ctx.regions.regionCount(); ++i)
+                    ctx.regions.region(i).liveBytes = 0;
+                gc_.wakeMarker();
+            }
+            if (job_ == PauseJob::Remark) {
+                gc_.cycleInProgress_ = false;
+                rt.agent().concurrentCycleEnd();
+            }
+            rt.agent().pauseEnd();
+            rt.resumeWorld();
+            rt.wakeAllocWaiters();
+            phase_ = Phase::Idle;
+            return true;
+          }
+        }
+        panic("bad G1 control phase");
+    }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        PauseWork,
+        PauseFinish,
+    };
+
+    G1 &gc_;
+    Phase phase_ = Phase::Idle;
+    PauseJob job_ = PauseJob::Young;
+};
+
+/**
+ * Concurrent-mark coordinator: performs the (instantaneous) trace,
+ * hands the cost to the concurrent gang, and schedules the remark
+ * pause when the gang finishes paying for it.
+ */
+class G1::ConcMarkThread : public rt::WorkerThread
+{
+  public:
+    explicit ConcMarkThread(G1 &gc)
+        : rt::WorkerThread("g1-concmark", Kind::Gc), gc_(gc)
+    {
+        block();
+    }
+
+  protected:
+    bool
+    step() override
+    {
+        switch (phase_) {
+          case Phase::Idle: {
+            if (!gc_.markPending_) {
+                block();
+                return false;
+            }
+            gc_.markPending_ = false;
+            markedCycle_ = gc_.cycleId_;
+            GcWork work = gc_.doConcurrentMark();
+            phase_ = Phase::Marked;
+            gc_.concGang_->dispatch(work.cost, work.packets, this);
+            block();
+            return false;
+          }
+          case Phase::Marked: {
+            charge(1000); // cycle bookkeeping
+            if (gc_.cycleInProgress_ && markedCycle_ == gc_.cycleId_) {
+                gc_.pendingRemark_ = true;
+                gc_.wakeControlForRemark();
+            }
+            phase_ = Phase::Idle;
+            return true;
+          }
+        }
+        panic("bad G1 marker phase");
+    }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        Marked,
+    };
+
+    G1 &gc_;
+    Phase phase_ = Phase::Idle;
+    std::uint64_t markedCycle_ = 0;
+};
+
+G1::G1(const GcOptions &opts)
+    : opts_(opts)
+{
+}
+
+G1::~G1() = default;
+
+void
+G1::attach(rt::Runtime &runtime)
+{
+    Collector::attach(runtime);
+    auto &rm = runtime.heap().regions;
+    std::size_t young_cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(rm.regionCount()) *
+                                    opts_.youngFraction));
+    eden_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Eden,
+                                        young_cap);
+    survivor_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Survivor);
+    old_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Old);
+
+    control_ = std::make_unique<ControlThread>(*this);
+    runtime.addGcThread(control_.get());
+    marker_ = std::make_unique<ConcMarkThread>(*this);
+    runtime.addGcThread(marker_.get());
+    pauseGang_ = std::make_unique<WorkGang>(runtime, "g1-pause",
+                                            opts_.parallelWorkers);
+    concGang_ = std::make_unique<WorkGang>(runtime, "g1-conc",
+                                           opts_.concWorkers);
+}
+
+double
+G1::oldOccupancy() const
+{
+    const auto &rm = rt_->heap().regions;
+    return static_cast<double>(old_->usedBytes()) /
+        static_cast<double>(rm.heapBytes());
+}
+
+void
+G1::wakeMarker()
+{
+    // If the marker is still paying for an aborted cycle's marking,
+    // leave it alone: it wakes as the gang's client and then notices
+    // markPending_ itself.
+    if (marker_->state() == sim::SimThread::State::Blocked &&
+        !concGang_->busy()) {
+        marker_->makeRunnable();
+    }
+}
+
+void
+G1::wakeControlForRemark()
+{
+    // Wake the control thread only when it is idle; when it is
+    // blocked inside a pause (safepoint wait or gang payment) it will
+    // notice the pendingRemark_ flag itself.
+    if (control_->state() == sim::SimThread::State::Blocked &&
+        !rt_->safepointRequested() && !pauseGang_->busy()) {
+        control_->makeRunnable();
+    }
+}
+
+void
+G1::requestGc(Request request)
+{
+    if (pending_ == Request::None ||
+        (pending_ == Request::Young && request == Request::Full)) {
+        pending_ = request;
+    }
+    if (control_->state() == sim::SimThread::State::Blocked &&
+        !rt_->safepointRequested() && !pauseGang_->busy()) {
+        control_->makeRunnable();
+    }
+}
+
+rt::AllocResult
+G1::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+             std::uint64_t payload_bytes)
+{
+    std::uint64_t size = heap::objectSize(num_refs, payload_bytes);
+    Addr out = nullRef;
+    if (allocFromSpace(mutator, *eden_, opts_, size, num_refs, out) ==
+        LocalAlloc::Ok) {
+        if (markingActive_) {
+            auto &ctx = rt_->heap();
+            ctx.bitmap.mark(out);
+            ctx.regions.regionOf(out).liveBytes += size;
+        }
+        return rt::AllocResult::ok(out);
+    }
+
+    if (pending_ == Request::None) {
+        unsigned streak = progress_.recordFailure(
+            rt_->agent().metrics().bytesAllocated);
+        if (streak >= 3)
+            return rt::AllocResult::oom();
+        requestGc(streak >= 2 ? Request::Full : Request::Young);
+    }
+    rt_->addAllocWaiter(mutator);
+    return rt::AllocResult::waitForGc();
+}
+
+Addr
+G1::loadRef(rt::Mutator &mutator, Addr obj, unsigned slot)
+{
+    mutator.charge(rt_->costs().refLoad);
+    return rt_->heap().regions.header(obj)->refSlots()[slot];
+}
+
+void
+G1::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot, Addr value)
+{
+    const rt::CostModel &costs = rt_->costs();
+    auto &ctx = rt_->heap();
+    mutator.charge(costs.refStore + costs.g1PostBarrier);
+    heap::ObjectHeader *h = ctx.regions.header(obj);
+    Addr *slots = h->refSlots();
+
+    if (markingActive_) {
+        Addr old = slots[slot];
+        if (old != nullRef) {
+            mutator.charge(costs.satbEnqueue);
+            auto &buffer = mutator.satbBuffer();
+            buffer.push_back(old);
+            ++rt_->agent().metrics().satbEnqueues;
+            if (buffer.size() >= satbFlushThreshold)
+                ctx.satb.flush(buffer);
+        }
+    } else {
+        mutator.charge(costs.satbInactive);
+    }
+
+    slots[slot] = value;
+    // Post barrier: record cross-region references whose source is in
+    // the old generation (young sources are filtered, as in HotSpot —
+    // young regions are always fully collected, so their outgoing
+    // references never need remembering).
+    if (value != nullRef &&
+        heap::regionIndexOf(value) != heap::regionIndexOf(obj) &&
+        ctx.regions.regionOf(obj).state == heap::RegionState::Old) {
+        if (ctx.remsets.forRegion(heap::regionIndexOf(value)).add(obj))
+            mutator.charge(costs.remsetInsert);
+    }
+}
+
+G1::GcWork
+G1::doEvacPause(bool &evac_failed)
+{
+    if (rt::validateEnabled())
+        rt::validateHeap(*rt_, "g1-pre-evac");
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    heap::Arena &arena = rm.arena();
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+    evac_failed = false;
+
+    // Build the collection set: all young regions plus up to
+    // g1MaxOldPerMixed mixed candidates.
+    std::vector<heap::Region *> cset;
+    for (heap::Region *r : eden_->regions()) {
+        r->inCset = true;
+        cset.push_back(r);
+    }
+    for (heap::Region *r : survivor_->regions()) {
+        r->inCset = true;
+        cset.push_back(r);
+    }
+    unsigned old_taken = 0;
+    while (!mixedCandidates_.empty() &&
+           old_taken < opts_.g1MaxOldPerMixed) {
+        std::size_t idx = mixedCandidates_.front();
+        mixedCandidates_.erase(mixedCandidates_.begin());
+        heap::Region &r = rm.region(idx);
+        if (r.state != heap::RegionState::Old)
+            continue; // stale candidate
+        old_->removeRegion(&r);
+        r.inCset = true;
+        cset.push_back(&r);
+        ++old_taken;
+    }
+
+    BumpSpace to(rm, heap::RegionState::Survivor);
+    std::vector<Addr> scan_queue;
+    std::uint64_t copied_objects = 0;
+    bool failed_local = false;
+
+    auto evacuate = [&](Addr ref) -> Addr {
+        heap::Region &r = rm.regionOf(ref);
+        if (!r.inCset)
+            return ref;
+        heap::ObjectHeader *h = arena.header(ref);
+        if (h->isForwarded())
+            return static_cast<Addr>(h->forward);
+        std::uint64_t size = h->size;
+        unsigned age = h->age() + 1;
+        bool from_old = r.state == heap::RegionState::Old;
+        Addr dst = nullRef;
+        bool promoted = false;
+        if (from_old || age >= opts_.tenureAge) {
+            dst = old_->alloc(size);
+            promoted = dst != nullRef;
+        }
+        if (dst == nullRef)
+            dst = to.alloc(size);
+        if (dst == nullRef) {
+            dst = old_->alloc(size);
+            promoted = dst != nullRef;
+        }
+        if (dst == nullRef) {
+            failed_local = true;
+            h->setForwarded(ref);
+            scan_queue.push_back(ref);
+            return ref;
+        }
+        w.cost += copyObjectData(arena, ref, dst, costs);
+        ++copied_objects;
+        arena.header(dst)->setAge(promoted ? 0 : age);
+        if (markingActive_) {
+            ctx.bitmap.mark(dst);
+            rm.regionOf(dst).liveBytes += size;
+        }
+        h->setForwarded(dst);
+        scan_queue.push_back(dst);
+        return dst;
+    };
+
+    // Roots.
+    rt_->forEachRoot([&](Addr &slot) {
+        w.cost += costs.rootSlot;
+        if (slot != nullRef)
+            slot = evacuate(slot);
+    });
+
+    // Remembered sets of the collection set.
+    for (heap::Region *cr : cset) {
+        std::vector<Addr> sources(
+            ctx.remsets.forRegion(cr->index).entries().begin(),
+            ctx.remsets.forRegion(cr->index).entries().end());
+        for (Addr src : sources) {
+            if (rm.regionOf(src).inCset)
+                continue; // relocating source; handled transitively
+            heap::ObjectHeader *h = arena.header(src);
+            Addr *slots = h->refSlots();
+            for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+                w.cost += costs.scanRefSlot;
+                Addr v = slots[i];
+                if (v == nullRef || !rm.regionOf(v).inCset)
+                    continue;
+                Addr nv = evacuate(v);
+                slots[i] = nv;
+                if (heap::regionIndexOf(nv) != heap::regionIndexOf(src) &&
+                    rm.regionOf(src).state == heap::RegionState::Old) {
+                    ctx.remsets.forRegion(heap::regionIndexOf(nv)).add(src);
+                    w.cost += costs.remsetInsert;
+                }
+            }
+        }
+    }
+
+    // Transitive evacuation.
+    while (!scan_queue.empty()) {
+        Addr obj = scan_queue.back();
+        scan_queue.pop_back();
+        heap::ObjectHeader *h = arena.header(obj);
+        Addr *slots = h->refSlots();
+        for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+            w.cost += costs.scanRefSlot;
+            Addr v = slots[i];
+            if (v == nullRef)
+                continue;
+            Addr nv = rm.regionOf(v).inCset ? evacuate(v) : v;
+            slots[i] = nv;
+            if (heap::regionIndexOf(nv) != heap::regionIndexOf(obj) &&
+                rm.regionOf(obj).state == heap::RegionState::Old) {
+                ctx.remsets.forRegion(heap::regionIndexOf(nv)).add(obj);
+                w.cost += costs.remsetInsert;
+            }
+        }
+    }
+
+    // Purge stale remset entries whose source objects were in the
+    // collection set (moved sources were re-recorded above at their
+    // new addresses; dead sources must not be dereferenced again).
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        if (rm.region(i).state == heap::RegionState::Free)
+            continue;
+        auto &set = ctx.remsets.forRegion(i);
+        std::vector<Addr> stale;
+        for (Addr e : set.entries()) {
+            if (rm.regionOf(e).inCset)
+                stale.push_back(e);
+        }
+        for (Addr e : stale) {
+            set.remove(e);
+            w.cost += costs.walkObject;
+        }
+    }
+
+    // Fix up SATB queues that may reference moved/dead cset objects.
+    auto satb_fix = [&](Addr e) -> Addr {
+        if (!rm.regionOf(e).inCset)
+            return e;
+        heap::ObjectHeader *h = arena.header(e);
+        return h->isForwarded() ? static_cast<Addr>(h->forward) : nullRef;
+    };
+    ctx.satb.remap(satb_fix);
+    for (auto &m : rt_->mutators()) {
+        auto &buffer = m->satbBuffer();
+        std::vector<Addr> kept;
+        for (Addr e : buffer) {
+            Addr nv = satb_fix(e);
+            if (nv != nullRef)
+                kept.push_back(nv);
+        }
+        buffer = std::move(kept);
+    }
+
+    if (!failed_local) {
+        for (heap::Region *cr : cset) {
+            ctx.remsets.forRegion(cr->index).clear();
+            ctx.bitmap.clearRegion(cr->index);
+            rm.freeRegion(*cr);
+            w.cost += costs.regionOverhead;
+        }
+        eden_->reset();
+        survivor_->reset();
+        for (heap::Region *r : to.regions())
+            survivor_->adopt(r);
+        to.reset();
+    } else {
+        // Evacuation failure: leave the cset in place; the full GC
+        // that follows compacts everything.
+        for (heap::Region *cr : cset)
+            cr->inCset = false;
+        for (heap::Region *r : to.regions())
+            survivor_->adopt(r);
+        to.reset();
+    }
+
+    evac_failed = failed_local;
+    w.packets = copied_objects / std::max<std::uint32_t>(
+                    costs.packetObjects, 1) + 1;
+    return w;
+}
+
+G1::GcWork
+G1::doFullGc()
+{
+    if (rt::validateEnabled())
+        rt::validateHeap(*rt_, "g1-pre-full");
+    auto &ctx = rt_->heap();
+    CompactResult compact = fullCompact(*rt_);
+    if (rt::validateEnabled())
+        rt::validateHeap(*rt_, "g1-post-compact");
+    eden_->reset();
+    survivor_->reset();
+    old_->reset();
+    for (heap::Region *r : compact.kept)
+        old_->adopt(r);
+
+    GcWork w;
+    w.cost = compact.cost + rebuildRemsets(*rt_);
+    w.packets = compact.packets;
+
+    // Abort any concurrent cycle: its marking state is now invalid.
+    ctx.satb.clear();
+    for (auto &m : rt_->mutators())
+        m->satbBuffer().clear();
+    markingActive_ = false;
+    cycleInProgress_ = false;
+    pendingRemark_ = false;
+    markPending_ = false;
+    mixedCandidates_.clear();
+    ctx.bitmap.clearAll();
+    return w;
+}
+
+G1::GcWork
+G1::doConcurrentMark()
+{
+    GcWork w;
+    Cycles root_cost = 0;
+    std::vector<Addr> seeds = collectRootSeeds(*rt_, root_cost);
+    w.cost += root_cost;
+    TraceResult marked = markFromRoots(*rt_, seeds, true);
+    w.cost += marked.cost;
+    w.packets = marked.objects / std::max<std::uint32_t>(
+                    rt_->costs().packetObjects, 1) + 1;
+    return w;
+}
+
+G1::GcWork
+G1::doRemarkCleanup()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+
+    // Flush every mutator's local SATB buffer, then drain.
+    for (auto &m : rt_->mutators()) {
+        w.cost += costs.satbEnqueue * m->satbBuffer().size();
+        ctx.satb.flush(m->satbBuffer());
+    }
+    TraceResult drained = drainSatb(*rt_, true);
+    w.cost += drained.cost;
+    markingActive_ = false;
+
+    // Cleanup: reclaim fully dead old regions, select mixed
+    // candidates (most garbage first).
+    std::vector<heap::Region *> old_regions =
+        { old_->regions().begin(), old_->regions().end() };
+    std::vector<std::pair<std::uint64_t, std::size_t>> candidates;
+    std::vector<heap::Region *> reclaimed;
+    for (heap::Region *r : old_regions) {
+        w.cost += costs.regionOverhead;
+        if (r->top == 0)
+            continue;
+        if (r->liveBytes == 0) {
+            reclaimed.push_back(r);
+        } else if (static_cast<double>(r->liveBytes) <
+                   opts_.g1MixedLiveThreshold *
+                       static_cast<double>(r->top)) {
+            candidates.emplace_back(r->liveBytes, r->index);
+        }
+    }
+    if (!reclaimed.empty()) {
+        // Prune every remset entry whose *source* lies in a reclaimed
+        // region. (Pruning via the sources' current slot values would
+        // miss entries recorded for since-overwritten slots, leaving
+        // dangling sources that corrupt later evacuations.)
+        for (heap::Region *r : reclaimed)
+            r->inCset = true; // temporary "dying" mark
+        for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+            if (rm.region(i).state == heap::RegionState::Free)
+                continue;
+            auto &set = ctx.remsets.forRegion(i);
+            std::vector<Addr> stale;
+            for (Addr e : set.entries()) {
+                if (rm.regionOf(e).inCset)
+                    stale.push_back(e);
+            }
+            for (Addr e : stale) {
+                set.remove(e);
+                w.cost += costs.walkObject;
+            }
+        }
+        for (heap::Region *r : reclaimed) {
+            r->inCset = false;
+            old_->removeRegion(r);
+            ctx.remsets.forRegion(r->index).clear();
+            ctx.bitmap.clearRegion(r->index);
+            rm.freeRegion(*r);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    mixedCandidates_.clear();
+    for (auto &[live, idx] : candidates)
+        mixedCandidates_.push_back(idx);
+
+    w.packets = drained.objects / std::max<std::uint32_t>(
+                    costs.packetObjects, 1) + 1;
+    return w;
+}
+
+} // namespace distill::gc

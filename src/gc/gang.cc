@@ -1,0 +1,93 @@
+#include "gc/gang.hh"
+
+#include "base/logging.hh"
+#include "rt/runtime.hh"
+
+namespace distill::gc
+{
+
+WorkGang::Worker::Worker(WorkGang &gang, const std::string &name)
+    : rt::WorkerThread(name, Kind::Gc), gang_(gang)
+{
+    // Workers start blocked; dispatch() wakes them.
+    block();
+}
+
+bool
+WorkGang::Worker::step()
+{
+    const rt::CostModel &costs = gang_.rt_.costs();
+    if (!rendezvousPaid_) {
+        rendezvousPaid_ = true;
+        charge(costs.workerRendezvous);
+        return true;
+    }
+    Cycles packet = gang_.takePacket();
+    if (packet == 0) {
+        rendezvousPaid_ = false;
+        block();
+        gang_.workerIdle();
+        return false;
+    }
+    charge(packet + costs.packetSync);
+    return true;
+}
+
+WorkGang::WorkGang(rt::Runtime &runtime, const std::string &name,
+                   unsigned count)
+    : rt_(runtime)
+{
+    distill_assert(count > 0, "empty work gang");
+    for (unsigned i = 0; i < count; ++i) {
+        workers_.push_back(std::make_unique<Worker>(
+            *this, strprintf("%s-worker-%u", name.c_str(), i)));
+        runtime.addGcThread(workers_.back().get());
+    }
+}
+
+WorkGang::~WorkGang() = default;
+
+void
+WorkGang::dispatch(Cycles total_cost, std::uint64_t packets,
+                   sim::SimThread *client)
+{
+    distill_assert(!busy(), "overlapping gang dispatch");
+    distill_assert(client != nullptr, "gang dispatch without client");
+    packets = std::max<std::uint64_t>(packets, 1);
+    packetsLeft_ = packets;
+    packetCost_ = total_cost / packets;
+    remainderCost_ = total_cost % packets;
+    client_ = client;
+    active_ = static_cast<unsigned>(workers_.size());
+    for (auto &w : workers_)
+        w->makeRunnable();
+}
+
+Cycles
+WorkGang::takePacket()
+{
+    if (packetsLeft_ == 0)
+        return 0;
+    --packetsLeft_;
+    Cycles cost = packetCost_;
+    if (packetsLeft_ == 0) {
+        cost += remainderCost_;
+        remainderCost_ = 0;
+    }
+    // Ensure progress even for zero-cost packets.
+    return std::max<Cycles>(cost, 1);
+}
+
+void
+WorkGang::workerIdle()
+{
+    distill_assert(active_ > 0, "idle worker without active dispatch");
+    --active_;
+    if (active_ == 0 && packetsLeft_ == 0 && client_ != nullptr) {
+        sim::SimThread *client = client_;
+        client_ = nullptr;
+        client->makeRunnable();
+    }
+}
+
+} // namespace distill::gc

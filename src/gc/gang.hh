@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parallel GC work gang.
+ *
+ * The simulator performs graph work (marking, copying) host-side in
+ * the controlling GC thread, then *charges* the computed cycle cost
+ * to a gang of simulated worker threads, split into packets pulled
+ * from a shared pool. This yields the two effects the paper observes
+ * for parallel collectors: wall-clock pause time ~ work/K (plus
+ * imbalance from packet granularity), and total cycles ~ work plus
+ * per-packet synchronization and per-worker rendezvous overhead —
+ * which is exactly why Parallel beats Serial on time but loses on
+ * cycles (§IV-C(b)).
+ */
+
+#ifndef DISTILL_GC_GANG_HH
+#define DISTILL_GC_GANG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "rt/worker.hh"
+
+namespace distill::rt
+{
+class Runtime;
+} // namespace distill::rt
+
+namespace distill::gc
+{
+
+/**
+ * A gang of simulated GC worker threads paying for dispatched work.
+ */
+class WorkGang
+{
+  public:
+    /**
+     * Create @p count workers named after @p name and register them
+     * with @p runtime's scheduler.
+     */
+    WorkGang(rt::Runtime &runtime, const std::string &name, unsigned count);
+    ~WorkGang();
+
+    /**
+     * Distribute @p total_cost cycles of already-performed work over
+     * @p packets work packets and start the gang. @p client (usually
+     * the collector control thread) is woken when the last packet
+     * completes; the caller should block after dispatching.
+     */
+    void dispatch(Cycles total_cost, std::uint64_t packets,
+                  sim::SimThread *client);
+
+    /** Whether a dispatch is still in flight. */
+    bool busy() const { return packetsLeft_ > 0 || active_ > 0; }
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    class Worker : public rt::WorkerThread
+    {
+      public:
+        Worker(WorkGang &gang, const std::string &name);
+
+      protected:
+        bool step() override;
+        bool oneStepPerRound() const override { return false; }
+
+      private:
+        WorkGang &gang_;
+        bool rendezvousPaid_ = false;
+
+        friend class WorkGang;
+    };
+
+    /** Worker-side: take one packet's cost; 0 when pool is empty. */
+    Cycles takePacket();
+
+    /** Worker-side: report going idle; wakes the client when last. */
+    void workerIdle();
+
+    rt::Runtime &rt_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::uint64_t packetsLeft_ = 0;
+    Cycles packetCost_ = 0;
+    Cycles remainderCost_ = 0;
+    unsigned active_ = 0;
+    sim::SimThread *client_ = nullptr;
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_GANG_HH

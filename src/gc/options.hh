@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Collector tuning knobs.
+ *
+ * The paper deliberately runs every collector out of the box, setting
+ * only the heap size (§IV-A(c)). These defaults mirror the HotSpot
+ * out-of-the-box choices on an 8-core machine; benches exploring
+ * ablations (pacing off, different worker counts) override fields
+ * explicitly.
+ */
+
+#ifndef DISTILL_GC_OPTIONS_HH
+#define DISTILL_GC_OPTIONS_HH
+
+#include "base/types.hh"
+
+namespace distill::gc
+{
+
+/**
+ * Tuning parameters shared by the collector implementations.
+ */
+struct GcOptions
+{
+    /** STW worker threads for Parallel/G1/Shenandoah/ZGC pauses. */
+    unsigned parallelWorkers = 8;
+
+    /** Concurrent worker threads (HotSpot ConcGCThreads default). */
+    unsigned concWorkers = 2;
+
+    /** TLAB size in bytes. */
+    std::uint64_t tlabBytes = 16 * KiB;
+
+    /** Generational: fraction of the heap given to the young gen. */
+    double youngFraction = 1.0 / 3.0;
+
+    /** Generational: survivor age at which objects tenure. */
+    unsigned tenureAge = 2;
+
+    /** G1: old-occupancy fraction that starts concurrent marking. */
+    double g1TriggerFraction = 0.45;
+
+    /** G1: old regions with live fraction below this join mixed csets. */
+    double g1MixedLiveThreshold = 0.85;
+
+    /** G1: max old regions evacuated per mixed pause. */
+    unsigned g1MaxOldPerMixed = 4;
+
+    /** Shenandoah: heap-occupancy fraction that starts a cycle. */
+    double shenTriggerFraction = 0.40;
+
+    /** Shenandoah: regions below this live fraction join the cset. */
+    double shenCsetLiveThreshold = 0.75;
+
+    /** Shenandoah: pacing (allocation throttling) enabled. */
+    bool shenPacing = true;
+
+    /** Shenandoah: base pacing stall; doubles per consecutive stall. */
+    Ticks shenPacingStallNs = 500 * usec;
+
+    /** Shenandoah: consecutive pacing stalls before degenerating. */
+    unsigned shenStallsBeforeDegen = 40;
+
+    /** ZGC: heap-occupancy fraction that starts a cycle. */
+    double zTriggerFraction = 0.25;
+
+    /** ZGC: regions below this live fraction are relocated. */
+    double zCsetLiveThreshold = 0.75;
+
+    /**
+     * ZGC: maximum tolerated ratio of cumulative allocation-stall
+     * time to total mutator wall time before the run is declared OOM
+     * (the paper's xalan failure mode: allocation persistently
+     * outruns concurrent reclamation).
+     */
+    double zMaxStallFraction = 0.35;
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_OPTIONS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Allocation-progress-based GC escalation.
+ *
+ * A collector must distinguish routine allocation failures (the young
+ * space filled up again — normal cadence) from futile ones (the last
+ * collection freed nothing usable). The guard tracks bytes allocated
+ * between failures: a failure arriving with real progress since the
+ * previous one resets the streak; failures without progress escalate
+ * young -> full -> OOM, mirroring HotSpot's "GC overhead" behavior.
+ */
+
+#ifndef DISTILL_GC_PROGRESS_HH
+#define DISTILL_GC_PROGRESS_HH
+
+#include "base/types.hh"
+#include "heap/layout.hh"
+
+namespace distill::gc
+{
+
+/**
+ * Tracks allocation progress across allocation failures.
+ */
+struct AllocProgressGuard
+{
+    std::uint64_t lastFailAllocated = 0;
+    unsigned streak = 0;
+
+    /**
+     * Record an allocation failure given the run's cumulative
+     * allocated bytes. @return the no-progress streak length: 1 on a
+     * routine failure, 2 when the previous collection enabled less
+     * than @p progress_bytes of allocation, 3+ when even escalation
+     * did not help (out of memory).
+     */
+    unsigned
+    recordFailure(std::uint64_t allocated_now,
+                  std::uint64_t progress_bytes = heap::regionSize)
+    {
+        if (allocated_now >= lastFailAllocated + progress_bytes)
+            streak = 0;
+        ++streak;
+        lastFailAllocated = allocated_now;
+        return streak;
+    }
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_PROGRESS_HH

@@ -1,0 +1,671 @@
+#include "gc/shenandoah.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "gc/alloc.hh"
+#include "gc/compact.hh"
+#include "gc/trace.hh"
+#include "rt/runtime.hh"
+
+namespace distill::gc
+{
+
+namespace
+{
+
+constexpr std::size_t satbFlushThreshold = 64;
+
+} // namespace
+
+/**
+ * Shenandoah control thread: sequences the concurrent cycle
+ * (init-mark, concurrent mark, final-mark, concurrent evacuation,
+ * concurrent update-refs, final flip) and the rescue paths
+ * (degenerated STW completion, full compaction).
+ */
+class Shenandoah::ControlThread : public rt::WorkerThread
+{
+  public:
+    explicit ControlThread(Shenandoah &gc)
+        : rt::WorkerThread("shen-control", Kind::Gc), gc_(gc)
+    {
+        block();
+    }
+
+  protected:
+    bool
+    step() override
+    {
+        rt::Runtime &rt = *gc_.rt_;
+        switch (phase_) {
+          case Phase::Idle: {
+            if (gc_.pendingFull_ && !gc_.cycleInProgress_) {
+                beginPause(metrics::PauseKind::FullGc, Phase::FullWork);
+                return false;
+            }
+            if (gc_.pendingDegen_ && gc_.cycleInProgress_) {
+                beginPause(metrics::PauseKind::Degenerated,
+                           Phase::DegenWork);
+                return false;
+            }
+            if (gc_.cycleRequested_ && !gc_.cycleInProgress_) {
+                gc_.cycleRequested_ = false;
+                gc_.cycleInProgress_ = true;
+                gc_.stallsThisCycle_ = 0;
+                gc_.markDone_ = false;
+                gc_.finalMarkDone_ = false;
+                gc_.evacDone_ = false;
+                gc_.updateRefsDone_ = false;
+                gc_.evacFailed_ = false;
+                beginPause(metrics::PauseKind::InitialMark,
+                           Phase::InitMarkWork);
+                return false;
+            }
+            block();
+            return false;
+          }
+
+          case Phase::InitMarkWork:
+            return pauseWork(gc_.doInitMark(), Phase::InitMarkFinish);
+          case Phase::InitMarkFinish: {
+            endPause();
+            GcWork w = gc_.doConcMark();
+            gc_.markDone_ = true;
+            phase_ = Phase::ConcMarkDone;
+            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            block();
+            return false;
+          }
+          case Phase::ConcMarkDone: {
+            if (gc_.pendingDegen_) {
+                phase_ = Phase::Idle;
+                return true;
+            }
+            beginPause(metrics::PauseKind::FinalMark,
+                       Phase::FinalMarkWork);
+            return false;
+          }
+
+          case Phase::FinalMarkWork:
+            return pauseWork(gc_.doFinalMark(), Phase::FinalMarkFinish);
+          case Phase::FinalMarkFinish: {
+            endPause();
+            GcWork w = gc_.doConcEvac();
+            phase_ = Phase::EvacDone;
+            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            block();
+            return false;
+          }
+          case Phase::EvacDone: {
+            if (gc_.pendingDegen_) {
+                phase_ = Phase::Idle;
+                return true;
+            }
+            beginPause(metrics::PauseKind::FinalPause,
+                       Phase::UpdateRefsPrepWork);
+            return false;
+          }
+
+          case Phase::UpdateRefsPrepWork: {
+            // Init-update-refs: a short pause (roots were already
+            // updated at final mark / during evacuation healing).
+            GcWork w;
+            w.cost = 1500;
+            return pauseWork(w, Phase::UpdateRefsPrepFinish);
+          }
+          case Phase::UpdateRefsPrepFinish: {
+            endPause();
+            GcWork w = gc_.doConcUpdateRefs();
+            phase_ = Phase::UpdateRefsDone;
+            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            block();
+            return false;
+          }
+          case Phase::UpdateRefsDone: {
+            beginPause(metrics::PauseKind::FinalPause, Phase::FlipWork);
+            return false;
+          }
+
+          case Phase::FlipWork:
+            return pauseWork(gc_.doFinalFlip(), Phase::FlipFinish);
+          case Phase::FlipFinish: {
+            ++gc_.gcEpoch_;
+            rt.agent().concurrentCycleEnd();
+            endPause();
+            phase_ = Phase::Idle;
+            return true;
+          }
+
+          case Phase::DegenWork: {
+            rt.agent().degeneratedGc();
+            GcWork w = gc_.doDegenerate();
+            gc_.pendingDegen_ = false;
+            return pauseWork(w, Phase::DegenFinish);
+          }
+          case Phase::DegenFinish: {
+            ++gc_.gcEpoch_;
+            rt.agent().concurrentCycleEnd();
+            endPause();
+            phase_ = Phase::Idle;
+            return true;
+          }
+
+          case Phase::FullWork: {
+            gc_.pendingFull_ = false;
+            return pauseWork(gc_.doFullGc(), Phase::FullFinish);
+          }
+          case Phase::FullFinish: {
+            ++gc_.gcEpoch_;
+            endPause();
+            phase_ = Phase::Idle;
+            return true;
+          }
+        }
+        panic("bad shenandoah control phase");
+    }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        InitMarkWork,
+        InitMarkFinish,
+        ConcMarkDone,
+        FinalMarkWork,
+        FinalMarkFinish,
+        EvacDone,
+        UpdateRefsPrepWork,
+        UpdateRefsPrepFinish,
+        UpdateRefsDone,
+        FlipWork,
+        FlipFinish,
+        DegenWork,
+        DegenFinish,
+        FullWork,
+        FullFinish,
+    };
+
+    /** Open a pause and stop the world; continues at @p next. */
+    void
+    beginPause(metrics::PauseKind kind, Phase next)
+    {
+        gc_.rt_->agent().pauseBegin(kind);
+        charge(gc_.rt_->costs().safepointSync);
+        phase_ = next;
+        gc_.rt_->requestSafepoint(this);
+    }
+
+    /** Dispatch pause work to the pause gang; continues at @p next. */
+    bool
+    pauseWork(const GcWork &work, Phase next)
+    {
+        phase_ = next;
+        gc_.pauseGang_->dispatch(work.cost, work.packets, this);
+        block();
+        return false;
+    }
+
+    /** Close the pause and let the world run again. */
+    void
+    endPause()
+    {
+        gc_.rt_->agent().pauseEnd();
+        gc_.rt_->resumeWorld();
+        gc_.rt_->wakeAllocWaiters();
+    }
+
+    Shenandoah &gc_;
+    Phase phase_ = Phase::Idle;
+};
+
+Shenandoah::Shenandoah(const GcOptions &opts)
+    : opts_(opts)
+{
+}
+
+Shenandoah::~Shenandoah() = default;
+
+void
+Shenandoah::attach(rt::Runtime &runtime)
+{
+    Collector::attach(runtime);
+    auto &rm = runtime.heap().regions;
+    alloc_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Old);
+    control_ = std::make_unique<ControlThread>(*this);
+    runtime.addGcThread(control_.get());
+    pauseGang_ = std::make_unique<WorkGang>(runtime, "shen-pause",
+                                            opts_.parallelWorkers);
+    concGang_ = std::make_unique<WorkGang>(runtime, "shen-conc",
+                                           opts_.concWorkers);
+    pacedRefill_.assign(runtime.mutators().size(), false);
+}
+
+double
+Shenandoah::occupancy() const
+{
+    const auto &rm = rt_->heap().regions;
+    return static_cast<double>(rm.usedCount()) /
+        static_cast<double>(rm.regionCount());
+}
+
+void
+Shenandoah::wakeControl()
+{
+    if (control_->state() == sim::SimThread::State::Blocked &&
+        !rt_->safepointRequested() && !pauseGang_->busy() &&
+        !concGang_->busy()) {
+        control_->makeRunnable();
+    }
+}
+
+void
+Shenandoah::maybeTriggerCycle()
+{
+    if (!cycleInProgress_ && !cycleRequested_ &&
+        occupancy() > opts_.shenTriggerFraction) {
+        cycleRequested_ = true;
+        wakeControl();
+    }
+}
+
+rt::AllocResult
+Shenandoah::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+                     std::uint64_t payload_bytes)
+{
+    std::uint64_t size = heap::objectSize(num_refs, payload_bytes);
+    auto &rm = rt_->heap().regions;
+
+    // Pacing: while a cycle is in flight and free memory is scarce,
+    // stall the mutator at its TLAB refill instead of letting it
+    // outrun the collector. A stalled thread burns wall-clock time
+    // but no cycles.
+    rt::Tlab &tlab = mutator.tlab();
+    bool needs_refill = !(tlab.valid() && tlab.end - tlab.cur >= size);
+    if (cycleInProgress_ && opts_.shenPacing && needs_refill) {
+        std::size_t headroom = std::max<std::size_t>(
+            1, rm.regionCount() / 16);
+        if (rm.freeCount() <= headroom) {
+            if (stallsThisCycle_ >= opts_.shenStallsBeforeDegen) {
+                pendingDegen_ = true;
+                wakeControl();
+                rt_->addAllocWaiter(mutator);
+                return rt::AllocResult::waitForGc();
+            }
+            if (!pacedRefill_[mutator.id()]) {
+                pacedRefill_[mutator.id()] = true;
+                ++stallsThisCycle_;
+                Ticks stall = opts_.shenPacingStallNs *
+                    (1 + stallsThisCycle_ / 4);
+                rt_->agent().allocStall(stall);
+                mutator.sleepUntil(mutator.now() + stall);
+                mutator.markBlockedInStep();
+                return rt::AllocResult::stall();
+            }
+            pacedRefill_[mutator.id()] = false;
+        }
+    }
+
+    Addr out = nullRef;
+    if (allocFromSpace(mutator, *alloc_, opts_, size, num_refs, out) ==
+        LocalAlloc::Ok) {
+        if (allocMarking_) {
+            auto &ctx = rt_->heap();
+            ctx.bitmap.mark(out);
+            ctx.regions.regionOf(out).liveBytes += size;
+        }
+        maybeTriggerCycle();
+        return rt::AllocResult::ok(out);
+    }
+
+    // Out of regions.
+    if (cycleInProgress_) {
+        pendingDegen_ = true;
+        wakeControl();
+        rt_->addAllocWaiter(mutator);
+        return rt::AllocResult::waitForGc();
+    }
+    if (!pendingFull_ && !cycleRequested_) {
+        unsigned streak = progress_.recordFailure(
+            rt_->agent().metrics().bytesAllocated);
+        if (streak >= 3)
+            return rt::AllocResult::oom();
+        pendingFull_ = true;
+        wakeControl();
+    }
+    rt_->addAllocWaiter(mutator);
+    return rt::AllocResult::waitForGc();
+}
+
+Addr
+Shenandoah::loadRef(rt::Mutator &mutator, Addr obj, unsigned slot)
+{
+    const rt::CostModel &costs = rt_->costs();
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    mutator.charge(costs.refLoad + costs.readBarrierFast);
+    heap::ObjectHeader *h = rm.header(obj);
+    Addr v = h->refSlots()[slot];
+    if (v == nullRef || !evacInFlight_)
+        return v;
+    heap::Region &r = rm.regionOf(v);
+    if (!r.inCset)
+        return v;
+
+    // Load-reference barrier slow path.
+    mutator.charge(costs.readBarrierSlow);
+    ++rt_->agent().metrics().loadBarrierSlowPaths;
+    heap::ObjectHeader *th = rm.header(v);
+    if (th->isForwarded()) {
+        Addr nv = static_cast<Addr>(th->forward);
+        if (nv != v)
+            h->refSlots()[slot] = nv; // self-heal
+        return nv;
+    }
+    // Not yet evacuated: copy on access (real Shenandoah semantics).
+    std::uint64_t size = th->size;
+    Addr dst = alloc_->alloc(size);
+    if (dst == nullRef)
+        return v; // cannot copy; object is still valid in place
+    mutator.charge(costs.mutatorCopySlow +
+                   static_cast<Cycles>(costs.copyPerByte *
+                                       static_cast<double>(size)));
+    copyObjectData(rm.arena(), v, dst, costs);
+    if (allocMarking_) {
+        ctx.bitmap.mark(dst);
+        rm.regionOf(dst).liveBytes += size;
+    }
+    th->setForwarded(dst);
+    h->refSlots()[slot] = dst;
+    ++rt_->agent().metrics().bytesCopied;
+    return dst;
+}
+
+void
+Shenandoah::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
+                     Addr value)
+{
+    const rt::CostModel &costs = rt_->costs();
+    auto &ctx = rt_->heap();
+    mutator.charge(costs.refStore);
+    heap::ObjectHeader *h = ctx.regions.header(obj);
+    if (satbActive_) {
+        Addr old = h->refSlots()[slot];
+        if (old != nullRef) {
+            mutator.charge(costs.satbEnqueue);
+            auto &buffer = mutator.satbBuffer();
+            buffer.push_back(old);
+            ++rt_->agent().metrics().satbEnqueues;
+            if (buffer.size() >= satbFlushThreshold)
+                ctx.satb.flush(buffer);
+        }
+    } else {
+        mutator.charge(costs.satbInactive);
+    }
+    h->refSlots()[slot] = value;
+}
+
+Shenandoah::GcWork
+Shenandoah::doInitMark()
+{
+    auto &ctx = rt_->heap();
+    GcWork w;
+    ctx.bitmap.clearAll();
+    for (std::size_t i = 0; i < ctx.regions.regionCount(); ++i)
+        ctx.regions.region(i).liveBytes = 0;
+    satbActive_ = true;
+    allocMarking_ = true;
+    // Root scanning is concurrent in JDK 17 Shenandoah; carry its
+    // cost into the concurrent mark phase and keep the pause O(1).
+    rootCarry_ = rt_->costs().rootSlot * rt_->countRoots();
+    w.cost = 2000;
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doConcMark()
+{
+    GcWork w;
+    Cycles root_cost = rootCarry_;
+    rootCarry_ = 0;
+    std::vector<Addr> seeds = collectRootSeeds(*rt_, root_cost);
+    w.cost += root_cost;
+    TraceResult marked = markFromRoots(*rt_, seeds, true);
+    w.cost += marked.cost;
+    w.packets = marked.objects / std::max<std::uint32_t>(
+                    rt_->costs().packetObjects, 1) + 1;
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doFinalMark()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+
+    // Drain SATB.
+    for (auto &m : rt_->mutators()) {
+        w.cost += costs.satbEnqueue * m->satbBuffer().size();
+        ctx.satb.flush(m->satbBuffer());
+    }
+    TraceResult drained = drainSatb(*rt_, true);
+    w.cost += drained.cost;
+    satbActive_ = false;
+
+    // Choose the collection set: garbage-dense regions, excluding the
+    // current allocation target.
+    cset_.clear();
+    std::vector<heap::Region *> members;
+    for (heap::Region *r : alloc_->regions()) {
+        if (r == alloc_->currentRegion() || r->top == 0)
+            continue;
+        if (static_cast<double>(r->liveBytes) <
+            opts_.shenCsetLiveThreshold * static_cast<double>(r->top)) {
+            members.push_back(r);
+        }
+        w.cost += costs.regionOverhead;
+    }
+    for (heap::Region *r : members) {
+        alloc_->removeRegion(r);
+        r->inCset = true;
+        cset_.push_back(r);
+    }
+    evacInFlight_ = !cset_.empty();
+
+    // Evacuate root-referenced cset objects and update the roots.
+    // JDK 17 Shenandoah processes most roots concurrently; the cost
+    // is carried into the concurrent evacuation phase while the
+    // (atomic) graph work happens here.
+    Cycles root_cost = 0;
+    rt_->forEachRoot([&](Addr &slot) {
+        root_cost += costs.rootSlot;
+        if (slot == nullRef || !rm.regionOf(slot).inCset)
+            return;
+        heap::ObjectHeader *h = rm.header(slot);
+        if (h->isForwarded()) {
+            slot = static_cast<Addr>(h->forward);
+            return;
+        }
+        std::uint64_t size = h->size;
+        Addr dst = alloc_->alloc(size);
+        if (dst == nullRef) {
+            evacFailed_ = true;
+            h->setForwarded(slot); // self-forward: stays in place
+            return;
+        }
+        root_cost += copyObjectData(rm.arena(), slot, dst, costs);
+        if (allocMarking_) {
+            ctx.bitmap.mark(dst);
+            rm.regionOf(dst).liveBytes += size;
+        }
+        h->setForwarded(dst);
+        slot = dst;
+    });
+    rootCarry_ += root_cost;
+
+    finalMarkDone_ = true;
+    w.packets = drained.objects / std::max<std::uint32_t>(
+                    costs.packetObjects, 1) + 1;
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doConcEvac()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+    w.cost += rootCarry_; // concurrent root processing
+    rootCarry_ = 0;
+    std::uint64_t copied = 0;
+
+    for (heap::Region *r : cset_) {
+        rm.forEachObject(*r, [&](Addr obj) {
+            w.cost += costs.walkObject;
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            heap::ObjectHeader *h = rm.header(obj);
+            if (h->isForwarded())
+                return; // copied on access or at final mark
+            std::uint64_t size = h->size;
+            Addr dst = alloc_->alloc(size);
+            if (dst == nullRef) {
+                evacFailed_ = true;
+                h->setForwarded(obj); // self-forward: stays in place
+                return;
+            }
+            w.cost += copyObjectData(rm.arena(), obj, dst, costs);
+            if (allocMarking_) {
+                ctx.bitmap.mark(dst);
+                rm.regionOf(dst).liveBytes += size;
+            }
+            h->setForwarded(dst);
+            ++copied;
+        });
+    }
+    evacDone_ = true;
+    w.packets = copied / std::max<std::uint32_t>(costs.packetObjects, 1)
+        + 1;
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doConcUpdateRefs()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+    std::uint64_t updated = 0;
+
+    auto fix = [&](Addr v) -> Addr {
+        if (v == nullRef || !rm.regionOf(v).inCset)
+            return v;
+        heap::ObjectHeader *h = rm.header(v);
+        return h->isForwarded() ? static_cast<Addr>(h->forward) : v;
+    };
+
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state == heap::RegionState::Free || r.inCset)
+            continue;
+        rm.forEachObject(r, [&](Addr obj) {
+            w.cost += costs.walkObject;
+            heap::ObjectHeader *h = rm.header(obj);
+            Addr *slots = h->refSlots();
+            for (std::uint32_t s = 0; s < h->numRefs; ++s) {
+                w.cost += costs.updateRefSlot;
+                slots[s] = fix(slots[s]);
+                ++updated;
+            }
+        });
+    }
+    rt_->forEachRoot([&](Addr &slot) {
+        w.cost += costs.rootSlot;
+        slot = fix(slot);
+    });
+    updateRefsDone_ = true;
+    w.packets = updated / (std::max<std::uint32_t>(
+                    costs.packetObjects, 1) * 8) + 1;
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doFinalFlip()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+
+    for (heap::Region *r : cset_) {
+        w.cost += costs.regionOverhead;
+        if (evacFailed_) {
+            // Some object may remain in place (self-forwarded); the
+            // region cannot be recycled. Hand it back to the space.
+            r->inCset = false;
+            r->state = heap::RegionState::Old;
+            alloc_->adopt(r);
+        } else {
+            ctx.bitmap.clearRegion(r->index);
+            rm.freeRegion(*r);
+        }
+    }
+    cset_.clear();
+    evacInFlight_ = false;
+    allocMarking_ = false;
+    cycleInProgress_ = false;
+    if (evacFailed_) {
+        // Could not free memory this cycle; escalate to a full GC.
+        pendingFull_ = true;
+    }
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doDegenerate()
+{
+    GcWork w;
+    if (!markDone_)
+        w += doConcMark();
+    if (!finalMarkDone_)
+        w += doFinalMark();
+    if (!evacDone_)
+        w += doConcEvac();
+    if (!updateRefsDone_)
+        w += doConcUpdateRefs();
+    w += doFinalFlip();
+    return w;
+}
+
+Shenandoah::GcWork
+Shenandoah::doFullGc()
+{
+    auto &ctx = rt_->heap();
+    CompactResult compact = fullCompact(*rt_);
+    alloc_->reset();
+    for (heap::Region *r : compact.kept)
+        alloc_->adopt(r);
+
+    ctx.satb.clear();
+    for (auto &m : rt_->mutators())
+        m->satbBuffer().clear();
+    satbActive_ = false;
+    allocMarking_ = false;
+    evacInFlight_ = false;
+    cycleRequested_ = false;
+    evacFailed_ = false;
+    cset_.clear();
+    ctx.bitmap.clearAll();
+
+    GcWork w;
+    w.cost = compact.cost;
+    w.packets = compact.packets;
+    return w;
+}
+
+} // namespace distill::gc

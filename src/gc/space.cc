@@ -1,0 +1,130 @@
+#include "gc/space.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace distill::gc
+{
+
+BumpSpace::BumpSpace(heap::RegionManager &regions, heap::RegionState state,
+                     std::size_t max_regions)
+    : rm_(regions), state_(state), maxRegions_(max_regions)
+{
+    distill_assert(state != heap::RegionState::Free, "space of Free regions");
+}
+
+void
+BumpSpace::fillCurrentTail()
+{
+    if (current_ == nullptr || current_->freeBytes() == 0)
+        return;
+    // Make the abandoned tail walkable with a filler object
+    // (alignment guarantees it is at least one header in size).
+    Addr gap_addr = current_->startAddr() + current_->top;
+    heap::writeFiller(rm_.arena(), gap_addr, current_->freeBytes());
+    current_->top = heap::regionSize;
+}
+
+heap::Region *
+BumpSpace::expand()
+{
+    if (regions_.size() >= maxRegions_)
+        return nullptr;
+    heap::Region *r = rm_.allocRegion(state_);
+    if (r == nullptr)
+        return nullptr;
+    fillCurrentTail();
+    regions_.push_back(r);
+    current_ = r;
+    return r;
+}
+
+Addr
+BumpSpace::alloc(std::uint64_t size)
+{
+    distill_assert(size <= heap::regionSize, "object larger than a region");
+    distill_assert(size % heap::objectAlignment == 0,
+                   "unaligned allocation of %llu bytes",
+                   static_cast<unsigned long long>(size));
+    if (current_ != nullptr) {
+        Addr a = current_->tryAlloc(size);
+        if (a != nullRef)
+            return a;
+    }
+    if (expand() == nullptr)
+        return nullRef;
+    Addr a = current_->tryAlloc(size);
+    distill_assert(a != nullRef, "fresh region cannot satisfy alloc");
+    return a;
+}
+
+bool
+BumpSpace::allocTlab(std::uint64_t want, std::uint64_t min, Addr &start,
+                     Addr &end)
+{
+    distill_assert(min <= want, "TLAB min %llu exceeds want %llu",
+                   static_cast<unsigned long long>(min),
+                   static_cast<unsigned long long>(want));
+    if (current_ != nullptr && current_->freeBytes() >= min) {
+        std::uint64_t grant = std::min(want, current_->freeBytes());
+        start = current_->startAddr() + current_->top;
+        current_->top += grant;
+        end = start + grant;
+        return true;
+    }
+    if (expand() == nullptr)
+        return false;
+    std::uint64_t grant = std::min(want, current_->freeBytes());
+    start = current_->startAddr() + current_->top;
+    current_->top += grant;
+    end = start + grant;
+    return true;
+}
+
+std::uint64_t
+BumpSpace::usedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const heap::Region *r : regions_)
+        total += r->top;
+    return total;
+}
+
+void
+BumpSpace::releaseAll()
+{
+    for (heap::Region *r : regions_)
+        rm_.freeRegion(*r);
+    regions_.clear();
+    current_ = nullptr;
+}
+
+void
+BumpSpace::reset()
+{
+    regions_.clear();
+    current_ = nullptr;
+}
+
+void
+BumpSpace::removeRegion(heap::Region *region)
+{
+    auto it = std::find(regions_.begin(), regions_.end(), region);
+    distill_assert(it != regions_.end(), "removing region not in space");
+    regions_.erase(it);
+    if (current_ == region)
+        current_ = regions_.empty() ? nullptr : regions_.back();
+}
+
+void
+BumpSpace::adopt(heap::Region *region)
+{
+    distill_assert(region->state == state_, "adopting foreign region");
+    regions_.push_back(region);
+    // The most recently adopted region becomes the allocation target
+    // (after compaction, the last adopted region has the most space).
+    current_ = region;
+}
+
+} // namespace distill::gc

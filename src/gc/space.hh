@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bump-allocated spaces built from regions.
+ *
+ * A BumpSpace is an ordered set of regions of one RegionState with a
+ * current allocation region. Collectors compose spaces into
+ * generations (Serial/Parallel: eden, survivor, old) or use a single
+ * space (Shenandoah/ZGC). A space can be capped to a region budget so
+ * exhausting the budget (rather than the whole heap) triggers
+ * collection.
+ */
+
+#ifndef DISTILL_GC_SPACE_HH
+#define DISTILL_GC_SPACE_HH
+
+#include <limits>
+#include <vector>
+
+#include "base/types.hh"
+#include "heap/region.hh"
+
+namespace distill::gc
+{
+
+/**
+ * An ordered, optionally capped set of regions with bump allocation.
+ */
+class BumpSpace
+{
+  public:
+    BumpSpace(heap::RegionManager &regions, heap::RegionState state,
+              std::size_t max_regions =
+                  std::numeric_limits<std::size_t>::max());
+
+    /**
+     * Allocate @p size bytes, taking a new region if the current one
+     * is full. @return nullRef when the space is at its cap or the
+     * heap has no free region.
+     */
+    Addr alloc(std::uint64_t size);
+
+    /**
+     * Carve a TLAB span of up to @p want bytes (at least @p min).
+     * @return false when a span cannot be provided.
+     */
+    bool allocTlab(std::uint64_t want, std::uint64_t min, Addr &start,
+                   Addr &end);
+
+    /** Regions currently composing this space, in allocation order. */
+    const std::vector<heap::Region *> &regions() const { return regions_; }
+
+    /** The region new allocations currently bump into (may be null). */
+    heap::Region *currentRegion() const { return current_; }
+
+    std::size_t regionCount() const { return regions_.size(); }
+    std::size_t maxRegions() const { return maxRegions_; }
+    void setMaxRegions(std::size_t cap) { maxRegions_ = cap; }
+
+    /** Sum of bump offsets over this space's regions. */
+    std::uint64_t usedBytes() const;
+
+    /** Whether @p region belongs to this space's state. */
+    heap::RegionState state() const { return state_; }
+
+    /** Free every region back to the manager and forget them. */
+    void releaseAll();
+
+    /** Forget all regions without freeing (ownership transferred). */
+    void reset();
+
+    /** Adopt an externally allocated region (e.g. after compaction). */
+    void adopt(heap::Region *region);
+
+    /**
+     * Detach @p region from this space without freeing it (e.g. when
+     * it joins a collection set). Ownership passes to the caller.
+     */
+    void removeRegion(heap::Region *region);
+
+  private:
+    /** Take a fresh region; nullptr at cap or heap exhaustion. */
+    heap::Region *expand();
+
+    /** Plug the current region's unusable tail with a filler object. */
+    void fillCurrentTail();
+
+    heap::RegionManager &rm_;
+    heap::RegionState state_;
+    std::size_t maxRegions_;
+    std::vector<heap::Region *> regions_;
+    heap::Region *current_ = nullptr;
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_SPACE_HH

@@ -1,0 +1,364 @@
+#include "gc/stw_gen.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "gc/alloc.hh"
+#include "gc/compact.hh"
+#include "gc/trace.hh"
+#include "rt/runtime.hh"
+#include "rt/validate.hh"
+
+namespace distill::gc
+{
+
+/**
+ * GC control thread: sequences pause begin, world stop, collection
+ * work (or gang dispatch), and world resume. The collection itself
+ * runs host-side in one step; its cycle cost is charged as debt (or
+ * dispatched to the gang), so the pause's wall-clock length emerges
+ * from paying that debt on simulated cores.
+ */
+class StwGenCollector::ControlThread : public rt::WorkerThread
+{
+  public:
+    explicit ControlThread(StwGenCollector &gc)
+        : rt::WorkerThread(std::string(gc.name()) + "-control", Kind::Gc),
+          gc_(gc)
+    {
+        block(); // woken by the first GC request
+    }
+
+  protected:
+    bool
+    step() override
+    {
+        rt::Runtime &rt = *gc_.rt_;
+        switch (phase_) {
+          case Phase::Idle: {
+            if (gc_.pending_ == GcKind::None) {
+                block();
+                return false;
+            }
+            kind_ = gc_.pending_;
+            rt.agent().pauseBegin(kind_ == GcKind::Young
+                                      ? metrics::PauseKind::YoungGc
+                                      : metrics::PauseKind::FullGc);
+            charge(rt.costs().safepointSync);
+            phase_ = Phase::Collect;
+            rt.requestSafepoint(this);
+            return false;
+          }
+          case Phase::Collect: {
+            // World is stopped.
+            gc_.pending_ = GcKind::None;
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "stw-pre-collect");
+            GcWork work;
+            if (kind_ == GcKind::Young) {
+                bool promo_failed = false;
+                work = gc_.doYoungGc(promo_failed);
+                if (promo_failed) {
+                    // HotSpot behavior: promotion failure finishes the
+                    // scavenge with self-forwarding, then runs a full
+                    // collection in the same pause.
+                    GcWork full = gc_.doFullGc();
+                    work.cost += full.cost;
+                    work.packets += full.packets;
+                }
+            } else {
+                work = gc_.doFullGc();
+            }
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "stw-post-collect");
+            phase_ = Phase::Finish;
+            if (gc_.gang_ != nullptr) {
+                gc_.gang_->dispatch(work.cost, work.packets, this);
+                block();
+                return false;
+            }
+            charge(work.cost);
+            return true;
+          }
+          case Phase::Finish: {
+            ++gc_.gcEpoch_;
+            rt.agent().pauseEnd();
+            rt.resumeWorld();
+            rt.wakeAllocWaiters();
+            phase_ = Phase::Idle;
+            return true;
+          }
+        }
+        panic("bad control phase");
+    }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        Collect,
+        Finish,
+    };
+
+    StwGenCollector &gc_;
+    Phase phase_ = Phase::Idle;
+    GcKind kind_ = GcKind::None;
+};
+
+StwGenCollector::StwGenCollector(std::string name, unsigned workers,
+                                 const GcOptions &opts)
+    : name_(std::move(name)), workers_(workers), opts_(opts)
+{
+    distill_assert(workers_ >= 1, "collector needs at least one worker");
+}
+
+StwGenCollector::~StwGenCollector() = default;
+
+void
+StwGenCollector::attach(rt::Runtime &runtime)
+{
+    Collector::attach(runtime);
+    auto &rm = runtime.heap().regions;
+
+    std::size_t young_cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(rm.regionCount()) *
+               opts_.youngFraction));
+    eden_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Eden,
+                                        young_cap);
+    survivor_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Survivor);
+    old_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Old);
+
+    control_ = std::make_unique<ControlThread>(*this);
+    runtime.addGcThread(control_.get());
+    if (workers_ > 1)
+        gang_ = std::make_unique<WorkGang>(runtime, name_, workers_);
+}
+
+void
+StwGenCollector::requestGc(GcKind kind)
+{
+    if (pending_ == GcKind::None || (pending_ == GcKind::Young &&
+                                     kind == GcKind::Full)) {
+        pending_ = kind;
+    }
+    if (control_->state() == sim::SimThread::State::Blocked &&
+        !rt_->safepointRequested() &&
+        (gang_ == nullptr || !gang_->busy())) {
+        control_->makeRunnable();
+    }
+}
+
+rt::AllocResult
+StwGenCollector::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+                          std::uint64_t payload_bytes)
+{
+    std::uint64_t size = heap::objectSize(num_refs, payload_bytes);
+    Addr out = nullRef;
+    if (allocFromSpace(mutator, *eden_, opts_, size, num_refs, out) ==
+        LocalAlloc::Ok) {
+        return rt::AllocResult::ok(out);
+    }
+
+    // Eden exhausted. Escalate on lack of allocation progress:
+    // young -> full -> OOM.
+    if (pending_ == GcKind::None) {
+        unsigned streak = progress_.recordFailure(
+            rt_->agent().metrics().bytesAllocated);
+        if (streak >= 3)
+            return rt::AllocResult::oom();
+        requestGc(streak >= 2 ? GcKind::Full : GcKind::Young);
+    }
+    rt_->addAllocWaiter(mutator);
+    return rt::AllocResult::waitForGc();
+}
+
+Addr
+StwGenCollector::loadRef(rt::Mutator &mutator, Addr obj, unsigned slot)
+{
+    mutator.charge(rt_->costs().refLoad);
+    return rt_->heap().regions.header(obj)->refSlots()[slot];
+}
+
+void
+StwGenCollector::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
+                          Addr value)
+{
+    const rt::CostModel &costs = rt_->costs();
+    auto &ctx = rt_->heap();
+    mutator.charge(costs.refStore + costs.cardMark);
+    heap::ObjectHeader *h = ctx.regions.header(obj);
+    h->refSlots()[slot] = value;
+    if (value == nullRef)
+        return;
+    if (ctx.regions.regionOf(obj).state == heap::RegionState::Old &&
+        isYoungState(ctx.regions.regionOf(value).state) &&
+        !(h->flags & heap::flagRemembered)) {
+        h->flags |= heap::flagRemembered;
+        ctx.oldToYoung.record(obj);
+        mutator.charge(costs.remsetInsert);
+    }
+}
+
+StwGenCollector::GcWork
+StwGenCollector::doYoungGc(bool &promo_failed)
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    heap::Arena &arena = rm.arena();
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+    promo_failed = false;
+
+    // From-space: every young region.
+    std::vector<heap::Region *> from_regions;
+    for (heap::Region *r : eden_->regions()) {
+        r->inCset = true;
+        from_regions.push_back(r);
+    }
+    for (heap::Region *r : survivor_->regions()) {
+        r->inCset = true;
+        from_regions.push_back(r);
+    }
+
+    BumpSpace to(rm, heap::RegionState::Survivor);
+    std::vector<Addr> scan_queue;
+    std::uint64_t copied_objects = 0;
+    bool promo_failed_local = false;
+
+    auto evacuate = [&](Addr ref) -> Addr {
+        heap::Region &r = rm.regionOf(ref);
+        if (!r.inCset)
+            return ref;
+        heap::ObjectHeader *h = arena.header(ref);
+        if (h->isForwarded())
+            return static_cast<Addr>(h->forward);
+        std::uint64_t size = h->size;
+        unsigned age = h->age() + 1;
+        Addr dst = nullRef;
+        bool promoted = false;
+        if (age >= opts_.tenureAge) {
+            dst = old_->alloc(size);
+            promoted = dst != nullRef;
+        }
+        if (dst == nullRef)
+            dst = to.alloc(size);
+        if (dst == nullRef) {
+            dst = old_->alloc(size);
+            promoted = dst != nullRef;
+        }
+        if (dst == nullRef) {
+            // Promotion failure: self-forward and let the full GC
+            // that follows clean up.
+            promo_failed_local = true;
+            h->setForwarded(ref);
+            scan_queue.push_back(ref);
+            return ref;
+        }
+        w.cost += copyObjectData(arena, ref, dst, costs);
+        ++copied_objects;
+        ctx.regions.header(dst)->setAge(promoted ? 0 : age);
+        h->setForwarded(dst);
+        scan_queue.push_back(dst);
+        return dst;
+    };
+
+    auto is_young_addr = [&](Addr a) {
+        return a != nullRef && isYoungState(rm.regionOf(a).state);
+    };
+
+    // Roots.
+    rt_->forEachRoot([&](Addr &slot) {
+        w.cost += costs.rootSlot;
+        if (slot != nullRef)
+            slot = evacuate(slot);
+    });
+
+    // Old->young remembered set.
+    std::vector<Addr> kept_remset;
+    for (Addr obj : ctx.oldToYoung.entries()) {
+        heap::ObjectHeader *h = arena.header(obj);
+        Addr *slots = h->refSlots();
+        bool has_young = false;
+        for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+            w.cost += costs.scanRefSlot;
+            Addr v = slots[i];
+            if (v == nullRef)
+                continue;
+            Addr nv = evacuate(v);
+            slots[i] = nv;
+            if (is_young_addr(nv))
+                has_young = true;
+        }
+        if (has_young) {
+            kept_remset.push_back(obj);
+        } else {
+            h->flags &= static_cast<std::uint16_t>(~heap::flagRemembered);
+        }
+    }
+
+    // Transitive copy.
+    while (!scan_queue.empty()) {
+        Addr obj = scan_queue.back();
+        scan_queue.pop_back();
+        heap::ObjectHeader *h = arena.header(obj);
+        bool in_old = rm.regionOf(obj).state == heap::RegionState::Old;
+        bool has_young = false;
+        Addr *slots = h->refSlots();
+        for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+            w.cost += costs.scanRefSlot;
+            Addr v = slots[i];
+            if (v == nullRef)
+                continue;
+            Addr nv = evacuate(v);
+            slots[i] = nv;
+            if (in_old && is_young_addr(nv))
+                has_young = true;
+        }
+        if (in_old && has_young && !(h->flags & heap::flagRemembered)) {
+            h->flags |= heap::flagRemembered;
+            kept_remset.push_back(obj);
+        }
+    }
+
+    ctx.oldToYoung.rebuild(std::move(kept_remset));
+
+    promo_failed = promo_failed_local;
+    if (!promo_failed_local) {
+        w.cost += costs.regionOverhead *
+            (from_regions.size() + to.regionCount());
+        eden_->releaseAll();
+        survivor_->releaseAll();
+    } else {
+        // Leave from-space in place (it holds self-forwarded
+        // survivors); the immediate full GC compacts everything.
+        for (heap::Region *r : from_regions)
+            r->inCset = false;
+    }
+    // The to-space becomes the new survivor space.
+    for (heap::Region *r : to.regions())
+        survivor_->adopt(r);
+    to.reset();
+
+    w.packets = copied_objects / std::max<std::uint32_t>(
+                    rt_->costs().packetObjects, 1) + 1;
+    return w;
+}
+
+StwGenCollector::GcWork
+StwGenCollector::doFullGc()
+{
+    CompactResult compact = fullCompact(*rt_);
+    eden_->reset();
+    survivor_->reset();
+    old_->reset();
+    for (heap::Region *r : compact.kept)
+        old_->adopt(r);
+    GcWork w;
+    w.cost = compact.cost;
+    w.packets = compact.packets;
+    return w;
+}
+
+} // namespace distill::gc

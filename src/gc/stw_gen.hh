@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Stop-the-world generational collector (Serial and Parallel).
+ *
+ * Policy follows HotSpot's Serial/Parallel collectors: a young
+ * generation (eden + survivor) collected by copying, a mature space
+ * collected by STW mark-compact (LISP-2 sliding compaction), and a
+ * card-marking-style write barrier maintaining the old->young
+ * remembered set. "Serial" performs all GC work on one simulated
+ * thread; "Parallel" distributes the same work over a gang, paying
+ * per-packet synchronization and rendezvous overhead — making it
+ * faster in wall-clock time but more expensive in cycles, as the
+ * paper observes (§IV-C(b)).
+ */
+
+#ifndef DISTILL_GC_STW_GEN_HH
+#define DISTILL_GC_STW_GEN_HH
+
+#include <memory>
+#include <string>
+
+#include "gc/gang.hh"
+#include "gc/options.hh"
+#include "gc/progress.hh"
+#include "gc/space.hh"
+#include "rt/collector.hh"
+#include "rt/worker.hh"
+
+namespace distill::gc
+{
+
+/**
+ * The Serial/Parallel collector pair; @p workers selects which.
+ */
+class StwGenCollector : public rt::Collector
+{
+  public:
+    StwGenCollector(std::string name, unsigned workers,
+                    const GcOptions &opts);
+    ~StwGenCollector() override;
+
+    const char *name() const override { return name_.c_str(); }
+
+    void attach(rt::Runtime &runtime) override;
+
+    rt::AllocResult allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+                             std::uint64_t payload_bytes) override;
+
+    Addr loadRef(rt::Mutator &mutator, Addr obj, unsigned slot) override;
+
+    void storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
+                  Addr value) override;
+
+    std::size_t minBootRegions() const override { return 4; }
+
+  private:
+    enum class GcKind
+    {
+        None,
+        Young,
+        Full,
+    };
+
+    /** Cost summary of one host-side collection. */
+    struct GcWork
+    {
+        Cycles cost = 0;
+        std::uint64_t packets = 1;
+    };
+
+    class ControlThread;
+    friend class ControlThread;
+
+    /** Whether @p state is a young-generation region state. */
+    static bool
+    isYoungState(heap::RegionState state)
+    {
+        return state == heap::RegionState::Eden ||
+            state == heap::RegionState::Survivor;
+    }
+
+    /** Record a GC request; wakes the control thread. */
+    void requestGc(GcKind kind);
+
+    /** Copying young collection. Sets @p promo_failed on failure. */
+    GcWork doYoungGc(bool &promo_failed);
+
+    /** Full-heap mark-compact. */
+    GcWork doFullGc();
+
+    std::string name_;
+    unsigned workers_;
+    GcOptions opts_;
+
+    std::unique_ptr<BumpSpace> eden_;
+    std::unique_ptr<BumpSpace> survivor_;
+    std::unique_ptr<BumpSpace> old_;
+    std::unique_ptr<WorkGang> gang_;
+    std::unique_ptr<ControlThread> control_;
+
+    GcKind pending_ = GcKind::None;
+    std::uint64_t gcEpoch_ = 0;
+    AllocProgressGuard progress_;
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_STW_GEN_HH

@@ -1,0 +1,181 @@
+#include "gc/trace.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "heap/layout.hh"
+#include "heap/mark_bitmap.hh"
+#include "heap/region.hh"
+#include "rt/runtime.hh"
+#include "rt/validate.hh"
+
+#include <unordered_set>
+
+namespace distill::gc
+{
+
+std::unordered_set<Addr> &
+debugObjectStarts()
+{
+    static std::unordered_set<Addr> starts;
+    return starts;
+}
+
+void
+initObject(heap::Arena &arena, Addr addr, std::uint64_t size,
+           std::uint32_t num_refs)
+{
+    if (rt::validateEnabled())
+        debugObjectStarts().insert(addr);
+    heap::ObjectHeader *h = arena.header(addr);
+    h->size = static_cast<std::uint32_t>(size);
+    h->numRefs = static_cast<std::uint16_t>(num_refs);
+    h->flags = 0;
+    h->forward = 0;
+    Addr *slots = h->refSlots();
+    for (std::uint32_t i = 0; i < num_refs; ++i)
+        slots[i] = nullRef;
+}
+
+std::vector<Addr>
+collectRootSeeds(rt::Runtime &runtime, Cycles &cost)
+{
+    std::vector<Addr> seeds;
+    Cycles per_root = runtime.costs().rootSlot;
+    runtime.forEachRoot([&](Addr &slot) {
+        cost += per_root;
+        if (slot != nullRef)
+            seeds.push_back(slot);
+    });
+    return seeds;
+}
+
+namespace
+{
+
+/**
+ * Generic transitive mark. Shared by markFromRoots and drainSatb.
+ */
+TraceResult
+markTransitive(rt::Runtime &runtime, std::vector<Addr> stack,
+               bool per_region_live, const RefHealer *healer)
+{
+    TraceResult result;
+    auto &ctx = runtime.heap();
+    const rt::CostModel &costs = runtime.costs();
+
+    // Seed marking: the stack holds addresses whose objects still
+    // need their mark tested.
+    std::vector<Addr> pending;
+    pending.reserve(1024);
+    for (Addr seed : stack) {
+        Addr a = heap::uncolor(seed);
+        if (a == nullRef)
+            continue;
+        if (ctx.bitmap.mark(a)) {
+            result.cost += costs.markObject;
+            ++result.objects;
+            heap::ObjectHeader *h = ctx.regions.header(a);
+            result.bytes += h->size;
+            if (per_region_live)
+                ctx.regions.regionOf(a).liveBytes += h->size;
+            pending.push_back(a);
+        }
+    }
+
+    while (!pending.empty()) {
+        Addr obj = pending.back();
+        pending.pop_back();
+        heap::ObjectHeader *h = ctx.regions.header(obj);
+        Addr *slots = h->refSlots();
+        for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+            ++result.slots;
+            result.cost += costs.scanRefSlot;
+            Addr value = slots[i];
+            if (healer != nullptr && value != nullRef) {
+                Addr healed = (*healer)(value, result.cost);
+                if (healed != value) {
+                    slots[i] = healed;
+                    value = healed;
+                }
+            }
+            Addr target = heap::uncolor(value);
+            if (target == nullRef)
+                continue;
+            distill_assert(target >= heap::heapBase &&
+                           heap::regionIndexOf(target) <
+                               ctx.regions.regionCount(),
+                           "trace followed bad ref %llx in slot %u of "
+                           "%llx (size %u numRefs %u flags %x)",
+                           static_cast<unsigned long long>(value), i,
+                           static_cast<unsigned long long>(obj), h->size,
+                           h->numRefs, h->flags);
+            if (rt::validateEnabled()) {
+                distill_assert(debugObjectStarts().count(target) != 0,
+                               "trace followed non-object ref %llx in "
+                               "slot %u of %llx",
+                               static_cast<unsigned long long>(value), i,
+                               static_cast<unsigned long long>(obj));
+            }
+            if (ctx.bitmap.mark(target)) {
+                result.cost += costs.markObject;
+                ++result.objects;
+                heap::ObjectHeader *th = ctx.regions.header(target);
+                result.bytes += th->size;
+                if (per_region_live)
+                    ctx.regions.regionOf(target).liveBytes += th->size;
+                pending.push_back(target);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+TraceResult
+markFromRoots(rt::Runtime &runtime, const std::vector<Addr> &seeds,
+              bool per_region_live, const RefHealer *healer)
+{
+    return markTransitive(runtime, seeds, per_region_live, healer);
+}
+
+TraceResult
+drainSatb(rt::Runtime &runtime, bool per_region_live)
+{
+    auto &satb = runtime.heap().satb;
+    std::vector<Addr> seeds;
+    seeds.reserve(satb.size());
+    while (!satb.empty())
+        seeds.push_back(satb.pop());
+    return markTransitive(runtime, std::move(seeds), per_region_live,
+                          nullptr);
+}
+
+Cycles
+copyObjectData(heap::Arena &arena, Addr from, Addr to,
+               const rt::CostModel &costs)
+{
+    heap::ObjectHeader *src = arena.header(from);
+    distill_assert(src->size >= heap::objectHeaderSize &&
+                   src->size % heap::objectAlignment == 0 &&
+                   heap::objectHeaderSize + 8ULL * src->numRefs <=
+                       src->size,
+                   "copy of corrupt object %llx (size %u numRefs %u)",
+                   static_cast<unsigned long long>(from), src->size,
+                   src->numRefs);
+    if (rt::validateEnabled())
+        debugObjectStarts().insert(heap::uncolor(to));
+    std::uint64_t header_and_refs =
+        heap::objectHeaderSize + 8ULL * src->numRefs;
+    std::memcpy(arena.hostPtr(to), arena.hostPtr(from), header_and_refs);
+    heap::ObjectHeader *dst = arena.header(to);
+    dst->flags &= static_cast<std::uint16_t>(
+        ~(heap::flagForwarded | heap::flagRemembered));
+    dst->forward = 0;
+    return costs.copyObject +
+        static_cast<Cycles>(costs.copyPerByte *
+                            static_cast<double>(src->size));
+}
+
+} // namespace distill::gc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared tracing and object-copy helpers.
+ *
+ * All collectors establish liveness by tracing the real object graph
+ * (paper §II-D); these helpers do the graph work host-side and return
+ * the cycle cost to charge to whichever simulated threads performed
+ * it (a pause gang, concurrent workers, or a single serial thread).
+ */
+
+#ifndef DISTILL_GC_TRACE_HH
+#define DISTILL_GC_TRACE_HH
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.hh"
+#include "heap/arena.hh"
+#include "rt/cost_model.hh"
+
+namespace distill::rt
+{
+class Runtime;
+} // namespace distill::rt
+
+namespace distill::gc
+{
+
+/** Statistics and cost of one tracing pass. */
+struct TraceResult
+{
+    std::uint64_t objects = 0; //!< newly marked objects
+    std::uint64_t bytes = 0;   //!< their total size
+    std::uint64_t slots = 0;   //!< reference slots scanned
+    Cycles cost = 0;           //!< cycles to charge
+};
+
+/**
+ * Optional reference-healing hook applied to every slot value the
+ * tracer loads (ZGC folds remapping of last cycle's stale references
+ * into marking). Receives the raw slot value, may add cost, and
+ * returns the healed value, which the tracer writes back.
+ */
+using RefHealer = std::function<Addr(Addr ref, Cycles &cost)>;
+
+/** Debug registry of every object start (DISTILL_VALIDATE only). */
+std::unordered_set<Addr> &debugObjectStarts();
+
+/**
+ * Initialize the header and clear the reference slots of a freshly
+ * allocated object. Does not charge cycles (allocation paths do).
+ */
+void initObject(heap::Arena &arena, Addr addr, std::uint64_t size,
+                std::uint32_t num_refs);
+
+/**
+ * Collect the current value of every root slot. Values are returned
+ * as stored (color bits included); cost of scanning is added to
+ * @p cost at rootSlot cycles per slot.
+ */
+std::vector<Addr> collectRootSeeds(rt::Runtime &runtime, Cycles &cost);
+
+/**
+ * Mark transitively from @p seeds into the runtime's mark bitmap.
+ * When @p per_region_live is set, accumulates liveBytes on each
+ * region (caller must have cleared them along with the bitmap).
+ * When @p healer is given, every traversed slot is healed and
+ * written back before being followed.
+ */
+TraceResult markFromRoots(rt::Runtime &runtime,
+                          const std::vector<Addr> &seeds,
+                          bool per_region_live,
+                          const RefHealer *healer = nullptr);
+
+/**
+ * Drain the global SATB queue, marking transitively (final-mark
+ * work). Honors @p per_region_live like markFromRoots.
+ */
+TraceResult drainSatb(rt::Runtime &runtime, bool per_region_live);
+
+/**
+ * Copy an object's header and reference slots from @p from to @p to
+ * host-side, resetting forwarding/remembered flags on the copy.
+ * @return the cycle cost (fixed + per byte of full object size).
+ */
+Cycles copyObjectData(heap::Arena &arena, Addr from, Addr to,
+                      const rt::CostModel &costs);
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_TRACE_HH

@@ -1,0 +1,759 @@
+#include "gc/zgc.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "gc/alloc.hh"
+#include "gc/trace.hh"
+#include "rt/runtime.hh"
+#include "rt/validate.hh"
+
+namespace distill::gc
+{
+
+/**
+ * ZGC control thread: MarkStart pause -> concurrent mark (+remap) ->
+ * MarkEnd pause -> RelocateStart pause (cset selection, eager root
+ * relocation) -> concurrent relocate -> idle.
+ */
+class Zgc::ControlThread : public rt::WorkerThread
+{
+  public:
+    explicit ControlThread(Zgc &gc)
+        : rt::WorkerThread("zgc-control", Kind::Gc), gc_(gc)
+    {
+        block();
+    }
+
+  protected:
+    bool
+    step() override
+    {
+        rt::Runtime &rt = *gc_.rt_;
+        switch (phase_) {
+          case Phase::Idle: {
+            if (!gc_.cycleRequested_) {
+                block();
+                return false;
+            }
+            gc_.cycleRequested_ = false;
+            gc_.cycleInProgress_ = true;
+            beginPause(metrics::PauseKind::InitialMark,
+                       Phase::MarkStartWork);
+            return false;
+          }
+          case Phase::MarkStartWork: {
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "zgc-pre-mark-start", true);
+            GcWork w = gc_.doMarkStart();
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "zgc-post-mark-start", true);
+            return pauseWork(w, Phase::MarkStartFinish);
+          }
+          case Phase::MarkStartFinish: {
+            endPause();
+            GcWork w = gc_.doConcMark();
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "zgc-post-conc-mark", true);
+            phase_ = Phase::MarkDone;
+            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            block();
+            return false;
+          }
+          case Phase::MarkDone: {
+            beginPause(metrics::PauseKind::FinalMark, Phase::MarkEndWork);
+            return false;
+          }
+          case Phase::MarkEndWork:
+            return pauseWork(gc_.doMarkEnd(), Phase::MarkEndFinish);
+          case Phase::MarkEndFinish: {
+            endPause();
+            beginPause(metrics::PauseKind::FinalPause,
+                       Phase::RelocStartWork);
+            return false;
+          }
+          case Phase::RelocStartWork: {
+            GcWork w = gc_.doRelocateStart();
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "zgc-post-reloc-start", true);
+            return pauseWork(w, Phase::RelocStartFinish);
+          }
+          case Phase::RelocStartFinish: {
+            endPause();
+            GcWork w = gc_.doConcRelocate();
+            if (rt::validateEnabled())
+                rt::validateHeap(rt, "zgc-post-relocate", true);
+            // Relocation freed the collection set: memory is
+            // available now, so blocked allocators can proceed.
+            gc_.settleStalls();
+            rt.wakeAllocWaiters();
+            phase_ = Phase::RelocDone;
+            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            block();
+            return false;
+          }
+          case Phase::RelocDone: {
+            ++gc_.gcEpoch_;
+            // A cycle that ends with the heap still effectively full
+            // *and* mutators unable to allocate made no progress; a
+            // few of those in a row is an OOM.
+            std::uint64_t allocated =
+                rt.agent().metrics().bytesAllocated;
+            bool full = rt.heap().regions.freeCount() <=
+                gc_.reserveRegions();
+            bool progressed =
+                allocated >= gc_.allocAtCycleEnd_ + 64 * KiB;
+            gc_.allocAtCycleEnd_ = allocated;
+            if (full && !progressed) {
+                if (++gc_.futileCycles_ >= 4) {
+                    rt.fail("ZGC: allocation failure (OOM after futile "
+                            "cycles)", true);
+                }
+            } else {
+                gc_.futileCycles_ = 0;
+            }
+            gc_.cycleInProgress_ = false;
+            gc_.allocMarking_ = false;
+            rt.agent().concurrentCycleEnd();
+            gc_.settleStalls();
+            rt.wakeAllocWaiters();
+            phase_ = Phase::Idle;
+            return true;
+          }
+        }
+        panic("bad zgc control phase");
+    }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        MarkStartWork,
+        MarkStartFinish,
+        MarkDone,
+        MarkEndWork,
+        MarkEndFinish,
+        RelocStartWork,
+        RelocStartFinish,
+        RelocDone,
+    };
+
+    void
+    beginPause(metrics::PauseKind kind, Phase next)
+    {
+        gc_.rt_->agent().pauseBegin(kind);
+        charge(gc_.rt_->costs().safepointSync);
+        phase_ = next;
+        gc_.rt_->requestSafepoint(this);
+    }
+
+    bool
+    pauseWork(const GcWork &work, Phase next)
+    {
+        phase_ = next;
+        gc_.pauseGang_->dispatch(work.cost, work.packets, this);
+        block();
+        return false;
+    }
+
+    void
+    endPause()
+    {
+        gc_.rt_->agent().pauseEnd();
+        gc_.rt_->resumeWorld();
+        gc_.rt_->wakeAllocWaiters();
+    }
+
+    Zgc &gc_;
+    Phase phase_ = Phase::Idle;
+};
+
+Zgc::Zgc(const GcOptions &opts)
+    : opts_(opts)
+{
+}
+
+Zgc::~Zgc() = default;
+
+void
+Zgc::attach(rt::Runtime &runtime)
+{
+    Collector::attach(runtime);
+    auto &rm = runtime.heap().regions;
+    alloc_ = std::make_unique<BumpSpace>(rm, heap::RegionState::Old);
+    control_ = std::make_unique<ControlThread>(*this);
+    runtime.addGcThread(control_.get());
+    pauseGang_ = std::make_unique<WorkGang>(runtime, "zgc-pause",
+                                            opts_.parallelWorkers);
+    concGang_ = std::make_unique<WorkGang>(runtime, "zgc-conc",
+                                           opts_.concWorkers);
+}
+
+bool
+Zgc::stallBudgetExhausted() const
+{
+    Ticks wall = rt_->scheduler().now();
+    if (wall < 2 * msec)
+        return false; // let the run get going first
+    double budget = opts_.zMaxStallFraction *
+        static_cast<double>(rt_->mutators().size()) *
+        static_cast<double>(wall);
+    return static_cast<double>(totalStallNs_) > budget;
+}
+
+std::size_t
+Zgc::reserveRegions() const
+{
+    return std::max<std::size_t>(
+        2, rt_->heap().regions.regionCount() / 16);
+}
+
+double
+Zgc::occupancy() const
+{
+    const auto &rm = rt_->heap().regions;
+    return static_cast<double>(rm.usedCount()) /
+        static_cast<double>(rm.regionCount());
+}
+
+void
+Zgc::wakeControl()
+{
+    if (control_->state() == sim::SimThread::State::Blocked &&
+        !rt_->safepointRequested() && !pauseGang_->busy() &&
+        !concGang_->busy()) {
+        control_->makeRunnable();
+    }
+}
+
+void
+Zgc::maybeTriggerCycle()
+{
+    if (cycleInProgress_ || cycleRequested_)
+        return;
+    const auto &rm = rt_->heap().regions;
+    bool low_headroom =
+        rm.freeCount() <= std::max<std::size_t>(2, rm.regionCount() / 8);
+    if (occupancy() > opts_.zTriggerFraction || low_headroom) {
+        cycleRequested_ = true;
+        wakeControl();
+    }
+}
+
+rt::AllocResult
+Zgc::beginStall(rt::Mutator &mutator)
+{
+    stalls_.emplace_back(mutator.id(), mutator.now());
+    rt_->addAllocWaiter(mutator);
+    return rt::AllocResult::waitForGc();
+}
+
+void
+Zgc::settleStalls()
+{
+    Ticks now = rt_->scheduler().now();
+    for (auto &[id, start] : stalls_) {
+        Ticks stalled = now - start;
+        rt_->agent().allocStall(stalled);
+        totalStallNs_ += stalled;
+    }
+    stalls_.clear();
+}
+
+rt::AllocResult
+Zgc::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+              std::uint64_t payload_bytes)
+{
+    std::uint64_t size = heap::objectSize(num_refs, payload_bytes);
+    auto &rm = rt_->heap().regions;
+
+    // Relocation reserve: mutators must not consume the last free
+    // regions, or relocation has no to-space and the collector can
+    // never reclaim anything. Real ZGC stalls allocations instead.
+    rt::Tlab &tlab = mutator.tlab();
+    bool needs_refill = !(tlab.valid() && tlab.end - tlab.cur >= size);
+    if (needs_refill && rm.freeCount() <= reserveRegions()) {
+        if (stallBudgetExhausted())
+            return rt::AllocResult::oom();
+        maybeTriggerCycle();
+        if (cycleInProgress_ || cycleRequested_)
+            return beginStall(mutator);
+    }
+
+    Addr out = nullRef;
+    if (allocFromSpace(mutator, *alloc_, opts_, size, num_refs, out) ==
+        LocalAlloc::Ok) {
+        if (allocMarking_) {
+            auto &ctx = rt_->heap();
+            ctx.bitmap.mark(out);
+            ctx.regions.regionOf(out).liveBytes += size;
+        }
+        maybeTriggerCycle();
+        return rt::AllocResult::ok(heap::colorize(out, goodColor_));
+    }
+
+    // Out of regions.
+    if (stallBudgetExhausted())
+        return rt::AllocResult::oom(); // stalled too long overall
+
+    if (cycleInProgress_) {
+        // Allocation stall until relocation frees memory.
+        return beginStall(mutator);
+    }
+    if (!cycleRequested_) {
+        // ZGC has no STW fallback: it keeps cycling and stalling
+        // until either allocation makes progress or the run has spent
+        // its stall budget. The generous streak threshold models
+        // that persistence (real ZGC only fails when live data
+        // approaches the heap size).
+        unsigned streak = progress_.recordFailure(
+            rt_->agent().metrics().bytesAllocated, 64 * KiB);
+        if (streak >= 5)
+            return rt::AllocResult::oom();
+        cycleRequested_ = true;
+        wakeControl();
+    }
+    return beginStall(mutator);
+}
+
+Addr
+Zgc::loadRef(rt::Mutator &mutator, Addr obj, unsigned slot)
+{
+    const rt::CostModel &costs = rt_->costs();
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    mutator.charge(costs.refLoad + costs.readBarrierFast);
+    heap::ObjectHeader *h = rm.header(obj);
+    if (rt::validateEnabled()) {
+        distill_assert(slot < h->numRefs,
+                       "zgc load past slots of %llx (%u >= %u)",
+                       static_cast<unsigned long long>(obj), slot,
+                       h->numRefs);
+    }
+    markOnAccess(obj);
+    Addr v = h->refSlots()[slot];
+    markOnAccess(v);
+    if (rt::validateEnabled() && v != nullRef) {
+        Addr a0 = heap::uncolor(v);
+        distill_assert(a0 >= heap::heapBase &&
+                       heap::regionIndexOf(a0) < rm.regionCount() &&
+                       rm.regionOf(a0).state != heap::RegionState::Free &&
+                       debugObjectStarts().count(a0) != 0,
+                       "zgc load of bad/stale ref %llx from %llx slot %u "
+                       "(region %zu state %u)",
+                       static_cast<unsigned long long>(v),
+                       static_cast<unsigned long long>(obj), slot,
+                       heap::regionIndexOf(a0),
+                       static_cast<unsigned>(
+                           rm.regionOf(a0).state));
+    }
+    if (v == nullRef || heap::colorOf(v) == goodColor_)
+        return v;
+
+    // Load barrier slow path: heal the reference.
+    mutator.charge(costs.readBarrierSlow);
+    ++rt_->agent().metrics().loadBarrierSlowPaths;
+    Addr a = heap::uncolor(v);
+    heap::ForwardTable *ft = ctx.forwards.get(heap::regionIndexOf(a));
+    if (ft != nullptr) {
+        Addr fwd = ft->lookup(a);
+        if (fwd != nullRef) {
+            a = fwd;
+        } else if (relocInFlight_ && rm.regionOf(a).inCset) {
+            // (fallthrough to relocate-on-access below)
+            // Relocate on access.
+            heap::ObjectHeader *th = rm.header(a);
+            std::uint64_t size = th->size;
+            Addr dst = alloc_->alloc(size);
+            if (dst == nullRef)
+                return v; // cannot copy; leave the reference bad
+            mutator.charge(costs.mutatorCopySlow +
+                           static_cast<Cycles>(
+                               costs.copyPerByte *
+                               static_cast<double>(size)));
+            copyObjectData(rm.arena(), a, dst, costs);
+            ft->insert(a, dst);
+            // Mark the copy (the remap walk visits only marked
+            // objects) and unmark the husk left behind.
+            if (ctx.bitmap.mark(dst))
+                rm.regionOf(dst).liveBytes += size;
+            ctx.bitmap.clear(a);
+            ++rt_->agent().metrics().bytesCopied;
+            a = dst;
+        }
+    }
+    markOnAccess(a);
+    Addr healed = heap::colorize(a, goodColor_);
+    h->refSlots()[slot] = healed; // self-heal
+    return healed;
+}
+
+void
+Zgc::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot, Addr value)
+{
+    mutator.charge(rt_->costs().refStore);
+    if (rt::validateEnabled()) {
+        Addr a = heap::uncolor(value);
+        distill_assert(a == nullRef ||
+                       (a >= heap::heapBase &&
+                        heap::regionIndexOf(a) <
+                            rt_->heap().regions.regionCount() &&
+                        rt_->heap().regions.regionOf(a).state !=
+                            heap::RegionState::Free &&
+                        debugObjectStarts().count(a) != 0),
+                       "zgc store of bad/stale ref %llx into %llx slot %u",
+                       static_cast<unsigned long long>(value),
+                       static_cast<unsigned long long>(obj), slot);
+        heap::ObjectHeader *hh = rt_->heap().regions.header(obj);
+        distill_assert(slot < hh->numRefs,
+                       "zgc store past slots of %llx (%u >= %u)",
+                       static_cast<unsigned long long>(obj), slot,
+                       hh->numRefs);
+    }
+    markOnAccess(obj);
+    markOnAccess(value);
+    rt_->heap().regions.header(obj)->refSlots()[slot] = value;
+}
+
+void
+Zgc::markOnAccess(Addr ref)
+{
+    if (!allocMarking_ || ref == nullRef)
+        return;
+    Addr a = heap::uncolor(ref);
+    if (!rt_->heap().bitmap.isMarked(a))
+        pendingMarks_.push_back(a);
+}
+
+Zgc::GcWork
+Zgc::doMarkStart()
+{
+    auto &ctx = rt_->heap();
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+
+    markParity_ = !markParity_;
+    goodColor_ = markColor();
+    allocMarking_ = true;
+    pendingMarks_.clear();
+    ctx.bitmap.clearAll();
+    for (std::size_t i = 0; i < ctx.regions.regionCount(); ++i)
+        ctx.regions.region(i).liveBytes = 0;
+
+    // Heal and recolor every root through last cycle's forwardings.
+    // The cost is charged to the concurrent phase: ZGC processes
+    // roots concurrently (JDK 16+), keeping the pause O(1).
+    Cycles root_cost = 0;
+    rt_->forEachRoot([&](Addr &slot) {
+        root_cost += costs.rootSlot;
+        if (slot == nullRef)
+            return;
+        Addr a = heap::uncolor(slot);
+        heap::ForwardTable *ft =
+            ctx.forwards.get(heap::regionIndexOf(a));
+        if (ft != nullptr) {
+            Addr fwd = ft->lookup(a);
+            if (fwd != nullRef)
+                a = fwd;
+        }
+        slot = heap::colorize(a, goodColor_);
+    });
+    concCarry_ += root_cost;
+    w.cost += 1500; // pause bookkeeping only
+    return w;
+}
+
+Zgc::GcWork
+Zgc::doConcMark()
+{
+    auto &ctx = rt_->heap();
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+
+    // Marking doubles as the remap phase for the previous cycle's
+    // stale references: the healer rewrites every traversed slot.
+    RefHealer healer = [&](Addr ref, Cycles &cost) -> Addr {
+        Addr a = heap::uncolor(ref);
+        heap::ForwardTable *ft =
+            ctx.forwards.get(heap::regionIndexOf(a));
+        if (ft != nullptr) {
+            Addr fwd = ft->lookup(a);
+            if (fwd != nullRef) {
+                cost += costs.updateRefSlot;
+                a = fwd;
+            }
+        }
+        return heap::colorize(a, goodColor_);
+    };
+
+    Cycles root_cost = concCarry_;
+    concCarry_ = 0;
+    std::vector<Addr> seeds = collectRootSeeds(*rt_, root_cost);
+    w.cost += root_cost;
+    TraceResult marked = markFromRoots(*rt_, seeds, true, &healer);
+    w.cost += marked.cost;
+
+    // Remap complete: last cycle's forwarding tables can go.
+    ctx.forwards.dropAll();
+
+    w.packets = marked.objects / std::max<std::uint32_t>(
+                    costs.packetObjects, 1) + 1;
+    return w;
+}
+
+Zgc::GcWork
+Zgc::drainPendingMarks()
+{
+    GcWork w;
+    if (pendingMarks_.empty())
+        return w;
+    std::vector<Addr> seeds = std::move(pendingMarks_);
+    pendingMarks_.clear();
+    TraceResult traced = markFromRoots(*rt_, seeds, true);
+    w.cost = traced.cost;
+    w.packets = traced.objects / std::max<std::uint32_t>(
+                    rt_->costs().packetObjects, 1) + 1;
+    return w;
+}
+
+Zgc::GcWork
+Zgc::doMarkEnd()
+{
+    GcWork w = drainPendingMarks();
+    w.cost += 2000; // marking-termination bookkeeping
+    return w;
+}
+
+Zgc::GcWork
+Zgc::doRelocateStart()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+
+    // Close the mark before choosing the collection set: loads since
+    // mark end may have queued more live objects.
+    GcWork drained = drainPendingMarks();
+    w.cost += drained.cost;
+
+    goodColor_ = heap::colorRemapped;
+    relocInFlight_ = true;
+
+    // Select the collection set: garbage-dense regions first, capped
+    // so the cset's live bytes fit in the available to-space (real
+    // ZGC budgets evacuation by free memory; exceeding it would leave
+    // the relocation unable to finish and the cycle futile).
+    cset_.clear();
+    std::vector<heap::Region *> candidates;
+    for (heap::Region *r : alloc_->regions()) {
+        w.cost += costs.regionOverhead;
+        if (r == alloc_->currentRegion() || r->top == 0)
+            continue;
+        if (static_cast<double>(r->liveBytes) <
+            opts_.zCsetLiveThreshold * static_cast<double>(r->top)) {
+            candidates.push_back(r);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const heap::Region *a, const heap::Region *b) {
+                  return a->liveBytes < b->liveBytes;
+              });
+    std::uint64_t to_space_budget = static_cast<std::uint64_t>(
+        0.8 * static_cast<double>(rm.freeCount()) *
+        static_cast<double>(heap::regionSize));
+    std::vector<heap::Region *> members;
+    std::uint64_t budgeted = 0;
+    for (heap::Region *r : candidates) {
+        if (budgeted + r->liveBytes > to_space_budget)
+            break;
+        budgeted += r->liveBytes;
+        members.push_back(r);
+    }
+    for (heap::Region *r : members) {
+        alloc_->removeRegion(r);
+        r->inCset = true;
+        cset_.push_back(r);
+        ctx.forwards.create(r->index);
+    }
+
+    // Heal roots; cset targets are relocated eagerly so mutators
+    // never hold a reference into a region being recycled. The cost
+    // is concurrent-root-processing work, not pause work.
+    Cycles root_cost = 0;
+    auto charge_root = [&](Cycles c) { root_cost += c; };
+    rt_->forEachRoot([&](Addr &slot) {
+        charge_root(costs.rootSlot);
+        if (slot == nullRef)
+            return;
+        Addr a = heap::uncolor(slot);
+        heap::Region &r = rm.regionOf(a);
+        if (r.inCset) {
+            heap::ForwardTable *ft = ctx.forwards.get(r.index);
+            Addr fwd = ft->lookup(a);
+            if (fwd != nullRef) {
+                a = fwd;
+            } else {
+                heap::ObjectHeader *h = rm.header(a);
+                std::uint64_t size = h->size;
+                Addr dst = alloc_->alloc(size);
+                if (dst == nullRef) {
+                    // Cannot relocate this root's target: pull the
+                    // whole region out of the cset so it stays valid.
+                    alloc_->adopt(&r);
+                    r.inCset = false;
+                    ctx.forwards.drop(r.index);
+                    cset_.erase(std::find(cset_.begin(), cset_.end(),
+                                          &r));
+                } else {
+                    charge_root(copyObjectData(rm.arena(), a, dst, costs));
+                    ft->insert(a, dst);
+                    if (ctx.bitmap.mark(dst))
+                        rm.regionOf(dst).liveBytes += rm.header(dst)->size;
+                    ctx.bitmap.clear(a);
+                    a = dst;
+                }
+            }
+        }
+        slot = heap::colorize(a, goodColor_);
+    });
+    concCarry_ += root_cost;
+    w.cost += 1500; // pause bookkeeping only
+    return w;
+}
+
+Zgc::GcWork
+Zgc::doConcRelocate()
+{
+    auto &ctx = rt_->heap();
+    auto &rm = ctx.regions;
+    const rt::CostModel &costs = rt_->costs();
+    GcWork w;
+    std::uint64_t copied = 0;
+
+    // Loads since relocate-start may have discovered more live
+    // objects (mark-on-load queue); close the mark one final time so
+    // the remap below visits every live holder. Also pay the carried
+    // concurrent-root-processing cost from the relocate-start pause.
+    GcWork drained = drainPendingMarks();
+    w.cost += drained.cost + concCarry_;
+    concCarry_ = 0;
+
+    // Copy every live object out of the collection set (objects the
+    // mutators already relocated on access are skipped).
+    std::vector<heap::Region *> kept;
+    for (heap::Region *r : cset_) {
+        heap::ForwardTable *ft = ctx.forwards.get(r->index);
+        distill_assert(ft != nullptr, "cset region without table");
+        bool all_copied = true;
+        rm.forEachObject(*r, [&](Addr obj) {
+            w.cost += costs.walkObject;
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            if (ft->lookup(obj) != nullRef)
+                return; // relocated on access
+            heap::ObjectHeader *h = rm.header(obj);
+            std::uint64_t size = h->size;
+            Addr dst = alloc_->alloc(size);
+            if (dst == nullRef) {
+                all_copied = false;
+                return;
+            }
+            w.cost += copyObjectData(rm.arena(), obj, dst, costs);
+            ft->insert(obj, dst);
+            if (ctx.bitmap.mark(dst))
+                rm.regionOf(dst).liveBytes += size;
+            ctx.bitmap.clear(obj);
+            ++copied;
+        });
+        w.cost += costs.regionOverhead;
+        if (!all_copied)
+            kept.push_back(r);
+    }
+
+    // Remap: rewrite every live reference through the forwarding
+    // tables. Real ZGC defers this walk into the next marking cycle
+    // (healing loads from side tables meanwhile); our region manager
+    // conflates virtual and physical memory, so recycling a region
+    // before remapping would allow address collisions. Performing the
+    // same walk here is cost-equivalent and keeps recycling prompt
+    // (see DESIGN.md substitutions).
+    auto heal = [&](Addr v) -> Addr {
+        Addr a = heap::uncolor(v);
+        if (a == nullRef)
+            return v;
+        heap::ForwardTable *ft = ctx.forwards.get(heap::regionIndexOf(a));
+        if (ft != nullptr) {
+            Addr fwd = ft->lookup(a);
+            if (fwd != nullRef)
+                a = fwd;
+        }
+        return heap::colorize(a, goodColor_);
+    };
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state == heap::RegionState::Free || r.inCset)
+            continue;
+        rm.forEachObject(r, [&](Addr obj) {
+            w.cost += costs.walkObject;
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            heap::ObjectHeader *h = rm.header(obj);
+            Addr *slots = h->refSlots();
+            for (std::uint32_t s = 0; s < h->numRefs; ++s) {
+                w.cost += costs.updateRefSlot;
+                if (slots[s] != nullRef)
+                    slots[s] = heal(slots[s]);
+            }
+        });
+    }
+    // Surviving objects inside kept (partially evacuated) regions.
+    for (heap::Region *r : kept) {
+        rm.forEachObject(*r, [&](Addr obj) {
+            w.cost += costs.walkObject;
+            if (!ctx.bitmap.isMarked(obj))
+                return;
+            heap::ForwardTable *ft =
+                ctx.forwards.get(heap::regionIndexOf(obj));
+            if (ft != nullptr && ft->lookup(obj) != nullRef)
+                return; // moved; its copy was handled above
+            heap::ObjectHeader *h = rm.header(obj);
+            Addr *slots = h->refSlots();
+            for (std::uint32_t s = 0; s < h->numRefs; ++s) {
+                w.cost += costs.updateRefSlot;
+                if (slots[s] != nullRef)
+                    slots[s] = heal(slots[s]);
+            }
+        });
+    }
+    rt_->forEachRoot([&](Addr &slot) {
+        w.cost += costs.rootSlot;
+        if (slot != nullRef)
+            slot = heal(slot);
+    });
+
+    // Recycle the collection set and retire the tables.
+    for (heap::Region *r : cset_) {
+        r->inCset = false;
+        if (std::find(kept.begin(), kept.end(), r) != kept.end()) {
+            alloc_->adopt(r);
+        } else {
+            ctx.bitmap.clearRegion(r->index);
+            rm.freeRegion(*r);
+        }
+    }
+    ctx.forwards.dropAll();
+    cset_.clear();
+    relocInFlight_ = false;
+    // Marking ends here: the heap is fully remapped, so later loads
+    // cannot observe stale references that would need marking.
+    allocMarking_ = false;
+    pendingMarks_.clear();
+
+    w.packets = copied / std::max<std::uint32_t>(costs.packetObjects, 1)
+        + 1;
+    return w;
+}
+
+} // namespace distill::gc

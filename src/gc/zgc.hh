@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ZGC: concurrent copying collector with colored pointers.
+ *
+ * Follows the OpenJDK ZGC design (JEP 333): reference metadata bits
+ * ("colors") in the pointer, a load barrier that checks every loaded
+ * reference against the global good mask and self-heals stale ones,
+ * concurrent marking that folds in remapping of the previous cycle's
+ * stale references, and concurrent relocation using off-object
+ * forwarding tables so that relocated regions are recycled
+ * immediately. When allocation outruns relocation, mutators block in
+ * an *allocation stall* (no cycles burned, wall-clock time lost);
+ * when even a completed cycle cannot free memory, the run fails with
+ * OOM — which is exactly what the paper observes for xalan.
+ */
+
+#ifndef DISTILL_GC_ZGC_HH
+#define DISTILL_GC_ZGC_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gc/gang.hh"
+#include "gc/options.hh"
+#include "gc/progress.hh"
+#include "gc/space.hh"
+#include "rt/collector.hh"
+#include "rt/worker.hh"
+
+namespace distill::gc
+{
+
+/**
+ * The ZGC collector.
+ */
+class Zgc : public rt::Collector
+{
+  public:
+    explicit Zgc(const GcOptions &opts);
+    ~Zgc() override;
+
+    const char *name() const override { return "ZGC"; }
+
+    void attach(rt::Runtime &runtime) override;
+
+    rt::AllocResult allocate(rt::Mutator &mutator, std::uint32_t num_refs,
+                             std::uint64_t payload_bytes) override;
+
+    Addr loadRef(rt::Mutator &mutator, Addr obj, unsigned slot) override;
+
+    void storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
+                  Addr value) override;
+
+    std::size_t minBootRegions() const override { return 4; }
+
+  private:
+    struct GcWork
+    {
+        Cycles cost = 0;
+        std::uint64_t packets = 1;
+    };
+
+    class ControlThread;
+    friend class ControlThread;
+
+    double occupancy() const;
+    void maybeTriggerCycle();
+    void wakeControl();
+
+    /** Record that @p mutator entered an allocation stall. */
+    rt::AllocResult beginStall(rt::Mutator &mutator);
+
+    /** Close out every open stall (memory became available). */
+    void settleStalls();
+
+    // Phase work (instantaneous; costs paid by gangs).
+    GcWork doMarkStart();
+    GcWork doConcMark();
+    GcWork doMarkEnd();
+    GcWork doRelocateStart();
+    GcWork doConcRelocate();
+
+    /** Color for the current marking parity. */
+    Addr
+    markColor() const
+    {
+        return markParity_ ? heap::colorMarked1 : heap::colorMarked0;
+    }
+
+    GcOptions opts_;
+    std::unique_ptr<BumpSpace> alloc_;
+    std::unique_ptr<WorkGang> pauseGang_;
+    std::unique_ptr<WorkGang> concGang_;
+    std::unique_ptr<ControlThread> control_;
+
+    Addr goodColor_ = heap::colorRemapped;
+    bool markParity_ = false;
+    bool cycleRequested_ = false;
+    bool cycleInProgress_ = false;
+    bool allocMarking_ = false;
+    bool relocInFlight_ = false;
+    std::vector<heap::Region *> cset_;
+
+    /** Objects observed by the load barrier while marking (drained
+     *  transitively at mark-end / relocate-start). */
+    std::vector<Addr> pendingMarks_;
+
+    /** Drain pendingMarks_ transitively into the mark bitmap. */
+    GcWork drainPendingMarks();
+
+    /**
+     * Mark-on-access (real ZGC marks through its load barrier while
+     * marking is live): queue any object the mutator touches whose
+     * mark bit is not yet set. Queued objects are traced at the next
+     * drain point (mark end, relocate start, relocate).
+     */
+    void markOnAccess(Addr ref);
+
+    /** Open allocation stalls: (mutator id, start time). */
+    std::vector<std::pair<unsigned, Ticks>> stalls_;
+    Ticks totalStallNs_ = 0;
+
+    /** Consecutive cycles that ended without usable free memory. */
+    unsigned futileCycles_ = 0;
+
+    /** bytesAllocated observed at the previous cycle's end. */
+    std::uint64_t allocAtCycleEnd_ = 0;
+
+    /** Root-processing cost carried from a pause into the following
+     *  concurrent phase (ZGC's concurrent root processing). */
+    Cycles concCarry_ = 0;
+
+    /** Regions held back as relocation reserve. */
+    std::size_t reserveRegions() const;
+
+    /** Whether cumulative stalls exceed the tolerated fraction. */
+    bool stallBudgetExhausted() const;
+
+    std::uint64_t gcEpoch_ = 0;
+    AllocProgressGuard progress_;
+};
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_ZGC_HH

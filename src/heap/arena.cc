@@ -1,0 +1,27 @@
+#include "heap/arena.hh"
+
+namespace distill::heap
+{
+
+Arena::Arena(std::size_t max_regions)
+    : chunks_(max_regions)
+{
+    distill_assert(max_regions > 0, "empty arena");
+}
+
+void
+Arena::commit(std::size_t index)
+{
+    distill_assert(index < chunks_.size(),
+                   "commit of region %zu beyond arena (%zu regions)",
+                   index, chunks_.size());
+    if (!chunks_[index]) {
+        // Only header/ref-slot bytes are ever read, and allocation
+        // paths initialize them before use, so the region contents
+        // may start undefined.
+        chunks_[index] = std::make_unique<std::uint8_t[]>(regionSize);
+        ++committed_;
+    }
+}
+
+} // namespace distill::heap

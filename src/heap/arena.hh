@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Region-granular backing store for the simulated heap.
+ *
+ * The arena lazily commits host memory one region at a time, so a
+ * simulated machine with a large physical-memory budget (needed for
+ * Epsilon) only costs host memory for regions actually used. Object
+ * headers and reference slots are real bytes inside the committed
+ * regions; payloads share the committed space but are never written.
+ */
+
+#ifndef DISTILL_HEAP_ARENA_HH
+#define DISTILL_HEAP_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "heap/layout.hh"
+#include "heap/object.hh"
+
+namespace distill::heap
+{
+
+/**
+ * Lazily committed simulated memory, addressed by region.
+ */
+class Arena
+{
+  public:
+    /**
+     * @param max_regions Maximum number of regions the arena may ever
+     *        commit (the simulated physical-memory budget).
+     */
+    explicit Arena(std::size_t max_regions);
+
+    /** Number of regions the arena can address. */
+    std::size_t maxRegions() const { return chunks_.size(); }
+
+    /** Number of regions currently backed by host memory. */
+    std::size_t committedRegions() const { return committed_; }
+
+    /** Commit region @p index (idempotent). */
+    void commit(std::size_t index);
+
+    /** Whether region @p index is backed by host memory. */
+    bool
+    isCommitted(std::size_t index) const
+    {
+        return index < chunks_.size() && chunks_[index] != nullptr;
+    }
+
+    /**
+     * Host pointer for simulated address @p addr (color bits are
+     * stripped). The region must be committed.
+     */
+    std::uint8_t *
+    hostPtr(Addr addr)
+    {
+        Addr a = uncolor(addr);
+        distill_assert(a >= heapBase, "bad address %llx",
+                       static_cast<unsigned long long>(addr));
+        std::size_t idx = regionIndexOf(a);
+        distill_assert(idx < chunks_.size() && chunks_[idx],
+                       "access to uncommitted region %zu", idx);
+        return chunks_[idx].get() + regionOffsetOf(a);
+    }
+
+    /** Typed header accessor for the object at @p addr. */
+    ObjectHeader *
+    header(Addr addr)
+    {
+        return reinterpret_cast<ObjectHeader *>(hostPtr(addr));
+    }
+
+  private:
+    std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+    std::size_t committed_ = 0;
+};
+
+/**
+ * Write a filler (dead, reference-free) object covering @p size bytes
+ * at @p addr, keeping allocation gaps walkable. @p size must be a
+ * nonzero multiple of the object alignment.
+ */
+inline void
+writeFiller(Arena &arena, Addr addr, std::uint64_t size)
+{
+    distill_assert(size >= objectHeaderSize &&
+                   size % objectAlignment == 0,
+                   "unfillable gap of %llu bytes",
+                   static_cast<unsigned long long>(size));
+    ObjectHeader *h = arena.header(addr);
+    h->size = static_cast<std::uint32_t>(size);
+    h->numRefs = 0;
+    h->flags = 0;
+    h->forward = 0;
+}
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_ARENA_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Off-object forwarding tables (ZGC style).
+ *
+ * ZGC reuses a relocated region's memory before all stale references
+ * to it have been remapped (remapping is folded into the *next*
+ * marking cycle). Stale references are healed lazily by the load
+ * barrier, which must therefore be able to look up forwardings without
+ * touching the old copy. Each relocated region gets a side table that
+ * lives until the following cycle finishes remapping.
+ */
+
+#ifndef DISTILL_HEAP_FORWARD_TABLE_HH
+#define DISTILL_HEAP_FORWARD_TABLE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "heap/layout.hh"
+
+namespace distill::heap
+{
+
+/**
+ * Forwarding table for one relocated region: old address -> new.
+ */
+class ForwardTable
+{
+  public:
+    void
+    insert(Addr from, Addr to)
+    {
+        map_[uncolor(from)] = uncolor(to);
+    }
+
+    /** @return the forwarded address, or nullRef if not present. */
+    Addr
+    lookup(Addr from) const
+    {
+        auto it = map_.find(uncolor(from));
+        return it == map_.end() ? nullRef : it->second;
+    }
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    std::unordered_map<Addr, Addr> map_;
+};
+
+/**
+ * Registry of live forwarding tables, indexed by source region.
+ */
+class ForwardTableSet
+{
+  public:
+    explicit ForwardTableSet(std::size_t region_count)
+        : tables_(region_count)
+    {
+    }
+
+    /** Create (or replace) the table for region @p index. */
+    ForwardTable &
+    create(std::size_t index)
+    {
+        tables_.at(index) = std::make_unique<ForwardTable>();
+        return *tables_[index];
+    }
+
+    /** @return the table for region @p index, or nullptr. */
+    ForwardTable *
+    get(std::size_t index) const
+    {
+        return index < tables_.size() ? tables_[index].get() : nullptr;
+    }
+
+    /** Drop the table for region @p index. */
+    void drop(std::size_t index) { tables_.at(index).reset(); }
+
+    /** Drop every table (after a full remap cycle). */
+    void
+    dropAll()
+    {
+        for (auto &t : tables_)
+            t.reset();
+    }
+
+  private:
+    std::vector<std::unique_ptr<ForwardTable>> tables_;
+};
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_FORWARD_TABLE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Heap address-space layout constants and colored-pointer encoding.
+ *
+ * Simulated heap addresses are offsets into a region-granular arena:
+ *
+ *   addr = heapBase + regionIndex * regionSize + offsetInRegion
+ *
+ * heapBase keeps address 0 free as the null reference. The high bits
+ * of an Addr carry ZGC-style pointer metadata ("colors"); all
+ * dereferencing code must strip them with uncolor(). Collectors other
+ * than ZGC never set color bits, so uncolor() is a no-op for them.
+ */
+
+#ifndef DISTILL_HEAP_LAYOUT_HH
+#define DISTILL_HEAP_LAYOUT_HH
+
+#include "base/types.hh"
+
+namespace distill::heap
+{
+
+/** log2 of the region size (256 KiB regions). */
+constexpr unsigned regionShift = 18;
+
+/** Size of a heap region in bytes. */
+constexpr std::uint64_t regionSize = 1ULL << regionShift;
+
+/** Base address of the heap; addresses below are invalid. */
+constexpr Addr heapBase = 1ULL << 20;
+
+/**
+ * Object alignment in bytes. 16 (not 8) so that any allocation gap —
+ * a retired TLAB tail, an abandoned region tail — is always large
+ * enough to hold a 16-byte filler object header, keeping region
+ * prefixes walkable.
+ */
+constexpr std::uint64_t objectAlignment = 16;
+
+/**
+ * ZGC colored-pointer metadata bits. Exactly one of the three color
+ * bits is "good" at any time; the load barrier checks a pointer's
+ * color against the global good mask (see gc::Zgc).
+ */
+enum PtrColor : std::uint64_t
+{
+    colorMarked0  = 1ULL << 48,
+    colorMarked1  = 1ULL << 49,
+    colorRemapped = 1ULL << 50,
+};
+
+/** Mask covering every color bit. */
+constexpr Addr colorMask = colorMarked0 | colorMarked1 | colorRemapped;
+
+/** Strip color metadata, yielding a dereferenceable address. */
+constexpr Addr
+uncolor(Addr ref)
+{
+    return ref & ~colorMask;
+}
+
+/** Apply color metadata bits to an address. */
+constexpr Addr
+colorize(Addr ref, Addr color)
+{
+    return uncolor(ref) | color;
+}
+
+/** Extract the color bits of a reference. */
+constexpr Addr
+colorOf(Addr ref)
+{
+    return ref & colorMask;
+}
+
+/** Region index containing (uncolored) address @p addr. */
+constexpr std::size_t
+regionIndexOf(Addr addr)
+{
+    return static_cast<std::size_t>((uncolor(addr) - heapBase) >>
+                                    regionShift);
+}
+
+/** Byte offset of @p addr within its region. */
+constexpr std::uint64_t
+regionOffsetOf(Addr addr)
+{
+    return uncolor(addr) & (regionSize - 1);
+}
+
+/** Start address of region @p index. */
+constexpr Addr
+regionStart(std::size_t index)
+{
+    return heapBase + (static_cast<Addr>(index) << regionShift);
+}
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_LAYOUT_HH

@@ -1,0 +1,64 @@
+#include "heap/mark_bitmap.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace distill::heap
+{
+
+MarkBitmap::MarkBitmap(std::size_t region_count)
+    : words_(region_count * wordsPerRegion, 0)
+{
+}
+
+std::uint64_t
+MarkBitmap::bitIndex(Addr addr) const
+{
+    Addr a = uncolor(addr);
+    distill_assert(a >= heapBase, "marking bad address");
+    return (a - heapBase) / objectAlignment;
+}
+
+bool
+MarkBitmap::mark(Addr addr)
+{
+    std::uint64_t bit = bitIndex(addr);
+    std::uint64_t &word = words_.at(bit / 64);
+    std::uint64_t mask = 1ULL << (bit % 64);
+    if (word & mask)
+        return false;
+    word |= mask;
+    return true;
+}
+
+bool
+MarkBitmap::isMarked(Addr addr) const
+{
+    std::uint64_t bit = bitIndex(addr);
+    return words_.at(bit / 64) & (1ULL << (bit % 64));
+}
+
+void
+MarkBitmap::clear(Addr addr)
+{
+    std::uint64_t bit = bitIndex(addr);
+    words_.at(bit / 64) &= ~(1ULL << (bit % 64));
+}
+
+void
+MarkBitmap::clearRegion(std::size_t index)
+{
+    auto begin = words_.begin() +
+        static_cast<std::ptrdiff_t>(index * wordsPerRegion);
+    std::fill(begin, begin + static_cast<std::ptrdiff_t>(wordsPerRegion),
+              0);
+}
+
+void
+MarkBitmap::clearAll()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+} // namespace distill::heap

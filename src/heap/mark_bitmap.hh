@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Side mark bitmap, one bit per 8 heap bytes.
+ *
+ * Liveness marks live outside object headers (as in HotSpot's
+ * concurrent collectors) so that clearing marks between cycles is a
+ * cheap per-region bitmap clear rather than a heap walk.
+ */
+
+#ifndef DISTILL_HEAP_MARK_BITMAP_HH
+#define DISTILL_HEAP_MARK_BITMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "heap/layout.hh"
+
+namespace distill::heap
+{
+
+/**
+ * Bitmap over the whole heap with mark/test/clear operations.
+ */
+class MarkBitmap
+{
+  public:
+    /** @param region_count Number of regions the bitmap must cover. */
+    explicit MarkBitmap(std::size_t region_count);
+
+    /**
+     * Atomically-in-simulation mark the object at @p addr.
+     * @return true if this call set the bit (first marker wins).
+     */
+    bool mark(Addr addr);
+
+    /** @return whether the object at @p addr is marked. */
+    bool isMarked(Addr addr) const;
+
+    /** Clear the mark of the object at @p addr (relocation husks). */
+    void clear(Addr addr);
+
+    /** Clear all mark bits covering region @p index. */
+    void clearRegion(std::size_t index);
+
+    /** Clear the whole bitmap. */
+    void clearAll();
+
+  private:
+    static constexpr std::uint64_t wordsPerRegion =
+        regionSize / objectAlignment / 64;
+
+    std::uint64_t bitIndex(Addr addr) const;
+
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_MARK_BITMAP_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulated object model.
+ *
+ * Objects live in arena memory with a real 16-byte header followed by
+ * real reference slots; the non-reference payload is accounted in the
+ * size but its bytes are never touched by the simulator (the cost
+ * model charges for initializing/copying it instead). This keeps host
+ * cost proportional to pointer work, which is what GC algorithms
+ * actually traverse.
+ *
+ * Layout:
+ *   +0   u32 size      total size in bytes, 8-aligned, >= 16
+ *   +4   u16 numRefs   number of reference slots
+ *   +6   u16 flags     mark/forward/remembered/age bits
+ *   +8   u64 forward   forwarding address when Forwarded is set
+ *   +16  Addr refs[numRefs]
+ *   ...  payload (uninitialized; never read)
+ */
+
+#ifndef DISTILL_HEAP_OBJECT_HH
+#define DISTILL_HEAP_OBJECT_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "heap/layout.hh"
+
+namespace distill::heap
+{
+
+/** Object header flag bits. */
+enum ObjectFlags : std::uint16_t
+{
+    flagForwarded  = 1u << 0, //!< forward field holds the new address.
+    flagRemembered = 1u << 1, //!< already in the old->young remembered set.
+    flagPinned     = 1u << 2, //!< must not be moved (reserved for ablation).
+    flagAgeShift   = 8,       //!< survival count in bits [8, 12).
+    flagAgeMask    = 0xf << flagAgeShift,
+};
+
+/** In-memory object header; fields accessed through Arena pointers. */
+struct ObjectHeader
+{
+    std::uint32_t size;
+    std::uint16_t numRefs;
+    std::uint16_t flags;
+    std::uint64_t forward;
+
+    /** Reference slots immediately follow the header. */
+    Addr *
+    refSlots()
+    {
+        return reinterpret_cast<Addr *>(this + 1);
+    }
+
+    const Addr *
+    refSlots() const
+    {
+        return reinterpret_cast<const Addr *>(this + 1);
+    }
+
+    bool isForwarded() const { return flags & flagForwarded; }
+
+    void
+    setForwarded(Addr to)
+    {
+        forward = to;
+        flags |= flagForwarded;
+    }
+
+    unsigned
+    age() const
+    {
+        return (flags & flagAgeMask) >> flagAgeShift;
+    }
+
+    void
+    setAge(unsigned age)
+    {
+        flags = static_cast<std::uint16_t>(
+            (flags & ~flagAgeMask) |
+            ((age & 0xf) << flagAgeShift));
+    }
+};
+
+static_assert(sizeof(ObjectHeader) == 16, "header must be 16 bytes");
+
+/** Size of an object header in bytes. */
+constexpr std::uint64_t objectHeaderSize = sizeof(ObjectHeader);
+
+/**
+ * Total object size for a payload with @p num_refs reference slots and
+ * @p payload_bytes of non-reference data, 8-aligned.
+ */
+constexpr std::uint64_t
+objectSize(std::uint32_t num_refs, std::uint64_t payload_bytes)
+{
+    return roundUp(objectHeaderSize + 8ULL * num_refs + payload_bytes,
+                   objectAlignment);
+}
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_OBJECT_HH

@@ -1,0 +1,142 @@
+#include "heap/region.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace distill::heap
+{
+
+namespace
+{
+const char *walkContext = "?";
+} // namespace
+
+void
+setWalkContext(const char *context)
+{
+    walkContext = context;
+}
+
+RegionManager::RegionManager(std::uint64_t heap_bytes)
+    : arena_((roundUp(heap_bytes, regionSize)) >> regionShift)
+{
+    std::size_t n = arena_.maxRegions();
+    regions_.resize(n);
+    freeList_.reserve(n);
+    // Push in reverse so regions are handed out in ascending order.
+    for (std::size_t i = 0; i < n; ++i) {
+        regions_[i].index = i;
+        freeList_.push_back(n - 1 - i);
+    }
+}
+
+std::uint64_t
+RegionManager::usedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Region &r : regions_) {
+        if (r.state != RegionState::Free)
+            total += r.top;
+    }
+    return total;
+}
+
+namespace
+{
+std::size_t
+watchedRegion()
+{
+    static const std::size_t idx = [] {
+        const char *env = std::getenv("DISTILL_WATCH_REGION");
+        return env != nullptr ? std::strtoull(env, nullptr, 10)
+                              : ~0ULL;
+    }();
+    return idx;
+}
+} // namespace
+
+Region *
+RegionManager::allocRegion(RegionState state)
+{
+    distill_assert(state != RegionState::Free, "allocating a Free region");
+    if (freeList_.empty())
+        return nullptr;
+    std::size_t idx = freeList_.back();
+    freeList_.pop_back();
+    if (idx == watchedRegion())
+        warn("region %zu: allocRegion(state=%u)", idx,
+             static_cast<unsigned>(state));
+    Region &r = regions_[idx];
+    distill_assert(r.state == RegionState::Free,
+                   "region %zu on free list but not Free", idx);
+    arena_.commit(idx);
+    r.state = state;
+    r.top = 0;
+    r.liveBytes = 0;
+    r.inCset = false;
+    return &r;
+}
+
+void
+RegionManager::freeRegion(Region &region)
+{
+    distill_assert(region.state != RegionState::Free,
+                   "double free of region %zu", region.index);
+    if (region.index == watchedRegion())
+        warn("region %zu: freeRegion (top was %llu)", region.index,
+             static_cast<unsigned long long>(region.top));
+    region.state = RegionState::Free;
+    region.top = 0;
+    region.liveBytes = 0;
+    region.inCset = false;
+    freeList_.push_back(region.index);
+}
+
+void
+RegionManager::forEachObject(Region &region,
+                             const std::function<void(Addr)> &fn)
+{
+    Addr cursor = region.startAddr();
+    Addr end = region.startAddr() + region.top;
+    while (cursor < end) {
+        ObjectHeader *h = arena_.header(cursor);
+        distill_assert(h->size >= objectHeaderSize &&
+                       h->size % objectAlignment == 0 &&
+                       cursor + h->size <= end,
+                       "corrupt object size %u at %llx "
+                       "(region %zu state %u top %llu, walk '%s')",
+                       h->size, static_cast<unsigned long long>(cursor),
+                       region.index, static_cast<unsigned>(region.state),
+                       static_cast<unsigned long long>(region.top),
+                       walkContext);
+        // Cache the size before the callback: compaction callbacks
+        // may slide the object over its own header.
+        std::uint64_t size = h->size;
+        fn(cursor);
+        cursor += size;
+    }
+}
+
+void
+RegionManager::forEachRegion(RegionState state,
+                             const std::function<void(Region &)> &fn)
+{
+    for (Region &r : regions_) {
+        if (r.state == state)
+            fn(r);
+    }
+}
+
+std::size_t
+RegionManager::countRegions(RegionState state) const
+{
+    std::size_t n = 0;
+    for (const Region &r : regions_) {
+        if (r.state == state)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace distill::heap

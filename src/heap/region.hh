@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Heap regions and the region manager.
+ *
+ * All collectors share a region-granular heap: generational
+ * collectors tag regions as eden/survivor/old spaces, region-based
+ * collectors (G1, Shenandoah, ZGC) allocate and reclaim whole regions.
+ * Objects never span regions; allocation within a region is by bump
+ * pointer, so a region's live prefix [start, top) can be walked
+ * object by object via the size field.
+ */
+
+#ifndef DISTILL_HEAP_REGION_HH
+#define DISTILL_HEAP_REGION_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "heap/arena.hh"
+#include "heap/layout.hh"
+#include "heap/object.hh"
+
+namespace distill::heap
+{
+
+/** Logical role of a region. */
+enum class RegionState : std::uint8_t
+{
+    Free,     //!< Unused, available for allocation.
+    Eden,     //!< Young allocation space.
+    Survivor, //!< Young survivor space.
+    Old,      //!< Mature space (also the sole space for non-
+              //!< generational collectors).
+};
+
+/**
+ * Per-region metadata. Object data lives in the arena; this struct is
+ * pure bookkeeping.
+ */
+struct Region
+{
+    std::size_t index = 0;
+    RegionState state = RegionState::Free;
+
+    /** Bump offset: bytes allocated in this region. */
+    std::uint64_t top = 0;
+
+    /** Live bytes according to the most recent marking. */
+    std::uint64_t liveBytes = 0;
+
+    /** Whether this region is in the current collection set. */
+    bool inCset = false;
+
+    Addr startAddr() const { return regionStart(index); }
+    std::uint64_t freeBytes() const { return regionSize - top; }
+
+    /** Try to bump-allocate @p size bytes; nullRef when full. */
+    Addr
+    tryAlloc(std::uint64_t size)
+    {
+        if (top + size > regionSize)
+            return nullRef;
+        Addr result = startAddr() + top;
+        top += size;
+        return result;
+    }
+};
+
+/**
+ * Label the current object-walk call site for diagnostics; the label
+ * appears in corrupt-walk panics.
+ */
+void setWalkContext(const char *context);
+
+/**
+ * Owns all regions of one simulated heap and the free list.
+ */
+class RegionManager
+{
+  public:
+    /**
+     * @param heap_bytes Heap size limit (the -Xmx equivalent);
+     *        rounded up to whole regions.
+     */
+    explicit RegionManager(std::uint64_t heap_bytes);
+
+    Arena &arena() { return arena_; }
+
+    std::size_t regionCount() const { return regions_.size(); }
+    std::size_t freeCount() const { return freeList_.size(); }
+    std::size_t usedCount() const { return regions_.size() - freeCount(); }
+
+    std::uint64_t
+    heapBytes() const
+    {
+        return static_cast<std::uint64_t>(regions_.size()) * regionSize;
+    }
+
+    /** Bytes allocated across all non-free regions (bump offsets). */
+    std::uint64_t usedBytes() const;
+
+    Region &region(std::size_t index) { return regions_.at(index); }
+
+    Region &
+    regionOf(Addr addr)
+    {
+        return regions_.at(regionIndexOf(addr));
+    }
+
+    /**
+     * Take a free region, commit its backing, and tag it @p state.
+     * @return the region, or nullptr when the heap is exhausted.
+     */
+    Region *allocRegion(RegionState state);
+
+    /** Return @p region to the free list. */
+    void freeRegion(Region &region);
+
+    /**
+     * Walk every object in @p region's allocated prefix. @p fn
+     * receives the object address. The walk reads live header size
+     * fields, so it must not run concurrently with compaction of the
+     * same region.
+     */
+    void forEachObject(Region &region,
+                       const std::function<void(Addr)> &fn);
+
+    /** Walk all regions currently in @p state. */
+    void forEachRegion(RegionState state,
+                       const std::function<void(Region &)> &fn);
+
+    /** Count regions currently in @p state. */
+    std::size_t countRegions(RegionState state) const;
+
+    /** Header accessor passthrough. */
+    ObjectHeader *header(Addr addr) { return arena_.header(addr); }
+
+  private:
+    Arena arena_;
+    std::vector<Region> regions_;
+    std::vector<std::size_t> freeList_;
+};
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_REGION_HH

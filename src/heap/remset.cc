@@ -1,0 +1,27 @@
+#include "heap/remset.hh"
+
+#include "base/logging.hh"
+
+namespace distill::heap
+{
+
+RemSetTable::RemSetTable(std::size_t region_count)
+    : sets_(region_count)
+{
+}
+
+RegionRemSet &
+RemSetTable::forRegion(std::size_t index)
+{
+    distill_assert(index < sets_.size(), "remset index out of range");
+    return sets_[index];
+}
+
+void
+RemSetTable::clearAll()
+{
+    for (auto &set : sets_)
+        set.clear();
+}
+
+} // namespace distill::heap

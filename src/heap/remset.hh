@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Remembered sets.
+ *
+ * Two flavors are used by the collectors:
+ *
+ * ObjectRememberedSet — the generational old->young remembered set
+ * used by Serial and Parallel. The write barrier records the *source
+ * object* (object-remembering variant of card marking: same cost
+ * shape, object granularity) in a sequential store buffer,
+ * deduplicated via the flagRemembered header bit. Young collections
+ * scan the recorded objects' reference slots as additional roots.
+ *
+ * RegionRemSet — G1-style per-region "points-into" sets. The write
+ * barrier records source objects holding cross-region references into
+ * the target region's set; evacuating a region starts from its set.
+ */
+
+#ifndef DISTILL_HEAP_REMSET_HH
+#define DISTILL_HEAP_REMSET_HH
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace distill::heap
+{
+
+/**
+ * Global sequential store buffer of old objects that may hold
+ * references to young objects.
+ */
+class ObjectRememberedSet
+{
+  public:
+    /** Record @p obj (caller has checked/set flagRemembered). */
+    void record(Addr obj) { buffer_.push_back(obj); }
+
+    const std::vector<Addr> &entries() const { return buffer_; }
+
+    /** Replace contents with @p survivors (post-GC rebuild). */
+    void rebuild(std::vector<Addr> survivors) { buffer_ = std::move(survivors); }
+
+    void clear() { buffer_.clear(); }
+
+    std::size_t size() const { return buffer_.size(); }
+
+  private:
+    std::vector<Addr> buffer_;
+};
+
+/**
+ * Per-region set of source objects that hold references into the
+ * region. Object-granular (one entry per source object, not per
+ * slot).
+ */
+class RegionRemSet
+{
+  public:
+    /** @return true if @p src was newly inserted. */
+    bool add(Addr src) { return entries_.insert(src).second; }
+
+    void remove(Addr src) { entries_.erase(src); }
+
+    const std::unordered_set<Addr> &entries() const { return entries_; }
+
+    void clear() { entries_.clear(); }
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::unordered_set<Addr> entries_;
+};
+
+/**
+ * All per-region remembered sets for one heap.
+ */
+class RemSetTable
+{
+  public:
+    explicit RemSetTable(std::size_t region_count);
+
+    RegionRemSet &forRegion(std::size_t index);
+
+    /** Drop every set (e.g. at full-heap rebuild). */
+    void clearAll();
+
+  private:
+    std::vector<RegionRemSet> sets_;
+};
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_REMSET_HH

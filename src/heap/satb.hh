@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Snapshot-at-the-beginning (SATB) marking queue.
+ *
+ * While concurrent marking is active, the SATB pre-write barrier
+ * enqueues the *old* value of every overwritten reference so the
+ * marker sees the heap as it was when marking began. Mutators push
+ * into thread-local buffers (cost charged per enqueue) which flush to
+ * this global queue; concurrent markers drain it.
+ */
+
+#ifndef DISTILL_HEAP_SATB_HH
+#define DISTILL_HEAP_SATB_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace distill::heap
+{
+
+/**
+ * Global SATB queue shared by all mutators and drained by markers.
+ */
+class SatbQueue
+{
+  public:
+    /** Flush a mutator-local buffer into the global queue. */
+    void
+    flush(std::vector<Addr> &local)
+    {
+        for (Addr ref : local)
+            queue_.push_back(ref);
+        local.clear();
+    }
+
+    /** Push one entry directly (used at final-mark drain). */
+    void push(Addr ref) { queue_.push_back(ref); }
+
+    bool empty() const { return queue_.empty(); }
+
+    std::size_t size() const { return queue_.size(); }
+
+    /** Pop one entry; queue must not be empty. */
+    Addr
+    pop()
+    {
+        Addr ref = queue_.front();
+        queue_.pop_front();
+        return ref;
+    }
+
+    void clear() { queue_.clear(); }
+
+    /**
+     * Rewrite every entry with @p fn (evacuation must fix up queued
+     * addresses before from-regions are recycled); entries for which
+     * @p fn returns nullRef are dropped.
+     */
+    void
+    remap(const std::function<Addr(Addr)> &fn)
+    {
+        std::deque<Addr> kept;
+        for (Addr ref : queue_) {
+            Addr nv = fn(ref);
+            if (nv != nullRef)
+                kept.push_back(nv);
+        }
+        queue_.swap(kept);
+    }
+
+  private:
+    std::deque<Addr> queue_;
+};
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_SATB_HH

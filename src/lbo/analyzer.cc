@@ -1,0 +1,174 @@
+#include "lbo/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+
+namespace distill::lbo
+{
+
+LboAnalyzer::LboAnalyzer(std::vector<RunRecord> records)
+    : records_(std::move(records))
+{
+    for (const RunRecord &r : records_) {
+        Key key{r.bench, r.collector, r.heapFactor};
+        auto &bucket = byConfig_[key];
+        auto it = allCompleted_.find(key);
+        if (it == allCompleted_.end())
+            allCompleted_[key] = true;
+        if (!r.completed)
+            allCompleted_[key] = false;
+        else
+            bucket.push_back(&r);
+    }
+}
+
+double
+LboAnalyzer::totalOf(const RunRecord &r, metrics::Metric metric)
+{
+    switch (metric) {
+      case metrics::Metric::WallTime:
+        return r.wallNs;
+      case metrics::Metric::Cycles:
+        return r.cycles;
+      case metrics::Metric::Energy:
+        return r.cycles * 4.0 + r.wallNs * 18.0;
+    }
+    return 0.0;
+}
+
+double
+LboAnalyzer::gcOf(const RunRecord &r, metrics::Metric metric,
+                  Attribution attribution)
+{
+    switch (metric) {
+      case metrics::Metric::WallTime:
+        // Concurrent GC wall time is not attributable (the mutator
+        // runs meanwhile); only pauses count, for both schemes.
+        return r.stwWallNs;
+      case metrics::Metric::Cycles:
+        return attribution == Attribution::PausesOnly ? r.stwCycles
+                                                      : r.gcThreadCycles;
+      case metrics::Metric::Energy:
+        return gcOf(r, metrics::Metric::Cycles, attribution) * 4.0 +
+            r.stwWallNs * 18.0;
+    }
+    return 0.0;
+}
+
+std::vector<const RunRecord *>
+LboAnalyzer::configRecords(const std::string &bench,
+                           const std::string &collector,
+                           double heap_factor) const
+{
+    auto it = byConfig_.find(Key{bench, collector, heap_factor});
+    return it == byConfig_.end() ? std::vector<const RunRecord *>{}
+                                 : it->second;
+}
+
+bool
+LboAnalyzer::ran(const std::string &bench, const std::string &collector,
+                 double heap_factor) const
+{
+    auto it = allCompleted_.find(Key{bench, collector, heap_factor});
+    return it != allCompleted_.end() && it->second &&
+        !byConfig_.at(Key{bench, collector, heap_factor}).empty();
+}
+
+double
+LboAnalyzer::idealEstimate(const std::string &bench,
+                           metrics::Metric metric,
+                           Attribution attribution) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &[key, bucket] : byConfig_) {
+        if (std::get<0>(key) != bench || bucket.empty())
+            continue;
+        RunningStat other;
+        for (const RunRecord *r : bucket)
+            other.add(totalOf(*r, metric) - gcOf(*r, metric, attribution));
+        best = std::min(best, other.mean());
+    }
+    return std::isinf(best) ? 0.0 : best;
+}
+
+LboAnalyzer::Value
+LboAnalyzer::total(const std::string &bench, const std::string &collector,
+                   double heap_factor, metrics::Metric metric) const
+{
+    Value v;
+    if (!ran(bench, collector, heap_factor))
+        return v;
+    RunningStat stat;
+    for (const RunRecord *r : configRecords(bench, collector, heap_factor))
+        stat.add(totalOf(*r, metric));
+    v.mean = stat.mean();
+    v.ci = stat.ci95();
+    v.valid = true;
+    return v;
+}
+
+LboAnalyzer::Value
+LboAnalyzer::gcCost(const std::string &bench, const std::string &collector,
+                    double heap_factor, metrics::Metric metric,
+                    Attribution attribution) const
+{
+    Value v;
+    if (!ran(bench, collector, heap_factor))
+        return v;
+    RunningStat stat;
+    for (const RunRecord *r : configRecords(bench, collector, heap_factor))
+        stat.add(gcOf(*r, metric, attribution));
+    v.mean = stat.mean();
+    v.ci = stat.ci95();
+    v.valid = true;
+    return v;
+}
+
+LboAnalyzer::Value
+LboAnalyzer::lbo(const std::string &bench, const std::string &collector,
+                 double heap_factor, metrics::Metric metric,
+                 Attribution attribution) const
+{
+    Value v;
+    if (!ran(bench, collector, heap_factor))
+        return v;
+    double ideal = idealEstimate(bench, metric, attribution);
+    if (ideal <= 0.0)
+        return v;
+    RunningStat stat;
+    for (const RunRecord *r : configRecords(bench, collector, heap_factor))
+        stat.add(totalOf(*r, metric) / ideal);
+    v.mean = stat.mean();
+    v.ci = stat.ci95();
+    v.valid = true;
+    return v;
+}
+
+LboAnalyzer::Value
+LboAnalyzer::stwPercent(const std::string &bench,
+                        const std::string &collector, double heap_factor,
+                        metrics::Metric metric) const
+{
+    Value v;
+    if (!ran(bench, collector, heap_factor))
+        return v;
+    RunningStat stat;
+    for (const RunRecord *r : configRecords(bench, collector,
+                                            heap_factor)) {
+        double total = totalOf(*r, metric);
+        double stw = metric == metrics::Metric::WallTime ? r->stwWallNs
+                                                         : r->stwCycles;
+        if (total > 0.0)
+            stat.add(100.0 * stw / total);
+    }
+    v.mean = stat.mean();
+    v.ci = stat.ci95();
+    v.valid = true;
+    return v;
+}
+
+} // namespace distill::lbo

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The LBO (lower-bound overhead) analyzer — the paper's core
+ * methodology (§III).
+ *
+ * For a fixed workload and machine, the ideal (zero-cost-GC) cost is
+ * unknown, but every measured configuration yields an upper bound on
+ * it: Cost_total - Cost_GC. The tightest bound over all measured
+ * configurations (any collector at any heap size, including Epsilon
+ * where it completes) estimates the ideal, and
+ *
+ *     LBO(g) = Cost_total(g) / min_config(Cost_total - Cost_GC)
+ *
+ * is a lower bound on collector g's true overhead. The analyzer is
+ * metric-agnostic (wall time or cycles) and supports the two
+ * GC-cost attribution schemes the paper discusses (§III-C): counting
+ * only stop-the-world cost, or additionally attributing concurrent
+ * GC-thread cycles (the refined estimate).
+ */
+
+#ifndef DISTILL_LBO_ANALYZER_HH
+#define DISTILL_LBO_ANALYZER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lbo/record.hh"
+#include "metrics/cost.hh"
+
+namespace distill::lbo
+{
+
+/** How apparent GC cost is measured (paper §III-C). */
+enum class Attribution
+{
+    /** Cost inside STW pauses only (naive; loose for concurrent GCs). */
+    PausesOnly,
+    /** Pause cost plus concurrent GC-thread cycles (refined). */
+    GcThreads,
+};
+
+/**
+ * Aggregated analysis over a set of run records.
+ */
+class LboAnalyzer
+{
+  public:
+    explicit LboAnalyzer(std::vector<RunRecord> records);
+
+    /** A mean with its 95 % confidence half-interval. */
+    struct Value
+    {
+        double mean = 0.0;
+        double ci = 0.0;
+        bool valid = false;
+    };
+
+    /**
+     * Tightest upper bound on the ideal cost of @p bench: the minimum
+     * over every completed configuration of mean(total - gc).
+     * @return 0 when no configuration of the benchmark completed.
+     */
+    double idealEstimate(const std::string &bench, metrics::Metric metric,
+                         Attribution attribution) const;
+
+    /** Mean LBO (and CI) of one configuration; invalid if it failed. */
+    Value lbo(const std::string &bench, const std::string &collector,
+              double heap_factor, metrics::Metric metric,
+              Attribution attribution) const;
+
+    /** Mean total cost of one configuration. */
+    Value total(const std::string &bench, const std::string &collector,
+                double heap_factor, metrics::Metric metric) const;
+
+    /** Mean apparent GC cost of one configuration. */
+    Value gcCost(const std::string &bench, const std::string &collector,
+                 double heap_factor, metrics::Metric metric,
+                 Attribution attribution) const;
+
+    /** Percent of total cost spent in STW pauses (Tables X/XI). */
+    Value stwPercent(const std::string &bench, const std::string &collector,
+                     double heap_factor, metrics::Metric metric) const;
+
+    /** Whether every invocation of the configuration completed. */
+    bool ran(const std::string &bench, const std::string &collector,
+             double heap_factor) const;
+
+    /** All completed records of one configuration. */
+    std::vector<const RunRecord *>
+    configRecords(const std::string &bench, const std::string &collector,
+                  double heap_factor) const;
+
+    const std::vector<RunRecord> &records() const { return records_; }
+
+    /** Total cost of one record under @p metric. */
+    static double totalOf(const RunRecord &r, metrics::Metric metric);
+
+    /** Apparent GC cost of one record. */
+    static double gcOf(const RunRecord &r, metrics::Metric metric,
+                       Attribution attribution);
+
+  private:
+    using Key = std::tuple<std::string, std::string, double>;
+
+    std::vector<RunRecord> records_;
+    std::map<Key, std::vector<const RunRecord *>> byConfig_;
+    std::map<Key, bool> allCompleted_;
+};
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_ANALYZER_HH

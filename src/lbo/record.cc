@@ -1,0 +1,92 @@
+#include "lbo/record.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace distill::lbo
+{
+
+const char *
+RunRecord::csvHeader()
+{
+    return "bench,collector,heapFactor,heapBytes,seed,invocation,"
+           "completed,oom,wallNs,cycles,stwWallNs,stwCycles,"
+           "gcThreadCycles,mutatorCycles,pauses,pauseMeanNs,pauseP50Ns,"
+           "pauseP90Ns,pauseP99Ns,pauseP9999Ns,pauseMaxNs,meteredP50Ns,"
+           "meteredP90Ns,meteredP99Ns,meteredP9999Ns,meteredMaxNs,"
+           "simpleP50Ns,simpleP99Ns,simpleP9999Ns,allocStallNs,"
+           "degeneratedGcs,bytesAllocated";
+}
+
+std::string
+RunRecord::toCsv() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << bench << ',' << collector << ',' << heapFactor << ','
+        << heapBytes << ',' << seed << ',' << invocation << ','
+        << (completed ? 1 : 0) << ',' << (oom ? 1 : 0) << ',' << wallNs
+        << ',' << cycles << ',' << stwWallNs << ',' << stwCycles << ','
+        << gcThreadCycles << ',' << mutatorCycles << ',' << pauses << ','
+        << pauseMeanNs << ',' << pauseP50Ns << ',' << pauseP90Ns << ','
+        << pauseP99Ns << ',' << pauseP9999Ns << ',' << pauseMaxNs << ','
+        << meteredP50Ns << ',' << meteredP90Ns << ',' << meteredP99Ns
+        << ',' << meteredP9999Ns << ',' << meteredMaxNs << ','
+        << simpleP50Ns << ',' << simpleP99Ns << ',' << simpleP9999Ns
+        << ',' << allocStallNs << ',' << degeneratedGcs << ','
+        << bytesAllocated;
+    return out.str();
+}
+
+bool
+RunRecord::fromCsv(const std::string &line, RunRecord &out)
+{
+    std::istringstream in(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(in, field, ','))
+        fields.push_back(field);
+    if (fields.size() != 32)
+        return false;
+    try {
+        std::size_t i = 0;
+        out.bench = fields[i++];
+        out.collector = fields[i++];
+        out.heapFactor = std::stod(fields[i++]);
+        out.heapBytes = std::stoull(fields[i++]);
+        out.seed = std::stoull(fields[i++]);
+        out.invocation = static_cast<unsigned>(std::stoul(fields[i++]));
+        out.completed = fields[i++] == "1";
+        out.oom = fields[i++] == "1";
+        out.wallNs = std::stod(fields[i++]);
+        out.cycles = std::stod(fields[i++]);
+        out.stwWallNs = std::stod(fields[i++]);
+        out.stwCycles = std::stod(fields[i++]);
+        out.gcThreadCycles = std::stod(fields[i++]);
+        out.mutatorCycles = std::stod(fields[i++]);
+        out.pauses = std::stoull(fields[i++]);
+        out.pauseMeanNs = std::stod(fields[i++]);
+        out.pauseP50Ns = std::stod(fields[i++]);
+        out.pauseP90Ns = std::stod(fields[i++]);
+        out.pauseP99Ns = std::stod(fields[i++]);
+        out.pauseP9999Ns = std::stod(fields[i++]);
+        out.pauseMaxNs = std::stod(fields[i++]);
+        out.meteredP50Ns = std::stod(fields[i++]);
+        out.meteredP90Ns = std::stod(fields[i++]);
+        out.meteredP99Ns = std::stod(fields[i++]);
+        out.meteredP9999Ns = std::stod(fields[i++]);
+        out.meteredMaxNs = std::stod(fields[i++]);
+        out.simpleP50Ns = std::stod(fields[i++]);
+        out.simpleP99Ns = std::stod(fields[i++]);
+        out.simpleP9999Ns = std::stod(fields[i++]);
+        out.allocStallNs = std::stod(fields[i++]);
+        out.degeneratedGcs = std::stoull(fields[i++]);
+        out.bytesAllocated = std::stoull(fields[i++]);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace distill::lbo

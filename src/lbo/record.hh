@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One benchmark invocation's measurements, flattened for analysis
+ * and caching.
+ */
+
+#ifndef DISTILL_LBO_RECORD_HH
+#define DISTILL_LBO_RECORD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distill::lbo
+{
+
+/**
+ * Flat record of one (benchmark, collector, heap, invocation) run.
+ */
+struct RunRecord
+{
+    std::string bench;
+    std::string collector;
+    double heapFactor = 0.0; //!< 0 for Epsilon (machine-memory heap)
+    std::uint64_t heapBytes = 0;
+    std::uint64_t seed = 0;
+    unsigned invocation = 0;
+
+    bool completed = false;
+    bool oom = false;
+
+    double wallNs = 0;
+    double cycles = 0;
+    double stwWallNs = 0;
+    double stwCycles = 0;
+    double gcThreadCycles = 0;
+    double mutatorCycles = 0;
+
+    std::uint64_t pauses = 0;
+    double pauseMeanNs = 0;
+    double pauseP50Ns = 0;
+    double pauseP90Ns = 0;
+    double pauseP99Ns = 0;
+    double pauseP9999Ns = 0;
+    double pauseMaxNs = 0;
+
+    double meteredP50Ns = 0;
+    double meteredP90Ns = 0;
+    double meteredP99Ns = 0;
+    double meteredP9999Ns = 0;
+    double meteredMaxNs = 0;
+    double simpleP50Ns = 0;
+    double simpleP99Ns = 0;
+    double simpleP9999Ns = 0;
+
+    double allocStallNs = 0;
+    std::uint64_t degeneratedGcs = 0;
+    std::uint64_t bytesAllocated = 0;
+
+    /** Serialize as one CSV line (matching csvHeader()). */
+    std::string toCsv() const;
+
+    /** Parse one CSV line; returns false on malformed input. */
+    static bool fromCsv(const std::string &line, RunRecord &out);
+
+    /** CSV header matching toCsv(). */
+    static const char *csvHeader();
+};
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_RECORD_HH

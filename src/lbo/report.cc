@@ -1,0 +1,122 @@
+#include "lbo/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+
+namespace distill::lbo
+{
+
+void
+printHeapSweepTable(const LboAnalyzer &analyzer,
+                    const std::vector<wl::WorkloadSpec> &benchmarks,
+                    const std::vector<double> &factors,
+                    const std::vector<gc::CollectorKind> &collectors,
+                    metrics::Metric metric, Attribution attribution,
+                    const std::string &title, bool stw_percent)
+{
+    std::printf("%s\n", title.c_str());
+    std::vector<std::string> headers = {"GC"};
+    for (double f : factors)
+        headers.push_back(strprintf("%.1fx", f));
+    TextTable table(std::move(headers));
+
+    for (gc::CollectorKind kind : collectors) {
+        std::string name = gc::collectorName(kind);
+        table.beginRow();
+        table.cell(name);
+        for (double f : factors) {
+            std::vector<double> values;
+            bool all_ran = true;
+            for (const wl::WorkloadSpec &spec : benchmarks) {
+                if (!analyzer.ran(spec.name, name, f)) {
+                    all_ran = false;
+                    break;
+                }
+                LboAnalyzer::Value v = stw_percent
+                    ? analyzer.stwPercent(spec.name, name, f, metric)
+                    : analyzer.lbo(spec.name, name, f, metric,
+                                   attribution);
+                // Geomean needs positive values; clamp tiny percents.
+                values.push_back(std::max(v.mean, 1e-3));
+            }
+            if (!all_ran) {
+                table.blank();
+            } else if (stw_percent) {
+                table.cell(geomean(values), 1);
+            } else {
+                table.cell(geomean(values), 2);
+            }
+        }
+    }
+    table.print();
+    std::printf("\n");
+}
+
+void
+printPerBenchmarkTable(
+    const LboAnalyzer &analyzer,
+    const std::vector<wl::WorkloadSpec> &benchmarks, double factor,
+    const std::vector<gc::CollectorKind> &collectors,
+    metrics::Metric metric, Attribution attribution,
+    const std::string &title,
+    const std::vector<std::string> &exclude_from_summary)
+{
+    std::printf("%s\n", title.c_str());
+    std::vector<std::string> headers = {"Benchmark"};
+    for (gc::CollectorKind kind : collectors)
+        headers.push_back(gc::collectorName(kind));
+    TextTable table(std::move(headers));
+
+    std::vector<std::vector<double>> summary(collectors.size());
+    for (const wl::WorkloadSpec &spec : benchmarks) {
+        bool excluded = std::find(exclude_from_summary.begin(),
+                                  exclude_from_summary.end(), spec.name) !=
+            exclude_from_summary.end();
+        table.beginRow();
+        table.cell(spec.name + (excluded ? " *" : ""));
+        for (std::size_t c = 0; c < collectors.size(); ++c) {
+            std::string name = gc::collectorName(collectors[c]);
+            LboAnalyzer::Value v =
+                analyzer.lbo(spec.name, name, factor, metric, attribution);
+            if (!v.valid) {
+                table.blank();
+                continue;
+            }
+            table.cell(v.mean, 3);
+            if (!excluded)
+                summary[c].push_back(v.mean);
+        }
+    }
+
+    auto summary_row = [&](const char *label, auto reduce) {
+        table.beginRow();
+        table.cell(std::string(label));
+        for (std::size_t c = 0; c < collectors.size(); ++c) {
+            if (summary[c].empty()) {
+                table.blank();
+            } else {
+                table.cell(reduce(summary[c]), 3);
+            }
+        }
+    };
+    summary_row("min", [](const std::vector<double> &v) {
+        return *std::min_element(v.begin(), v.end());
+    });
+    summary_row("max", [](const std::vector<double> &v) {
+        return *std::max_element(v.begin(), v.end());
+    });
+    summary_row("mean", [](const std::vector<double> &v) {
+        return mean(v);
+    });
+    summary_row("geomean", [](const std::vector<double> &v) {
+        return geomean(v);
+    });
+    table.print();
+    std::printf("(* excluded from summary statistics)\n\n");
+}
+
+} // namespace distill::lbo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table renderers for the paper's result formats.
+ */
+
+#ifndef DISTILL_LBO_REPORT_HH
+#define DISTILL_LBO_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "gc/collectors.hh"
+#include "lbo/analyzer.hh"
+#include "wl/spec.hh"
+
+namespace distill::lbo
+{
+
+/**
+ * Tables VI/VII/X/XI shape: one row per collector, one column per
+ * heap multiplier; each cell the geometric mean over @p benchmarks.
+ * A cell is blank when the collector failed any benchmark at that
+ * heap size (matching the paper's convention).
+ *
+ * @param stw_percent When true, render percent-of-cost-in-pauses
+ *        (Tables X/XI) instead of LBO (Tables VI/VII).
+ */
+void printHeapSweepTable(const LboAnalyzer &analyzer,
+                         const std::vector<wl::WorkloadSpec> &benchmarks,
+                         const std::vector<double> &factors,
+                         const std::vector<gc::CollectorKind> &collectors,
+                         metrics::Metric metric, Attribution attribution,
+                         const std::string &title, bool stw_percent);
+
+/**
+ * Tables VIII/IX shape: one row per benchmark, one column per
+ * collector, at a single heap multiplier, with min/max/mean/geomean
+ * summary rows. @p exclude_from_summary lists benchmarks shown but
+ * excluded from the summary statistics (the paper excludes xalan).
+ */
+void printPerBenchmarkTable(
+    const LboAnalyzer &analyzer,
+    const std::vector<wl::WorkloadSpec> &benchmarks, double factor,
+    const std::vector<gc::CollectorKind> &collectors,
+    metrics::Metric metric, Attribution attribution,
+    const std::string &title,
+    const std::vector<std::string> &exclude_from_summary);
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_REPORT_HH

@@ -1,0 +1,66 @@
+#include "lbo/run.hh"
+
+#include "rt/runtime.hh"
+#include "wl/workload.hh"
+
+namespace distill::lbo
+{
+
+RunRecord
+runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
+       std::uint64_t heap_bytes, double heap_factor, std::uint64_t seed,
+       unsigned invocation, const Environment &env)
+{
+    rt::RunConfig config;
+    config.machine = env.machine;
+    config.costs = env.costs;
+    config.seed = seed;
+    config.heapBytes = collector == gc::CollectorKind::Epsilon
+        ? env.machine.memoryBudget
+        : heap_bytes;
+
+    rt::Runtime runtime(config, gc::makeCollector(collector, env.gcOptions),
+                        wl::makeWorkload(spec));
+    runtime.execute();
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+
+    RunRecord r;
+    r.bench = spec.name;
+    r.collector = gc::collectorName(collector);
+    r.heapFactor = collector == gc::CollectorKind::Epsilon ? 0.0
+                                                           : heap_factor;
+    r.heapBytes = config.heapBytes;
+    r.seed = seed;
+    r.invocation = invocation;
+    r.completed = m.completed;
+    r.oom = m.oom;
+    r.wallNs = static_cast<double>(m.total.wallNs);
+    r.cycles = static_cast<double>(m.total.cycles);
+    r.stwWallNs = static_cast<double>(m.stw.wallNs);
+    r.stwCycles = static_cast<double>(m.stw.cycles);
+    r.gcThreadCycles = static_cast<double>(m.gcThreadCycles);
+    r.mutatorCycles = static_cast<double>(m.mutatorCycles);
+    r.pauses = m.pauseNs.count();
+    r.pauseMeanNs = m.pauseNs.meanValue();
+    r.pauseP50Ns = static_cast<double>(m.pauseNs.percentile(50));
+    r.pauseP90Ns = static_cast<double>(m.pauseNs.percentile(90));
+    r.pauseP99Ns = static_cast<double>(m.pauseNs.percentile(99));
+    r.pauseP9999Ns = static_cast<double>(m.pauseNs.percentile(99.99));
+    r.pauseMaxNs = static_cast<double>(m.pauseNs.max());
+    r.meteredP50Ns = static_cast<double>(m.meteredLatencyNs.percentile(50));
+    r.meteredP90Ns = static_cast<double>(m.meteredLatencyNs.percentile(90));
+    r.meteredP99Ns = static_cast<double>(m.meteredLatencyNs.percentile(99));
+    r.meteredP9999Ns =
+        static_cast<double>(m.meteredLatencyNs.percentile(99.99));
+    r.meteredMaxNs = static_cast<double>(m.meteredLatencyNs.max());
+    r.simpleP50Ns = static_cast<double>(m.simpleLatencyNs.percentile(50));
+    r.simpleP99Ns = static_cast<double>(m.simpleLatencyNs.percentile(99));
+    r.simpleP9999Ns =
+        static_cast<double>(m.simpleLatencyNs.percentile(99.99));
+    r.allocStallNs = static_cast<double>(m.allocStallNs);
+    r.degeneratedGcs = m.degeneratedGcs;
+    r.bytesAllocated = m.bytesAllocated;
+    return r;
+}
+
+} // namespace distill::lbo

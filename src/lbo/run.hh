@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Single-invocation run driver.
+ */
+
+#ifndef DISTILL_LBO_RUN_HH
+#define DISTILL_LBO_RUN_HH
+
+#include "gc/collectors.hh"
+#include "gc/options.hh"
+#include "lbo/record.hh"
+#include "rt/cost_model.hh"
+#include "sim/machine.hh"
+#include "wl/spec.hh"
+
+namespace distill::lbo
+{
+
+/**
+ * Fixed environment for a set of runs: the machine, the cost model,
+ * and collector options. Defaults model the paper's testbed.
+ */
+struct Environment
+{
+    sim::MachineConfig machine;
+    rt::CostModel costs;
+    gc::GcOptions gcOptions;
+};
+
+/**
+ * Execute one invocation of @p spec under @p collector with a heap of
+ * @p heap_bytes (ignored for Epsilon, which gets the machine memory
+ * budget) and return its flattened measurements.
+ *
+ * @param seed Workload seed; runs with the same seed replay the same
+ *        allocation/mutation sequence under every collector.
+ */
+RunRecord runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
+                 std::uint64_t heap_bytes, double heap_factor,
+                 std::uint64_t seed, unsigned invocation,
+                 const Environment &env = {});
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_RUN_HH

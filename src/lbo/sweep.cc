@@ -1,0 +1,242 @@
+#include "lbo/sweep.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "base/rng.hh"
+
+#include "base/logging.hh"
+#include "heap/layout.hh"
+
+namespace distill::lbo
+{
+
+namespace
+{
+
+/** Bump when the cost model, workloads, or collectors change. */
+constexpr int cacheEpoch = 3;
+
+std::string
+cacheDir()
+{
+    const char *dir = std::getenv("DISTILL_CACHE_DIR");
+    return dir != nullptr && *dir != '\0' ? dir : ".";
+}
+
+} // namespace
+
+const std::vector<double> &
+paperHeapFactors()
+{
+    static const std::vector<double> factors = {1.4, 1.9, 2.4, 3.0,
+                                                3.7, 4.4, 5.2, 6.0};
+    return factors;
+}
+
+unsigned
+invocationsFromEnv(unsigned fallback)
+{
+    const char *env = std::getenv("DISTILL_INVOCATIONS");
+    if (env != nullptr && *env != '\0') {
+        int n = std::atoi(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return fallback;
+}
+
+std::uint64_t
+invocationSeed(std::uint64_t base_seed, const std::string &bench,
+               unsigned invocation)
+{
+    std::uint64_t h = base_seed;
+    for (char c : bench)
+        h = splitMix64(h) ^ static_cast<std::uint64_t>(c);
+    h ^= invocation * 0x9e3779b97f4a7c15ULL;
+    return splitMix64(h);
+}
+
+SweepRunner::SweepRunner()
+{
+    const char *no_cache = std::getenv("DISTILL_NO_CACHE");
+    cacheEnabled_ = !(no_cache != nullptr && no_cache[0] == '1');
+    runCachePath_ = strprintf("%s/distill_runs_v%d.csv",
+                              cacheDir().c_str(), cacheEpoch);
+    minHeapCachePath_ = strprintf("%s/distill_minheap_v%d.csv",
+                                  cacheDir().c_str(), cacheEpoch);
+    if (cacheEnabled_)
+        loadCaches();
+}
+
+std::string
+SweepRunner::key(const std::string &bench, const std::string &collector,
+                 std::uint64_t heap_bytes, std::uint64_t seed,
+                 unsigned invocation)
+{
+    return strprintf("%s|%s|%llu|%llu|%u", bench.c_str(),
+                     collector.c_str(),
+                     static_cast<unsigned long long>(heap_bytes),
+                     static_cast<unsigned long long>(seed), invocation);
+}
+
+void
+SweepRunner::loadCaches()
+{
+    std::ifstream runs(runCachePath_);
+    std::string line;
+    if (runs) {
+        std::getline(runs, line); // header
+        while (std::getline(runs, line)) {
+            RunRecord r;
+            if (RunRecord::fromCsv(line, r)) {
+                runCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
+                              r.invocation)] = r;
+            }
+        }
+    }
+    std::ifstream heaps(minHeapCachePath_);
+    if (heaps) {
+        while (std::getline(heaps, line)) {
+            auto comma = line.find(',');
+            if (comma == std::string::npos)
+                continue;
+            minHeapCache_[line.substr(0, comma)] =
+                std::strtoull(line.c_str() + comma + 1, nullptr, 10);
+        }
+    }
+}
+
+void
+SweepRunner::appendRun(const RunRecord &record)
+{
+    if (!cacheEnabled_)
+        return;
+    bool fresh = !std::ifstream(runCachePath_).good();
+    std::ofstream out(runCachePath_, std::ios::app);
+    if (!out)
+        return;
+    if (fresh)
+        out << RunRecord::csvHeader() << '\n';
+    out << record.toCsv() << '\n';
+}
+
+void
+SweepRunner::appendMinHeap(const std::string &bench, std::uint64_t bytes)
+{
+    if (!cacheEnabled_)
+        return;
+    std::ofstream out(minHeapCachePath_, std::ios::app);
+    if (out)
+        out << bench << ',' << bytes << '\n';
+}
+
+RunRecord
+SweepRunner::runCached(const wl::WorkloadSpec &spec,
+                       gc::CollectorKind collector,
+                       std::uint64_t heap_bytes, double heap_factor,
+                       std::uint64_t seed, unsigned invocation,
+                       const Environment &env)
+{
+    std::uint64_t effective_heap = collector == gc::CollectorKind::Epsilon
+        ? env.machine.memoryBudget
+        : heap_bytes;
+    std::string k = key(spec.name, gc::collectorName(collector),
+                        effective_heap, seed, invocation);
+    if (cacheEnabled_) {
+        auto it = runCache_.find(k);
+        if (it != runCache_.end())
+            return it->second;
+    }
+    RunRecord r = runOne(spec, collector, heap_bytes, heap_factor, seed,
+                         invocation, env);
+    if (cacheEnabled_) {
+        runCache_[k] = r;
+        appendRun(r);
+    }
+    return r;
+}
+
+std::uint64_t
+SweepRunner::minHeap(const wl::WorkloadSpec &spec, const Environment &env)
+{
+    if (spec.minHeapBytes > 0)
+        return spec.minHeapBytes;
+    auto it = minHeapCache_.find(spec.name);
+    if (it != minHeapCache_.end())
+        return it->second;
+
+    inform("measuring min heap for %s (G1)...", spec.name.c_str());
+    auto probe = [&](std::uint64_t regions) {
+        RunRecord r = runOne(spec, gc::CollectorKind::G1,
+                             regions * heap::regionSize, 1.0,
+                             invocationSeed(0xF00D, spec.name, 0), 0, env);
+        return r.completed;
+    };
+
+    std::uint64_t hi = 8;
+    while (!probe(hi)) {
+        hi *= 2;
+        if (hi > 8192)
+            fatal("cannot find a working heap for %s", spec.name.c_str());
+    }
+    std::uint64_t lo = hi / 2; // hi works; search (lo, hi]
+    while (lo + 1 < hi) {
+        std::uint64_t mid = (lo + hi) / 2;
+        if (probe(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    std::uint64_t bytes = hi * heap::regionSize;
+    inform("min heap for %s: %llu regions (%.1f MiB)", spec.name.c_str(),
+           static_cast<unsigned long long>(hi),
+           static_cast<double>(bytes) / static_cast<double>(MiB));
+    minHeapCache_[spec.name] = bytes;
+    appendMinHeap(spec.name, bytes);
+    return bytes;
+}
+
+wl::WorkloadSpec
+SweepRunner::withMinHeap(const wl::WorkloadSpec &spec,
+                         const Environment &env)
+{
+    wl::WorkloadSpec copy = spec;
+    copy.minHeapBytes = minHeap(spec, env);
+    return copy;
+}
+
+std::vector<RunRecord>
+SweepRunner::run(const SweepConfig &config)
+{
+    std::vector<RunRecord> records;
+    for (const wl::WorkloadSpec &raw_spec : config.benchmarks) {
+        wl::WorkloadSpec spec = withMinHeap(raw_spec, config.env);
+        for (unsigned inv = 0; inv < config.invocations; ++inv) {
+            std::uint64_t seed =
+                invocationSeed(config.baseSeed, spec.name, inv);
+            if (config.includeEpsilon) {
+                records.push_back(runCached(
+                    spec, gc::CollectorKind::Epsilon, 0, 0.0, seed, inv,
+                    config.env));
+            }
+            for (double factor : config.heapFactors) {
+                std::uint64_t heap_bytes = roundUp(
+                    static_cast<std::uint64_t>(
+                        factor * static_cast<double>(spec.minHeapBytes)),
+                    heap::regionSize);
+                for (gc::CollectorKind collector : config.collectors) {
+                    if (collector == gc::CollectorKind::Epsilon)
+                        continue; // handled above, heap-independent
+                    records.push_back(runCached(spec, collector,
+                                                heap_bytes, factor, seed,
+                                                inv, config.env));
+                }
+            }
+        }
+        inform("sweep: %s done", spec.name.c_str());
+    }
+    return records;
+}
+
+} // namespace distill::lbo

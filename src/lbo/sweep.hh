@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment sweeps: the paper's measurement grid.
+ *
+ * A sweep runs {benchmarks} x {heap multipliers} x {collectors} x
+ * {invocations}, with heap sizes expressed relative to each
+ * benchmark's minimum heap (measured with G1, the most
+ * space-efficient collector — paper §IV-A(c)). Completed runs are
+ * cached on disk so the many bench binaries that share a grid (Tables
+ * VI-XI, Figs. 1-4) do not re-simulate it.
+ *
+ * Environment knobs:
+ *   DISTILL_INVOCATIONS  override invocation count (default 5)
+ *   DISTILL_CACHE_DIR    cache directory (default ".")
+ *   DISTILL_NO_CACHE     set to 1 to ignore and not write the cache
+ */
+
+#ifndef DISTILL_LBO_SWEEP_HH
+#define DISTILL_LBO_SWEEP_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gc/collectors.hh"
+#include "lbo/record.hh"
+#include "lbo/run.hh"
+#include "wl/spec.hh"
+
+namespace distill::lbo
+{
+
+/** The eight heap multipliers from the paper's tables. */
+const std::vector<double> &paperHeapFactors();
+
+/** Invocation count, honoring DISTILL_INVOCATIONS. */
+unsigned invocationsFromEnv(unsigned fallback = 5);
+
+/** Sweep description. */
+struct SweepConfig
+{
+    std::vector<wl::WorkloadSpec> benchmarks;
+    std::vector<double> heapFactors;
+    std::vector<gc::CollectorKind> collectors;
+
+    /** Also run Epsilon once per benchmark for the LBO estimate. */
+    bool includeEpsilon = true;
+
+    unsigned invocations = 5;
+    std::uint64_t baseSeed = 0xD15711;
+    Environment env;
+};
+
+/**
+ * Runs sweeps with a persistent on-disk cache.
+ */
+class SweepRunner
+{
+  public:
+    SweepRunner();
+
+    /** Execute (or load) the whole grid. */
+    std::vector<RunRecord> run(const SweepConfig &config);
+
+    /**
+     * Minimum heap (bytes) at which @p spec completes under G1,
+     * found by exponential probe + binary search (cached).
+     */
+    std::uint64_t minHeap(const wl::WorkloadSpec &spec,
+                          const Environment &env);
+
+    /** Copy of @p spec with minHeapBytes measured and filled in. */
+    wl::WorkloadSpec withMinHeap(const wl::WorkloadSpec &spec,
+                                 const Environment &env);
+
+  private:
+    RunRecord runCached(const wl::WorkloadSpec &spec,
+                        gc::CollectorKind collector,
+                        std::uint64_t heap_bytes, double heap_factor,
+                        std::uint64_t seed, unsigned invocation,
+                        const Environment &env);
+
+    static std::string key(const std::string &bench,
+                           const std::string &collector,
+                           std::uint64_t heap_bytes, std::uint64_t seed,
+                           unsigned invocation);
+
+    void loadCaches();
+    void appendRun(const RunRecord &record);
+    void appendMinHeap(const std::string &bench, std::uint64_t bytes);
+
+    bool cacheEnabled_ = true;
+    std::string runCachePath_;
+    std::string minHeapCachePath_;
+    std::unordered_map<std::string, RunRecord> runCache_;
+    std::unordered_map<std::string, std::uint64_t> minHeapCache_;
+};
+
+/** Per-invocation workload seed (identical across collectors). */
+std::uint64_t invocationSeed(std::uint64_t base_seed,
+                             const std::string &bench,
+                             unsigned invocation);
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_SWEEP_HH

@@ -1,0 +1,119 @@
+#include "metrics/agent.hh"
+
+#include "base/logging.hh"
+#include "sim/scheduler.hh"
+
+namespace distill::metrics
+{
+
+const char *
+pauseKindName(PauseKind kind)
+{
+    switch (kind) {
+      case PauseKind::YoungGc:
+        return "young";
+      case PauseKind::FullGc:
+        return "full";
+      case PauseKind::InitialMark:
+        return "initial-mark";
+      case PauseKind::FinalMark:
+        return "final-mark";
+      case PauseKind::EvacPause:
+        return "evacuation";
+      case PauseKind::FinalPause:
+        return "phase-flip";
+      case PauseKind::Degenerated:
+        return "degenerated";
+    }
+    return "?";
+}
+
+GcAgent::GcAgent(sim::Scheduler &scheduler)
+    : scheduler_(scheduler)
+{
+}
+
+void
+GcAgent::pauseBegin(PauseKind kind)
+{
+    distill_assert(!inPause_, "nested STW pause");
+    inPause_ = true;
+    pauseKind_ = kind;
+    pauseStartNs_ = scheduler_.now();
+    pauseStartCycles_ = scheduler_.cycleTotals().total();
+}
+
+void
+GcAgent::logEvent(const char *what, Ticks start_ns, Ticks duration_ns)
+{
+    constexpr std::size_t logBound = 8192;
+    if (metrics_.gcLog.size() >= logBound) {
+        ++metrics_.gcLogDropped;
+        return;
+    }
+    metrics_.gcLog.push_back({what, start_ns, duration_ns});
+}
+
+void
+GcAgent::concurrentCycleEnd()
+{
+    ++metrics_.concurrentCycles;
+    logEvent("concurrent-cycle", scheduler_.now(), 0);
+}
+
+void
+GcAgent::degeneratedGc()
+{
+    ++metrics_.degeneratedGcs;
+    logEvent("degenerated", scheduler_.now(), 0);
+}
+
+void
+GcAgent::allocStall(Ticks ns)
+{
+    metrics_.allocStallNs += ns;
+    ++metrics_.allocStalls;
+    logEvent("alloc-stall", scheduler_.now(), ns);
+}
+
+void
+GcAgent::pauseEnd()
+{
+    distill_assert(inPause_, "pauseEnd without pauseBegin");
+    inPause_ = false;
+    Ticks duration = scheduler_.now() - pauseStartNs_;
+    Cycles cycles = scheduler_.cycleTotals().total() - pauseStartCycles_;
+    metrics_.stw.wallNs += duration;
+    metrics_.stw.cycles += cycles;
+    metrics_.pauseNs.record(duration);
+    logEvent(pauseKindName(pauseKind_), pauseStartNs_, duration);
+    switch (pauseKind_) {
+      case PauseKind::YoungGc:
+      case PauseKind::EvacPause:
+        ++metrics_.youngPauses;
+        break;
+      case PauseKind::FullGc:
+      case PauseKind::Degenerated:
+        ++metrics_.fullPauses;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+GcAgent::finalize(bool completed, bool oom, std::string failure_reason)
+{
+    distill_assert(!finalized_, "double finalize");
+    distill_assert(!inPause_, "finalize inside a pause");
+    finalized_ = true;
+    metrics_.total.wallNs = scheduler_.now();
+    metrics_.total.cycles = scheduler_.cycleTotals().total();
+    metrics_.gcThreadCycles = scheduler_.cycleTotals().gc;
+    metrics_.mutatorCycles = scheduler_.cycleTotals().mutator;
+    metrics_.completed = completed;
+    metrics_.oom = oom;
+    metrics_.failureReason = std::move(failure_reason);
+}
+
+} // namespace distill::metrics

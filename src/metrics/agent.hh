@@ -1,0 +1,180 @@
+/**
+ * @file
+ * GC measurement agent (the JVMTI-agent analogue).
+ *
+ * The paper instruments OpenJDK with a JVMTI agent that receives
+ * callbacks when a stop-the-world pause starts and ends, and reads
+ * per-thread cycle counters from the PMU (paper §IV-A(b)). GcAgent
+ * exposes exactly that interface to the simulated runtime: collectors
+ * call pauseBegin()/pauseEnd() around STW pauses, and the agent
+ * snapshots the scheduler's wall clock and per-kind cycle totals to
+ * attribute cost inside vs outside pauses, and to GC threads vs
+ * mutator threads.
+ */
+
+#ifndef DISTILL_METRICS_AGENT_HH
+#define DISTILL_METRICS_AGENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/histogram.hh"
+#include "base/types.hh"
+#include "metrics/cost.hh"
+
+namespace distill::sim
+{
+class Scheduler;
+} // namespace distill::sim
+
+namespace distill::metrics
+{
+
+/** Categories of stop-the-world pause, for reporting. */
+enum class PauseKind
+{
+    YoungGc,      //!< young/minor collection
+    FullGc,       //!< full-heap STW collection
+    InitialMark,  //!< concurrent cycle: start-of-mark pause
+    FinalMark,    //!< concurrent cycle: end-of-mark pause
+    EvacPause,    //!< G1 (mixed/young) evacuation pause
+    FinalPause,   //!< concurrent copy: phase-flip pauses
+    Degenerated,  //!< Shenandoah degenerated (STW rescue) collection
+};
+
+/** Human-readable pause-kind name. */
+const char *pauseKindName(PauseKind kind);
+
+/**
+ * One entry of the GC event log (the analogue of -Xlog:gc). The paper
+ * diagnoses Shenandoah's pathological modes by reading GC logs
+ * (§IV-C(d)); RunMetrics keeps a bounded log so the same analysis is
+ * possible here.
+ */
+struct GcLogEvent
+{
+    /** Event label: a pause kind, "concurrent-cycle", "degenerated",
+     *  or "alloc-stall". */
+    const char *what = "";
+
+    /** Event start, virtual nanoseconds. */
+    Ticks startNs = 0;
+
+    /** Event duration in nanoseconds (0 where not applicable). */
+    Ticks durationNs = 0;
+};
+
+/**
+ * Measurements collected over one benchmark invocation.
+ */
+struct RunMetrics
+{
+    /** Whole-run totals. */
+    CostVector total;
+
+    /** Cost inside STW pauses (whole process). */
+    CostVector stw;
+
+    /** Cycles executed by GC-kind threads, in and out of pauses. */
+    Cycles gcThreadCycles = 0;
+
+    /** Cycles executed by mutator-kind threads. */
+    Cycles mutatorCycles = 0;
+
+    /** Distribution of STW pause durations (ns). */
+    Histogram pauseNs;
+
+    /**
+     * Request latency distributions (ns) for latency-sensitive
+     * workloads (see wl::RequestClock). "Simple" ignores queuing
+     * delay; "metered" includes it — the paper's preferred measure.
+     */
+    Histogram simpleLatencyNs;
+    Histogram meteredLatencyNs;
+
+    /** Number of pauses by coarse class. */
+    std::uint64_t youngPauses = 0;
+    std::uint64_t fullPauses = 0;
+    std::uint64_t concurrentCycles = 0;
+    std::uint64_t degeneratedGcs = 0;
+
+    /** Total wall time mutators spent stalled by GC throttling. */
+    Ticks allocStallNs = 0;
+    std::uint64_t allocStalls = 0;
+
+    /** Bytes the run allocated / copied / promoted (diagnostics). */
+    std::uint64_t bytesAllocated = 0;
+    std::uint64_t bytesCopied = 0;
+
+    /** Barrier invocation counters (diagnostics). */
+    std::uint64_t refLoads = 0;
+    std::uint64_t refStores = 0;
+    std::uint64_t satbEnqueues = 0;
+    std::uint64_t loadBarrierSlowPaths = 0;
+
+    /** Run outcome. */
+    bool completed = false;
+    bool oom = false;
+    std::string failureReason;
+
+    /** Bounded GC event log (oldest events kept). */
+    std::vector<GcLogEvent> gcLog;
+
+    /** Events dropped once the log reached its bound. */
+    std::uint64_t gcLogDropped = 0;
+};
+
+/**
+ * Pause-callback agent bound to one scheduler.
+ */
+class GcAgent
+{
+  public:
+    /** Bind to @p scheduler; must outlive the agent. */
+    explicit GcAgent(sim::Scheduler &scheduler);
+
+    /** Called by a collector when a STW pause begins. */
+    void pauseBegin(PauseKind kind);
+
+    /** Called by a collector when the matching pause ends. */
+    void pauseEnd();
+
+    /** Whether a pause is currently open. */
+    bool inPause() const { return inPause_; }
+
+    /** Record a concurrent cycle completion. */
+    void concurrentCycleEnd();
+
+    /** Record a Shenandoah degenerated collection. */
+    void degeneratedGc();
+
+    /** Record a mutator allocation stall of @p ns. */
+    void allocStall(Ticks ns);
+
+    /** Append an event to the bounded GC log. */
+    void logEvent(const char *what, Ticks start_ns, Ticks duration_ns);
+
+    /** Mutable access for counters owned by other components. */
+    RunMetrics &metrics() { return metrics_; }
+
+    /**
+     * Close the books on a run: fills in whole-run totals from the
+     * scheduler. Call exactly once, after the workload finishes (or
+     * fails).
+     */
+    void finalize(bool completed, bool oom, std::string failure_reason);
+
+  private:
+    sim::Scheduler &scheduler_;
+    RunMetrics metrics_;
+    bool inPause_ = false;
+    PauseKind pauseKind_ = PauseKind::YoungGc;
+    Ticks pauseStartNs_ = 0;
+    Cycles pauseStartCycles_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace distill::metrics
+
+#endif // DISTILL_METRICS_AGENT_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cost vectors for the LBO methodology.
+ *
+ * The LBO methodology is metric-agnostic (paper §III-B): any notion
+ * of cost works as long as total cost and apparent GC cost are
+ * measured consistently. CostVector carries the two metrics the paper
+ * focuses on — wall-clock time and CPU cycles — plus a simple linear
+ * energy estimate standing in for RAPL (one of the paper's suggested
+ * "additional metrics").
+ */
+
+#ifndef DISTILL_METRICS_COST_HH
+#define DISTILL_METRICS_COST_HH
+
+#include "base/types.hh"
+
+namespace distill::metrics
+{
+
+/** Which metric a scalar cost refers to. */
+enum class Metric
+{
+    WallTime, //!< virtual wall-clock nanoseconds
+    Cycles,   //!< CPU cycles executed
+    Energy,   //!< estimated nanojoules
+};
+
+/** Human-readable metric name. */
+const char *metricName(Metric metric);
+
+/**
+ * One (time, cycles) sample; energy is derived.
+ */
+struct CostVector
+{
+    Ticks wallNs = 0;
+    Cycles cycles = 0;
+
+    /**
+     * Package energy estimate in nanojoules: active cycles at a fixed
+     * energy per cycle plus wall-time-proportional static power.
+     * Constants loosely follow a 95 W desktop part at 3.6 GHz.
+     */
+    double
+    energyNj() const
+    {
+        constexpr double nj_per_cycle = 4.0;  // dynamic energy
+        constexpr double watts_static = 18.0; // uncore + idle cores
+        // 1 W == 1 nJ/ns, so static energy is watts * wallNs.
+        return static_cast<double>(cycles) * nj_per_cycle +
+            static_cast<double>(wallNs) * watts_static;
+    }
+
+    /** Extract one metric as a double. */
+    double
+    get(Metric metric) const
+    {
+        switch (metric) {
+          case Metric::WallTime:
+            return static_cast<double>(wallNs);
+          case Metric::Cycles:
+            return static_cast<double>(cycles);
+          case Metric::Energy:
+            return energyNj();
+        }
+        return 0.0;
+    }
+
+    CostVector &
+    operator+=(const CostVector &other)
+    {
+        wallNs += other.wallNs;
+        cycles += other.cycles;
+        return *this;
+    }
+};
+
+inline const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::WallTime:
+        return "wall-time";
+      case Metric::Cycles:
+        return "cycles";
+      case Metric::Energy:
+        return "energy";
+    }
+    return "?";
+}
+
+} // namespace distill::metrics
+
+#endif // DISTILL_METRICS_COST_HH

@@ -1,0 +1,31 @@
+#include "rt/collector.hh"
+
+#include "heap/arena.hh"
+#include "rt/mutator.hh"
+#include "rt/runtime.hh"
+
+namespace distill::rt
+{
+
+Collector::~Collector() = default;
+
+void
+Collector::attach(Runtime &runtime)
+{
+    rt_ = &runtime;
+}
+
+void
+Collector::onSafepointPark(Mutator &mutator)
+{
+    // Default: retire the TLAB (plugging its tail with a filler so
+    // the region stays walkable) so spaces can be recycled.
+    Tlab &tlab = mutator.tlab();
+    if (tlab.valid() && tlab.end > tlab.cur) {
+        heap::writeFiller(rt_->heap().regions.arena(), tlab.cur,
+                          tlab.end - tlab.cur);
+    }
+    tlab.reset();
+}
+
+} // namespace distill::rt

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Abstract collector interface.
+ *
+ * A Collector plugs three things into the runtime: an allocation
+ * policy (what happens on TLAB refill and region exhaustion,
+ * including triggering collections, stalling or failing), a barrier
+ * set (the semantic actions and cycle costs of reference loads and
+ * stores), and a set of GC threads (created at attach() time) that
+ * perform the actual collection work on the simulated machine.
+ */
+
+#ifndef DISTILL_RT_COLLECTOR_HH
+#define DISTILL_RT_COLLECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace distill::rt
+{
+
+class Mutator;
+class Runtime;
+
+/** Outcome classes for an allocation attempt. */
+enum class AllocStatus
+{
+    Ok,        //!< Allocation succeeded.
+    WaitForGc, //!< Thread was blocked; retry the step after GC.
+    Stall,     //!< Thread was put to sleep (pacing); retry after.
+    Oom,       //!< The run has failed with an out-of-memory error.
+};
+
+/** Result of Collector::allocate(). */
+struct AllocResult
+{
+    AllocStatus status = AllocStatus::Oom;
+    Addr addr = nullRef;
+
+    static AllocResult
+    ok(Addr a)
+    {
+        return {AllocStatus::Ok, a};
+    }
+
+    static AllocResult
+    waitForGc()
+    {
+        return {AllocStatus::WaitForGc, nullRef};
+    }
+
+    static AllocResult
+    stall()
+    {
+        return {AllocStatus::Stall, nullRef};
+    }
+
+    static AllocResult
+    oom()
+    {
+        return {AllocStatus::Oom, nullRef};
+    }
+};
+
+/**
+ * Base class for all collectors.
+ */
+class Collector
+{
+  public:
+    virtual ~Collector();
+
+    /** Collector name as it appears in the paper's tables. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Bind to @p runtime: create GC threads, size spaces, install
+     * policy state. Called once, before the simulation starts.
+     */
+    virtual void attach(Runtime &runtime);
+
+    /**
+     * Allocate an object with @p num_refs reference slots and
+     * @p payload_bytes of non-reference payload, on behalf of
+     * @p mutator (executing on its simulated thread). On success the
+     * object's header and cleared reference slots are initialized.
+     * On WaitForGc/Stall the mutator's scheduling state has already
+     * been changed; the caller must unwind to the scheduler.
+     */
+    virtual AllocResult allocate(Mutator &mutator, std::uint32_t num_refs,
+                                 std::uint64_t payload_bytes) = 0;
+
+    /**
+     * Read reference slot @p slot of @p obj with this collector's
+     * read barrier. May heal the slot (self-healing barriers).
+     */
+    virtual Addr loadRef(Mutator &mutator, Addr obj, unsigned slot) = 0;
+
+    /**
+     * Write @p value into reference slot @p slot of @p obj with this
+     * collector's write barrier.
+     */
+    virtual void storeRef(Mutator &mutator, Addr obj, unsigned slot,
+                          Addr value) = 0;
+
+    /**
+     * Notification that @p mutator parked at a safepoint; collectors
+     * retire its TLAB so spaces can be reclaimed safely.
+     */
+    virtual void onSafepointPark(Mutator &mutator);
+
+    /**
+     * Minimum heap regions this collector needs just to boot a run
+     * (used for sizing checks and error messages).
+     */
+    virtual std::size_t minBootRegions() const { return 2; }
+
+  protected:
+    Runtime *rt_ = nullptr;
+};
+
+} // namespace distill::rt
+
+#endif // DISTILL_RT_COLLECTOR_HH

@@ -1,0 +1,182 @@
+#include "rt/mutator.hh"
+
+#include "base/logging.hh"
+#include "rt/collector.hh"
+#include "rt/runtime.hh"
+
+namespace distill::rt
+{
+
+Mutator::Mutator(Runtime &runtime, unsigned id,
+                 std::unique_ptr<MutatorProgram> program, Rng rng)
+    : sim::SimThread(strprintf("mutator-%u", id), Kind::Mutator),
+      runtime_(runtime),
+      id_(id),
+      program_(std::move(program)),
+      rng_(rng)
+{
+    distill_assert(program_ != nullptr, "mutator without a program");
+}
+
+Mutator::~Mutator() = default;
+
+Ticks
+Mutator::now() const
+{
+    // Interpolate within the current scheduling round: the scheduler
+    // only advances the wall clock at round boundaries, which would
+    // quantize sub-quantum request latencies to zero.
+    return runtime_.scheduler().now() +
+        runtime_.scheduler().machine().cyclesToTicks(spent_);
+}
+
+void
+Mutator::charge(Cycles cycles)
+{
+    spent_ += static_cast<Cycles>(
+        static_cast<double>(cycles) *
+        runtime_.scheduler().mutatorDilation());
+}
+
+Addr
+Mutator::allocate(std::uint32_t num_refs, std::uint64_t payload_bytes)
+{
+    AllocResult result =
+        runtime_.collector().allocate(*this, num_refs, payload_bytes);
+    switch (result.status) {
+      case AllocStatus::Ok:
+        runtime_.agent().metrics().bytesAllocated +=
+            heap::objectSize(num_refs, payload_bytes);
+        return result.addr;
+      case AllocStatus::WaitForGc:
+      case AllocStatus::Stall:
+        markBlockedInStep();
+        return nullRef;
+      case AllocStatus::Oom:
+        // Charge the failed attempt so the scheduler always observes
+        // progress even when the collector bailed out before any
+        // allocation-path cost was charged.
+        chargeRaw(1);
+        markBlockedInStep();
+        runtime_.fail(strprintf("%s: allocation failure (OOM)",
+                                runtime_.collector().name()),
+                      true);
+        return nullRef;
+    }
+    panic("unreachable alloc status");
+}
+
+Addr
+Mutator::loadRef(Addr obj, unsigned slot)
+{
+    ++runtime_.agent().metrics().refLoads;
+    return runtime_.collector().loadRef(*this, obj, slot);
+}
+
+void
+Mutator::storeRef(Addr obj, unsigned slot, Addr value)
+{
+    ++runtime_.agent().metrics().refStores;
+    runtime_.collector().storeRef(*this, obj, slot, value);
+}
+
+void
+Mutator::compute(Cycles cycles)
+{
+    charge(cycles);
+}
+
+std::uint32_t
+Mutator::numRefs(Addr obj)
+{
+    return runtime_.heap().regions.header(obj)->numRefs;
+}
+
+void
+Mutator::sleepUntilTime(Ticks deadline)
+{
+    sleepUntil(deadline);
+    markBlockedInStep();
+}
+
+void
+Mutator::finishProgram()
+{
+    if (state() == State::Finished)
+        return;
+    // Retire the TLAB (with a filler) so the heap stays walkable
+    // after this thread exits.
+    runtime_.collector().onSafepointPark(*this);
+    finish();
+    runtime_.mutatorFinished();
+}
+
+void
+Mutator::parkAtSafepoint()
+{
+    parkedAtSafepoint_ = true;
+    block();
+    runtime_.notifyParked(*this);
+}
+
+void
+Mutator::unparkFromSafepoint()
+{
+    distill_assert(parkedAtSafepoint_, "unpark of unparked mutator");
+    parkedAtSafepoint_ = false;
+    makeRunnable();
+}
+
+Cycles
+Mutator::run(Cycles budget)
+{
+    if (debt_ >= budget) {
+        debt_ -= budget;
+        return budget;
+    }
+    spent_ = debt_;
+    debt_ = 0;
+
+    if (programDone_) {
+        // Residual debt paid; the thread can now actually exit.
+        finishProgram();
+        return spent_;
+    }
+
+    while (spent_ < budget) {
+        if (runtime_.safepointRequested()) {
+            parkAtSafepoint();
+            break;
+        }
+        if (runtime_.failed()) {
+            finishProgram();
+            break;
+        }
+        blockedInStep_ = false;
+        StepResult result = program_->step(*this);
+        if (result == StepResult::Done) {
+            programDone_ = true;
+            if (spent_ <= budget) {
+                finishProgram();
+            }
+            break;
+        }
+        if (blockedInStep_) {
+            // allocate() already blocked/slept this thread (or the
+            // run failed); unwind to the scheduler.
+            break;
+        }
+    }
+
+    if (spent_ > budget) {
+        debt_ = spent_ - budget;
+        spent_ = budget;
+    }
+    distill_assert(spent_ > 0 || state() != State::Runnable,
+                   "mutator %u zero progress: blocked=%d failed=%d "
+                   "parked=%d", id_, (int)blockedInStep_,
+                   (int)runtime_.failed(), (int)parkedAtSafepoint_);
+    return spent_;
+}
+
+} // namespace distill::rt

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Mutator threads.
+ *
+ * A Mutator is a simulated application thread. It owns the
+ * thread-local allocation buffer (TLAB), the SATB buffer, a private
+ * RNG stream, and the cycle "debt" machinery that maps variable-cost
+ * program steps onto fixed scheduling quanta: steps charge cycles as
+ * they go; if a step overruns the quantum, the excess is carried as
+ * debt and paid off at the start of subsequent rounds.
+ *
+ * All heap access from workloads goes through this class so the
+ * active collector's barriers and costs are always applied.
+ */
+
+#ifndef DISTILL_RT_MUTATOR_HH
+#define DISTILL_RT_MUTATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "rt/program.hh"
+#include "sim/thread.hh"
+
+namespace distill::rt
+{
+
+class Runtime;
+
+/** Thread-local allocation buffer: a bump span inside some region. */
+struct Tlab
+{
+    Addr cur = nullRef;
+    Addr end = nullRef;
+
+    std::uint64_t freeBytes() const { return end - cur; }
+    bool valid() const { return cur != nullRef; }
+
+    void
+    reset()
+    {
+        cur = nullRef;
+        end = nullRef;
+    }
+};
+
+/**
+ * One simulated application thread.
+ */
+class Mutator : public sim::SimThread
+{
+  public:
+    Mutator(Runtime &runtime, unsigned id,
+            std::unique_ptr<MutatorProgram> program, Rng rng);
+    ~Mutator() override;
+
+    // ----- API used by MutatorPrograms -----------------------------
+
+    /**
+     * Allocate an object (see Collector::allocate). Returns nullRef
+     * when the thread was blocked/stalled; the program must then
+     * return from step() immediately.
+     */
+    Addr allocate(std::uint32_t num_refs, std::uint64_t payload_bytes);
+
+    /** Barrier-mediated reference load from @p obj's slot @p slot. */
+    Addr loadRef(Addr obj, unsigned slot);
+
+    /** Barrier-mediated reference store. */
+    void storeRef(Addr obj, unsigned slot, Addr value);
+
+    /** Spend @p cycles of pure application compute. */
+    void compute(Cycles cycles);
+
+    /** Whether the last allocate() blocked or stalled this thread. */
+    bool wasBlocked() const { return blockedInStep_; }
+
+    /** Current virtual time (for latency bookkeeping). */
+    Ticks now() const;
+
+    /** Number of reference slots of @p obj (shape is program-known). */
+    std::uint32_t numRefs(Addr obj);
+
+    /**
+     * Put the thread to sleep until virtual time @p deadline (idle
+     * wait, e.g. for the next metered request arrival). The program
+     * must return from step() immediately; the step is retried after
+     * waking.
+     */
+    void sleepUntilTime(Ticks deadline);
+
+    Rng &rng() { return rng_; }
+    unsigned id() const { return id_; }
+    Runtime &runtime() { return runtime_; }
+
+    // ----- API used by the runtime and collectors -------------------
+
+    Tlab &tlab() { return tlab_; }
+    std::vector<Addr> &satbBuffer() { return satbBuffer_; }
+    MutatorProgram &program() { return *program_; }
+
+    /** Charge cycles at the current contention-dilated rate. */
+    void charge(Cycles cycles);
+
+    /** Charge cycles with no dilation (used inside pauses/stalls). */
+    void chargeRaw(Cycles cycles) { spent_ += cycles; }
+
+    /** Mark this thread blocked within the current step. */
+    void markBlockedInStep() { blockedInStep_ = true; }
+
+    /** Whether this thread is parked at a safepoint right now. */
+    bool parkedAtSafepoint() const { return parkedAtSafepoint_; }
+
+    /** Unpark from a safepoint (world resume). */
+    void unparkFromSafepoint();
+
+    // ----- SimThread -------------------------------------------------
+
+    Cycles run(Cycles budget) override;
+
+  private:
+    void parkAtSafepoint();
+
+    /** Retire the TLAB, mark the thread finished, notify the runtime. */
+    void finishProgram();
+
+    Runtime &runtime_;
+    unsigned id_;
+    std::unique_ptr<MutatorProgram> program_;
+    Rng rng_;
+    Tlab tlab_;
+    std::vector<Addr> satbBuffer_;
+    Cycles debt_ = 0;
+    Cycles spent_ = 0;
+    bool blockedInStep_ = false;
+    bool parkedAtSafepoint_ = false;
+    bool programDone_ = false;
+};
+
+} // namespace distill::rt
+
+#endif // DISTILL_RT_MUTATOR_HH

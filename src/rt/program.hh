@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The interface between workloads and the runtime.
+ *
+ * A MutatorProgram is the application code one mutator thread runs:
+ * the runtime repeatedly calls step(), and each step performs a small
+ * unit of work (some allocations, reference reads/writes, pure
+ * compute) through the Mutator API, which charges simulated cycles
+ * and applies the active collector's barriers.
+ *
+ * Conventions programs must follow:
+ *
+ *  - A step that allocates must call Mutator::allocate() before any
+ *    heap mutation in that step, and return immediately if it yields
+ *    nullRef (the thread was blocked or stalled by the collector; the
+ *    same step will be retried after the thread resumes).
+ *  - References must not be cached across steps outside registered
+ *    root slots: every object reference a program retains between
+ *    steps must live in storage exposed via forEachRootSlot(), so
+ *    moving collectors can update it at safepoints.
+ */
+
+#ifndef DISTILL_RT_PROGRAM_HH
+#define DISTILL_RT_PROGRAM_HH
+
+#include <functional>
+
+#include "base/types.hh"
+
+namespace distill::rt
+{
+
+class Mutator;
+
+/** Callback applied to each root slot; may rewrite the slot. */
+using RootSlotVisitor = std::function<void(Addr &)>;
+
+/**
+ * A source of GC roots (thread-local program state or shared
+ * workload structures).
+ */
+class RootProvider
+{
+  public:
+    virtual ~RootProvider() = default;
+
+    /** Visit every reference-holding slot. */
+    virtual void forEachRootSlot(const RootSlotVisitor &visit) = 0;
+};
+
+/** Result of one program step. */
+enum class StepResult
+{
+    Running, //!< More work remains.
+    Done,    //!< Program complete; the mutator thread finishes.
+};
+
+/**
+ * Application code executed by one mutator thread.
+ */
+class MutatorProgram : public RootProvider
+{
+  public:
+    ~MutatorProgram() override = default;
+
+    /** Perform one unit of work through @p mutator. */
+    virtual StepResult step(Mutator &mutator) = 0;
+};
+
+} // namespace distill::rt
+
+#endif // DISTILL_RT_PROGRAM_HH

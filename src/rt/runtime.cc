@@ -1,0 +1,195 @@
+#include "rt/runtime.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "rt/validate.hh"
+
+namespace distill::rt
+{
+
+Runtime::Runtime(const RunConfig &config,
+                 std::unique_ptr<Collector> collector,
+                 WorkloadInstance workload)
+    : config_(config),
+      scheduler_(config.machine),
+      heap_(config.heapBytes),
+      agent_(scheduler_),
+      collector_(std::move(collector)),
+      workload_(std::move(workload)),
+      gcRng_(splitMix64(config_.seed)) // distinct stream from mutators
+{
+    distill_assert(collector_ != nullptr, "runtime without a collector");
+    distill_assert(!workload_.programs.empty(), "workload with no threads");
+
+    if (heap_.regions.regionCount() < collector_->minBootRegions()) {
+        fatal("heap of %llu bytes too small for collector %s",
+              static_cast<unsigned long long>(config_.heapBytes),
+              collector_->name());
+    }
+
+    Rng seeder(config_.seed);
+    unsigned id = 0;
+    for (auto &program : workload_.programs) {
+        mutators_.push_back(std::make_unique<Mutator>(
+            *this, id, std::move(program), seeder.split()));
+        ++id;
+    }
+    workload_.programs.clear();
+    liveMutators_ = static_cast<unsigned>(mutators_.size());
+
+    for (auto &m : mutators_)
+        scheduler_.addThread(m.get());
+
+    collector_->attach(*this);
+
+    scheduler_.setRoundHook([this] { roundHook(); });
+}
+
+Runtime::~Runtime() = default;
+
+void
+Runtime::addGcThread(sim::SimThread *thread)
+{
+    scheduler_.addThread(thread);
+}
+
+void
+Runtime::roundHook()
+{
+    watchCheck(*this, "round");
+    if (safepointRequested_ && !worldStopped_) {
+        bool any_runnable = std::any_of(
+            mutators_.begin(), mutators_.end(), [](const auto &m) {
+                return m->state() == sim::SimThread::State::Runnable;
+            });
+        if (!any_runnable) {
+            worldStopped_ = true;
+            // Mutators that stopped without polling (blocked on
+            // allocation, sleeping in a stall, or already finished)
+            // never parked; retire their TLABs too so every region
+            // stays walkable.
+            for (auto &m : mutators_)
+                collector_->onSafepointPark(*m);
+            distill_assert(safepointRequester_ != nullptr,
+                           "safepoint without requester");
+            safepointRequester_->makeRunnable();
+        }
+    }
+}
+
+void
+Runtime::requestSafepoint(sim::SimThread *requester)
+{
+    distill_assert(!safepointRequested_, "overlapping safepoints");
+    distill_assert(requester != nullptr, "null safepoint requester");
+    safepointRequested_ = true;
+    safepointRequester_ = requester;
+    requester->block();
+    // The world may already be stopped (all mutators blocked on
+    // allocation); the round hook runs at the next boundary and will
+    // wake the requester.
+}
+
+void
+Runtime::resumeWorld()
+{
+    distill_assert(worldStopped_, "resume of a running world");
+    worldStopped_ = false;
+    safepointRequested_ = false;
+    safepointRequester_ = nullptr;
+    for (auto &m : mutators_) {
+        if (m->parkedAtSafepoint())
+            m->unparkFromSafepoint();
+    }
+}
+
+void
+Runtime::notifyParked(Mutator &mutator)
+{
+    collector_->onSafepointPark(mutator);
+}
+
+void
+Runtime::addAllocWaiter(Mutator &mutator)
+{
+    mutator.block();
+    allocWaiters_.push_back(&mutator);
+}
+
+void
+Runtime::wakeAllocWaiters()
+{
+    for (Mutator *m : allocWaiters_) {
+        if (m->state() == sim::SimThread::State::Blocked &&
+            !m->parkedAtSafepoint()) {
+            m->makeRunnable();
+        }
+    }
+    allocWaiters_.clear();
+}
+
+void
+Runtime::forEachRoot(const RootSlotVisitor &visit)
+{
+    for (auto &m : mutators_)
+        m->program().forEachRootSlot(visit);
+    for (auto &provider : workload_.sharedRoots)
+        provider->forEachRootSlot(visit);
+}
+
+std::size_t
+Runtime::countRoots()
+{
+    std::size_t n = 0;
+    forEachRoot([&n](Addr &) { ++n; });
+    return n;
+}
+
+void
+Runtime::fail(std::string reason, bool oom)
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    if (!finalized_) {
+        finalized_ = true;
+        // A pause may be open if the failing collector was mid-GC.
+        if (agent_.inPause())
+            agent_.pauseEnd();
+        agent_.finalize(false, oom, std::move(reason));
+    }
+}
+
+void
+Runtime::mutatorFinished()
+{
+    distill_assert(liveMutators_ > 0, "mutator finished twice");
+    --liveMutators_;
+}
+
+bool
+Runtime::execute()
+{
+    bool in_time = scheduler_.run([this] {
+        return failed_ || liveMutators_ == 0;
+    });
+
+    if (!in_time && !failed_)
+        fail("virtual-time limit exceeded", false);
+
+    bool completed = !failed_ && liveMutators_ == 0;
+    if (!finalized_) {
+        finalized_ = true;
+        // The last mutator may finish during a pause's
+        // time-to-safepoint window, leaving the pause open.
+        if (agent_.inPause())
+            agent_.pauseEnd();
+        agent_.finalize(completed, false, "");
+    }
+    if (workload_.exportStats)
+        workload_.exportStats(agent_.metrics());
+    return completed;
+}
+
+} // namespace distill::rt

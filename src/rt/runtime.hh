@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The managed runtime: owns the machine, heap, collector, mutators,
+ * and the safepoint protocol.
+ *
+ * Safepoint protocol: a GC thread calls requestSafepoint() and
+ * blocks. Mutators poll at step boundaries and park; sleeping or
+ * otherwise blocked mutators count as stopped because heap access
+ * only ever happens inside a running step. When no mutator is
+ * runnable, the runtime marks the world stopped and wakes the
+ * requester. resumeWorld() unparks exactly the threads that parked at
+ * the safepoint.
+ */
+
+#ifndef DISTILL_RT_RUNTIME_HH
+#define DISTILL_RT_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "heap/forward_table.hh"
+#include "heap/mark_bitmap.hh"
+#include "heap/region.hh"
+#include "heap/remset.hh"
+#include "heap/satb.hh"
+#include "metrics/agent.hh"
+#include "rt/collector.hh"
+#include "rt/cost_model.hh"
+#include "rt/mutator.hh"
+#include "rt/program.hh"
+#include "sim/machine.hh"
+#include "sim/scheduler.hh"
+
+namespace distill::rt
+{
+
+/**
+ * Everything a run needs besides the collector and the workload.
+ */
+struct RunConfig
+{
+    sim::MachineConfig machine;
+    CostModel costs;
+
+    /** Heap size limit in bytes (the -Xmx equivalent). */
+    std::uint64_t heapBytes = 32 * MiB;
+
+    /** Master seed; every stochastic component derives from it. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/**
+ * Shared heap data structures collectors pick from.
+ */
+struct HeapContext
+{
+    explicit HeapContext(std::uint64_t heap_bytes)
+        : regions(heap_bytes),
+          bitmap(regions.regionCount()),
+          remsets(regions.regionCount()),
+          forwards(regions.regionCount())
+    {
+    }
+
+    heap::RegionManager regions;
+    heap::MarkBitmap bitmap;
+    heap::ObjectRememberedSet oldToYoung;
+    heap::RemSetTable remsets;
+    heap::SatbQueue satb;
+    heap::ForwardTableSet forwards;
+};
+
+/**
+ * A workload instantiated for one run: per-thread programs plus
+ * shared root structures and a stats-export hook.
+ */
+struct WorkloadInstance
+{
+    std::vector<std::unique_ptr<MutatorProgram>> programs;
+    std::vector<std::unique_ptr<RootProvider>> sharedRoots;
+
+    /** Copy workload-level measurements (latency) into the metrics. */
+    std::function<void(metrics::RunMetrics &)> exportStats;
+};
+
+/**
+ * One managed-runtime instance executing one workload under one
+ * collector. Single-use: construct, execute(), read metrics.
+ */
+class Runtime
+{
+  public:
+    Runtime(const RunConfig &config, std::unique_ptr<Collector> collector,
+            WorkloadInstance workload);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Run the workload to completion (or failure).
+     * @return true when every mutator finished normally.
+     */
+    bool execute();
+
+    // ----- Services used by collectors and mutators ----------------
+
+    sim::Scheduler &scheduler() { return scheduler_; }
+    HeapContext &heap() { return heap_; }
+    metrics::GcAgent &agent() { return agent_; }
+    const CostModel &costs() const { return config_.costs; }
+    Collector &collector() { return *collector_; }
+    Rng &gcRng() { return gcRng_; }
+
+    /** Register a GC thread with the scheduler (from attach()). */
+    void addGcThread(sim::SimThread *thread);
+
+    // ----- Safepoints ----------------------------------------------
+
+    /**
+     * Request a stop-the-world safepoint on behalf of @p requester
+     * (a GC thread). Blocks the requester; it is woken once the world
+     * is stopped.
+     */
+    void requestSafepoint(sim::SimThread *requester);
+
+    bool safepointRequested() const { return safepointRequested_; }
+    bool worldStopped() const { return worldStopped_; }
+
+    /** End the stop-the-world condition and unpark mutators. */
+    void resumeWorld();
+
+    /** Mutator notification: parked at the safepoint. */
+    void notifyParked(Mutator &mutator);
+
+    // ----- Allocation waiters ---------------------------------------
+
+    /** Block @p mutator until the next collection completes. */
+    void addAllocWaiter(Mutator &mutator);
+
+    /** Wake every mutator blocked on allocation. */
+    void wakeAllocWaiters();
+
+    // ----- Roots ------------------------------------------------------
+
+    /** Visit every root slot (thread programs + shared structures). */
+    void forEachRoot(const RootSlotVisitor &visit);
+
+    /** Total number of root slots (for pause cost accounting). */
+    std::size_t countRoots();
+
+    // ----- Run state ----------------------------------------------------
+
+    /** Fail the run (OOM or internal condition). */
+    void fail(std::string reason, bool oom);
+
+    bool failed() const { return failed_; }
+    unsigned liveMutators() const { return liveMutators_; }
+    void mutatorFinished();
+
+    std::vector<std::unique_ptr<Mutator>> &mutators() { return mutators_; }
+
+  private:
+    void roundHook();
+
+    RunConfig config_;
+    sim::Scheduler scheduler_;
+    HeapContext heap_;
+    metrics::GcAgent agent_;
+    std::unique_ptr<Collector> collector_;
+    WorkloadInstance workload_;
+    std::vector<std::unique_ptr<Mutator>> mutators_;
+    Rng gcRng_;
+
+    bool safepointRequested_ = false;
+    bool worldStopped_ = false;
+    sim::SimThread *safepointRequester_ = nullptr;
+
+    std::vector<Mutator *> allocWaiters_;
+
+    bool failed_ = false;
+    bool finalized_ = false;
+    unsigned liveMutators_ = 0;
+};
+
+} // namespace distill::rt
+
+#endif // DISTILL_RT_RUNTIME_HH

@@ -1,0 +1,110 @@
+#include "rt/validate.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "rt/runtime.hh"
+
+namespace distill::rt
+{
+
+bool
+validateEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("DISTILL_VALIDATE");
+        return env != nullptr && env[0] == '1';
+    }();
+    return enabled;
+}
+
+void
+watchCheck(Runtime &runtime, const char *where)
+{
+    static const Addr watch = [] {
+        const char *env = std::getenv("DISTILL_WATCH");
+        return env != nullptr ? std::strtoull(env, nullptr, 16) : 0ULL;
+    }();
+    if (watch == 0)
+        return;
+    static std::uint64_t last = 0;
+    static bool have = false;
+    auto &rm = runtime.heap().regions;
+    if (heap::regionIndexOf(watch) >= rm.regionCount() ||
+        rm.arena().committedRegions() == 0 ||
+        !rm.arena().isCommitted(heap::regionIndexOf(watch))) {
+        return;
+    }
+    std::uint64_t now_val;
+    std::memcpy(&now_val, rm.arena().hostPtr(watch), 8);
+    if (!have || now_val != last) {
+        warn("watch %llx: %llx -> %llx at t=%llu (%s)",
+             static_cast<unsigned long long>(watch),
+             static_cast<unsigned long long>(last),
+             static_cast<unsigned long long>(now_val),
+             static_cast<unsigned long long>(runtime.scheduler().now()),
+             where);
+        last = now_val;
+        have = true;
+    }
+}
+
+void
+validateHeap(Runtime &runtime, const char *context,
+             bool marked_slots_only)
+{
+    auto &ctx = runtime.heap();
+    auto &rm = ctx.regions;
+    heap::setWalkContext(context);
+
+    auto check_ref = [&](Addr ref, const char *what, Addr holder) {
+        Addr a = heap::uncolor(ref);
+        if (a == nullRef)
+            return;
+        distill_assert(a >= heap::heapBase &&
+                       heap::regionIndexOf(a) < rm.regionCount(),
+                       "[%s] %s of %llx points outside the heap: %llx",
+                       context, what,
+                       static_cast<unsigned long long>(holder),
+                       static_cast<unsigned long long>(ref));
+        heap::Region &r = rm.regionOf(a);
+        distill_assert(r.state != heap::RegionState::Free,
+                       "[%s] %s of %llx points into free region %zu "
+                       "(value %llx)",
+                       context, what,
+                       static_cast<unsigned long long>(holder),
+                       r.index,
+                       static_cast<unsigned long long>(ref));
+        distill_assert(heap::regionOffsetOf(a) < r.top,
+                       "[%s] %s of %llx points past region %zu top",
+                       context, what,
+                       static_cast<unsigned long long>(holder),
+                       r.index);
+        heap::ObjectHeader *h = rm.header(a);
+        distill_assert(h->size >= heap::objectHeaderSize &&
+                       h->size % heap::objectAlignment == 0,
+                       "[%s] %s of %llx -> %llx has corrupt header",
+                       context, what,
+                       static_cast<unsigned long long>(holder),
+                       static_cast<unsigned long long>(ref));
+    };
+
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state == heap::RegionState::Free)
+            continue;
+        rm.forEachObject(r, [&](Addr obj) {
+            if (marked_slots_only && !ctx.bitmap.isMarked(obj))
+                return;
+            heap::ObjectHeader *h = rm.header(obj);
+            for (std::uint32_t s = 0; s < h->numRefs; ++s)
+                check_ref(h->refSlots()[s], "slot", obj);
+        });
+    }
+    runtime.forEachRoot([&](Addr &slot) {
+        check_ref(slot, "root", nullRef);
+    });
+}
+
+} // namespace distill::rt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Heap validation for debugging and tests.
+ */
+
+#ifndef DISTILL_RT_VALIDATE_HH
+#define DISTILL_RT_VALIDATE_HH
+
+namespace distill::rt
+{
+
+class Runtime;
+
+/**
+ * Walk every non-free region and verify object-header sanity (sizes,
+ * alignment, top boundaries) and that every reference slot and root
+ * points at a plausible object header in a non-free region. Panics
+ * with a description on the first violation. Expensive; used by tests
+ * and by collectors under DISTILL_VALIDATE=1.
+ */
+void validateHeap(Runtime &runtime, const char *context,
+                  bool marked_slots_only = false);
+
+/** Whether DISTILL_VALIDATE=1 is set. */
+bool validateEnabled();
+
+/**
+ * Debug watchpoint: when DISTILL_WATCH=<hex sim addr> is set, report
+ * (via warn) every change of the 8 bytes at that simulated address,
+ * tagged with @p where. No-op otherwise.
+ */
+void watchCheck(Runtime &runtime, const char *where);
+
+} // namespace distill::rt
+
+#endif // DISTILL_RT_VALIDATE_HH

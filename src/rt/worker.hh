@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Base class for GC threads.
+ *
+ * GC control and worker threads share the same debt-based budget
+ * mapping as mutators (minus contention dilation — GC threads *cause*
+ * contention, mutators suffer it). Subclasses implement step(): do a
+ * small chunk of work, charge cycles, and return false when the
+ * thread should yield the core (blocked, sleeping, or out of work).
+ */
+
+#ifndef DISTILL_RT_WORKER_HH
+#define DISTILL_RT_WORKER_HH
+
+#include "base/types.hh"
+#include "sim/thread.hh"
+
+namespace distill::rt
+{
+
+/**
+ * Debt-managed simulated thread for GC work.
+ */
+class WorkerThread : public sim::SimThread
+{
+  public:
+    WorkerThread(std::string name, Kind kind)
+        : sim::SimThread(std::move(name), kind)
+    {
+    }
+
+    Cycles
+    run(Cycles budget) final
+    {
+        if (debt_ >= budget) {
+            debt_ -= budget;
+            return budget;
+        }
+        if (debt_ > 0) {
+            // Commit the residual debt in its own round so that any
+            // bookkeeping the next step performs (e.g. closing a
+            // pause and snapshotting cycle totals) observes all of
+            // this thread's work as already accounted.
+            Cycles residual = debt_;
+            debt_ = 0;
+            return residual;
+        }
+        spent_ = 0;
+        if (oneStepPerRound()) {
+            // Control threads: exactly one step per round. GC steps
+            // are coarse (whole phases), and phase-boundary
+            // bookkeeping (pause begin/end snapshots) must observe
+            // every earlier charge as committed to the scheduler's
+            // totals.
+            step();
+            if (spent_ == 0 && state() == State::Runnable)
+                spent_ = 1; // idle re-check still makes progress
+        } else {
+            // Gang workers: loop over fine-grained packets.
+            while (spent_ < budget && state() == State::Runnable) {
+                if (!step())
+                    break;
+            }
+        }
+        if (spent_ > budget) {
+            debt_ = spent_ - budget;
+            spent_ = budget;
+        }
+        return spent_;
+    }
+
+  protected:
+    /**
+     * Perform one chunk of work. Must charge() cycles for any work
+     * done. @return false to yield (also change thread state if the
+     * thread should not run next round).
+     */
+    virtual bool step() = 0;
+
+    /**
+     * Whether to run a single step per scheduling round (control
+     * threads, whose steps bracket pause snapshots) or to loop until
+     * the budget is spent (gang workers chewing small packets).
+     */
+    virtual bool oneStepPerRound() const { return true; }
+
+    /** Charge simulated cycles for work just performed. */
+    void charge(Cycles cycles) { spent_ += cycles; }
+
+  private:
+    Cycles debt_ = 0;
+    Cycles spent_ = 0;
+};
+
+} // namespace distill::rt
+
+#endif // DISTILL_RT_WORKER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine model configuration.
+ *
+ * The paper's testbed is an 8-core (16-thread) Intel i9-9900K with
+ * Turbo Boost disabled. We model a fixed-frequency machine with a
+ * configurable number of cores; SMT is approximated by core count
+ * alone. The contention parameters model the cache/bandwidth
+ * interference that concurrent GC threads impose on mutators
+ * (paper §IV-D(b)): while GC threads run concurrently with mutators,
+ * mutator operations cost proportionally more cycles.
+ */
+
+#ifndef DISTILL_SIM_MACHINE_HH
+#define DISTILL_SIM_MACHINE_HH
+
+#include "base/types.hh"
+
+namespace distill::sim
+{
+
+/**
+ * Static description of the simulated machine.
+ */
+struct MachineConfig
+{
+    /** Number of hardware cores available to schedule threads on. */
+    unsigned cores = 8;
+
+    /** Fixed core frequency in GHz (Turbo Boost disabled). */
+    double freqGhz = 3.6;
+
+    /**
+     * Scheduling quantum in cycles. Threads run for at most one
+     * quantum per scheduling round; wall-clock resolution of the
+     * simulation is bounded by this value (50 us at 3.6 GHz).
+     */
+    Cycles quantumCycles = 180'000;
+
+    /**
+     * Physical memory budget in bytes. Epsilon (no GC) exhausts this
+     * on allocation-heavy workloads, which is why the paper can only
+     * include Epsilon in the LBO estimate for some benchmarks.
+     */
+    std::uint64_t memoryBudget = 192 * MiB;
+
+    /**
+     * Per-concurrent-GC-thread dilation of mutator operation cost
+     * while GC threads share the machine with running mutators.
+     */
+    double gcContentionPerThread = 0.04;
+
+    /** Cap on the total contention dilation (excess over 1.0). */
+    double maxContention = 0.40;
+
+    /**
+     * Safety limit on virtual time; a run exceeding it is aborted and
+     * reported as failed (guards against non-termination).
+     */
+    Ticks maxVirtualTime = 600 * sec;
+
+    /** Convert a cycle count to wall-clock nanoseconds. */
+    Ticks
+    cyclesToTicks(Cycles cycles) const
+    {
+        return static_cast<Ticks>(static_cast<double>(cycles) / freqGhz);
+    }
+
+    /** Convert wall-clock nanoseconds to cycles on one core. */
+    Cycles
+    ticksToCycles(Ticks ticks) const
+    {
+        return static_cast<Cycles>(static_cast<double>(ticks) * freqGhz);
+    }
+};
+
+} // namespace distill::sim
+
+#endif // DISTILL_SIM_MACHINE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quantum-based core scheduler and virtual clock.
+ *
+ * Each scheduling round picks up to MachineConfig::cores runnable
+ * threads (round-robin for fairness), runs each for up to one quantum
+ * of cycles, and advances the wall clock by the largest cycle count
+ * any selected thread consumed (they execute in parallel on distinct
+ * cores). Threads that block mid-quantum therefore end rounds early,
+ * giving sub-quantum wall-clock precision for short GC pauses.
+ *
+ * The scheduler also maintains the contention model: when GC-kind and
+ * mutator-kind threads are co-scheduled in a round, mutators observe a
+ * dilation factor > 1 and must inflate their per-operation cycle costs
+ * by it (see rt::Mutator). This reproduces the paper's observation
+ * that concurrent GC overhead comes from resource contention as well
+ * as from barriers (§IV-D(b)).
+ */
+
+#ifndef DISTILL_SIM_SCHEDULER_HH
+#define DISTILL_SIM_SCHEDULER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/machine.hh"
+#include "sim/thread.hh"
+
+namespace distill::sim
+{
+
+/**
+ * Aggregate cycle counters, split by thread kind. The metrics agent
+ * snapshots these at pause boundaries to attribute cost.
+ */
+struct CycleTotals
+{
+    Cycles mutator = 0;
+    Cycles gc = 0;
+
+    Cycles total() const { return mutator + gc; }
+};
+
+/**
+ * The discrete-event scheduler; owns the virtual clock.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const MachineConfig &config);
+
+    /** Register a thread. Threads must outlive the scheduler run. */
+    void addThread(SimThread *thread);
+
+    /** Current virtual wall-clock time in nanoseconds. */
+    Ticks now() const { return now_; }
+
+    /** Machine description this scheduler simulates. */
+    const MachineConfig &machine() const { return config_; }
+
+    /**
+     * Mutator cycle-cost dilation for the current round, >= 1.0.
+     * Valid only while inside SimThread::run().
+     */
+    double mutatorDilation() const { return mutatorDilation_; }
+
+    /** Aggregate cycles executed so far, by thread kind. */
+    const CycleTotals &cycleTotals() const { return cycleTotals_; }
+
+    /**
+     * Run scheduling rounds until @p done returns true (checked at
+     * round boundaries), all threads finish, or the virtual-time
+     * safety limit trips.
+     *
+     * @return true on normal completion, false if the safety limit
+     *         aborted the run.
+     */
+    bool run(const std::function<bool()> &done);
+
+    /**
+     * Hook invoked at every round boundary after time advances; used
+     * by the runtime for safepoint bookkeeping and watchdogs.
+     */
+    void setRoundHook(std::function<void()> hook);
+
+  private:
+    /** Wake sleepers whose deadline has passed. */
+    void wakeSleepers();
+
+    /** @return the earliest wakeup among sleeping threads, or 0. */
+    bool nextWakeup(Ticks &deadline) const;
+
+    MachineConfig config_;
+    std::vector<SimThread *> threads_;
+    std::vector<SimThread *> selected_;
+    std::size_t rrCursor_ = 0;
+    Ticks now_ = 0;
+    double mutatorDilation_ = 1.0;
+    CycleTotals cycleTotals_;
+    std::function<void()> roundHook_;
+};
+
+} // namespace distill::sim
+
+#endif // DISTILL_SIM_SCHEDULER_HH

@@ -1,0 +1,46 @@
+#include "sim/thread.hh"
+
+#include "base/logging.hh"
+
+namespace distill::sim
+{
+
+SimThread::SimThread(std::string name, Kind kind)
+    : name_(std::move(name)), kind_(kind)
+{
+}
+
+SimThread::~SimThread() = default;
+
+void
+SimThread::makeRunnable()
+{
+    distill_assert(state_ != State::Finished,
+                   "thread %s resurrected", name_.c_str());
+    state_ = State::Runnable;
+}
+
+void
+SimThread::block()
+{
+    distill_assert(state_ != State::Finished,
+                   "thread %s blocked after finish", name_.c_str());
+    state_ = State::Blocked;
+}
+
+void
+SimThread::sleepUntil(Ticks deadline)
+{
+    distill_assert(state_ != State::Finished,
+                   "thread %s slept after finish", name_.c_str());
+    state_ = State::Sleeping;
+    wakeupTime_ = deadline;
+}
+
+void
+SimThread::finish()
+{
+    state_ = State::Finished;
+}
+
+} // namespace distill::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulated thread abstraction.
+ *
+ * A SimThread is a resumable unit of work scheduled onto simulated
+ * cores. Instead of coroutines, threads implement run(budget) as a
+ * state machine: do at most @p budget cycles of work, possibly change
+ * state (block, sleep, finish), and return the cycles actually
+ * consumed. Cycles accrue only inside run(); wall-clock time is
+ * advanced by the Scheduler. This split is the mechanical basis for
+ * the paper's time-vs-cycles distinction: a thread stalled by
+ * Shenandoah pacing sleeps (time passes, no cycles), while a thread
+ * slowed by barriers burns extra cycles.
+ */
+
+#ifndef DISTILL_SIM_THREAD_HH
+#define DISTILL_SIM_THREAD_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace distill::sim
+{
+
+class Scheduler;
+
+/**
+ * Base class for all simulated threads (mutators, GC workers, GC
+ * control threads).
+ */
+class SimThread
+{
+  public:
+    /** Scheduling state. */
+    enum class State
+    {
+        Runnable, //!< Eligible for a core this round.
+        Blocked,  //!< Waiting for an explicit wakeup (makeRunnable).
+        Sleeping, //!< Waiting for a deadline (sleepUntil).
+        Finished, //!< Will never run again.
+    };
+
+    /** Thread role; the scheduler uses it for the contention model. */
+    enum class Kind
+    {
+        Mutator,
+        Gc,
+    };
+
+    SimThread(std::string name, Kind kind);
+    virtual ~SimThread();
+
+    SimThread(const SimThread &) = delete;
+    SimThread &operator=(const SimThread &) = delete;
+
+    /**
+     * Execute up to @p budget cycles of work.
+     *
+     * Implementations must make progress or change state: returning 0
+     * while remaining Runnable is treated as a livelock bug by the
+     * scheduler. The return value must not exceed @p budget.
+     *
+     * @param budget Maximum cycles to consume this round.
+     * @return Cycles actually consumed.
+     */
+    virtual Cycles run(Cycles budget) = 0;
+
+    const std::string &name() const { return name_; }
+    Kind kind() const { return kind_; }
+    State state() const { return state_; }
+
+    /** Total cycles this thread has executed so far. */
+    Cycles cyclesConsumed() const { return cyclesConsumed_; }
+
+    /** Wall-clock deadline for a Sleeping thread. */
+    Ticks wakeupTime() const { return wakeupTime_; }
+
+    /** Transition to Runnable (wakes a Blocked or Sleeping thread). */
+    void makeRunnable();
+
+    /** Transition to Blocked; some other agent must wake this thread. */
+    void block();
+
+    /**
+     * Transition to Sleeping until virtual time @p deadline. The
+     * scheduler wakes the thread at the first round boundary at or
+     * after the deadline.
+     */
+    void sleepUntil(Ticks deadline);
+
+    /** Transition to Finished. */
+    void finish();
+
+  private:
+    friend class Scheduler;
+
+    std::string name_;
+    Kind kind_;
+    State state_ = State::Runnable;
+    Ticks wakeupTime_ = 0;
+    Cycles cyclesConsumed_ = 0;
+    Scheduler *scheduler_ = nullptr;
+};
+
+} // namespace distill::sim
+
+#endif // DISTILL_SIM_THREAD_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Workload specification.
+ *
+ * The paper evaluates on the DaCapo Chopin suite. We cannot ship
+ * DaCapo (it is a JVM artifact), so each benchmark is replaced by a
+ * synthetic workload spanning the same behavioural axes: allocation
+ * rate (compute cycles per allocated byte), object demographics
+ * (size, pointer density), lifetime distribution (nursery survival
+ * and long-lived footprint), thread count, and — for the
+ * latency-sensitive benchmarks — a metered request stream. The
+ * per-benchmark parameters live in suite.cc.
+ */
+
+#ifndef DISTILL_WL_SPEC_HH
+#define DISTILL_WL_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace distill::wl
+{
+
+/**
+ * Parameters of one synthetic benchmark.
+ */
+struct WorkloadSpec
+{
+    std::string name;
+
+    /** Mutator threads. */
+    unsigned threads = 4;
+
+    /** Total bytes each thread allocates over the run. */
+    std::uint64_t allocBytesPerThread = 6 * MiB;
+
+    // ----- Object demographics --------------------------------------
+    /** Payload size range (bytes); sampled log-uniformly. */
+    std::uint32_t minPayload = 16;
+    std::uint32_t maxPayload = 256;
+
+    /** Reference slots per object; sampled uniformly. */
+    std::uint32_t minRefs = 1;
+    std::uint32_t maxRefs = 4;
+
+    /**
+     * Reference wiring probabilities, per slot. A slot points at one
+     * of the thread's last few allocations with probability
+     * recentRefProb (forming small short-lived clusters; keep the
+     * expected number of such edges per object below 1 so cohorts
+     * stay finite), at a long-lived store object with storeRefProb,
+     * and is null otherwise.
+     */
+    double recentRefProb = 0.25;
+    double storeRefProb = 0.30;
+
+    // ----- Lifetimes --------------------------------------------------
+    /** Fraction of allocations promoted into the long-lived store. */
+    double survivalFraction = 0.06;
+
+    /** Per-thread nursery ring slots (short-lived window). */
+    std::size_t nurserySlots = 512;
+
+    /** Shared long-lived store slots (live footprint driver). */
+    std::size_t storeSlots = 12000;
+
+    // ----- Per-transaction work ----------------------------------------
+    /** Reference loads per transaction. */
+    unsigned refReads = 4;
+
+    /** Reference stores per transaction (graph mutation). */
+    unsigned refWrites = 2;
+
+    /** Pure compute cycles per transaction (allocation-rate dial). */
+    Cycles computeCycles = 600;
+
+    // ----- Latency-sensitive mode -------------------------------------
+    bool latencySensitive = false;
+
+    /** Metered request arrival rate (requests/s across all threads). */
+    double requestsPerSec = 0.0;
+
+    /** Transactions per request. */
+    unsigned txnsPerRequest = 0;
+
+    /**
+     * Measured minimum heap (bytes) under G1; filled by the min-heap
+     * finder (lbo::MinHeapFinder) or from the cached table in
+     * suite.cc. Heap multipliers are relative to this.
+     */
+    std::uint64_t minHeapBytes = 0;
+};
+
+} // namespace distill::wl
+
+#endif // DISTILL_WL_SPEC_HH

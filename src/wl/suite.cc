@@ -1,0 +1,110 @@
+#include "wl/suite.hh"
+
+#include "base/logging.hh"
+
+namespace distill::wl
+{
+
+double
+estimateTxnCycles(const WorkloadSpec &spec)
+{
+    // Allocation (~30 incl. init), wiring, reads, writes, compute.
+    double refs = (spec.minRefs + spec.maxRefs) / 2.0;
+    return 30.0 + refs * 4.0 + spec.refReads * 12.0 +
+        spec.refWrites * 10.0 + static_cast<double>(spec.computeCycles);
+}
+
+namespace
+{
+
+/** Derive a metered arrival rate targeting ~75 % ideal utilization. */
+double
+meteredRate(const WorkloadSpec &spec)
+{
+    double txn_ns = estimateTxnCycles(spec) / 3.6; // 3.6 GHz
+    double req_ns = txn_ns * std::max(1u, spec.txnsPerRequest);
+    double capacity = 1e9 * spec.threads / req_ns;
+    return 0.75 * capacity;
+}
+
+WorkloadSpec
+make(const char *name, unsigned threads, std::uint64_t alloc_mib,
+     Cycles compute, std::size_t store_slots, double survival,
+     unsigned reads, unsigned writes, std::uint32_t max_payload,
+     unsigned txns_per_request = 0)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.threads = threads;
+    spec.allocBytesPerThread = alloc_mib * MiB;
+    spec.computeCycles = compute;
+    spec.storeSlots = store_slots;
+    spec.survivalFraction = survival;
+    spec.refReads = reads;
+    spec.refWrites = writes;
+    spec.maxPayload = max_payload;
+    if (txns_per_request > 0) {
+        spec.latencySensitive = true;
+        spec.txnsPerRequest = txns_per_request;
+        spec.requestsPerSec = meteredRate(spec);
+    }
+    return spec;
+}
+
+std::vector<WorkloadSpec>
+buildSuite()
+{
+    std::vector<WorkloadSpec> suite;
+    //                 name        thr MiB  comp  store  surv   rd wr maxPay req
+    suite.push_back(make("avrora",     2,  3, 4000,  6000, 0.050, 6, 1,  128));
+    suite.push_back(make("batik",      4,  5, 1800, 10000, 0.060, 4, 2,  384));
+    suite.push_back(make("biojava",    2,  8, 2400, 16000, 0.100, 5, 2,  256));
+    suite.push_back(make("eclipse",    4,  8, 1600, 40000, 0.080, 5, 2,  256));
+    suite.push_back(make("fop",        2,  8,  700,  8000, 0.050, 3, 2,  512));
+    suite.push_back(make("graphchi",   4,  6, 2000, 30000, 0.040, 8, 1,  256));
+    suite.push_back(make("h2",         4,  8, 1500, 26000, 0.080, 5, 3,  256));
+    suite.push_back(make("jme",        4,  2, 6000,  6000, 0.040, 4, 1,  128, 16));
+    suite.push_back(make("jython",     4, 10,  550,  9000, 0.030, 3, 2,  256));
+    suite.push_back(make("luindex",    2,  4, 2800,  9000, 0.060, 4, 2,  256));
+    suite.push_back(make("lusearch",   8, 10,  320,  8000, 0.020, 3, 1,  256, 24));
+    suite.push_back(make("pmd",        6,  7, 1100, 24000, 0.120, 5, 2,  256));
+    suite.push_back(make("sunflow",    8,  8,  800,  7000, 0.020, 4, 1,  192));
+    suite.push_back(make("tomcat",     6,  6, 1100, 14000, 0.060, 4, 2,  256, 20));
+    suite.push_back(make("tradebeans", 6,  7, 1300, 20000, 0.070, 5, 2,  256, 24));
+    suite.push_back(make("tradesoap",  6,  7, 1400, 18000, 0.060, 5, 2,  256, 24));
+    suite.push_back(make("xalan",      8, 20,   90,  6000, 0.015, 2, 1,  256));
+    suite.push_back(make("zxing",      6,  5, 1500,  9000, 0.050, 4, 1,  256));
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+dacapoSuite()
+{
+    static const std::vector<WorkloadSpec> suite = buildSuite();
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+geomeanSet()
+{
+    std::vector<WorkloadSpec> set;
+    for (const WorkloadSpec &spec : dacapoSuite()) {
+        if (spec.name != "eclipse" && spec.name != "xalan")
+            set.push_back(spec);
+    }
+    return set;
+}
+
+const WorkloadSpec &
+findSpec(const std::string &name)
+{
+    for (const WorkloadSpec &spec : dacapoSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace distill::wl

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The DaCapo-Chopin-like benchmark suite.
+ *
+ * Eighteen synthetic workloads named after the DaCapo benchmarks the
+ * paper runs (§IV-A(a)), each parameterized to occupy the same
+ * qualitative niche: allocation rate, footprint, thread count,
+ * lifetime profile, and latency sensitivity. The paper's summary
+ * statistics exclude eclipse and xalan (too many collectors cannot
+ * run them at small heaps); geomeanSet() reflects that.
+ */
+
+#ifndef DISTILL_WL_SUITE_HH
+#define DISTILL_WL_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "wl/spec.hh"
+
+namespace distill::wl
+{
+
+/** All 18 benchmarks, alphabetical (the paper's table order). */
+const std::vector<WorkloadSpec> &dacapoSuite();
+
+/** The 16 benchmarks used for geometric means (no eclipse/xalan). */
+std::vector<WorkloadSpec> geomeanSet();
+
+/** Look up one benchmark by name; fatal() if unknown. */
+const WorkloadSpec &findSpec(const std::string &name);
+
+/**
+ * Rough per-transaction mutator cost (cycles) used to derive metered
+ * request rates; the arrival schedule targets ~75 % utilization of an
+ * ideal (zero-GC) run.
+ */
+double estimateTxnCycles(const WorkloadSpec &spec);
+
+} // namespace distill::wl
+
+#endif // DISTILL_WL_SUITE_HH

@@ -1,0 +1,245 @@
+#include "wl/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "heap/object.hh"
+
+namespace distill::wl
+{
+
+RequestClock::RequestClock(double rate)
+{
+    distill_assert(rate > 0.0, "request rate must be positive");
+    intervalNs_ = static_cast<Ticks>(1e9 / rate);
+    distill_assert(intervalNs_ > 0, "request rate too high");
+}
+
+Ticks
+RequestClock::nextArrival()
+{
+    Ticks t = nextNs_;
+    nextNs_ += intervalNs_;
+    return t;
+}
+
+void
+RequestClock::recordCompletion(Ticks arrival, Ticks processing_start,
+                               Ticks end)
+{
+    // Metered latency charges queuing against the arrival schedule;
+    // when processing ran ahead of the schedule the request is
+    // treated as served on arrival (clamp to processing latency).
+    metered_.record(end - std::min(arrival, processing_start));
+    simple_.record(end - processing_start);
+}
+
+TransactionProgram::TransactionProgram(const WorkloadSpec &spec,
+                                       unsigned thread_index,
+                                       SharedStore &store,
+                                       std::shared_ptr<RequestClock> clock)
+    : spec_(spec),
+      threadIndex_(thread_index),
+      store_(store),
+      clock_(std::move(clock)),
+      nursery_(spec.nurserySlots, nullRef),
+      recent_(8, nullRef)
+{
+    // Each thread populates its contiguous share of the store.
+    std::size_t share = store_.size() / spec_.threads;
+    setupBase_ = static_cast<std::size_t>(thread_index) * share;
+    setupTarget_ = (thread_index + 1 == spec_.threads)
+        ? store_.size() - setupBase_
+        : share;
+}
+
+void
+TransactionProgram::forEachRootSlot(const rt::RootSlotVisitor &visit)
+{
+    for (Addr &slot : nursery_)
+        visit(slot);
+    for (Addr &slot : recent_)
+        visit(slot);
+}
+
+Addr
+TransactionProgram::pickExisting(Rng &rng) const
+{
+    // Bias toward recently allocated objects (temporal locality).
+    if (rng.chance(0.7)) {
+        Addr a = nursery_[rng.below(nursery_.size())];
+        if (a != nullRef)
+            return a;
+    }
+    return store_.pickRandom(rng);
+}
+
+Addr
+TransactionProgram::allocateObject(rt::Mutator &mutator)
+{
+    Rng &rng = mutator.rng();
+    std::uint32_t num_refs = static_cast<std::uint32_t>(
+        rng.range(spec_.minRefs, spec_.maxRefs));
+    // Log-uniform payload size: small objects dominate, occasional
+    // larger arrays (matches managed-heap demographics).
+    double lo = std::log2(static_cast<double>(spec_.minPayload));
+    double hi = std::log2(static_cast<double>(std::max(
+        spec_.minPayload + 1, spec_.maxPayload)));
+    std::uint64_t payload = static_cast<std::uint64_t>(
+        std::exp2(lo + (hi - lo) * rng.real()));
+
+    Addr obj = mutator.allocate(num_refs, payload);
+    if (mutator.wasBlocked())
+        return nullRef;
+    bytesAllocated_ += heap::objectSize(num_refs, payload);
+
+    // Wire the new object into the graph: a few edges into the
+    // thread's most recent allocations (small, short-lived clusters)
+    // and into the long-lived store. Liveness of a dead cluster is
+    // bounded because the expected number of recent edges per object
+    // is below one (see WorkloadSpec::recentRefProb).
+    for (std::uint32_t i = 0; i < num_refs; ++i) {
+        double roll = rng.real();
+        Addr target = nullRef;
+        if (roll < spec_.recentRefProb) {
+            target = recent_[rng.below(recent_.size())];
+        } else if (roll < spec_.recentRefProb + spec_.storeRefProb) {
+            target = store_.pickRandom(rng);
+        }
+        if (target != nullRef)
+            mutator.storeRef(obj, i, target);
+    }
+    recent_[recentPos_] = obj;
+    recentPos_ = (recentPos_ + 1) % recent_.size();
+    return obj;
+}
+
+bool
+TransactionProgram::doTransaction(rt::Mutator &mutator)
+{
+    Rng &rng = mutator.rng();
+    Addr obj = allocateObject(mutator);
+    if (mutator.wasBlocked())
+        return false;
+
+    // Lifetime: a small fraction survives into the long-lived store;
+    // the rest cycles through the nursery ring and dies young.
+    if (rng.chance(spec_.survivalFraction)) {
+        store_.replaceRandom(rng, obj);
+    } else {
+        nursery_[nurseryPos_] = obj;
+        nurseryPos_ = (nurseryPos_ + 1) % nursery_.size();
+    }
+
+    // Reads.
+    for (unsigned i = 0; i < spec_.refReads; ++i) {
+        Addr target = pickExisting(rng);
+        if (target == nullRef)
+            continue;
+        std::uint32_t n = mutator.numRefs(target);
+        if (n > 0) {
+            Addr v = mutator.loadRef(target,
+                                     static_cast<unsigned>(rng.below(n)));
+            (void)v;
+        }
+    }
+
+    // Writes (graph mutation; exercises write barriers and creates
+    // cross-generational/cross-region references). Targets are
+    // recent allocations or store objects so rewritten slots keep
+    // liveness bounded.
+    for (unsigned i = 0; i < spec_.refWrites; ++i) {
+        Addr src = pickExisting(rng);
+        if (src == nullRef)
+            continue;
+        double roll = rng.real();
+        Addr dst = nullRef;
+        if (roll < 0.4)
+            dst = recent_[rng.below(recent_.size())];
+        else if (roll < 0.8)
+            dst = store_.pickRandom(rng);
+        std::uint32_t n = mutator.numRefs(src);
+        if (n > 0) {
+            mutator.storeRef(src, static_cast<unsigned>(rng.below(n)),
+                             dst);
+        }
+    }
+
+    mutator.compute(spec_.computeCycles);
+    return true;
+}
+
+rt::StepResult
+TransactionProgram::step(rt::Mutator &mutator)
+{
+    switch (state_) {
+      case State::Setup: {
+        if (setupDone_ >= setupTarget_) {
+            state_ = State::Steady;
+            // The allocation budget covers steady-state work only.
+            bytesAllocated_ = 0;
+            return rt::StepResult::Running;
+        }
+        Addr obj = allocateObject(mutator);
+        if (mutator.wasBlocked())
+            return rt::StepResult::Running; // retried after unblock
+        store_.put(setupBase_ + setupDone_, obj);
+        ++setupDone_;
+        return rt::StepResult::Running;
+      }
+      case State::Steady: {
+        if (bytesAllocated_ >= spec_.allocBytesPerThread)
+            return rt::StepResult::Done;
+
+        if (!spec_.latencySensitive) {
+            doTransaction(mutator);
+            return rt::StepResult::Running;
+        }
+
+        // Latency mode: process requests back to back (throughput
+        // mode, as DaCapo does) and meter latency against the
+        // synthetic arrival schedule.
+        if (!inRequest_) {
+            arrivalNs_ = clock_->nextArrival();
+            inRequest_ = true;
+            processingStartNs_ = mutator.now();
+            txnsLeft_ = std::max(1u, spec_.txnsPerRequest);
+        }
+        if (!doTransaction(mutator))
+            return rt::StepResult::Running; // blocked; retry
+        if (--txnsLeft_ == 0) {
+            clock_->recordCompletion(arrivalNs_, processingStartNs_,
+                                     mutator.now());
+            inRequest_ = false;
+        }
+        return rt::StepResult::Running;
+      }
+    }
+    panic("bad workload state");
+}
+
+rt::WorkloadInstance
+makeWorkload(const WorkloadSpec &spec)
+{
+    rt::WorkloadInstance instance;
+    auto store = std::make_unique<SharedStore>(spec.storeSlots);
+    std::shared_ptr<RequestClock> clock;
+    if (spec.latencySensitive)
+        clock = std::make_shared<RequestClock>(spec.requestsPerSec);
+
+    for (unsigned t = 0; t < spec.threads; ++t) {
+        instance.programs.push_back(std::make_unique<TransactionProgram>(
+            spec, t, *store, clock));
+    }
+    instance.sharedRoots.push_back(std::move(store));
+    instance.exportStats = [clock](metrics::RunMetrics &metrics) {
+        if (clock) {
+            metrics.simpleLatencyNs.merge(clock->simple());
+            metrics.meteredLatencyNs.merge(clock->metered());
+        }
+    };
+    return instance;
+}
+
+} // namespace distill::wl

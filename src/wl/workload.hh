@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Synthetic workload machinery.
+ *
+ * A workload is a set of TransactionPrograms (one per mutator thread)
+ * sharing a SharedStore (the long-lived object graph) and, for
+ * latency-sensitive benchmarks, a RequestClock that generates a
+ * metered arrival stream and records both of DaCapo's latency
+ * measures: *simple* (processing only) and *metered* (including
+ * queuing delay, the paper's preferred measure — §IV-A(a)).
+ */
+
+#ifndef DISTILL_WL_WORKLOAD_HH
+#define DISTILL_WL_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/histogram.hh"
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "rt/mutator.hh"
+#include "rt/program.hh"
+#include "rt/runtime.hh"
+#include "wl/spec.hh"
+
+namespace distill::wl
+{
+
+/**
+ * Shared long-lived object graph; every slot is a GC root
+ * (approximating a static/global object table).
+ */
+class SharedStore : public rt::RootProvider
+{
+  public:
+    explicit SharedStore(std::size_t slots)
+        : slots_(slots, nullRef)
+    {
+    }
+
+    void
+    forEachRootSlot(const rt::RootSlotVisitor &visit) override
+    {
+        for (Addr &slot : slots_)
+            visit(slot);
+    }
+
+    std::size_t size() const { return slots_.size(); }
+
+    void put(std::size_t index, Addr obj) { slots_.at(index) = obj; }
+
+    /** Random occupied-or-not slot value (may be nullRef). */
+    Addr
+    pickRandom(Rng &rng) const
+    {
+        return slots_[rng.below(slots_.size())];
+    }
+
+    /** Replace a random slot with @p obj (the old value dies). */
+    void
+    replaceRandom(Rng &rng, Addr obj)
+    {
+        slots_[rng.below(slots_.size())] = obj;
+    }
+
+  private:
+    std::vector<Addr> slots_;
+};
+
+/**
+ * Metered request arrival stream and latency recorder.
+ */
+class RequestClock
+{
+  public:
+    /** @param rate Requests per second across all threads. */
+    explicit RequestClock(double rate);
+
+    /** Arrival time of the next request in the global sequence. */
+    Ticks nextArrival();
+
+    /** Record a completed request. */
+    void recordCompletion(Ticks arrival, Ticks processing_start,
+                          Ticks end);
+
+    const Histogram &simple() const { return simple_; }
+    const Histogram &metered() const { return metered_; }
+
+  private:
+    Ticks intervalNs_;
+    Ticks nextNs_ = 0;
+    Histogram simple_;
+    Histogram metered_;
+};
+
+/**
+ * The application code of one mutator thread: a loop of small
+ * transactions (allocate, wire references, read/mutate the graph,
+ * compute), optionally drained from a metered request queue.
+ */
+class TransactionProgram : public rt::MutatorProgram
+{
+  public:
+    TransactionProgram(const WorkloadSpec &spec, unsigned thread_index,
+                       SharedStore &store,
+                       std::shared_ptr<RequestClock> clock);
+
+    rt::StepResult step(rt::Mutator &mutator) override;
+
+    void forEachRootSlot(const rt::RootSlotVisitor &visit) override;
+
+  private:
+    enum class State
+    {
+        Setup,
+        Steady,
+    };
+
+    /** Run one transaction; @return false if the thread blocked. */
+    bool doTransaction(rt::Mutator &mutator);
+
+    /** Allocate one workload object; nullRef when blocked. */
+    Addr allocateObject(rt::Mutator &mutator);
+
+    /** Pick a probably-live object to read/mutate (may be nullRef). */
+    Addr pickExisting(Rng &rng) const;
+
+    const WorkloadSpec &spec_;
+    unsigned threadIndex_;
+    SharedStore &store_;
+    std::shared_ptr<RequestClock> clock_;
+
+    State state_ = State::Setup;
+    std::size_t setupDone_ = 0;
+    std::size_t setupTarget_ = 0;
+    std::size_t setupBase_ = 0;
+
+    std::vector<Addr> nursery_;
+    std::size_t nurseryPos_ = 0;
+
+    /** Last few allocations; targets for short-lived cluster edges. */
+    std::vector<Addr> recent_;
+    std::size_t recentPos_ = 0;
+
+    std::uint64_t bytesAllocated_ = 0;
+
+    // Latency-mode request state.
+    bool inRequest_ = false;
+    Ticks arrivalNs_ = 0;
+    Ticks processingStartNs_ = 0;
+    unsigned txnsLeft_ = 0;
+};
+
+/**
+ * Instantiate @p spec as a runnable workload. The returned instance
+ * owns the shared structures; its exportStats hook copies latency
+ * histograms into the run's metrics.
+ */
+rt::WorkloadInstance makeWorkload(const WorkloadSpec &spec);
+
+} // namespace distill::wl
+
+#endif // DISTILL_WL_WORKLOAD_HH

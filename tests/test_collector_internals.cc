@@ -1,0 +1,255 @@
+/**
+ * @file
+ * White-box-ish regression tests for collector internals, exercised
+ * through observable behavior: G1's mixed collections and
+ * evacuation-failure fallback, Shenandoah's full-GC escalation, ZGC's
+ * relocation reserve and pointer coloring, and GC-log coherence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/layout.hh"
+#include "test_util.hh"
+
+namespace distill
+{
+namespace
+{
+
+using gc::CollectorKind;
+using test::AllocProgram;
+using test::runWith;
+using test::singleProgram;
+
+/**
+ * Program with a two-phase live set: builds a large long-lived block,
+ * releases half of it, then churns — old regions accumulate garbage
+ * that only an old-collecting mechanism (mixed GC / compaction) can
+ * reclaim.
+ */
+class OldGarbageProgram : public rt::MutatorProgram
+{
+  public:
+    rt::StepResult
+    step(rt::Mutator &mutator) override
+    {
+        if (phase_ == 0) { // build long-lived block
+            Addr obj = mutator.allocate(1, 112);
+            if (mutator.wasBlocked())
+                return rt::StepResult::Running;
+            block_.push_back(obj);
+            if (block_.size() == 12000)
+                phase_ = 1;
+            return rt::StepResult::Running;
+        }
+        if (phase_ == 1) { // drop half of it (old garbage)
+            for (std::size_t i = 0; i < block_.size(); i += 2)
+                block_[i] = nullRef;
+            phase_ = 2;
+            return rt::StepResult::Running;
+        }
+        // churn
+        Addr garbage = mutator.allocate(1, 96);
+        if (mutator.wasBlocked())
+            return rt::StepResult::Running;
+        (void)garbage;
+        if (++churned_ == 120000)
+            return rt::StepResult::Done;
+        mutator.compute(150);
+        return rt::StepResult::Running;
+    }
+
+    void
+    forEachRootSlot(const rt::RootSlotVisitor &visit) override
+    {
+        for (Addr &slot : block_)
+            visit(slot);
+    }
+
+    int phase_ = 0;
+    int churned_ = 0;
+    std::vector<Addr> block_;
+};
+
+TEST(G1Internals, MixedCollectionsReclaimOldGarbage)
+{
+    // Heap sized so the dead half of the block must be reclaimed for
+    // the churn to complete; G1 can only do that via concurrent
+    // marking + mixed collections (or a full GC, which we exclude by
+    // requiring no full pauses).
+    gc::GcOptions opts;
+    opts.g1TriggerFraction = 0.10;
+    rt::RunConfig config;
+    config.heapBytes = 24 * heap::regionSize;
+    rt::Runtime runtime(config, gc::makeCollector(CollectorKind::G1, opts),
+                        singleProgram(
+                            std::make_unique<OldGarbageProgram>()));
+    runtime.execute();
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+    ASSERT_TRUE(m.completed) << m.failureReason;
+    EXPECT_GT(m.concurrentCycles, 0u);
+}
+
+TEST(G1Internals, FullGcFallbackAttemptedBeforeOom)
+{
+    // With the live set slightly above what the heap can hold, G1
+    // must escalate young -> full before giving up: the OOM verdict
+    // is only reached after at least one full collection failed to
+    // make progress.
+    auto metrics = runWith(
+        CollectorKind::G1, 9,
+        singleProgram(std::make_unique<AllocProgram>(
+            60000, 18000, true, 1, 96)));
+    ASSERT_FALSE(metrics.completed);
+    EXPECT_TRUE(metrics.oom);
+    EXPECT_GT(metrics.fullPauses, 0u);
+    EXPECT_GT(metrics.youngPauses, 0u); // young was tried first
+}
+
+TEST(ShenInternals, EscalatesToFullGcWithoutPacing)
+{
+    gc::GcOptions opts;
+    opts.shenPacing = false;
+    opts.shenTriggerFraction = 0.95; // cycles start far too late
+    rt::RunConfig config;
+    config.heapBytes = 12 * heap::regionSize;
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 4; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(
+            50000, 16, false, 1, 128));
+    rt::Runtime runtime(
+        config, gc::makeCollector(CollectorKind::Shenandoah, opts),
+        std::move(w));
+    runtime.execute();
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+    ASSERT_TRUE(m.completed) << m.failureReason;
+    // With the concurrent machinery effectively disabled, survival
+    // depends on the STW fallbacks.
+    EXPECT_GT(m.fullPauses + m.degeneratedGcs, 0u);
+}
+
+TEST(ZgcInternals, ReturnsColoredReferences)
+{
+    class ColorCheck : public rt::MutatorProgram
+    {
+      public:
+        rt::StepResult
+        step(rt::Mutator &mutator) override
+        {
+            Addr obj = mutator.allocate(1, 32);
+            if (mutator.wasBlocked())
+                return rt::StepResult::Running;
+            sawColor_ |= heap::colorOf(obj) != 0;
+            sawUncoloredAccess_ |=
+                heap::uncolor(obj) == obj; // must differ for ZGC
+            root_ = obj;
+            return ++n_ < 100 ? rt::StepResult::Running
+                              : rt::StepResult::Done;
+        }
+        void
+        forEachRootSlot(const rt::RootSlotVisitor &visit) override
+        {
+            visit(root_);
+        }
+        bool sawColor_ = false;
+        bool sawUncoloredAccess_ = false;
+        Addr root_ = nullRef;
+        int n_ = 0;
+    };
+
+    auto program = std::make_unique<ColorCheck>();
+    ColorCheck *p = program.get();
+    auto metrics = runWith(CollectorKind::Zgc, 16,
+                           singleProgram(std::move(program)));
+    ASSERT_TRUE(metrics.completed);
+    EXPECT_TRUE(p->sawColor_);
+    EXPECT_FALSE(p->sawUncoloredAccess_);
+}
+
+TEST(ZgcInternals, OtherCollectorsReturnPlainReferences)
+{
+    for (CollectorKind kind :
+         {CollectorKind::Serial, CollectorKind::G1,
+          CollectorKind::Shenandoah}) {
+        class PlainCheck : public rt::MutatorProgram
+        {
+          public:
+            rt::StepResult
+            step(rt::Mutator &mutator) override
+            {
+                Addr obj = mutator.allocate(0, 16);
+                if (mutator.wasBlocked())
+                    return rt::StepResult::Running;
+                plain_ &= heap::colorOf(obj) == 0;
+                return rt::StepResult::Done;
+            }
+            void forEachRootSlot(const rt::RootSlotVisitor &) override {}
+            bool plain_ = true;
+        };
+        auto program = std::make_unique<PlainCheck>();
+        PlainCheck *p = program.get();
+        auto metrics = runWith(kind, 8, singleProgram(std::move(program)));
+        ASSERT_TRUE(metrics.completed) << gc::collectorName(kind);
+        EXPECT_TRUE(p->plain_) << gc::collectorName(kind);
+    }
+}
+
+TEST(ZgcInternals, StallsBeforeOomUnderPressure)
+{
+    // At a heap where ZGC struggles, stalls must precede any OOM:
+    // mutators wait for relocation instead of failing immediately.
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 4; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(
+            60000, 16, false, 1, 128));
+    auto metrics = runWith(CollectorKind::Zgc, 14, std::move(w));
+    EXPECT_GT(metrics.allocStalls, 0u);
+    if (!metrics.completed) {
+        EXPECT_TRUE(metrics.oom);
+    }
+}
+
+TEST(GcLog, TimestampsMonotoneAndKindsKnown)
+{
+    auto metrics = runWith(
+        CollectorKind::Shenandoah, 16,
+        singleProgram(std::make_unique<AllocProgram>(
+            80000, 64, true, 2, 96)));
+    ASSERT_TRUE(metrics.completed);
+    ASSERT_FALSE(metrics.gcLog.empty());
+    // Pause events arrive in completion order; their *end* times
+    // (start + duration) must be monotone.
+    Ticks last_end = 0;
+    for (const metrics::GcLogEvent &e : metrics.gcLog) {
+        EXPECT_NE(std::string(e.what), "");
+        Ticks end = e.startNs + e.durationNs;
+        EXPECT_GE(end + 1, last_end) << e.what; // allow equal stamps
+        if (std::string(e.what) != "alloc-stall")
+            last_end = std::max(last_end, end);
+    }
+}
+
+TEST(GcLog, CountsMatchCounters)
+{
+    auto metrics = runWith(
+        CollectorKind::Serial, 16,
+        singleProgram(std::make_unique<AllocProgram>(60000, 64, true)));
+    ASSERT_TRUE(metrics.completed);
+    std::uint64_t pause_events = 0;
+    for (const metrics::GcLogEvent &e : metrics.gcLog) {
+        std::string what = e.what;
+        pause_events += what == "young" || what == "full" ||
+            what == "evacuation" || what == "initial-mark" ||
+            what == "final-mark" || what == "phase-flip" ||
+            what == "degenerated";
+    }
+    EXPECT_EQ(pause_events + metrics.gcLogDropped >=
+                  metrics.pauseNs.count(),
+              true);
+    if (metrics.gcLogDropped == 0) {
+        EXPECT_EQ(pause_events, metrics.pauseNs.count());
+    }
+}
+
+} // namespace
+} // namespace distill

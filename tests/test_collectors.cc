@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Collector behavior tests, largely parameterized over the full
+ * collector set: completion, liveness preservation, metric
+ * consistency, determinism, OOM behavior, and collector-specific
+ * mechanisms (remembered sets, concurrent cycles, pacing, stalls).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/validate.hh"
+#include "test_util.hh"
+#include "wl/suite.hh"
+#include "wl/workload.hh"
+
+namespace distill
+{
+namespace
+{
+
+using gc::CollectorKind;
+using test::AllocProgram;
+using test::runWith;
+using test::singleProgram;
+
+/** All collectors that actually collect. */
+const std::vector<CollectorKind> &
+realCollectors()
+{
+    static const std::vector<CollectorKind> kinds =
+        gc::productionCollectors();
+    return kinds;
+}
+
+class CollectorTest : public ::testing::TestWithParam<CollectorKind>
+{
+};
+
+TEST_P(CollectorTest, CompletesChurnWorkload)
+{
+    auto metrics = runWith(
+        GetParam(), 24,
+        singleProgram(std::make_unique<AllocProgram>(50000, 64, true)));
+    EXPECT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.pauseNs.count(), 0u);
+}
+
+TEST_P(CollectorTest, MetricsConsistent)
+{
+    auto metrics = runWith(
+        GetParam(), 24,
+        singleProgram(std::make_unique<AllocProgram>(50000, 64, true)));
+    EXPECT_LE(metrics.stw.wallNs, metrics.total.wallNs);
+    EXPECT_LE(metrics.stw.cycles, metrics.total.cycles);
+    EXPECT_LE(metrics.gcThreadCycles, metrics.total.cycles);
+    EXPECT_EQ(metrics.gcThreadCycles + metrics.mutatorCycles,
+              metrics.total.cycles);
+    EXPECT_EQ(metrics.pauseNs.count(),
+              metrics.youngPauses + metrics.fullPauses +
+                  (metrics.pauseNs.count() - metrics.youngPauses -
+                   metrics.fullPauses)); // sanity: no negative buckets
+}
+
+TEST_P(CollectorTest, Deterministic)
+{
+    auto a = runWith(GetParam(), 24,
+                     singleProgram(std::make_unique<AllocProgram>(
+                         30000, 64, true)),
+                     42);
+    auto b = runWith(GetParam(), 24,
+                     singleProgram(std::make_unique<AllocProgram>(
+                         30000, 64, true)),
+                     42);
+    EXPECT_EQ(a.total.wallNs, b.total.wallNs);
+    EXPECT_EQ(a.total.cycles, b.total.cycles);
+    EXPECT_EQ(a.stw.wallNs, b.stw.wallNs);
+    EXPECT_EQ(a.pauseNs.count(), b.pauseNs.count());
+}
+
+TEST_P(CollectorTest, ReclaimsGarbage)
+{
+    // Total allocation is ~12x the heap; the run can only complete if
+    // the collector actually reclaims memory.
+    auto metrics = runWith(
+        GetParam(), 16,
+        singleProgram(
+            std::make_unique<AllocProgram>(120000, 32, true, 1, 96)));
+    EXPECT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.bytesAllocated, 16u * heap::regionSize * 3);
+}
+
+TEST_P(CollectorTest, OomWhenLiveSetExceedsHeap)
+{
+    // Keep everything alive: the live set cannot fit in 6 regions.
+    auto metrics = runWith(
+        GetParam(), 6,
+        singleProgram(std::make_unique<AllocProgram>(
+            40000, 40000, true, 1, 96)));
+    EXPECT_FALSE(metrics.completed);
+    EXPECT_TRUE(metrics.oom) << metrics.failureReason;
+}
+
+TEST_P(CollectorTest, HeapStaysValidUnderChurn)
+{
+    rt::RunConfig config;
+    config.heapBytes = 20 * heap::regionSize;
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 3; ++i)
+        w.programs.push_back(
+            std::make_unique<AllocProgram>(30000, 48, true));
+    rt::Runtime runtime(config, gc::makeCollector(GetParam()),
+                        std::move(w));
+    runtime.execute();
+    ASSERT_TRUE(runtime.agent().metrics().completed);
+    // Concurrent copying collectors legitimately leave stale
+    // references in dead objects (healed lazily / reclaimed later),
+    // so only marked objects' slots are checked for them.
+    bool marked_only = GetParam() == CollectorKind::Zgc ||
+        GetParam() == CollectorKind::Shenandoah;
+    rt::validateHeap(runtime, "post-churn", marked_only);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, CollectorTest, ::testing::ValuesIn(realCollectors()),
+    [](const ::testing::TestParamInfo<CollectorKind> &info) {
+        return gc::collectorName(info.param);
+    });
+
+// ----- collector-specific behavior --------------------------------------
+
+TEST(Serial, SingleGcThreadPaysAllCost)
+{
+    auto metrics = runWith(
+        CollectorKind::Serial, 16,
+        singleProgram(std::make_unique<AllocProgram>(60000, 64, true)));
+    // Serial performs all GC work on one thread during pauses, so
+    // the process-wide STW cycle cost must cover the GC thread's
+    // cycles (plus mutator cycles in the time-to-safepoint window).
+    EXPECT_GT(metrics.gcThreadCycles, 0u);
+    EXPECT_GE(static_cast<double>(metrics.stw.cycles) * 1.01 + 1000,
+              static_cast<double>(metrics.gcThreadCycles));
+}
+
+TEST(Parallel, FasterPausesMoreCyclesThanSerial)
+{
+    auto serial = runWith(
+        CollectorKind::Serial, 28,
+        singleProgram(std::make_unique<AllocProgram>(
+            150000, 20000, true, 2, 96)));
+    auto parallel = runWith(
+        CollectorKind::Parallel, 28,
+        singleProgram(std::make_unique<AllocProgram>(
+            150000, 20000, true, 2, 96)));
+    ASSERT_TRUE(serial.completed);
+    ASSERT_TRUE(parallel.completed);
+    // The paper's central Serial-vs-Parallel tradeoff (§IV-C(b)).
+    EXPECT_LT(parallel.stw.wallNs, serial.stw.wallNs);
+    EXPECT_GT(parallel.gcThreadCycles, serial.gcThreadCycles);
+}
+
+TEST(StwGen, WriteBarrierPopulatesRememberedSet)
+{
+    // A program storing young refs into old objects must produce
+    // remembered-set traffic, observable as completed young GCs that
+    // preserve the graph (verified by the shared liveness test) and a
+    // nonzero store count.
+    auto metrics = runWith(
+        CollectorKind::Serial, 16,
+        singleProgram(std::make_unique<AllocProgram>(50000, 64, true)));
+    EXPECT_GT(metrics.refStores, 0u);
+    EXPECT_GT(metrics.youngPauses, 0u);
+}
+
+TEST(G1, RunsConcurrentCyclesUnderPressure)
+{
+    // A low trigger threshold forces concurrent cycles even with a
+    // small live set.
+    gc::GcOptions opts;
+    opts.g1TriggerFraction = 0.10;
+    rt::RunConfig config;
+    config.heapBytes = 40 * heap::regionSize;
+    wl::WorkloadSpec spec = wl::findSpec("h2");
+    spec.allocBytesPerThread = 2 * MiB;
+    rt::Runtime runtime(config,
+                        gc::makeCollector(CollectorKind::G1, opts),
+                        wl::makeWorkload(spec));
+    runtime.execute();
+    auto &metrics = runtime.agent().metrics();
+    EXPECT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.concurrentCycles, 0u);
+    EXPECT_GT(metrics.satbEnqueues, 0u);
+}
+
+TEST(Shenandoah, MostlyConcurrent)
+{
+    auto metrics = runWith(
+        CollectorKind::Shenandoah, 24,
+        singleProgram(std::make_unique<AllocProgram>(80000, 64, true)));
+    ASSERT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.concurrentCycles, 0u);
+    // Pause cost must be a small fraction of GC-thread cost: the
+    // heavy phases run concurrently.
+    EXPECT_LT(metrics.stw.cycles, metrics.gcThreadCycles);
+}
+
+TEST(Shenandoah, PacingStallsUnderAllocationPressure)
+{
+    // Many threads allocating flat out in a small heap: pacing must
+    // engage (stall count > 0), trading wall-clock for cycles.
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 6; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(
+            60000, 16, false, 1, 128));
+    auto metrics = runWith(CollectorKind::Shenandoah, 12, std::move(w));
+    EXPECT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.allocStalls, 0u);
+    EXPECT_GT(metrics.allocStallNs, 0u);
+}
+
+TEST(Shenandoah, DegeneratesWhenPacingInsufficient)
+{
+    gc::GcOptions opts;
+    opts.shenStallsBeforeDegen = 2; // degenerate quickly
+    rt::RunConfig config;
+    config.heapBytes = 12 * heap::regionSize;
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 6; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(
+            60000, 16, false, 1, 128));
+    rt::Runtime runtime(
+        config, gc::makeCollector(CollectorKind::Shenandoah, opts),
+        std::move(w));
+    runtime.execute();
+    auto &metrics = runtime.agent().metrics();
+    EXPECT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.degeneratedGcs, 0u);
+}
+
+TEST(Shenandoah, PacingCanBeDisabled)
+{
+    gc::GcOptions opts;
+    opts.shenPacing = false;
+    rt::RunConfig config;
+    config.heapBytes = 12 * heap::regionSize;
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 6; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(
+            40000, 16, false, 1, 128));
+    rt::Runtime runtime(
+        config, gc::makeCollector(CollectorKind::Shenandoah, opts),
+        std::move(w));
+    runtime.execute();
+    auto &metrics = runtime.agent().metrics();
+    EXPECT_TRUE(metrics.completed) << metrics.failureReason;
+    // Without pacing, pressure is absorbed by degenerated GCs.
+    EXPECT_EQ(metrics.allocStalls, 0u);
+}
+
+TEST(Zgc, TinyPausesHeavyConcurrentWork)
+{
+    auto metrics = runWith(
+        CollectorKind::Zgc, 32,
+        singleProgram(std::make_unique<AllocProgram>(80000, 64, true)));
+    ASSERT_TRUE(metrics.completed) << metrics.failureReason;
+    EXPECT_GT(metrics.concurrentCycles, 0u);
+    // ZGC's signature: negligible STW share of GC cost.
+    EXPECT_LT(static_cast<double>(metrics.stw.cycles),
+              0.3 * static_cast<double>(metrics.gcThreadCycles));
+}
+
+TEST(Zgc, AllocationStallsUnderPressure)
+{
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 6; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(
+            60000, 16, false, 1, 128));
+    auto metrics = runWith(CollectorKind::Zgc, 16, std::move(w));
+    // Whether or not the run survives, stalls must have occurred.
+    EXPECT_GT(metrics.allocStalls, 0u);
+}
+
+TEST(Zgc, ColoredRefsReturnedToPrograms)
+{
+    // After a run with cycles, program roots hold colored pointers;
+    // uncoloring must produce valid heap addresses (checked by the
+    // validator) and loads must behave transparently (checked by the
+    // shared chain test). Here we just confirm cycles happened and the
+    // load barrier counters moved.
+    auto metrics = runWith(
+        CollectorKind::Zgc, 24,
+        singleProgram(std::make_unique<AllocProgram>(120000, 64, true)));
+    ASSERT_TRUE(metrics.completed);
+    EXPECT_GT(metrics.concurrentCycles, 0u);
+    EXPECT_GT(metrics.refLoads, 0u);
+}
+
+TEST(Collectors, FactoryNamesRoundTrip)
+{
+    for (CollectorKind kind : gc::allCollectors()) {
+        EXPECT_EQ(gc::collectorFromName(gc::collectorName(kind)), kind);
+        auto collector = gc::makeCollector(kind);
+        EXPECT_STREQ(collector->name(), gc::collectorName(kind));
+    }
+}
+
+TEST(CollectorsDeath, UnknownNameFatal)
+{
+    EXPECT_EXIT(gc::collectorFromName("NoSuchGC"),
+                ::testing::ExitedWithCode(1), "unknown collector");
+}
+
+} // namespace
+} // namespace distill

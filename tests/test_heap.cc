@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Unit tests for the heap substrate: address layout and colored
+ * pointers, the arena, the object model, regions, the mark bitmap,
+ * remembered sets, SATB queues, and forwarding tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "heap/arena.hh"
+#include "heap/forward_table.hh"
+#include "heap/layout.hh"
+#include "heap/mark_bitmap.hh"
+#include "heap/object.hh"
+#include "heap/region.hh"
+#include "heap/remset.hh"
+#include "heap/satb.hh"
+
+namespace distill::heap
+{
+namespace
+{
+
+// ----- layout / colors ----------------------------------------------
+
+TEST(Layout, RegionMath)
+{
+    EXPECT_EQ(regionIndexOf(heapBase), 0u);
+    EXPECT_EQ(regionIndexOf(heapBase + regionSize - 1), 0u);
+    EXPECT_EQ(regionIndexOf(heapBase + regionSize), 1u);
+    EXPECT_EQ(regionOffsetOf(heapBase + 5 * regionSize + 123 * 16),
+              123u * 16);
+    EXPECT_EQ(regionStart(3), heapBase + 3 * regionSize);
+}
+
+class LayoutColorTest : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(LayoutColorTest, ColorRoundTrip)
+{
+    Addr color = GetParam();
+    Addr addr = heapBase + 7 * regionSize + 640;
+    Addr colored = colorize(addr, color);
+    EXPECT_EQ(uncolor(colored), addr);
+    EXPECT_EQ(colorOf(colored), color);
+    EXPECT_EQ(regionIndexOf(colored), 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Colors, LayoutColorTest,
+                         ::testing::Values(0, colorMarked0, colorMarked1,
+                                           colorRemapped));
+
+TEST(Layout, RecolorReplaces)
+{
+    Addr a = heapBase + 32;
+    Addr c1 = colorize(a, colorMarked0);
+    Addr c2 = colorize(c1, colorRemapped);
+    EXPECT_EQ(colorOf(c2), colorRemapped);
+    EXPECT_EQ(uncolor(c2), a);
+}
+
+// ----- object model --------------------------------------------------
+
+TEST(Object, SizeComputation)
+{
+    // Header 16 + refs + payload, rounded to 16.
+    EXPECT_EQ(objectSize(0, 0), 16u);
+    EXPECT_EQ(objectSize(1, 0), 32u); // 16 + 8 -> 32
+    EXPECT_EQ(objectSize(2, 0), 32u);
+    EXPECT_EQ(objectSize(2, 1), 48u);
+    EXPECT_EQ(objectSize(0, 100), 128u);
+}
+
+TEST(Object, HeaderIs16Bytes)
+{
+    EXPECT_EQ(sizeof(ObjectHeader), 16u);
+}
+
+TEST(Object, AgeBits)
+{
+    ObjectHeader h{};
+    EXPECT_EQ(h.age(), 0u);
+    h.setAge(7);
+    EXPECT_EQ(h.age(), 7u);
+    h.setAge(15);
+    EXPECT_EQ(h.age(), 15u);
+    // Age must not clobber other flags.
+    h.flags |= flagRemembered;
+    h.setAge(2);
+    EXPECT_TRUE(h.flags & flagRemembered);
+    EXPECT_EQ(h.age(), 2u);
+}
+
+TEST(Object, Forwarding)
+{
+    ObjectHeader h{};
+    EXPECT_FALSE(h.isForwarded());
+    h.setForwarded(0x12345);
+    EXPECT_TRUE(h.isForwarded());
+    EXPECT_EQ(h.forward, 0x12345u);
+}
+
+// ----- arena ----------------------------------------------------------
+
+TEST(Arena, LazyCommit)
+{
+    Arena arena(8);
+    EXPECT_EQ(arena.committedRegions(), 0u);
+    arena.commit(3);
+    EXPECT_EQ(arena.committedRegions(), 1u);
+    EXPECT_TRUE(arena.isCommitted(3));
+    EXPECT_FALSE(arena.isCommitted(2));
+    arena.commit(3); // idempotent
+    EXPECT_EQ(arena.committedRegions(), 1u);
+}
+
+TEST(Arena, HostPtrReadsBack)
+{
+    Arena arena(4);
+    arena.commit(1);
+    Addr addr = regionStart(1) + 128;
+    *reinterpret_cast<std::uint64_t *>(arena.hostPtr(addr)) = 0xdead;
+    EXPECT_EQ(*reinterpret_cast<std::uint64_t *>(arena.hostPtr(addr)),
+              0xdeadu);
+    // Colored access resolves to the same memory.
+    EXPECT_EQ(*reinterpret_cast<std::uint64_t *>(
+                  arena.hostPtr(colorize(addr, colorMarked1))),
+              0xdeadu);
+}
+
+TEST(ArenaDeath, UncommittedAccess)
+{
+    Arena arena(4);
+    EXPECT_DEATH(arena.hostPtr(regionStart(2)), "uncommitted");
+}
+
+TEST(Arena, WriteFiller)
+{
+    Arena arena(2);
+    arena.commit(0);
+    Addr addr = regionStart(0) + 64;
+    writeFiller(arena, addr, 48);
+    ObjectHeader *h = arena.header(addr);
+    EXPECT_EQ(h->size, 48u);
+    EXPECT_EQ(h->numRefs, 0u);
+    EXPECT_EQ(h->flags, 0u);
+}
+
+TEST(ArenaDeath, UnfillableGap)
+{
+    Arena arena(2);
+    arena.commit(0);
+    EXPECT_DEATH(writeFiller(arena, regionStart(0), 8), "unfillable");
+}
+
+// ----- region manager ---------------------------------------------------
+
+TEST(RegionManager, SizingRoundsUp)
+{
+    RegionManager rm(regionSize * 3 + 1);
+    EXPECT_EQ(rm.regionCount(), 4u);
+    EXPECT_EQ(rm.heapBytes(), 4 * regionSize);
+    EXPECT_EQ(rm.freeCount(), 4u);
+}
+
+TEST(RegionManager, AllocAscendingOrder)
+{
+    RegionManager rm(regionSize * 4);
+    Region *a = rm.allocRegion(RegionState::Eden);
+    Region *b = rm.allocRegion(RegionState::Eden);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_LT(a->index, b->index);
+    EXPECT_EQ(rm.freeCount(), 2u);
+    EXPECT_EQ(rm.usedCount(), 2u);
+}
+
+TEST(RegionManager, Exhaustion)
+{
+    RegionManager rm(regionSize * 2);
+    EXPECT_NE(rm.allocRegion(RegionState::Old), nullptr);
+    EXPECT_NE(rm.allocRegion(RegionState::Old), nullptr);
+    EXPECT_EQ(rm.allocRegion(RegionState::Old), nullptr);
+}
+
+TEST(RegionManager, FreeAndReuse)
+{
+    RegionManager rm(regionSize * 2);
+    Region *a = rm.allocRegion(RegionState::Old);
+    a->top = 4096;
+    a->liveBytes = 100;
+    rm.freeRegion(*a);
+    EXPECT_EQ(a->state, RegionState::Free);
+    EXPECT_EQ(a->top, 0u);
+    Region *b = rm.allocRegion(RegionState::Eden);
+    EXPECT_EQ(b, a); // LIFO reuse
+    EXPECT_EQ(b->state, RegionState::Eden);
+}
+
+TEST(RegionManagerDeath, DoubleFree)
+{
+    RegionManager rm(regionSize * 2);
+    Region *a = rm.allocRegion(RegionState::Old);
+    rm.freeRegion(*a);
+    EXPECT_DEATH(rm.freeRegion(*a), "double free");
+}
+
+TEST(RegionManager, TryAllocBump)
+{
+    RegionManager rm(regionSize);
+    Region *r = rm.allocRegion(RegionState::Eden);
+    Addr a = r->tryAlloc(64);
+    Addr b = r->tryAlloc(64);
+    EXPECT_EQ(b, a + 64);
+    EXPECT_EQ(r->top, 128u);
+    EXPECT_EQ(r->tryAlloc(regionSize), nullRef);
+}
+
+TEST(RegionManager, ObjectWalk)
+{
+    RegionManager rm(regionSize);
+    Region *r = rm.allocRegion(RegionState::Old);
+    std::vector<Addr> expect;
+    for (std::uint64_t size : {32u, 64u, 16u, 128u}) {
+        Addr a = r->tryAlloc(size);
+        writeFiller(rm.arena(), a, size);
+        expect.push_back(a);
+    }
+    std::vector<Addr> seen;
+    rm.forEachObject(*r, [&](Addr a) { seen.push_back(a); });
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(RegionManager, WalkStopsAtTop)
+{
+    RegionManager rm(regionSize);
+    Region *r = rm.allocRegion(RegionState::Old);
+    Addr a = r->tryAlloc(32);
+    writeFiller(rm.arena(), a, 32);
+    int count = 0;
+    rm.forEachObject(*r, [&](Addr) { ++count; });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(RegionManager, CountAndForEachByState)
+{
+    RegionManager rm(regionSize * 4);
+    rm.allocRegion(RegionState::Eden);
+    rm.allocRegion(RegionState::Eden);
+    rm.allocRegion(RegionState::Old);
+    EXPECT_EQ(rm.countRegions(RegionState::Eden), 2u);
+    EXPECT_EQ(rm.countRegions(RegionState::Old), 1u);
+    EXPECT_EQ(rm.countRegions(RegionState::Free), 1u);
+    int eden = 0;
+    rm.forEachRegion(RegionState::Eden, [&](Region &) { ++eden; });
+    EXPECT_EQ(eden, 2);
+}
+
+// ----- mark bitmap ---------------------------------------------------
+
+TEST(MarkBitmap, MarkOnce)
+{
+    MarkBitmap bm(2);
+    Addr a = regionStart(0) + 48;
+    EXPECT_FALSE(bm.isMarked(a));
+    EXPECT_TRUE(bm.mark(a));
+    EXPECT_TRUE(bm.isMarked(a));
+    EXPECT_FALSE(bm.mark(a)); // second mark reports already-set
+}
+
+TEST(MarkBitmap, IndependentAddresses)
+{
+    MarkBitmap bm(2);
+    bm.mark(regionStart(0));
+    EXPECT_FALSE(bm.isMarked(regionStart(0) + 16));
+    EXPECT_FALSE(bm.isMarked(regionStart(1)));
+}
+
+TEST(MarkBitmap, IgnoresColors)
+{
+    MarkBitmap bm(1);
+    Addr a = regionStart(0) + 160;
+    bm.mark(colorize(a, colorMarked0));
+    EXPECT_TRUE(bm.isMarked(colorize(a, colorRemapped)));
+    EXPECT_TRUE(bm.isMarked(a));
+}
+
+TEST(MarkBitmap, ClearSingle)
+{
+    MarkBitmap bm(1);
+    Addr a = regionStart(0) + 32;
+    bm.mark(a);
+    bm.clear(a);
+    EXPECT_FALSE(bm.isMarked(a));
+}
+
+TEST(MarkBitmap, ClearRegionIsolated)
+{
+    MarkBitmap bm(3);
+    bm.mark(regionStart(0) + 16);
+    bm.mark(regionStart(1) + 16);
+    bm.mark(regionStart(2) + 16);
+    bm.clearRegion(1);
+    EXPECT_TRUE(bm.isMarked(regionStart(0) + 16));
+    EXPECT_FALSE(bm.isMarked(regionStart(1) + 16));
+    EXPECT_TRUE(bm.isMarked(regionStart(2) + 16));
+}
+
+class MarkBitmapSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MarkBitmapSweep, MarkAtOffset)
+{
+    MarkBitmap bm(2);
+    Addr a = regionStart(1) + GetParam();
+    EXPECT_TRUE(bm.mark(a));
+    EXPECT_TRUE(bm.isMarked(a));
+    // Neighbors unaffected.
+    if (GetParam() >= 16) {
+        EXPECT_FALSE(bm.isMarked(a - 16));
+    }
+    if (GetParam() + 16 < regionSize) {
+        EXPECT_FALSE(bm.isMarked(a + 16));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, MarkBitmapSweep,
+                         ::testing::Values(0, 16, 1024, 8192,
+                                           regionSize - 16));
+
+TEST(MarkBitmap, ClearAll)
+{
+    MarkBitmap bm(2);
+    bm.mark(regionStart(0));
+    bm.mark(regionStart(1) + 4096);
+    bm.clearAll();
+    EXPECT_FALSE(bm.isMarked(regionStart(0)));
+    EXPECT_FALSE(bm.isMarked(regionStart(1) + 4096));
+}
+
+// ----- remembered sets --------------------------------------------------
+
+TEST(RemSet, ObjectRememberedSetRecordsAndRebuilds)
+{
+    ObjectRememberedSet set;
+    set.record(100);
+    set.record(200);
+    EXPECT_EQ(set.size(), 2u);
+    set.rebuild({200});
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.entries()[0], 200u);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(RemSet, RegionRemSetDedup)
+{
+    RegionRemSet set;
+    EXPECT_TRUE(set.add(42));
+    EXPECT_FALSE(set.add(42));
+    EXPECT_EQ(set.size(), 1u);
+    set.remove(42);
+    EXPECT_EQ(set.size(), 0u);
+    set.remove(42); // idempotent
+}
+
+TEST(RemSet, TablePerRegion)
+{
+    RemSetTable table(4);
+    table.forRegion(0).add(1);
+    table.forRegion(3).add(2);
+    EXPECT_EQ(table.forRegion(0).size(), 1u);
+    EXPECT_EQ(table.forRegion(1).size(), 0u);
+    table.clearAll();
+    EXPECT_EQ(table.forRegion(0).size(), 0u);
+    EXPECT_EQ(table.forRegion(3).size(), 0u);
+}
+
+// ----- SATB ----------------------------------------------------------
+
+TEST(Satb, FlushAndDrain)
+{
+    SatbQueue q;
+    std::vector<Addr> local = {1, 2, 3};
+    q.flush(local);
+    EXPECT_TRUE(local.empty());
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 1u);
+    EXPECT_EQ(q.pop(), 2u);
+    EXPECT_EQ(q.pop(), 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Satb, RemapRewritesAndDrops)
+{
+    SatbQueue q;
+    q.push(10);
+    q.push(20);
+    q.push(30);
+    q.remap([](Addr a) -> Addr {
+        if (a == 20)
+            return nullRef; // drop
+        return a + 1;
+    });
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 11u);
+    EXPECT_EQ(q.pop(), 31u);
+}
+
+TEST(Satb, Clear)
+{
+    SatbQueue q;
+    q.push(1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+// ----- forwarding tables ----------------------------------------------
+
+TEST(ForwardTable, InsertLookup)
+{
+    ForwardTable t;
+    EXPECT_EQ(t.lookup(100), nullRef);
+    t.insert(100, 200);
+    EXPECT_EQ(t.lookup(100), 200u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ForwardTable, ColorInsensitive)
+{
+    ForwardTable t;
+    Addr from = regionStart(0) + 64;
+    Addr to = regionStart(1) + 32;
+    t.insert(colorize(from, colorMarked0), colorize(to, colorMarked1));
+    EXPECT_EQ(t.lookup(colorize(from, colorRemapped)), to);
+}
+
+TEST(ForwardTableSet, CreateGetDrop)
+{
+    ForwardTableSet set(4);
+    EXPECT_EQ(set.get(2), nullptr);
+    ForwardTable &t = set.create(2);
+    t.insert(1, 2);
+    ASSERT_NE(set.get(2), nullptr);
+    EXPECT_EQ(set.get(2)->lookup(1), 2u);
+    set.drop(2);
+    EXPECT_EQ(set.get(2), nullptr);
+}
+
+TEST(ForwardTableSet, DropAll)
+{
+    ForwardTableSet set(3);
+    set.create(0);
+    set.create(2);
+    set.dropAll();
+    EXPECT_EQ(set.get(0), nullptr);
+    EXPECT_EQ(set.get(2), nullptr);
+}
+
+TEST(ForwardTableSet, OutOfRangeGetIsNull)
+{
+    ForwardTableSet set(2);
+    EXPECT_EQ(set.get(99), nullptr);
+}
+
+} // namespace
+} // namespace distill::heap

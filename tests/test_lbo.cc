@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for the LBO methodology layer: record serialization, the
+ * analyzer's math (reproducing the paper's Tables II-V walkthrough
+ * numerically), attribution modes, and the sweep runner's cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "lbo/analyzer.hh"
+#include "lbo/record.hh"
+#include "lbo/sweep.hh"
+#include "heap/layout.hh"
+#include "wl/suite.hh"
+
+namespace distill::lbo
+{
+namespace
+{
+
+RunRecord
+makeRecord(const std::string &bench, const std::string &collector,
+           double factor, double total_cycles, double stw_cycles,
+           double gc_thread_cycles, double wall = 1e9,
+           double stw_wall = 1e7)
+{
+    RunRecord r;
+    r.bench = bench;
+    r.collector = collector;
+    r.heapFactor = factor;
+    r.heapBytes = 32 * MiB;
+    r.completed = true;
+    r.cycles = total_cycles;
+    r.stwCycles = stw_cycles;
+    r.gcThreadCycles = gc_thread_cycles;
+    r.wallNs = wall;
+    r.stwWallNs = stw_wall;
+    return r;
+}
+
+// ----- record CSV ----------------------------------------------------
+
+TEST(Record, CsvRoundTrip)
+{
+    RunRecord r;
+    r.bench = "h2";
+    r.collector = "Shenandoah";
+    r.heapFactor = 3.0;
+    r.heapBytes = 123456;
+    r.seed = 42;
+    r.invocation = 7;
+    r.completed = true;
+    r.oom = false;
+    r.wallNs = 1.5e9;
+    r.cycles = 2.5e9;
+    r.stwWallNs = 1e6;
+    r.stwCycles = 2e6;
+    r.gcThreadCycles = 3e8;
+    r.mutatorCycles = 2.2e9;
+    r.pauses = 12;
+    r.pauseP9999Ns = 777;
+    r.meteredP99Ns = 888;
+    r.allocStallNs = 999;
+    r.degeneratedGcs = 3;
+    r.bytesAllocated = 1 << 30;
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(r.toCsv(), back));
+    EXPECT_EQ(back.bench, r.bench);
+    EXPECT_EQ(back.collector, r.collector);
+    EXPECT_EQ(back.heapFactor, r.heapFactor);
+    EXPECT_EQ(back.heapBytes, r.heapBytes);
+    EXPECT_EQ(back.seed, r.seed);
+    EXPECT_EQ(back.invocation, r.invocation);
+    EXPECT_EQ(back.completed, r.completed);
+    EXPECT_EQ(back.wallNs, r.wallNs);
+    EXPECT_EQ(back.cycles, r.cycles);
+    EXPECT_EQ(back.gcThreadCycles, r.gcThreadCycles);
+    EXPECT_EQ(back.pauses, r.pauses);
+    EXPECT_EQ(back.pauseP9999Ns, r.pauseP9999Ns);
+    EXPECT_EQ(back.meteredP99Ns, r.meteredP99Ns);
+    EXPECT_EQ(back.allocStallNs, r.allocStallNs);
+    EXPECT_EQ(back.degeneratedGcs, r.degeneratedGcs);
+    EXPECT_EQ(back.bytesAllocated, r.bytesAllocated);
+}
+
+TEST(Record, MalformedCsvRejected)
+{
+    RunRecord r;
+    EXPECT_FALSE(RunRecord::fromCsv("not,a,record", r));
+    EXPECT_FALSE(RunRecord::fromCsv("", r));
+}
+
+// ----- analyzer: the paper's Tables II-V walkthrough -----------------
+
+class PaperWalkthrough : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Table III of the paper (billions of cycles, h2 at 3.0x):
+        //   Parallel:   STW 4.46, other 103.87, total 108.33
+        //   Serial:     STW 2.75, other 105.37, total 108.12
+        //   Shenandoah: STW 0.03, other 218.69, total 218.72
+        std::vector<RunRecord> records;
+        records.push_back(makeRecord("h2", "Parallel", 3.0, 108.33e9,
+                                     4.46e9, 4.46e9));
+        records.push_back(makeRecord("h2", "Serial", 3.0, 108.12e9,
+                                     2.75e9, 2.75e9));
+        records.push_back(makeRecord("h2", "Shenandoah", 3.0, 218.72e9,
+                                     0.03e9, 0.03e9));
+        analyzer_ = std::make_unique<LboAnalyzer>(std::move(records));
+    }
+
+    std::unique_ptr<LboAnalyzer> analyzer_;
+};
+
+TEST_F(PaperWalkthrough, IdealEstimateIsTightestOther)
+{
+    // Table III: min other cycles = Parallel's 103.87e9.
+    double ideal = analyzer_->idealEstimate("h2", metrics::Metric::Cycles,
+                                            Attribution::PausesOnly);
+    EXPECT_NEAR(ideal, 103.87e9, 1e6);
+}
+
+TEST_F(PaperWalkthrough, LboValuesMatchTableIV)
+{
+    auto lbo = [&](const char *name) {
+        return analyzer_->lbo("h2", name, 3.0, metrics::Metric::Cycles,
+                              Attribution::PausesOnly)
+            .mean;
+    };
+    EXPECT_NEAR(lbo("Parallel"), 1.043, 0.001);
+    EXPECT_NEAR(lbo("Serial"), 1.041, 0.001);
+    EXPECT_NEAR(lbo("Shenandoah"), 2.106, 0.001);
+}
+
+TEST_F(PaperWalkthrough, TighterBoundRaisesLbo)
+{
+    // Table V: adding a hypothetical collector with other = 100.00e9
+    // tightens the bound and raises every LBO.
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("h2", "Parallel", 3.0, 108.33e9,
+                                 4.46e9, 4.46e9));
+    records.push_back(makeRecord("h2", "Serial", 3.0, 108.12e9, 2.75e9,
+                                 2.75e9));
+    records.push_back(makeRecord("h2", "Shenandoah", 3.0, 218.72e9,
+                                 0.03e9, 0.03e9));
+    records.push_back(makeRecord("h2", "Hypothetical", 3.0, 109.50e9,
+                                 9.5e9, 9.5e9));
+    LboAnalyzer tighter(std::move(records));
+
+    auto lbo = [&](const char *name) {
+        return tighter.lbo("h2", name, 3.0, metrics::Metric::Cycles,
+                           Attribution::PausesOnly)
+            .mean;
+    };
+    EXPECT_NEAR(lbo("Parallel"), 1.083, 0.001);
+    EXPECT_NEAR(lbo("Serial"), 1.081, 0.001);
+    EXPECT_NEAR(lbo("Shenandoah"), 2.187, 0.001);
+    EXPECT_NEAR(lbo("Hypothetical"), 1.095, 0.001);
+}
+
+TEST_F(PaperWalkthrough, LboAtLeastOne)
+{
+    for (const char *name : {"Parallel", "Serial", "Shenandoah"}) {
+        EXPECT_GE(analyzer_->lbo("h2", name, 3.0,
+                                 metrics::Metric::Cycles,
+                                 Attribution::PausesOnly)
+                      .mean,
+                  1.0);
+    }
+}
+
+// ----- analyzer: attribution and edge cases ---------------------------
+
+TEST(Analyzer, RefinedAttributionTightensConcurrentGcBound)
+{
+    // A concurrent collector hides most GC cycles outside pauses;
+    // attributing GC-thread cycles yields a larger estimated GC cost
+    // and thus a smaller ideal estimate from that collector.
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("w", "Conc", 2.0, 200e9, 0.1e9,
+                                 80e9));
+    LboAnalyzer analyzer(std::move(records));
+    double naive = analyzer.idealEstimate("w", metrics::Metric::Cycles,
+                                          Attribution::PausesOnly);
+    double refined = analyzer.idealEstimate("w", metrics::Metric::Cycles,
+                                            Attribution::GcThreads);
+    EXPECT_NEAR(naive, 199.9e9, 1e6);
+    EXPECT_NEAR(refined, 120e9, 1e6);
+    EXPECT_LT(refined, naive);
+}
+
+TEST(Analyzer, WallTimeUsesPausesForBothAttributions)
+{
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("w", "A", 2.0, 100e9, 1e9, 50e9,
+                                 2e9, 0.5e9));
+    LboAnalyzer analyzer(std::move(records));
+    EXPECT_EQ(analyzer.idealEstimate("w", metrics::Metric::WallTime,
+                                     Attribution::PausesOnly),
+              analyzer.idealEstimate("w", metrics::Metric::WallTime,
+                                     Attribution::GcThreads));
+}
+
+TEST(Analyzer, IncompleteConfigInvalid)
+{
+    std::vector<RunRecord> records;
+    RunRecord bad = makeRecord("w", "A", 2.0, 1e9, 1e8, 1e8);
+    bad.completed = false;
+    bad.oom = true;
+    records.push_back(bad);
+    records.push_back(makeRecord("w", "B", 2.0, 2e9, 1e8, 1e8));
+    LboAnalyzer analyzer(std::move(records));
+    EXPECT_FALSE(analyzer.ran("w", "A", 2.0));
+    EXPECT_TRUE(analyzer.ran("w", "B", 2.0));
+    EXPECT_FALSE(analyzer
+                     .lbo("w", "A", 2.0, metrics::Metric::Cycles,
+                          Attribution::PausesOnly)
+                     .valid);
+}
+
+TEST(Analyzer, PartiallyFailedConfigInvalid)
+{
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("w", "A", 2.0, 1e9, 1e8, 1e8));
+    RunRecord bad = makeRecord("w", "A", 2.0, 1e9, 1e8, 1e8);
+    bad.completed = false;
+    records.push_back(bad);
+    LboAnalyzer analyzer(std::move(records));
+    // Paper convention: a collector must run all invocations.
+    EXPECT_FALSE(analyzer.ran("w", "A", 2.0));
+}
+
+TEST(Analyzer, MeanAndCiOverInvocations)
+{
+    std::vector<RunRecord> records;
+    for (double total : {100e9, 110e9, 120e9}) {
+        RunRecord r = makeRecord("w", "A", 2.0, total, 10e9, 10e9);
+        r.invocation = static_cast<unsigned>(total / 1e9);
+        records.push_back(r);
+    }
+    LboAnalyzer analyzer(std::move(records));
+    auto v = analyzer.total("w", "A", 2.0, metrics::Metric::Cycles);
+    ASSERT_TRUE(v.valid);
+    EXPECT_NEAR(v.mean, 110e9, 1);
+    EXPECT_GT(v.ci, 0.0);
+}
+
+TEST(Analyzer, StwPercent)
+{
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("w", "A", 2.0, 100e9, 5e9, 5e9,
+                                 1e9, 0.02e9));
+    LboAnalyzer analyzer(std::move(records));
+    EXPECT_NEAR(analyzer.stwPercent("w", "A", 2.0,
+                                    metrics::Metric::Cycles)
+                    .mean,
+                5.0, 1e-9);
+    EXPECT_NEAR(analyzer.stwPercent("w", "A", 2.0,
+                                    metrics::Metric::WallTime)
+                    .mean,
+                2.0, 1e-9);
+}
+
+TEST(Analyzer, EpsilonTightensTimeBound)
+{
+    // Epsilon (no GC) typically provides the best wall-time bound.
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("w", "Serial", 2.0, 0, 0, 0, 1.2e9,
+                                 0.1e9));
+    RunRecord eps = makeRecord("w", "Epsilon", 0.0, 0, 0, 0, 1.0e9, 0);
+    records.push_back(eps);
+    LboAnalyzer analyzer(std::move(records));
+    EXPECT_NEAR(analyzer.idealEstimate("w", metrics::Metric::WallTime,
+                                       Attribution::PausesOnly),
+                1.0e9, 1);
+    EXPECT_NEAR(analyzer
+                    .lbo("w", "Serial", 2.0, metrics::Metric::WallTime,
+                         Attribution::PausesOnly)
+                    .mean,
+                1.2, 1e-9);
+}
+
+TEST(Analyzer, EnergyMetricComputes)
+{
+    std::vector<RunRecord> records;
+    records.push_back(makeRecord("w", "A", 2.0, 100e9, 5e9, 5e9));
+    LboAnalyzer analyzer(std::move(records));
+    EXPECT_TRUE(analyzer.lbo("w", "A", 2.0, metrics::Metric::Energy,
+                             Attribution::GcThreads)
+                    .valid);
+}
+
+// ----- sweep runner -------------------------------------------------------
+
+TEST(Sweep, PaperHeapFactors)
+{
+    const auto &factors = paperHeapFactors();
+    ASSERT_EQ(factors.size(), 8u);
+    EXPECT_EQ(factors.front(), 1.4);
+    EXPECT_EQ(factors.back(), 6.0);
+    for (std::size_t i = 1; i < factors.size(); ++i)
+        EXPECT_GT(factors[i], factors[i - 1]);
+}
+
+TEST(Sweep, InvocationSeedStableAndDistinct)
+{
+    EXPECT_EQ(invocationSeed(1, "h2", 0), invocationSeed(1, "h2", 0));
+    EXPECT_NE(invocationSeed(1, "h2", 0), invocationSeed(1, "h2", 1));
+    EXPECT_NE(invocationSeed(1, "h2", 0), invocationSeed(1, "fop", 0));
+    EXPECT_NE(invocationSeed(1, "h2", 0), invocationSeed(2, "h2", 0));
+}
+
+TEST(Sweep, InvocationsFromEnv)
+{
+    unsetenv("DISTILL_INVOCATIONS");
+    EXPECT_EQ(invocationsFromEnv(5), 5u);
+    setenv("DISTILL_INVOCATIONS", "9", 1);
+    EXPECT_EQ(invocationsFromEnv(5), 9u);
+    setenv("DISTILL_INVOCATIONS", "bogus", 1);
+    EXPECT_EQ(invocationsFromEnv(5), 5u);
+    unsetenv("DISTILL_INVOCATIONS");
+}
+
+class SweepCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+            "distill_sweep_test";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        setenv("DISTILL_CACHE_DIR", dir_.c_str(), 1);
+        unsetenv("DISTILL_NO_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("DISTILL_CACHE_DIR");
+        std::filesystem::remove_all(dir_);
+    }
+
+    SweepConfig
+    tinyConfig()
+    {
+        SweepConfig config;
+        wl::WorkloadSpec spec = wl::findSpec("jme");
+        spec.allocBytesPerThread = 256 * KiB;
+        spec.minHeapBytes = 8 * heap::regionSize; // skip min-heap search
+        config.benchmarks = {spec};
+        config.heapFactors = {2.0};
+        config.collectors = {gc::CollectorKind::Serial,
+                             gc::CollectorKind::G1};
+        config.includeEpsilon = true;
+        config.invocations = 2;
+        return config;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(SweepCacheTest, RunsGridAndCaches)
+{
+    SweepRunner runner;
+    auto records = runner.run(tinyConfig());
+    // 2 invocations x (epsilon + 2 collectors x 1 factor) = 6 runs.
+    ASSERT_EQ(records.size(), 6u);
+    for (const RunRecord &r : records)
+        EXPECT_TRUE(r.completed) << r.collector;
+
+    // A fresh runner must serve the same grid from the cache file.
+    SweepRunner cached;
+    auto again = cached.run(tinyConfig());
+    ASSERT_EQ(again.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(again[i].cycles, records[i].cycles);
+        EXPECT_EQ(again[i].wallNs, records[i].wallNs);
+    }
+}
+
+TEST_F(SweepCacheTest, NoCacheEnvDisables)
+{
+    setenv("DISTILL_NO_CACHE", "1", 1);
+    SweepRunner runner;
+    runner.run(tinyConfig());
+    bool any_csv = false;
+    for (auto &entry : std::filesystem::directory_iterator(dir_))
+        any_csv |= entry.path().extension() == ".csv";
+    EXPECT_FALSE(any_csv);
+    unsetenv("DISTILL_NO_CACHE");
+}
+
+TEST_F(SweepCacheTest, MinHeapFoundAndCached)
+{
+    SweepRunner runner;
+    wl::WorkloadSpec spec = wl::findSpec("jme");
+    spec.allocBytesPerThread = 256 * KiB;
+    Environment env;
+    std::uint64_t min_heap = runner.minHeap(spec, env);
+    EXPECT_GT(min_heap, 0u);
+    EXPECT_EQ(min_heap % heap::regionSize, 0u);
+    // Cached lookup returns the identical answer.
+    EXPECT_EQ(runner.minHeap(spec, env), min_heap);
+    SweepRunner second;
+    EXPECT_EQ(second.minHeap(spec, env), min_heap);
+}
+
+TEST_F(SweepCacheTest, MinHeapIsMinimal)
+{
+    SweepRunner runner;
+    wl::WorkloadSpec spec = wl::findSpec("jme");
+    spec.allocBytesPerThread = 256 * KiB;
+    Environment env;
+    std::uint64_t min_heap = runner.minHeap(spec, env);
+    // One region less must fail (that is what "minimum" means).
+    RunRecord below = runOne(spec, gc::CollectorKind::G1,
+                             min_heap - heap::regionSize, 1.0,
+                             invocationSeed(0xF00D, spec.name, 0), 0, env);
+    EXPECT_FALSE(below.completed);
+    RunRecord at = runOne(spec, gc::CollectorKind::G1, min_heap, 1.0,
+                          invocationSeed(0xF00D, spec.name, 0), 0, env);
+    EXPECT_TRUE(at.completed);
+}
+
+} // namespace
+} // namespace distill::lbo

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the measurement agent: pause bracketing and attribution,
+ * the GC event log, cost vectors, and the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/agent.hh"
+#include "metrics/cost.hh"
+#include "sim/scheduler.hh"
+#include "test_util.hh"
+
+namespace distill
+{
+namespace
+{
+
+using metrics::GcAgent;
+using metrics::PauseKind;
+
+/** Thread that burns cycles in bursts, controlled by the test. */
+class StepperThread : public sim::SimThread
+{
+  public:
+    StepperThread() : sim::SimThread("stepper", Kind::Gc) { block(); }
+
+    Cycles
+    run(Cycles budget) override
+    {
+        Cycles use = std::min(budget, remaining_);
+        remaining_ -= use;
+        if (remaining_ == 0)
+            block();
+        return use;
+    }
+
+    void
+    burn(Cycles amount)
+    {
+        remaining_ = amount;
+        makeRunnable();
+    }
+
+    Cycles remaining_ = 0;
+};
+
+TEST(Agent, PauseBracketsCostAndLogs)
+{
+    sim::MachineConfig machine;
+    machine.quantumCycles = 1000;
+    sim::Scheduler sched(machine);
+    StepperThread gc_thread;
+    sched.addThread(&gc_thread);
+    GcAgent agent(sched);
+
+    // Outside any pause: burn 5000 cycles.
+    gc_thread.burn(5000);
+    sched.run([&] { return gc_thread.state() ==
+                        sim::SimThread::State::Blocked; });
+
+    agent.pauseBegin(PauseKind::YoungGc);
+    gc_thread.burn(12000);
+    sched.run([&] { return gc_thread.state() ==
+                        sim::SimThread::State::Blocked; });
+    agent.pauseEnd();
+
+    agent.finalize(true, false, "");
+    const metrics::RunMetrics &m = agent.metrics();
+    EXPECT_EQ(m.stw.cycles, 12000u);
+    EXPECT_EQ(m.total.cycles, 17000u);
+    EXPECT_EQ(m.pauseNs.count(), 1u);
+    EXPECT_EQ(m.youngPauses, 1u);
+    ASSERT_EQ(m.gcLog.size(), 1u);
+    EXPECT_STREQ(m.gcLog[0].what, "young");
+    EXPECT_GT(m.gcLog[0].durationNs, 0u);
+    EXPECT_TRUE(m.completed);
+}
+
+TEST(Agent, PauseKindsCounted)
+{
+    sim::MachineConfig machine;
+    sim::Scheduler sched(machine);
+    GcAgent agent(sched);
+    for (PauseKind kind :
+         {PauseKind::YoungGc, PauseKind::EvacPause, PauseKind::FullGc,
+          PauseKind::Degenerated, PauseKind::InitialMark}) {
+        agent.pauseBegin(kind);
+        agent.pauseEnd();
+    }
+    EXPECT_EQ(agent.metrics().youngPauses, 2u);
+    EXPECT_EQ(agent.metrics().fullPauses, 2u);
+    EXPECT_EQ(agent.metrics().pauseNs.count(), 5u);
+    EXPECT_EQ(agent.metrics().gcLog.size(), 5u);
+}
+
+TEST(Agent, EventLogHelpers)
+{
+    sim::MachineConfig machine;
+    sim::Scheduler sched(machine);
+    GcAgent agent(sched);
+    agent.allocStall(5000);
+    agent.degeneratedGc();
+    agent.concurrentCycleEnd();
+    const metrics::RunMetrics &m = agent.metrics();
+    EXPECT_EQ(m.allocStalls, 1u);
+    EXPECT_EQ(m.allocStallNs, 5000u);
+    EXPECT_EQ(m.degeneratedGcs, 1u);
+    EXPECT_EQ(m.concurrentCycles, 1u);
+    ASSERT_EQ(m.gcLog.size(), 3u);
+    EXPECT_STREQ(m.gcLog[0].what, "alloc-stall");
+    EXPECT_STREQ(m.gcLog[1].what, "degenerated");
+    EXPECT_STREQ(m.gcLog[2].what, "concurrent-cycle");
+}
+
+TEST(Agent, EventLogBounded)
+{
+    sim::MachineConfig machine;
+    sim::Scheduler sched(machine);
+    GcAgent agent(sched);
+    for (int i = 0; i < 10000; ++i)
+        agent.allocStall(1);
+    EXPECT_EQ(agent.metrics().gcLog.size(), 8192u);
+    EXPECT_EQ(agent.metrics().gcLogDropped, 10000u - 8192u);
+}
+
+TEST(AgentDeath, NestedPausePanics)
+{
+    sim::MachineConfig machine;
+    sim::Scheduler sched(machine);
+    GcAgent agent(sched);
+    agent.pauseBegin(PauseKind::YoungGc);
+    EXPECT_DEATH(agent.pauseBegin(PauseKind::FullGc), "nested");
+}
+
+TEST(AgentDeath, UnbalancedEndPanics)
+{
+    sim::MachineConfig machine;
+    sim::Scheduler sched(machine);
+    GcAgent agent(sched);
+    EXPECT_DEATH(agent.pauseEnd(), "without pauseBegin");
+}
+
+TEST(AgentDeath, DoubleFinalizePanics)
+{
+    sim::MachineConfig machine;
+    sim::Scheduler sched(machine);
+    GcAgent agent(sched);
+    agent.finalize(true, false, "");
+    EXPECT_DEATH(agent.finalize(true, false, ""), "double finalize");
+}
+
+TEST(Cost, MetricExtraction)
+{
+    metrics::CostVector cost;
+    cost.wallNs = 1000;
+    cost.cycles = 3600;
+    EXPECT_EQ(cost.get(metrics::Metric::WallTime), 1000.0);
+    EXPECT_EQ(cost.get(metrics::Metric::Cycles), 3600.0);
+    EXPECT_GT(cost.get(metrics::Metric::Energy), 0.0);
+}
+
+TEST(Cost, EnergyModelMonotonic)
+{
+    metrics::CostVector a;
+    a.wallNs = 1000;
+    a.cycles = 1000;
+    metrics::CostVector more_cycles = a;
+    more_cycles.cycles = 2000;
+    metrics::CostVector more_time = a;
+    more_time.wallNs = 2000;
+    EXPECT_GT(more_cycles.energyNj(), a.energyNj());
+    EXPECT_GT(more_time.energyNj(), a.energyNj());
+}
+
+TEST(Cost, Accumulate)
+{
+    metrics::CostVector a;
+    a.wallNs = 10;
+    a.cycles = 20;
+    metrics::CostVector b;
+    b.wallNs = 5;
+    b.cycles = 7;
+    a += b;
+    EXPECT_EQ(a.wallNs, 15u);
+    EXPECT_EQ(a.cycles, 27u);
+}
+
+TEST(Cost, MetricNames)
+{
+    EXPECT_STREQ(metrics::metricName(metrics::Metric::WallTime),
+                 "wall-time");
+    EXPECT_STREQ(metrics::metricName(metrics::Metric::Cycles), "cycles");
+    EXPECT_STREQ(metrics::metricName(metrics::Metric::Energy), "energy");
+}
+
+TEST(Agent, PauseKindNamesDistinct)
+{
+    std::set<std::string> names;
+    for (PauseKind kind :
+         {PauseKind::YoungGc, PauseKind::FullGc, PauseKind::InitialMark,
+          PauseKind::FinalMark, PauseKind::EvacPause,
+          PauseKind::FinalPause, PauseKind::Degenerated}) {
+        names.insert(metrics::pauseKindName(kind));
+    }
+    EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Agent, RunLogCapturesShenandoahPathology)
+{
+    // End-to-end: an allocation-pressured Shenandoah run must leave
+    // pacing stalls or degenerated collections in the log — the
+    // paper's §IV-C(d) diagnosis workflow.
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 6; ++i)
+        w.programs.push_back(std::make_unique<test::AllocProgram>(
+            60000, 16, false, 1, 128));
+    auto metrics = test::runWith(gc::CollectorKind::Shenandoah, 12,
+                                 std::move(w));
+    ASSERT_TRUE(metrics.completed);
+    bool saw_pathology = false;
+    for (const auto &event : metrics.gcLog) {
+        saw_pathology |=
+            std::string(event.what) == "alloc-stall" ||
+            std::string(event.what) == "degenerated";
+    }
+    EXPECT_TRUE(saw_pathology);
+}
+
+} // namespace
+} // namespace distill

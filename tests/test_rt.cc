@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Runtime-core tests: mutator execution, cycle/debt accounting, the
+ * safepoint protocol, root visiting, TLAB retirement, allocation
+ * waiters, and run failure handling. Uses Epsilon (no GC) where only
+ * the runtime machinery is under test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rt/validate.hh"
+#include "test_util.hh"
+
+namespace distill
+{
+namespace
+{
+
+using gc::CollectorKind;
+using test::AllocProgram;
+using test::runWith;
+using test::singleProgram;
+
+TEST(Runtime, RunsProgramToCompletion)
+{
+    auto metrics = runWith(
+        CollectorKind::Epsilon, 64,
+        singleProgram(std::make_unique<AllocProgram>(1000, 16, true)));
+    EXPECT_TRUE(metrics.completed);
+    EXPECT_FALSE(metrics.oom);
+    EXPECT_GT(metrics.bytesAllocated, 1000u * 32);
+    EXPECT_GT(metrics.total.wallNs, 0u);
+    EXPECT_GT(metrics.total.cycles, 0u);
+}
+
+TEST(Runtime, MultipleMutators)
+{
+    rt::WorkloadInstance w;
+    for (int i = 0; i < 4; ++i)
+        w.programs.push_back(std::make_unique<AllocProgram>(500, 8, true));
+    auto metrics = runWith(CollectorKind::Epsilon, 64, std::move(w));
+    EXPECT_TRUE(metrics.completed);
+    EXPECT_GT(metrics.bytesAllocated, 4u * 500 * 32);
+}
+
+TEST(Runtime, CyclesSplitByKind)
+{
+    auto metrics = runWith(
+        CollectorKind::Serial, 16,
+        singleProgram(std::make_unique<AllocProgram>(80000, 32, true)));
+    EXPECT_TRUE(metrics.completed);
+    EXPECT_GT(metrics.mutatorCycles, 0u);
+    // A GC must have happened for this allocation volume in 4 MiB.
+    EXPECT_GT(metrics.gcThreadCycles, 0u);
+    EXPECT_EQ(metrics.mutatorCycles + metrics.gcThreadCycles,
+              metrics.total.cycles);
+}
+
+TEST(Runtime, StwCostWithinTotal)
+{
+    auto metrics = runWith(
+        CollectorKind::Serial, 16,
+        singleProgram(std::make_unique<AllocProgram>(80000, 32, true)));
+    EXPECT_LE(metrics.stw.wallNs, metrics.total.wallNs);
+    EXPECT_LE(metrics.stw.cycles, metrics.total.cycles);
+    EXPECT_GT(metrics.pauseNs.count(), 0u);
+}
+
+TEST(Runtime, EpsilonOomOnExhaustion)
+{
+    // 2 regions = 512 KiB; allocating ~6 MiB must fail.
+    auto metrics = runWith(
+        CollectorKind::Epsilon, 2,
+        singleProgram(std::make_unique<AllocProgram>(100000, 8, false)));
+    EXPECT_FALSE(metrics.completed);
+    EXPECT_TRUE(metrics.oom);
+    EXPECT_FALSE(metrics.failureReason.empty());
+}
+
+TEST(Runtime, EpsilonNeverPauses)
+{
+    auto metrics = runWith(
+        CollectorKind::Epsilon, 64,
+        singleProgram(std::make_unique<AllocProgram>(5000, 8, true)));
+    EXPECT_EQ(metrics.pauseNs.count(), 0u);
+    EXPECT_EQ(metrics.stw.wallNs, 0u);
+    EXPECT_EQ(metrics.gcThreadCycles, 0u);
+}
+
+TEST(Runtime, DeterministicAcrossRuns)
+{
+    auto a = runWith(CollectorKind::Serial, 16,
+                     singleProgram(std::make_unique<AllocProgram>(
+                         20000, 32, true)),
+                     77);
+    auto b = runWith(CollectorKind::Serial, 16,
+                     singleProgram(std::make_unique<AllocProgram>(
+                         20000, 32, true)),
+                     77);
+    EXPECT_EQ(a.total.wallNs, b.total.wallNs);
+    EXPECT_EQ(a.total.cycles, b.total.cycles);
+    EXPECT_EQ(a.pauseNs.count(), b.pauseNs.count());
+    EXPECT_EQ(a.bytesAllocated, b.bytesAllocated);
+}
+
+TEST(Runtime, SurvivorsPreservedAcrossGc)
+{
+    // A program that allocates a linked chain, churns garbage to
+    // force collections, then verifies the chain survived intact.
+    class VerifyProgram : public rt::MutatorProgram
+    {
+      public:
+        rt::StepResult
+        step(rt::Mutator &mutator) override
+        {
+            if (phase_ == 0) {
+                Addr obj = mutator.allocate(1, 24);
+                if (mutator.wasBlocked())
+                    return rt::StepResult::Running;
+                if (!roots_.empty())
+                    mutator.storeRef(obj, 0, roots_.back());
+                roots_.push_back(obj);
+                if (roots_.size() == 64)
+                    phase_ = 1;
+                return rt::StepResult::Running;
+            }
+            if (phase_ == 1) {
+                Addr garbage = mutator.allocate(0, 192);
+                if (mutator.wasBlocked())
+                    return rt::StepResult::Running;
+                (void)garbage;
+                if (++churned_ == 40000)
+                    phase_ = 2;
+                return rt::StepResult::Running;
+            }
+            for (std::size_t i = 1; i < roots_.size(); ++i) {
+                Addr v = mutator.loadRef(roots_[i], 0);
+                chainOk_ = chainOk_ &&
+                    heap::uncolor(v) == heap::uncolor(roots_[i - 1]);
+            }
+            return rt::StepResult::Done;
+        }
+
+        void
+        forEachRootSlot(const rt::RootSlotVisitor &visit) override
+        {
+            for (Addr &slot : roots_)
+                visit(slot);
+        }
+
+        int phase_ = 0;
+        int churned_ = 0;
+        bool chainOk_ = true;
+        std::vector<Addr> roots_;
+    };
+
+    for (CollectorKind kind :
+         {CollectorKind::Serial, CollectorKind::Parallel,
+          CollectorKind::G1, CollectorKind::Shenandoah,
+          CollectorKind::Zgc}) {
+        auto program = std::make_unique<VerifyProgram>();
+        VerifyProgram *p = program.get();
+        auto metrics = runWith(kind, 24, singleProgram(std::move(program)));
+        EXPECT_TRUE(metrics.completed)
+            << gc::collectorName(kind) << ": " << metrics.failureReason;
+        EXPECT_TRUE(p->chainOk_) << gc::collectorName(kind);
+        EXPECT_GT(metrics.pauseNs.count(), 0u) << gc::collectorName(kind);
+    }
+}
+
+TEST(Runtime, DebtCarriesAcrossQuanta)
+{
+    // A program whose single step charges far more than one quantum;
+    // the mutator must pay it off across rounds without overrunning.
+    class BigStep : public rt::MutatorProgram
+    {
+      public:
+        rt::StepResult
+        step(rt::Mutator &mutator) override
+        {
+            mutator.compute(10'000'000); // ~55 quanta
+            return rt::StepResult::Done;
+        }
+        void forEachRootSlot(const rt::RootSlotVisitor &) override {}
+    };
+
+    rt::RunConfig config;
+    config.heapBytes = 4 * heap::regionSize;
+    rt::Runtime runtime(config,
+                        gc::makeCollector(CollectorKind::Epsilon),
+                        singleProgram(std::make_unique<BigStep>()));
+    runtime.execute();
+    EXPECT_GE(runtime.agent().metrics().total.cycles, 10'000'000u);
+    EXPECT_NEAR(static_cast<double>(
+                    runtime.agent().metrics().total.wallNs),
+                10e6 / 3.6, 10e6 / 3.6 * 0.05);
+}
+
+TEST(Runtime, CountRootsSeesAllProviders)
+{
+    rt::RunConfig config;
+    config.heapBytes = 4 * heap::regionSize;
+    rt::WorkloadInstance w;
+    w.programs.push_back(std::make_unique<AllocProgram>(1, 10, false));
+    w.programs.push_back(std::make_unique<AllocProgram>(1, 5, false));
+    rt::Runtime runtime(config, gc::makeCollector(CollectorKind::Epsilon),
+                        std::move(w));
+    EXPECT_EQ(runtime.countRoots(), 17u); // 10+1 and 5+1 slots
+}
+
+TEST(Runtime, ValidateHeapPassesOnHealthyRun)
+{
+    rt::RunConfig config;
+    config.heapBytes = 16 * heap::regionSize;
+    rt::Runtime runtime(config, gc::makeCollector(CollectorKind::Serial),
+                        singleProgram(std::make_unique<AllocProgram>(
+                            5000, 16, true)));
+    runtime.execute();
+    rt::validateHeap(runtime, "test-final");
+    SUCCEED();
+}
+
+TEST(Runtime, FailStopsRun)
+{
+    class FailProgram : public rt::MutatorProgram
+    {
+      public:
+        rt::StepResult
+        step(rt::Mutator &mutator) override
+        {
+            mutator.compute(100);
+            if (++steps_ == 5)
+                mutator.runtime().fail("synthetic failure", false);
+            return rt::StepResult::Running;
+        }
+        void forEachRootSlot(const rt::RootSlotVisitor &) override {}
+        int steps_ = 0;
+    };
+
+    rt::RunConfig config;
+    config.heapBytes = 4 * heap::regionSize;
+    rt::Runtime runtime(config, gc::makeCollector(CollectorKind::Epsilon),
+                        singleProgram(std::make_unique<FailProgram>()));
+    EXPECT_FALSE(runtime.execute());
+    EXPECT_FALSE(runtime.agent().metrics().completed);
+    EXPECT_EQ(runtime.agent().metrics().failureReason,
+              "synthetic failure");
+}
+
+TEST(RuntimeDeath, HeapTooSmallIsFatal)
+{
+    rt::RunConfig config;
+    config.heapBytes = heap::regionSize; // below minBootRegions
+    EXPECT_DEATH(
+        {
+            rt::Runtime runtime(config,
+                                gc::makeCollector(CollectorKind::Serial),
+                                singleProgram(
+                                    std::make_unique<AllocProgram>(
+                                        1, 1, false)));
+        },
+        "too small");
+}
+
+TEST(Runtime, BytesAllocatedMatchesProgramVolume)
+{
+    auto metrics = runWith(
+        CollectorKind::Epsilon, 64,
+        singleProgram(std::make_unique<AllocProgram>(1000, 8, false,
+                                                     2, 32)));
+    // objectSize(2 refs, 32 payload) = 16 + 16 + 32 = 64.
+    EXPECT_EQ(metrics.bytesAllocated, 1000u * 64);
+}
+
+TEST(Runtime, TlabTailsKeepRegionsWalkable)
+{
+    // Allocate odd sizes so TLAB boundaries leave tails, run GCs
+    // (Serial, tiny heap), then validate every region walks.
+    rt::RunConfig config;
+    config.heapBytes = 8 * heap::regionSize;
+    rt::Runtime runtime(config, gc::makeCollector(CollectorKind::Serial),
+                        singleProgram(std::make_unique<AllocProgram>(
+                            30000, 8, false, 1, 72)));
+    runtime.execute();
+    rt::validateHeap(runtime, "tlab-tails");
+    EXPECT_GT(runtime.agent().metrics().pauseNs.count(), 0u);
+}
+
+} // namespace
+} // namespace distill

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core: machine conversions, thread
+ * state machine, scheduler rounds, cycle accounting, contention, and
+ * sleep/wake semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/scheduler.hh"
+#include "sim/thread.hh"
+
+namespace distill::sim
+{
+namespace
+{
+
+/** Thread that burns a fixed number of cycles then finishes. */
+class BurnThread : public SimThread
+{
+  public:
+    BurnThread(Cycles total, Kind kind = Kind::Mutator)
+        : SimThread("burn", kind), remaining_(total)
+    {
+    }
+
+    Cycles
+    run(Cycles budget) override
+    {
+        Cycles use = std::min(budget, remaining_);
+        remaining_ -= use;
+        if (remaining_ == 0)
+            finish();
+        return use;
+    }
+
+    Cycles remaining_;
+};
+
+/** Thread that sleeps once, then burns. */
+class SleeperThread : public SimThread
+{
+  public:
+    explicit SleeperThread(Ticks wake_at)
+        : SimThread("sleeper", Kind::Mutator), wakeAt_(wake_at)
+    {
+    }
+
+    Cycles
+    run(Cycles budget) override
+    {
+        if (!slept_) {
+            slept_ = true;
+            sleepUntil(wakeAt_);
+            return 100; // small cost before sleeping
+        }
+        (void)budget;
+        ranAfterSleep_ = true;
+        finish();
+        return 50;
+    }
+
+    Ticks wakeAt_;
+    bool slept_ = false;
+    bool ranAfterSleep_ = false;
+};
+
+MachineConfig
+tinyMachine()
+{
+    MachineConfig m;
+    m.cores = 2;
+    m.quantumCycles = 1000;
+    return m;
+}
+
+TEST(Machine, CycleTickConversion)
+{
+    MachineConfig m;
+    m.freqGhz = 3.6;
+    EXPECT_EQ(m.cyclesToTicks(3600), 1000u);
+    EXPECT_EQ(m.ticksToCycles(1000), 3600u);
+    EXPECT_EQ(m.cyclesToTicks(0), 0u);
+}
+
+TEST(Machine, RoundTripApproximate)
+{
+    MachineConfig m;
+    Cycles c = 123456789;
+    Ticks t = m.cyclesToTicks(c);
+    Cycles back = m.ticksToCycles(t);
+    EXPECT_NEAR(static_cast<double>(back), static_cast<double>(c),
+                static_cast<double>(c) * 1e-6 + 8);
+}
+
+TEST(Thread, StateTransitions)
+{
+    BurnThread t(100);
+    EXPECT_EQ(t.state(), SimThread::State::Runnable);
+    t.block();
+    EXPECT_EQ(t.state(), SimThread::State::Blocked);
+    t.makeRunnable();
+    EXPECT_EQ(t.state(), SimThread::State::Runnable);
+    t.sleepUntil(500);
+    EXPECT_EQ(t.state(), SimThread::State::Sleeping);
+    EXPECT_EQ(t.wakeupTime(), 500u);
+    t.finish();
+    EXPECT_EQ(t.state(), SimThread::State::Finished);
+}
+
+TEST(ThreadDeath, ResurrectionPanics)
+{
+    BurnThread t(100);
+    t.finish();
+    EXPECT_DEATH(t.makeRunnable(), "resurrected");
+}
+
+TEST(Scheduler, RunsThreadToCompletion)
+{
+    Scheduler sched(tinyMachine());
+    BurnThread t(2500);
+    sched.addThread(&t);
+    EXPECT_TRUE(sched.run(nullptr));
+    EXPECT_EQ(t.state(), SimThread::State::Finished);
+    EXPECT_EQ(t.cyclesConsumed(), 2500u);
+}
+
+TEST(Scheduler, WallClockAdvances)
+{
+    MachineConfig m = tinyMachine();
+    Scheduler sched(m);
+    BurnThread t(10000);
+    sched.addThread(&t);
+    sched.run(nullptr);
+    // 10000 cycles at 3.6 GHz ~ 2777 ns.
+    EXPECT_NEAR(static_cast<double>(sched.now()),
+                10000.0 / m.freqGhz, 16.0);
+}
+
+TEST(Scheduler, ParallelThreadsShareWallClock)
+{
+    // Two threads on two cores: wall time ~ one thread's cycles.
+    Scheduler sched(tinyMachine());
+    BurnThread a(50000);
+    BurnThread b(50000);
+    sched.addThread(&a);
+    sched.addThread(&b);
+    sched.run(nullptr);
+    EXPECT_NEAR(static_cast<double>(sched.now()), 50000.0 / 3.6,
+                2000.0);
+    EXPECT_EQ(sched.cycleTotals().total(), 100000u);
+}
+
+TEST(Scheduler, TimeSlicesWhenOversubscribed)
+{
+    // Three threads on two cores: wall ~ 1.5x one thread's time.
+    Scheduler sched(tinyMachine());
+    BurnThread a(60000);
+    BurnThread b(60000);
+    BurnThread c(60000);
+    sched.addThread(&a);
+    sched.addThread(&b);
+    sched.addThread(&c);
+    sched.run(nullptr);
+    double expect = 1.5 * 60000.0 / 3.6;
+    EXPECT_NEAR(static_cast<double>(sched.now()), expect,
+                expect * 0.05);
+}
+
+TEST(Scheduler, CycleTotalsByKind)
+{
+    Scheduler sched(tinyMachine());
+    BurnThread m(3000, SimThread::Kind::Mutator);
+    BurnThread g(2000, SimThread::Kind::Gc);
+    sched.addThread(&m);
+    sched.addThread(&g);
+    sched.run(nullptr);
+    EXPECT_EQ(sched.cycleTotals().mutator, 3000u);
+    EXPECT_EQ(sched.cycleTotals().gc, 2000u);
+}
+
+TEST(Scheduler, SleeperWakesAtDeadline)
+{
+    Scheduler sched(tinyMachine());
+    SleeperThread t(50000);
+    sched.addThread(&t);
+    sched.run(nullptr);
+    EXPECT_TRUE(t.ranAfterSleep_);
+    EXPECT_GE(sched.now(), 50000u);
+}
+
+TEST(Scheduler, SleepBurnsTimeNotCycles)
+{
+    Scheduler sched(tinyMachine());
+    SleeperThread t(1000000); // sleep 1 ms
+    sched.addThread(&t);
+    sched.run(nullptr);
+    EXPECT_GE(sched.now(), 1000000u);
+    EXPECT_EQ(t.cyclesConsumed(), 150u); // only the explicit work
+}
+
+TEST(Scheduler, DonePredicateStops)
+{
+    Scheduler sched(tinyMachine());
+    BurnThread t(1u << 30);
+    sched.addThread(&t);
+    int rounds = 0;
+    EXPECT_TRUE(sched.run([&] { return ++rounds > 5; }));
+    EXPECT_LT(t.cyclesConsumed(), 1u << 30);
+}
+
+TEST(Scheduler, VirtualTimeLimitAborts)
+{
+    MachineConfig m = tinyMachine();
+    m.maxVirtualTime = 10000; // 10 us
+    Scheduler sched(m);
+    BurnThread t(1u << 30);
+    sched.addThread(&t);
+    EXPECT_FALSE(sched.run(nullptr));
+}
+
+TEST(Scheduler, ContentionDilatesOnlyWithMixedKinds)
+{
+    MachineConfig m = tinyMachine();
+    m.cores = 4;
+
+    struct Probe : SimThread
+    {
+        Probe(Kind kind, Scheduler &s)
+            : SimThread("probe", kind), sched(s)
+        {
+        }
+        Cycles
+        run(Cycles budget) override
+        {
+            seen.push_back(sched.mutatorDilation());
+            if (--rounds == 0)
+                finish();
+            return budget / 2;
+        }
+        Scheduler &sched;
+        std::vector<double> seen;
+        int rounds = 3;
+    };
+
+    Scheduler sched(m);
+    Probe mut(SimThread::Kind::Mutator, sched);
+    Probe gc(SimThread::Kind::Gc, sched);
+    sched.addThread(&mut);
+    sched.addThread(&gc);
+    sched.run(nullptr);
+    for (double d : mut.seen)
+        EXPECT_GT(d, 1.0);
+
+    Scheduler solo(m);
+    Probe alone(SimThread::Kind::Mutator, solo);
+    solo.addThread(&alone);
+    solo.run(nullptr);
+    for (double d : alone.seen)
+        EXPECT_EQ(d, 1.0);
+}
+
+TEST(Scheduler, ContentionCapped)
+{
+    MachineConfig m;
+    m.cores = 16;
+    m.gcContentionPerThread = 0.1;
+    m.maxContention = 0.25;
+
+    struct Probe : SimThread
+    {
+        explicit Probe(Scheduler &s)
+            : SimThread("p", Kind::Mutator), sched(s)
+        {
+        }
+        Cycles
+        run(Cycles budget) override
+        {
+            maxSeen = std::max(maxSeen, sched.mutatorDilation());
+            finish();
+            return budget / 4 + 1;
+        }
+        Scheduler &sched;
+        double maxSeen = 0.0;
+    };
+
+    Scheduler sched(m);
+    Probe probe(sched);
+    sched.addThread(&probe);
+    std::vector<std::unique_ptr<BurnThread>> gcs;
+    for (int i = 0; i < 8; ++i) {
+        gcs.push_back(std::make_unique<BurnThread>(
+            1u << 20, SimThread::Kind::Gc));
+        sched.addThread(gcs.back().get());
+    }
+    sched.run(nullptr);
+    EXPECT_LE(probe.maxSeen, 1.25 + 1e-9);
+}
+
+TEST(SchedulerDeath, AllBlockedDeadlocks)
+{
+    Scheduler sched(tinyMachine());
+    BurnThread t(1000);
+    sched.addThread(&t);
+    t.block();
+    EXPECT_DEATH(sched.run(nullptr), "deadlock");
+}
+
+TEST(SchedulerDeath, NoProgressPanics)
+{
+    struct Stuck : SimThread
+    {
+        Stuck() : SimThread("stuck", Kind::Mutator) {}
+        Cycles run(Cycles) override { return 0; } // stays runnable
+    };
+    Scheduler sched(tinyMachine());
+    Stuck t;
+    sched.addThread(&t);
+    EXPECT_DEATH(sched.run(nullptr), "no progress");
+}
+
+TEST(Scheduler, RoundHookRuns)
+{
+    Scheduler sched(tinyMachine());
+    BurnThread t(5000);
+    sched.addThread(&t);
+    int hooks = 0;
+    sched.setRoundHook([&] { ++hooks; });
+    sched.run(nullptr);
+    EXPECT_GT(hooks, 0);
+}
+
+TEST(Scheduler, RoundRobinFairness)
+{
+    // Four equal threads on two cores must accrue cycles within a
+    // few quanta of one another while all are live.
+    MachineConfig m = tinyMachine();
+    Scheduler sched(m);
+    std::vector<std::unique_ptr<BurnThread>> threads;
+    for (int i = 0; i < 4; ++i) {
+        threads.push_back(std::make_unique<BurnThread>(100000));
+        sched.addThread(threads.back().get());
+    }
+    // Stop while everyone is still running.
+    sched.run([&] {
+        return threads[0]->cyclesConsumed() >= 50000;
+    });
+    Cycles lo = ~0ULL;
+    Cycles hi = 0;
+    for (auto &t : threads) {
+        lo = std::min(lo, t->cyclesConsumed());
+        hi = std::max(hi, t->cyclesConsumed());
+    }
+    EXPECT_LE(hi - lo, 2 * m.quantumCycles);
+}
+
+TEST(Scheduler, EmptySchedulerReturns)
+{
+    Scheduler sched(tinyMachine());
+    EXPECT_TRUE(sched.run(nullptr));
+}
+
+} // namespace
+} // namespace distill::sim

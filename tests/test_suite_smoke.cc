@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Smoke matrix: every suite benchmark (with a shrunk allocation
+ * budget) under every production collector must complete at a
+ * generous heap, produce consistent metrics, and — for the
+ * latency-sensitive benchmarks — record latency histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/layout.hh"
+#include "test_util.hh"
+#include "wl/suite.hh"
+#include "wl/workload.hh"
+
+namespace distill
+{
+namespace
+{
+
+using Combo = std::tuple<std::string, gc::CollectorKind>;
+
+class SuiteSmokeTest : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(SuiteSmokeTest, RunsCleanly)
+{
+    auto [bench, kind] = GetParam();
+    wl::WorkloadSpec spec = wl::findSpec(bench);
+    spec.allocBytesPerThread = 384 * KiB;
+
+    auto metrics = test::runWith(kind, 96, wl::makeWorkload(spec), 3);
+    ASSERT_TRUE(metrics.completed)
+        << bench << "/" << gc::collectorName(kind) << ": "
+        << metrics.failureReason;
+
+    EXPECT_GE(metrics.bytesAllocated,
+              spec.threads * spec.allocBytesPerThread);
+    EXPECT_LE(metrics.stw.wallNs, metrics.total.wallNs);
+    EXPECT_EQ(metrics.mutatorCycles + metrics.gcThreadCycles,
+              metrics.total.cycles);
+    EXPECT_GT(metrics.refLoads, 0u);
+    EXPECT_GT(metrics.refStores, 0u);
+    if (spec.latencySensitive) {
+        EXPECT_GT(metrics.meteredLatencyNs.count(), 0u);
+        EXPECT_GE(metrics.meteredLatencyNs.percentile(99),
+                  metrics.simpleLatencyNs.percentile(99));
+    } else {
+        EXPECT_EQ(metrics.meteredLatencyNs.count(), 0u);
+    }
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (const wl::WorkloadSpec &spec : wl::dacapoSuite())
+        for (gc::CollectorKind kind : gc::productionCollectors())
+            combos.emplace_back(spec.name, kind);
+    return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SuiteSmokeTest, ::testing::ValuesIn(allCombos()),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        return std::get<0>(info.param) + "_" +
+            gc::collectorName(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace distill

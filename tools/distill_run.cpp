@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Command-line driver: run one (benchmark, collector, heap) tuple and
+ * report the full metric set, optionally with the GC event log — the
+ * workflow the paper uses when diagnosing a collector's behavior on a
+ * specific workload (e.g. reading Shenandoah's logs on xalan,
+ * §IV-C(d)).
+ *
+ * Usage:
+ *   distill_run --bench h2 --gc Shenandoah [--heap-factor 3.0]
+ *               [--heap-mib 24] [--seed 42] [--log] [--log-limit 40]
+ *
+ * --heap-mib overrides --heap-factor; with neither, 3.0x of the
+ * measured min heap is used.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "heap/layout.hh"
+#include "lbo/sweep.hh"
+#include "metrics/agent.hh"
+#include "rt/runtime.hh"
+#include "wl/suite.hh"
+#include "wl/workload.hh"
+
+using namespace distill;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: distill_run --bench <name> --gc <collector>\n"
+                 "                   [--heap-factor F | --heap-mib N]\n"
+                 "                   [--seed S] [--log] [--log-limit N]\n"
+                 "collectors: Epsilon Serial Parallel G1 Shenandoah ZGC\n"
+                 "benchmarks: ");
+    for (const wl::WorkloadSpec &spec : wl::dacapoSuite())
+        std::fprintf(stderr, "%s ", spec.name.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "h2";
+    std::string collector = "G1";
+    double factor = 3.0;
+    std::uint64_t heap_mib = 0;
+    std::uint64_t seed = 0xD15711;
+    bool show_log = false;
+    std::size_t log_limit = 40;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *name) {
+            if (std::strcmp(argv[i], name) != 0)
+                return false;
+            if (i + 1 >= argc)
+                usage();
+            return true;
+        };
+        if (arg("--bench")) {
+            bench = argv[++i];
+        } else if (arg("--gc")) {
+            collector = argv[++i];
+        } else if (arg("--heap-factor")) {
+            factor = std::atof(argv[++i]);
+        } else if (arg("--heap-mib")) {
+            heap_mib = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg("--log-limit")) {
+            log_limit = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--log") == 0) {
+            show_log = true;
+        } else {
+            usage();
+        }
+    }
+
+    lbo::Environment env;
+    lbo::SweepRunner runner;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
+    gc::CollectorKind kind = gc::collectorFromName(collector);
+
+    std::uint64_t heap_bytes = heap_mib > 0
+        ? heap_mib * MiB
+        : roundUp(static_cast<std::uint64_t>(
+                      factor * static_cast<double>(spec.minHeapBytes)),
+                  heap::regionSize);
+
+    rt::RunConfig config;
+    config.machine = env.machine;
+    config.costs = env.costs;
+    config.seed = seed;
+    config.heapBytes = kind == gc::CollectorKind::Epsilon
+        ? env.machine.memoryBudget
+        : heap_bytes;
+
+    rt::Runtime runtime(config, gc::makeCollector(kind, env.gcOptions),
+                        wl::makeWorkload(spec));
+    runtime.execute();
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+
+    std::printf("%s under %s, heap %.1f MiB (min %.1f MiB), seed %llu\n",
+                bench.c_str(), collector.c_str(),
+                static_cast<double>(config.heapBytes) / (1 << 20),
+                static_cast<double>(spec.minHeapBytes) / (1 << 20),
+                static_cast<unsigned long long>(seed));
+    std::printf("outcome: %s%s\n\n",
+                m.completed ? "completed" : "FAILED",
+                m.oom ? " (OOM)" : "");
+
+    TextTable table({"metric", "value"});
+    auto row = [&](const char *name, std::string value) {
+        table.beginRow();
+        table.cell(name);
+        table.cell(std::move(value));
+    };
+    row("wall time", strprintf("%.3f ms", m.total.wallNs / 1e6));
+    row("cycles", strprintf("%.1f Mcycles", m.total.cycles / 1e6));
+    row("mutator cycles", strprintf("%.1f Mcycles",
+                                    m.mutatorCycles / 1e6));
+    row("GC-thread cycles", strprintf("%.1f Mcycles",
+                                      m.gcThreadCycles / 1e6));
+    row("STW time", strprintf("%.3f ms (%.1f%%)", m.stw.wallNs / 1e6,
+                              m.total.wallNs
+                                  ? 100.0 * m.stw.wallNs / m.total.wallNs
+                                  : 0.0));
+    row("STW cycles", strprintf("%.1f Mcycles (%.1f%%)",
+                                m.stw.cycles / 1e6,
+                                m.total.cycles
+                                    ? 100.0 * m.stw.cycles /
+                                        m.total.cycles
+                                    : 0.0));
+    row("pauses", strprintf("%llu (young %llu, full %llu)",
+                            static_cast<unsigned long long>(
+                                m.pauseNs.count()),
+                            static_cast<unsigned long long>(
+                                m.youngPauses),
+                            static_cast<unsigned long long>(
+                                m.fullPauses)));
+    row("pause p50/p99/max",
+        strprintf("%.0f / %.0f / %.0f us",
+                  m.pauseNs.percentile(50) / 1e3,
+                  m.pauseNs.percentile(99) / 1e3, m.pauseNs.max() / 1e3));
+    row("concurrent cycles",
+        strprintf("%llu", static_cast<unsigned long long>(
+                              m.concurrentCycles)));
+    row("degenerated GCs",
+        strprintf("%llu", static_cast<unsigned long long>(
+                              m.degeneratedGcs)));
+    row("alloc stalls",
+        strprintf("%llu (%.2f ms total)",
+                  static_cast<unsigned long long>(m.allocStalls),
+                  m.allocStallNs / 1e6));
+    row("allocated", strprintf("%.1f MiB",
+                               static_cast<double>(m.bytesAllocated) /
+                                   (1 << 20)));
+    row("energy estimate", strprintf("%.3f J", m.total.energyNj() / 1e9));
+    if (spec.latencySensitive && m.meteredLatencyNs.count() > 0) {
+        row("metered latency p50/p99/p99.99",
+            strprintf("%.0f / %.0f / %.0f us",
+                      m.meteredLatencyNs.percentile(50) / 1e3,
+                      m.meteredLatencyNs.percentile(99) / 1e3,
+                      m.meteredLatencyNs.percentile(99.99) / 1e3));
+        row("simple latency p99",
+            strprintf("%.0f us", m.simpleLatencyNs.percentile(99) / 1e3));
+    }
+    table.print();
+
+    if (show_log) {
+        std::printf("\nGC event log (%zu events%s, showing last %zu)\n",
+                    m.gcLog.size(),
+                    m.gcLogDropped
+                        ? strprintf(", %llu dropped",
+                                    static_cast<unsigned long long>(
+                                        m.gcLogDropped))
+                              .c_str()
+                        : "",
+                    std::min(log_limit, m.gcLog.size()));
+        TextTable log({"t (ms)", "event", "duration (us)"});
+        std::size_t start = m.gcLog.size() > log_limit
+            ? m.gcLog.size() - log_limit
+            : 0;
+        for (std::size_t i = start; i < m.gcLog.size(); ++i) {
+            const metrics::GcLogEvent &e = m.gcLog[i];
+            log.beginRow();
+            log.cell(strprintf("%.3f", e.startNs / 1e6));
+            log.cell(e.what);
+            if (e.durationNs > 0)
+                log.cell(strprintf("%.1f", e.durationNs / 1e3));
+            else
+                log.blank();
+        }
+        log.print();
+    }
+    return m.completed ? 0 : 1;
+}

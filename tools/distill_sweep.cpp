@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Command-line sweep driver: run an arbitrary (benchmarks x heap
+ * multipliers x collectors x invocations) grid and export the raw
+ * per-invocation records as CSV — the starting point for any custom
+ * analysis or plotting outside the bundled bench binaries.
+ *
+ * Usage:
+ *   distill_sweep [--benchmarks a,b,...] [--factors 1.4,3.0,...]
+ *                 [--collectors Serial,G1,...] [--invocations N]
+ *                 [--no-epsilon] [--csv out.csv]
+ *
+ * Defaults: the 16-benchmark geomean set, the paper's eight heap
+ * multipliers, all five production collectors plus Epsilon, 5
+ * invocations, CSV to stdout.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "lbo/sweep.hh"
+#include "wl/suite.hh"
+
+using namespace distill;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::istringstream in(arg);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: distill_sweep [--benchmarks a,b,...] "
+        "[--factors 1.4,3.0] [--collectors Serial,G1,...]\n"
+        "                     [--invocations N] [--no-epsilon] "
+        "[--csv out.csv]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> benchmarks;
+    std::vector<double> factors;
+    std::vector<std::string> collectors;
+    unsigned invocations = lbo::invocationsFromEnv(5);
+    bool include_epsilon = true;
+    std::string csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *name) {
+            if (std::strcmp(argv[i], name) != 0)
+                return false;
+            if (i + 1 >= argc)
+                usage();
+            return true;
+        };
+        if (arg("--benchmarks")) {
+            benchmarks = splitCsv(argv[++i]);
+        } else if (arg("--factors")) {
+            for (const std::string &f : splitCsv(argv[++i]))
+                factors.push_back(std::atof(f.c_str()));
+        } else if (arg("--collectors")) {
+            collectors = splitCsv(argv[++i]);
+        } else if (arg("--invocations")) {
+            invocations = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg("--csv")) {
+            csv_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-epsilon") == 0) {
+            include_epsilon = false;
+        } else {
+            usage();
+        }
+    }
+
+    lbo::SweepConfig config;
+    config.env = lbo::Environment{};
+    config.invocations = invocations;
+    config.includeEpsilon = include_epsilon;
+    config.heapFactors =
+        factors.empty() ? lbo::paperHeapFactors() : factors;
+
+    lbo::SweepRunner runner;
+    if (benchmarks.empty()) {
+        for (const wl::WorkloadSpec &spec : wl::geomeanSet())
+            config.benchmarks.push_back(
+                runner.withMinHeap(spec, config.env));
+    } else {
+        for (const std::string &name : benchmarks)
+            config.benchmarks.push_back(
+                runner.withMinHeap(wl::findSpec(name), config.env));
+    }
+
+    if (collectors.empty()) {
+        config.collectors = gc::productionCollectors();
+    } else {
+        for (const std::string &name : collectors)
+            config.collectors.push_back(gc::collectorFromName(name));
+    }
+
+    std::vector<lbo::RunRecord> records = runner.run(config);
+
+    std::ostream *out = &std::cout;
+    std::ofstream file;
+    if (!csv_path.empty()) {
+        file.open(csv_path);
+        if (!file)
+            fatal("cannot open %s for writing", csv_path.c_str());
+        out = &file;
+    }
+    *out << lbo::RunRecord::csvHeader() << '\n';
+    for (const lbo::RunRecord &r : records)
+        *out << r.toCsv() << '\n';
+    if (!csv_path.empty())
+        inform("wrote %zu records to %s", records.size(),
+               csv_path.c_str());
+    return 0;
+}
