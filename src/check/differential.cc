@@ -1,0 +1,113 @@
+#include "check/differential.hh"
+
+#include "base/logging.hh"
+#include "check/graph.hh"
+#include "check/oracle.hh"
+#include "check/program.hh"
+#include "gc/collectors.hh"
+#include "heap/layout.hh"
+
+namespace distill::check
+{
+
+rt::WorkloadInstance
+fuzzWorkload(std::size_t ops, unsigned threads, std::uint64_t seed)
+{
+    rt::WorkloadInstance instance;
+    std::uint64_t sm = seed;
+    for (unsigned t = 0; t < threads; ++t) {
+        // Per-thread op streams; threads never share objects, so the
+        // merged end-state graph is schedule-independent.
+        instance.programs.push_back(
+            std::make_unique<FuzzProgram>(ops, splitMix64(sm)));
+    }
+    return instance;
+}
+
+namespace
+{
+
+struct OneRun
+{
+    HeapGraph graph;
+    bool completed = false;
+    std::string failureReason;
+    std::string repro;
+};
+
+OneRun
+runOne(gc::CollectorKind kind, std::size_t heap_regions,
+       const DifferentialConfig &config)
+{
+    rt::RunConfig rc;
+    rc.heapBytes = heap_regions * heap::regionSize;
+    rc.seed = config.seed;
+    rc.schedSeed = config.schedSeed;
+    rt::WorkloadInstance workload =
+        config.workload ? config.workload()
+                        : fuzzWorkload(config.ops, config.threads,
+                                       config.seed);
+    rt::Runtime runtime(rc, gc::makeCollector(kind), std::move(workload));
+    HeapOracle oracle;
+    if (config.withOracle)
+        runtime.setHeapObserver(&oracle);
+    runtime.execute();
+
+    OneRun result;
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+    result.completed = m.completed;
+    result.failureReason = m.failureReason;
+    result.repro = reproLine(runtime);
+    // Mutators are finished and parked heaps are walkable at round
+    // boundaries, so the end state can be captured directly; any
+    // in-flight forwarding state resolves through the snapshot walk.
+    result.graph = captureHeapGraph(runtime);
+    return result;
+}
+
+} // namespace
+
+DifferentialResult
+runDifferential(const DifferentialConfig &config)
+{
+    DifferentialResult result;
+    auto add_failure = [&](const std::string &line) {
+        result.ok = false;
+        if (!result.report.empty())
+            result.report += "\n";
+        result.report += line;
+    };
+
+    OneRun reference = runOne(gc::CollectorKind::Epsilon,
+                              config.referenceHeapRegions, config);
+    result.collectorsCompared = 1;
+    if (!reference.completed) {
+        add_failure(strprintf(
+            "Epsilon reference failed (%s) — raise referenceHeapRegions "
+            "(repro: %s)",
+            reference.failureReason.c_str(), reference.repro.c_str()));
+        return result;
+    }
+
+    for (gc::CollectorKind kind : gc::productionCollectors()) {
+        OneRun run = runOne(kind, config.heapRegions, config);
+        ++result.collectorsCompared;
+        if (!run.completed) {
+            add_failure(strprintf("%s failed: %s (repro: %s)",
+                                  gc::collectorName(kind),
+                                  run.failureReason.c_str(),
+                                  run.repro.c_str()));
+            continue;
+        }
+        GraphDiff diff = diffGraphs(reference.graph, run.graph);
+        if (!diff.equal) {
+            add_failure(strprintf(
+                "%s end state diverges from Epsilon: %s (repro: %s)",
+                gc::collectorName(kind), diff.description.c_str(),
+                run.repro.c_str()));
+        }
+    }
+    return result;
+}
+
+} // namespace distill::check

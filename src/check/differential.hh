@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cross-collector differential checking.
+ *
+ * Runs one deterministic workload under Epsilon (which never touches
+ * the graph — the ground truth) and under every production collector,
+ * then asserts the end-state reachable graphs are canonically equal.
+ * Any collector that drops, duplicates, or mis-forwards an edge
+ * diverges from the Epsilon reference and is reported with a replay
+ * line. This is the paper-level guarantee behind the LBO methodology:
+ * every g in G must preserve mutator semantics exactly, or
+ * Cost_total(g) and the min-based Cost_ideal estimate are both
+ * meaningless.
+ */
+
+#ifndef DISTILL_CHECK_DIFFERENTIAL_HH
+#define DISTILL_CHECK_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rt/runtime.hh"
+
+namespace distill::check
+{
+
+/** One differential comparison across all six collectors. */
+struct DifferentialConfig
+{
+    std::uint64_t seed = 1;
+    std::uint64_t schedSeed = 0;
+
+    /** Heap for the production collectors, in regions. */
+    std::size_t heapRegions = 14;
+
+    /** Heap for the no-GC Epsilon reference, in regions. */
+    std::size_t referenceHeapRegions = 96;
+
+    /**
+     * Builds one fresh workload instance per run; must produce
+     * identical logical behavior each call (e.g. check::FuzzProgram,
+     * which derives its op trace purely from its seed). When unset,
+     * a default fuzz workload of (ops, threads, seed) is used.
+     */
+    std::function<rt::WorkloadInstance()> workload;
+
+    /** Parameters for the default fuzz workload. */
+    std::size_t ops = 8000;
+    unsigned threads = 2;
+
+    /** Also attach the pause-boundary oracle to every run. */
+    bool withOracle = true;
+};
+
+struct DifferentialResult
+{
+    bool ok = true;
+    unsigned collectorsCompared = 0;
+
+    /** Per-collector failure descriptions with repro lines. */
+    std::string report;
+};
+
+/** Run the differential comparison described by @p config. */
+DifferentialResult runDifferential(const DifferentialConfig &config);
+
+/** The default deterministic fuzz workload used by runDifferential. */
+rt::WorkloadInstance fuzzWorkload(std::size_t ops, unsigned threads,
+                                  std::uint64_t seed);
+
+} // namespace distill::check
+
+#endif // DISTILL_CHECK_DIFFERENTIAL_HH

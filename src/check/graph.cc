@@ -1,0 +1,230 @@
+#include "check/graph.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "heap/arena.hh"
+#include "heap/layout.hh"
+#include "heap/object.hh"
+#include "heap/region.hh"
+#include "rt/runtime.hh"
+
+namespace distill::check
+{
+
+namespace
+{
+
+std::uint64_t
+mixHash(std::uint64_t seed)
+{
+    return splitMix64(seed);
+}
+
+std::uint64_t
+shapeHash(std::uint32_t size, std::uint16_t num_refs)
+{
+    std::uint64_t state = (static_cast<std::uint64_t>(size) << 16) | num_refs;
+    return mixHash(state);
+}
+
+/**
+ * Resolves one reference through any in-flight forwarding state to
+ * the current location of the object, or reports why it cannot.
+ */
+class Resolver
+{
+  public:
+    explicit Resolver(rt::Runtime &runtime)
+        : ctx_(runtime.heap()), rm_(ctx_.regions)
+    {
+    }
+
+    /** @return the resolved address, or nullRef with @p why set. */
+    Addr
+    resolve(Addr ref, std::string &why)
+    {
+        Addr a = heap::uncolor(ref);
+        for (int hops = 0; hops < 64; ++hops) {
+            if (a < heap::heapBase ||
+                heap::regionIndexOf(a) >= rm_.regionCount()) {
+                why = strprintf("address %llx outside the heap",
+                                static_cast<unsigned long long>(a));
+                return nullRef;
+            }
+            std::size_t idx = heap::regionIndexOf(a);
+            // Off-object forwarding (ZGC) outlives the source region's
+            // contents, so consult it before judging the region.
+            if (const heap::ForwardTable *ft = ctx_.forwards.get(idx)) {
+                Addr to = ft->lookup(a);
+                if (to != nullRef && to != a) {
+                    a = to;
+                    continue;
+                }
+            }
+            if (rm_.region(idx).state == heap::RegionState::Free) {
+                why = strprintf("dangling reference %llx into free "
+                                "region %zu",
+                                static_cast<unsigned long long>(a), idx);
+                return nullRef;
+            }
+            if (!rm_.arena().isCommitted(idx)) {
+                why = strprintf("reference %llx into uncommitted "
+                                "region %zu",
+                                static_cast<unsigned long long>(a), idx);
+                return nullRef;
+            }
+            const heap::ObjectHeader *h = rm_.header(a);
+            if (!sane(a, *h, why))
+                return nullRef;
+            if (h->isForwarded()) {
+                Addr to = heap::uncolor(static_cast<Addr>(h->forward));
+                if (to != a) {
+                    a = to;
+                    continue;
+                }
+            }
+            return a;
+        }
+        why = strprintf("forwarding chain from %llx exceeds 64 hops",
+                        static_cast<unsigned long long>(heap::uncolor(ref)));
+        return nullRef;
+    }
+
+  private:
+    bool
+    sane(Addr a, const heap::ObjectHeader &h, std::string &why) const
+    {
+        if (a % heap::objectAlignment != 0) {
+            why = strprintf("misaligned reference %llx",
+                            static_cast<unsigned long long>(a));
+            return false;
+        }
+        if (h.size < heap::objectHeaderSize ||
+            h.size % heap::objectAlignment != 0 ||
+            heap::regionOffsetOf(a) + h.size > heap::regionSize) {
+            why = strprintf("object %llx has corrupt size %u",
+                            static_cast<unsigned long long>(a), h.size);
+            return false;
+        }
+        if (heap::objectHeaderSize + 8ULL * h.numRefs > h.size) {
+            why = strprintf("object %llx has %u ref slots but size %u",
+                            static_cast<unsigned long long>(a), h.numRefs,
+                            h.size);
+            return false;
+        }
+        return true;
+    }
+
+    rt::HeapContext &ctx_;
+    heap::RegionManager &rm_;
+};
+
+} // namespace
+
+HeapGraph
+captureHeapGraph(rt::Runtime &runtime)
+{
+    HeapGraph graph;
+    Resolver resolver(runtime);
+    std::unordered_map<Addr, std::int64_t> idOf;
+
+    auto canonical = [&](Addr ref, const char *where) -> std::int64_t {
+        if (heap::uncolor(ref) == nullRef)
+            return kNullEdge;
+        std::string why;
+        Addr a = resolver.resolve(ref, why);
+        if (a == nullRef) {
+            if (graph.defect.empty())
+                graph.defect = strprintf("%s: %s", where, why.c_str());
+            return kBadEdge;
+        }
+        auto [it, fresh] =
+            idOf.emplace(a, static_cast<std::int64_t>(graph.addrs.size()));
+        if (fresh)
+            graph.addrs.push_back(a);
+        return it->second;
+    };
+
+    runtime.forEachRoot([&](Addr &slot) {
+        graph.roots.push_back(canonical(slot, "root"));
+    });
+
+    // Breadth-first discovery: addrs_ grows as edges are canonicalized,
+    // and nodes are emitted in the same discovery order.
+    heap::RegionManager &rm = runtime.heap().regions;
+    for (std::size_t id = 0; id < graph.addrs.size(); ++id) {
+        Addr a = graph.addrs[id];
+        const heap::ObjectHeader *h = rm.header(a);
+        GraphNode node;
+        node.size = h->size;
+        node.numRefs = h->numRefs;
+        node.payloadHash = shapeHash(h->size, h->numRefs);
+        node.edges.reserve(h->numRefs);
+        const Addr *slots = h->refSlots();
+        std::string where = strprintf("node #%zu (%llx)", id,
+                                      static_cast<unsigned long long>(a));
+        for (std::uint32_t s = 0; s < h->numRefs; ++s)
+            node.edges.push_back(canonical(slots[s], where.c_str()));
+        graph.nodes.push_back(std::move(node));
+    }
+    return graph;
+}
+
+GraphDiff
+diffGraphs(const HeapGraph &before, const HeapGraph &after)
+{
+    GraphDiff diff;
+    auto fail = [&](std::string description) {
+        diff.equal = false;
+        diff.description = std::move(description);
+        return diff;
+    };
+
+    if (!before.defect.empty())
+        return fail(strprintf("before-snapshot defect: %s",
+                              before.defect.c_str()));
+    if (!after.defect.empty())
+        return fail(strprintf("after-snapshot defect: %s",
+                              after.defect.c_str()));
+
+    if (before.roots.size() != after.roots.size()) {
+        return fail(strprintf("root count changed: %zu -> %zu",
+                              before.roots.size(), after.roots.size()));
+    }
+    for (std::size_t i = 0; i < before.roots.size(); ++i) {
+        if (before.roots[i] != after.roots[i]) {
+            return fail(strprintf(
+                "root slot #%zu diverges: node %lld -> node %lld", i,
+                static_cast<long long>(before.roots[i]),
+                static_cast<long long>(after.roots[i])));
+        }
+    }
+    if (before.nodes.size() != after.nodes.size()) {
+        return fail(strprintf("reachable object count changed: %zu -> %zu",
+                              before.nodes.size(), after.nodes.size()));
+    }
+    for (std::size_t i = 0; i < before.nodes.size(); ++i) {
+        const GraphNode &b = before.nodes[i];
+        const GraphNode &a = after.nodes[i];
+        if (b.payloadHash != a.payloadHash) {
+            return fail(strprintf(
+                "node #%zu payload hash diverges: %016llx (size %u, "
+                "%u refs) -> %016llx (size %u, %u refs)",
+                i, static_cast<unsigned long long>(b.payloadHash), b.size,
+                b.numRefs, static_cast<unsigned long long>(a.payloadHash),
+                a.size, a.numRefs));
+        }
+        for (std::size_t s = 0; s < b.edges.size(); ++s) {
+            if (b.edges[s] != a.edges[s]) {
+                return fail(strprintf(
+                    "edge #%zu.%zu diverges: node %lld -> node %lld", i, s,
+                    static_cast<long long>(b.edges[s]),
+                    static_cast<long long>(a.edges[s])));
+            }
+        }
+    }
+    return diff;
+}
+
+} // namespace distill::check

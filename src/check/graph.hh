@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Collector-independent heap-graph snapshots.
+ *
+ * A snapshot canonicalizes the reachable object graph: roots are
+ * visited in runtime order, every reference is resolved through any
+ * in-flight forwarding state (colored pointers, off-object forward
+ * tables, header forwarding), and objects are numbered in discovery
+ * order. Two snapshots of isomorphic graphs therefore compare equal
+ * field by field regardless of where the collector placed the
+ * objects. The payload hash covers the shape fields (size, numRefs) —
+ * payload bytes are never initialized by design (see heap/object.hh),
+ * so shape is the complete collector-visible identity of an object.
+ */
+
+#ifndef DISTILL_CHECK_GRAPH_HH
+#define DISTILL_CHECK_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace distill::rt
+{
+class Runtime;
+}
+
+namespace distill::check
+{
+
+/** Canonical edge target: a node id, kNullEdge, or kBadEdge. */
+constexpr std::int64_t kNullEdge = -1; //!< null reference
+constexpr std::int64_t kBadEdge = -2;  //!< unresolvable/dangling reference
+
+/** One reachable object in canonical (discovery) order. */
+struct GraphNode
+{
+    std::uint64_t payloadHash = 0;       //!< hash of (size, numRefs)
+    std::uint32_t size = 0;
+    std::uint16_t numRefs = 0;
+    std::vector<std::int64_t> edges;     //!< canonical target per ref slot
+};
+
+/**
+ * A canonical snapshot of the reachable heap graph.
+ */
+struct HeapGraph
+{
+    std::vector<std::int64_t> roots; //!< canonical target per root slot
+    std::vector<GraphNode> nodes;    //!< discovery order
+
+    /**
+     * Resolved heap address of each node at capture time. Excluded
+     * from comparisons (it is exactly what a moving GC may change);
+     * kept so fault injection can corrupt real slots.
+     */
+    std::vector<Addr> addrs;
+
+    /** Non-empty when the walk hit a dangling or corrupt reference. */
+    std::string defect;
+};
+
+/** Result of comparing two snapshots. */
+struct GraphDiff
+{
+    bool equal = true;
+
+    /** First divergence (root slot, node shape, or edge), or defects. */
+    std::string description;
+};
+
+/**
+ * Capture the reachable graph of @p runtime. Must run while no
+ * mutator is mid-step (pause boundaries, or after execute()); every
+ * TLAB must be retired, which the safepoint protocol guarantees.
+ * Never crashes on corrupt references: they become kBadEdge targets
+ * and a defect description.
+ */
+HeapGraph captureHeapGraph(rt::Runtime &runtime);
+
+/** Compare two snapshots; reports the first divergence. */
+GraphDiff diffGraphs(const HeapGraph &before, const HeapGraph &after);
+
+} // namespace distill::check
+
+#endif // DISTILL_CHECK_GRAPH_HH

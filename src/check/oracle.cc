@@ -1,0 +1,132 @@
+#include "check/oracle.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "heap/object.hh"
+#include "heap/region.hh"
+
+namespace distill::check
+{
+
+std::string
+reproLine(rt::Runtime &runtime)
+{
+    const rt::RunConfig &config = runtime.config();
+    return strprintf(
+        "--collector=%s --seed=%llu --sched-seed=%llu --heap=%llu",
+        runtime.collector().name(),
+        static_cast<unsigned long long>(config.seed),
+        static_cast<unsigned long long>(config.schedSeed),
+        static_cast<unsigned long long>(config.heapBytes));
+}
+
+void
+HeapOracle::onWorldStopped(rt::Runtime &runtime)
+{
+    pre_ = captureHeapGraph(runtime);
+    havePre_ = true;
+}
+
+void
+HeapOracle::injectFault(rt::Runtime &runtime)
+{
+    HeapGraph graph = captureHeapGraph(runtime);
+    std::size_t n = graph.nodes.size();
+    if (n < 2)
+        return;
+    Rng rng(fault_.seed);
+    std::size_t start = rng.below(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t i = (start + k) % n;
+        const GraphNode &node = graph.nodes[i];
+        for (std::size_t s = 0; s < node.edges.size(); ++s) {
+            if (node.edges[s] < 0)
+                continue;
+            auto target = static_cast<std::size_t>(node.edges[s]);
+            // Redirect to a node of a different shape when one exists,
+            // so the corruption can never be a coincidental
+            // isomorphism of a symmetric graph.
+            std::size_t victim = n;
+            std::size_t probe = rng.below(n);
+            for (std::size_t t = 0; t < n && victim == n; ++t) {
+                std::size_t c = (probe + t) % n;
+                if (c != target &&
+                    graph.nodes[c].payloadHash !=
+                        graph.nodes[target].payloadHash) {
+                    victim = c;
+                }
+            }
+            for (std::size_t t = 0; t < n && victim == n; ++t) {
+                std::size_t c = (probe + t) % n;
+                if (c != target)
+                    victim = c;
+            }
+            if (victim == n)
+                continue;
+            heap::ObjectHeader *h =
+                runtime.heap().regions.header(graph.addrs[i]);
+            h->refSlots()[s] = graph.addrs[victim];
+            inform("oracle fault hook: rewrote edge #%zu.%zu "
+                   "(node %zu -> node %zu) at pause #%u",
+                   i, s, target, victim, pausesChecked_);
+            return;
+        }
+    }
+}
+
+void
+HeapOracle::onWorldResuming(rt::Runtime &runtime)
+{
+    if (!havePre_)
+        return;
+    havePre_ = false;
+    if (fault_.enabled && pausesChecked_ == fault_.pauseIndex)
+        injectFault(runtime);
+    HeapGraph post = captureHeapGraph(runtime);
+    GraphDiff diff = diffGraphs(pre_, post);
+    unsigned pause = pausesChecked_++;
+    if (diff.equal)
+        return;
+    ++failures_;
+    lastReport_ = strprintf(
+        "heap oracle: collection #%u of %s is not a graph isomorphism\n"
+        "  %s\n"
+        "  repro: %s",
+        pause, runtime.collector().name(), diff.description.c_str(),
+        reproLine(runtime).c_str());
+    warn("%s", lastReport_.c_str());
+    runtime.fail(strprintf("oracle: GC #%u broke graph isomorphism (%s)",
+                           pause, diff.description.c_str()),
+                 false);
+}
+
+void
+enableEnvOracle()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    rt::setHeapObserverFactory(
+        [](rt::Runtime &) -> std::unique_ptr<rt::HeapObserver> {
+            const char *v = std::getenv("DISTILL_ORACLE");
+            if (v == nullptr || v[0] == '\0' || v[0] == '0')
+                return nullptr;
+            auto oracle = std::make_unique<HeapOracle>();
+            if (const char *p = std::getenv("DISTILL_FAULT_PAUSE")) {
+                FaultPlan plan;
+                plan.enabled = true;
+                plan.pauseIndex =
+                    static_cast<unsigned>(std::strtoul(p, nullptr, 10));
+                if (const char *s = std::getenv("DISTILL_FAULT_SEED")) {
+                    plan.seed = std::strtoull(s, nullptr, 10);
+                }
+                oracle->armFault(plan);
+            }
+            return oracle;
+        });
+}
+
+} // namespace distill::check

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The heap-graph oracle: asserts every collection is a graph
+ * isomorphism.
+ *
+ * Attached as a rt::HeapObserver, the oracle snapshots the reachable
+ * graph when the world stops and again just before it resumes, and
+ * diffs the two canonical snapshots. Any divergence — a dropped or
+ * mis-forwarded edge, a corrupted shape, a dangling reference — fails
+ * the run with a report that includes a one-line repro command
+ * (--collector/--seed/--sched-seed/--heap) replaying the failure
+ * bit-identically.
+ *
+ * Comparing within a pause (not across pauses) is what makes the
+ * check collector-independent: "concurrent" phases in this simulator
+ * perform their graph work atomically host-side inside GC-thread
+ * steps, so at both snapshot points the graph is consistent, and no
+ * mutator can run in between to legitimately change it.
+ *
+ * A test-only fault hook can corrupt one reachable edge at a chosen
+ * pause (simulating a mis-forwarded reference) to prove the oracle
+ * catches real bugs end to end.
+ */
+
+#ifndef DISTILL_CHECK_ORACLE_HH
+#define DISTILL_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/graph.hh"
+#include "rt/runtime.hh"
+
+namespace distill::check
+{
+
+/** Test-only fault injection: corrupt one edge during a pause. */
+struct FaultPlan
+{
+    bool enabled = false;
+
+    /** Zero-based index of the pause to corrupt. */
+    unsigned pauseIndex = 0;
+
+    /** Picks which reachable edge gets rewritten. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Pause-boundary graph-isomorphism checker (see file comment).
+ * Divergence fails the run via Runtime::fail (prefix "oracle:") so
+ * in-process sweeps and tests observe it in RunMetrics::failureReason
+ * without the process dying.
+ */
+class HeapOracle : public rt::HeapObserver
+{
+  public:
+    HeapOracle() = default;
+
+    /** Arm the test-only fault hook. */
+    void armFault(const FaultPlan &plan) { fault_ = plan; }
+
+    void onWorldStopped(rt::Runtime &runtime) override;
+    void onWorldResuming(rt::Runtime &runtime) override;
+
+    unsigned pausesChecked() const { return pausesChecked_; }
+    unsigned failures() const { return failures_; }
+
+    /** Full report of the last divergence (diff + repro line). */
+    const std::string &lastReport() const { return lastReport_; }
+
+  private:
+    void injectFault(rt::Runtime &runtime);
+
+    HeapGraph pre_;
+    bool havePre_ = false;
+    unsigned pausesChecked_ = 0;
+    unsigned failures_ = 0;
+    std::string lastReport_;
+    FaultPlan fault_;
+};
+
+/**
+ * The single replay line for @p runtime's configuration. The
+ * sched-seed expands through sim::SchedulePerturb::fromSeed, so these
+ * four values pin the run bit-identically.
+ */
+std::string reproLine(rt::Runtime &runtime);
+
+/**
+ * Register the process-wide observer factory that attaches a
+ * HeapOracle to every Runtime when DISTILL_ORACLE=1 is set in the
+ * environment (and, when DISTILL_FAULT_PAUSE=<n> is also set, arms
+ * the fault hook at pause n). Idempotent; called by CLI entry points.
+ */
+void enableEnvOracle();
+
+} // namespace distill::check
+
+#endif // DISTILL_CHECK_ORACLE_HH

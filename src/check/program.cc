@@ -1,0 +1,144 @@
+#include "check/program.hh"
+
+#include "base/rng.hh"
+#include "heap/layout.hh"
+#include "rt/mutator.hh"
+
+namespace distill::check
+{
+
+FuzzProgram::FuzzProgram(std::size_t ops, std::uint64_t seed)
+{
+    // Generation tracks the ref-slot count of the object each root
+    // will hold when the op executes, so every emitted Store has a
+    // valid slot index at runtime.
+    Rng rng(seed);
+    std::vector<std::uint16_t> shape(roots_.size(), 0);
+    ops_.reserve(ops);
+    for (std::size_t i = 0; i < ops; ++i) {
+        Op op;
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+          case 4: {
+            op.kind = Op::Kind::Alloc;
+            op.root = static_cast<std::uint8_t>(rng.below(roots_.size()));
+            op.refs = static_cast<std::uint16_t>(1 + rng.below(4));
+            op.payload = static_cast<std::uint32_t>(rng.below(600));
+            shape[op.root] = op.refs;
+            break;
+          }
+          case 5:
+          case 6: {
+            std::uint8_t src =
+                static_cast<std::uint8_t>(rng.below(roots_.size()));
+            std::uint8_t dst =
+                static_cast<std::uint8_t>(rng.below(roots_.size()));
+            if (shape[src] > 1) {
+                op.kind = Op::Kind::Store;
+                op.root = src;
+                op.slot = static_cast<std::uint8_t>(
+                    1 + rng.below(shape[src] - 1u));
+                op.from = dst;
+            } else {
+                op.kind = Op::Kind::Compute;
+            }
+            break;
+          }
+          case 7: {
+            std::uint8_t r =
+                static_cast<std::uint8_t>(rng.below(roots_.size()));
+            if (shape[r] > 0) {
+                op.kind = Op::Kind::Load;
+                op.root = r;
+            } else {
+                op.kind = Op::Kind::Compute;
+            }
+            break;
+          }
+          case 8:
+            op.kind = Op::Kind::Drop;
+            op.root = static_cast<std::uint8_t>(rng.below(roots_.size()));
+            shape[op.root] = 0;
+            break;
+          default:
+            op.kind = Op::Kind::Compute;
+            break;
+        }
+        ops_.push_back(op);
+    }
+}
+
+rt::StepResult
+FuzzProgram::step(rt::Mutator &mutator)
+{
+    if (!anchorDone_) {
+        anchor_ = mutator.allocate(1, 16);
+        if (mutator.wasBlocked())
+            return rt::StepResult::Running;
+        anchorDone_ = true;
+        return rt::StepResult::Running;
+    }
+    if (pc_ == ops_.size())
+        return verify(mutator);
+
+    const Op &op = ops_[pc_];
+    switch (op.kind) {
+      case Op::Kind::Alloc: {
+        Addr obj = mutator.allocate(op.refs, op.payload);
+        if (mutator.wasBlocked()) {
+            // Same op retries after the collection; pc_ is unchanged
+            // so the trace stays identical across collectors.
+            return rt::StepResult::Running;
+        }
+        mutator.storeRef(obj, 0, anchor_);
+        roots_[op.root] = obj;
+        break;
+      }
+      case Op::Kind::Store:
+        if (roots_[op.root] != nullRef)
+            mutator.storeRef(roots_[op.root], op.slot, roots_[op.from]);
+        break;
+      case Op::Kind::Load:
+        if (roots_[op.root] != nullRef) {
+            Addr v = mutator.loadRef(roots_[op.root], 0);
+            if (heap::uncolor(v) != heap::uncolor(anchor_))
+                ++violations_;
+        }
+        break;
+      case Op::Kind::Drop:
+        roots_[op.root] = nullRef;
+        break;
+      case Op::Kind::Compute:
+        mutator.compute(400);
+        break;
+    }
+    mutator.compute(120);
+    ++pc_;
+    return rt::StepResult::Running;
+}
+
+rt::StepResult
+FuzzProgram::verify(rt::Mutator &mutator)
+{
+    for (Addr obj : roots_) {
+        if (obj == nullRef)
+            continue;
+        Addr v = mutator.loadRef(obj, 0);
+        if (heap::uncolor(v) != heap::uncolor(anchor_))
+            ++violations_;
+    }
+    return rt::StepResult::Done;
+}
+
+void
+FuzzProgram::forEachRootSlot(const rt::RootSlotVisitor &visit)
+{
+    visit(anchor_);
+    for (Addr &slot : roots_)
+        visit(slot);
+}
+
+} // namespace distill::check

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic fuzz workload for oracle and differential checking.
+ *
+ * The original churn fuzzer drew operations from the mutator RNG as it
+ * ran, so a blocked allocation retry advanced the stream and the op
+ * sequence depended on collector timing. This program pre-generates
+ * its whole operation trace from an explicit seed at construction and
+ * never advances past a blocked step, so the logical heap mutations
+ * are a pure function of (ops, seed) — identical under every collector
+ * and every schedule, which is exactly what end-state differential
+ * comparison requires.
+ *
+ * Shape: every allocated object stores one shared anchor object in
+ * slot 0 (spot-checked on loads, like the original fuzzer); slots >= 1
+ * are cross-wired between rooted objects; roots are overwritten and
+ * dropped to create garbage of every age.
+ */
+
+#ifndef DISTILL_CHECK_PROGRAM_HH
+#define DISTILL_CHECK_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "rt/program.hh"
+
+namespace distill::check
+{
+
+/**
+ * Seed-deterministic churn program (see file comment).
+ */
+class FuzzProgram : public rt::MutatorProgram
+{
+  public:
+    FuzzProgram(std::size_t ops, std::uint64_t seed);
+
+    rt::StepResult step(rt::Mutator &mutator) override;
+    void forEachRootSlot(const rt::RootSlotVisitor &visit) override;
+
+    /** Anchor-invariant violations observed on loads. */
+    std::uint64_t violations() const { return violations_; }
+
+  private:
+    struct Op
+    {
+        enum class Kind : std::uint8_t
+        {
+            Alloc,   //!< new object into roots[root], anchor in slot 0
+            Store,   //!< roots[root].slots[slot] = roots[from]
+            Load,    //!< spot-check roots[root].slots[0] == anchor
+            Drop,    //!< roots[root] = null
+            Compute, //!< pure application compute
+        };
+
+        Kind kind;
+        std::uint8_t root = 0;
+        std::uint8_t slot = 0;
+        std::uint8_t from = 0;
+        std::uint16_t refs = 0;
+        std::uint32_t payload = 0;
+    };
+
+    rt::StepResult verify(rt::Mutator &mutator);
+
+    std::vector<Op> ops_;
+    std::size_t pc_ = 0;
+    Addr anchor_ = nullRef;
+    bool anchorDone_ = false;
+    std::vector<Addr> roots_ = std::vector<Addr>(64, nullRef);
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace distill::check
+
+#endif // DISTILL_CHECK_PROGRAM_HH

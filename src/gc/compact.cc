@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "gc/trace.hh"
+#include "rt/mutator.hh"
 #include "rt/runtime.hh"
 
 namespace distill::gc
@@ -124,7 +125,14 @@ fullCompact(rt::Runtime &runtime)
         }
     }
     ctx.bitmap.clearAll();
+    // Every object moved: all side structures naming pre-compact
+    // addresses are now stale. Callers that need remsets rebuild them
+    // (G1's rebuildRemsets); SATB state dies with the aborted cycle.
     ctx.oldToYoung.clear();
+    ctx.remsets.clearAll();
+    ctx.satb.clear();
+    for (auto &m : runtime.mutators())
+        m->satbBuffer().clear();
 
     result.packets = marked.objects / std::max<std::uint32_t>(
                          costs.packetObjects, 1) + 1;

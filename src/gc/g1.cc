@@ -94,8 +94,14 @@ class G1::ControlThread : public rt::WorkerThread
                 work = gc_.doRemarkCleanup();
                 break;
             }
-            if (rt::validateEnabled())
-                rt::validateHeap(rt, "g1-post-pause-work");
+            if (rt::validateEnabled()) {
+                // Remsets are complete here: barrier-maintained for
+                // evac/remark pauses, rebuilt wholesale after a full
+                // GC.
+                rt::ValidateOptions vopts;
+                vopts.checkRegionRemsets = true;
+                rt::validateHeap(rt, "g1-post-pause-work", vopts);
+            }
             phase_ = Phase::PauseFinish;
             gc_.pauseGang_->dispatch(work.cost, work.packets, this);
             block();
@@ -351,8 +357,11 @@ G1::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot, Addr value)
 G1::GcWork
 G1::doEvacPause(bool &evac_failed)
 {
-    if (rt::validateEnabled())
-        rt::validateHeap(*rt_, "g1-pre-evac");
+    if (rt::validateEnabled()) {
+        rt::ValidateOptions vopts;
+        vopts.checkRegionRemsets = true;
+        rt::validateHeap(*rt_, "g1-pre-evac", vopts);
+    }
     auto &ctx = rt_->heap();
     auto &rm = ctx.regions;
     heap::Arena &arena = rm.arena();

@@ -53,8 +53,11 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
           case Phase::Collect: {
             // World is stopped.
             gc_.pending_ = GcKind::None;
-            if (rt::validateEnabled())
-                rt::validateHeap(rt, "stw-pre-collect");
+            if (rt::validateEnabled()) {
+                rt::ValidateOptions vopts;
+                vopts.checkGenRemset = true;
+                rt::validateHeap(rt, "stw-pre-collect", vopts);
+            }
             GcWork work;
             if (kind_ == GcKind::Young) {
                 bool promo_failed = false;
@@ -70,8 +73,11 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
             } else {
                 work = gc_.doFullGc();
             }
-            if (rt::validateEnabled())
-                rt::validateHeap(rt, "stw-post-collect");
+            if (rt::validateEnabled()) {
+                rt::ValidateOptions vopts;
+                vopts.checkGenRemset = true;
+                rt::validateHeap(rt, "stw-post-collect", vopts);
+            }
             phase_ = Phase::Finish;
             if (gc_.gang_ != nullptr) {
                 gc_.gang_->dispatch(work.cost, work.packets, this);

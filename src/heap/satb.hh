@@ -54,6 +54,14 @@ class SatbQueue
 
     void clear() { queue_.clear(); }
 
+    /** Visit every queued entry without draining (validation). */
+    void
+    forEach(const std::function<void(Addr)> &fn) const
+    {
+        for (Addr ref : queue_)
+            fn(ref);
+    }
+
     /**
      * Rewrite every entry with @p fn (evacuation must fix up queued
      * addresses before from-regions are recycled); entries for which

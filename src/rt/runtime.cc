@@ -8,6 +8,35 @@
 namespace distill::rt
 {
 
+namespace
+{
+
+HeapObserverFactory &
+observerFactory()
+{
+    static HeapObserverFactory factory;
+    return factory;
+}
+
+// Distinct stream from the mutator seeder without mutating the
+// stored config (splitMix64 advances its argument in place; feeding
+// it config_.seed directly would corrupt the seed config() reports,
+// breaking repro lines).
+std::uint64_t
+deriveGcSeed(std::uint64_t seed)
+{
+    std::uint64_t state = seed;
+    return splitMix64(state);
+}
+
+} // namespace
+
+void
+setHeapObserverFactory(HeapObserverFactory factory)
+{
+    observerFactory() = std::move(factory);
+}
+
 Runtime::Runtime(const RunConfig &config,
                  std::unique_ptr<Collector> collector,
                  WorkloadInstance workload)
@@ -17,7 +46,7 @@ Runtime::Runtime(const RunConfig &config,
       agent_(scheduler_),
       collector_(std::move(collector)),
       workload_(std::move(workload)),
-      gcRng_(splitMix64(config_.seed)) // distinct stream from mutators
+      gcRng_(deriveGcSeed(config_.seed))
 {
     distill_assert(collector_ != nullptr, "runtime without a collector");
     distill_assert(!workload_.programs.empty(), "workload with no threads");
@@ -42,6 +71,15 @@ Runtime::Runtime(const RunConfig &config,
         scheduler_.addThread(m.get());
 
     collector_->attach(*this);
+
+    if (config_.schedSeed != 0) {
+        scheduler_.setPerturbation(
+            sim::SchedulePerturb::fromSeed(config_.schedSeed));
+    }
+    if (auto &factory = observerFactory(); factory) {
+        ownedObserver_ = factory(*this);
+        observer_ = ownedObserver_.get();
+    }
 
     scheduler_.setRoundHook([this] { roundHook(); });
 }
@@ -73,6 +111,8 @@ Runtime::roundHook()
                 collector_->onSafepointPark(*m);
             distill_assert(safepointRequester_ != nullptr,
                            "safepoint without requester");
+            if (observer_ != nullptr)
+                observer_->onWorldStopped(*this);
             safepointRequester_->makeRunnable();
         }
     }
@@ -95,6 +135,8 @@ void
 Runtime::resumeWorld()
 {
     distill_assert(worldStopped_, "resume of a running world");
+    if (observer_ != nullptr)
+        observer_->onWorldResuming(*this);
     worldStopped_ = false;
     safepointRequested_ = false;
     safepointRequester_ = nullptr;

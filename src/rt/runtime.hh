@@ -51,6 +51,13 @@ struct RunConfig
 
     /** Master seed; every stochastic component derives from it. */
     std::uint64_t seed = 0x5eed;
+
+    /**
+     * Schedule-fuzzing seed, expanded via
+     * sim::SchedulePerturb::fromSeed. 0 keeps the vanilla
+     * deterministic round-robin schedule.
+     */
+    std::uint64_t schedSeed = 0;
 };
 
 /**
@@ -87,6 +94,34 @@ struct WorkloadInstance
     std::function<void(metrics::RunMetrics &)> exportStats;
 };
 
+class Runtime;
+
+/**
+ * Hook for collector-independent heap inspection at pause boundaries.
+ * onWorldStopped fires when the world has just stopped (before the GC
+ * thread resumes); onWorldResuming fires at the end of the pause,
+ * after all GC graph work, before mutators are unparked. Both run with
+ * every TLAB retired, so the heap is walkable. The heap-graph oracle
+ * in src/check/ implements this to assert each collection is a graph
+ * isomorphism.
+ */
+class HeapObserver
+{
+  public:
+    virtual ~HeapObserver() = default;
+    virtual void onWorldStopped(Runtime &runtime) = 0;
+    virtual void onWorldResuming(Runtime &runtime) = 0;
+};
+
+/**
+ * Process-wide factory consulted by every new Runtime; lets env-gated
+ * observers (DISTILL_ORACLE=1) attach without the rt layer depending
+ * on src/check/. A null return installs nothing.
+ */
+using HeapObserverFactory =
+    std::function<std::unique_ptr<HeapObserver>(Runtime &)>;
+void setHeapObserverFactory(HeapObserverFactory factory);
+
 /**
  * One managed-runtime instance executing one workload under one
  * collector. Single-use: construct, execute(), read metrics.
@@ -113,8 +148,15 @@ class Runtime
     HeapContext &heap() { return heap_; }
     metrics::GcAgent &agent() { return agent_; }
     const CostModel &costs() const { return config_.costs; }
+    const RunConfig &config() const { return config_; }
     Collector &collector() { return *collector_; }
     Rng &gcRng() { return gcRng_; }
+
+    /**
+     * Attach a pause-boundary heap observer (not owned; must outlive
+     * the runtime). Overrides any factory-installed observer.
+     */
+    void setHeapObserver(HeapObserver *observer) { observer_ = observer; }
 
     /** Register a GC thread with the scheduler (from attach()). */
     void addGcThread(sim::SimThread *thread);
@@ -175,6 +217,8 @@ class Runtime
     WorkloadInstance workload_;
     std::vector<std::unique_ptr<Mutator>> mutators_;
     Rng gcRng_;
+    std::unique_ptr<HeapObserver> ownedObserver_;
+    HeapObserver *observer_ = nullptr;
 
     bool safepointRequested_ = false;
     bool worldStopped_ = false;

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 #include "base/logging.hh"
+#include "rt/mutator.hh"
 #include "rt/runtime.hh"
 
 namespace distill::rt
@@ -54,6 +56,15 @@ void
 validateHeap(Runtime &runtime, const char *context,
              bool marked_slots_only)
 {
+    ValidateOptions options;
+    options.markedSlotsOnly = marked_slots_only;
+    validateHeap(runtime, context, options);
+}
+
+void
+validateHeap(Runtime &runtime, const char *context,
+             const ValidateOptions &options)
+{
     auto &ctx = runtime.heap();
     auto &rm = ctx.regions;
     heap::setWalkContext(context);
@@ -90,21 +101,105 @@ validateHeap(Runtime &runtime, const char *context,
                        static_cast<unsigned long long>(ref));
     };
 
+    // Membership set for the generational completeness direction.
+    std::unordered_set<Addr> gen_entries;
+    if (options.checkGenRemset) {
+        for (Addr obj : ctx.oldToYoung.entries())
+            gen_entries.insert(obj);
+    }
+
     for (std::size_t i = 0; i < rm.regionCount(); ++i) {
         heap::Region &r = rm.region(i);
         if (r.state == heap::RegionState::Free)
             continue;
+        bool in_old = r.state == heap::RegionState::Old;
         rm.forEachObject(r, [&](Addr obj) {
-            if (marked_slots_only && !ctx.bitmap.isMarked(obj))
+            if (options.markedSlotsOnly && !ctx.bitmap.isMarked(obj))
                 return;
             heap::ObjectHeader *h = rm.header(obj);
-            for (std::uint32_t s = 0; s < h->numRefs; ++s)
-                check_ref(h->refSlots()[s], "slot", obj);
+            bool has_young = false;
+            for (std::uint32_t s = 0; s < h->numRefs; ++s) {
+                Addr ref = h->refSlots()[s];
+                check_ref(ref, "slot", obj);
+                Addr a = heap::uncolor(ref);
+                if (a == nullRef)
+                    continue;
+                heap::RegionState ts = rm.regionOf(a).state;
+                if (ts == heap::RegionState::Eden ||
+                    ts == heap::RegionState::Survivor) {
+                    has_young = true;
+                }
+                if (options.checkRegionRemsets && in_old &&
+                    heap::regionIndexOf(a) != r.index) {
+                    distill_assert(
+                        ctx.remsets.forRegion(heap::regionIndexOf(a))
+                            .entries().count(obj) != 0,
+                        "[%s] cross-region ref %llx -> %llx missing "
+                        "from region %zu's remset",
+                        context, static_cast<unsigned long long>(obj),
+                        static_cast<unsigned long long>(a),
+                        heap::regionIndexOf(a));
+                }
+            }
+            if (options.checkGenRemset && in_old) {
+                bool remembered =
+                    (h->flags & heap::flagRemembered) != 0;
+                distill_assert(!has_young || remembered,
+                               "[%s] old object %llx holds a young ref "
+                               "but is not flagged remembered",
+                               context,
+                               static_cast<unsigned long long>(obj));
+                distill_assert(remembered == (gen_entries.count(obj) != 0),
+                               "[%s] old object %llx remembered flag "
+                               "disagrees with the old-to-young set "
+                               "(flag %d, recorded %d)",
+                               context,
+                               static_cast<unsigned long long>(obj),
+                               remembered ? 1 : 0,
+                               gen_entries.count(obj) != 0 ? 1 : 0);
+            }
         });
     }
     runtime.forEachRoot([&](Addr &slot) {
         check_ref(slot, "root", nullRef);
     });
+
+    // Stale-entry checks (always on): every remset / SATB entry must
+    // still name a plausible object in a non-free region. Collectors
+    // that do not use a structure leave it empty, so these are no-ops
+    // outside Serial/Parallel (oldToYoung) and G1/Shenandoah
+    // (remsets/SATB).
+    for (Addr obj : ctx.oldToYoung.entries()) {
+        check_ref(obj, "old-to-young entry", nullRef);
+        distill_assert(rm.regionOf(obj).state == heap::RegionState::Old,
+                       "[%s] stale old-to-young entry %llx in non-old "
+                       "region %zu",
+                       context, static_cast<unsigned long long>(obj),
+                       heap::regionIndexOf(obj));
+        distill_assert(
+            (rm.header(obj)->flags & heap::flagRemembered) != 0,
+            "[%s] old-to-young entry %llx lost its remembered flag",
+            context, static_cast<unsigned long long>(obj));
+    }
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        const auto &set = ctx.remsets.forRegion(i);
+        if (rm.region(i).state == heap::RegionState::Free) {
+            distill_assert(set.size() == 0,
+                           "[%s] freed region %zu still has %zu stale "
+                           "remset entries",
+                           context, i, set.size());
+            continue;
+        }
+        for (Addr src : set.entries())
+            check_ref(src, "remset source entry", nullRef);
+    }
+    ctx.satb.forEach([&](Addr e) {
+        check_ref(e, "satb queue entry", nullRef);
+    });
+    for (auto &m : runtime.mutators()) {
+        for (Addr e : m->satbBuffer())
+            check_ref(e, "satb local-buffer entry", nullRef);
+    }
 }
 
 } // namespace distill::rt

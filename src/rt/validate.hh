@@ -12,12 +12,40 @@ namespace distill::rt
 class Runtime;
 
 /**
+ * Optional extra invariants layered on top of the basic heap walk.
+ * Stale-entry checks (remset/SATB entries must point at plausible
+ * objects in non-free regions) are always on; the flags below enable
+ * the collector-specific *completeness* directions, which only hold
+ * at the call sites of the collector that maintains the structure.
+ */
+struct ValidateOptions
+{
+    /** Only check ref slots of objects marked in the bitmap (ZGC:
+     * unmarked objects may hold stale colored refs mid-cycle). */
+    bool markedSlotsOnly = false;
+
+    /** Generational invariant (Serial/Parallel): every Old object
+     * with a young ref carries flagRemembered and sits in the
+     * old-to-young remembered set, and vice versa. */
+    bool checkGenRemset = false;
+
+    /** G1 invariant: every cross-region ref held by an Old object is
+     * recorded in the target region's remembered set. */
+    bool checkRegionRemsets = false;
+};
+
+/**
  * Walk every non-free region and verify object-header sanity (sizes,
  * alignment, top boundaries) and that every reference slot and root
- * points at a plausible object header in a non-free region. Panics
- * with a description on the first violation. Expensive; used by tests
- * and by collectors under DISTILL_VALIDATE=1.
+ * points at a plausible object header in a non-free region, plus
+ * remset/SATB stale-entry checks and any invariants enabled in
+ * @p options. Panics with a description on the first violation.
+ * Expensive; used by tests and by collectors under DISTILL_VALIDATE=1.
  */
+void validateHeap(Runtime &runtime, const char *context,
+                  const ValidateOptions &options);
+
+/** Convenience overload for the common basic walk. */
 void validateHeap(Runtime &runtime, const char *context,
                   bool marked_slots_only = false);
 

@@ -7,11 +7,34 @@
 namespace distill::sim
 {
 
+SchedulePerturb
+SchedulePerturb::fromSeed(std::uint64_t sched_seed)
+{
+    SchedulePerturb p;
+    if (sched_seed == 0)
+        return p;
+    p.seed = sched_seed;
+    switch (sched_seed & 3) {
+      case 0: p.jitter = true; break;
+      case 1: p.permute = true; break;
+      case 2: p.preempt = true; break;
+      default: p.jitter = p.permute = p.preempt = true; break;
+    }
+    return p;
+}
+
 Scheduler::Scheduler(const MachineConfig &config)
     : config_(config)
 {
     distill_assert(config_.cores > 0, "machine needs at least one core");
     distill_assert(config_.quantumCycles > 0, "zero quantum");
+}
+
+void
+Scheduler::setPerturbation(const SchedulePerturb &perturb)
+{
+    perturb_ = perturb;
+    perturbRng_ = Rng(perturb.seed);
 }
 
 void
@@ -71,17 +94,39 @@ Scheduler::run(const std::function<bool()> &done)
         wakeSleepers();
 
         // Round-robin selection of up to `cores` runnable threads.
+        // Perturbations reorder or defer candidates but never turn a
+        // non-empty runnable set into an empty selection.
         selected_.clear();
+        runnable_.clear();
         std::size_t n = threads_.size();
         if (n == 0)
             return true;
-        for (std::size_t i = 0; i < n && selected_.size() < config_.cores;
-             ++i) {
+        for (std::size_t i = 0; i < n; ++i) {
             SimThread *t = threads_[(rrCursor_ + i) % n];
             if (t->state() == SimThread::State::Runnable)
-                selected_.push_back(t);
+                runnable_.push_back(t);
         }
         rrCursor_ = (rrCursor_ + 1) % n;
+        if (perturb_.permute && runnable_.size() > 1) {
+            for (std::size_t i = runnable_.size() - 1; i > 0; --i) {
+                std::size_t j = perturbRng_.below(i + 1);
+                std::swap(runnable_[i], runnable_[j]);
+            }
+        }
+        for (SimThread *t : runnable_) {
+            if (selected_.size() >= config_.cores)
+                break;
+            // Deferring a runnable thread models an OS-level preemption
+            // right before a handshake point; keep at least one thread
+            // so the round always makes progress.
+            if (perturb_.preempt && !selected_.empty() &&
+                perturbRng_.chance(perturb_.preemptProb)) {
+                continue;
+            }
+            selected_.push_back(t);
+        }
+        if (selected_.empty() && !runnable_.empty())
+            selected_.push_back(runnable_.front());
 
         if (selected_.empty()) {
             Ticks deadline = 0;
@@ -134,8 +179,15 @@ Scheduler::run(const std::function<bool()> &done)
 
         Cycles max_used = 0;
         for (SimThread *t : selected_) {
-            Cycles used = t->run(config_.quantumCycles);
-            distill_assert(used <= config_.quantumCycles,
+            Cycles budget = config_.quantumCycles;
+            if (perturb_.jitter) {
+                Cycles shave = static_cast<Cycles>(
+                    static_cast<double>(budget) * perturb_.jitterFraction *
+                    perturbRng_.real());
+                budget = std::max<Cycles>(budget - shave, 1);
+            }
+            Cycles used = t->run(budget);
+            distill_assert(used <= budget,
                            "thread %s overran its budget",
                            t->name().c_str());
             if (used == 0 && t->state() == SimThread::State::Runnable) {

@@ -21,15 +21,52 @@
 #define DISTILL_SIM_SCHEDULER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "base/rng.hh"
 #include "base/types.hh"
 #include "sim/machine.hh"
 #include "sim/thread.hh"
 
 namespace distill::sim
 {
+
+/**
+ * Seeded schedule perturbation for fuzzing. All randomness is drawn
+ * from a dedicated Rng so a (seed, perturbation) pair replays
+ * bit-identically; the workload seed is untouched.
+ *
+ * Three independent knobs model the interleaving variance a real OS
+ * scheduler would produce:
+ *  - @c jitter   shrinks each selected thread's quantum by a random
+ *                fraction, moving every preemption point.
+ *  - @c permute  shuffles the runnable set before core assignment,
+ *                breaking the deterministic round-robin order.
+ *  - @c preempt  randomly defers runnable threads for a round, forcing
+ *                late safepoint arrival (handshake-point preemption).
+ */
+struct SchedulePerturb
+{
+    std::uint64_t seed = 0;
+    bool jitter = false;
+    bool permute = false;
+    bool preempt = false;
+    double jitterFraction = 0.5; //!< max fraction of the quantum shaved off
+    double preemptProb = 0.15;   //!< chance a runnable thread sits out
+
+    bool enabled() const { return jitter || permute || preempt; }
+
+    /**
+     * Canonical mapping from a single `--sched-seed` value to a full
+     * perturbation, so one integer on a repro line pins the schedule.
+     * Seed 0 is the vanilla deterministic round-robin schedule; for a
+     * nonzero seed the low two bits select which knobs are active
+     * (0: jitter, 1: permute, 2: preempt, 3: all).
+     */
+    static SchedulePerturb fromSeed(std::uint64_t sched_seed);
+};
 
 /**
  * Aggregate cycle counters, split by thread kind. The metrics agent
@@ -85,6 +122,16 @@ class Scheduler
      */
     void setRoundHook(std::function<void()> hook);
 
+    /**
+     * Install a seeded schedule perturbation (see SchedulePerturb).
+     * Must be called before run(); replays are deterministic for a
+     * given perturbation.
+     */
+    void setPerturbation(const SchedulePerturb &perturb);
+
+    /** The active perturbation (disabled by default). */
+    const SchedulePerturb &perturbation() const { return perturb_; }
+
   private:
     /** Wake sleepers whose deadline has passed. */
     void wakeSleepers();
@@ -95,6 +142,9 @@ class Scheduler
     MachineConfig config_;
     std::vector<SimThread *> threads_;
     std::vector<SimThread *> selected_;
+    std::vector<SimThread *> runnable_;
+    SchedulePerturb perturb_;
+    Rng perturbRng_{0};
     std::size_t rrCursor_ = 0;
     Ticks now_ = 0;
     double mutatorDilation_ = 1.0;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cross-collector differential tests: identical seeded programs must
+ * leave canonically equal reachable graphs under every production
+ * collector and under the no-GC Epsilon reference, both on a tight
+ * heap (every GC path exercised, ~1.4x the live-set floor) and on a
+ * roomy one (~6x, where collectors mostly idle). Failures carry
+ * replayable repro lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hh"
+#include "test_util.hh"
+
+namespace distill
+{
+namespace
+{
+
+using gc::CollectorKind;
+
+void
+expectAgreement(const check::DifferentialConfig &config)
+{
+    check::DifferentialResult result = check::runDifferential(config);
+    EXPECT_TRUE(result.ok) << result.report;
+    // All six collectors: the Epsilon reference plus every
+    // production collector.
+    EXPECT_EQ(result.collectorsCompared, gc::allCollectors().size())
+        << result.report;
+}
+
+TEST(Differential, FuzzProgramTightHeap)
+{
+    check::DifferentialConfig config;
+    config.seed = 11;
+    config.heapRegions = 14; // tight: forces every GC path
+    expectAgreement(config);
+}
+
+TEST(Differential, FuzzProgramRoomyHeap)
+{
+    check::DifferentialConfig config;
+    config.seed = 11;
+    config.heapRegions = 60; // roomy: ~6x the tight floor
+    expectAgreement(config);
+}
+
+TEST(Differential, FuzzProgramPerturbedSchedule)
+{
+    check::DifferentialConfig config;
+    config.seed = 23;
+    config.schedSeed = 7; // jitter + permutation + preemption
+    config.heapRegions = 14;
+    expectAgreement(config);
+}
+
+/** Deterministic allocation/wiring workload (no fuzz op mix). */
+rt::WorkloadInstance
+allocWorkload()
+{
+    // ~11 MiB allocated against a 3.5 MiB tight heap: every
+    // collector must run many cycles; the 96-region Epsilon
+    // reference absorbs it without collecting.
+    return test::singleProgram(
+        std::make_unique<test::AllocProgram>(40000, 128, true, 2, 240));
+}
+
+TEST(Differential, AllocProgramTightHeap)
+{
+    check::DifferentialConfig config;
+    config.seed = 5;
+    config.heapRegions = 14;
+    config.workload = allocWorkload;
+    expectAgreement(config);
+}
+
+TEST(Differential, AllocProgramRoomyHeap)
+{
+    check::DifferentialConfig config;
+    config.seed = 5;
+    config.heapRegions = 60;
+    config.workload = allocWorkload;
+    expectAgreement(config);
+}
+
+TEST(Differential, ReportsCollectorCount)
+{
+    check::DifferentialConfig config;
+    config.seed = 3;
+    config.ops = 2000;
+    check::DifferentialResult result = check::runDifferential(config);
+    ASSERT_TRUE(result.ok) << result.report;
+    EXPECT_EQ(result.collectorsCompared, 6u);
+}
+
+} // namespace
+} // namespace distill

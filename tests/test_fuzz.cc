@@ -1,17 +1,20 @@
 /**
  * @file
- * Randomized churn fuzz: a program performs a random mix of
- * allocations, stores, loads, and root overwrites, with every object
- * carrying a reference to one shared anchor object in slot 0. After
- * tens of thousands of operations under a tight heap (many
- * collections of every kind), every reachable object must still agree
- * on the anchor — catching lost updates, mis-copies, and stale
- * forwarding across all collectors. Parameterized over collector and
- * seed.
+ * Randomized churn fuzz under the heap-graph oracle: every production
+ * collector runs the seeded check::FuzzProgram workload on a tight
+ * heap across a (seed x schedule-perturbation) matrix. The oracle
+ * snapshots the reachable graph around every collection and asserts
+ * each GC is a graph isomorphism; the program's own anchor invariant
+ * (slot 0 of every rooted object names the per-thread anchor) guards
+ * against lost updates the graph diff could miss only if both
+ * snapshots were corrupted identically.
  */
 
 #include <gtest/gtest.h>
 
+#include "check/differential.hh"
+#include "check/oracle.hh"
+#include "check/program.hh"
 #include "heap/layout.hh"
 #include "test_util.hh"
 
@@ -22,140 +25,56 @@ namespace
 
 using gc::CollectorKind;
 
-class FuzzProgram : public rt::MutatorProgram
-{
-  public:
-    explicit FuzzProgram(std::size_t ops) : remaining_(ops) {}
-
-    rt::StepResult
-    step(rt::Mutator &mutator) override
-    {
-        Rng &rng = mutator.rng();
-        if (anchor_ == nullRef) {
-            anchor_ = mutator.allocate(1, 16);
-            if (mutator.wasBlocked())
-                return rt::StepResult::Running;
-            return rt::StepResult::Running;
-        }
-        if (remaining_ == 0)
-            return verify(mutator);
-
-        switch (rng.below(10)) {
-          case 0:
-          case 1:
-          case 2:
-          case 3:
-          case 4: { // allocate into a random root slot
-            std::uint32_t refs =
-                1 + static_cast<std::uint32_t>(rng.below(4));
-            std::uint64_t payload = rng.below(600);
-            Addr obj = mutator.allocate(refs, payload);
-            if (mutator.wasBlocked())
-                return rt::StepResult::Running;
-            mutator.storeRef(obj, 0, anchor_);
-            roots_[rng.below(roots_.size())] = obj;
-            break;
-          }
-          case 5:
-          case 6: { // cross-store between rooted objects (slots >= 1)
-            Addr src = roots_[rng.below(roots_.size())];
-            Addr dst = roots_[rng.below(roots_.size())];
-            if (src != nullRef) {
-                std::uint32_t n = mutator.numRefs(src);
-                if (n > 1) {
-                    mutator.storeRef(
-                        src, 1 + static_cast<unsigned>(rng.below(n - 1)),
-                        dst);
-                }
-            }
-            break;
-          }
-          case 7: { // load and spot-check the anchor invariant
-            Addr obj = roots_[rng.below(roots_.size())];
-            if (obj != nullRef) {
-                Addr v = mutator.loadRef(obj, 0);
-                if (heap::uncolor(v) != heap::uncolor(anchor_))
-                    ++violations_;
-            }
-            break;
-          }
-          case 8: // drop a root (make garbage)
-            roots_[rng.below(roots_.size())] = nullRef;
-            break;
-          case 9: // pure compute
-            mutator.compute(400);
-            break;
-        }
-        mutator.compute(120);
-        --remaining_;
-        return rt::StepResult::Running;
-    }
-
-    void
-    forEachRootSlot(const rt::RootSlotVisitor &visit) override
-    {
-        visit(anchor_);
-        for (Addr &slot : roots_)
-            visit(slot);
-    }
-
-    std::uint64_t violations_ = 0;
-
-  private:
-    rt::StepResult
-    verify(rt::Mutator &mutator)
-    {
-        for (Addr obj : roots_) {
-            if (obj == nullRef)
-                continue;
-            Addr v = mutator.loadRef(obj, 0);
-            if (heap::uncolor(v) != heap::uncolor(anchor_))
-                ++violations_;
-        }
-        return rt::StepResult::Done;
-    }
-
-    std::size_t remaining_;
-    Addr anchor_ = nullRef;
-    std::vector<Addr> roots_ = std::vector<Addr>(64, nullRef);
-};
-
-using FuzzPoint = std::tuple<CollectorKind, std::uint64_t>;
+/** (collector, workload seed, schedule seed). */
+using FuzzPoint = std::tuple<CollectorKind, std::uint64_t, std::uint64_t>;
 
 class FuzzChurnTest : public ::testing::TestWithParam<FuzzPoint>
 {
 };
 
-TEST_P(FuzzChurnTest, AnchorInvariantHolds)
+TEST_P(FuzzChurnTest, EveryGcIsAGraphIsomorphism)
 {
-    auto [kind, seed] = GetParam();
+    auto [kind, seed, sched_seed] = GetParam();
     rt::RunConfig config;
     config.heapBytes = 14 * heap::regionSize; // tight: all GC paths
     config.seed = seed;
-    rt::WorkloadInstance w;
-    std::vector<FuzzProgram *> programs;
-    for (int i = 0; i < 3; ++i) {
-        auto p = std::make_unique<FuzzProgram>(30000);
-        programs.push_back(p.get());
-        w.programs.push_back(std::move(p));
-    }
+    config.schedSeed = sched_seed;
+
+    rt::WorkloadInstance w = check::fuzzWorkload(12000, 2, seed);
+    std::vector<check::FuzzProgram *> programs;
+    for (auto &p : w.programs)
+        programs.push_back(static_cast<check::FuzzProgram *>(p.get()));
+
     rt::Runtime runtime(config, gc::makeCollector(kind), std::move(w));
+    check::HeapOracle oracle;
+    runtime.setHeapObserver(&oracle);
     runtime.execute();
+
     const metrics::RunMetrics &m = runtime.agent().metrics();
     ASSERT_TRUE(m.completed)
-        << gc::collectorName(kind) << ": " << m.failureReason;
-    EXPECT_GT(m.pauseNs.count(), 0u);
-    for (FuzzProgram *p : programs)
-        EXPECT_EQ(p->violations_, 0u) << gc::collectorName(kind);
+        << gc::collectorName(kind) << ": " << m.failureReason
+        << "\nREPRO: distill_fuzz " << check::reproLine(runtime);
+    EXPECT_EQ(oracle.failures(), 0u)
+        << gc::collectorName(kind) << ": " << oracle.lastReport();
+    EXPECT_GT(oracle.pausesChecked(), 0u) << gc::collectorName(kind);
+    for (check::FuzzProgram *p : programs)
+        EXPECT_EQ(p->violations(), 0u) << gc::collectorName(kind);
 }
 
+// Schedule seeds 0/5/6/7 exercise every perturbation combination the
+// fuzzer supports: vanilla round-robin, runnable-thread permutation,
+// forced preemption, and all perturbations together (see
+// sim::SchedulePerturb::fromSeed).
 INSTANTIATE_TEST_SUITE_P(
-    Seeds, FuzzChurnTest,
+    Matrix, FuzzChurnTest,
     ::testing::Combine(::testing::ValuesIn(gc::productionCollectors()),
-                       ::testing::Values(101u, 202u, 303u, 404u)),
+                       ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                         606u, 707u, 808u),
+                       ::testing::Values(0u, 5u, 6u, 7u)),
     [](const ::testing::TestParamInfo<FuzzPoint> &info) {
         return std::string(gc::collectorName(std::get<0>(info.param))) +
-            "_seed" + std::to_string(std::get<1>(info.param));
+            "_seed" + std::to_string(std::get<1>(info.param)) +
+            "_sched" + std::to_string(std::get<2>(info.param));
     });
 
 } // namespace

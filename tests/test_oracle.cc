@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the heap-graph oracle: canonical snapshots must be stable
+ * across identical runs, the diff must pinpoint payload-hash and edge
+ * divergences, dangling references must surface as defects rather
+ * than crashes, and the pause-boundary oracle must catch an injected
+ * forwarding bug with a replayable repro line.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hh"
+#include "check/graph.hh"
+#include "check/oracle.hh"
+#include "check/program.hh"
+#include "test_util.hh"
+
+namespace distill
+{
+namespace
+{
+
+using gc::CollectorKind;
+
+/** Run the deterministic fuzz workload to completion. */
+std::unique_ptr<rt::Runtime>
+runFuzz(CollectorKind kind, std::uint64_t seed,
+        std::uint64_t sched_seed = 0, std::size_t heap_regions = 14)
+{
+    rt::RunConfig config;
+    config.heapBytes = heap_regions * heap::regionSize;
+    config.seed = seed;
+    config.schedSeed = sched_seed;
+    auto runtime = std::make_unique<rt::Runtime>(
+        config, gc::makeCollector(kind), check::fuzzWorkload(6000, 2, seed));
+    runtime->execute();
+    return runtime;
+}
+
+TEST(HeapGraph, CaptureIsStableAcrossIdenticalRuns)
+{
+    auto a = runFuzz(CollectorKind::Serial, 42);
+    auto b = runFuzz(CollectorKind::Serial, 42);
+    ASSERT_TRUE(a->agent().metrics().completed);
+    ASSERT_TRUE(b->agent().metrics().completed);
+    check::HeapGraph ga = check::captureHeapGraph(*a);
+    check::HeapGraph gb = check::captureHeapGraph(*b);
+    EXPECT_TRUE(ga.defect.empty()) << ga.defect;
+    EXPECT_GT(ga.nodes.size(), 0u);
+    check::GraphDiff diff = check::diffGraphs(ga, gb);
+    EXPECT_TRUE(diff.equal) << diff.description;
+}
+
+TEST(HeapGraph, DiffReportsPayloadHashMismatch)
+{
+    auto runtime = runFuzz(CollectorKind::Serial, 7);
+    check::HeapGraph g = check::captureHeapGraph(*runtime);
+    ASSERT_TRUE(g.defect.empty()) << g.defect;
+    ASSERT_GT(g.nodes.size(), 0u);
+    check::HeapGraph mutated = g;
+    mutated.nodes[g.nodes.size() / 2].payloadHash ^= 1;
+    check::GraphDiff diff = check::diffGraphs(g, mutated);
+    EXPECT_FALSE(diff.equal);
+    EXPECT_NE(diff.description.find("payload"), std::string::npos)
+        << diff.description;
+}
+
+TEST(HeapGraph, CaptureSeesRewrittenEdge)
+{
+    auto runtime = runFuzz(CollectorKind::Serial, 7);
+    check::HeapGraph before = check::captureHeapGraph(*runtime);
+    ASSERT_TRUE(before.defect.empty()) << before.defect;
+
+    // Find a node with a non-null edge and a victim of a different
+    // shape, then rewrite the raw slot (a mis-forwarded reference).
+    auto &rm = runtime->heap().regions;
+    bool rewrote = false;
+    for (std::size_t i = 0; i < before.nodes.size() && !rewrote; ++i) {
+        for (std::size_t s = 0; s < before.nodes[i].edges.size(); ++s) {
+            std::int64_t target = before.nodes[i].edges[s];
+            if (target < 0)
+                continue;
+            for (std::size_t v = 0; v < before.nodes.size(); ++v) {
+                if (before.nodes[v].payloadHash !=
+                    before.nodes[static_cast<std::size_t>(target)]
+                        .payloadHash) {
+                    rm.header(before.addrs[i])->refSlots()[s] =
+                        before.addrs[v];
+                    rewrote = true;
+                    break;
+                }
+            }
+            if (rewrote)
+                break;
+        }
+    }
+    ASSERT_TRUE(rewrote) << "graph too uniform to build a divergence";
+
+    check::HeapGraph after = check::captureHeapGraph(*runtime);
+    check::GraphDiff diff = check::diffGraphs(before, after);
+    EXPECT_FALSE(diff.equal);
+}
+
+TEST(HeapGraph, DanglingEdgeBecomesDefectNotCrash)
+{
+    auto runtime = runFuzz(CollectorKind::Serial, 7);
+    check::HeapGraph before = check::captureHeapGraph(*runtime);
+    ASSERT_TRUE(before.defect.empty()) << before.defect;
+    ASSERT_GT(before.nodes.size(), 0u);
+
+    // Point a reachable slot into a free region.
+    auto &rm = runtime->heap().regions;
+    Addr into_free = nullRef;
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        if (rm.region(i).state == heap::RegionState::Free) {
+            into_free = heap::regionStart(i) + 32;
+            break;
+        }
+    }
+    ASSERT_NE(into_free, nullRef);
+    bool rewrote = false;
+    for (std::size_t i = 0; i < before.nodes.size(); ++i) {
+        if (!before.nodes[i].edges.empty()) {
+            rm.header(before.addrs[i])->refSlots()[0] = into_free;
+            rewrote = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(rewrote);
+
+    check::HeapGraph after = check::captureHeapGraph(*runtime);
+    EXPECT_FALSE(after.defect.empty());
+    EXPECT_NE(after.defect.find("free region"), std::string::npos)
+        << after.defect;
+    check::GraphDiff diff = check::diffGraphs(before, after);
+    EXPECT_FALSE(diff.equal);
+}
+
+TEST(HeapOracle, CleanRunChecksEveryPause)
+{
+    rt::RunConfig config;
+    config.heapBytes = 14 * heap::regionSize;
+    config.seed = 99;
+    rt::Runtime runtime(config,
+                        gc::makeCollector(CollectorKind::Serial),
+                        check::fuzzWorkload(6000, 2, 99));
+    check::HeapOracle oracle;
+    runtime.setHeapObserver(&oracle);
+    runtime.execute();
+    ASSERT_TRUE(runtime.agent().metrics().completed)
+        << runtime.agent().metrics().failureReason;
+    EXPECT_GT(oracle.pausesChecked(), 0u);
+    EXPECT_EQ(oracle.failures(), 0u) << oracle.lastReport();
+}
+
+TEST(HeapOracle, CatchesInjectedForwardingBug)
+{
+    rt::RunConfig config;
+    config.heapBytes = 14 * heap::regionSize;
+    config.seed = 101;
+    rt::Runtime runtime(config,
+                        gc::makeCollector(CollectorKind::Serial),
+                        check::fuzzWorkload(6000, 2, 101));
+    check::HeapOracle oracle;
+    check::FaultPlan fault;
+    fault.enabled = true;
+    fault.pauseIndex = 1;
+    oracle.armFault(fault);
+    runtime.setHeapObserver(&oracle);
+    runtime.execute();
+
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+    EXPECT_FALSE(m.completed);
+    EXPECT_NE(m.failureReason.find("oracle:"), std::string::npos)
+        << m.failureReason;
+    EXPECT_GT(oracle.failures(), 0u);
+    // The report must carry the one-line replay command.
+    EXPECT_NE(oracle.lastReport().find("--collector=Serial"),
+              std::string::npos)
+        << oracle.lastReport();
+    EXPECT_NE(oracle.lastReport().find("--seed=101"), std::string::npos)
+        << oracle.lastReport();
+}
+
+TEST(HeapOracle, ReproLinePinsTheRun)
+{
+    rt::RunConfig config;
+    config.heapBytes = 14 * heap::regionSize;
+    config.seed = 303;
+    config.schedSeed = 7;
+    rt::Runtime runtime(config, gc::makeCollector(CollectorKind::G1),
+                        check::fuzzWorkload(2000, 2, 303));
+    std::string line = check::reproLine(runtime);
+    EXPECT_NE(line.find("--collector=G1"), std::string::npos) << line;
+    EXPECT_NE(line.find("--seed=303"), std::string::npos) << line;
+    EXPECT_NE(line.find("--sched-seed=7"), std::string::npos) << line;
+    EXPECT_NE(line.find("--heap="), std::string::npos) << line;
+}
+
+} // namespace
+} // namespace distill

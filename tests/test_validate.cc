@@ -137,5 +137,162 @@ TEST(Validate, CleanHeapPasses)
     SUCCEED();
 }
 
+TEST(ValidateDeath, MarkedOnlyStillChecksMarkedObjects)
+{
+    // The counterpart of MarkedOnlySkipsDeadDamage: the same damage
+    // in a *marked* object must still be caught under
+    // marked_slots_only.
+    auto runtime = healthyRuntime();
+    Addr obj = firstObject(*runtime);
+    ASSERT_NE(obj, nullRef);
+    runtime->heap().bitmap.clearAll();
+    runtime->heap().bitmap.mark(obj);
+    heap::ObjectHeader *h = runtime->heap().regions.header(obj);
+    ASSERT_GT(h->numRefs, 0u);
+    h->refSlots()[0] = 0x123456789abcULL;
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject",
+                                  /*marked_slots_only=*/true),
+                 "outside the heap");
+}
+
+/** Address inside some free region, or nullRef. */
+Addr
+freeRegionAddr(rt::Runtime &runtime)
+{
+    auto &rm = runtime.heap().regions;
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        if (rm.region(i).state == heap::RegionState::Free)
+            return heap::regionStart(i) + 32;
+    }
+    return nullRef;
+}
+
+TEST(ValidateDeath, DetectsOldToYoungEntryWithoutFlag)
+{
+    auto runtime = healthyRuntime();
+    Addr obj = firstObject(*runtime);
+    ASSERT_NE(obj, nullRef);
+    runtime->heap().oldToYoung.record(obj); // flag never set
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject"),
+                 "remembered flag");
+}
+
+TEST(ValidateDeath, DetectsOldToYoungEntryIntoFreeRegion)
+{
+    auto runtime = healthyRuntime();
+    Addr stale = freeRegionAddr(*runtime);
+    ASSERT_NE(stale, nullRef);
+    runtime->heap().oldToYoung.record(stale);
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject"), "free region");
+}
+
+TEST(ValidateDeath, DetectsRememberedFlagWithoutEntry)
+{
+    auto runtime = healthyRuntime();
+    Addr obj = firstObject(*runtime);
+    ASSERT_NE(obj, nullRef);
+    runtime->heap().regions.header(obj)->flags |= heap::flagRemembered;
+    rt::ValidateOptions vopts;
+    vopts.checkGenRemset = true;
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject", vopts),
+                 "disagrees");
+}
+
+TEST(ValidateDeath, DetectsRemsetOnFreedRegion)
+{
+    auto runtime = healthyRuntime();
+    Addr obj = firstObject(*runtime);
+    ASSERT_NE(obj, nullRef);
+    auto &rm = runtime->heap().regions;
+    std::size_t free_idx = rm.regionCount();
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        if (rm.region(i).state == heap::RegionState::Free) {
+            free_idx = i;
+            break;
+        }
+    }
+    ASSERT_LT(free_idx, rm.regionCount());
+    runtime->heap().remsets.forRegion(free_idx).add(obj);
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject"), "stale");
+}
+
+TEST(ValidateDeath, DetectsRemsetSourceInFreeRegion)
+{
+    auto runtime = healthyRuntime();
+    Addr obj = firstObject(*runtime);
+    Addr stale = freeRegionAddr(*runtime);
+    ASSERT_NE(obj, nullRef);
+    ASSERT_NE(stale, nullRef);
+    std::size_t used_idx = heap::regionIndexOf(obj);
+    runtime->heap().remsets.forRegion(used_idx).add(stale);
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject"), "free region");
+}
+
+TEST(ValidateDeath, DetectsStaleSatbEntry)
+{
+    auto runtime = healthyRuntime();
+    Addr stale = freeRegionAddr(*runtime);
+    ASSERT_NE(stale, nullRef);
+    runtime->heap().satb.push(stale);
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject"), "free region");
+}
+
+/** Healthy runtime whose allocations span several regions. */
+std::unique_ptr<rt::Runtime>
+multiRegionRuntime()
+{
+    rt::RunConfig config;
+    config.heapBytes = 16 * heap::regionSize;
+    auto runtime = std::make_unique<rt::Runtime>(
+        config, gc::makeCollector(CollectorKind::Epsilon),
+        test::singleProgram(
+            std::make_unique<test::AllocProgram>(4000, 64, true, 2, 240)));
+    runtime->execute();
+    return runtime;
+}
+
+TEST(ValidateDeath, DetectsUnrememberedOldToYoungRef)
+{
+    auto runtime = multiRegionRuntime();
+    auto &rm = runtime->heap().regions;
+    std::vector<heap::Region *> used;
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state != heap::RegionState::Free && r.top > 0)
+            used.push_back(&r);
+    }
+    ASSERT_GE(used.size(), 2u); // Epsilon leaves them all Old
+    used[1]->state = heap::RegionState::Eden; // relabel the target young
+    heap::ObjectHeader *h = rm.header(used[0]->startAddr());
+    ASSERT_GT(h->numRefs, 0u);
+    h->refSlots()[0] = used[1]->startAddr(); // old -> young, no barrier
+    rt::ValidateOptions vopts;
+    vopts.checkGenRemset = true;
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject", vopts),
+                 "remembered");
+}
+
+TEST(ValidateDeath, DetectsMissingRegionRemsetEntry)
+{
+    auto runtime = multiRegionRuntime();
+    auto &rm = runtime->heap().regions;
+    std::vector<heap::Region *> used;
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state != heap::RegionState::Free && r.top > 0)
+            used.push_back(&r);
+    }
+    ASSERT_GE(used.size(), 2u);
+    heap::ObjectHeader *h = rm.header(used[0]->startAddr());
+    ASSERT_GT(h->numRefs, 0u);
+    // Cross-region ref with no remset record (the remsets are empty
+    // under Epsilon).
+    h->refSlots()[0] = used[1]->startAddr();
+    rt::ValidateOptions vopts;
+    vopts.checkRegionRemsets = true;
+    EXPECT_DEATH(rt::validateHeap(*runtime, "inject", vopts),
+                 "missing");
+}
+
 } // namespace
 } // namespace distill

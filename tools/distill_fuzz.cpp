@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Schedule-fuzzing driver: sweeps (collector x seed x schedule)
+ * matrices under the heap-graph oracle, and/or runs cross-collector
+ * differential comparisons against the Epsilon reference.
+ *
+ * Every failure prints a REPRO line that replays it bit-identically:
+ *
+ *   REPRO: distill_fuzz --collector=G1 --seed=303 --sched-seed=7
+ *          --heap=3670016 --ops=8000 --threads=2
+ *
+ * Usage:
+ *   distill_fuzz [--mode oracle|diff|both]
+ *                [--collector NAME | --collectors A,B,... | all]
+ *                [--seed S | --seeds N] [--sched-seed S | --sched-seeds N]
+ *                [--heap BYTES] [--ref-heap BYTES]
+ *                [--ops N] [--threads N]
+ *                [--inject-fault PAUSE] [--fault-seed S] [--expect-fault]
+ *
+ * Sweeps default to the production collectors, 4 seeds, and 4 schedule
+ * seeds (0 = vanilla round-robin; nonzero seeds enable jitter /
+ * permutation / preemption per sim::SchedulePerturb::fromSeed).
+ * --expect-fault inverts the exit status: the run succeeds only if the
+ * oracle caught at least one failure (used to verify the fault hook).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "check/differential.hh"
+#include "check/oracle.hh"
+#include "check/program.hh"
+#include "gc/collectors.hh"
+#include "heap/layout.hh"
+#include "rt/runtime.hh"
+
+using namespace distill;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: distill_fuzz [--mode oracle|diff|both]\n"
+        "                    [--collector NAME | --collectors A,B|all]\n"
+        "                    [--seed S | --seeds N]\n"
+        "                    [--sched-seed S | --sched-seeds N]\n"
+        "                    [--heap BYTES] [--ref-heap BYTES]\n"
+        "                    [--ops N] [--threads N]\n"
+        "                    [--inject-fault PAUSE] [--fault-seed S]\n"
+        "                    [--expect-fault]\n");
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+struct FuzzSettings
+{
+    std::vector<gc::CollectorKind> collectors =
+        gc::productionCollectors();
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::uint64_t> schedSeeds;
+    std::uint64_t heapBytes = 14 * heap::regionSize;
+    std::uint64_t refHeapBytes = 96 * heap::regionSize;
+    std::size_t ops = 8000;
+    unsigned threads = 2;
+    bool runOracle = true;
+    bool runDiff = false;
+    bool faultArmed = false;
+    check::FaultPlan fault;
+    bool expectFault = false;
+};
+
+/** One oracle-checked run; @return true when it passed. */
+bool
+oracleRun(const FuzzSettings &settings, gc::CollectorKind kind,
+          std::uint64_t seed, std::uint64_t sched_seed)
+{
+    rt::RunConfig config;
+    // Epsilon never collects; give it the reference heap so sweeps
+    // that include it measure the workload, not an artificial OOM.
+    config.heapBytes = kind == gc::CollectorKind::Epsilon
+        ? settings.refHeapBytes
+        : settings.heapBytes;
+    config.seed = seed;
+    config.schedSeed = sched_seed;
+
+    rt::Runtime runtime(config, gc::makeCollector(kind),
+                        check::fuzzWorkload(settings.ops, settings.threads,
+                                            seed));
+    check::HeapOracle oracle;
+    if (settings.faultArmed)
+        oracle.armFault(settings.fault);
+    runtime.setHeapObserver(&oracle);
+    runtime.execute();
+
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+    bool ok = m.completed && oracle.failures() == 0;
+    std::printf("%-6s %-10s seed=%-6llu sched-seed=%-4llu pauses=%-4u%s\n",
+                ok ? "PASS" : "FAIL", gc::collectorName(kind),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(sched_seed),
+                oracle.pausesChecked(),
+                ok ? "" : (" " + m.failureReason).c_str());
+    if (!ok) {
+        std::string extra;
+        if (settings.faultArmed) {
+            extra = strprintf(" --inject-fault=%u --fault-seed=%llu",
+                              settings.fault.pauseIndex,
+                              static_cast<unsigned long long>(
+                                  settings.fault.seed));
+        }
+        std::printf("REPRO: distill_fuzz %s --ops=%zu --threads=%u%s\n",
+                    check::reproLine(runtime).c_str(), settings.ops,
+                    settings.threads, extra.c_str());
+    }
+    return ok;
+}
+
+/** One differential comparison; @return true when it passed. */
+bool
+diffRun(const FuzzSettings &settings, std::uint64_t seed,
+        std::uint64_t sched_seed)
+{
+    check::DifferentialConfig config;
+    config.seed = seed;
+    config.schedSeed = sched_seed;
+    config.heapRegions =
+        static_cast<std::size_t>(settings.heapBytes / heap::regionSize);
+    config.referenceHeapRegions = static_cast<std::size_t>(
+        settings.refHeapBytes / heap::regionSize);
+    config.ops = settings.ops;
+    config.threads = settings.threads;
+
+    check::DifferentialResult result = check::runDifferential(config);
+    std::printf("%-6s differential seed=%-6llu sched-seed=%-4llu "
+                "(%u collectors)\n",
+                result.ok ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(sched_seed),
+                result.collectorsCompared);
+    if (!result.ok) {
+        std::printf("%s\n", result.report.c_str());
+        std::printf("REPRO: distill_fuzz --mode=diff --seed=%llu "
+                    "--sched-seed=%llu --heap=%llu --ref-heap=%llu "
+                    "--ops=%zu --threads=%u\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(sched_seed),
+                    static_cast<unsigned long long>(settings.heapBytes),
+                    static_cast<unsigned long long>(settings.refHeapBytes),
+                    settings.ops, settings.threads);
+    }
+    return result.ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    check::enableEnvOracle();
+
+    FuzzSettings settings;
+    std::size_t seed_count = 4;
+    std::size_t sched_count = 4;
+    bool single_seed = false;
+    bool single_sched = false;
+
+    // Accept both "--key value" and "--key=value" so printed REPRO
+    // lines paste straight back into a shell.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto value = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                usage();
+            return args[++i];
+        };
+        const std::string &a = args[i];
+        if (a == "--mode") {
+            std::string mode = value();
+            settings.runOracle = mode == "oracle" || mode == "both";
+            settings.runDiff = mode == "diff" || mode == "both";
+            if (!settings.runOracle && !settings.runDiff)
+                usage();
+        } else if (a == "--collector" || a == "--collectors") {
+            std::string list = value();
+            if (list == "all") {
+                settings.collectors = gc::allCollectors();
+            } else {
+                settings.collectors.clear();
+                for (const std::string &name : splitList(list))
+                    settings.collectors.push_back(
+                        gc::collectorFromName(name));
+            }
+        } else if (a == "--seed") {
+            settings.seeds = {std::strtoull(value().c_str(), nullptr, 10)};
+            single_seed = true;
+        } else if (a == "--seeds") {
+            seed_count = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (a == "--sched-seed") {
+            settings.schedSeeds = {
+                std::strtoull(value().c_str(), nullptr, 10)};
+            single_sched = true;
+        } else if (a == "--sched-seeds") {
+            sched_count = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (a == "--heap") {
+            settings.heapBytes = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (a == "--ref-heap") {
+            settings.refHeapBytes =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (a == "--ops") {
+            settings.ops = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (a == "--threads") {
+            settings.threads = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (a == "--inject-fault") {
+            settings.faultArmed = true;
+            settings.fault.enabled = true;
+            settings.fault.pauseIndex = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (a == "--fault-seed") {
+            settings.fault.seed =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (a == "--expect-fault") {
+            settings.expectFault = true;
+        } else {
+            usage();
+        }
+    }
+
+    if (!single_seed) {
+        for (std::size_t i = 0; i < seed_count; ++i)
+            settings.seeds.push_back(101 * (i + 1));
+    }
+    if (!single_sched) {
+        for (std::size_t i = 0; i < sched_count; ++i)
+            settings.schedSeeds.push_back(i);
+    }
+
+    unsigned runs = 0;
+    unsigned failures = 0;
+    if (settings.runOracle) {
+        for (gc::CollectorKind kind : settings.collectors) {
+            for (std::uint64_t seed : settings.seeds) {
+                for (std::uint64_t ss : settings.schedSeeds) {
+                    ++runs;
+                    if (!oracleRun(settings, kind, seed, ss))
+                        ++failures;
+                }
+            }
+        }
+    }
+    if (settings.runDiff) {
+        for (std::uint64_t seed : settings.seeds) {
+            for (std::uint64_t ss : settings.schedSeeds) {
+                ++runs;
+                if (!diffRun(settings, seed, ss))
+                    ++failures;
+            }
+        }
+    }
+
+    std::printf("%u/%u runs passed\n", runs - failures, runs);
+    if (settings.expectFault)
+        return failures > 0 ? 0 : 1;
+    return failures > 0 ? 1 : 0;
+}

@@ -21,6 +21,7 @@
 
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "check/oracle.hh"
 #include "heap/layout.hh"
 #include "lbo/sweep.hh"
 #include "metrics/agent.hh"
@@ -53,6 +54,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    check::enableEnvOracle(); // DISTILL_ORACLE=1 checks every pause
     std::string bench = "h2";
     std::string collector = "G1";
     double factor = 3.0;

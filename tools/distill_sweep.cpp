@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "check/oracle.hh"
 #include "lbo/sweep.hh"
 #include "wl/suite.hh"
 
@@ -61,6 +62,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    check::enableEnvOracle(); // DISTILL_ORACLE=1 checks every pause
     std::vector<std::string> benchmarks;
     std::vector<double> factors;
     std::vector<std::string> collectors;
