@@ -14,12 +14,18 @@ std::string
 reproLine(rt::Runtime &runtime)
 {
     const rt::RunConfig &config = runtime.config();
-    return strprintf(
+    std::string line = strprintf(
         "--collector=%s --seed=%llu --sched-seed=%llu --heap=%llu",
         runtime.collector().name(),
         static_cast<unsigned long long>(config.seed),
         static_cast<unsigned long long>(config.schedSeed),
         static_cast<unsigned long long>(config.heapBytes));
+    if (config.faultSeed != 0) {
+        line += strprintf(" --fault-plan=%llu",
+                          static_cast<unsigned long long>(
+                              config.faultSeed));
+    }
+    return line;
 }
 
 void

@@ -1,0 +1,88 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+
+namespace distill::fault
+{
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), wasActive_(plan_.events.size(), false)
+{
+}
+
+void
+FaultInjector::advance(Ticks now)
+{
+    now_ = now;
+    squeezeFraction_ = 0.0;
+    burstFactor_ = 1.0;
+    denyActive_ = false;
+    dueKills_.clear();
+
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &e = plan_.events[i];
+        bool active = e.activeAt(now);
+        if (e.kind == FaultKind::MutatorKill) {
+            // Kills are one-shot: due once the trigger time passes.
+            active = now >= e.atNs;
+            if (active)
+                dueKills_.push_back(e.target);
+        }
+        if (active && !wasActive_[i])
+            ++activations_;
+        wasActive_[i] = active;
+        if (!active)
+            continue;
+        switch (e.kind) {
+          case FaultKind::HeapSqueeze:
+            squeezeFraction_ = std::max(squeezeFraction_, e.magnitude);
+            break;
+          case FaultKind::AllocBurst:
+            burstFactor_ = std::max(burstFactor_, e.magnitude);
+            break;
+          case FaultKind::DenyProgress:
+            denyActive_ = true;
+            break;
+          case FaultKind::MutatorKill:
+            break;
+        }
+    }
+    if (!denyActive_)
+        haveFrozen_ = false;
+}
+
+std::size_t
+FaultInjector::squeezeRegionTarget(std::size_t region_count) const
+{
+    if (squeezeFraction_ <= 0.0)
+        return 0;
+    auto target = static_cast<std::size_t>(
+        squeezeFraction_ * static_cast<double>(region_count));
+    std::size_t cap = region_count > 2 ? region_count - 2 : 0;
+    return std::min(target, cap);
+}
+
+std::uint64_t
+FaultInjector::inflatePayload(std::uint64_t payload,
+                              std::uint64_t max_payload) const
+{
+    if (burstFactor_ <= 1.0)
+        return payload;
+    auto inflated = static_cast<std::uint64_t>(
+        static_cast<double>(payload) * burstFactor_);
+    return std::min(inflated, max_payload);
+}
+
+std::uint64_t
+FaultInjector::clampProgress(std::uint64_t actual)
+{
+    if (!denyActive_)
+        return actual;
+    if (!haveFrozen_) {
+        haveFrozen_ = true;
+        frozenProgress_ = actual;
+    }
+    return std::min(actual, frozenProgress_);
+}
+
+} // namespace distill::fault

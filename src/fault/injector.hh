@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fault injector: turns a FaultPlan into time-indexed state.
+ *
+ * The injector is a pure state machine over virtual time — it holds
+ * no references into the runtime. The rt layer polls it at scheduling
+ * round boundaries (rt::Runtime::roundHook) and applies the resulting
+ * state through generic mechanisms:
+ *
+ *  - HeapSqueeze  -> heap::RegionManager::holdFreeRegions
+ *  - AllocBurst   -> rt::Mutator::allocate payload inflation
+ *  - MutatorKill  -> rt::Mutator::requestKill
+ *  - DenyProgress -> rt::Runtime::allocProgressBytes clamping
+ *
+ * Because virtual time is deterministic, every activation edge is
+ * bit-reproducible for a given (workload seed, sched seed, fault
+ * plan) triple.
+ */
+
+#ifndef DISTILL_FAULT_INJECTOR_HH
+#define DISTILL_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "fault/plan.hh"
+
+namespace distill::fault
+{
+
+/**
+ * Active-fault state over virtual time (see file comment).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Advance to virtual time @p now; recomputes active windows. */
+    void advance(Ticks now);
+
+    /** Current heap-squeeze strength: fraction of regions withheld. */
+    double squeezeFraction() const { return squeezeFraction_; }
+
+    /**
+     * Regions that should currently be withheld from the free list,
+     * given a heap of @p region_count regions. Capped so at least two
+     * regions always remain grantable (collectors need a minimal
+     * to-space to make *any* progress; total starvation would hang
+     * rather than exercise the degraded paths).
+     */
+    std::size_t squeezeRegionTarget(std::size_t region_count) const;
+
+    /**
+     * Inflate an allocation payload by the active burst multiplier,
+     * clamped to @p max_payload so inflated objects still fit the
+     * allocation paths. Identity when no burst is active.
+     */
+    std::uint64_t inflatePayload(std::uint64_t payload,
+                                 std::uint64_t max_payload) const;
+
+    /** Whether a progress-denial window is active. */
+    bool denyProgress() const { return denyActive_; }
+
+    /**
+     * Clamp the collector-visible allocation-progress counter: during
+     * a denial window this returns the value frozen at window entry,
+     * so progress guards observe consecutive no-progress failures and
+     * escalate (young -> full -> OOM, futile-cycle counting).
+     */
+    std::uint64_t clampProgress(std::uint64_t actual);
+
+    /**
+     * Mutator indices (modulo thread count) whose kill time has
+     * arrived by the last advance().
+     */
+    const std::vector<unsigned> &dueKills() const { return dueKills_; }
+
+    /** Total activation edges seen (diagnostics / tests). */
+    unsigned activations() const { return activations_; }
+
+  private:
+    FaultPlan plan_;
+    Ticks now_ = 0;
+    double squeezeFraction_ = 0.0;
+    double burstFactor_ = 1.0;
+    bool denyActive_ = false;
+    bool haveFrozen_ = false;
+    std::uint64_t frozenProgress_ = 0;
+    std::vector<unsigned> dueKills_;
+    std::vector<bool> wasActive_;
+    unsigned activations_ = 0;
+};
+
+} // namespace distill::fault
+
+#endif // DISTILL_FAULT_INJECTOR_HH

@@ -1,0 +1,122 @@
+#include "fault/plan.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/rng.hh"
+
+namespace distill::fault
+{
+
+namespace
+{
+
+/** Log-uniform draw in [lo, hi]. */
+Ticks
+logUniform(Rng &rng, double lo, double hi)
+{
+    double f = rng.real();
+    double v = lo * std::pow(hi / lo, f);
+    return static_cast<Ticks>(v);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::HeapSqueeze: return "heap-squeeze";
+      case FaultKind::AllocBurst: return "alloc-burst";
+      case FaultKind::MutatorKill: return "mutator-kill";
+      case FaultKind::DenyProgress: return "deny-progress";
+    }
+    return "?";
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (events.empty())
+        return "fault-plan(empty)";
+    std::ostringstream out;
+    out << "fault-plan(seed=" << planSeed;
+    for (const FaultEvent &e : events) {
+        out << ", " << faultKindName(e.kind) << "@"
+            << static_cast<double>(e.atNs) / 1e6 << "ms";
+        if (e.durationNs > 0)
+            out << "+" << static_cast<double>(e.durationNs) / 1e6 << "ms";
+        if (e.kind == FaultKind::HeapSqueeze ||
+            e.kind == FaultKind::AllocBurst) {
+            out << "x" << e.magnitude;
+        }
+        if (e.kind == FaultKind::MutatorKill)
+            out << " thread " << e.target;
+    }
+    out << ")";
+    return out.str();
+}
+
+FaultPlan
+FaultPlan::fromSeed(std::uint64_t plan_seed)
+{
+    FaultPlan plan;
+    plan.planSeed = plan_seed;
+    if (plan_seed == 0)
+        return plan;
+
+    // Trigger times span the range where both short fuzz runs (a few
+    // ms of virtual time) and full benchmark invocations (hundreds of
+    // ms) get hit; events past the end of a run simply never fire,
+    // which keeps short runs valid members of the same plan space.
+    Rng rng(plan_seed ^ 0xFA17FA17FA17FA17ULL);
+
+    auto squeeze = [&] {
+        FaultEvent e;
+        e.kind = FaultKind::HeapSqueeze;
+        e.atNs = logUniform(rng, 100e3, 50e6); // 100us .. 50ms
+        e.durationNs = logUniform(rng, 200e3, 10e6);
+        e.magnitude = 0.15 + 0.45 * rng.real(); // 15% .. 60% of regions
+        plan.events.push_back(e);
+    };
+    auto burst = [&] {
+        FaultEvent e;
+        e.kind = FaultKind::AllocBurst;
+        e.atNs = logUniform(rng, 100e3, 50e6);
+        e.durationNs = logUniform(rng, 200e3, 10e6);
+        e.magnitude = 2.0 + 6.0 * rng.real(); // 2x .. 8x payloads
+        plan.events.push_back(e);
+    };
+
+    switch (plan_seed & 3) {
+      case 1:
+        squeeze();
+        squeeze();
+        break;
+      case 2:
+        burst();
+        burst();
+        break;
+      case 3: {
+        FaultEvent kill;
+        kill.kind = FaultKind::MutatorKill;
+        kill.atNs = logUniform(rng, 500e3, 20e6);
+        kill.target = static_cast<unsigned>(rng.below(16));
+        plan.events.push_back(kill);
+        burst();
+        break;
+      }
+      default: { // 0 mod 4, nonzero
+        FaultEvent deny;
+        deny.kind = FaultKind::DenyProgress;
+        deny.atNs = logUniform(rng, 200e3, 20e6);
+        deny.durationNs = logUniform(rng, 1e6, 20e6);
+        plan.events.push_back(deny);
+        squeeze();
+        break;
+      }
+    }
+    return plan;
+}
+
+} // namespace distill::fault

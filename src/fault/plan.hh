@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic fault plans.
+ *
+ * The paper's headline failure results — ZGC's futile-stall OOMs at
+ * tight heaps, Shenandoah's degenerated collections — live on the
+ * collectors' degraded paths, which ordinary workloads hit only by
+ * accident. A FaultPlan provokes those regimes on purpose: it is a
+ * small schedule of adversarial events (heap-limit squeezes,
+ * allocation-rate bursts, mutator thread death, collection-progress
+ * denial) pinned to virtual time. Because the whole plan expands from
+ * one integer via FaultPlan::fromSeed — the same canonical-expansion
+ * contract as sim::SchedulePerturb::fromSeed — a `--fault-plan=N`
+ * token on a repro line replays every injected fault bit-identically.
+ *
+ * The plan layer is pure data: it knows nothing about the runtime.
+ * fault::FaultInjector turns a plan into time-indexed state, and the
+ * rt layer applies that state through generic hooks (region
+ * withholding, allocation inflation, kill flags, progress clamping) so
+ * no collector needs fault-specific code.
+ */
+
+#ifndef DISTILL_FAULT_PLAN_HH
+#define DISTILL_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace distill::fault
+{
+
+/** Classes of injected fault. */
+enum class FaultKind : std::uint8_t
+{
+    /**
+     * Heap-limit squeeze / transient live-set spike: withhold a
+     * fraction of the heap's regions from allocation for a window.
+     * Collectors see a smaller free list and must stall, degenerate,
+     * fall back to full collections, or fail cleanly through
+     * rt::Runtime::fail.
+     */
+    HeapSqueeze,
+
+    /**
+     * Allocation-rate burst: mutator allocation payloads are inflated
+     * by a multiplier for a window, driving the allocation rate past
+     * what the concurrent collectors' pacing was sized for.
+     */
+    AllocBurst,
+
+    /**
+     * Mutator thread death: one mutator finishes abruptly at the
+     * trigger time (its roots stay live, like a thread exiting while
+     * globals still reference its data).
+     */
+    MutatorKill,
+
+    /**
+     * Collection-progress denial: for a window, collectors observing
+     * allocation progress through rt::Runtime::allocProgressBytes see
+     * a frozen value, so their escalation machinery (young -> full ->
+     * OOM, ZGC futile-cycle counting) fires as if collections
+     * reclaimed nothing.
+     */
+    DenyProgress,
+};
+
+/** Human-readable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::HeapSqueeze;
+
+    /** Trigger point, virtual nanoseconds. */
+    Ticks atNs = 0;
+
+    /**
+     * Window length in nanoseconds; 0 means the fault stays active to
+     * the end of the run (instantaneous for MutatorKill).
+     */
+    Ticks durationNs = 0;
+
+    /**
+     * Strength: fraction of heap regions withheld (HeapSqueeze) or
+     * payload multiplier (AllocBurst). Unused otherwise.
+     */
+    double magnitude = 0.0;
+
+    /** Victim mutator index modulo thread count (MutatorKill). */
+    unsigned target = 0;
+
+    bool
+    activeAt(Ticks now) const
+    {
+        return now >= atNs && (durationNs == 0 ||
+                               now < atNs + durationNs);
+    }
+};
+
+/**
+ * A deterministic schedule of fault events (see file comment).
+ */
+struct FaultPlan
+{
+    /** The seed this plan expanded from (0 for handmade plans). */
+    std::uint64_t planSeed = 0;
+
+    std::vector<FaultEvent> events;
+
+    bool enabled() const { return !events.empty(); }
+
+    /** One-line summary for logs and failure reports. */
+    std::string describe() const;
+
+    /**
+     * Canonical mapping from a single `--fault-plan` integer to a full
+     * plan, so one token on a repro line pins every injected fault.
+     * Seed 0 is the empty plan (no faults); for a nonzero seed the low
+     * two bits select the fault mix (1: squeeze, 2: burst, 3: kill +
+     * burst, 0 mod 4: squeeze + progress denial) and the remaining
+     * entropy draws trigger times, windows, and magnitudes.
+     */
+    static FaultPlan fromSeed(std::uint64_t plan_seed);
+};
+
+} // namespace distill::fault
+
+#endif // DISTILL_FAULT_PLAN_HH

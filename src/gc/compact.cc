@@ -19,12 +19,34 @@ fullCompact(rt::Runtime &runtime)
     const rt::CostModel &costs = runtime.costs();
     CompactResult result;
 
-    // Pass 1: mark.
+    // Pass 1: mark. A full GC can be an escalation out of a failed or
+    // interrupted evacuation (Shenandoah, G1), so references may still
+    // point at old copies of already-forwarded objects. Heal every ref
+    // through the in-flight header forwarding as the trace follows it:
+    // marking a stale old copy alongside its new copy would let the
+    // plan pass below overwrite the old copy's forwarding pointer and
+    // resurrect it as a second, distinct object.
+    RefHealer heal = [&](Addr ref, Cycles &cost) -> Addr {
+        Addr a = heap::uncolor(ref);
+        for (unsigned hops = 0; hops < 64; ++hops) {
+            heap::ObjectHeader *h = arena.header(a);
+            if (!h->isForwarded() || static_cast<Addr>(h->forward) == a)
+                return a;
+            cost += costs.scanRefSlot;
+            a = heap::uncolor(static_cast<Addr>(h->forward));
+        }
+        panic("forwarding chain from %llx exceeds 64 hops",
+              static_cast<unsigned long long>(ref));
+    };
     ctx.bitmap.clearAll();
     Cycles root_cost = 0;
+    runtime.forEachRoot([&](Addr &slot) {
+        if (slot != nullRef)
+            slot = heal(slot, root_cost);
+    });
     std::vector<Addr> seeds = collectRootSeeds(runtime, root_cost);
     result.cost += root_cost;
-    TraceResult marked = markFromRoots(runtime, seeds, false);
+    TraceResult marked = markFromRoots(runtime, seeds, false, &heal);
     result.cost += marked.cost;
 
     std::vector<heap::Region *> sources;

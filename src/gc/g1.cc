@@ -302,7 +302,7 @@ G1::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
 
     if (pending_ == Request::None) {
         unsigned streak = progress_.recordFailure(
-            rt_->agent().metrics().bytesAllocated);
+            rt_->allocProgressBytes());
         if (streak >= 3)
             return rt::AllocResult::oom();
         requestGc(streak >= 2 ? Request::Full : Request::Young);

@@ -328,7 +328,7 @@ Shenandoah::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
     }
     if (!pendingFull_ && !cycleRequested_) {
         unsigned streak = progress_.recordFailure(
-            rt_->agent().metrics().bytesAllocated);
+            rt_->allocProgressBytes());
         if (streak >= 3)
             return rt::AllocResult::oom();
         pendingFull_ = true;

@@ -171,7 +171,7 @@ StwGenCollector::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
     // young -> full -> OOM.
     if (pending_ == GcKind::None) {
         unsigned streak = progress_.recordFailure(
-            rt_->agent().metrics().bytesAllocated);
+            rt_->allocProgressBytes());
         if (streak >= 3)
             return rt::AllocResult::oom();
         requestGc(streak >= 2 ? GcKind::Full : GcKind::Young);

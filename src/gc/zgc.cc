@@ -99,7 +99,7 @@ class Zgc::ControlThread : public rt::WorkerThread
             // *and* mutators unable to allocate made no progress; a
             // few of those in a row is an OOM.
             std::uint64_t allocated =
-                rt.agent().metrics().bytesAllocated;
+                rt.allocProgressBytes();
             bool full = rt.heap().regions.freeCount() <=
                 gc_.reserveRegions();
             bool progressed =
@@ -308,7 +308,7 @@ Zgc::allocate(rt::Mutator &mutator, std::uint32_t num_refs,
         // that persistence (real ZGC only fails when live data
         // approaches the heap size).
         unsigned streak = progress_.recordFailure(
-            rt_->agent().metrics().bytesAllocated, 64 * KiB);
+            rt_->allocProgressBytes(), 64 * KiB);
         if (streak >= 5)
             return rt::AllocResult::oom();
         cycleRequested_ = true;

@@ -93,6 +93,33 @@ RegionManager::freeRegion(Region &region)
     freeList_.push_back(region.index);
 }
 
+std::size_t
+RegionManager::holdFreeRegions(std::size_t n)
+{
+    std::size_t held = 0;
+    while (held < n && !freeList_.empty()) {
+        std::size_t idx = freeList_.back();
+        freeList_.pop_back();
+        distill_assert(regions_[idx].state == RegionState::Free,
+                       "region %zu on free list but not Free", idx);
+        heldList_.push_back(idx);
+        ++held;
+    }
+    return held;
+}
+
+std::size_t
+RegionManager::releaseHeldRegions(std::size_t n)
+{
+    std::size_t released = 0;
+    while (released < n && !heldList_.empty()) {
+        freeList_.push_back(heldList_.back());
+        heldList_.pop_back();
+        ++released;
+    }
+    return released;
+}
+
 void
 RegionManager::forEachObject(Region &region,
                              const std::function<void(Addr)> &fn)

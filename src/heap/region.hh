@@ -118,6 +118,26 @@ class RegionManager
     /** Return @p region to the free list. */
     void freeRegion(Region &region);
 
+    // ----- Fault injection: heap-limit squeezes ---------------------
+
+    /**
+     * Withhold up to @p n free regions from allocation (a heap-limit
+     * squeeze / transient live-set spike). Held regions keep state
+     * Free but leave the free list, so collectors simply observe a
+     * smaller heap and react through their normal pressure machinery.
+     * @return the number of regions actually held.
+     */
+    std::size_t holdFreeRegions(std::size_t n);
+
+    /**
+     * Return up to @p n held regions to the free list.
+     * @return the number of regions released.
+     */
+    std::size_t releaseHeldRegions(std::size_t n);
+
+    /** Regions currently withheld by holdFreeRegions. */
+    std::size_t heldCount() const { return heldList_.size(); }
+
     /**
      * Walk every object in @p region's allocated prefix. @p fn
      * receives the object address. The walk reads live header size
@@ -141,6 +161,7 @@ class RegionManager
     Arena arena_;
     std::vector<Region> regions_;
     std::vector<std::size_t> freeList_;
+    std::vector<std::size_t> heldList_;
 };
 
 } // namespace distill::heap

@@ -7,6 +7,17 @@
 namespace distill::lbo
 {
 
+namespace
+{
+
+/** Field count of the pre-failure-record layout (distill_runs_v3). */
+constexpr std::size_t legacyFieldCount = 32;
+
+/** Field count of the current layout. */
+constexpr std::size_t currentFieldCount = 36;
+
+} // namespace
+
 const char *
 RunRecord::csvHeader()
 {
@@ -16,7 +27,34 @@ RunRecord::csvHeader()
            "pauseP90Ns,pauseP99Ns,pauseP9999Ns,pauseMaxNs,meteredP50Ns,"
            "meteredP90Ns,meteredP99Ns,meteredP9999Ns,meteredMaxNs,"
            "simpleP50Ns,simpleP99Ns,simpleP9999Ns,allocStallNs,"
-           "degeneratedGcs,bytesAllocated";
+           "degeneratedGcs,bytesAllocated,status,failReason,faultSeed,"
+           "schedSeed";
+}
+
+const char *
+RunRecord::statusFor(bool completed, bool oom,
+                     const std::string &failure_reason)
+{
+    if (completed)
+        return "ok";
+    if (oom)
+        return "oom";
+    if (failure_reason.find("virtual-time limit") != std::string::npos)
+        return "timeout";
+    if (failure_reason.rfind("oracle:", 0) == 0)
+        return "oracle";
+    return "error";
+}
+
+std::string
+RunRecord::sanitizeReason(const std::string &reason)
+{
+    std::string out = reason;
+    for (char &c : out) {
+        if (c == ',' || c == '\n' || c == '\r')
+            c = ';';
+    }
+    return out;
 }
 
 std::string
@@ -35,7 +73,9 @@ RunRecord::toCsv() const
         << ',' << meteredP9999Ns << ',' << meteredMaxNs << ','
         << simpleP50Ns << ',' << simpleP99Ns << ',' << simpleP9999Ns
         << ',' << allocStallNs << ',' << degeneratedGcs << ','
-        << bytesAllocated;
+        << bytesAllocated << ',' << status << ','
+        << sanitizeReason(failReason) << ',' << faultSeed << ','
+        << schedSeed;
     return out.str();
 }
 
@@ -47,8 +87,16 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
     std::vector<std::string> fields;
     while (std::getline(in, field, ','))
         fields.push_back(field);
-    if (fields.size() != 32)
+    // A trailing empty field (",,") is dropped by getline; restore it
+    // so an empty failReason in the last-but-two column parses.
+    while (fields.size() < currentFieldCount && !line.empty() &&
+           line.back() == ',' && fields.size() >= legacyFieldCount) {
+        fields.emplace_back();
+    }
+    if (fields.size() != legacyFieldCount &&
+        fields.size() != currentFieldCount) {
         return false;
+    }
     try {
         std::size_t i = 0;
         out.bench = fields[i++];
@@ -83,6 +131,18 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         out.allocStallNs = std::stod(fields[i++]);
         out.degeneratedGcs = std::stoull(fields[i++]);
         out.bytesAllocated = std::stoull(fields[i++]);
+        if (fields.size() == currentFieldCount) {
+            out.status = fields[i++];
+            out.failReason = fields[i++];
+            out.faultSeed = std::stoull(fields[i++]);
+            out.schedSeed = std::stoull(fields[i++]);
+        } else {
+            // Legacy row: derive the structured outcome.
+            out.status = statusFor(out.completed, out.oom, "");
+            out.failReason.clear();
+            out.faultSeed = 0;
+            out.schedSeed = 0;
+        }
     } catch (const std::exception &) {
         return false;
     }

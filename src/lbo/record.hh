@@ -29,6 +29,23 @@ struct RunRecord
     bool completed = false;
     bool oom = false;
 
+    /**
+     * Structured outcome: "ok", "oom", "timeout" (virtual-time safety
+     * limit), "oracle" (heap-graph oracle divergence), "crash"
+     * (isolated child invocation died), or "error". Derived from the
+     * run's failure state; see statusFor().
+     */
+    std::string status = "ok";
+
+    /** Failure reason, sanitized for CSV (empty when status=="ok"). */
+    std::string failReason;
+
+    /** Fault-plan seed the run executed under (0 = no faults). */
+    std::uint64_t faultSeed = 0;
+
+    /** Schedule-perturbation seed (0 = vanilla round-robin). */
+    std::uint64_t schedSeed = 0;
+
     double wallNs = 0;
     double cycles = 0;
     double stwWallNs = 0;
@@ -60,11 +77,30 @@ struct RunRecord
     /** Serialize as one CSV line (matching csvHeader()). */
     std::string toCsv() const;
 
-    /** Parse one CSV line; returns false on malformed input. */
+    /**
+     * Parse one CSV line; returns false on malformed input. Accepts
+     * both the current layout and the pre-failure-record layout
+     * (32 fields, as written to distill_runs_v3.csv before the
+     * status/failReason columns existed); legacy rows get status
+     * derived from their completed/oom flags.
+     */
     static bool fromCsv(const std::string &line, RunRecord &out);
 
     /** CSV header matching toCsv(). */
     static const char *csvHeader();
+
+    /**
+     * Canonical status string for a run outcome: "ok", "oom",
+     * "timeout", "oracle", or "error".
+     */
+    static const char *statusFor(bool completed, bool oom,
+                                 const std::string &failure_reason);
+
+    /** Replace CSV-hostile characters in a failure reason. */
+    static std::string sanitizeReason(const std::string &reason);
+
+    /** Whether this record represents a failed invocation. */
+    bool failed() const { return status != "ok"; }
 };
 
 } // namespace distill::lbo

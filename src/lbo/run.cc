@@ -15,6 +15,8 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     config.machine = env.machine;
     config.costs = env.costs;
     config.seed = seed;
+    config.schedSeed = env.schedSeed;
+    config.faultSeed = env.faultSeed;
     config.heapBytes = collector == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
@@ -34,6 +36,10 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     r.invocation = invocation;
     r.completed = m.completed;
     r.oom = m.oom;
+    r.status = RunRecord::statusFor(m.completed, m.oom, m.failureReason);
+    r.failReason = RunRecord::sanitizeReason(m.failureReason);
+    r.faultSeed = env.faultSeed;
+    r.schedSeed = env.schedSeed;
     r.wallNs = static_cast<double>(m.total.wallNs);
     r.cycles = static_cast<double>(m.total.cycles);
     r.stwWallNs = static_cast<double>(m.stw.wallNs);

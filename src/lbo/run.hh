@@ -25,6 +25,19 @@ struct Environment
     sim::MachineConfig machine;
     rt::CostModel costs;
     gc::GcOptions gcOptions;
+
+    /**
+     * Schedule-perturbation seed applied to every run (0 = vanilla
+     * deterministic round-robin; see sim::SchedulePerturb::fromSeed).
+     */
+    std::uint64_t schedSeed = 0;
+
+    /**
+     * Fault-plan seed applied to every run (0 = no faults; see
+     * fault::FaultPlan::fromSeed). Faulted runs are cached and
+     * resumed under a distinct key, so clean grids are unaffected.
+     */
+    std::uint64_t faultSeed = 0;
 };
 
 /**

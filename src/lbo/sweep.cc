@@ -8,6 +8,12 @@
 #include "base/logging.hh"
 #include "heap/layout.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define DISTILL_HAVE_FORK 1
+#endif
+
 namespace distill::lbo
 {
 
@@ -22,6 +28,97 @@ cacheDir()
 {
     const char *dir = std::getenv("DISTILL_CACHE_DIR");
     return dir != nullptr && *dir != '\0' ? dir : ".";
+}
+
+/**
+ * Run one invocation in a forked child so a crash (assertion,
+ * sanitizer abort, validator fatal) is contained: the child ships its
+ * record back over a pipe, and a dead or garbled child becomes a
+ * synthesized status="crash" record instead of taking the sweep down.
+ */
+RunRecord
+runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
+            std::uint64_t heap_bytes, double heap_factor,
+            std::uint64_t seed, unsigned invocation,
+            const Environment &env)
+{
+#ifdef DISTILL_HAVE_FORK
+    int fds[2];
+    if (pipe(fds) != 0) {
+        return runOne(spec, collector, heap_bytes, heap_factor, seed,
+                      invocation, env);
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+        close(fds[0]);
+        close(fds[1]);
+        return runOne(spec, collector, heap_bytes, heap_factor, seed,
+                      invocation, env);
+    }
+    if (pid == 0) {
+        close(fds[0]);
+        RunRecord r = runOne(spec, collector, heap_bytes, heap_factor,
+                             seed, invocation, env);
+        std::string line = r.toCsv();
+        line.push_back('\n');
+        std::size_t off = 0;
+        while (off < line.size()) {
+            ssize_t n =
+                write(fds[1], line.data() + off, line.size() - off);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+        close(fds[1]);
+        _exit(0);
+    }
+    close(fds[1]);
+    std::string buf;
+    char tmp[4096];
+    ssize_t n;
+    while ((n = read(fds[0], tmp, sizeof(tmp))) > 0)
+        buf.append(tmp, static_cast<std::size_t>(n));
+    close(fds[0]);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!buf.empty() && buf.back() == '\n')
+        buf.pop_back();
+    RunRecord r;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+        RunRecord::fromCsv(buf, r)) {
+        return r;
+    }
+    // The child died before reporting: synthesize a failure record so
+    // the cell is accounted for and reproducible.
+    r = RunRecord{};
+    r.bench = spec.name;
+    r.collector = gc::collectorName(collector);
+    r.heapFactor = collector == gc::CollectorKind::Epsilon ? 0.0
+                                                           : heap_factor;
+    r.heapBytes = collector == gc::CollectorKind::Epsilon
+        ? env.machine.memoryBudget
+        : heap_bytes;
+    r.seed = seed;
+    r.invocation = invocation;
+    r.faultSeed = env.faultSeed;
+    r.schedSeed = env.schedSeed;
+    r.completed = false;
+    r.oom = false;
+    r.status = "crash";
+    if (WIFSIGNALED(status)) {
+        r.failReason = RunRecord::sanitizeReason(
+            strprintf("child killed by signal %d", WTERMSIG(status)));
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        r.failReason = RunRecord::sanitizeReason(
+            strprintf("child exited %d", WEXITSTATUS(status)));
+    } else {
+        r.failReason = "child produced no record";
+    }
+    return r;
+#else
+    return runOne(spec, collector, heap_bytes, heap_factor, seed,
+                  invocation, env);
+#endif
 }
 
 } // namespace
@@ -72,12 +169,25 @@ SweepRunner::SweepRunner()
 std::string
 SweepRunner::key(const std::string &bench, const std::string &collector,
                  std::uint64_t heap_bytes, std::uint64_t seed,
-                 unsigned invocation)
+                 unsigned invocation, std::uint64_t fault_seed,
+                 std::uint64_t sched_seed)
 {
-    return strprintf("%s|%s|%llu|%llu|%u", bench.c_str(),
-                     collector.c_str(),
-                     static_cast<unsigned long long>(heap_bytes),
-                     static_cast<unsigned long long>(seed), invocation);
+    std::string k =
+        strprintf("%s|%s|%llu|%llu|%u", bench.c_str(), collector.c_str(),
+                  static_cast<unsigned long long>(heap_bytes),
+                  static_cast<unsigned long long>(seed), invocation);
+    // Faulted/perturbed cells get a distinct key; the suffix is only
+    // added when nonzero so clean grids keep hitting pre-existing
+    // cache entries.
+    if (fault_seed != 0) {
+        k += strprintf("|f%llu",
+                       static_cast<unsigned long long>(fault_seed));
+    }
+    if (sched_seed != 0) {
+        k += strprintf("|s%llu",
+                       static_cast<unsigned long long>(sched_seed));
+    }
+    return k;
 }
 
 void
@@ -91,7 +201,8 @@ SweepRunner::loadCaches()
             RunRecord r;
             if (RunRecord::fromCsv(line, r)) {
                 runCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
-                              r.invocation)] = r;
+                              r.invocation, r.faultSeed, r.schedSeed)] =
+                    r;
             }
         }
     }
@@ -105,6 +216,33 @@ SweepRunner::loadCaches()
                 std::strtoull(line.c_str() + comma + 1, nullptr, 10);
         }
     }
+}
+
+std::size_t
+SweepRunner::loadResumeFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        warn("--resume: cannot open %s; starting fresh", path.c_str());
+        return 0;
+    }
+    std::string line;
+    std::getline(in, line); // header (or first record of headerless file)
+    std::size_t loaded = 0;
+    RunRecord r;
+    if (RunRecord::fromCsv(line, r)) { // tolerate a missing header
+        resumeCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
+                         r.invocation, r.faultSeed, r.schedSeed)] = r;
+        ++loaded;
+    }
+    while (std::getline(in, line)) {
+        if (!RunRecord::fromCsv(line, r))
+            continue;
+        resumeCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
+                         r.invocation, r.faultSeed, r.schedSeed)] = r;
+        ++loaded;
+    }
+    return loaded;
 }
 
 void
@@ -132,28 +270,79 @@ SweepRunner::appendMinHeap(const std::string &bench, std::uint64_t bytes)
 }
 
 RunRecord
+SweepRunner::executeCell(const wl::WorkloadSpec &spec,
+                         gc::CollectorKind collector,
+                         std::uint64_t heap_bytes, double heap_factor,
+                         std::uint64_t seed, unsigned invocation,
+                         const SweepConfig &config)
+{
+    auto once = [&](const Environment &env) {
+        return config.isolateInvocations
+            ? runIsolated(spec, collector, heap_bytes, heap_factor, seed,
+                          invocation, env)
+            : runOne(spec, collector, heap_bytes, heap_factor, seed,
+                     invocation, env);
+    };
+    RunRecord r = once(config.env);
+    // A perturbed schedule can fail spuriously (a pathological
+    // interleaving tripping the virtual-time limit, say); re-run under
+    // freshly derived perturbations to separate schedule bad luck from
+    // real cell failures. Oracle divergences are real bugs — never
+    // retried away.
+    for (unsigned attempt = 1; attempt <= config.retries && r.failed() &&
+         r.status != "oracle" && config.env.schedSeed != 0;
+         ++attempt) {
+        Environment retry_env = config.env;
+        std::uint64_t state =
+            config.env.schedSeed ^ (attempt * 0x9e3779b97f4a7c15ULL);
+        retry_env.schedSeed = splitMix64(state);
+        if (retry_env.schedSeed == 0)
+            retry_env.schedSeed = attempt;
+        ++retriesAttempted_;
+        inform("retry %u/%u for %s/%s (status=%s, sched-seed %llu)",
+               attempt, config.retries, spec.name.c_str(),
+               gc::collectorName(collector), r.status.c_str(),
+               static_cast<unsigned long long>(retry_env.schedSeed));
+        r = once(retry_env);
+    }
+    return r;
+}
+
+RunRecord
 SweepRunner::runCached(const wl::WorkloadSpec &spec,
                        gc::CollectorKind collector,
                        std::uint64_t heap_bytes, double heap_factor,
                        std::uint64_t seed, unsigned invocation,
-                       const Environment &env)
+                       const SweepConfig &config)
 {
+    const Environment &env = config.env;
     std::uint64_t effective_heap = collector == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
     std::string k = key(spec.name, gc::collectorName(collector),
-                        effective_heap, seed, invocation);
+                        effective_heap, seed, invocation, env.faultSeed,
+                        env.schedSeed);
+    // Resume hits bypass everything, including onRecord: their rows
+    // already live in the resume CSV.
+    auto resumed = resumeCache_.find(k);
+    if (resumed != resumeCache_.end())
+        return resumed->second;
     if (cacheEnabled_) {
         auto it = runCache_.find(k);
-        if (it != runCache_.end())
+        if (it != runCache_.end()) {
+            if (config.onRecord)
+                config.onRecord(it->second);
             return it->second;
+        }
     }
-    RunRecord r = runOne(spec, collector, heap_bytes, heap_factor, seed,
-                         invocation, env);
+    RunRecord r = executeCell(spec, collector, heap_bytes, heap_factor,
+                              seed, invocation, config);
     if (cacheEnabled_) {
         runCache_[k] = r;
         appendRun(r);
     }
+    if (config.onRecord)
+        config.onRecord(r);
     return r;
 }
 
@@ -167,10 +356,20 @@ SweepRunner::minHeap(const wl::WorkloadSpec &spec, const Environment &env)
         return it->second;
 
     inform("measuring min heap for %s (G1)...", spec.name.c_str());
+    // The minimum heap is a property of the workload: probe without
+    // fault injection, schedule perturbation, or a tightened
+    // virtual-time limit so the heap-factor grid stays anchored to the
+    // same baseline across experiments (a low --max-virtual-time would
+    // otherwise make every probe "fail" and the search diverge).
+    Environment probe_env = env;
+    probe_env.schedSeed = 0;
+    probe_env.faultSeed = 0;
+    probe_env.machine.maxVirtualTime = sim::MachineConfig{}.maxVirtualTime;
     auto probe = [&](std::uint64_t regions) {
         RunRecord r = runOne(spec, gc::CollectorKind::G1,
                              regions * heap::regionSize, 1.0,
-                             invocationSeed(0xF00D, spec.name, 0), 0, env);
+                             invocationSeed(0xF00D, spec.name, 0), 0,
+                             probe_env);
         return r.completed;
     };
 
@@ -218,7 +417,7 @@ SweepRunner::run(const SweepConfig &config)
             if (config.includeEpsilon) {
                 records.push_back(runCached(
                     spec, gc::CollectorKind::Epsilon, 0, 0.0, seed, inv,
-                    config.env));
+                    config));
             }
             for (double factor : config.heapFactors) {
                 std::uint64_t heap_bytes = roundUp(
@@ -230,7 +429,7 @@ SweepRunner::run(const SweepConfig &config)
                         continue; // handled above, heap-independent
                     records.push_back(runCached(spec, collector,
                                                 heap_bytes, factor, seed,
-                                                inv, config.env));
+                                                inv, config));
                 }
             }
         }

@@ -18,6 +18,7 @@
 #ifndef DISTILL_LBO_SWEEP_HH
 #define DISTILL_LBO_SWEEP_HH
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +50,32 @@ struct SweepConfig
     unsigned invocations = 5;
     std::uint64_t baseSeed = 0xD15711;
     Environment env;
+
+    /**
+     * Bounded retry policy for spuriously-perturbed schedules: a cell
+     * that fails under a nonzero env.schedSeed (except oracle
+     * divergences, which are real bugs) is re-run up to this many
+     * times under freshly derived perturbation seeds before its
+     * failure record is accepted. 0 disables retries.
+     */
+    unsigned retries = 0;
+
+    /**
+     * Run every invocation in a forked child process so a crash
+     * (assertion failure, sanitizer abort) in one cell becomes a
+     * status="crash" failure record instead of killing the whole
+     * grid. POSIX only; silently runs in-process elsewhere.
+     */
+    bool isolateInvocations = false;
+
+    /**
+     * Streaming hook: invoked in grid order for every record the
+     * sweep produces, except cells satisfied from a loaded resume
+     * file (their rows already exist in the resume CSV). Lets drivers
+     * append to an output CSV incrementally so a killed sweep loses
+     * nothing.
+     */
+    std::function<void(const RunRecord &)> onRecord;
 };
 
 /**
@@ -73,17 +100,35 @@ class SweepRunner
     wl::WorkloadSpec withMinHeap(const wl::WorkloadSpec &spec,
                                  const Environment &env);
 
+    /**
+     * Checkpoint/resume: load a previous sweep's output CSV. Cells
+     * whose records appear in it are served from the file instead of
+     * re-run (independent of DISTILL_NO_CACHE). Returns the number of
+     * records loaded; unparseable lines are skipped.
+     */
+    std::size_t loadResumeFile(const std::string &path);
+
+    /** Retries performed by the bounded retry policy so far. */
+    unsigned retriesAttempted() const { return retriesAttempted_; }
+
   private:
     RunRecord runCached(const wl::WorkloadSpec &spec,
                         gc::CollectorKind collector,
                         std::uint64_t heap_bytes, double heap_factor,
                         std::uint64_t seed, unsigned invocation,
-                        const Environment &env);
+                        const SweepConfig &config);
+
+    RunRecord executeCell(const wl::WorkloadSpec &spec,
+                          gc::CollectorKind collector,
+                          std::uint64_t heap_bytes, double heap_factor,
+                          std::uint64_t seed, unsigned invocation,
+                          const SweepConfig &config);
 
     static std::string key(const std::string &bench,
                            const std::string &collector,
                            std::uint64_t heap_bytes, std::uint64_t seed,
-                           unsigned invocation);
+                           unsigned invocation, std::uint64_t fault_seed,
+                           std::uint64_t sched_seed);
 
     void loadCaches();
     void appendRun(const RunRecord &record);
@@ -93,7 +138,9 @@ class SweepRunner
     std::string runCachePath_;
     std::string minHeapCachePath_;
     std::unordered_map<std::string, RunRecord> runCache_;
+    std::unordered_map<std::string, RunRecord> resumeCache_;
     std::unordered_map<std::string, std::uint64_t> minHeapCache_;
+    unsigned retriesAttempted_ = 0;
 };
 
 /** Per-invocation workload seed (identical across collectors). */

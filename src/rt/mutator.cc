@@ -41,6 +41,15 @@ Mutator::charge(Cycles cycles)
 Addr
 Mutator::allocate(std::uint32_t num_refs, std::uint64_t payload_bytes)
 {
+    if (fault::FaultInjector *inj = runtime_.faultInjector();
+        inj != nullptr) {
+        // Allocation-rate burst: inflate the payload, capped so the
+        // object still fits comfortably within one region. The
+        // collector and the bytesAllocated metric both see the
+        // inflated size, keeping progress accounting consistent.
+        payload_bytes =
+            inj->inflatePayload(payload_bytes, heap::regionSize / 4);
+    }
     AllocResult result =
         runtime_.collector().allocate(*this, num_refs, payload_bytes);
     switch (result.status) {
@@ -148,7 +157,7 @@ Mutator::run(Cycles budget)
             parkAtSafepoint();
             break;
         }
-        if (runtime_.failed()) {
+        if (runtime_.failed() || killRequested_) {
             finishProgram();
             break;
         }

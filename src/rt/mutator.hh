@@ -113,6 +113,16 @@ class Mutator : public sim::SimThread
     /** Whether this thread is parked at a safepoint right now. */
     bool parkedAtSafepoint() const { return parkedAtSafepoint_; }
 
+    /**
+     * Fault injection: ask this thread to finish abruptly at its next
+     * scheduled step (never mid-step, so heap and safepoint
+     * invariants hold). Idempotent.
+     */
+    void requestKill() { killRequested_ = true; }
+
+    /** Whether a fault-injected kill is pending. */
+    bool killRequested() const { return killRequested_; }
+
     /** Unpark from a safepoint (world resume). */
     void unparkFromSafepoint();
 
@@ -137,6 +147,7 @@ class Mutator : public sim::SimThread
     bool blockedInStep_ = false;
     bool parkedAtSafepoint_ = false;
     bool programDone_ = false;
+    bool killRequested_ = false;
 };
 
 } // namespace distill::rt

@@ -72,6 +72,15 @@ Runtime::Runtime(const RunConfig &config,
 
     collector_->attach(*this);
 
+    {
+        fault::FaultPlan plan = config_.faultPlan.enabled()
+            ? config_.faultPlan
+            : fault::FaultPlan::fromSeed(config_.faultSeed);
+        if (plan.enabled())
+            fault_ = std::make_unique<fault::FaultInjector>(
+                std::move(plan));
+    }
+
     if (config_.schedSeed != 0) {
         scheduler_.setPerturbation(
             sim::SchedulePerturb::fromSeed(config_.schedSeed));
@@ -93,9 +102,48 @@ Runtime::addGcThread(sim::SimThread *thread)
 }
 
 void
+Runtime::applyFaults()
+{
+    fault_->advance(scheduler_.now());
+
+    // Heap-limit squeeze: adjust the number of withheld regions to
+    // the plan's current target. Collectors only ever observe a
+    // shorter free list, so their existing pressure machinery (stall,
+    // degenerate, full fallback, clean OOM) absorbs the fault.
+    auto &rm = heap_.regions;
+    std::size_t target =
+        fault_->squeezeRegionTarget(rm.regionCount());
+    if (rm.heldCount() < target)
+        rm.holdFreeRegions(target - rm.heldCount());
+    else if (rm.heldCount() > target)
+        rm.releaseHeldRegions(rm.heldCount() - target);
+
+    // Mutator kills: flag the victim; it finishes at its next
+    // scheduled step so the safepoint protocol is never bypassed.
+    // Blocked or sleeping victims are woken to die promptly — but
+    // never while a safepoint is pending, since a freshly runnable
+    // mutator must not run inside a stop-the-world window.
+    for (unsigned target_id : fault_->dueKills()) {
+        if (mutators_.empty())
+            break;
+        Mutator &m = *mutators_[target_id % mutators_.size()];
+        if (m.state() == sim::SimThread::State::Finished)
+            continue;
+        m.requestKill();
+        if (!safepointRequested_ && !m.parkedAtSafepoint() &&
+            (m.state() == sim::SimThread::State::Blocked ||
+             m.state() == sim::SimThread::State::Sleeping)) {
+            m.makeRunnable();
+        }
+    }
+}
+
+void
 Runtime::roundHook()
 {
     watchCheck(*this, "round");
+    if (fault_ != nullptr)
+        applyFaults();
     if (safepointRequested_ && !worldStopped_) {
         bool any_runnable = std::any_of(
             mutators_.begin(), mutators_.end(), [](const auto &m) {
@@ -186,6 +234,13 @@ Runtime::countRoots()
     std::size_t n = 0;
     forEachRoot([&n](Addr &) { ++n; });
     return n;
+}
+
+std::uint64_t
+Runtime::allocProgressBytes()
+{
+    std::uint64_t actual = agent_.metrics().bytesAllocated;
+    return fault_ != nullptr ? fault_->clampProgress(actual) : actual;
 }
 
 void

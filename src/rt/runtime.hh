@@ -22,6 +22,8 @@
 
 #include "base/rng.hh"
 #include "base/types.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
 #include "heap/forward_table.hh"
 #include "heap/mark_bitmap.hh"
 #include "heap/region.hh"
@@ -58,6 +60,19 @@ struct RunConfig
      * deterministic round-robin schedule.
      */
     std::uint64_t schedSeed = 0;
+
+    /**
+     * Fault-plan seed, expanded via fault::FaultPlan::fromSeed. 0
+     * injects nothing. Like schedSeed, one integer pins every
+     * injected fault bit-identically on a repro line.
+     */
+    std::uint64_t faultSeed = 0;
+
+    /**
+     * Explicit fault plan; when enabled() it overrides faultSeed
+     * (used by tests that need a specific event schedule).
+     */
+    fault::FaultPlan faultPlan;
 };
 
 /**
@@ -152,6 +167,18 @@ class Runtime
     Collector &collector() { return *collector_; }
     Rng &gcRng() { return gcRng_; }
 
+    /** The active fault injector, or nullptr when no plan is armed. */
+    fault::FaultInjector *faultInjector() { return fault_.get(); }
+
+    /**
+     * Allocation-progress counter for collector escalation guards
+     * (gc::AllocProgressGuard and ZGC's futile-cycle check). Equals
+     * metrics().bytesAllocated, except during an injected
+     * DenyProgress window, when it stays frozen so the existing
+     * young -> full -> OOM machinery fires deterministically.
+     */
+    std::uint64_t allocProgressBytes();
+
     /**
      * Attach a pause-boundary heap observer (not owned; must outlive
      * the runtime). Overrides any factory-installed observer.
@@ -209,6 +236,9 @@ class Runtime
   private:
     void roundHook();
 
+    /** Apply the fault plan's current state (round boundaries). */
+    void applyFaults();
+
     RunConfig config_;
     sim::Scheduler scheduler_;
     HeapContext heap_;
@@ -217,6 +247,7 @@ class Runtime
     WorkloadInstance workload_;
     std::vector<std::unique_ptr<Mutator>> mutators_;
     Rng gcRng_;
+    std::unique_ptr<fault::FaultInjector> fault_;
     std::unique_ptr<HeapObserver> ownedObserver_;
     HeapObserver *observer_ = nullptr;
 

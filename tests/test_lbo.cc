@@ -94,6 +94,86 @@ TEST(Record, MalformedCsvRejected)
     EXPECT_FALSE(RunRecord::fromCsv("", r));
 }
 
+TEST(Record, CsvRoundTripFailureColumns)
+{
+    RunRecord r;
+    r.bench = "xalan";
+    r.collector = "ZGC";
+    r.heapBytes = 4 * MiB;
+    r.completed = false;
+    r.oom = true;
+    r.status = "oom";
+    r.failReason = "ZGC: allocation failure, with commas\nand a newline";
+    r.faultSeed = 16;
+    r.schedSeed = 7;
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(r.toCsv(), back));
+    EXPECT_EQ(back.status, "oom");
+    // CSV-hostile characters come back sanitized, not as extra fields.
+    EXPECT_EQ(back.failReason,
+              "ZGC: allocation failure; with commas;and a newline");
+    EXPECT_EQ(back.faultSeed, 16u);
+    EXPECT_EQ(back.schedSeed, 7u);
+    EXPECT_TRUE(back.failed());
+    EXPECT_FALSE(back.completed);
+    EXPECT_TRUE(back.oom);
+}
+
+TEST(Record, StatusForClassifiesOutcomes)
+{
+    EXPECT_STREQ(RunRecord::statusFor(true, false, ""), "ok");
+    EXPECT_STREQ(RunRecord::statusFor(false, true,
+                                      "G1: allocation failure (OOM)"),
+                 "oom");
+    EXPECT_STREQ(RunRecord::statusFor(false, false,
+                                      "virtual-time limit exceeded"),
+                 "timeout");
+    EXPECT_STREQ(RunRecord::statusFor(
+                     false, false, "oracle: GC #3 broke graph isomorphism"),
+                 "oracle");
+    EXPECT_STREQ(RunRecord::statusFor(false, false, "anything else"),
+                 "error");
+}
+
+TEST(Record, LegacyCsvWithoutFailureColumnsParses)
+{
+    // Rows written before the status/failReason/faultSeed/schedSeed
+    // columns existed (distill_runs_v3.csv) must keep parsing, with
+    // the structured outcome derived from the completed/oom flags.
+    RunRecord r;
+    r.bench = "h2";
+    r.collector = "Serial";
+    r.completed = false;
+    r.oom = true;
+    r.cycles = 1.25e9;
+    r.status = "oom";
+    r.faultSeed = 99;
+    r.schedSeed = 55;
+    std::string line = r.toCsv();
+    for (int i = 0; i < 4; ++i)
+        line.resize(line.rfind(',')); // strip the four new columns
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(line, back));
+    EXPECT_EQ(back.bench, "h2");
+    EXPECT_EQ(back.cycles, 1.25e9);
+    EXPECT_EQ(back.status, "oom"); // derived, not stored
+    EXPECT_TRUE(back.failReason.empty());
+    EXPECT_EQ(back.faultSeed, 0u);
+    EXPECT_EQ(back.schedSeed, 0u);
+
+    RunRecord ok = r;
+    ok.completed = true;
+    ok.oom = false;
+    std::string ok_line = ok.toCsv();
+    for (int i = 0; i < 4; ++i)
+        ok_line.resize(ok_line.rfind(','));
+    ASSERT_TRUE(RunRecord::fromCsv(ok_line, back));
+    EXPECT_EQ(back.status, "ok");
+    EXPECT_FALSE(back.failed());
+}
+
 // ----- analyzer: the paper's Tables II-V walkthrough -----------------
 
 class PaperWalkthrough : public ::testing::Test
@@ -334,8 +414,13 @@ class SweepCacheTest : public ::testing::Test
     void
     SetUp() override
     {
+        // One directory per test: the fixture's tests share a process
+        // but may also run as separate ctest jobs in parallel, and a
+        // shared path races remove_all against a sibling's iteration.
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
         dir_ = std::filesystem::temp_directory_path() /
-            "distill_sweep_test";
+            (std::string("distill_sweep_test_") + info->name());
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
         setenv("DISTILL_CACHE_DIR", dir_.c_str(), 1);

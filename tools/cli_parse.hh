@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Strict numeric parsing for tool command lines. The atoi/atof family
+ * silently turns garbage into 0, which then reads as "empty grid" or
+ * "zero heap" deep inside a sweep; these helpers reject malformed
+ * values at the flag instead, with the flag name in the message.
+ */
+
+#ifndef DISTILL_TOOLS_CLI_PARSE_HH
+#define DISTILL_TOOLS_CLI_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace distill::cli
+{
+
+/** Parse an unsigned integer; fatal() on garbage, sign, or overflow. */
+inline std::uint64_t
+parseU64(const char *flag, const std::string &text)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        fatal("%s: expected a non-negative integer, got '%s'", flag,
+              text.c_str());
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        fatal("%s: expected a non-negative integer, got '%s'", flag,
+              text.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Parse a strictly positive count (e.g. --invocations, --threads). */
+inline std::uint64_t
+parseCount(const char *flag, const std::string &text)
+{
+    std::uint64_t v = parseU64(flag, text);
+    if (v == 0)
+        fatal("%s: must be at least 1, got '%s'", flag, text.c_str());
+    return v;
+}
+
+/** Parse a finite double; fatal() on garbage or trailing junk. */
+inline double
+parseDouble(const char *flag, const std::string &text)
+{
+    if (text.empty())
+        fatal("%s: expected a number, got ''", flag);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        fatal("%s: expected a number, got '%s'", flag, text.c_str());
+    return v;
+}
+
+/** Parse a strictly positive double (e.g. --factors entries). */
+inline double
+parsePositiveDouble(const char *flag, const std::string &text)
+{
+    double v = parseDouble(flag, text);
+    if (!(v > 0.0))
+        fatal("%s: must be > 0, got '%s'", flag, text.c_str());
+    return v;
+}
+
+} // namespace distill::cli
+
+#endif // DISTILL_TOOLS_CLI_PARSE_HH

@@ -13,15 +13,30 @@
  *   distill_fuzz [--mode oracle|diff|both]
  *                [--collector NAME | --collectors A,B,... | all]
  *                [--seed S | --seeds N] [--sched-seed S | --sched-seeds N]
+ *                [--fault-plan P | --fault-plans N]
  *                [--heap BYTES] [--ref-heap BYTES]
- *                [--ops N] [--threads N]
+ *                [--ops N] [--threads N] [--max-virtual-time NS]
  *                [--inject-fault PAUSE] [--fault-seed S] [--expect-fault]
  *
  * Sweeps default to the production collectors, 4 seeds, and 4 schedule
  * seeds (0 = vanilla round-robin; nonzero seeds enable jitter /
  * permutation / preemption per sim::SchedulePerturb::fromSeed).
+ *
+ * --fault-plans N adds a fourth sweep dimension (collector x seed x
+ * schedule x fault plan): plans 0..N-1, where plan 0 is fault-free and
+ * nonzero plans expand to deterministic heap squeezes / allocation
+ * bursts / mutator kills / denied GC progress via
+ * fault::FaultPlan::fromSeed. Fault plans apply to oracle mode only
+ * (differential comparisons would diverge spuriously, since fault
+ * windows are keyed to virtual time and collectors run on different
+ * clocks); a faulted run passes when the oracle stays clean and the
+ * run either completes or fails *cleanly* (oom/timeout through
+ * Runtime::fail, never a crash or heap-graph break).
+ *
  * --expect-fault inverts the exit status: the run succeeds only if the
  * oracle caught at least one failure (used to verify the fault hook).
+ * Note --fault-seed seeds the oracle's edge-corruption hook
+ * (--inject-fault), not the fault-plan dimension.
  */
 
 #include <cstdio>
@@ -34,8 +49,10 @@
 #include "check/differential.hh"
 #include "check/oracle.hh"
 #include "check/program.hh"
+#include "cli_parse.hh"
 #include "gc/collectors.hh"
 #include "heap/layout.hh"
+#include "lbo/record.hh"
 #include "rt/runtime.hh"
 
 using namespace distill;
@@ -52,8 +69,10 @@ usage()
         "                    [--collector NAME | --collectors A,B|all]\n"
         "                    [--seed S | --seeds N]\n"
         "                    [--sched-seed S | --sched-seeds N]\n"
+        "                    [--fault-plan P | --fault-plans N]\n"
         "                    [--heap BYTES] [--ref-heap BYTES]\n"
         "                    [--ops N] [--threads N]\n"
+        "                    [--max-virtual-time NS]\n"
         "                    [--inject-fault PAUSE] [--fault-seed S]\n"
         "                    [--expect-fault]\n");
     std::exit(2);
@@ -81,10 +100,12 @@ struct FuzzSettings
         gc::productionCollectors();
     std::vector<std::uint64_t> seeds;
     std::vector<std::uint64_t> schedSeeds;
+    std::vector<std::uint64_t> faultPlans = {0};
     std::uint64_t heapBytes = 14 * heap::regionSize;
     std::uint64_t refHeapBytes = 96 * heap::regionSize;
     std::size_t ops = 8000;
     unsigned threads = 2;
+    std::uint64_t maxVirtualTime = 0; //!< 0 = machine default
     bool runOracle = true;
     bool runDiff = false;
     bool faultArmed = false;
@@ -95,7 +116,8 @@ struct FuzzSettings
 /** One oracle-checked run; @return true when it passed. */
 bool
 oracleRun(const FuzzSettings &settings, gc::CollectorKind kind,
-          std::uint64_t seed, std::uint64_t sched_seed)
+          std::uint64_t seed, std::uint64_t sched_seed,
+          std::uint64_t fault_plan)
 {
     rt::RunConfig config;
     // Epsilon never collects; give it the reference heap so sweeps
@@ -105,6 +127,9 @@ oracleRun(const FuzzSettings &settings, gc::CollectorKind kind,
         : settings.heapBytes;
     config.seed = seed;
     config.schedSeed = sched_seed;
+    config.faultSeed = fault_plan;
+    if (settings.maxVirtualTime > 0)
+        config.machine.maxVirtualTime = settings.maxVirtualTime;
 
     rt::Runtime runtime(config, gc::makeCollector(kind),
                         check::fuzzWorkload(settings.ops, settings.threads,
@@ -116,13 +141,25 @@ oracleRun(const FuzzSettings &settings, gc::CollectorKind kind,
     runtime.execute();
 
     const metrics::RunMetrics &m = runtime.agent().metrics();
-    bool ok = m.completed && oracle.failures() == 0;
-    std::printf("%-6s %-10s seed=%-6llu sched-seed=%-4llu pauses=%-4u%s\n",
+    // A faulted run may legitimately fail — the whole point is to
+    // drive collectors into their degraded paths — but it must fail
+    // *cleanly*: through Runtime::fail (oom/timeout/error records)
+    // with the heap graph intact, never by breaking the oracle.
+    std::string status =
+        lbo::RunRecord::statusFor(m.completed, m.oom, m.failureReason);
+    bool clean_failure =
+        status == "oom" || status == "timeout" || status == "error";
+    bool ok = oracle.failures() == 0 &&
+        (m.completed || (fault_plan != 0 && clean_failure));
+    std::printf("%-6s %-10s seed=%-6llu sched-seed=%-4llu "
+                "fault-plan=%-4llu pauses=%-4u status=%s%s%s\n",
                 ok ? "PASS" : "FAIL", gc::collectorName(kind),
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(sched_seed),
-                oracle.pausesChecked(),
-                ok ? "" : (" " + m.failureReason).c_str());
+                static_cast<unsigned long long>(fault_plan),
+                oracle.pausesChecked(), status.c_str(),
+                m.failureReason.empty() ? "" : " ",
+                m.failureReason.c_str());
     if (!ok) {
         std::string extra;
         if (settings.faultArmed) {
@@ -226,39 +263,53 @@ main(int argc, char **argv)
                         gc::collectorFromName(name));
             }
         } else if (a == "--seed") {
-            settings.seeds = {std::strtoull(value().c_str(), nullptr, 10)};
+            settings.seeds = {cli::parseU64("--seed", value())};
             single_seed = true;
         } else if (a == "--seeds") {
-            seed_count = std::strtoull(value().c_str(), nullptr, 10);
+            seed_count = cli::parseCount("--seeds", value());
         } else if (a == "--sched-seed") {
-            settings.schedSeeds = {
-                std::strtoull(value().c_str(), nullptr, 10)};
+            settings.schedSeeds = {cli::parseU64("--sched-seed", value())};
             single_sched = true;
         } else if (a == "--sched-seeds") {
-            sched_count = std::strtoull(value().c_str(), nullptr, 10);
+            sched_count = cli::parseCount("--sched-seeds", value());
+        } else if (a == "--fault-plan") {
+            settings.faultPlans = {cli::parseU64("--fault-plan", value())};
+        } else if (a == "--fault-plans") {
+            std::uint64_t n = cli::parseCount("--fault-plans", value());
+            settings.faultPlans.clear();
+            for (std::uint64_t p = 0; p < n; ++p)
+                settings.faultPlans.push_back(p);
         } else if (a == "--heap") {
-            settings.heapBytes = std::strtoull(value().c_str(), nullptr, 10);
+            settings.heapBytes = cli::parseCount("--heap", value());
         } else if (a == "--ref-heap") {
-            settings.refHeapBytes =
-                std::strtoull(value().c_str(), nullptr, 10);
+            settings.refHeapBytes = cli::parseCount("--ref-heap", value());
         } else if (a == "--ops") {
-            settings.ops = std::strtoull(value().c_str(), nullptr, 10);
+            settings.ops = cli::parseCount("--ops", value());
         } else if (a == "--threads") {
             settings.threads = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 10));
+                cli::parseCount("--threads", value()));
+        } else if (a == "--max-virtual-time") {
+            settings.maxVirtualTime =
+                cli::parseCount("--max-virtual-time", value());
         } else if (a == "--inject-fault") {
             settings.faultArmed = true;
             settings.fault.enabled = true;
             settings.fault.pauseIndex = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 10));
+                cli::parseU64("--inject-fault", value()));
         } else if (a == "--fault-seed") {
-            settings.fault.seed =
-                std::strtoull(value().c_str(), nullptr, 10);
+            settings.fault.seed = cli::parseU64("--fault-seed", value());
         } else if (a == "--expect-fault") {
             settings.expectFault = true;
         } else {
             usage();
         }
+    }
+
+    if (settings.runDiff &&
+        (settings.faultPlans.size() > 1 || settings.faultPlans[0] != 0)) {
+        warn("fault plans apply to oracle mode only; differential "
+             "comparisons run fault-free (fault windows are keyed to "
+             "virtual time, which differs per collector)");
     }
 
     if (!single_seed) {
@@ -276,9 +327,11 @@ main(int argc, char **argv)
         for (gc::CollectorKind kind : settings.collectors) {
             for (std::uint64_t seed : settings.seeds) {
                 for (std::uint64_t ss : settings.schedSeeds) {
-                    ++runs;
-                    if (!oracleRun(settings, kind, seed, ss))
-                        ++failures;
+                    for (std::uint64_t plan : settings.faultPlans) {
+                        ++runs;
+                        if (!oracleRun(settings, kind, seed, ss, plan))
+                            ++failures;
+                    }
                 }
             }
         }

@@ -8,20 +8,27 @@
  *
  * Usage:
  *   distill_run --bench h2 --gc Shenandoah [--heap-factor 3.0]
- *               [--heap-mib 24] [--seed 42] [--log] [--log-limit 40]
+ *               [--heap-mib 24 | --heap-bytes N] [--seed 42]
+ *               [--sched-seed S] [--fault-plan P]
+ *               [--max-virtual-time NS] [--log] [--log-limit 40]
  *
- * --heap-mib overrides --heap-factor; with neither, 3.0x of the
- * measured min heap is used.
+ * --heap-bytes overrides --heap-mib overrides --heap-factor; with
+ * none, 3.0x of the measured min heap is used. --sched-seed,
+ * --fault-plan and --max-virtual-time accept the values printed in a
+ * sweep's REPRO lines, replaying a failed cell bit-identically.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "check/oracle.hh"
+#include "cli_parse.hh"
+#include "fault/plan.hh"
 #include "heap/layout.hh"
 #include "lbo/sweep.hh"
 #include "metrics/agent.hh"
@@ -39,8 +46,12 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: distill_run --bench <name> --gc <collector>\n"
-                 "                   [--heap-factor F | --heap-mib N]\n"
-                 "                   [--seed S] [--log] [--log-limit N]\n"
+                 "                   [--heap-factor F | --heap-mib N | "
+                 "--heap-bytes N]\n"
+                 "                   [--seed S] [--sched-seed S] "
+                 "[--fault-plan P]\n"
+                 "                   [--max-virtual-time NS] [--log] "
+                 "[--log-limit N]\n"
                  "collectors: Epsilon Serial Parallel G1 Shenandoah ZGC\n"
                  "benchmarks: ");
     for (const wl::WorkloadSpec &spec : wl::dacapoSuite())
@@ -59,31 +70,59 @@ main(int argc, char **argv)
     std::string collector = "G1";
     double factor = 3.0;
     std::uint64_t heap_mib = 0;
+    std::uint64_t heap_bytes_arg = 0;
     std::uint64_t seed = 0xD15711;
+    std::uint64_t sched_seed = 0;
+    std::uint64_t fault_plan = 0;
+    std::uint64_t max_virtual_time = 0;
     bool show_log = false;
     std::size_t log_limit = 40;
 
+    // Accept both "--key value" and "--key=value" so printed REPRO
+    // lines paste straight back into a shell.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
         auto arg = [&](const char *name) {
-            if (std::strcmp(argv[i], name) != 0)
+            if (args[i] != name)
                 return false;
-            if (i + 1 >= argc)
+            if (i + 1 >= args.size())
                 usage();
             return true;
         };
         if (arg("--bench")) {
-            bench = argv[++i];
-        } else if (arg("--gc")) {
-            collector = argv[++i];
+            bench = args[++i];
+        } else if (arg("--gc") || arg("--collector")) {
+            collector = args[++i];
         } else if (arg("--heap-factor")) {
-            factor = std::atof(argv[++i]);
+            factor = cli::parsePositiveDouble("--heap-factor", args[++i]);
         } else if (arg("--heap-mib")) {
-            heap_mib = std::strtoull(argv[++i], nullptr, 10);
+            heap_mib = cli::parseCount("--heap-mib", args[++i]);
+        } else if (arg("--heap-bytes") || arg("--heap")) {
+            heap_bytes_arg = cli::parseCount("--heap-bytes", args[++i]);
         } else if (arg("--seed")) {
-            seed = std::strtoull(argv[++i], nullptr, 10);
+            seed = cli::parseU64("--seed", args[++i]);
+        } else if (arg("--sched-seed")) {
+            sched_seed = cli::parseU64("--sched-seed", args[++i]);
+        } else if (arg("--fault-plan")) {
+            fault_plan = cli::parseU64("--fault-plan", args[++i]);
+        } else if (arg("--max-virtual-time")) {
+            max_virtual_time =
+                cli::parseCount("--max-virtual-time", args[++i]);
         } else if (arg("--log-limit")) {
-            log_limit = std::strtoull(argv[++i], nullptr, 10);
-        } else if (std::strcmp(argv[i], "--log") == 0) {
+            log_limit = cli::parseU64("--log-limit", args[++i]);
+        } else if (args[i] == "--log") {
             show_log = true;
         } else {
             usage();
@@ -91,12 +130,16 @@ main(int argc, char **argv)
     }
 
     lbo::Environment env;
+    env.schedSeed = sched_seed;
+    env.faultSeed = fault_plan;
+    if (max_virtual_time > 0)
+        env.machine.maxVirtualTime = max_virtual_time;
     lbo::SweepRunner runner;
     wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
     gc::CollectorKind kind = gc::collectorFromName(collector);
 
-    std::uint64_t heap_bytes = heap_mib > 0
-        ? heap_mib * MiB
+    std::uint64_t heap_bytes = heap_bytes_arg > 0 ? heap_bytes_arg
+        : heap_mib > 0                            ? heap_mib * MiB
         : roundUp(static_cast<std::uint64_t>(
                       factor * static_cast<double>(spec.minHeapBytes)),
                   heap::regionSize);
@@ -105,9 +148,18 @@ main(int argc, char **argv)
     config.machine = env.machine;
     config.costs = env.costs;
     config.seed = seed;
+    config.schedSeed = env.schedSeed;
+    config.faultSeed = env.faultSeed;
     config.heapBytes = kind == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
+
+    if (fault_plan != 0)
+        std::printf("fault plan %llu: %s\n",
+                    static_cast<unsigned long long>(fault_plan),
+                    fault::FaultPlan::fromSeed(fault_plan)
+                        .describe()
+                        .c_str());
 
     rt::Runtime runtime(config, gc::makeCollector(kind, env.gcOptions),
                         wl::makeWorkload(spec));
@@ -119,9 +171,13 @@ main(int argc, char **argv)
                 static_cast<double>(config.heapBytes) / (1 << 20),
                 static_cast<double>(spec.minHeapBytes) / (1 << 20),
                 static_cast<unsigned long long>(seed));
-    std::printf("outcome: %s%s\n\n",
+    std::printf("outcome: %s%s (status=%s%s%s)\n\n",
                 m.completed ? "completed" : "FAILED",
-                m.oom ? " (OOM)" : "");
+                m.oom ? " (OOM)" : "",
+                lbo::RunRecord::statusFor(m.completed, m.oom,
+                                          m.failureReason),
+                m.failureReason.empty() ? "" : ": ",
+                m.failureReason.c_str());
 
     TextTable table({"metric", "value"});
     auto row = [&](const char *name, std::string value) {

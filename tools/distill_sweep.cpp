@@ -8,11 +8,33 @@
  * Usage:
  *   distill_sweep [--benchmarks a,b,...] [--factors 1.4,3.0,...]
  *                 [--collectors Serial,G1,...] [--invocations N]
- *                 [--no-epsilon] [--csv out.csv]
+ *                 [--no-epsilon] [--csv out.csv] [--resume out.csv]
+ *                 [--fault-plan SEED] [--sched-seed SEED]
+ *                 [--retries N] [--isolate] [--max-virtual-time NS]
  *
  * Defaults: the 16-benchmark geomean set, the paper's eight heap
  * multipliers, all five production collectors plus Epsilon, 5
  * invocations, CSV to stdout.
+ *
+ * Robustness features:
+ *   --fault-plan SEED  inject the deterministic fault plan derived
+ *                      from SEED into every run (heap squeezes, alloc
+ *                      bursts, mutator kills, denied GC progress; see
+ *                      fault::FaultPlan::fromSeed). Failed cells stay
+ *                      in the grid as status=oom/timeout/... rows.
+ *   --sched-seed SEED  perturb thread scheduling (sim::SchedulePerturb).
+ *   --retries N        re-run failed perturbed cells up to N times
+ *                      under re-derived schedule seeds.
+ *   --isolate          fork per invocation; a crash becomes a
+ *                      status=crash row instead of killing the sweep.
+ *   --resume out.csv   checkpoint/resume: cells already recorded in
+ *                      out.csv are skipped, fresh rows are appended as
+ *                      they complete.
+ *   --max-virtual-time NS  lower the virtual-time safety limit; runs
+ *                      that hit it become status=timeout rows.
+ *
+ * Every failed cell prints a REPRO line replaying that single run:
+ *   REPRO: distill_run --bench h2 --gc ZGC --heap-bytes N --seed S ...
  */
 
 #include <cstdio>
@@ -25,6 +47,8 @@
 
 #include "base/logging.hh"
 #include "check/oracle.hh"
+#include "cli_parse.hh"
+#include "fault/plan.hh"
 #include "lbo/sweep.hh"
 #include "wl/suite.hh"
 
@@ -53,8 +77,37 @@ usage()
         "usage: distill_sweep [--benchmarks a,b,...] "
         "[--factors 1.4,3.0] [--collectors Serial,G1,...]\n"
         "                     [--invocations N] [--no-epsilon] "
-        "[--csv out.csv]\n");
+        "[--csv out.csv] [--resume out.csv]\n"
+        "                     [--fault-plan SEED] [--sched-seed SEED] "
+        "[--retries N] [--isolate]\n"
+        "                     [--max-virtual-time NS]\n");
     std::exit(2);
+}
+
+std::string
+reproFor(const lbo::RunRecord &r, std::uint64_t max_virtual_time,
+         std::uint64_t default_max)
+{
+    std::string line = strprintf(
+        "REPRO: distill_run --bench %s --gc %s --heap-bytes %llu "
+        "--seed %llu",
+        r.bench.c_str(), r.collector.c_str(),
+        static_cast<unsigned long long>(r.heapBytes),
+        static_cast<unsigned long long>(r.seed));
+    if (r.schedSeed != 0) {
+        line += strprintf(" --sched-seed %llu",
+                          static_cast<unsigned long long>(r.schedSeed));
+    }
+    if (r.faultSeed != 0) {
+        line += strprintf(" --fault-plan %llu",
+                          static_cast<unsigned long long>(r.faultSeed));
+    }
+    if (max_virtual_time != default_max) {
+        line += strprintf(" --max-virtual-time %llu",
+                          static_cast<unsigned long long>(
+                              max_virtual_time));
+    }
+    return line;
 }
 
 } // namespace
@@ -69,6 +122,13 @@ main(int argc, char **argv)
     unsigned invocations = lbo::invocationsFromEnv(5);
     bool include_epsilon = true;
     std::string csv_path;
+    std::string resume_path;
+    std::uint64_t fault_plan = 0;
+    std::uint64_t sched_seed = 0;
+    unsigned retries = 0;
+    bool isolate = false;
+    const std::uint64_t default_max_vt = sim::MachineConfig{}.maxVirtualTime;
+    std::uint64_t max_virtual_time = default_max_vt;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char *name) {
@@ -82,13 +142,28 @@ main(int argc, char **argv)
             benchmarks = splitCsv(argv[++i]);
         } else if (arg("--factors")) {
             for (const std::string &f : splitCsv(argv[++i]))
-                factors.push_back(std::atof(f.c_str()));
+                factors.push_back(cli::parsePositiveDouble("--factors", f));
+        } else if (arg("--invocations")) {
+            invocations = static_cast<unsigned>(
+                cli::parseCount("--invocations", argv[++i]));
         } else if (arg("--collectors")) {
             collectors = splitCsv(argv[++i]);
-        } else if (arg("--invocations")) {
-            invocations = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg("--csv")) {
             csv_path = argv[++i];
+        } else if (arg("--resume")) {
+            resume_path = argv[++i];
+        } else if (arg("--fault-plan")) {
+            fault_plan = cli::parseU64("--fault-plan", argv[++i]);
+        } else if (arg("--sched-seed")) {
+            sched_seed = cli::parseU64("--sched-seed", argv[++i]);
+        } else if (arg("--retries")) {
+            retries = static_cast<unsigned>(
+                cli::parseU64("--retries", argv[++i]));
+        } else if (arg("--max-virtual-time")) {
+            max_virtual_time = cli::parseCount("--max-virtual-time",
+                                               argv[++i]);
+        } else if (std::strcmp(argv[i], "--isolate") == 0) {
+            isolate = true;
         } else if (std::strcmp(argv[i], "--no-epsilon") == 0) {
             include_epsilon = false;
         } else {
@@ -98,12 +173,33 @@ main(int argc, char **argv)
 
     lbo::SweepConfig config;
     config.env = lbo::Environment{};
+    config.env.faultSeed = fault_plan;
+    config.env.schedSeed = sched_seed;
+    config.env.machine.maxVirtualTime = max_virtual_time;
     config.invocations = invocations;
     config.includeEpsilon = include_epsilon;
+    config.retries = retries;
+    config.isolateInvocations = isolate;
     config.heapFactors =
         factors.empty() ? lbo::paperHeapFactors() : factors;
 
     lbo::SweepRunner runner;
+    if (!resume_path.empty()) {
+        if (csv_path.empty())
+            csv_path = resume_path;
+        if (csv_path != resume_path)
+            fatal("--resume must name the --csv output file (append "
+                  "checkpointing): %s vs %s",
+                  resume_path.c_str(), csv_path.c_str());
+        std::size_t loaded = runner.loadResumeFile(resume_path);
+        inform("resume: loaded %zu completed cells from %s", loaded,
+               resume_path.c_str());
+    }
+    if (fault_plan != 0)
+        inform("fault plan %llu: %s",
+               static_cast<unsigned long long>(fault_plan),
+               fault::FaultPlan::fromSeed(fault_plan).describe().c_str());
+
     if (benchmarks.empty()) {
         for (const wl::WorkloadSpec &spec : wl::geomeanSet())
             config.benchmarks.push_back(
@@ -121,21 +217,50 @@ main(int argc, char **argv)
             config.collectors.push_back(gc::collectorFromName(name));
     }
 
-    std::vector<lbo::RunRecord> records = runner.run(config);
-
-    std::ostream *out = &std::cout;
+    // Stream rows to the output file as they complete, so a killed
+    // sweep can be resumed from whatever it managed to finish.
     std::ofstream file;
     if (!csv_path.empty()) {
-        file.open(csv_path);
+        bool append = !resume_path.empty() &&
+            std::ifstream(csv_path).good();
+        file.open(csv_path, append ? std::ios::app : std::ios::trunc);
         if (!file)
             fatal("cannot open %s for writing", csv_path.c_str());
-        out = &file;
+        if (!append)
+            file << lbo::RunRecord::csvHeader() << '\n';
+        config.onRecord = [&file](const lbo::RunRecord &r) {
+            file << r.toCsv() << '\n';
+            file.flush();
+        };
     }
-    *out << lbo::RunRecord::csvHeader() << '\n';
-    for (const lbo::RunRecord &r : records)
-        *out << r.toCsv() << '\n';
+
+    std::vector<lbo::RunRecord> records = runner.run(config);
+
+    if (csv_path.empty()) {
+        std::cout << lbo::RunRecord::csvHeader() << '\n';
+        for (const lbo::RunRecord &r : records)
+            std::cout << r.toCsv() << '\n';
+    }
+
+    unsigned failed = 0;
+    for (const lbo::RunRecord &r : records) {
+        if (!r.failed())
+            continue;
+        ++failed;
+        std::fprintf(stderr, "FAIL %s/%s heap=%llu inv=%u: %s (%s)\n",
+                     r.bench.c_str(), r.collector.c_str(),
+                     static_cast<unsigned long long>(r.heapBytes),
+                     r.invocation, r.status.c_str(),
+                     r.failReason.c_str());
+        std::fprintf(stderr, "%s\n",
+                     reproFor(r, max_virtual_time, default_max_vt)
+                         .c_str());
+    }
     if (!csv_path.empty())
         inform("wrote %zu records to %s", records.size(),
                csv_path.c_str());
+    if (failed > 0 || runner.retriesAttempted() > 0)
+        inform("sweep: %u/%zu cells failed, %u retries", failed,
+               records.size(), runner.retriesAttempted());
     return 0;
 }
