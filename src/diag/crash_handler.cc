@@ -1,0 +1,373 @@
+#include "diag/crash_handler.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "diag/flight_recorder.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <sys/time.h>
+#include <unistd.h>
+#define DISTILL_HAVE_SIGNALS 1
+#endif
+
+namespace distill::diag
+{
+
+namespace
+{
+
+/** Armed state: plain globals, zero-initialized, handler-readable. */
+char sidecarPath_[512];
+volatile bool armed_;
+volatile bool dumped_; //!< first signal wins; nested faults skip the dump
+
+RunContext context_;
+
+void
+appendBounded(char *buf, std::size_t len, std::size_t &pos, const char *s)
+{
+    while (*s != '\0' && pos + 1 < len)
+        buf[pos++] = *s++;
+    buf[pos] = '\0';
+}
+
+#ifdef DISTILL_HAVE_SIGNALS
+
+/**
+ * Minimal async-signal-safe formatter: accumulates into a fixed
+ * buffer and flushes with write(2). No allocation, no stdio.
+ */
+class SafeWriter
+{
+  public:
+    explicit SafeWriter(int fd) : fd_(fd) {}
+    ~SafeWriter() { flush(); }
+
+    void
+    str(const char *s)
+    {
+        if (s == nullptr)
+            return;
+        while (*s != '\0')
+            ch(*s++);
+    }
+
+    void
+    dec(std::uint64_t v)
+    {
+        char digits[24];
+        std::size_t n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n > 0)
+            ch(digits[--n]);
+    }
+
+    void
+    ch(char c)
+    {
+        if (len_ == sizeof(buf_))
+            flush();
+        buf_[len_++] = c;
+    }
+
+    void
+    flush()
+    {
+        std::size_t off = 0;
+        while (off < len_) {
+            ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+        len_ = 0;
+    }
+
+  private:
+    int fd_;
+    std::size_t len_ = 0;
+    char buf_[512];
+};
+
+/** The signal numbers we install for (SIGALRM handled separately). */
+constexpr int fatalSignals[] = {
+    SIGSEGV,
+    SIGABRT,
+    SIGILL,
+    SIGFPE,
+#ifdef SIGBUS
+    SIGBUS,
+#endif
+};
+
+void
+handleFatal(int sig)
+{
+    if (armed_ && !dumped_) {
+        dumped_ = true;
+        bool hang = sig == SIGTERM || sig == SIGALRM;
+        writeCrashReport(sidecarPath_, sig, hang ? "hang" : "crash");
+    }
+    if (sig == SIGALRM) {
+        // In-process watchdog (distill_run --watchdog-ms): report the
+        // structured outcome on stdout — the normal reporting path is
+        // wedged — and exit with the conventional timeout code.
+        SafeWriter out(STDOUT_FILENO);
+        out.str("\nHANG: wall-clock watchdog expired (status=hang");
+        if (armed_) {
+            out.str(", report: ");
+            out.str(sidecarPath_);
+        }
+        out.str(")\n");
+        out.flush();
+        ::_exit(hangExitCode);
+    }
+    // Re-raise under the default disposition so the parent's wait
+    // status still names the real signal. The delivered signal is
+    // masked for the duration of this handler, so it must be
+    // unblocked too or the re-raise would only pend and _exit's
+    // plain code would reach the parent instead.
+    ::signal(sig, SIG_DFL);
+    sigset_t unblock;
+    sigemptyset(&unblock);
+    sigaddset(&unblock, sig);
+    sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+    ::raise(sig);
+    ::_exit(128 + sig); // unreachable unless delivery failed
+}
+
+#endif // DISTILL_HAVE_SIGNALS
+
+} // namespace
+
+RunContext &
+runContext() noexcept
+{
+    return context_;
+}
+
+const char *
+threadStateName(std::uint8_t state) noexcept
+{
+    switch (state) {
+      case 0: return "runnable";
+      case 1: return "blocked";
+      case 2: return "sleeping";
+      case 3: return "finished";
+    }
+    return "?";
+}
+
+void
+setSidecarPath(const std::string &path)
+{
+    std::size_t n = path.size() < sizeof(sidecarPath_) - 1
+        ? path.size()
+        : sizeof(sidecarPath_) - 1;
+    std::memcpy(sidecarPath_, path.data(), n);
+    sidecarPath_[n] = '\0';
+    dumped_ = false;
+    armed_ = n > 0;
+}
+
+const char *
+sidecarPath() noexcept
+{
+    return sidecarPath_;
+}
+
+bool
+armed() noexcept
+{
+    return armed_;
+}
+
+void
+disarm() noexcept
+{
+    armed_ = false;
+    sidecarPath_[0] = '\0';
+}
+
+const char *
+signalName(int sig) noexcept
+{
+#ifdef DISTILL_HAVE_SIGNALS
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGILL: return "SIGILL";
+      case SIGFPE: return "SIGFPE";
+      case SIGTERM: return "SIGTERM";
+      case SIGALRM: return "SIGALRM";
+      case SIGKILL: return "SIGKILL";
+      case SIGINT: return "SIGINT";
+      case SIGHUP: return "SIGHUP";
+      case SIGQUIT: return "SIGQUIT";
+      case SIGPIPE: return "SIGPIPE";
+#ifdef SIGBUS
+      case SIGBUS: return "SIGBUS";
+#endif
+    }
+#else
+    (void)sig;
+#endif
+    return "signal-?";
+}
+
+void
+formatSignature(int sig, char *buf, std::size_t len) noexcept
+{
+    if (len == 0)
+        return;
+    std::size_t pos = 0;
+    buf[0] = '\0';
+    appendBounded(buf, len, pos, signalName(sig));
+    appendBounded(buf, len, pos, "@");
+    const char *label = recorder().dominantLabel();
+    if (label == nullptr || *label == '\0')
+        label = "none";
+    appendBounded(buf, len, pos, label);
+}
+
+bool
+writeCrashReport(const char *path, int sig, const char *status)
+{
+#ifdef DISTILL_HAVE_SIGNALS
+    if (path == nullptr || *path == '\0')
+        return false;
+    int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    static Event tail[FlightRecorder::capacity];
+    std::size_t events =
+        recorder().snapshot(tail, FlightRecorder::capacity);
+    char signature[128];
+    formatSignature(sig, signature, sizeof(signature));
+
+    SafeWriter out(fd);
+    out.str("distill crash report\n");
+    out.str("status: ");
+    out.str(status);
+    out.str("\nsignal: ");
+    out.str(signalName(sig));
+    out.str(" (");
+    out.dec(static_cast<std::uint64_t>(sig));
+    out.str(")\nsignature: ");
+    out.str(signature);
+    out.str("\nvirtual-time-ns: ");
+    out.dec(context_.nowNs);
+    out.str("\nheap: bytes=");
+    out.dec(context_.heapBytes);
+    out.str(" regions=");
+    out.dec(context_.regionsTotal);
+    out.str(" free=");
+    out.dec(context_.regionsFree);
+    out.str(" held=");
+    out.dec(context_.regionsHeld);
+    out.str(" allocated=");
+    out.dec(context_.bytesAllocated);
+    out.str("\nthreads: ");
+    out.dec(context_.threadsTotal);
+    out.ch('\n');
+    for (std::uint32_t t = 0; t < context_.threadCount; ++t) {
+        const ThreadNote &note = context_.threads[t];
+        out.str("  thread ");
+        out.str(note.name);
+        out.str(" kind=");
+        out.ch(note.kind);
+        out.str(" state=");
+        out.str(threadStateName(note.state));
+        out.str(" cycles=");
+        out.dec(note.cycles);
+        out.ch('\n');
+    }
+    out.str("events: ");
+    out.dec(recorder().total());
+    out.str(" recorded, ");
+    out.dec(recorder().dropped());
+    out.str(" dropped, showing last ");
+    out.dec(events);
+    out.ch('\n');
+    for (std::size_t e = 0; e < events; ++e) {
+        out.str("  [");
+        out.dec(tail[e].atNs);
+        out.str(" ns] ");
+        out.str(eventKindName(tail[e].kind));
+        out.ch(' ');
+        out.str(tail[e].label);
+        if (tail[e].arg != 0) {
+            out.str(" arg=");
+            out.dec(tail[e].arg);
+        }
+        out.ch('\n');
+    }
+    out.str("end of report\n");
+    out.flush();
+    ::close(fd);
+    return true;
+#else
+    (void)path;
+    (void)sig;
+    (void)status;
+    return false;
+#endif
+}
+
+void
+installCrashHandlers()
+{
+#ifdef DISTILL_HAVE_SIGNALS
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handleFatal;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESETHAND: the handler restores SIG_DFL itself, and
+    // SIGTERM/SIGALRM exit directly.
+    for (int sig : fatalSignals)
+        sigaction(sig, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGALRM, &action, nullptr);
+#endif
+}
+
+void
+armWallClockWatchdog(std::uint64_t ms)
+{
+#ifdef DISTILL_HAVE_SIGNALS
+    if (ms == 0)
+        return;
+    struct itimerval timer;
+    std::memset(&timer, 0, sizeof(timer));
+    timer.it_value.tv_sec = static_cast<time_t>(ms / 1000);
+    timer.it_value.tv_usec =
+        static_cast<suseconds_t>(ms % 1000 * 1000);
+    setitimer(ITIMER_REAL, &timer, nullptr);
+#else
+    (void)ms;
+#endif
+}
+
+std::string
+readSidecarSignature(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::string line;
+    const std::string prefix = "signature: ";
+    while (std::getline(in, line)) {
+        if (line.rfind(prefix, 0) == 0)
+            return line.substr(prefix.size());
+    }
+    return "";
+}
+
+} // namespace distill::diag

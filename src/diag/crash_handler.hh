@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Crash forensics: async-signal-safe handlers that dump the flight
+ * recorder and a run summary to a sidecar report before dying.
+ *
+ * A cell of the LBO grid that dies on SIGSEGV/SIGABRT/SIGBUS today
+ * yields only a wait status; a cell that hangs yields nothing at all.
+ * This module gives every isolated child (and any watchdogged
+ * in-process run) a last will: when a fatal signal arrives — or the
+ * wall-clock watchdog fires — the handler writes a structured sidecar
+ * report containing
+ *
+ *   - the signal and a deduplicatable failure signature
+ *     ("SIGSEGV@evacuation": signal + dominant recent event label),
+ *   - the flight-recorder tail (the last <= 128 runtime/GC events),
+ *   - a per-thread last-known-state table and a heap/region summary
+ *     (maintained by rt::Runtime at round boundaries in RunContext),
+ *
+ * then restores the default disposition and re-raises, so the parent
+ * still observes the truthful wait status. Everything on the handler
+ * path uses only async-signal-safe primitives (open/write/close and
+ * hand-rolled formatting) on pre-sized static buffers.
+ *
+ * The sweep parent (lbo::SweepRunner) pre-computes the sidecar path
+ * per cell, arms it in the forked child via setSidecarPath(), and
+ * after a failed wait attaches the path and the report's signature
+ * line to the synthesized RunRecord for `distill_triage` to group.
+ */
+
+#ifndef DISTILL_DIAG_CRASH_HANDLER_HH
+#define DISTILL_DIAG_CRASH_HANDLER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace distill::diag
+{
+
+/** Last-known state of one simulated thread. */
+struct ThreadNote
+{
+    char name[24] = {};         //!< truncated thread name
+    char kind = '?';            //!< 'M' mutator, 'G' gc
+    std::uint8_t state = 0;     //!< sim::SimThread::State as int
+    std::uint64_t cycles = 0;   //!< cycles consumed so far
+};
+
+/**
+ * Run summary the runtime refreshes at round boundaries while armed;
+ * plain PODs so the handler can read it at any moment.
+ */
+struct RunContext
+{
+    static constexpr std::size_t maxThreads = 32;
+
+    std::uint64_t nowNs = 0;
+    std::uint64_t heapBytes = 0;
+    std::uint64_t regionsTotal = 0;
+    std::uint64_t regionsFree = 0;
+    std::uint64_t regionsHeld = 0;
+    std::uint64_t bytesAllocated = 0;
+    std::uint32_t threadCount = 0; //!< entries valid in threads[]
+    std::uint32_t threadsTotal = 0; //!< actual count (may exceed max)
+    ThreadNote threads[maxThreads];
+};
+
+/** The context the handler dumps; updated by rt::Runtime. */
+RunContext &runContext() noexcept;
+
+/** Thread-state name for a RunContext entry (static string). */
+const char *threadStateName(std::uint8_t state) noexcept;
+
+/**
+ * Arm forensics: set the sidecar report path (copied into a static
+ * buffer; truncated at ~500 bytes) and mark the process armed. The
+ * runtime starts refreshing RunContext once armed.
+ */
+void setSidecarPath(const std::string &path);
+
+/** The armed sidecar path, or "" when disarmed. */
+const char *sidecarPath() noexcept;
+
+/** Whether forensics are armed (sidecar path set). */
+bool armed() noexcept;
+
+/** Disarm (tests). */
+void disarm() noexcept;
+
+/**
+ * Install handlers for SIGSEGV, SIGBUS, SIGABRT, SIGILL, SIGFPE,
+ * SIGTERM and SIGALRM. Fatal signals dump (when armed) and re-raise
+ * with default disposition; SIGTERM/SIGALRM dump a status=hang report
+ * and _exit(hangExitCode). No-op on non-POSIX builds.
+ */
+void installCrashHandlers();
+
+/**
+ * Arm an in-process wall-clock watchdog: after @p ms milliseconds of
+ * real time, SIGALRM fires and the installed handler converts the run
+ * into a hang report (sidecar + "status=hang" on stdout) and exits
+ * with hangExitCode. Used by distill_run to replay hang cells from a
+ * sweep's REPRO line without hanging the shell. No-op when ms == 0 or
+ * on non-POSIX builds.
+ */
+void armWallClockWatchdog(std::uint64_t ms);
+
+/** Exit code of a watchdog-terminated (hang) process. */
+constexpr int hangExitCode = 124;
+
+/** "SIGSEGV", "SIGABRT", ... or "signal-N" for unknown numbers. */
+const char *signalName(int sig) noexcept;
+
+/**
+ * Format the failure signature for @p sig into @p buf:
+ * "<SIGNAME>@<dominant recent flight-recorder label>" (or "@none"
+ * with an empty ring). Async-signal-safe.
+ */
+void formatSignature(int sig, char *buf, std::size_t len) noexcept;
+
+/**
+ * Write the sidecar report for @p sig to @p path with the given
+ * status word ("crash" or "hang"). Async-signal-safe; exposed so
+ * tests can exercise the report format without dying.
+ * @return true when the report was written.
+ */
+bool writeCrashReport(const char *path, int sig, const char *status);
+
+/**
+ * Parse the "signature: ..." line out of a sidecar report written by
+ * writeCrashReport. Returns "" when the file is missing or has no
+ * signature line. (Parent-side helper; not signal-safe.)
+ */
+std::string readSidecarSignature(const std::string &path);
+
+} // namespace distill::diag
+
+#endif // DISTILL_DIAG_CRASH_HANDLER_HH

@@ -1,0 +1,88 @@
+#include "diag/flight_recorder.hh"
+
+namespace distill::diag
+{
+
+namespace
+{
+
+/**
+ * Plain global, zero-initialized before any code runs: the crash
+ * handler may fire before main() or after static destructors start,
+ * and a function-local static's guard is not async-signal-safe.
+ */
+FlightRecorder globalRecorder;
+
+} // namespace
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::PauseBegin: return "pause-begin";
+      case EventKind::GcEvent: return "gc";
+      case EventKind::Fault: return "fault";
+      case EventKind::ThreadState: return "thread";
+      case EventKind::RunState: return "run";
+    }
+    return "?";
+}
+
+FlightRecorder &
+recorder() noexcept
+{
+    return globalRecorder;
+}
+
+std::size_t
+FlightRecorder::snapshot(Event *out, std::size_t max) const noexcept
+{
+    std::uint64_t end = total();
+    std::uint64_t count = end < capacity ? end : capacity;
+    if (count > max)
+        count = max;
+    std::uint64_t first = end - count;
+    for (std::uint64_t i = 0; i < count; ++i)
+        out[i] = ring_[(first + i) % capacity];
+    return static_cast<std::size_t>(count);
+}
+
+const char *
+FlightRecorder::dominantLabel(std::size_t window) const noexcept
+{
+    std::uint64_t end = total();
+    if (end == 0)
+        return "";
+    std::uint64_t count = end < capacity ? end : capacity;
+    if (count > window)
+        count = window;
+    std::uint64_t first = end - count;
+    const char *best = "";
+    std::size_t bestVotes = 0;
+    // O(window^2) pointer comparisons over at most `window` events;
+    // no allocation, no library calls — callable from the handler.
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const char *candidate = ring_[(end - 1 - i) % capacity].label;
+        std::size_t votes = 0;
+        for (std::uint64_t j = 0; j < count; ++j) {
+            if (ring_[(first + j) % capacity].label == candidate)
+                ++votes;
+        }
+        if (votes > bestVotes) { // strict: earlier (more recent) wins ties
+            bestVotes = votes;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+const char *
+FlightRecorder::lastLabel() const noexcept
+{
+    std::uint64_t end = total();
+    if (end == 0)
+        return "";
+    return ring_[(end - 1) % capacity].label;
+}
+
+} // namespace distill::diag

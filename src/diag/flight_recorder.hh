@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Flight recorder: a fixed-size, allocation-free ring buffer of
+ * recent runtime/GC events.
+ *
+ * Production collectors ship an always-on event ring (HotSpot's JFR,
+ * ZGC's -Xlog ring) precisely because the events leading *up to* a
+ * crash or hang are the only forensics that survive one. This is the
+ * simulator's analogue: the metrics agent and the runtime feed every
+ * pause, concurrent-cycle completion, allocation stall, degenerated
+ * rescue, and fault-plan activation into a process-wide ring, and the
+ * crash handler (src/diag/crash_handler.*) dumps the tail into a
+ * sidecar report from inside a signal handler.
+ *
+ * Constraints that shape the design:
+ *  - recording must never allocate (it runs on the hot path and must
+ *    be safe arbitrarily late in an OOM death spiral), so events hold
+ *    only POD fields and `label` must point at a string literal;
+ *  - the dump side must be async-signal-safe, so the ring is a plain
+ *    global with release-ordered publication (slot written first,
+ *    counter bumped after) and readers only touch slots below the
+ *    published counter.
+ *
+ * The simulator runs on one OS thread; the only concurrent reader is
+ * a signal handler interrupting that thread, which the publication
+ * order above makes safe.
+ */
+
+#ifndef DISTILL_DIAG_FLIGHT_RECORDER_HH
+#define DISTILL_DIAG_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace distill::diag
+{
+
+/** Coarse event classes (the label carries the specifics). */
+enum class EventKind : std::uint8_t
+{
+    PauseBegin,  //!< STW pause opened (label = pause kind)
+    GcEvent,     //!< agent log event: pause end, concurrent cycle,
+                 //!< degenerated rescue, alloc stall (label = what)
+    Fault,       //!< fault-plan state applied (label = fault kind)
+    ThreadState, //!< per-thread state note (label = thread name)
+    RunState,    //!< run-level transition (fail reason class, finish)
+};
+
+/** Human-readable kind name (static string). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One recorded event. `label` MUST be a string literal (or otherwise
+ * immortal storage): the crash handler prints it after the runtime
+ * that recorded it may already be mid-destruction.
+ */
+struct Event
+{
+    EventKind kind = EventKind::GcEvent;
+    const char *label = "";
+    Ticks atNs = 0;        //!< virtual time of the event
+    std::uint64_t arg = 0; //!< kind-specific payload (duration, count)
+};
+
+/**
+ * The ring itself. All members are trivially constructible so the
+ * global instance needs no dynamic initialization and is readable
+ * from a signal handler at any point in the process lifetime.
+ */
+class FlightRecorder
+{
+  public:
+    static constexpr std::size_t capacity = 128;
+
+    /** Append one event; never allocates, never fails. */
+    void
+    record(EventKind kind, const char *label, Ticks at_ns,
+           std::uint64_t arg = 0) noexcept
+    {
+        std::uint64_t seq = next_.load(std::memory_order_relaxed);
+        Event &slot = ring_[seq % capacity];
+        slot.kind = kind;
+        slot.atNs = at_ns;
+        slot.arg = arg;
+        slot.label = label;
+        // Publish after the slot is fully written so a signal handler
+        // interrupting mid-record never reads the in-progress slot.
+        next_.store(seq + 1, std::memory_order_release);
+    }
+
+    /** Forget everything (new run starting). */
+    void
+    reset() noexcept
+    {
+        next_.store(0, std::memory_order_release);
+    }
+
+    /** Events recorded since reset (monotone; may exceed capacity). */
+    std::uint64_t
+    total() const noexcept
+    {
+        return next_.load(std::memory_order_acquire);
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t
+    size() const noexcept
+    {
+        std::uint64_t n = total();
+        return n < capacity ? static_cast<std::size_t>(n) : capacity;
+    }
+
+    /** Events that fell off the front of the ring. */
+    std::uint64_t
+    dropped() const noexcept
+    {
+        std::uint64_t n = total();
+        return n > capacity ? n - capacity : 0;
+    }
+
+    /**
+     * Copy the tail, oldest first, into @p out (room for @p max).
+     * Async-signal-safe; returns the number of events copied.
+     */
+    std::size_t snapshot(Event *out, std::size_t max) const noexcept;
+
+    /**
+     * The label occurring most often among the last @p window events
+     * (ties broken toward the most recent). Returns "" on an empty
+     * ring. Labels are compared by pointer, which is exact for the
+     * string literals the feeders use. Async-signal-safe.
+     */
+    const char *dominantLabel(std::size_t window = 16) const noexcept;
+
+    /** Label of the most recent event, or "" when empty. */
+    const char *lastLabel() const noexcept;
+
+  private:
+    Event ring_[capacity];
+    std::atomic<std::uint64_t> next_{0};
+};
+
+/** The process-wide recorder every feeder and the handler share. */
+FlightRecorder &recorder() noexcept;
+
+} // namespace distill::diag
+
+#endif // DISTILL_DIAG_FLIGHT_RECORDER_HH

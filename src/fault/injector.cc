@@ -17,15 +17,18 @@ FaultInjector::advance(Ticks now)
     squeezeFraction_ = 0.0;
     burstFactor_ = 1.0;
     denyActive_ = false;
+    livelockActive_ = false;
     dueKills_.clear();
 
     for (std::size_t i = 0; i < plan_.events.size(); ++i) {
         const FaultEvent &e = plan_.events[i];
         bool active = e.activeAt(now);
-        if (e.kind == FaultKind::MutatorKill) {
-            // Kills are one-shot: due once the trigger time passes.
+        if (e.kind == FaultKind::MutatorKill ||
+            e.kind == FaultKind::Crash) {
+            // Kills and crashes are one-shot: due once the trigger
+            // time passes.
             active = now >= e.atNs;
-            if (active)
+            if (active && e.kind == FaultKind::MutatorKill)
                 dueKills_.push_back(e.target);
         }
         if (active && !wasActive_[i])
@@ -42,6 +45,14 @@ FaultInjector::advance(Ticks now)
             break;
           case FaultKind::DenyProgress:
             denyActive_ = true;
+            break;
+          case FaultKind::Livelock:
+            livelockActive_ = true;
+            break;
+          case FaultKind::Crash:
+            // One-shot like kills: latch the signal once due.
+            if (crashSignal_ == 0)
+                crashSignal_ = static_cast<int>(e.target);
             break;
           case FaultKind::MutatorKill:
             break;

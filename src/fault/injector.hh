@@ -11,6 +11,8 @@
  *  - AllocBurst   -> rt::Mutator::allocate payload inflation
  *  - MutatorKill  -> rt::Mutator::requestKill
  *  - DenyProgress -> rt::Runtime::allocProgressBytes clamping
+ *  - Livelock     -> rt::Runtime wall-clock spin (watchdog fodder)
+ *  - Crash        -> raise(signal) from the round hook
  *
  * Because virtual time is deterministic, every activation edge is
  * bit-reproducible for a given (workload seed, sched seed, fault
@@ -66,6 +68,18 @@ class FaultInjector
     bool denyProgress() const { return denyActive_; }
 
     /**
+     * Whether a wall-clock livelock is due: the runtime spins forever
+     * at the round boundary that observes this (FaultKind::Livelock).
+     */
+    bool livelockDue() const { return livelockActive_; }
+
+    /**
+     * Signal number of a due FaultKind::Crash event (latched at its
+     * trigger edge), or 0 when none. The runtime raises it once.
+     */
+    int dueCrashSignal() const { return crashSignal_; }
+
+    /**
      * Clamp the collector-visible allocation-progress counter: during
      * a denial window this returns the value frozen at window entry,
      * so progress guards observe consecutive no-progress failures and
@@ -88,6 +102,8 @@ class FaultInjector
     double squeezeFraction_ = 0.0;
     double burstFactor_ = 1.0;
     bool denyActive_ = false;
+    bool livelockActive_ = false;
+    int crashSignal_ = 0;
     bool haveFrozen_ = false;
     std::uint64_t frozenProgress_ = 0;
     std::vector<unsigned> dueKills_;

@@ -30,6 +30,8 @@ faultKindName(FaultKind kind)
       case FaultKind::AllocBurst: return "alloc-burst";
       case FaultKind::MutatorKill: return "mutator-kill";
       case FaultKind::DenyProgress: return "deny-progress";
+      case FaultKind::Livelock: return "livelock";
+      case FaultKind::Crash: return "crash";
     }
     return "?";
 }
@@ -52,9 +54,33 @@ FaultPlan::describe() const
         }
         if (e.kind == FaultKind::MutatorKill)
             out << " thread " << e.target;
+        if (e.kind == FaultKind::Crash)
+            out << " signal " << e.target;
     }
     out << ")";
     return out.str();
+}
+
+namespace
+{
+
+/** Tag in the top sixteen bits marking a diagnostic plan seed. */
+constexpr std::uint64_t diagTag = 0xD1A6ULL;
+
+} // namespace
+
+std::uint64_t
+FaultPlan::diagSeed(int signal, std::uint64_t at_us)
+{
+    return (diagTag << 48) |
+        ((static_cast<std::uint64_t>(signal) & 0xFFFF) << 32) |
+        (at_us & 0xFFFFFFFFULL);
+}
+
+bool
+FaultPlan::isDiagSeed(std::uint64_t plan_seed)
+{
+    return (plan_seed >> 48) == diagTag;
 }
 
 FaultPlan
@@ -64,6 +90,23 @@ FaultPlan::fromSeed(std::uint64_t plan_seed)
     plan.planSeed = plan_seed;
     if (plan_seed == 0)
         return plan;
+
+    if (isDiagSeed(plan_seed)) {
+        // Diagnostic plan: bits 32..47 carry a signal number (0 means
+        // livelock), bits 0..31 the trigger time in microseconds.
+        FaultEvent e;
+        unsigned signal =
+            static_cast<unsigned>((plan_seed >> 32) & 0xFFFF);
+        std::uint64_t at_us = plan_seed & 0xFFFFFFFFULL;
+        if (at_us == 0)
+            at_us = 2000; // 2 ms of virtual time: past collector boot
+        e.kind = signal == 0 ? FaultKind::Livelock : FaultKind::Crash;
+        e.target = signal;
+        e.atNs = static_cast<Ticks>(at_us) * 1000;
+        e.durationNs = 0; // to the end of the run
+        plan.events.push_back(e);
+        return plan;
+    }
 
     // Trigger times span the range where both short fuzz runs (a few
     // ms of virtual time) and full benchmark invocations (hundreds of

@@ -66,6 +66,24 @@ enum class FaultKind : std::uint8_t
      * reclaimed nothing.
      */
     DenyProgress,
+
+    /**
+     * Wall-clock livelock: once triggered, the runtime spins forever
+     * at the next round boundary without advancing virtual time —
+     * the simulator analogue of a deadlocked gang or a concurrent
+     * cycle that never completes. Only the hang watchdog (parent
+     * `--watchdog-ms` deadline or the in-process SIGALRM watchdog)
+     * ends such a run; it exists to exercise exactly that machinery.
+     */
+    Livelock,
+
+    /**
+     * Injected crash: raise(target) at the trigger time, where
+     * `target` carries the signal number (SIGSEGV by default). Drives
+     * the crash-forensics path (sidecar reports, signature triage)
+     * deterministically.
+     */
+    Crash,
 };
 
 /** Human-readable fault-kind name. */
@@ -124,8 +142,25 @@ struct FaultPlan
      * two bits select the fault mix (1: squeeze, 2: burst, 3: kill +
      * burst, 0 mod 4: squeeze + progress denial) and the remaining
      * entropy draws trigger times, windows, and magnitudes.
+     *
+     * Seeds whose top sixteen bits equal 0xD1A6 are *diagnostic*
+     * plans reserved for the crash-forensics harness (see diagSeed);
+     * every other seed keeps its historical expansion, so existing
+     * repro lines and cached faulted cells are untouched.
      */
     static FaultPlan fromSeed(std::uint64_t plan_seed);
+
+    /**
+     * Encode a diagnostic forced-failure plan: one Livelock (when
+     * @p signal is 0) or Crash-with-@p-signal event at virtual time
+     * @p at_us microseconds (0 picks a 2 ms default). The returned
+     * seed round-trips through fromSeed, so a `--fault-plan` token on
+     * a repro line replays the forced hang/crash bit-identically.
+     */
+    static std::uint64_t diagSeed(int signal, std::uint64_t at_us = 0);
+
+    /** Whether @p plan_seed encodes a diagnostic plan. */
+    static bool isDiagSeed(std::uint64_t plan_seed);
 };
 
 } // namespace distill::fault

@@ -13,8 +13,11 @@ namespace
 /** Field count of the pre-failure-record layout (distill_runs_v3). */
 constexpr std::size_t legacyFieldCount = 32;
 
+/** Field count of the pre-forensics layout (no signature/sidecar). */
+constexpr std::size_t failureFieldCount = 36;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 36;
+constexpr std::size_t currentFieldCount = 38;
 
 } // namespace
 
@@ -28,7 +31,7 @@ RunRecord::csvHeader()
            "meteredP90Ns,meteredP99Ns,meteredP9999Ns,meteredMaxNs,"
            "simpleP50Ns,simpleP99Ns,simpleP9999Ns,allocStallNs,"
            "degeneratedGcs,bytesAllocated,status,failReason,faultSeed,"
-           "schedSeed";
+           "schedSeed,signature,sidecar";
 }
 
 const char *
@@ -75,7 +78,8 @@ RunRecord::toCsv() const
         << ',' << allocStallNs << ',' << degeneratedGcs << ','
         << bytesAllocated << ',' << status << ','
         << sanitizeReason(failReason) << ',' << faultSeed << ','
-        << schedSeed;
+        << schedSeed << ',' << sanitizeReason(signature) << ','
+        << sanitizeReason(sidecar);
     return out.str();
 }
 
@@ -87,13 +91,14 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
     std::vector<std::string> fields;
     while (std::getline(in, field, ','))
         fields.push_back(field);
-    // A trailing empty field (",,") is dropped by getline; restore it
-    // so an empty failReason in the last-but-two column parses.
-    while (fields.size() < currentFieldCount && !line.empty() &&
-           line.back() == ',' && fields.size() >= legacyFieldCount) {
+    // getline drops exactly one trailing empty field (a line ending in
+    // ','); restore it so an empty sidecar in the last column parses.
+    // Only the final delimiter is swallowed — ",," in the middle still
+    // yields its empty token — so exactly one field is ever missing.
+    if (!line.empty() && line.back() == ',')
         fields.emplace_back();
-    }
     if (fields.size() != legacyFieldCount &&
+        fields.size() != failureFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -131,7 +136,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         out.allocStallNs = std::stod(fields[i++]);
         out.degeneratedGcs = std::stoull(fields[i++]);
         out.bytesAllocated = std::stoull(fields[i++]);
-        if (fields.size() == currentFieldCount) {
+        if (fields.size() >= failureFieldCount) {
             out.status = fields[i++];
             out.failReason = fields[i++];
             out.faultSeed = std::stoull(fields[i++]);
@@ -142,6 +147,13 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.failReason.clear();
             out.faultSeed = 0;
             out.schedSeed = 0;
+        }
+        if (fields.size() >= currentFieldCount) {
+            out.signature = fields[i++];
+            out.sidecar = fields[i++];
+        } else {
+            out.signature.clear();
+            out.sidecar.clear();
         }
     } catch (const std::exception &) {
         return false;

@@ -32,8 +32,9 @@ struct RunRecord
     /**
      * Structured outcome: "ok", "oom", "timeout" (virtual-time safety
      * limit), "oracle" (heap-graph oracle divergence), "crash"
-     * (isolated child invocation died), or "error". Derived from the
-     * run's failure state; see statusFor().
+     * (isolated child invocation died), "hang" (isolated child killed
+     * by the wall-clock watchdog), or "error". Derived from the run's
+     * failure state; see statusFor().
      */
     std::string status = "ok";
 
@@ -45,6 +46,17 @@ struct RunRecord
 
     /** Schedule-perturbation seed (0 = vanilla round-robin). */
     std::uint64_t schedSeed = 0;
+
+    /**
+     * Deduplicatable failure signature for crash/hang cells:
+     * "<SIGNAME>@<dominant flight-recorder label>" as parsed from the
+     * child's sidecar report (empty for clean cells or when the child
+     * died before writing one). distill_triage groups by this.
+     */
+    std::string signature;
+
+    /** Path of the crash-forensics sidecar report, when one exists. */
+    std::string sidecar;
 
     double wallNs = 0;
     double cycles = 0;
@@ -79,10 +91,10 @@ struct RunRecord
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * both the current layout and the pre-failure-record layout
-     * (32 fields, as written to distill_runs_v3.csv before the
-     * status/failReason columns existed); legacy rows get status
-     * derived from their completed/oom flags.
+     * the current 38-field layout as well as the two historical ones
+     * (32 fields before the status/failReason columns existed, 36
+     * before signature/sidecar); legacy rows get status derived from
+     * their completed/oom flags and empty forensics columns.
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

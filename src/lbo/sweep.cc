@@ -1,14 +1,21 @@
 #include "lbo/sweep.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "base/rng.hh"
 
 #include "base/logging.hh"
+#include "diag/crash_handler.hh"
 #include "heap/layout.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #define DISTILL_HAVE_FORK 1
@@ -31,18 +38,89 @@ cacheDir()
 }
 
 /**
+ * Deterministic per-cell sidecar report path, so the parent can find
+ * a dead child's forensics dump without any pipe coordination.
+ */
+std::string
+sidecarPathFor(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
+               std::uint64_t heap_bytes, std::uint64_t seed,
+               unsigned invocation)
+{
+    return strprintf("%s/distill-crash-%s-%s-%llu-%llu-%u.report",
+                     cacheDir().c_str(), spec.name.c_str(),
+                     gc::collectorName(collector),
+                     static_cast<unsigned long long>(heap_bytes),
+                     static_cast<unsigned long long>(seed), invocation);
+}
+
+#ifdef DISTILL_HAVE_FORK
+
+/**
+ * Drain @p fd into @p buf until EOF or @p deadline.
+ * @return true on EOF (the child closed its end), false on deadline.
+ */
+bool
+drainUntil(int fd, std::string &buf,
+           std::chrono::steady_clock::time_point deadline)
+{
+    char tmp[4096];
+    while (true) {
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0)
+            return false;
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int pr = poll(&pfd, 1,
+                      static_cast<int>(std::min<long long>(remaining,
+                                                           1000)));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (pr == 0)
+            continue; // re-check the deadline
+        ssize_t n = read(fd, tmp, sizeof(tmp));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return true;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+}
+
+#endif // DISTILL_HAVE_FORK
+
+/**
  * Run one invocation in a forked child so a crash (assertion,
  * sanitizer abort, validator fatal) is contained: the child ships its
  * record back over a pipe, and a dead or garbled child becomes a
  * synthesized status="crash" record instead of taking the sweep down.
+ *
+ * The child arms the diag crash handlers with a per-cell sidecar
+ * path, so a fatal signal dumps the flight-recorder tail before the
+ * default disposition kills it. With @p watchdog_ms > 0 the parent
+ * additionally enforces a wall-clock deadline: an unresponsive child
+ * gets SIGTERM (its handler writes a status=hang sidecar), then after
+ * a short grace period SIGKILL, and the cell records as status="hang".
  */
 RunRecord
 runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
             std::uint64_t heap_bytes, double heap_factor,
             std::uint64_t seed, unsigned invocation,
-            const Environment &env)
+            const Environment &env, std::uint64_t watchdog_ms)
 {
 #ifdef DISTILL_HAVE_FORK
+    std::string sidecar =
+        sidecarPathFor(spec, collector, heap_bytes, seed, invocation);
+    // A stale sidecar from an earlier sweep at the same path would be
+    // misattributed to this child; a successful run must leave none.
+    unlink(sidecar.c_str());
     int fds[2];
     if (pipe(fds) != 0) {
         return runOne(spec, collector, heap_bytes, heap_factor, seed,
@@ -57,6 +135,8 @@ runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     }
     if (pid == 0) {
         close(fds[0]);
+        diag::setSidecarPath(sidecar);
+        diag::installCrashHandlers();
         RunRecord r = runOne(spec, collector, heap_bytes, heap_factor,
                              seed, invocation, env);
         std::string line = r.toCsv();
@@ -74,22 +154,41 @@ runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     }
     close(fds[1]);
     std::string buf;
-    char tmp[4096];
-    ssize_t n;
-    while ((n = read(fds[0], tmp, sizeof(tmp))) > 0)
-        buf.append(tmp, static_cast<std::size_t>(n));
+    bool hung = false;
+    if (watchdog_ms > 0) {
+        auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(watchdog_ms);
+        if (!drainUntil(fds[0], buf, deadline)) {
+            // Wall-clock deadline expired with the pipe still open: a
+            // livelocked child never advances virtual time, so this is
+            // the only authority that ends it. SIGTERM first so its
+            // handler can dump a status=hang sidecar, then SIGKILL.
+            hung = true;
+            kill(pid, SIGTERM);
+            drainUntil(fds[0], buf,
+                       std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(2000));
+            kill(pid, SIGKILL);
+        }
+    } else {
+        char tmp[4096];
+        ssize_t n;
+        while ((n = read(fds[0], tmp, sizeof(tmp))) > 0)
+            buf.append(tmp, static_cast<std::size_t>(n));
+    }
     close(fds[0]);
     int status = 0;
     waitpid(pid, &status, 0);
     if (!buf.empty() && buf.back() == '\n')
         buf.pop_back();
     RunRecord r;
-    if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+    if (!hung && WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
         RunRecord::fromCsv(buf, r)) {
         return r;
     }
-    // The child died before reporting: synthesize a failure record so
-    // the cell is accounted for and reproducible.
+    // The child died (or hung) before reporting: synthesize a failure
+    // record so the cell is accounted for and reproducible, enriched
+    // with whatever forensics the crash handlers left behind.
     r = RunRecord{};
     r.bench = spec.name;
     r.collector = gc::collectorName(collector);
@@ -104,18 +203,33 @@ runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     r.schedSeed = env.schedSeed;
     r.completed = false;
     r.oom = false;
-    r.status = "crash";
-    if (WIFSIGNALED(status)) {
-        r.failReason = RunRecord::sanitizeReason(
-            strprintf("child killed by signal %d", WTERMSIG(status)));
-    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
-        r.failReason = RunRecord::sanitizeReason(
-            strprintf("child exited %d", WEXITSTATUS(status)));
+    if (hung) {
+        r.status = "hang";
+        r.failReason = RunRecord::sanitizeReason(strprintf(
+            "wallclock-timeout after %llums",
+            static_cast<unsigned long long>(watchdog_ms)));
     } else {
-        r.failReason = "child produced no record";
+        r.status = "crash";
+        if (WIFSIGNALED(status)) {
+            int sig = WTERMSIG(status);
+            r.failReason = RunRecord::sanitizeReason(
+                strprintf("child killed by %s (signal %d)",
+                          diag::signalName(sig), sig));
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+            r.failReason = RunRecord::sanitizeReason(strprintf(
+                "child exited %d", WEXITSTATUS(status)));
+        } else {
+            r.failReason = "child produced no record";
+        }
+    }
+    if (std::ifstream(sidecar).good()) {
+        r.sidecar = sidecar;
+        r.signature = RunRecord::sanitizeReason(
+            diag::readSidecarSignature(sidecar));
     }
     return r;
 #else
+    (void)watchdog_ms;
     return runOne(spec, collector, heap_bytes, heap_factor, seed,
                   invocation, env);
 #endif
@@ -221,21 +335,34 @@ SweepRunner::loadCaches()
 std::size_t
 SweepRunner::loadResumeFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
         warn("--resume: cannot open %s; starting fresh", path.c_str());
         return 0;
     }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string content = ss.str();
+    // A sweep killed mid-append leaves a final line without its
+    // newline. Such a partial row could still parse (cut between two
+    // fields), silently resuming with corrupt data; drop it instead —
+    // the cell re-runs and the row is rewritten whole.
+    if (!content.empty() && content.back() != '\n') {
+        std::size_t cut = content.rfind('\n');
+        std::string partial =
+            content.substr(cut == std::string::npos ? 0 : cut + 1);
+        warn("--resume: ignoring truncated trailing line in %s "
+             "(\"%.40s...\"); the cell will re-run",
+             path.c_str(), partial.c_str());
+        content.erase(cut == std::string::npos ? 0 : cut + 1);
+    }
+    std::istringstream lines(content);
     std::string line;
-    std::getline(in, line); // header (or first record of headerless file)
     std::size_t loaded = 0;
     RunRecord r;
-    if (RunRecord::fromCsv(line, r)) { // tolerate a missing header
-        resumeCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
-                         r.invocation, r.faultSeed, r.schedSeed)] = r;
-        ++loaded;
-    }
-    while (std::getline(in, line)) {
+    // The first line is normally the header, but tolerate headerless
+    // files by trying to parse it as a record too.
+    while (std::getline(lines, line)) {
         if (!RunRecord::fromCsv(line, r))
             continue;
         resumeCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
@@ -245,18 +372,58 @@ SweepRunner::loadResumeFile(const std::string &path)
     return loaded;
 }
 
+namespace
+{
+
+/**
+ * Crash-safe cache append: the whole payload goes out in a single
+ * unbuffered O_APPEND write, so a sweep process dying mid-append
+ * leaves at most one truncated line (which loaders skip) and can
+ * never interleave with another writer's row. The buffered-stream
+ * fallback on non-POSIX builds keeps the old best-effort behavior.
+ */
+void
+appendLineAtomic(const std::string &path, const std::string &payload)
+{
+#ifdef DISTILL_HAVE_FORK
+    int fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0)
+        return;
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        ssize_t n =
+            write(fd, payload.data() + off, payload.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    close(fd);
+#else
+    std::ofstream out(path, std::ios::app);
+    if (out)
+        out << payload << std::flush;
+#endif
+}
+
+} // namespace
+
 void
 SweepRunner::appendRun(const RunRecord &record)
 {
     if (!cacheEnabled_)
         return;
     bool fresh = !std::ifstream(runCachePath_).good();
-    std::ofstream out(runCachePath_, std::ios::app);
-    if (!out)
-        return;
-    if (fresh)
-        out << RunRecord::csvHeader() << '\n';
-    out << record.toCsv() << '\n';
+    std::string payload;
+    if (fresh) {
+        payload = RunRecord::csvHeader();
+        payload.push_back('\n');
+    }
+    payload += record.toCsv();
+    payload.push_back('\n');
+    appendLineAtomic(runCachePath_, payload);
 }
 
 void
@@ -264,9 +431,9 @@ SweepRunner::appendMinHeap(const std::string &bench, std::uint64_t bytes)
 {
     if (!cacheEnabled_)
         return;
-    std::ofstream out(minHeapCachePath_, std::ios::app);
-    if (out)
-        out << bench << ',' << bytes << '\n';
+    appendLineAtomic(minHeapCachePath_,
+                     strprintf("%s,%llu\n", bench.c_str(),
+                               static_cast<unsigned long long>(bytes)));
 }
 
 RunRecord
@@ -279,7 +446,7 @@ SweepRunner::executeCell(const wl::WorkloadSpec &spec,
     auto once = [&](const Environment &env) {
         return config.isolateInvocations
             ? runIsolated(spec, collector, heap_bytes, heap_factor, seed,
-                          invocation, env)
+                          invocation, env, config.watchdogMs)
             : runOne(spec, collector, heap_bytes, heap_factor, seed,
                      invocation, env);
     };

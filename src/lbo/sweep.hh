@@ -64,9 +64,25 @@ struct SweepConfig
      * Run every invocation in a forked child process so a crash
      * (assertion failure, sanitizer abort) in one cell becomes a
      * status="crash" failure record instead of killing the whole
-     * grid. POSIX only; silently runs in-process elsewhere.
+     * grid. Isolated children also arm the crash-forensics handlers
+     * (src/diag/), so a dying cell leaves a sidecar report with the
+     * flight-recorder tail; the sidecar path and failure signature
+     * are attached to the synthesized record. POSIX only; silently
+     * runs in-process elsewhere.
      */
     bool isolateInvocations = false;
+
+    /**
+     * Wall-clock hang watchdog for isolated invocations, in
+     * milliseconds of real time per cell (0 = disabled). Distinct
+     * from --max-virtual-time: a livelocked child burns real CPU
+     * without advancing the virtual clock, so only a wall-clock
+     * deadline catches it. On expiry the parent sends SIGTERM (the
+     * child's handler dumps a status=hang sidecar), waits a short
+     * grace period, escalates to SIGKILL, and records the cell as
+     * status="hang" rather than "crash". Requires isolateInvocations.
+     */
+    std::uint64_t watchdogMs = 0;
 
     /**
      * Streaming hook: invoked in grid order for every record the

@@ -1,6 +1,7 @@
 #include "metrics/agent.hh"
 
 #include "base/logging.hh"
+#include "diag/flight_recorder.hh"
 #include "sim/scheduler.hh"
 
 namespace distill::metrics
@@ -41,11 +42,18 @@ GcAgent::pauseBegin(PauseKind kind)
     pauseKind_ = kind;
     pauseStartNs_ = scheduler_.now();
     pauseStartCycles_ = scheduler_.cycleTotals().total();
+    diag::recorder().record(diag::EventKind::PauseBegin,
+                            pauseKindName(kind), pauseStartNs_);
 }
 
 void
 GcAgent::logEvent(const char *what, Ticks start_ns, Ticks duration_ns)
 {
+    // The flight recorder keeps the *newest* events (its job is crash
+    // forensics), so feed it even after the bounded metrics log — which
+    // keeps the oldest — has stopped accepting.
+    diag::recorder().record(diag::EventKind::GcEvent, what, start_ns,
+                            duration_ns);
     constexpr std::size_t logBound = 8192;
     if (metrics_.gcLog.size() >= logBound) {
         ++metrics_.gcLogDropped;

@@ -1,8 +1,12 @@
 #include "rt/runtime.hh"
 
 #include <algorithm>
+#include <csignal>
+#include <cstring>
 
 #include "base/logging.hh"
+#include "diag/crash_handler.hh"
+#include "diag/flight_recorder.hh"
 #include "rt/validate.hh"
 
 namespace distill::rt
@@ -50,6 +54,11 @@ Runtime::Runtime(const RunConfig &config,
 {
     distill_assert(collector_ != nullptr, "runtime without a collector");
     distill_assert(!workload_.programs.empty(), "workload with no threads");
+
+    // Each run gets a clean flight-recorder tail: a sidecar report
+    // must describe the run that died, not its predecessor in a
+    // multi-run process (sweeps, differential comparisons).
+    diag::recorder().reset();
 
     if (heap_.regions.regionCount() < collector_->minBootRegions()) {
         fatal("heap of %llu bytes too small for collector %s",
@@ -106,6 +115,29 @@ Runtime::applyFaults()
 {
     fault_->advance(scheduler_.now());
 
+    // Injected crash: deliver the planned signal from a round
+    // boundary. With crash handlers armed this produces a sidecar
+    // report; either way the process dies with the true signal, which
+    // an isolated sweep turns into a status=crash record.
+    if (int sig = fault_->dueCrashSignal(); sig != 0) {
+        diag::recorder().record(diag::EventKind::Fault, "fault-crash",
+                                scheduler_.now(),
+                                static_cast<std::uint64_t>(sig));
+        std::raise(sig);
+    }
+
+    // Wall-clock livelock: spin without advancing virtual time, like
+    // a deadlocked gang. Only a watchdog (SIGTERM from an isolated
+    // sweep parent, or the in-process SIGALRM deadline) ends this.
+    if (fault_->livelockDue()) {
+        diag::recorder().record(diag::EventKind::Fault, "fault-livelock",
+                                scheduler_.now());
+        if (diag::armed())
+            updateCrashContext();
+        for (volatile std::uint64_t spin = 0;; ++spin) {
+        }
+    }
+
     // Heap-limit squeeze: adjust the number of withheld regions to
     // the plan's current target. Collectors only ever observe a
     // shorter free list, so their existing pressure machinery (stall,
@@ -113,10 +145,22 @@ Runtime::applyFaults()
     auto &rm = heap_.regions;
     std::size_t target =
         fault_->squeezeRegionTarget(rm.regionCount());
+    if (rm.heldCount() != target) {
+        diag::recorder().record(diag::EventKind::Fault, "heap-squeeze",
+                                scheduler_.now(), target);
+    }
     if (rm.heldCount() < target)
         rm.holdFreeRegions(target - rm.heldCount());
     else if (rm.heldCount() > target)
         rm.releaseHeldRegions(rm.heldCount() - target);
+
+    if (fault_->denyProgress() != denyWasActive_) {
+        denyWasActive_ = fault_->denyProgress();
+        diag::recorder().record(diag::EventKind::Fault,
+                                denyWasActive_ ? "deny-progress"
+                                               : "deny-progress-end",
+                                scheduler_.now());
+    }
 
     // Mutator kills: flag the victim; it finishes at its next
     // scheduled step so the safepoint protocol is never bypassed.
@@ -129,6 +173,9 @@ Runtime::applyFaults()
         Mutator &m = *mutators_[target_id % mutators_.size()];
         if (m.state() == sim::SimThread::State::Finished)
             continue;
+        diag::recorder().record(diag::EventKind::Fault, "mutator-kill",
+                                scheduler_.now(),
+                                target_id % mutators_.size());
         m.requestKill();
         if (!safepointRequested_ && !m.parkedAtSafepoint() &&
             (m.state() == sim::SimThread::State::Blocked ||
@@ -139,9 +186,42 @@ Runtime::applyFaults()
 }
 
 void
+Runtime::updateCrashContext()
+{
+    diag::RunContext &ctx = diag::runContext();
+    ctx.nowNs = scheduler_.now();
+    ctx.heapBytes = heap_.regions.heapBytes();
+    ctx.regionsTotal = heap_.regions.regionCount();
+    ctx.regionsFree = heap_.regions.freeCount();
+    ctx.regionsHeld = heap_.regions.heldCount();
+    ctx.bytesAllocated = agent_.metrics().bytesAllocated;
+    const auto &threads = scheduler_.threads();
+    ctx.threadsTotal = static_cast<std::uint32_t>(threads.size());
+    std::uint32_t n = 0;
+    for (sim::SimThread *thread : threads) {
+        if (n >= diag::RunContext::maxThreads)
+            break;
+        diag::ThreadNote &note = ctx.threads[n++];
+        std::strncpy(note.name, thread->name().c_str(),
+                     sizeof(note.name) - 1);
+        note.name[sizeof(note.name) - 1] = '\0';
+        note.kind =
+            thread->kind() == sim::SimThread::Kind::Gc ? 'G' : 'M';
+        note.state = static_cast<std::uint8_t>(thread->state());
+        note.cycles = thread->cyclesConsumed();
+    }
+    ctx.threadCount = n;
+}
+
+void
 Runtime::roundHook()
 {
     watchCheck(*this, "round");
+    // Refresh the crash-handler's view of the run while forensics are
+    // armed (isolated children, watchdogged runs); a SIGKILL-immune
+    // summary must exist *before* the crash, not be computed during it.
+    if (diag::armed())
+        updateCrashContext();
     if (fault_ != nullptr)
         applyFaults();
     if (safepointRequested_ && !worldStopped_) {
@@ -249,6 +329,8 @@ Runtime::fail(std::string reason, bool oom)
     if (failed_)
         return;
     failed_ = true;
+    diag::recorder().record(diag::EventKind::RunState,
+                            oom ? "fail-oom" : "fail", scheduler_.now());
     if (!finalized_) {
         finalized_ = true;
         // A pause may be open if the failing collector was mid-GC.

@@ -239,6 +239,13 @@ class Runtime
     /** Apply the fault plan's current state (round boundaries). */
     void applyFaults();
 
+    /**
+     * Refresh diag::runContext() (heap/region totals, per-thread
+     * last-known state) for the crash handler; called at round
+     * boundaries while diag::armed().
+     */
+    void updateCrashContext();
+
     RunConfig config_;
     sim::Scheduler scheduler_;
     HeapContext heap_;
@@ -259,6 +266,7 @@ class Runtime
 
     bool failed_ = false;
     bool finalized_ = false;
+    bool denyWasActive_ = false;
     unsigned liveMutators_ = 0;
 };
 

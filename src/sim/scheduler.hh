@@ -106,6 +106,9 @@ class Scheduler
     /** Aggregate cycles executed so far, by thread kind. */
     const CycleTotals &cycleTotals() const { return cycleTotals_; }
 
+    /** Every registered thread (crash-forensics thread summaries). */
+    const std::vector<SimThread *> &threads() const { return threads_; }
+
     /**
      * Run scheduling rounds until @p done returns true (checked at
      * round boundaries), all threads finish, or the virtual-time

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the shared tool helpers in tools/: strict numeric flag
+ * parsing (cli_parse.hh) and REPRO-line assembly (repro.hh). The
+ * parsers fatal() on malformed input, so the rejection cases are
+ * death tests keyed on the diagnostic text.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cli_parse.hh"
+#include "lbo/record.hh"
+#include "repro.hh"
+
+namespace distill::cli
+{
+namespace
+{
+
+TEST(CliParse, ParseU64AcceptsDecimalAndHex)
+{
+    EXPECT_EQ(parseU64("--n", "0"), 0u);
+    EXPECT_EQ(parseU64("--n", "42"), 42u);
+    EXPECT_EQ(parseU64("--n", "18446744073709551615"), UINT64_MAX);
+    // Hex: diagnostic fault-plan seeds are written 0xD1A6... on REPRO
+    // lines and in test definitions.
+    EXPECT_EQ(parseU64("--fault-plan", "0xD1A6000000000000"),
+              0xD1A6000000000000ull);
+    EXPECT_EQ(parseU64("--n", "0Xff"), 255u);
+    EXPECT_EQ(parseU64("--n", "0x0"), 0u);
+}
+
+TEST(CliParseDeathTest, ParseU64RejectsMalformedInput)
+{
+    EXPECT_DEATH(parseU64("--n", ""), "non-negative integer");
+    EXPECT_DEATH(parseU64("--n", "-3"), "non-negative integer");
+    EXPECT_DEATH(parseU64("--n", "+3"), "non-negative integer");
+    EXPECT_DEATH(parseU64("--n", "12abc"), "non-negative integer");
+    // One past UINT64_MAX: must be overflow, not a silent wrap.
+    EXPECT_DEATH(parseU64("--n", "18446744073709551616"),
+                 "non-negative integer");
+    // A bare "0x" is not a hex number (no digits after the prefix).
+    EXPECT_DEATH(parseU64("--n", "0x"), "non-negative integer");
+    // The flag name must appear in the message.
+    EXPECT_DEATH(parseU64("--heap-bytes", "junk"), "--heap-bytes");
+}
+
+TEST(CliParseDeathTest, ParseCountRejectsZero)
+{
+    EXPECT_EQ(parseCount("--invocations", "3"), 3u);
+    EXPECT_DEATH(parseCount("--invocations", "0"), "at least 1");
+}
+
+TEST(CliParseDeathTest, ParseDoubleRejectsGarbage)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("--f", "2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("--f", "1e3"), 1000.0);
+    EXPECT_DOUBLE_EQ(parseDouble("--f", "-1.5"), -1.5);
+    EXPECT_DEATH(parseDouble("--f", ""), "expected a number");
+    EXPECT_DEATH(parseDouble("--f", "abc"), "expected a number");
+    EXPECT_DEATH(parseDouble("--f", "1.5x"), "expected a number");
+}
+
+TEST(CliParseDeathTest, ParsePositiveDoubleRejectsNonPositive)
+{
+    EXPECT_DOUBLE_EQ(parsePositiveDouble("--factor", "1.4"), 1.4);
+    EXPECT_DEATH(parsePositiveDouble("--factor", "0"), "must be > 0");
+    EXPECT_DEATH(parsePositiveDouble("--factor", "-1"), "must be > 0");
+}
+
+TEST(Repro, AppendFlagSkipsDefaultValue)
+{
+    std::string line = "x";
+    appendFlag(line, "--sched-seed", 0);
+    EXPECT_EQ(line, "x");
+    appendFlag(line, "--sched-seed", 7);
+    EXPECT_EQ(line, "x --sched-seed 7");
+    appendFlag(line, "--max-virtual-time", 100, 100);
+    EXPECT_EQ(line, "x --sched-seed 7");
+    appendFlag(line, "--max-virtual-time", 99, 100);
+    EXPECT_EQ(line, "x --sched-seed 7 --max-virtual-time 99");
+}
+
+TEST(Repro, BaseLineOmitsDefaultedFlags)
+{
+    lbo::RunRecord r;
+    r.bench = "jme";
+    r.collector = "Serial";
+    r.heapBytes = 1234;
+    r.seed = 42;
+    EXPECT_EQ(runRepro(r),
+              "REPRO: distill_run --bench jme --gc Serial "
+              "--heap-bytes 1234 --seed 42");
+}
+
+TEST(Repro, AllReplayFlagsAppearWhenNonDefault)
+{
+    lbo::RunRecord r;
+    r.bench = "jme";
+    r.collector = "ZGC";
+    r.heapBytes = 5767168;
+    r.seed = 9;
+    r.schedSeed = 7;
+    r.faultSeed = 0xD1A6000000000000ull;
+    ReproContext ctx;
+    ctx.maxVirtualTime = 99;
+    ctx.defaultMaxVirtualTime = 100;
+    ctx.watchdogMs = 3000;
+    EXPECT_EQ(runRepro(r, ctx),
+              "REPRO: distill_run --bench jme --gc ZGC "
+              "--heap-bytes 5767168 --seed 9 --sched-seed 7 "
+              "--fault-plan 15106762000060907520 "
+              "--max-virtual-time 99 --watchdog-ms 3000");
+}
+
+} // namespace
+} // namespace distill::cli

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the crash-forensics subsystem (src/diag/): flight-recorder
+ * ring semantics, the diagnostic fault-plan seed encoding that drives
+ * the hang/crash acceptance tests, the injector's livelock/crash
+ * latching, and the sidecar crash-report format (exercised through
+ * writeCrashReport directly, without dying).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "check/differential.hh"
+#include "diag/crash_handler.hh"
+#include "diag/flight_recorder.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
+#include "gc/collectors.hh"
+#include "heap/layout.hh"
+#include "rt/runtime.hh"
+
+namespace distill::diag
+{
+namespace
+{
+
+TEST(FlightRecorder, WrapAroundKeepsNewestTail)
+{
+    FlightRecorder &rec = recorder();
+    rec.reset();
+    constexpr std::uint64_t n = FlightRecorder::capacity + 50;
+    for (std::uint64_t i = 0; i < n; ++i)
+        rec.record(EventKind::GcEvent, "evt", i, i);
+    EXPECT_EQ(rec.total(), n);
+    EXPECT_EQ(rec.size(), FlightRecorder::capacity);
+    EXPECT_EQ(rec.dropped(), 50u);
+
+    static Event tail[FlightRecorder::capacity];
+    std::size_t got = rec.snapshot(tail, FlightRecorder::capacity);
+    ASSERT_EQ(got, FlightRecorder::capacity);
+    // Oldest-first: the first 50 events fell off the ring.
+    EXPECT_EQ(tail[0].atNs, 50u);
+    EXPECT_EQ(tail[got - 1].atNs, n - 1);
+    for (std::size_t i = 1; i < got; ++i)
+        EXPECT_EQ(tail[i].atNs, tail[i - 1].atNs + 1);
+}
+
+TEST(FlightRecorder, DominantLabelVotesOverRecentWindow)
+{
+    FlightRecorder &rec = recorder();
+    rec.reset();
+    EXPECT_STREQ(rec.dominantLabel(), "");
+    for (int i = 0; i < 3; ++i)
+        rec.record(EventKind::GcEvent, "mark", 10 + i);
+    for (int i = 0; i < 5; ++i)
+        rec.record(EventKind::PauseBegin, "young-pause", 20 + i);
+    EXPECT_STREQ(rec.dominantLabel(), "young-pause");
+    EXPECT_STREQ(rec.lastLabel(), "young-pause");
+
+    // Ties go to the most recent label.
+    rec.reset();
+    for (int i = 0; i < 3; ++i)
+        rec.record(EventKind::GcEvent, "older", i);
+    for (int i = 0; i < 3; ++i)
+        rec.record(EventKind::GcEvent, "newer", 10 + i);
+    EXPECT_STREQ(rec.dominantLabel(), "newer");
+}
+
+TEST(DiagPlan, SeedEncodesLivelockAndCrash)
+{
+    std::uint64_t livelock_seed = fault::FaultPlan::diagSeed(0);
+    EXPECT_TRUE(fault::FaultPlan::isDiagSeed(livelock_seed));
+    fault::FaultPlan plan = fault::FaultPlan::fromSeed(livelock_seed);
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_EQ(plan.events[0].kind, fault::FaultKind::Livelock);
+    EXPECT_EQ(plan.events[0].atNs, 2000u * 1000u); // 2 ms default
+
+    std::uint64_t crash_seed = fault::FaultPlan::diagSeed(SIGSEGV, 500);
+    plan = fault::FaultPlan::fromSeed(crash_seed);
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_EQ(plan.events[0].kind, fault::FaultKind::Crash);
+    EXPECT_EQ(plan.events[0].target, unsigned(SIGSEGV));
+    EXPECT_EQ(plan.events[0].atNs, 500u * 1000u);
+
+    // Historical plan seeds must keep their expansion: no diagnostic
+    // kinds may leak into the RNG-based plan space.
+    EXPECT_FALSE(fault::FaultPlan::isDiagSeed(16));
+    fault::FaultPlan legacy = fault::FaultPlan::fromSeed(16);
+    for (const fault::FaultEvent &e : legacy.events) {
+        EXPECT_NE(e.kind, fault::FaultKind::Livelock);
+        EXPECT_NE(e.kind, fault::FaultKind::Crash);
+    }
+}
+
+TEST(DiagPlan, InjectorLatchesCrashAndLivelock)
+{
+    fault::FaultInjector crash(
+        fault::FaultPlan::fromSeed(fault::FaultPlan::diagSeed(SIGSEGV,
+                                                              500)));
+    crash.advance(100'000); // 100 us: before the trigger
+    EXPECT_EQ(crash.dueCrashSignal(), 0);
+    crash.advance(600'000);
+    EXPECT_EQ(crash.dueCrashSignal(), SIGSEGV);
+
+    fault::FaultInjector livelock(
+        fault::FaultPlan::fromSeed(fault::FaultPlan::diagSeed(0, 500)));
+    livelock.advance(100'000);
+    EXPECT_FALSE(livelock.livelockDue());
+    livelock.advance(600'000);
+    EXPECT_TRUE(livelock.livelockDue());
+}
+
+TEST(CrashReport, WritesStructuredSidecar)
+{
+    FlightRecorder &rec = recorder();
+    rec.reset();
+    for (int i = 0; i < 40; ++i)
+        rec.record(EventKind::GcEvent, "young-pause", 1000 + i);
+    rec.record(EventKind::Fault, "fault-crash", 5000, SIGSEGV);
+
+    RunContext &ctx = runContext();
+    ctx = RunContext{};
+    ctx.nowNs = 123456;
+    ctx.heapBytes = 32 * MiB;
+    ctx.regionsTotal = 16;
+    ctx.regionsFree = 2;
+    ctx.regionsHeld = 1;
+    ctx.bytesAllocated = 777;
+    ctx.threadCount = ctx.threadsTotal = 2;
+    std::snprintf(ctx.threads[0].name, sizeof(ctx.threads[0].name),
+                  "mutator-0");
+    ctx.threads[0].kind = 'M';
+    ctx.threads[0].state = 0; // runnable
+    ctx.threads[0].cycles = 42;
+    std::snprintf(ctx.threads[1].name, sizeof(ctx.threads[1].name),
+                  "gc-0");
+    ctx.threads[1].kind = 'G';
+    ctx.threads[1].state = 1; // blocked
+    ctx.threads[1].cycles = 7;
+
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "distill_diag_report_test.report")
+            .string();
+    ASSERT_TRUE(writeCrashReport(path.c_str(), SIGSEGV, "crash"));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string report = ss.str();
+    EXPECT_NE(report.find("status: crash"), std::string::npos);
+    EXPECT_NE(report.find("signal: SIGSEGV ("), std::string::npos);
+    // 40 young-pause events vs 1 fault-crash: the dominant label in
+    // the recent window names the pattern, not the one-off.
+    EXPECT_NE(report.find("signature: SIGSEGV@young-pause"),
+              std::string::npos);
+    EXPECT_NE(report.find("virtual-time-ns: 123456"), std::string::npos);
+    EXPECT_NE(report.find("heap: bytes=33554432 regions=16 free=2 "
+                          "held=1 allocated=777"),
+              std::string::npos);
+    EXPECT_NE(report.find(
+                  "thread mutator-0 kind=M state=runnable cycles=42"),
+              std::string::npos);
+    EXPECT_NE(report.find("thread gc-0 kind=G state=blocked cycles=7"),
+              std::string::npos);
+    EXPECT_NE(report.find("end of report"), std::string::npos);
+    // The acceptance bar: the tail holds at least the last 32 events.
+    EXPECT_NE(report.find("showing last 41"), std::string::npos);
+
+    EXPECT_EQ(readSidecarSignature(path), "SIGSEGV@young-pause");
+    std::remove(path.c_str());
+}
+
+TEST(CrashReport, SignatureAndSignalNames)
+{
+    EXPECT_STREQ(signalName(SIGSEGV), "SIGSEGV");
+    EXPECT_STREQ(signalName(SIGABRT), "SIGABRT");
+    EXPECT_STREQ(signalName(SIGTERM), "SIGTERM");
+
+    recorder().reset();
+    char buf[128];
+    formatSignature(SIGABRT, buf, sizeof(buf));
+    EXPECT_STREQ(buf, "SIGABRT@none"); // empty ring
+
+    recorder().record(EventKind::Fault, "fault-livelock", 1);
+    formatSignature(SIGTERM, buf, sizeof(buf));
+    EXPECT_STREQ(buf, "SIGTERM@fault-livelock");
+}
+
+TEST(FlightRecorder, RealRunFeedsRecorder)
+{
+    // The recorder is fed from the metrics agent and runtime hook
+    // points alone; a plain run must leave a meaningful tail (>= 32
+    // events) for the crash handler to dump.
+    rt::RunConfig config;
+    config.heapBytes = 8 * heap::regionSize;
+    config.seed = 1234;
+    rt::Runtime runtime(config,
+                        gc::makeCollector(gc::CollectorKind::Serial),
+                        check::fuzzWorkload(60000, 2, 1234));
+    runtime.execute();
+    EXPECT_GE(recorder().total(), 32u);
+    EXPECT_STRNE(recorder().lastLabel(), "");
+}
+
+} // namespace
+} // namespace distill::diag

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "lbo/analyzer.hh"
 #include "lbo/record.hh"
@@ -151,8 +152,8 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     r.faultSeed = 99;
     r.schedSeed = 55;
     std::string line = r.toCsv();
-    for (int i = 0; i < 4; ++i)
-        line.resize(line.rfind(',')); // strip the four new columns
+    for (int i = 0; i < 6; ++i)
+        line.resize(line.rfind(',')); // strip down to the 32 legacy columns
 
     RunRecord back;
     ASSERT_TRUE(RunRecord::fromCsv(line, back));
@@ -167,11 +168,99 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     ok.completed = true;
     ok.oom = false;
     std::string ok_line = ok.toCsv();
-    for (int i = 0; i < 4; ++i)
+    for (int i = 0; i < 6; ++i)
         ok_line.resize(ok_line.rfind(','));
     ASSERT_TRUE(RunRecord::fromCsv(ok_line, back));
     EXPECT_EQ(back.status, "ok");
     EXPECT_FALSE(back.failed());
+}
+
+TEST(Record, PreForensicsCsvParses)
+{
+    // Rows written before the signature/sidecar columns existed (36
+    // fields) keep their stored failure columns and get empty
+    // forensics columns.
+    RunRecord r;
+    r.bench = "h2";
+    r.collector = "ZGC";
+    r.completed = false;
+    r.status = "timeout";
+    r.failReason = "virtual-time limit exceeded";
+    r.faultSeed = 16;
+    r.schedSeed = 3;
+    r.signature = "SIGSEGV@evacuate";
+    r.sidecar = "x.report";
+    std::string line = r.toCsv();
+    for (int i = 0; i < 2; ++i)
+        line.resize(line.rfind(',')); // strip signature + sidecar
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(line, back));
+    EXPECT_EQ(back.status, "timeout");
+    EXPECT_EQ(back.failReason, "virtual-time limit exceeded");
+    EXPECT_EQ(back.faultSeed, 16u);
+    EXPECT_TRUE(back.signature.empty());
+    EXPECT_TRUE(back.sidecar.empty());
+}
+
+TEST(Record, CsvRoundTripForensicsColumns)
+{
+    RunRecord r;
+    r.bench = "jme";
+    r.collector = "Serial";
+    r.completed = false;
+    r.status = "hang";
+    r.failReason = "wallclock-timeout after 3000ms";
+    r.signature = "SIGTERM@fault-livelock";
+    r.sidecar = "./distill-crash-jme-Serial-1-2-0.report";
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(r.toCsv(), back));
+    EXPECT_EQ(back.status, "hang");
+    EXPECT_EQ(back.signature, "SIGTERM@fault-livelock");
+    EXPECT_EQ(back.sidecar, r.sidecar);
+
+    // Clean rows leave both columns empty, so the line ends ",," and
+    // getline swallows the final empty field; parsing must restore it.
+    RunRecord clean;
+    clean.bench = "jme";
+    clean.collector = "Serial";
+    clean.completed = true;
+    std::string line = clean.toCsv();
+    ASSERT_EQ(line.back(), ',');
+    ASSERT_TRUE(RunRecord::fromCsv(line, back));
+    EXPECT_EQ(back.status, "ok");
+    EXPECT_TRUE(back.signature.empty());
+    EXPECT_TRUE(back.sidecar.empty());
+}
+
+TEST(Sweep, ResumeSkipsTruncatedTrailingLine)
+{
+    // A sweep killed mid-append leaves a final line without its
+    // newline; the resume loader must drop it (the partial row could
+    // parse "successfully" with corrupt values) and load the rest.
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "distill_resume_truncated.csv")
+            .string();
+    RunRecord full;
+    full.bench = "jme";
+    full.collector = "Serial";
+    full.heapBytes = 4 * MiB;
+    full.seed = 42;
+    full.completed = true;
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << RunRecord::csvHeader() << '\n';
+        out << full.toCsv() << '\n';
+        RunRecord partial = full;
+        partial.seed = 43;
+        std::string cut = partial.toCsv();
+        out << cut.substr(0, cut.size() / 2); // no trailing newline
+    }
+    SweepRunner runner;
+    EXPECT_EQ(runner.loadResumeFile(path), 1u);
+    std::remove(path.c_str());
 }
 
 // ----- analyzer: the paper's Tables II-V walkthrough -----------------

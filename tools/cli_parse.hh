@@ -19,16 +19,24 @@
 namespace distill::cli
 {
 
-/** Parse an unsigned integer; fatal() on garbage, sign, or overflow. */
+/**
+ * Parse an unsigned integer; fatal() on garbage, sign, or overflow.
+ * Accepts a 0x/0X prefix for hexadecimal — diagnostic fault-plan
+ * seeds (fault::FaultPlan::diagSeed) are tagged in their top bits and
+ * far more readable in hex on a REPRO line.
+ */
 inline std::uint64_t
 parseU64(const char *flag, const std::string &text)
 {
     if (text.empty() || text[0] == '-' || text[0] == '+')
         fatal("%s: expected a non-negative integer, got '%s'", flag,
               text.c_str());
+    bool hex = text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X');
     errno = 0;
     char *end = nullptr;
-    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    unsigned long long v =
+        std::strtoull(text.c_str(), &end, hex ? 16 : 10);
     if (errno == ERANGE || end == text.c_str() || *end != '\0')
         fatal("%s: expected a non-negative integer, got '%s'", flag,
               text.c_str());

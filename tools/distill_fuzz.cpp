@@ -53,6 +53,7 @@
 #include "gc/collectors.hh"
 #include "heap/layout.hh"
 #include "lbo/record.hh"
+#include "repro.hh"
 #include "rt/runtime.hh"
 
 using namespace distill;
@@ -168,6 +169,10 @@ oracleRun(const FuzzSettings &settings, gc::CollectorKind kind,
                               static_cast<unsigned long long>(
                                   settings.fault.seed));
         }
+        // A tightened virtual-time limit changes where a run ends;
+        // without it on the line the replay would not be identical.
+        cli::appendFlag(extra, "--max-virtual-time",
+                        settings.maxVirtualTime);
         std::printf("REPRO: distill_fuzz %s --ops=%zu --threads=%u%s\n",
                     check::reproLine(runtime).c_str(), settings.ops,
                     settings.threads, extra.c_str());
@@ -199,14 +204,18 @@ diffRun(const FuzzSettings &settings, std::uint64_t seed,
                 result.collectorsCompared);
     if (!result.ok) {
         std::printf("%s\n", result.report.c_str());
-        std::printf("REPRO: distill_fuzz --mode=diff --seed=%llu "
-                    "--sched-seed=%llu --heap=%llu --ref-heap=%llu "
-                    "--ops=%zu --threads=%u\n",
-                    static_cast<unsigned long long>(seed),
-                    static_cast<unsigned long long>(sched_seed),
-                    static_cast<unsigned long long>(settings.heapBytes),
-                    static_cast<unsigned long long>(settings.refHeapBytes),
-                    settings.ops, settings.threads);
+        std::string line = strprintf(
+            "REPRO: distill_fuzz --mode=diff --seed=%llu "
+            "--sched-seed=%llu --heap=%llu --ref-heap=%llu "
+            "--ops=%zu --threads=%u",
+            static_cast<unsigned long long>(seed),
+            static_cast<unsigned long long>(sched_seed),
+            static_cast<unsigned long long>(settings.heapBytes),
+            static_cast<unsigned long long>(settings.refHeapBytes),
+            settings.ops, settings.threads);
+        cli::appendFlag(line, "--max-virtual-time",
+                        settings.maxVirtualTime);
+        std::printf("%s\n", line.c_str());
     }
     return result.ok;
 }

@@ -10,12 +10,20 @@
  *   distill_run --bench h2 --gc Shenandoah [--heap-factor 3.0]
  *               [--heap-mib 24 | --heap-bytes N] [--seed 42]
  *               [--sched-seed S] [--fault-plan P]
- *               [--max-virtual-time NS] [--log] [--log-limit 40]
+ *               [--max-virtual-time NS] [--watchdog-ms MS]
+ *               [--log] [--log-limit 40]
  *
  * --heap-bytes overrides --heap-mib overrides --heap-factor; with
  * none, 3.0x of the measured min heap is used. --sched-seed,
  * --fault-plan and --max-virtual-time accept the values printed in a
  * sweep's REPRO lines, replaying a failed cell bit-identically.
+ *
+ * --watchdog-ms arms a wall-clock watchdog (src/diag/): when a hang
+ * cell is replayed (e.g. a livelock fault plan), the process prints
+ * "status=hang" with a sidecar report path and exits with code 124
+ * instead of hanging the shell. Crash handlers are armed with it, so
+ * replayed crashes also leave a sidecar report (distill-run-crash.report
+ * in the working directory).
  */
 
 #include <cstdio>
@@ -28,10 +36,13 @@
 #include "base/table.hh"
 #include "check/oracle.hh"
 #include "cli_parse.hh"
+#include "diag/crash_handler.hh"
 #include "fault/plan.hh"
 #include "heap/layout.hh"
+#include "lbo/record.hh"
 #include "lbo/sweep.hh"
 #include "metrics/agent.hh"
+#include "repro.hh"
 #include "rt/runtime.hh"
 #include "wl/suite.hh"
 #include "wl/workload.hh"
@@ -50,7 +61,8 @@ usage()
                  "--heap-bytes N]\n"
                  "                   [--seed S] [--sched-seed S] "
                  "[--fault-plan P]\n"
-                 "                   [--max-virtual-time NS] [--log] "
+                 "                   [--max-virtual-time NS] "
+                 "[--watchdog-ms MS] [--log] "
                  "[--log-limit N]\n"
                  "collectors: Epsilon Serial Parallel G1 Shenandoah ZGC\n"
                  "benchmarks: ");
@@ -75,6 +87,7 @@ main(int argc, char **argv)
     std::uint64_t sched_seed = 0;
     std::uint64_t fault_plan = 0;
     std::uint64_t max_virtual_time = 0;
+    std::uint64_t watchdog_ms = 0;
     bool show_log = false;
     std::size_t log_limit = 40;
 
@@ -120,6 +133,8 @@ main(int argc, char **argv)
         } else if (arg("--max-virtual-time")) {
             max_virtual_time =
                 cli::parseCount("--max-virtual-time", args[++i]);
+        } else if (arg("--watchdog-ms")) {
+            watchdog_ms = cli::parseCount("--watchdog-ms", args[++i]);
         } else if (arg("--log-limit")) {
             log_limit = cli::parseU64("--log-limit", args[++i]);
         } else if (args[i] == "--log") {
@@ -160,6 +175,16 @@ main(int argc, char **argv)
                     fault::FaultPlan::fromSeed(fault_plan)
                         .describe()
                         .c_str());
+
+    if (watchdog_ms > 0) {
+        // Replaying a hang (or crash) cell: arm forensics so the run
+        // dies with a sidecar report and "status=hang" on stdout
+        // instead of taking the shell hostage.
+        std::fflush(stdout);
+        diag::setSidecarPath("distill-run-crash.report");
+        diag::installCrashHandlers();
+        diag::armWallClockWatchdog(watchdog_ms);
+    }
 
     rt::Runtime runtime(config, gc::makeCollector(kind, env.gcOptions),
                         wl::makeWorkload(spec));
@@ -262,6 +287,19 @@ main(int argc, char **argv)
                 log.blank();
         }
         log.print();
+    }
+    if (!m.completed) {
+        lbo::RunRecord rr;
+        rr.bench = bench;
+        rr.collector = gc::collectorName(kind);
+        rr.heapBytes = config.heapBytes;
+        rr.seed = seed;
+        rr.schedSeed = sched_seed;
+        rr.faultSeed = fault_plan;
+        cli::ReproContext ctx;
+        ctx.maxVirtualTime = max_virtual_time;
+        ctx.watchdogMs = watchdog_ms;
+        std::printf("%s\n", cli::runRepro(rr, ctx).c_str());
     }
     return m.completed ? 0 : 1;
 }

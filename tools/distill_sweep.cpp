@@ -26,15 +26,26 @@
  *   --retries N        re-run failed perturbed cells up to N times
  *                      under re-derived schedule seeds.
  *   --isolate          fork per invocation; a crash becomes a
- *                      status=crash row instead of killing the sweep.
+ *                      status=crash row instead of killing the sweep,
+ *                      and the dying child leaves a flight-recorder
+ *                      sidecar report whose path and failure
+ *                      signature land in the row's forensics columns.
+ *   --watchdog-ms MS   wall-clock hang watchdog per isolated cell: an
+ *                      unresponsive child is SIGTERMed (dumping a
+ *                      status=hang sidecar) then SIGKILLed, and the
+ *                      cell records as status=hang. Requires
+ *                      --isolate; distinct from --max-virtual-time,
+ *                      which a livelocked child never reaches.
  *   --resume out.csv   checkpoint/resume: cells already recorded in
  *                      out.csv are skipped, fresh rows are appended as
- *                      they complete.
+ *                      they complete; a truncated trailing line (sweep
+ *                      killed mid-append) is skipped with a warning.
  *   --max-virtual-time NS  lower the virtual-time safety limit; runs
  *                      that hit it become status=timeout rows.
  *
  * Every failed cell prints a REPRO line replaying that single run:
  *   REPRO: distill_run --bench h2 --gc ZGC --heap-bytes N --seed S ...
+ * and `distill_triage out.csv` groups the failures by signature.
  */
 
 #include <cstdio>
@@ -50,6 +61,7 @@
 #include "cli_parse.hh"
 #include "fault/plan.hh"
 #include "lbo/sweep.hh"
+#include "repro.hh"
 #include "wl/suite.hh"
 
 using namespace distill;
@@ -80,34 +92,9 @@ usage()
         "[--csv out.csv] [--resume out.csv]\n"
         "                     [--fault-plan SEED] [--sched-seed SEED] "
         "[--retries N] [--isolate]\n"
-        "                     [--max-virtual-time NS]\n");
+        "                     [--watchdog-ms MS] "
+        "[--max-virtual-time NS]\n");
     std::exit(2);
-}
-
-std::string
-reproFor(const lbo::RunRecord &r, std::uint64_t max_virtual_time,
-         std::uint64_t default_max)
-{
-    std::string line = strprintf(
-        "REPRO: distill_run --bench %s --gc %s --heap-bytes %llu "
-        "--seed %llu",
-        r.bench.c_str(), r.collector.c_str(),
-        static_cast<unsigned long long>(r.heapBytes),
-        static_cast<unsigned long long>(r.seed));
-    if (r.schedSeed != 0) {
-        line += strprintf(" --sched-seed %llu",
-                          static_cast<unsigned long long>(r.schedSeed));
-    }
-    if (r.faultSeed != 0) {
-        line += strprintf(" --fault-plan %llu",
-                          static_cast<unsigned long long>(r.faultSeed));
-    }
-    if (max_virtual_time != default_max) {
-        line += strprintf(" --max-virtual-time %llu",
-                          static_cast<unsigned long long>(
-                              max_virtual_time));
-    }
-    return line;
 }
 
 } // namespace
@@ -127,6 +114,7 @@ main(int argc, char **argv)
     std::uint64_t sched_seed = 0;
     unsigned retries = 0;
     bool isolate = false;
+    std::uint64_t watchdog_ms = 0;
     const std::uint64_t default_max_vt = sim::MachineConfig{}.maxVirtualTime;
     std::uint64_t max_virtual_time = default_max_vt;
 
@@ -162,6 +150,8 @@ main(int argc, char **argv)
         } else if (arg("--max-virtual-time")) {
             max_virtual_time = cli::parseCount("--max-virtual-time",
                                                argv[++i]);
+        } else if (arg("--watchdog-ms")) {
+            watchdog_ms = cli::parseCount("--watchdog-ms", argv[++i]);
         } else if (std::strcmp(argv[i], "--isolate") == 0) {
             isolate = true;
         } else if (std::strcmp(argv[i], "--no-epsilon") == 0) {
@@ -180,6 +170,10 @@ main(int argc, char **argv)
     config.includeEpsilon = include_epsilon;
     config.retries = retries;
     config.isolateInvocations = isolate;
+    if (watchdog_ms > 0 && !isolate)
+        fatal("--watchdog-ms requires --isolate (the watchdog kills "
+              "and post-mortems a forked child)");
+    config.watchdogMs = watchdog_ms;
     config.heapFactors =
         factors.empty() ? lbo::paperHeapFactors() : factors;
 
@@ -242,19 +236,23 @@ main(int argc, char **argv)
             std::cout << r.toCsv() << '\n';
     }
 
+    cli::ReproContext repro_ctx;
+    repro_ctx.maxVirtualTime = max_virtual_time;
+    repro_ctx.defaultMaxVirtualTime = default_max_vt;
+    repro_ctx.watchdogMs = watchdog_ms;
     unsigned failed = 0;
     for (const lbo::RunRecord &r : records) {
         if (!r.failed())
             continue;
         ++failed;
-        std::fprintf(stderr, "FAIL %s/%s heap=%llu inv=%u: %s (%s)\n",
+        std::fprintf(stderr, "FAIL %s/%s heap=%llu inv=%u: %s (%s)%s%s\n",
                      r.bench.c_str(), r.collector.c_str(),
                      static_cast<unsigned long long>(r.heapBytes),
                      r.invocation, r.status.c_str(),
-                     r.failReason.c_str());
-        std::fprintf(stderr, "%s\n",
-                     reproFor(r, max_virtual_time, default_max_vt)
-                         .c_str());
+                     r.failReason.c_str(),
+                     r.sidecar.empty() ? "" : " report: ",
+                     r.sidecar.c_str());
+        std::fprintf(stderr, "%s\n", cli::runRepro(r, repro_ctx).c_str());
     }
     if (!csv_path.empty())
         inform("wrote %zu records to %s", records.size(),

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Failure triage: group a sweep CSV's failed cells by signature.
+ *
+ * A large faulted/fuzzed sweep can fail hundreds of cells for a
+ * handful of underlying causes. Rather than eyeballing hundreds of
+ * FAIL lines, this tool buckets the failures by their deduplicatable
+ * signature — for crash/hang cells the "SIGNAME@dominant-event" line
+ * from the child's flight-recorder sidecar report, otherwise the
+ * status plus a digit-stripped failure reason — and prints one group
+ * per underlying cause, largest first, each with a representative
+ * REPRO line to replay and the sidecar report to read.
+ *
+ * Usage:
+ *   distill_triage sweep.csv [--max-virtual-time NS] [--watchdog-ms MS]
+ *
+ * The two optional flags reproduce sweep-wide settings that are not
+ * recorded per cell, so the printed REPRO lines match the original
+ * sweep invocation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cli_parse.hh"
+#include "lbo/record.hh"
+#include "repro.hh"
+#include "sim/machine.hh"
+
+using namespace distill;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: distill_triage <sweep.csv> "
+                 "[--max-virtual-time NS] [--watchdog-ms MS]\n");
+    std::exit(2);
+}
+
+/**
+ * Triage key for a failed record. Prefer the forensic signature; the
+ * fallback folds cells that differ only in numbers (heap sizes,
+ * virtual times, region counts embedded in failure reasons) into one
+ * group, so "oom;heap 12 regions" and "oom;heap 17 regions" dedupe.
+ */
+std::string
+signatureFor(const lbo::RunRecord &r)
+{
+    if (!r.signature.empty())
+        return r.signature;
+    std::string folded;
+    for (char c : r.failReason) {
+        if (c >= '0' && c <= '9') {
+            if (!folded.empty() && folded.back() == '#')
+                continue;
+            folded.push_back('#');
+        } else {
+            folded.push_back(c);
+        }
+    }
+    return r.status + "@" + (folded.empty() ? "no-reason" : folded);
+}
+
+struct Group
+{
+    std::vector<lbo::RunRecord> records;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string csv_path;
+    cli::ReproContext ctx;
+    ctx.defaultMaxVirtualTime = sim::MachineConfig{}.maxVirtualTime;
+    ctx.maxVirtualTime = ctx.defaultMaxVirtualTime;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *name) {
+            if (std::strcmp(argv[i], name) != 0)
+                return false;
+            if (i + 1 >= argc)
+                usage();
+            return true;
+        };
+        if (arg("--max-virtual-time")) {
+            ctx.maxVirtualTime =
+                cli::parseCount("--max-virtual-time", argv[++i]);
+        } else if (arg("--watchdog-ms")) {
+            ctx.watchdogMs = cli::parseCount("--watchdog-ms", argv[++i]);
+        } else if (argv[i][0] == '-') {
+            usage();
+        } else if (csv_path.empty()) {
+            csv_path = argv[i];
+        } else {
+            usage();
+        }
+    }
+    if (csv_path.empty())
+        usage();
+
+    std::ifstream in(csv_path);
+    if (!in)
+        fatal("cannot open %s", csv_path.c_str());
+
+    std::size_t total = 0;
+    std::size_t failures = 0;
+    // std::map: deterministic group order for equal counts.
+    std::map<std::string, Group> groups;
+    std::string line;
+    while (std::getline(in, line)) {
+        lbo::RunRecord r;
+        if (!lbo::RunRecord::fromCsv(line, r))
+            continue; // header or garbage
+        ++total;
+        if (!r.failed())
+            continue;
+        ++failures;
+        groups[signatureFor(r)].records.push_back(std::move(r));
+    }
+
+    std::printf("%zu records, %zu failed, %zu distinct signatures\n",
+                total, failures, groups.size());
+    if (groups.empty())
+        return 0;
+
+    std::vector<const std::pair<const std::string, Group> *> order;
+    for (const auto &entry : groups)
+        order.push_back(&entry);
+    std::sort(order.begin(), order.end(),
+              [](const auto *a, const auto *b) {
+                  if (a->second.records.size() != b->second.records.size())
+                      return a->second.records.size() >
+                          b->second.records.size();
+                  return a->first < b->first;
+              });
+
+    for (const auto *entry : order) {
+        const std::string &sig = entry->first;
+        const std::vector<lbo::RunRecord> &rs = entry->second.records;
+        const lbo::RunRecord &rep = rs.front();
+        std::printf("\nsignature: %s\n", sig.c_str());
+        std::printf("  count: %zu (status=%s)\n", rs.size(),
+                    rep.status.c_str());
+        // The affected corner of the grid, compactly.
+        std::map<std::string, unsigned> cells;
+        for (const lbo::RunRecord &r : rs)
+            ++cells[r.bench + "/" + r.collector];
+        std::string where;
+        for (const auto &[cell, n] : cells) {
+            if (!where.empty())
+                where += ", ";
+            where += n > 1 ? strprintf("%s x%u", cell.c_str(), n) : cell;
+        }
+        std::printf("  cells: %s\n", where.c_str());
+        std::printf("  reason: %s\n", rep.failReason.c_str());
+        if (!rep.sidecar.empty())
+            std::printf("  report: %s\n", rep.sidecar.c_str());
+        std::printf("  %s\n", cli::runRepro(rep, ctx).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared REPRO-line assembly for the command-line tools.
+ *
+ * Every tool that detects a failure prints a one-line `distill_run`
+ * invocation replaying that single run bit-identically. The optional
+ * flags (schedule seed, fault plan, virtual-time limit, wall-clock
+ * watchdog) follow one rule — emitted only when they differ from the
+ * default — which used to be re-implemented per tool; this header is
+ * now the single authority, so a new replay-relevant knob is added
+ * once and appears on every REPRO line.
+ */
+
+#ifndef DISTILL_TOOLS_REPRO_HH
+#define DISTILL_TOOLS_REPRO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+#include "lbo/record.hh"
+
+namespace distill::cli
+{
+
+/**
+ * Replay-relevant settings that live outside the RunRecord (they are
+ * sweep-wide, not per-cell). Defaults mean "omit the flag".
+ */
+struct ReproContext
+{
+    /** Active virtual-time safety limit (ns). */
+    std::uint64_t maxVirtualTime = 0;
+
+    /** The default limit; the flag is omitted when they match. */
+    std::uint64_t defaultMaxVirtualTime = 0;
+
+    /**
+     * Wall-clock watchdog (ms). Included whenever nonzero so a
+     * pasted hang REPRO terminates instead of hanging the shell.
+     */
+    std::uint64_t watchdogMs = 0;
+};
+
+/** Append " --flag value" when @p value differs from @p skip_if. */
+inline void
+appendFlag(std::string &line, const char *flag, std::uint64_t value,
+           std::uint64_t skip_if = 0)
+{
+    if (value != skip_if) {
+        line += strprintf(" %s %llu", flag,
+                          static_cast<unsigned long long>(value));
+    }
+}
+
+/**
+ * The canonical one-line replay command for a sweep cell:
+ *   REPRO: distill_run --bench B --gc C --heap-bytes N --seed S [...]
+ */
+inline std::string
+runRepro(const lbo::RunRecord &r, const ReproContext &ctx = {})
+{
+    std::string line = strprintf(
+        "REPRO: distill_run --bench %s --gc %s --heap-bytes %llu "
+        "--seed %llu",
+        r.bench.c_str(), r.collector.c_str(),
+        static_cast<unsigned long long>(r.heapBytes),
+        static_cast<unsigned long long>(r.seed));
+    appendFlag(line, "--sched-seed", r.schedSeed);
+    appendFlag(line, "--fault-plan", r.faultSeed);
+    appendFlag(line, "--max-virtual-time", ctx.maxVirtualTime,
+               ctx.defaultMaxVirtualTime);
+    appendFlag(line, "--watchdog-ms", ctx.watchdogMs);
+    return line;
+}
+
+} // namespace distill::cli
+
+#endif // DISTILL_TOOLS_REPRO_HH
