@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "base/logging.hh"
 #include "diag/flight_recorder.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -368,6 +369,19 @@ readSidecarSignature(const std::string &path)
             return line.substr(prefix.size());
     }
     return "";
+}
+
+std::string
+sidecarReportPath(const std::string &dir, const std::string &bench,
+                  const std::string &collector,
+                  std::uint64_t heap_bytes, std::uint64_t seed,
+                  unsigned invocation)
+{
+    return strprintf("%s/distill-crash-%s-%s-%llu-%llu-%u.report",
+                     dir.c_str(), bench.c_str(), collector.c_str(),
+                     static_cast<unsigned long long>(heap_bytes),
+                     static_cast<unsigned long long>(seed),
+                     invocation);
 }
 
 } // namespace distill::diag

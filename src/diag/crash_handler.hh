@@ -133,6 +133,18 @@ bool writeCrashReport(const char *path, int sig, const char *status);
  */
 std::string readSidecarSignature(const std::string &path);
 
+/**
+ * Deterministic per-cell sidecar report path under @p dir, so a sweep
+ * parent can find a dead child's forensics dump without any pipe
+ * coordination: the same (bench, collector, heap, seed, invocation)
+ * always names the same file. (Parent- and child-side helper.)
+ */
+std::string sidecarReportPath(const std::string &dir,
+                              const std::string &bench,
+                              const std::string &collector,
+                              std::uint64_t heap_bytes,
+                              std::uint64_t seed, unsigned invocation);
+
 } // namespace distill::diag
 
 #endif // DISTILL_DIAG_CRASH_HANDLER_HH

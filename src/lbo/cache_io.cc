@@ -1,0 +1,56 @@
+#include "lbo/cache_io.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#define DISTILL_HAVE_FORK 1
+#endif
+
+namespace distill::lbo::detail
+{
+
+std::string
+cacheDir()
+{
+    const char *dir = std::getenv("DISTILL_CACHE_DIR");
+    return dir != nullptr && *dir != '\0' ? dir : ".";
+}
+
+bool
+cacheEnabledFromEnv()
+{
+    const char *no_cache = std::getenv("DISTILL_NO_CACHE");
+    return !(no_cache != nullptr && no_cache[0] == '1');
+}
+
+void
+appendLineAtomic(const std::string &path, const std::string &payload)
+{
+#ifdef DISTILL_HAVE_FORK
+    int fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0)
+        return;
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        ssize_t n =
+            write(fd, payload.data() + off, payload.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    close(fd);
+#else
+    std::ofstream out(path, std::ios::app);
+    if (out)
+        out << payload << std::flush;
+#endif
+}
+
+} // namespace distill::lbo::detail

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * On-disk cache plumbing shared by the sweep runner and the min-heap
+ * finder: the cache directory/epoch convention and the crash-safe
+ * append primitive.
+ */
+
+#ifndef DISTILL_LBO_CACHE_IO_HH
+#define DISTILL_LBO_CACHE_IO_HH
+
+#include <string>
+
+namespace distill::lbo::detail
+{
+
+/** Bump when the cost model, workloads, or collectors change. */
+constexpr int cacheEpoch = 3;
+
+/** DISTILL_CACHE_DIR, defaulting to ".". */
+std::string cacheDir();
+
+/** Whether DISTILL_NO_CACHE leaves the on-disk caches enabled. */
+bool cacheEnabledFromEnv();
+
+/**
+ * Crash-safe cache append: the whole payload goes out in a single
+ * unbuffered O_APPEND write, so a sweep process dying mid-append
+ * leaves at most one truncated line (which loaders skip) and can
+ * never interleave with another writer's row. The buffered-stream
+ * fallback on non-POSIX builds keeps the old best-effort behavior.
+ */
+void appendLineAtomic(const std::string &path, const std::string &payload);
+
+} // namespace distill::lbo::detail
+
+#endif // DISTILL_LBO_CACHE_IO_HH

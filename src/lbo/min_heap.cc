@@ -1,0 +1,188 @@
+#include "lbo/min_heap.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "diag/crash_handler.hh"
+#include "heap/layout.hh"
+#include "lbo/cache_io.hh"
+#include "lbo/pool.hh"
+#include "lbo/sweep.hh"
+
+namespace distill::lbo
+{
+
+MinHeapFinder::MinHeapFinder()
+{
+    cacheEnabled_ = detail::cacheEnabledFromEnv();
+    cachePath_ = strprintf("%s/distill_minheap_v%d.csv",
+                           detail::cacheDir().c_str(),
+                           detail::cacheEpoch);
+    if (!cacheEnabled_)
+        return;
+    std::ifstream heaps(cachePath_);
+    std::string line;
+    if (heaps) {
+        while (std::getline(heaps, line)) {
+            auto comma = line.find(',');
+            if (comma == std::string::npos)
+                continue;
+            cache_[line.substr(0, comma)] =
+                std::strtoull(line.c_str() + comma + 1, nullptr, 10);
+        }
+    }
+}
+
+void
+MinHeapFinder::append(const std::string &bench, std::uint64_t bytes)
+{
+    if (!cacheEnabled_)
+        return;
+    detail::appendLineAtomic(
+        cachePath_, strprintf("%s,%llu\n", bench.c_str(),
+                              static_cast<unsigned long long>(bytes)));
+}
+
+std::uint64_t
+MinHeapFinder::search(const wl::WorkloadSpec &spec,
+                      const Environment &env)
+{
+    // The minimum heap is a property of the workload: probe without
+    // fault injection, schedule perturbation, or a tightened
+    // virtual-time limit so the heap-factor grid stays anchored to the
+    // same baseline across experiments (a low --max-virtual-time would
+    // otherwise make every probe "fail" and the search diverge).
+    Environment probe_env = env;
+    probe_env.schedSeed = 0;
+    probe_env.faultSeed = 0;
+    probe_env.machine.maxVirtualTime =
+        sim::MachineConfig{}.maxVirtualTime;
+    auto probe = [&](std::uint64_t regions) {
+        RunRecord r = runOne(spec, gc::CollectorKind::G1,
+                             regions * heap::regionSize, 1.0,
+                             invocationSeed(0xF00D, spec.name, 0), 0,
+                             probe_env);
+        return r.completed;
+    };
+
+    std::uint64_t hi = 8;
+    while (!probe(hi)) {
+        hi *= 2;
+        if (hi > 8192)
+            fatal("cannot find a working heap for %s",
+                  spec.name.c_str());
+    }
+    std::uint64_t lo = hi / 2; // hi works; search (lo, hi]
+    while (lo + 1 < hi) {
+        std::uint64_t mid = (lo + hi) / 2;
+        if (probe(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi * heap::regionSize;
+}
+
+std::uint64_t
+MinHeapFinder::minHeap(const wl::WorkloadSpec &spec,
+                       const Environment &env)
+{
+    if (spec.minHeapBytes > 0)
+        return spec.minHeapBytes;
+    auto it = cache_.find(spec.name);
+    if (it != cache_.end())
+        return it->second;
+
+    inform("measuring min heap for %s (G1)...", spec.name.c_str());
+    std::uint64_t bytes = search(spec, env);
+    inform("min heap for %s: %llu regions (%.1f MiB)",
+           spec.name.c_str(),
+           static_cast<unsigned long long>(bytes / heap::regionSize),
+           static_cast<double>(bytes) / static_cast<double>(MiB));
+    cache_[spec.name] = bytes;
+    append(spec.name, bytes);
+    return bytes;
+}
+
+void
+MinHeapFinder::measureAll(const std::vector<wl::WorkloadSpec> &specs,
+                          const Environment &env, unsigned jobs,
+                          std::uint64_t watchdog_ms)
+{
+    // Deduplicate by name and drop everything already known.
+    std::vector<const wl::WorkloadSpec *> misses;
+    std::unordered_map<std::string, bool> seen;
+    for (const wl::WorkloadSpec &spec : specs) {
+        if (spec.minHeapBytes > 0 || cache_.count(spec.name) != 0 ||
+            seen[spec.name])
+            continue;
+        seen[spec.name] = true;
+        misses.push_back(&spec);
+    }
+    if (misses.empty())
+        return;
+    if (jobs <= 1 || !ProcessPool::available() || misses.size() == 1) {
+        for (const wl::WorkloadSpec *spec : misses)
+            minHeap(*spec, env);
+        return;
+    }
+
+    inform("measuring min heaps for %zu benchmarks, %u at a time...",
+           misses.size(), jobs);
+    ProcessPool pool(jobs);
+    ProgressMeter progress("min-heap", misses.size());
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+        const wl::WorkloadSpec &spec = *misses[i];
+        PoolJob job;
+        job.tag = i;
+        // One child performs the whole up-to-~24-run search, so its
+        // deadline is a generous multiple of the per-cell budget.
+        job.watchdogMs = watchdog_ms > 0 ? watchdog_ms * 32 : 0;
+        job.sidecar = diag::sidecarReportPath(
+            detail::cacheDir(), spec.name, "minheap",
+            0, 0xF00D, 0);
+        job.work = [spec, env]() {
+            return strprintf("%llu",
+                             static_cast<unsigned long long>(
+                                 search(spec, env)));
+        };
+        pool.submit(std::move(job));
+    }
+    pool.run(
+        [&](PoolResult result) {
+            const wl::WorkloadSpec &spec = *misses[result.tag];
+            std::uint64_t bytes = 0;
+            if (result.spawned && !result.hung && !result.payload.empty())
+                bytes = std::strtoull(result.payload.c_str(), nullptr,
+                                      10);
+            if (bytes == 0 || bytes % heap::regionSize != 0) {
+                // The probe child died or shipped garbage: re-run the
+                // search in-process, where a genuine "cannot find a
+                // working heap" surfaces its fatal() diagnostic.
+                warn("min-heap probe child for %s failed; measuring "
+                     "in-process",
+                     spec.name.c_str());
+                ++failed;
+                bytes = search(spec, env);
+            }
+            inform("min heap for %s: %llu regions (%.1f MiB)",
+                   spec.name.c_str(),
+                   static_cast<unsigned long long>(bytes /
+                                                   heap::regionSize),
+                   static_cast<double>(bytes) /
+                       static_cast<double>(MiB));
+            cache_[spec.name] = bytes;
+            append(spec.name, bytes);
+            ++done;
+            progress.update(done, failed, 0);
+        },
+        [&](std::size_t inflight, std::size_t) {
+            progress.update(done, failed, inflight);
+        });
+    progress.finish(done, failed);
+}
+
+} // namespace distill::lbo

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimum-heap measurement (paper §IV-A(c)): the smallest heap at
+ * which a benchmark completes under G1, found by exponential probe +
+ * binary search and cached on disk. Extracted from SweepRunner so the
+ * probes can run through the same process pool as sweep cells: one
+ * forked child per benchmark carries out its whole search and ships
+ * the answer back over a pipe, so a 16-benchmark grid measures all
+ * its heap anchors concurrently instead of one benchmark at a time.
+ */
+
+#ifndef DISTILL_LBO_MIN_HEAP_HH
+#define DISTILL_LBO_MIN_HEAP_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lbo/run.hh"
+#include "wl/spec.hh"
+
+namespace distill::lbo
+{
+
+/**
+ * Finds and caches per-benchmark minimum heaps.
+ */
+class MinHeapFinder
+{
+  public:
+    MinHeapFinder();
+
+    /**
+     * Minimum heap (bytes) at which @p spec completes under G1. Honors
+     * spec.minHeapBytes when pre-filled, then the on-disk cache, then
+     * measures (and caches) by search().
+     */
+    std::uint64_t minHeap(const wl::WorkloadSpec &spec,
+                          const Environment &env);
+
+    /**
+     * Measure every not-yet-known benchmark in @p specs, up to
+     * @p jobs at a time in forked children (one child per benchmark;
+     * each child runs its full probe sequence). Results land in the
+     * cache exactly as sequential minHeap() calls would — the search
+     * is deterministic, so the two orders are indistinguishable. A
+     * child that dies is retried sequentially in-process (which
+     * surfaces the real fatal() diagnostic). With @p watchdog_ms > 0
+     * each child gets a wall-clock deadline of 32x the per-cell
+     * budget, covering the search's up-to-~24 probe runs.
+     */
+    void measureAll(const std::vector<wl::WorkloadSpec> &specs,
+                    const Environment &env, unsigned jobs,
+                    std::uint64_t watchdog_ms = 0);
+
+    /**
+     * The pure search (no cache, no logging): exponential probe up
+     * from 8 regions, then binary search for the smallest completing
+     * region count. fatal() above 8192 regions. Probes run without
+     * fault injection, schedule perturbation, or a tightened
+     * virtual-time limit so the heap-factor grid stays anchored to
+     * the same baseline across experiments.
+     */
+    static std::uint64_t search(const wl::WorkloadSpec &spec,
+                                const Environment &env);
+
+  private:
+    void append(const std::string &bench, std::uint64_t bytes);
+
+    bool cacheEnabled_ = true;
+    std::string cachePath_;
+    std::unordered_map<std::string, std::uint64_t> cache_;
+};
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_MIN_HEAP_HH

@@ -1,0 +1,545 @@
+#include "lbo/pool.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "diag/crash_handler.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define DISTILL_HAVE_FORK 1
+#endif
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+namespace distill::lbo
+{
+
+namespace pool_testing
+{
+
+namespace
+{
+unsigned g_spawn_attempt = 0;
+unsigned g_fail_from = 0;
+unsigned g_fail_count = 0;
+} // namespace
+
+void
+failSpawnAttempts(unsigned from, unsigned count)
+{
+    g_spawn_attempt = 0;
+    g_fail_from = from;
+    g_fail_count = count;
+}
+
+bool
+consumeSpawnFault()
+{
+    if (g_fail_count == 0)
+        return false;
+    ++g_spawn_attempt;
+    return g_spawn_attempt >= g_fail_from &&
+        g_spawn_attempt < g_fail_from + g_fail_count;
+}
+
+} // namespace pool_testing
+
+namespace detail
+{
+
+void
+writeAll(int fd, const std::string &payload)
+{
+#ifdef DISTILL_HAVE_FORK
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        ssize_t n = write(fd, payload.data() + off, payload.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+#else
+    (void)fd;
+    (void)payload;
+#endif
+}
+
+void
+maybeTestLinger()
+{
+#ifdef DISTILL_HAVE_FORK
+    // Test hook: hold the pipe open after shipping a complete payload,
+    // simulating a child whose teardown (cache flush, atexit work)
+    // outlives the watchdog deadline. See the hang-misclassification
+    // regression tests.
+    const char *ms = std::getenv("DISTILL_TEST_CHILD_LINGER_MS");
+    if (ms != nullptr && *ms != '\0') {
+        long v = std::atol(ms);
+        if (v > 0)
+            usleep(static_cast<useconds_t>(v) * 1000);
+    }
+#endif
+}
+
+} // namespace detail
+
+DrainStatus
+drainUntil(int fd, std::string &buf,
+           std::chrono::steady_clock::time_point deadline)
+{
+#ifdef DISTILL_HAVE_FORK
+    char tmp[4096];
+    while (true) {
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0)
+            return DrainStatus::Deadline;
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int pr = poll(&pfd, 1,
+                      static_cast<int>(std::min<long long>(remaining,
+                                                           1000)));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return DrainStatus::Error;
+        }
+        if (pr == 0)
+            continue; // re-check the deadline
+        if (pfd.revents & POLLNVAL)
+            return DrainStatus::Error;
+        ssize_t n = read(fd, tmp, sizeof(tmp));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return DrainStatus::Error;
+        }
+        if (n == 0)
+            return DrainStatus::Eof;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+#else
+    (void)fd;
+    (void)buf;
+    (void)deadline;
+    return DrainStatus::Error;
+#endif
+}
+
+// ----- ProcessPool ----------------------------------------------------
+
+struct ProcessPool::Child
+{
+    PoolJob job;
+#ifdef DISTILL_HAVE_FORK
+    pid_t pid = -1;
+#endif
+    int fd = -1;
+    std::string buf;
+    bool pipeDone = false; //!< EOF reached or drain gave up
+    bool drainError = false;
+    bool hung = false;
+    bool termSent = false;
+    bool killSent = false;
+    bool reaped = false;
+    int waitStatus = 0;
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point killAt;
+};
+
+ProcessPool::ProcessPool(unsigned jobs, std::uint64_t grace_ms)
+    : jobs_(jobs == 0 ? 1 : jobs), graceMs_(grace_ms)
+{
+}
+
+bool
+ProcessPool::available()
+{
+#ifdef DISTILL_HAVE_FORK
+    return true;
+#else
+    return false;
+#endif
+}
+
+void
+ProcessPool::submit(PoolJob job)
+{
+    queue_.push_back(std::move(job));
+}
+
+#ifdef DISTILL_HAVE_FORK
+
+namespace
+{
+
+/** @return 0 on success, else the spawn errno. */
+int
+spawnChild(PoolJob &job, int &out_fd, pid_t &out_pid,
+           const std::vector<int> &sibling_fds)
+{
+    if (pool_testing::consumeSpawnFault())
+        return EMFILE; // injected: as if the fd table were full
+    if (!job.sidecar.empty())
+        unlink(job.sidecar.c_str());
+    int fds[2];
+    if (pipe(fds) != 0)
+        return errno != 0 ? errno : EMFILE;
+    pid_t pid = fork();
+    if (pid < 0) {
+        int err = errno != 0 ? errno : EAGAIN;
+        close(fds[0]);
+        close(fds[1]);
+        return err;
+    }
+    if (pid == 0) {
+        close(fds[0]);
+        // Read ends inherited from earlier spawns belong to the
+        // parent's event loop, not to this child.
+        for (int sib : sibling_fds)
+            if (sib >= 0)
+                close(sib);
+#if defined(__linux__)
+        // A SIGKILLed sweep parent must not leave livelocked orphans
+        // spinning forever (they hold no pipe; nothing reaps them).
+        prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+        if (!job.sidecar.empty()) {
+            diag::setSidecarPath(job.sidecar);
+            diag::installCrashHandlers();
+        }
+        std::string payload = job.work ? job.work() : std::string();
+        detail::writeAll(fds[1], payload);
+        detail::maybeTestLinger();
+        close(fds[1]);
+        _exit(0);
+    }
+    close(fds[1]);
+    out_fd = fds[0];
+    out_pid = pid;
+    return 0;
+}
+
+} // namespace
+
+void
+ProcessPool::run(const std::function<void(PoolResult)> &on_result,
+                 const std::function<void(std::size_t, std::size_t)>
+                     &on_tick)
+{
+    using clock = std::chrono::steady_clock;
+    std::vector<Child> inflight;
+    auto last_tick = clock::now();
+    // After a failed spawn with children in flight, hold further spawn
+    // attempts until a child frees its slot (and its fds/pid): retrying
+    // immediately would just fail again against the same pressure.
+    bool spawn_blocked = false;
+
+    while (!queue_.empty() || !inflight.empty()) {
+        while (!spawn_blocked && inflight.size() < jobs_ &&
+               !queue_.empty()) {
+            PoolJob job = std::move(queue_.front());
+            queue_.pop_front();
+            std::vector<int> sibling_fds;
+            for (const Child &c : inflight)
+                sibling_fds.push_back(c.fd);
+            int fd = -1;
+            pid_t pid = -1;
+            int err = spawnChild(job, fd, pid, sibling_fds);
+            if (err == 0) {
+                Child c;
+                c.fd = fd;
+                c.pid = pid;
+                if (job.watchdogMs > 0) {
+                    c.hasDeadline = true;
+                    c.deadline = clock::now() +
+                        std::chrono::milliseconds(job.watchdogMs);
+                }
+                c.job = std::move(job);
+                inflight.push_back(std::move(c));
+                continue;
+            }
+            ++job.spawnRetries;
+            if (inflight.empty()) {
+                // Nothing in flight, so no slot will ever free: hand
+                // the job back for an explicit in-process fallback.
+                warn("pool: cannot fork isolated child (%s) with no "
+                     "children in flight; degrading job %llu to "
+                     "in-process execution",
+                     std::strerror(err),
+                     static_cast<unsigned long long>(job.tag));
+                PoolResult r;
+                r.tag = job.tag;
+                r.spawned = false;
+                r.spawnRetries = job.spawnRetries;
+                on_result(std::move(r));
+            } else {
+                warn("pool: cannot fork isolated child (%s); will "
+                     "retry job %llu when one of %zu running children "
+                     "frees its slot",
+                     std::strerror(err),
+                     static_cast<unsigned long long>(job.tag),
+                     inflight.size());
+                queue_.push_front(std::move(job));
+                spawn_blocked = true;
+            }
+        }
+
+        // One poll over every open child pipe, bounded by the nearest
+        // watchdog/grace deadline and the ~1 s progress tick.
+        auto now = clock::now();
+        int timeout_ms = 1000;
+        for (const Child &c : inflight) {
+            if (c.reaped)
+                continue;
+            if (c.hasDeadline && !c.killSent) {
+                auto at = c.termSent ? c.killAt : c.deadline;
+                auto rem = std::chrono::duration_cast<
+                               std::chrono::milliseconds>(at - now)
+                               .count();
+                timeout_ms = static_cast<int>(std::clamp<long long>(
+                    rem, 0, timeout_ms));
+            }
+        }
+
+        std::vector<struct pollfd> pfds;
+        std::vector<std::size_t> owner;
+        for (std::size_t i = 0; i < inflight.size(); ++i) {
+            if (!inflight[i].pipeDone && inflight[i].fd >= 0) {
+                pfds.push_back({inflight[i].fd, POLLIN, 0});
+                owner.push_back(i);
+            }
+        }
+        if (!pfds.empty()) {
+            int pr = poll(pfds.data(),
+                          static_cast<nfds_t>(pfds.size()), timeout_ms);
+            if (pr < 0 && errno != EINTR) {
+                // Parent-side poll failure: give up on the pipes (the
+                // children are healthy; their exits still get reaped)
+                // rather than misclassify anything as a hang.
+                for (std::size_t i : owner) {
+                    Child &c = inflight[i];
+                    c.drainError = true;
+                    c.pipeDone = true;
+                    close(c.fd);
+                    c.fd = -1;
+                }
+            } else if (pr > 0) {
+                for (std::size_t k = 0; k < pfds.size(); ++k) {
+                    Child &c = inflight[owner[k]];
+                    if (pfds[k].revents == 0)
+                        continue;
+                    if (pfds[k].revents & POLLNVAL) {
+                        c.drainError = true;
+                        c.pipeDone = true;
+                        c.fd = -1;
+                        continue;
+                    }
+                    char tmp[4096];
+                    ssize_t n = read(c.fd, tmp, sizeof(tmp));
+                    if (n > 0) {
+                        c.buf.append(tmp,
+                                     static_cast<std::size_t>(n));
+                    } else if (n == 0) {
+                        close(c.fd);
+                        c.fd = -1;
+                        c.pipeDone = true;
+                    } else if (errno != EINTR) {
+                        c.drainError = true;
+                        close(c.fd);
+                        c.fd = -1;
+                        c.pipeDone = true;
+                    }
+                }
+            }
+        } else if (!inflight.empty()) {
+            // Pipes are done but children not yet reaped.
+            poll(nullptr, 0, 20);
+        }
+
+        enforceDeadlines(inflight);
+
+        // Reap everything that exited, without blocking.
+        while (true) {
+            int status = 0;
+            pid_t p = waitpid(-1, &status, WNOHANG);
+            if (p <= 0)
+                break;
+            for (Child &c : inflight) {
+                if (c.pid == p) {
+                    c.reaped = true;
+                    c.waitStatus = status;
+                    break;
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < inflight.size();) {
+            Child &c = inflight[i];
+            if (!(c.pipeDone && c.reaped)) {
+                ++i;
+                continue;
+            }
+            PoolResult r;
+            r.tag = c.job.tag;
+            r.payload = std::move(c.buf);
+            r.hung = c.hung;
+            r.drainError = c.drainError;
+            r.waitStatus = c.waitStatus;
+            r.spawnRetries = c.job.spawnRetries;
+            inflight.erase(inflight.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            spawn_blocked = false; // a slot just freed
+            on_result(std::move(r));
+        }
+
+        now = clock::now();
+        if (on_tick && now - last_tick >= std::chrono::seconds(1)) {
+            last_tick = now;
+            on_tick(inflight.size(), queue_.size());
+        }
+    }
+}
+
+void
+ProcessPool::enforceDeadlines(std::vector<Child> &inflight)
+{
+    auto now = std::chrono::steady_clock::now();
+    for (Child &c : inflight) {
+        if (!c.hasDeadline || c.reaped)
+            continue;
+        if (!c.termSent && now >= c.deadline) {
+            c.hung = true;
+            // A complete payload at the deadline means only the
+            // teardown is slow: take the result, skip the SIGTERM
+            // sidecar dance, and end the child immediately.
+            bool complete = (c.pipeDone && !c.drainError) ||
+                (c.job.payloadComplete && c.job.payloadComplete(c.buf));
+            if (complete) {
+                kill(c.pid, SIGKILL);
+                c.termSent = true;
+                c.killSent = true;
+            } else {
+                // SIGTERM first: the child's handler dumps a
+                // status=hang sidecar before exiting.
+                kill(c.pid, SIGTERM);
+                c.termSent = true;
+                c.killAt = now + std::chrono::milliseconds(graceMs_);
+            }
+        } else if (c.termSent && !c.killSent && now >= c.killAt) {
+            kill(c.pid, SIGKILL);
+            c.killSent = true;
+        }
+    }
+}
+
+#else // !DISTILL_HAVE_FORK
+
+void
+ProcessPool::run(const std::function<void(PoolResult)> &on_result,
+                 const std::function<void(std::size_t, std::size_t)>
+                     &on_tick)
+{
+    (void)on_tick;
+    while (!queue_.empty()) {
+        PoolJob job = std::move(queue_.front());
+        queue_.pop_front();
+        PoolResult r;
+        r.tag = job.tag;
+        r.spawned = false;
+        on_result(std::move(r));
+    }
+}
+
+void
+ProcessPool::enforceDeadlines(std::vector<Child> &)
+{
+}
+
+#endif // DISTILL_HAVE_FORK
+
+// ----- ProgressMeter --------------------------------------------------
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total)
+    : label_(std::move(label)), total_(total),
+#ifdef DISTILL_HAVE_FORK
+      tty_(isatty(STDERR_FILENO) != 0),
+#else
+      tty_(false),
+#endif
+      start_(std::chrono::steady_clock::now()),
+      lastPrint_(start_ - std::chrono::hours(1))
+{
+}
+
+namespace
+{
+
+std::string
+formatEta(double seconds)
+{
+    if (seconds < 0)
+        return "?";
+    auto s = static_cast<long long>(seconds + 0.5);
+    if (s >= 60)
+        return strprintf("%lldm%02llds", s / 60, s % 60);
+    return strprintf("%llds", s);
+}
+
+} // namespace
+
+void
+ProgressMeter::update(std::size_t done, std::size_t failed,
+                      std::size_t inflight, bool force)
+{
+    if (!verbose() || total_ == 0)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (!force && now - lastPrint_ < std::chrono::seconds(1))
+        return;
+    lastPrint_ = now;
+    double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    std::string eta = done > 0
+        ? formatEta(elapsed / static_cast<double>(done) *
+                    static_cast<double>(total_ - done))
+        : "?";
+    std::fprintf(stderr,
+                 "%s%s: %zu/%zu done, %zu failed, %zu in flight, "
+                 "ETA %s%s",
+                 tty_ ? "\r" : "", label_.c_str(), done, total_,
+                 failed, inflight, eta.c_str(),
+                 tty_ ? "   " : "\n");
+    if (tty_)
+        std::fflush(stderr);
+    printedAny_ = true;
+}
+
+void
+ProgressMeter::finish(std::size_t done, std::size_t failed)
+{
+    if (!verbose() || total_ == 0)
+        return;
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    std::fprintf(stderr, "%s%s: %zu/%zu done, %zu failed in %s\n",
+                 tty_ && printedAny_ ? "\r" : "", label_.c_str(),
+                 done, total_, failed, formatEta(elapsed).c_str());
+}
+
+} // namespace distill::lbo

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * N-way forked-child process pool for crash-isolated grid execution.
+ *
+ * The sweep's unit of work is one child process that computes a small
+ * payload (a CSV record, a min-heap probe result) and ships it back
+ * over a pipe. ProcessPool keeps up to `jobs` such children in flight
+ * behind a single poll(2) event loop: it multiplexes every child's
+ * pipe, enforces each child's independent wall-clock watchdog
+ * (SIGTERM -> grace drain -> SIGKILL, without ever blocking the
+ * loop), and reaps via waitpid(-1, ..., WNOHANG). Completion order is
+ * whatever the hardware gives; callers that need canonical order
+ * buffer by job tag.
+ *
+ * Spawn failures (pipe()/fork() returning -1 under fd or process
+ * pressure) are not silently degraded: the job is re-queued and
+ * retried when a running child frees its slot, and only when nothing
+ * is in flight — so nothing will ever free — is the job handed back
+ * to the caller with `spawned = false` for an explicit, warned-about
+ * fallback.
+ *
+ * On non-POSIX builds the pool reports unavailable and every job
+ * comes back `spawned = false`; callers run the work in-process.
+ */
+
+#ifndef DISTILL_LBO_POOL_HH
+#define DISTILL_LBO_POOL_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace distill::lbo
+{
+
+/**
+ * Outcome of draining a child's pipe.
+ *
+ * The pre-pool sweep conflated the last two as one `false`, so an
+ * fd-table hiccup in the *parent* was misread as a deadline expiry
+ * and a healthy child got SIGTERMed and recorded as a hang. Keep the
+ * three causes distinct: only Deadline justifies killing the child.
+ */
+enum class DrainStatus
+{
+    Eof,      //!< the child closed its end; the payload is complete
+    Deadline, //!< the watchdog deadline expired with the pipe open
+    Error,    //!< poll()/read() failed in the parent (not the child!)
+};
+
+/**
+ * Drain @p fd into @p buf until EOF or @p deadline.
+ * Retries EINTR; any other poll()/read() failure (or a POLLNVAL
+ * revent) returns DrainStatus::Error with whatever was read so far.
+ */
+DrainStatus drainUntil(int fd, std::string &buf,
+                       std::chrono::steady_clock::time_point deadline);
+
+/** One unit of work to run in a forked child. */
+struct PoolJob
+{
+    /** Caller's identifier, echoed in the result (e.g. cell index). */
+    std::uint64_t tag = 0;
+
+    /** Failed spawn attempts so far; managed by the pool, leave 0. */
+    unsigned spawnRetries = 0;
+
+    /** Wall-clock deadline for this child in ms (0 = none). */
+    std::uint64_t watchdogMs = 0;
+
+    /**
+     * When nonempty, the child arms the diag crash handlers with this
+     * sidecar report path before working; the parent unlinks any
+     * stale file at the path just before forking.
+     */
+    std::string sidecar;
+
+    /**
+     * Optional completeness test for the shipped payload. At the
+     * watchdog deadline a child whose payload already satisfies this
+     * predicate is SIGKILLed without the SIGTERM/sidecar dance: the
+     * result is in hand, only the teardown was slow (`hung` is still
+     * reported so the caller can note it).
+     */
+    std::function<bool(const std::string &)> payloadComplete;
+
+    /** Runs in the child; the returned string is shipped verbatim. */
+    std::function<std::string()> work;
+};
+
+/** What became of one PoolJob. */
+struct PoolResult
+{
+    std::uint64_t tag = 0;
+
+    /** Everything the child shipped before its pipe closed. */
+    std::string payload;
+
+    /**
+     * False when pipe()/fork() failed and no slot could ever free
+     * (nothing in flight): the work did NOT run; the caller must run
+     * it in-process or synthesize a failure. All other fields except
+     * spawnRetries are meaningless when false.
+     */
+    bool spawned = true;
+
+    /** The watchdog deadline expired before the pipe reached EOF. */
+    bool hung = false;
+
+    /**
+     * poll()/read() failed in the parent, so the payload may be
+     * truncated through no fault of the child; the child was reaped
+     * normally, not killed as a hang.
+     */
+    bool drainError = false;
+
+    /** Raw waitpid() status (valid when spawned). */
+    int waitStatus = 0;
+
+    /** Spawn attempts that failed before this job ran (or gave up). */
+    unsigned spawnRetries = 0;
+};
+
+/**
+ * The pool itself. Not thread-safe: submit() and run() are called
+ * from one thread; parallelism comes from the forked children.
+ */
+class ProcessPool
+{
+  public:
+    /**
+     * @param jobs      Children kept in flight (>= 1).
+     * @param graceMs   SIGTERM -> SIGKILL escalation grace per child.
+     */
+    explicit ProcessPool(unsigned jobs, std::uint64_t grace_ms = 2000);
+
+    /** Whether forked isolation is available on this platform. */
+    static bool available();
+
+    /** Queue a job. Legal from within run()'s onResult (retries). */
+    void submit(PoolJob job);
+
+    /**
+     * Drain the queue: keep up to `jobs` children in flight until
+     * every submitted job (including ones submitted by @p on_result)
+     * has produced a PoolResult. @p on_tick, when set, fires roughly
+     * once per second with (in-flight, queued) for progress display.
+     */
+    void run(const std::function<void(PoolResult)> &on_result,
+             const std::function<void(std::size_t, std::size_t)>
+                 &on_tick = {});
+
+    std::size_t queued() const { return queue_.size(); }
+
+  private:
+    struct Child;
+
+    void enforceDeadlines(std::vector<Child> &inflight);
+
+    unsigned jobs_;
+    std::uint64_t graceMs_;
+    std::deque<PoolJob> queue_;
+};
+
+namespace pool_testing
+{
+
+/**
+ * Test hook: make spawn attempts [from, from + count) (1-based,
+ * counted across the process) fail as if pipe() had returned -1, to
+ * exercise the spawn-retry and degraded-isolation paths without
+ * exhausting real kernel resources. Affects both the pool and the
+ * sequential isolated runner.
+ */
+void failSpawnAttempts(unsigned from, unsigned count);
+
+/** Consume one spawn attempt; true = this attempt must fail. */
+bool consumeSpawnFault();
+
+} // namespace pool_testing
+
+namespace detail
+{
+
+/** write(2) @p payload to @p fd whole, retrying EINTR/short writes. */
+void writeAll(int fd, const std::string &payload);
+
+/** DISTILL_TEST_CHILD_LINGER_MS hook (see the hang regression tests). */
+void maybeTestLinger();
+
+} // namespace detail
+
+/**
+ * Rate-limited stderr progress line for long pools: counts, in-flight
+ * and a throughput ETA. Rewrites in place on a tty; emits plain
+ * newline-terminated lines (suitable for CI log artifacts) otherwise.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::string label, std::size_t total);
+
+    /** Refresh the line (rate-limited to ~1/s unless @p force). */
+    void update(std::size_t done, std::size_t failed,
+                std::size_t inflight, bool force = false);
+
+    /** Final line (always printed; terminates a tty rewrite line). */
+    void finish(std::size_t done, std::size_t failed);
+
+  private:
+    std::string label_;
+    std::size_t total_;
+    bool tty_;
+    bool printedAny_ = false;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPrint_;
+};
+
+} // namespace distill::lbo
+
+#endif // DISTILL_LBO_POOL_HH

@@ -16,8 +16,11 @@ constexpr std::size_t legacyFieldCount = 32;
 /** Field count of the pre-forensics layout (no signature/sidecar). */
 constexpr std::size_t failureFieldCount = 36;
 
+/** Field count of the pre-notes layout (no diagnostic metadata). */
+constexpr std::size_t forensicsFieldCount = 38;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 38;
+constexpr std::size_t currentFieldCount = 39;
 
 } // namespace
 
@@ -31,7 +34,7 @@ RunRecord::csvHeader()
            "meteredP90Ns,meteredP99Ns,meteredP9999Ns,meteredMaxNs,"
            "simpleP50Ns,simpleP99Ns,simpleP9999Ns,allocStallNs,"
            "degeneratedGcs,bytesAllocated,status,failReason,faultSeed,"
-           "schedSeed,signature,sidecar";
+           "schedSeed,signature,sidecar,notes";
 }
 
 const char *
@@ -79,7 +82,7 @@ RunRecord::toCsv() const
         << bytesAllocated << ',' << status << ','
         << sanitizeReason(failReason) << ',' << faultSeed << ','
         << schedSeed << ',' << sanitizeReason(signature) << ','
-        << sanitizeReason(sidecar);
+        << sanitizeReason(sidecar) << ',' << sanitizeReason(notes);
     return out.str();
 }
 
@@ -99,6 +102,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         fields.emplace_back();
     if (fields.size() != legacyFieldCount &&
         fields.size() != failureFieldCount &&
+        fields.size() != forensicsFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -148,13 +152,17 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.faultSeed = 0;
             out.schedSeed = 0;
         }
-        if (fields.size() >= currentFieldCount) {
+        if (fields.size() >= forensicsFieldCount) {
             out.signature = fields[i++];
             out.sidecar = fields[i++];
         } else {
             out.signature.clear();
             out.sidecar.clear();
         }
+        if (fields.size() >= currentFieldCount)
+            out.notes = fields[i++];
+        else
+            out.notes.clear();
     } catch (const std::exception &) {
         return false;
     }

@@ -58,6 +58,18 @@ struct RunRecord
     /** Path of the crash-forensics sidecar report, when one exists. */
     std::string sidecar;
 
+    /**
+     * Status-free diagnostic metadata, ";"-separated: conditions worth
+     * recording that do NOT make the run a failure. Currently
+     * "slow-teardown" (the child shipped a complete record but its
+     * teardown outlived the watchdog deadline), "isolation-degraded"
+     * (pipe()/fork() failed, so the cell ran unprotected in the sweep
+     * process) and "spawn-retried=N" (the pool re-queued the cell N
+     * times before a slot freed). Empty on a clean isolated run —
+     * never compared, never parsed back into behavior.
+     */
+    std::string notes;
+
     double wallNs = 0;
     double cycles = 0;
     double stwWallNs = 0;
@@ -91,10 +103,11 @@ struct RunRecord
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * the current 38-field layout as well as the two historical ones
-     * (32 fields before the status/failReason columns existed, 36
-     * before signature/sidecar); legacy rows get status derived from
-     * their completed/oom flags and empty forensics columns.
+     * the current 39-field layout as well as the three historical
+     * ones (32 fields before the status/failReason columns existed,
+     * 36 before signature/sidecar, 38 before notes); legacy rows get
+     * status derived from their completed/oom flags and empty
+     * forensics/notes columns.
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

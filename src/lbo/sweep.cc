@@ -10,14 +10,11 @@
 #include "base/logging.hh"
 #include "diag/crash_handler.hh"
 #include "heap/layout.hh"
+#include "lbo/cache_io.hh"
+#include "lbo/pool.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
-#include <cerrno>
-#include <fcntl.h>
-#include <poll.h>
-#include <signal.h>
 #include <sys/wait.h>
-#include <unistd.h>
 #define DISTILL_HAVE_FORK 1
 #endif
 
@@ -27,71 +24,129 @@ namespace distill::lbo
 namespace
 {
 
-/** Bump when the cost model, workloads, or collectors change. */
-constexpr int cacheEpoch = 3;
-
-std::string
-cacheDir()
+/** Append a ';'-separated entry to a record's notes column. */
+void
+appendNote(RunRecord &record, const std::string &note)
 {
-    const char *dir = std::getenv("DISTILL_CACHE_DIR");
-    return dir != nullptr && *dir != '\0' ? dir : ".";
-}
-
-/**
- * Deterministic per-cell sidecar report path, so the parent can find
- * a dead child's forensics dump without any pipe coordination.
- */
-std::string
-sidecarPathFor(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
-               std::uint64_t heap_bytes, std::uint64_t seed,
-               unsigned invocation)
-{
-    return strprintf("%s/distill-crash-%s-%s-%llu-%llu-%u.report",
-                     cacheDir().c_str(), spec.name.c_str(),
-                     gc::collectorName(collector),
-                     static_cast<unsigned long long>(heap_bytes),
-                     static_cast<unsigned long long>(seed), invocation);
+    if (!record.notes.empty())
+        record.notes += ';';
+    record.notes += note;
 }
 
 #ifdef DISTILL_HAVE_FORK
 
 /**
- * Drain @p fd into @p buf until EOF or @p deadline.
- * @return true on EOF (the child closed its end), false on deadline.
+ * Whether a child's shipped bytes already contain one complete,
+ * parseable record line. Used as the pool's payload-completeness test:
+ * a child that satisfies this at its watchdog deadline delivered its
+ * result — only the teardown is slow — and must not be misrecorded as
+ * a hang.
  */
 bool
-drainUntil(int fd, std::string &buf,
-           std::chrono::steady_clock::time_point deadline)
+completeRecordLine(const std::string &buf)
 {
-    char tmp[4096];
-    while (true) {
-        auto remaining =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                deadline - std::chrono::steady_clock::now())
-                .count();
-        if (remaining <= 0)
-            return false;
-        struct pollfd pfd = {fd, POLLIN, 0};
-        int pr = poll(&pfd, 1,
-                      static_cast<int>(std::min<long long>(remaining,
-                                                           1000)));
-        if (pr < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
+    auto nl = buf.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    RunRecord r;
+    return RunRecord::fromCsv(buf.substr(0, nl), r);
+}
+
+/**
+ * Turn one isolated child's PoolResult into the cell's RunRecord:
+ * either the record the child shipped (possibly annotated), or a
+ * synthesized crash/hang/error failure record enriched with whatever
+ * forensics the crash handlers left behind. Shared by the sequential
+ * and pooled executors so the two produce byte-identical records.
+ */
+RunRecord
+finalizeIsolated(const wl::WorkloadSpec &spec,
+                 gc::CollectorKind collector, std::uint64_t heap_bytes,
+                 double heap_factor, std::uint64_t seed,
+                 unsigned invocation, const Environment &env,
+                 std::uint64_t watchdog_ms, const std::string &sidecar,
+                 const PoolResult &result)
+{
+    std::string buf = result.payload;
+    if (!buf.empty() && buf.back() == '\n')
+        buf.pop_back();
+    RunRecord parsed;
+    bool have_record = RunRecord::fromCsv(buf, parsed);
+    bool exited_ok = WIFEXITED(result.waitStatus) &&
+        WEXITSTATUS(result.waitStatus) == 0;
+
+    RunRecord r;
+    // A complete record is accepted when the child exited cleanly —
+    // and also when the watchdog ended it (slow teardown: the result
+    // was already in hand; killing the lingering child doesn't unmake
+    // it). A child that *crashed* after shipping a record still counts
+    // as a crash: its teardown may validate state the record depends
+    // on.
+    if (have_record && (exited_ok || result.hung)) {
+        r = parsed;
+        if (result.hung)
+            appendNote(r, "slow-teardown");
+        if (result.drainError)
+            appendNote(r, "drain-error");
+    } else {
+        // The child died (or hung, or the parent lost its pipe) before
+        // a record arrived: synthesize a failure record so the cell is
+        // accounted for and reproducible.
+        r.bench = spec.name;
+        r.collector = gc::collectorName(collector);
+        r.heapFactor = collector == gc::CollectorKind::Epsilon
+            ? 0.0
+            : heap_factor;
+        r.heapBytes = collector == gc::CollectorKind::Epsilon
+            ? env.machine.memoryBudget
+            : heap_bytes;
+        r.seed = seed;
+        r.invocation = invocation;
+        r.faultSeed = env.faultSeed;
+        r.schedSeed = env.schedSeed;
+        r.completed = false;
+        r.oom = false;
+        if (result.drainError) {
+            // The *parent's* poll()/read() failed, so the payload may
+            // be truncated through no fault of the child; blaming the
+            // child as a hang (and SIGTERMing it) is the bug this
+            // branch fixes. Distinct status so triage can tell an
+            // infrastructure loss from a real child failure.
+            r.status = "error";
+            r.failReason = RunRecord::sanitizeReason(
+                "parent pipe poll/read error; child record lost");
+        } else if (result.hung) {
+            r.status = "hang";
+            r.failReason = RunRecord::sanitizeReason(strprintf(
+                "wallclock-timeout after %llums",
+                static_cast<unsigned long long>(watchdog_ms)));
+        } else {
+            r.status = "crash";
+            if (WIFSIGNALED(result.waitStatus)) {
+                int sig = WTERMSIG(result.waitStatus);
+                r.failReason = RunRecord::sanitizeReason(
+                    strprintf("child killed by %s (signal %d)",
+                              diag::signalName(sig), sig));
+            } else if (WIFEXITED(result.waitStatus) &&
+                       WEXITSTATUS(result.waitStatus) != 0) {
+                r.failReason = RunRecord::sanitizeReason(
+                    strprintf("child exited %d",
+                              WEXITSTATUS(result.waitStatus)));
+            } else {
+                r.failReason = "child produced no record";
+            }
         }
-        if (pr == 0)
-            continue; // re-check the deadline
-        ssize_t n = read(fd, tmp, sizeof(tmp));
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
+        if (std::ifstream(sidecar).good()) {
+            r.sidecar = sidecar;
+            r.signature = RunRecord::sanitizeReason(
+                diag::readSidecarSignature(sidecar));
         }
-        if (n == 0)
-            return true;
-        buf.append(tmp, static_cast<std::size_t>(n));
     }
+    if (result.spawnRetries > 0) {
+        appendNote(r,
+                   strprintf("spawn-retried=%u", result.spawnRetries));
+    }
+    return r;
 }
 
 #endif // DISTILL_HAVE_FORK
@@ -108,6 +163,12 @@ drainUntil(int fd, std::string &buf,
  * additionally enforces a wall-clock deadline: an unresponsive child
  * gets SIGTERM (its handler writes a status=hang sidecar), then after
  * a short grace period SIGKILL, and the cell records as status="hang".
+ *
+ * Implemented as a one-slot ProcessPool so the sequential and jobs>1
+ * paths share every line of child setup, drain, watchdog, and record
+ * finalization. When pipe()/fork() fails the cell runs unprotected in
+ * the sweep process — loudly: a warning is emitted and the record
+ * carries an "isolation-degraded" note (it used to happen silently).
  */
 RunRecord
 runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
@@ -116,118 +177,39 @@ runIsolated(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
             const Environment &env, std::uint64_t watchdog_ms)
 {
 #ifdef DISTILL_HAVE_FORK
-    std::string sidecar =
-        sidecarPathFor(spec, collector, heap_bytes, seed, invocation);
-    // A stale sidecar from an earlier sweep at the same path would be
-    // misattributed to this child; a successful run must leave none.
-    unlink(sidecar.c_str());
-    int fds[2];
-    if (pipe(fds) != 0) {
-        return runOne(spec, collector, heap_bytes, heap_factor, seed,
-                      invocation, env);
-    }
-    pid_t pid = fork();
-    if (pid < 0) {
-        close(fds[0]);
-        close(fds[1]);
-        return runOne(spec, collector, heap_bytes, heap_factor, seed,
-                      invocation, env);
-    }
-    if (pid == 0) {
-        close(fds[0]);
-        diag::setSidecarPath(sidecar);
-        diag::installCrashHandlers();
+    std::string sidecar = diag::sidecarReportPath(
+        detail::cacheDir(), spec.name, gc::collectorName(collector),
+        heap_bytes, seed, invocation);
+    ProcessPool pool(1);
+    PoolJob job;
+    job.watchdogMs = watchdog_ms;
+    job.sidecar = sidecar;
+    job.payloadComplete = completeRecordLine;
+    job.work = [&]() {
         RunRecord r = runOne(spec, collector, heap_bytes, heap_factor,
                              seed, invocation, env);
         std::string line = r.toCsv();
         line.push_back('\n');
-        std::size_t off = 0;
-        while (off < line.size()) {
-            ssize_t n =
-                write(fds[1], line.data() + off, line.size() - off);
-            if (n <= 0)
-                break;
-            off += static_cast<std::size_t>(n);
+        return line;
+    };
+    pool.submit(std::move(job));
+    RunRecord out;
+    pool.run([&](PoolResult result) {
+        if (!result.spawned) {
+            warn("running %s/%s invocation %u unprotected in-process "
+                 "(isolation degraded: cannot fork)",
+                 spec.name.c_str(), gc::collectorName(collector),
+                 invocation);
+            out = runOne(spec, collector, heap_bytes, heap_factor,
+                         seed, invocation, env);
+            appendNote(out, "isolation-degraded");
+            return;
         }
-        close(fds[1]);
-        _exit(0);
-    }
-    close(fds[1]);
-    std::string buf;
-    bool hung = false;
-    if (watchdog_ms > 0) {
-        auto deadline = std::chrono::steady_clock::now() +
-            std::chrono::milliseconds(watchdog_ms);
-        if (!drainUntil(fds[0], buf, deadline)) {
-            // Wall-clock deadline expired with the pipe still open: a
-            // livelocked child never advances virtual time, so this is
-            // the only authority that ends it. SIGTERM first so its
-            // handler can dump a status=hang sidecar, then SIGKILL.
-            hung = true;
-            kill(pid, SIGTERM);
-            drainUntil(fds[0], buf,
-                       std::chrono::steady_clock::now() +
-                           std::chrono::milliseconds(2000));
-            kill(pid, SIGKILL);
-        }
-    } else {
-        char tmp[4096];
-        ssize_t n;
-        while ((n = read(fds[0], tmp, sizeof(tmp))) > 0)
-            buf.append(tmp, static_cast<std::size_t>(n));
-    }
-    close(fds[0]);
-    int status = 0;
-    waitpid(pid, &status, 0);
-    if (!buf.empty() && buf.back() == '\n')
-        buf.pop_back();
-    RunRecord r;
-    if (!hung && WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
-        RunRecord::fromCsv(buf, r)) {
-        return r;
-    }
-    // The child died (or hung) before reporting: synthesize a failure
-    // record so the cell is accounted for and reproducible, enriched
-    // with whatever forensics the crash handlers left behind.
-    r = RunRecord{};
-    r.bench = spec.name;
-    r.collector = gc::collectorName(collector);
-    r.heapFactor = collector == gc::CollectorKind::Epsilon ? 0.0
-                                                           : heap_factor;
-    r.heapBytes = collector == gc::CollectorKind::Epsilon
-        ? env.machine.memoryBudget
-        : heap_bytes;
-    r.seed = seed;
-    r.invocation = invocation;
-    r.faultSeed = env.faultSeed;
-    r.schedSeed = env.schedSeed;
-    r.completed = false;
-    r.oom = false;
-    if (hung) {
-        r.status = "hang";
-        r.failReason = RunRecord::sanitizeReason(strprintf(
-            "wallclock-timeout after %llums",
-            static_cast<unsigned long long>(watchdog_ms)));
-    } else {
-        r.status = "crash";
-        if (WIFSIGNALED(status)) {
-            int sig = WTERMSIG(status);
-            r.failReason = RunRecord::sanitizeReason(
-                strprintf("child killed by %s (signal %d)",
-                          diag::signalName(sig), sig));
-        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
-            r.failReason = RunRecord::sanitizeReason(strprintf(
-                "child exited %d", WEXITSTATUS(status)));
-        } else {
-            r.failReason = "child produced no record";
-        }
-    }
-    if (std::ifstream(sidecar).good()) {
-        r.sidecar = sidecar;
-        r.signature = RunRecord::sanitizeReason(
-            diag::readSidecarSignature(sidecar));
-    }
-    return r;
+        out = finalizeIsolated(spec, collector, heap_bytes, heap_factor,
+                               seed, invocation, env, watchdog_ms,
+                               sidecar, result);
+    });
+    return out;
 #else
     (void)watchdog_ms;
     return runOne(spec, collector, heap_bytes, heap_factor, seed,
@@ -270,12 +252,10 @@ invocationSeed(std::uint64_t base_seed, const std::string &bench,
 
 SweepRunner::SweepRunner()
 {
-    const char *no_cache = std::getenv("DISTILL_NO_CACHE");
-    cacheEnabled_ = !(no_cache != nullptr && no_cache[0] == '1');
+    cacheEnabled_ = detail::cacheEnabledFromEnv();
     runCachePath_ = strprintf("%s/distill_runs_v%d.csv",
-                              cacheDir().c_str(), cacheEpoch);
-    minHeapCachePath_ = strprintf("%s/distill_minheap_v%d.csv",
-                                  cacheDir().c_str(), cacheEpoch);
+                              detail::cacheDir().c_str(),
+                              detail::cacheEpoch);
     if (cacheEnabled_)
         loadCaches();
 }
@@ -320,16 +300,6 @@ SweepRunner::loadCaches()
             }
         }
     }
-    std::ifstream heaps(minHeapCachePath_);
-    if (heaps) {
-        while (std::getline(heaps, line)) {
-            auto comma = line.find(',');
-            if (comma == std::string::npos)
-                continue;
-            minHeapCache_[line.substr(0, comma)] =
-                std::strtoull(line.c_str() + comma + 1, nullptr, 10);
-        }
-    }
 }
 
 std::size_t
@@ -372,44 +342,6 @@ SweepRunner::loadResumeFile(const std::string &path)
     return loaded;
 }
 
-namespace
-{
-
-/**
- * Crash-safe cache append: the whole payload goes out in a single
- * unbuffered O_APPEND write, so a sweep process dying mid-append
- * leaves at most one truncated line (which loaders skip) and can
- * never interleave with another writer's row. The buffered-stream
- * fallback on non-POSIX builds keeps the old best-effort behavior.
- */
-void
-appendLineAtomic(const std::string &path, const std::string &payload)
-{
-#ifdef DISTILL_HAVE_FORK
-    int fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-    if (fd < 0)
-        return;
-    std::size_t off = 0;
-    while (off < payload.size()) {
-        ssize_t n =
-            write(fd, payload.data() + off, payload.size() - off);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            break;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    close(fd);
-#else
-    std::ofstream out(path, std::ios::app);
-    if (out)
-        out << payload << std::flush;
-#endif
-}
-
-} // namespace
-
 void
 SweepRunner::appendRun(const RunRecord &record)
 {
@@ -423,17 +355,7 @@ SweepRunner::appendRun(const RunRecord &record)
     }
     payload += record.toCsv();
     payload.push_back('\n');
-    appendLineAtomic(runCachePath_, payload);
-}
-
-void
-SweepRunner::appendMinHeap(const std::string &bench, std::uint64_t bytes)
-{
-    if (!cacheEnabled_)
-        return;
-    appendLineAtomic(minHeapCachePath_,
-                     strprintf("%s,%llu\n", bench.c_str(),
-                               static_cast<unsigned long long>(bytes)));
+    detail::appendLineAtomic(runCachePath_, payload);
 }
 
 RunRecord
@@ -516,51 +438,7 @@ SweepRunner::runCached(const wl::WorkloadSpec &spec,
 std::uint64_t
 SweepRunner::minHeap(const wl::WorkloadSpec &spec, const Environment &env)
 {
-    if (spec.minHeapBytes > 0)
-        return spec.minHeapBytes;
-    auto it = minHeapCache_.find(spec.name);
-    if (it != minHeapCache_.end())
-        return it->second;
-
-    inform("measuring min heap for %s (G1)...", spec.name.c_str());
-    // The minimum heap is a property of the workload: probe without
-    // fault injection, schedule perturbation, or a tightened
-    // virtual-time limit so the heap-factor grid stays anchored to the
-    // same baseline across experiments (a low --max-virtual-time would
-    // otherwise make every probe "fail" and the search diverge).
-    Environment probe_env = env;
-    probe_env.schedSeed = 0;
-    probe_env.faultSeed = 0;
-    probe_env.machine.maxVirtualTime = sim::MachineConfig{}.maxVirtualTime;
-    auto probe = [&](std::uint64_t regions) {
-        RunRecord r = runOne(spec, gc::CollectorKind::G1,
-                             regions * heap::regionSize, 1.0,
-                             invocationSeed(0xF00D, spec.name, 0), 0,
-                             probe_env);
-        return r.completed;
-    };
-
-    std::uint64_t hi = 8;
-    while (!probe(hi)) {
-        hi *= 2;
-        if (hi > 8192)
-            fatal("cannot find a working heap for %s", spec.name.c_str());
-    }
-    std::uint64_t lo = hi / 2; // hi works; search (lo, hi]
-    while (lo + 1 < hi) {
-        std::uint64_t mid = (lo + hi) / 2;
-        if (probe(mid))
-            hi = mid;
-        else
-            lo = mid;
-    }
-    std::uint64_t bytes = hi * heap::regionSize;
-    inform("min heap for %s: %llu regions (%.1f MiB)", spec.name.c_str(),
-           static_cast<unsigned long long>(hi),
-           static_cast<double>(bytes) / static_cast<double>(MiB));
-    minHeapCache_[spec.name] = bytes;
-    appendMinHeap(spec.name, bytes);
-    return bytes;
+    return minHeaps_.minHeap(spec, env);
 }
 
 wl::WorkloadSpec
@@ -575,6 +453,8 @@ SweepRunner::withMinHeap(const wl::WorkloadSpec &spec,
 std::vector<RunRecord>
 SweepRunner::run(const SweepConfig &config)
 {
+    if (config.jobs > 1 && ProcessPool::available())
+        return runPooled(config);
     std::vector<RunRecord> records;
     for (const wl::WorkloadSpec &raw_spec : config.benchmarks) {
         wl::WorkloadSpec spec = withMinHeap(raw_spec, config.env);
@@ -603,6 +483,248 @@ SweepRunner::run(const SweepConfig &config)
         inform("sweep: %s done", spec.name.c_str());
     }
     return records;
+}
+
+std::vector<RunRecord>
+SweepRunner::runPooled(const SweepConfig &config)
+{
+#ifdef DISTILL_HAVE_FORK
+    // Anchor every benchmark's heap-factor grid first; the min-heap
+    // probes themselves fan out through the pool (one child per
+    // benchmark performs its whole search).
+    minHeaps_.measureAll(config.benchmarks, config.env, config.jobs,
+                         config.watchdogMs);
+
+    std::vector<wl::WorkloadSpec> specs;
+    specs.reserve(config.benchmarks.size());
+    for (const wl::WorkloadSpec &raw : config.benchmarks)
+        specs.push_back(withMinHeap(raw, config.env));
+
+    // Enumerate the grid in canonical order: per spec -> per
+    // invocation -> Epsilon -> per heap factor -> per collector. The
+    // returned vector preserves exactly this order regardless of
+    // completion order.
+    struct Cell
+    {
+        std::size_t specIndex;
+        gc::CollectorKind collector;
+        std::uint64_t heapBytes; //!< grid value; 0 for Epsilon
+        double heapFactor;
+        std::uint64_t seed;
+        unsigned invocation;
+        std::string key;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+        const wl::WorkloadSpec &spec = specs[si];
+        for (unsigned inv = 0; inv < config.invocations; ++inv) {
+            std::uint64_t seed =
+                invocationSeed(config.baseSeed, spec.name, inv);
+            if (config.includeEpsilon) {
+                cells.push_back({si, gc::CollectorKind::Epsilon, 0, 0.0,
+                                 seed, inv, ""});
+            }
+            for (double factor : config.heapFactors) {
+                std::uint64_t heap_bytes = roundUp(
+                    static_cast<std::uint64_t>(
+                        factor * static_cast<double>(spec.minHeapBytes)),
+                    heap::regionSize);
+                for (gc::CollectorKind collector : config.collectors) {
+                    if (collector == gc::CollectorKind::Epsilon)
+                        continue;
+                    cells.push_back({si, collector, heap_bytes, factor,
+                                     seed, inv, ""});
+                }
+            }
+        }
+    }
+    for (Cell &cell : cells) {
+        std::uint64_t effective_heap =
+            cell.collector == gc::CollectorKind::Epsilon
+            ? config.env.machine.memoryBudget
+            : cell.heapBytes;
+        cell.key = key(specs[cell.specIndex].name,
+                       gc::collectorName(cell.collector), effective_heap,
+                       cell.seed, cell.invocation, config.env.faultSeed,
+                       config.env.schedSeed);
+    }
+
+    std::vector<RunRecord> records(cells.size());
+    std::vector<std::size_t> specRemaining(specs.size(), 0);
+    for (const Cell &cell : cells)
+        ++specRemaining[cell.specIndex];
+    std::size_t done = 0;
+    std::size_t failed = 0;
+
+    auto specDone = [&](std::size_t si) {
+        if (--specRemaining[si] == 0)
+            inform("sweep: %s done", specs[si].name.c_str());
+    };
+
+    // One pending execution per *distinct* cache key: two heap factors
+    // that round to the same heap_bytes form one execution whose
+    // record fans out to both cells, mirroring the sequential path
+    // where the second cell is served from the just-filled cache. With
+    // the cache disabled the sequential path runs both cells, so no
+    // dedup either (the records differ in heapFactor).
+    struct Pending
+    {
+        std::vector<std::size_t> cells; //!< canonical indices served
+        unsigned attempt = 0;           //!< schedule retries so far
+        Environment env;                //!< current attempt's env
+        std::string sidecar;
+    };
+    std::vector<Pending> pending;
+    std::unordered_map<std::string, std::size_t> pendingByKey;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        auto resumed = resumeCache_.find(cell.key);
+        if (resumed != resumeCache_.end()) {
+            // Resume hits bypass everything, including onRecord.
+            records[i] = resumed->second;
+            ++done;
+            specDone(cell.specIndex);
+            continue;
+        }
+        if (cacheEnabled_) {
+            auto it = runCache_.find(cell.key);
+            if (it != runCache_.end()) {
+                records[i] = it->second;
+                if (config.onRecord)
+                    config.onRecord(it->second);
+                ++done;
+                specDone(cell.specIndex);
+                continue;
+            }
+            auto dup = pendingByKey.find(cell.key);
+            if (dup != pendingByKey.end()) {
+                pending[dup->second].cells.push_back(i);
+                continue;
+            }
+            pendingByKey[cell.key] = pending.size();
+        }
+        Pending p;
+        p.cells.push_back(i);
+        p.env = config.env;
+        p.sidecar = diag::sidecarReportPath(
+            detail::cacheDir(), specs[cell.specIndex].name,
+            gc::collectorName(cell.collector), cell.heapBytes, cell.seed,
+            cell.invocation);
+        pending.push_back(std::move(p));
+    }
+
+    ProgressMeter progress("sweep", cells.size());
+    progress.update(done, failed, 0, true);
+
+    ProcessPool pool(config.jobs);
+    auto makeJob = [&](std::size_t pidx) {
+        const Pending &p = pending[pidx];
+        const Cell &cell = cells[p.cells.front()];
+        PoolJob job;
+        job.tag = pidx;
+        job.spawnRetries = 0;
+        job.watchdogMs = config.watchdogMs;
+        job.sidecar = p.sidecar;
+        job.payloadComplete = completeRecordLine;
+        job.work = [spec = specs[cell.specIndex],
+                    collector = cell.collector,
+                    heap_bytes = cell.heapBytes,
+                    heap_factor = cell.heapFactor, seed = cell.seed,
+                    invocation = cell.invocation, env = p.env]() {
+            RunRecord r = runOne(spec, collector, heap_bytes,
+                                 heap_factor, seed, invocation, env);
+            std::string line = r.toCsv();
+            line.push_back('\n');
+            return line;
+        };
+        return job;
+    };
+    for (std::size_t pidx = 0; pidx < pending.size(); ++pidx)
+        pool.submit(makeJob(pidx));
+
+    auto commit = [&](std::size_t pidx, const RunRecord &r) {
+        Pending &p = pending[pidx];
+        if (cacheEnabled_) {
+            runCache_[cells[p.cells.front()].key] = r;
+            appendRun(r);
+        }
+        for (std::size_t ci : p.cells) {
+            records[ci] = r;
+            if (config.onRecord)
+                config.onRecord(r);
+            ++done;
+            if (r.failed())
+                ++failed;
+            specDone(cells[ci].specIndex);
+        }
+    };
+
+    pool.run(
+        [&](PoolResult result) {
+            std::size_t pidx = result.tag;
+            Pending &p = pending[pidx];
+            const Cell &cell = cells[p.cells.front()];
+            const wl::WorkloadSpec &spec = specs[cell.specIndex];
+            RunRecord r;
+            if (!result.spawned) {
+                warn("running %s/%s invocation %u unprotected "
+                     "in-process (isolation degraded: cannot fork)",
+                     spec.name.c_str(),
+                     gc::collectorName(cell.collector),
+                     cell.invocation);
+                r = runOne(spec, cell.collector, cell.heapBytes,
+                           cell.heapFactor, cell.seed, cell.invocation,
+                           p.env);
+                appendNote(r, "isolation-degraded");
+                if (result.spawnRetries > 0) {
+                    appendNote(r, strprintf("spawn-retried=%u",
+                                            result.spawnRetries));
+                }
+            } else {
+                r = finalizeIsolated(spec, cell.collector,
+                                     cell.heapBytes, cell.heapFactor,
+                                     cell.seed, cell.invocation, p.env,
+                                     config.watchdogMs, p.sidecar,
+                                     result);
+            }
+            // The bounded schedule-retry policy, identical to the
+            // sequential executeCell loop: same eligibility test, same
+            // derived seeds, same log line.
+            if (r.failed() && r.status != "oracle" &&
+                config.env.schedSeed != 0 &&
+                p.attempt < config.retries) {
+                ++p.attempt;
+                Environment retry_env = config.env;
+                std::uint64_t state = config.env.schedSeed ^
+                    (p.attempt * 0x9e3779b97f4a7c15ULL);
+                retry_env.schedSeed = splitMix64(state);
+                if (retry_env.schedSeed == 0)
+                    retry_env.schedSeed = p.attempt;
+                ++retriesAttempted_;
+                inform("retry %u/%u for %s/%s (status=%s, sched-seed "
+                       "%llu)",
+                       p.attempt, config.retries, spec.name.c_str(),
+                       gc::collectorName(cell.collector),
+                       r.status.c_str(),
+                       static_cast<unsigned long long>(
+                           retry_env.schedSeed));
+                p.env = retry_env;
+                pool.submit(makeJob(pidx));
+                return;
+            }
+            commit(pidx, r);
+            progress.update(done, failed, 0);
+        },
+        [&](std::size_t inflight, std::size_t) {
+            progress.update(done, failed, inflight);
+        });
+    progress.finish(done, failed);
+    return records;
+#else
+    SweepConfig sequential = config;
+    sequential.jobs = 1;
+    return run(sequential);
+#endif
 }
 
 } // namespace distill::lbo

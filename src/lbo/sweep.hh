@@ -9,6 +9,13 @@
  * cached on disk so the many bench binaries that share a grid (Tables
  * VI-XI, Figs. 1-4) do not re-simulate it.
  *
+ * With SweepConfig::jobs > 1 the grid executes through an N-way
+ * forked-child process pool (lbo/pool.hh): cells complete in whatever
+ * order the hardware gives, but the returned vector is always in
+ * canonical grid order and cell records are bit-identical to a
+ * sequential run of the same grid — the simulator is deterministic
+ * per (seed, environment), so only scheduling of whole cells differs.
+ *
  * Environment knobs:
  *   DISTILL_INVOCATIONS  override invocation count (default 5)
  *   DISTILL_CACHE_DIR    cache directory (default ".")
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "gc/collectors.hh"
+#include "lbo/min_heap.hh"
 #include "lbo/record.hh"
 #include "lbo/run.hh"
 #include "wl/spec.hh"
@@ -85,11 +93,26 @@ struct SweepConfig
     std::uint64_t watchdogMs = 0;
 
     /**
-     * Streaming hook: invoked in grid order for every record the
-     * sweep produces, except cells satisfied from a loaded resume
-     * file (their rows already exist in the resume CSV). Lets drivers
-     * append to an output CSV incrementally so a killed sweep loses
-     * nothing.
+     * Isolated child processes kept in flight at once. 1 (the
+     * default) runs the grid sequentially, exactly as before. > 1
+     * implies isolateInvocations — every cell forks — and runs cells
+     * through a poll(2) process pool with per-child watchdog
+     * deadlines; the records produced are bit-identical to a
+     * sequential run, only completion order differs (see onRecord).
+     * Ignored (sequential fallback) on platforms without fork().
+     */
+    unsigned jobs = 1;
+
+    /**
+     * Streaming hook: invoked for every record the sweep produces,
+     * except cells satisfied from a loaded resume file (their rows
+     * already exist in the resume CSV). Lets drivers append to an
+     * output CSV incrementally so a killed sweep loses nothing. With
+     * jobs == 1 records arrive in grid order; with jobs > 1 they
+     * arrive in completion order — drivers that need the canonical
+     * order should rewrite their CSV from run()'s return value (which
+     * is always canonical) once the sweep finishes, keeping the
+     * streamed rows as a crash checkpoint in the meantime.
      */
     std::function<void(const RunRecord &)> onRecord;
 };
@@ -146,16 +169,17 @@ class SweepRunner
                            unsigned invocation, std::uint64_t fault_seed,
                            std::uint64_t sched_seed);
 
+    /** The jobs > 1 executor: the whole grid through a ProcessPool. */
+    std::vector<RunRecord> runPooled(const SweepConfig &config);
+
     void loadCaches();
     void appendRun(const RunRecord &record);
-    void appendMinHeap(const std::string &bench, std::uint64_t bytes);
 
     bool cacheEnabled_ = true;
     std::string runCachePath_;
-    std::string minHeapCachePath_;
     std::unordered_map<std::string, RunRecord> runCache_;
     std::unordered_map<std::string, RunRecord> resumeCache_;
-    std::unordered_map<std::string, std::uint64_t> minHeapCache_;
+    MinHeapFinder minHeaps_;
     unsigned retriesAttempted_ = 0;
 };
 

@@ -53,6 +53,16 @@ TEST(CliParseDeathTest, ParseCountRejectsZero)
     EXPECT_DEATH(parseCount("--invocations", "0"), "at least 1");
 }
 
+TEST(CliParseDeathTest, ParseJobsRejectsZeroAndForkStorms)
+{
+    EXPECT_EQ(parseJobs("--jobs", "1"), 1u);
+    EXPECT_EQ(parseJobs("--jobs", "64"), 64u);
+    EXPECT_EQ(parseJobs("--jobs", "1024"), 1024u);
+    EXPECT_DEATH(parseJobs("--jobs", "0"), "at least 1");
+    EXPECT_DEATH(parseJobs("--jobs", "80000"), "not a sane pool size");
+    EXPECT_DEATH(parseJobs("--jobs", "eight"), "non-negative integer");
+}
+
 TEST(CliParseDeathTest, ParseDoubleRejectsGarbage)
 {
     EXPECT_DOUBLE_EQ(parseDouble("--f", "2.5"), 2.5);

@@ -152,7 +152,7 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     r.faultSeed = 99;
     r.schedSeed = 55;
     std::string line = r.toCsv();
-    for (int i = 0; i < 6; ++i)
+    for (int i = 0; i < 7; ++i)
         line.resize(line.rfind(',')); // strip down to the 32 legacy columns
 
     RunRecord back;
@@ -168,7 +168,7 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     ok.completed = true;
     ok.oom = false;
     std::string ok_line = ok.toCsv();
-    for (int i = 0; i < 6; ++i)
+    for (int i = 0; i < 7; ++i)
         ok_line.resize(ok_line.rfind(','));
     ASSERT_TRUE(RunRecord::fromCsv(ok_line, back));
     EXPECT_EQ(back.status, "ok");
@@ -191,8 +191,8 @@ TEST(Record, PreForensicsCsvParses)
     r.signature = "SIGSEGV@evacuate";
     r.sidecar = "x.report";
     std::string line = r.toCsv();
-    for (int i = 0; i < 2; ++i)
-        line.resize(line.rfind(',')); // strip signature + sidecar
+    for (int i = 0; i < 3; ++i)
+        line.resize(line.rfind(',')); // strip signature + sidecar + notes
 
     RunRecord back;
     ASSERT_TRUE(RunRecord::fromCsv(line, back));

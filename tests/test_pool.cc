@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Process-pool executor tests: the poll(2) event loop that keeps N
+ * forked children in flight (lbo/pool.hh), and the jobs>1 sweep
+ * executor built on it. The load-bearing properties:
+ *
+ *   - pooled sweeps are byte-identical to sequential sweeps, on clean
+ *     grids and on grids with injected crash/hang cells;
+ *   - one hung child never stalls the other in-flight cells, and each
+ *     child keeps its own watchdog deadline;
+ *   - the three watchdog/isolation bugfixes stay fixed: a complete
+ *     record from a slow-teardown child is accepted (not misrecorded
+ *     as a hang), a parent-side drain error is not a hang, and a
+ *     failed pipe()/fork() degrades loudly (warn + notes) instead of
+ *     silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gc/collectors.hh"
+#include "heap/layout.hh"
+#include "lbo/pool.hh"
+#include "lbo/sweep.hh"
+#include "wl/suite.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DISTILL_TEST_HAVE_FORK 1
+#endif
+
+namespace distill
+{
+namespace
+{
+
+using lbo::DrainStatus;
+using lbo::PoolJob;
+using lbo::PoolResult;
+using lbo::ProcessPool;
+
+#ifdef DISTILL_TEST_HAVE_FORK
+
+// ----- drainUntil ----------------------------------------------------
+
+TEST(DrainUntil, EofDeliversPayload)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    std::string payload = "hello, drain\n";
+    write(fds[1], payload.data(), payload.size());
+    close(fds[1]);
+    std::string buf;
+    EXPECT_EQ(lbo::drainUntil(fds[0], buf,
+                              std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(5)),
+              DrainStatus::Eof);
+    EXPECT_EQ(buf, payload);
+    close(fds[0]);
+}
+
+TEST(DrainUntil, OpenPipeHitsDeadline)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    std::string buf;
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(lbo::drainUntil(fds[0], buf,
+                              start + std::chrono::milliseconds(100)),
+              DrainStatus::Deadline);
+    // poll(2) takes a whole-millisecond timeout and may return up to
+    // a tick early; only assert we didn't bail out immediately.
+    EXPECT_GE(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(90));
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(DrainUntil, InvalidFdIsAnErrorNotADeadline)
+{
+    // Regression: a parent-side poll()/read() failure used to be
+    // folded into the same `false` as a deadline expiry, so an fd
+    // hiccup in the parent got a healthy child SIGTERMed and recorded
+    // as status=hang. The error must be distinguishable.
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    close(fds[0]);
+    close(fds[1]);
+    std::string buf;
+    EXPECT_EQ(lbo::drainUntil(fds[0], buf,
+                              std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(5)),
+              DrainStatus::Error);
+}
+
+// ----- ProcessPool ---------------------------------------------------
+
+TEST(ProcessPool, RunsEveryJobAndEchoesTags)
+{
+    ProcessPool pool(4);
+    for (std::uint64_t tag = 0; tag < 10; ++tag) {
+        PoolJob job;
+        job.tag = tag;
+        job.work = [tag]() {
+            return "payload-" + std::to_string(tag);
+        };
+        pool.submit(std::move(job));
+    }
+    std::vector<char> seen(10, 0);
+    pool.run([&](PoolResult r) {
+        ASSERT_TRUE(r.spawned);
+        EXPECT_FALSE(r.hung);
+        EXPECT_LT(r.tag, 10u);
+        EXPECT_EQ(r.payload, "payload-" + std::to_string(r.tag));
+        seen[r.tag] = 1;
+    });
+    for (std::uint64_t tag = 0; tag < 10; ++tag)
+        EXPECT_TRUE(seen[tag]) << "job " << tag << " never completed";
+}
+
+TEST(ProcessPool, ResubmissionFromOnResultRuns)
+{
+    // The sweep's schedule-retry policy re-queues a failed cell from
+    // inside on_result; the pool must keep draining until the requeued
+    // job also completes.
+    ProcessPool pool(2);
+    PoolJob job;
+    job.tag = 1;
+    job.work = []() { return std::string("first"); };
+    pool.submit(std::move(job));
+    std::vector<std::string> results;
+    pool.run([&](PoolResult r) {
+        results.push_back(r.payload);
+        if (r.tag == 1) {
+            PoolJob retry;
+            retry.tag = 2;
+            retry.work = []() { return std::string("second"); };
+            pool.submit(std::move(retry));
+        }
+    });
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0], "first");
+    EXPECT_EQ(results[1], "second");
+}
+
+TEST(ProcessPool, HungChildIsKilledOthersKeepFlowing)
+{
+    // One livelocked child must cost exactly its own watchdog, not
+    // stall the loop: the fast jobs sharing the pool finish on their
+    // own schedule and the whole batch completes in roughly one
+    // deadline, not deadline * jobs.
+    ProcessPool pool(3);
+    PoolJob hang;
+    hang.tag = 0;
+    hang.watchdogMs = 1000;
+    hang.work = []() {
+        for (;;)
+            usleep(10000);
+        return std::string("unreachable");
+    };
+    pool.submit(std::move(hang));
+    for (std::uint64_t tag = 1; tag <= 4; ++tag) {
+        PoolJob job;
+        job.tag = tag;
+        job.watchdogMs = 30000;
+        job.work = [tag]() { return std::to_string(tag); };
+        pool.submit(std::move(job));
+    }
+    auto start = std::chrono::steady_clock::now();
+    unsigned hung = 0;
+    unsigned clean = 0;
+    pool.run([&](PoolResult r) {
+        ASSERT_TRUE(r.spawned);
+        if (r.tag == 0) {
+            EXPECT_TRUE(r.hung);
+            ++hung;
+        } else {
+            EXPECT_FALSE(r.hung);
+            ++clean;
+        }
+    });
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(hung, 1u);
+    EXPECT_EQ(clean, 4u);
+    // Generous bound: the hang costs its 1000 ms deadline (the child
+    // dies on SIGTERM, so the 2 s grace is not consumed); everything
+    // else overlaps. Five sequential deadlines would be >= 5000 ms.
+    EXPECT_LT(elapsed.count(), 4000)
+        << "a single hung child stalled the pool";
+}
+
+TEST(ProcessPool, SlowTeardownChildShipsItsPayload)
+{
+    // Regression: a child that delivered a complete payload but kept
+    // its pipe open past the deadline used to be recorded exactly like
+    // a livelock. The pool must hand the payload back (flagging hung
+    // so callers can note the slow teardown).
+    setenv("DISTILL_TEST_CHILD_LINGER_MS", "30000", 1);
+    ProcessPool pool(1);
+    PoolJob job;
+    job.tag = 7;
+    job.watchdogMs = 500;
+    job.payloadComplete = [](const std::string &buf) {
+        return buf.find('\n') != std::string::npos;
+    };
+    job.work = []() { return std::string("complete-record\n"); };
+    pool.submit(std::move(job));
+    auto start = std::chrono::steady_clock::now();
+    pool.run([&](PoolResult r) {
+        ASSERT_TRUE(r.spawned);
+        EXPECT_TRUE(r.hung); // the deadline did expire...
+        EXPECT_EQ(r.payload, "complete-record\n"); // ...with the result in hand
+    });
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    unsetenv("DISTILL_TEST_CHILD_LINGER_MS");
+    // The lingering child is SIGKILLed at the deadline (no SIGTERM
+    // grace: the payload is complete), so the 30 s linger never runs
+    // out and the 2 s escalation grace is skipped too.
+    EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(ProcessPool, SpawnFailureWithEmptyPoolDegradesExplicitly)
+{
+    lbo::pool_testing::failSpawnAttempts(1, 100);
+    ProcessPool pool(2);
+    PoolJob job;
+    job.tag = 3;
+    job.work = []() { return std::string("never runs"); };
+    pool.submit(std::move(job));
+    unsigned results = 0;
+    pool.run([&](PoolResult r) {
+        ++results;
+        EXPECT_EQ(r.tag, 3u);
+        EXPECT_FALSE(r.spawned) << "job cannot have forked";
+        EXPECT_GE(r.spawnRetries, 1u);
+    });
+    lbo::pool_testing::failSpawnAttempts(0, 0);
+    EXPECT_EQ(results, 1u);
+}
+
+TEST(ProcessPool, SpawnFailureWithChildrenInFlightRetriesWhenSlotFrees)
+{
+    // Attempt 1 (first job) succeeds, attempt 2 (second job) fails as
+    // if the fd table were full. The second job must not degrade to
+    // in-process: a child is in flight, so the pool waits for its slot
+    // and re-forks.
+    lbo::pool_testing::failSpawnAttempts(2, 1);
+    ProcessPool pool(2);
+    for (std::uint64_t tag = 0; tag < 2; ++tag) {
+        PoolJob job;
+        job.tag = tag;
+        job.work = [tag]() {
+            usleep(200000); // keep the slot occupied across the retry
+            return std::to_string(tag);
+        };
+        pool.submit(std::move(job));
+    }
+    unsigned spawned = 0;
+    unsigned retried = 0;
+    pool.run([&](PoolResult r) {
+        EXPECT_TRUE(r.spawned);
+        ++spawned;
+        if (r.spawnRetries > 0)
+            ++retried;
+        EXPECT_EQ(r.payload, std::to_string(r.tag));
+    });
+    lbo::pool_testing::failSpawnAttempts(0, 0);
+    EXPECT_EQ(spawned, 2u);
+    EXPECT_EQ(retried, 1u);
+}
+
+// ----- pooled sweeps -------------------------------------------------
+
+class PooledSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+            (std::string("distill_pool_sweep_") + info->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        setenv("DISTILL_NO_CACHE", "1", 1);
+        setenv("DISTILL_CACHE_DIR", dir_.c_str(), 1);
+    }
+
+    void
+    TearDown() override
+    {
+        lbo::pool_testing::failSpawnAttempts(0, 0);
+        unsetenv("DISTILL_TEST_CHILD_LINGER_MS");
+        unsetenv("DISTILL_NO_CACHE");
+        unsetenv("DISTILL_CACHE_DIR");
+        std::filesystem::remove_all(dir_);
+    }
+
+    lbo::SweepConfig
+    tinyConfig()
+    {
+        lbo::SweepConfig config;
+        wl::WorkloadSpec spec = wl::findSpec("jme");
+        spec.allocBytesPerThread = 256 * KiB;
+        spec.minHeapBytes = 8 * heap::regionSize; // skip min-heap search
+        config.benchmarks = {spec};
+        config.heapFactors = {1.4, 2.0};
+        config.collectors = {gc::CollectorKind::Serial,
+                             gc::CollectorKind::G1};
+        config.includeEpsilon = true;
+        config.invocations = 2;
+        return config;
+    }
+
+    static std::vector<std::string>
+    csvLines(const std::vector<lbo::RunRecord> &records)
+    {
+        std::vector<std::string> out;
+        out.reserve(records.size());
+        for (const lbo::RunRecord &r : records)
+            out.push_back(r.toCsv());
+        return out;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(PooledSweepTest, CleanGridMatchesSequentialByteForByte)
+{
+    lbo::SweepConfig config = tinyConfig();
+    config.isolateInvocations = true;
+    lbo::SweepRunner sequential;
+    auto seq = sequential.run(config);
+
+    config.jobs = 8;
+    lbo::SweepRunner pooled;
+    auto par = pooled.run(config);
+
+    ASSERT_EQ(par.size(), seq.size());
+    EXPECT_EQ(csvLines(par), csvLines(seq));
+}
+
+TEST_F(PooledSweepTest, HangGridMatchesSequentialByteForByte)
+{
+    // Injected livelock (diag fault seed: livelock at 2 ms of virtual
+    // time): every cell hangs, the watchdog converts each into a
+    // status=hang row, and the pooled rows — including the synthesized
+    // failure text — are byte-identical to the sequential ones.
+    lbo::SweepConfig config = tinyConfig();
+    config.heapFactors = {2.0};
+    config.collectors = {gc::CollectorKind::Serial};
+    config.includeEpsilon = false;
+    config.invocations = 2;
+    config.env.faultSeed = 0xD1A6000000000000ull;
+    config.isolateInvocations = true;
+    config.watchdogMs = 1500;
+
+    lbo::SweepRunner sequential;
+    auto seq = sequential.run(config);
+    ASSERT_EQ(seq.size(), 2u);
+    for (const lbo::RunRecord &r : seq)
+        ASSERT_EQ(r.status, "hang") << r.failReason;
+
+    config.jobs = 4;
+    lbo::SweepRunner pooled;
+    auto par = pooled.run(config);
+    EXPECT_EQ(csvLines(par), csvLines(seq));
+}
+
+TEST_F(PooledSweepTest, CrashGridMatchesSequentialByteForByte)
+{
+    // Injected SIGSEGV (diag signal 11) at 2 ms of virtual time —
+    // early enough that even these tiny cells reach it: children die,
+    // the parent synthesizes status=crash rows with the child's
+    // signal, and the pooled rows match the sequential ones.
+    lbo::SweepConfig config = tinyConfig();
+    config.heapFactors = {2.0};
+    config.collectors = {gc::CollectorKind::Zgc};
+    config.includeEpsilon = false;
+    config.invocations = 2;
+    config.env.faultSeed = 0xD1A6000B00000000ull;
+    config.isolateInvocations = true;
+
+    lbo::SweepRunner sequential;
+    auto seq = sequential.run(config);
+    ASSERT_EQ(seq.size(), 2u);
+    for (const lbo::RunRecord &r : seq)
+        ASSERT_EQ(r.status, "crash") << r.failReason;
+
+    config.jobs = 4;
+    lbo::SweepRunner pooled;
+    auto par = pooled.run(config);
+    EXPECT_EQ(csvLines(par), csvLines(seq));
+}
+
+TEST_F(PooledSweepTest, HungCellDoesNotStallInFlightCells)
+{
+    // One livelock cell plus clean cells through a 4-slot pool: the
+    // batch must complete in about one watchdog deadline, not the
+    // deadline plus every clean cell serialized behind it.
+    lbo::SweepConfig config = tinyConfig();
+    config.heapFactors = {2.0};
+    config.collectors = {gc::CollectorKind::Serial,
+                         gc::CollectorKind::G1};
+    config.includeEpsilon = true;
+    config.invocations = 2; // 2 x (epsilon + 2 collectors) = 6 cells
+    config.isolateInvocations = true;
+    config.watchdogMs = 2500;
+    config.jobs = 4;
+
+    // Only Serial cells livelock under this plan... injecting per-cell
+    // isn't expressible, so instead hang *every* cell of one grid and
+    // run a second clean grid through the same runner immediately
+    // after; the assertion is on the hang grid's wall clock.
+    lbo::SweepConfig hang = config;
+    hang.collectors = {gc::CollectorKind::Serial};
+    hang.includeEpsilon = false;
+    hang.env.faultSeed = 0xD1A6000000000000ull;
+
+    auto start = std::chrono::steady_clock::now();
+    lbo::SweepRunner runner;
+    auto hang_records = runner.run(hang);   // 2 hang cells, in parallel
+    auto clean_records = runner.run(config); // 6 clean cells
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+
+    ASSERT_EQ(hang_records.size(), 2u);
+    for (const lbo::RunRecord &r : hang_records)
+        EXPECT_EQ(r.status, "hang");
+    ASSERT_EQ(clean_records.size(), 6u);
+    for (const lbo::RunRecord &r : clean_records)
+        EXPECT_EQ(r.status, "ok") << r.failReason;
+    // Two hang cells sequentially would cost >= 2 x 2500 ms before the
+    // clean grid even starts. In the pool they overlap: one deadline.
+    EXPECT_LT(elapsed.count(), 2 * 2500)
+        << "hang cells did not overlap";
+}
+
+TEST_F(PooledSweepTest, DuplicateHeapBytesExecuteOnceWithCacheEnabled)
+{
+    // 1.95 x 8 regions and 2.0 x 8 regions both round up to 16
+    // regions: one execution, two grid cells. The sequential path
+    // serves the second cell from the just-filled cache (its row
+    // carries the first factor); the pooled path must fan the single
+    // result out identically.
+    unsetenv("DISTILL_NO_CACHE");
+    lbo::SweepConfig config = tinyConfig();
+    config.heapFactors = {1.95, 2.0};
+    config.collectors = {gc::CollectorKind::Serial};
+    config.includeEpsilon = false;
+    config.invocations = 1;
+    config.isolateInvocations = true;
+
+    lbo::SweepRunner sequential;
+    auto seq = sequential.run(config);
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0].heapBytes, seq[1].heapBytes);
+    EXPECT_EQ(seq[0].toCsv(), seq[1].toCsv());
+
+    std::filesystem::path pooled_dir = dir_ / "pooled-cache";
+    std::filesystem::create_directories(pooled_dir);
+    setenv("DISTILL_CACHE_DIR", pooled_dir.c_str(), 1);
+    config.jobs = 4;
+    lbo::SweepRunner pooled;
+    auto par = pooled.run(config);
+    EXPECT_EQ(csvLines(par), csvLines(seq));
+}
+
+TEST_F(PooledSweepTest, SlowTeardownRecordIsAcceptedNotAHang)
+{
+    // Regression for the hang false-positive: the child computes its
+    // record quickly, ships it, then lingers with the pipe open past
+    // the watchdog deadline. Pre-fix this was killed and misrecorded
+    // as status=hang; the complete record must be accepted, with the
+    // slow teardown noted as metadata, not a failure.
+    setenv("DISTILL_TEST_CHILD_LINGER_MS", "30000", 1);
+    lbo::SweepConfig config = tinyConfig();
+    config.heapFactors = {2.0};
+    config.collectors = {gc::CollectorKind::Serial};
+    config.includeEpsilon = false;
+    config.invocations = 1;
+    config.isolateInvocations = true;
+    config.watchdogMs = 1000;
+
+    lbo::SweepRunner runner;
+    auto records = runner.run(config);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].status, "ok") << records[0].failReason;
+    EXPECT_TRUE(records[0].completed);
+    EXPECT_NE(records[0].notes.find("slow-teardown"), std::string::npos)
+        << "notes: " << records[0].notes;
+}
+
+TEST_F(PooledSweepTest, DegradedIsolationIsWarnedAndRecorded)
+{
+    // Regression for the silent-fallback bug: when pipe()/fork()
+    // fails, the cell still runs — but unprotected, and that must be
+    // visible in the record instead of indistinguishable from an
+    // isolated run.
+    lbo::pool_testing::failSpawnAttempts(1, 1000);
+    lbo::SweepConfig config = tinyConfig();
+    config.heapFactors = {2.0};
+    config.collectors = {gc::CollectorKind::Serial};
+    config.includeEpsilon = false;
+    config.invocations = 1;
+    config.isolateInvocations = true;
+
+    lbo::SweepRunner runner;
+    auto records = runner.run(config);
+    lbo::pool_testing::failSpawnAttempts(0, 0);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].status, "ok") << records[0].failReason;
+    EXPECT_NE(records[0].notes.find("isolation-degraded"),
+              std::string::npos)
+        << "notes: " << records[0].notes;
+}
+
+TEST_F(PooledSweepTest, PooledMinHeapsMatchSequentialSearch)
+{
+    // The min-heap anchors measured through the pool (one probe child
+    // per benchmark) must equal the in-process search: the search is
+    // deterministic, and a child ships its answer as plain bytes.
+    lbo::Environment env;
+    wl::WorkloadSpec jme = wl::findSpec("jme");
+    jme.allocBytesPerThread = 256 * KiB;
+    jme.minHeapBytes = 0;
+    wl::WorkloadSpec sunflow = wl::findSpec("sunflow");
+    sunflow.allocBytesPerThread = 256 * KiB;
+    sunflow.minHeapBytes = 0;
+
+    std::uint64_t jme_direct = lbo::MinHeapFinder::search(jme, env);
+    std::uint64_t sunflow_direct =
+        lbo::MinHeapFinder::search(sunflow, env);
+
+    lbo::MinHeapFinder pooled;
+    pooled.measureAll({jme, sunflow}, env, 4);
+    EXPECT_EQ(pooled.minHeap(jme, env), jme_direct);
+    EXPECT_EQ(pooled.minHeap(sunflow, env), sunflow_direct);
+}
+
+#endif // DISTILL_TEST_HAVE_FORK
+
+// ----- available() everywhere ---------------------------------------
+
+TEST(ProcessPoolPortability, JobsFieldDefaultsSequential)
+{
+    lbo::SweepConfig config;
+    EXPECT_EQ(config.jobs, 1u);
+}
+
+} // namespace
+} // namespace distill

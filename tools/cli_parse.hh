@@ -53,6 +53,24 @@ parseCount(const char *flag, const std::string &text)
     return v;
 }
 
+/**
+ * Parse a --jobs value: a strictly positive worker count, capped at
+ * 1024. The cap is far beyond any plausible core count — it exists so
+ * a typo ("--jobs 80000") reads as an error at the flag instead of a
+ * fork storm against the host's process and fd limits.
+ */
+inline unsigned
+parseJobs(const char *flag, const std::string &text)
+{
+    std::uint64_t v = parseCount(flag, text);
+    if (v > 1024) {
+        fatal("%s: %llu concurrent children is not a sane pool size "
+              "(max 1024)",
+              flag, static_cast<unsigned long long>(v));
+    }
+    return static_cast<unsigned>(v);
+}
+
 /** Parse a finite double; fatal() on garbage or trailing junk. */
 inline double
 parseDouble(const char *flag, const std::string &text)

@@ -10,7 +10,8 @@
  *                 [--collectors Serial,G1,...] [--invocations N]
  *                 [--no-epsilon] [--csv out.csv] [--resume out.csv]
  *                 [--fault-plan SEED] [--sched-seed SEED]
- *                 [--retries N] [--isolate] [--max-virtual-time NS]
+ *                 [--retries N] [--isolate] [--jobs N]
+ *                 [--watchdog-ms MS] [--max-virtual-time NS]
  *
  * Defaults: the 16-benchmark geomean set, the paper's eight heap
  * multipliers, all five production collectors plus Epsilon, 5
@@ -36,6 +37,14 @@
  *                      cell records as status=hang. Requires
  *                      --isolate; distinct from --max-virtual-time,
  *                      which a livelocked child never reaches.
+ *   --jobs N           keep up to N isolated children in flight at
+ *                      once (implies --isolate). The output CSV is
+ *                      byte-identical to --jobs 1 on the same grid:
+ *                      rows are streamed in completion order as a
+ *                      crash checkpoint, then the file is rewritten
+ *                      in canonical grid order when the sweep
+ *                      completes. Each child keeps its own
+ *                      --watchdog-ms deadline.
  *   --resume out.csv   checkpoint/resume: cells already recorded in
  *                      out.csv are skipped, fresh rows are appended as
  *                      they complete; a truncated trailing line (sweep
@@ -92,7 +101,7 @@ usage()
         "[--csv out.csv] [--resume out.csv]\n"
         "                     [--fault-plan SEED] [--sched-seed SEED] "
         "[--retries N] [--isolate]\n"
-        "                     [--watchdog-ms MS] "
+        "                     [--jobs N] [--watchdog-ms MS] "
         "[--max-virtual-time NS]\n");
     std::exit(2);
 }
@@ -114,6 +123,7 @@ main(int argc, char **argv)
     std::uint64_t sched_seed = 0;
     unsigned retries = 0;
     bool isolate = false;
+    unsigned jobs = 1;
     std::uint64_t watchdog_ms = 0;
     const std::uint64_t default_max_vt = sim::MachineConfig{}.maxVirtualTime;
     std::uint64_t max_virtual_time = default_max_vt;
@@ -152,6 +162,8 @@ main(int argc, char **argv)
                                                argv[++i]);
         } else if (arg("--watchdog-ms")) {
             watchdog_ms = cli::parseCount("--watchdog-ms", argv[++i]);
+        } else if (arg("--jobs")) {
+            jobs = cli::parseJobs("--jobs", argv[++i]);
         } else if (std::strcmp(argv[i], "--isolate") == 0) {
             isolate = true;
         } else if (std::strcmp(argv[i], "--no-epsilon") == 0) {
@@ -169,7 +181,10 @@ main(int argc, char **argv)
     config.invocations = invocations;
     config.includeEpsilon = include_epsilon;
     config.retries = retries;
+    if (jobs > 1)
+        isolate = true; // every pooled cell is a forked child
     config.isolateInvocations = isolate;
+    config.jobs = jobs;
     if (watchdog_ms > 0 && !isolate)
         fatal("--watchdog-ms requires --isolate (the watchdog kills "
               "and post-mortems a forked child)");
@@ -194,14 +209,19 @@ main(int argc, char **argv)
                static_cast<unsigned long long>(fault_plan),
                fault::FaultPlan::fromSeed(fault_plan).describe().c_str());
 
+    // With --jobs > 1 the min-heap anchors are measured inside run()
+    // through the same process pool (one probe child per benchmark);
+    // measuring them here would serialize that work.
+    auto prepared = [&](const wl::WorkloadSpec &spec) {
+        return config.jobs > 1 ? spec
+                               : runner.withMinHeap(spec, config.env);
+    };
     if (benchmarks.empty()) {
         for (const wl::WorkloadSpec &spec : wl::geomeanSet())
-            config.benchmarks.push_back(
-                runner.withMinHeap(spec, config.env));
+            config.benchmarks.push_back(prepared(spec));
     } else {
         for (const std::string &name : benchmarks)
-            config.benchmarks.push_back(
-                runner.withMinHeap(wl::findSpec(name), config.env));
+            config.benchmarks.push_back(prepared(wl::findSpec(name)));
     }
 
     if (collectors.empty()) {
@@ -234,6 +254,20 @@ main(int argc, char **argv)
         std::cout << lbo::RunRecord::csvHeader() << '\n';
         for (const lbo::RunRecord &r : records)
             std::cout << r.toCsv() << '\n';
+    } else if (config.jobs > 1) {
+        // Pooled rows streamed in completion order (and any rows
+        // inherited from a resume file) served as the crash
+        // checkpoint; now that every cell is in hand, rewrite the file
+        // in canonical grid order so the output is byte-identical to a
+        // --jobs 1 sweep of the same grid.
+        file.close();
+        std::ofstream canonical(csv_path, std::ios::trunc);
+        if (!canonical)
+            fatal("cannot rewrite %s in canonical order",
+                  csv_path.c_str());
+        canonical << lbo::RunRecord::csvHeader() << '\n';
+        for (const lbo::RunRecord &r : records)
+            canonical << r.toCsv() << '\n';
     }
 
     cli::ReproContext repro_ctx;
