@@ -60,5 +60,58 @@ main()
         "comes from a concurrent collector, since for STW collectors "
         "the attributions\n"
         "coincide.)\n");
+
+    // Where the GC-thread cycles actually go: the per-phase ledger
+    // (mean over invocations, Mcycles). Rows conserve the GC-thread
+    // total exactly — "glue" is the declared control-thread slack,
+    // not rounding error.
+    std::printf("\nPer-phase attribution of the GC-thread cycles\n");
+    struct PhaseCol
+    {
+        const char *name;
+        double lbo::RunRecord::*field;
+    };
+    const PhaseCol cols[] = {
+        {"mark", &lbo::RunRecord::markCycles},
+        {"evac", &lbo::RunRecord::evacCycles},
+        {"upd-refs", &lbo::RunRecord::updateRefsCycles},
+        {"remset", &lbo::RunRecord::remsetRefineCycles},
+        {"reloc", &lbo::RunRecord::relocateCycles},
+        {"sweep", &lbo::RunRecord::sweepCycles},
+        {"compact", &lbo::RunRecord::compactCycles},
+        {"glue", &lbo::RunRecord::gcGlueCycles},
+    };
+    std::vector<std::string> headers = {"Collector"};
+    for (const PhaseCol &c : cols)
+        headers.push_back(c.name);
+    headers.push_back("glue %");
+    TextTable phases(headers);
+    for (gc::CollectorKind kind : bench::paperCollectors()) {
+        const char *name = gc::collectorName(kind);
+        if (!analyzer.ran("h2", name, 3.0))
+            continue;
+        phases.beginRow();
+        phases.cell(name);
+        double total = 0;
+        double glue = 0;
+        for (const PhaseCol &c : cols) {
+            RunningStat s =
+                bench::statOf(analyzer, "h2", name, 3.0, c.field);
+            phases.cell(s.mean() / 1e6, 2);
+            total += s.mean();
+            if (c.field == &lbo::RunRecord::gcGlueCycles)
+                glue = s.mean();
+        }
+        phases.cell(total > 0 ? 100.0 * glue / total : 0.0, 1);
+    }
+    phases.print();
+    std::printf(
+        "(Phase mix follows each design: the STW generational "
+        "collectors split between\n"
+        "evacuation and mark/compact full GCs, G1 adds remset "
+        "refinement, Shenandoah\n"
+        "spends concurrent cycles marking/evacuating/updating refs, "
+        "and ZGC's cost sits\n"
+        "in concurrent mark and relocation.)\n");
     return 0;
 }

@@ -65,7 +65,7 @@ Histogram::record(std::uint64_t value, std::uint64_t n)
         max_ = std::max(max_, value);
     }
     count_ += n;
-    totalWeightedValue_ += value * n;
+    totalWeightedValue_ += static_cast<unsigned __int128>(value) * n;
 }
 
 double

@@ -37,7 +37,7 @@ class Histogram
     /** Total number of recorded values (including weights). */
     std::uint64_t count() const { return count_; }
 
-    /** Largest recorded value (bucket upper bound; 0 when empty). */
+    /** Largest recorded value (exact as recorded; 0 when empty). */
     std::uint64_t max() const { return max_; }
 
     /** Smallest recorded value (exact as recorded; 0 when empty). */
@@ -67,7 +67,9 @@ class Histogram
 
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
-    std::uint64_t totalWeightedValue_ = 0;
+    // 128-bit accumulator: ns-scale values with large weights overflow
+    // a 64-bit value * count product long before count_ does.
+    unsigned __int128 totalWeightedValue_ = 0;
     std::uint64_t min_ = 0;
     std::uint64_t max_ = 0;
 };

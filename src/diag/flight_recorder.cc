@@ -21,6 +21,7 @@ eventKindName(EventKind kind)
     switch (kind) {
       case EventKind::PauseBegin: return "pause-begin";
       case EventKind::GcEvent: return "gc";
+      case EventKind::Phase: return "phase";
       case EventKind::Fault: return "fault";
       case EventKind::ThreadState: return "thread";
       case EventKind::RunState: return "run";

@@ -44,6 +44,7 @@ enum class EventKind : std::uint8_t
     PauseBegin,  //!< STW pause opened (label = pause kind)
     GcEvent,     //!< agent log event: pause end, concurrent cycle,
                  //!< degenerated rescue, alloc stall (label = what)
+    Phase,       //!< GC phase span closed (label = phase name)
     Fault,       //!< fault-plan state applied (label = fault kind)
     ThreadState, //!< per-thread state note (label = thread name)
     RunState,    //!< run-level transition (fail reason class, finish)

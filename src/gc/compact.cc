@@ -48,6 +48,7 @@ fullCompact(rt::Runtime &runtime)
     result.cost += root_cost;
     TraceResult marked = markFromRoots(runtime, seeds, false, &heal);
     result.cost += marked.cost;
+    result.markCost = result.cost;
 
     std::vector<heap::Region *> sources;
     for (std::size_t i = 0; i < rm.regionCount(); ++i) {

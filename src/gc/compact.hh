@@ -32,6 +32,13 @@ struct CompactResult
     Cycles cost = 0;
     std::uint64_t packets = 1;
 
+    /**
+     * Portion of @c cost spent in the mark pass (root scan + trace);
+     * the rest is plan/update/move/free-list work. Lets callers split
+     * the total between the Mark and Compact attribution phases.
+     */
+    Cycles markCost = 0;
+
     /** Surviving regions, in address order, now RegionState::Old. */
     std::vector<heap::Region *> kept;
 };

@@ -52,18 +52,25 @@ class G1::ControlThread : public rt::WorkerThread
             } else if (gc_.pending_ == Request::Young) {
                 job_ = PauseJob::Young;
             } else {
+                setPhaseTag(0);
                 block();
                 return false;
             }
             switch (job_) {
               case PauseJob::Young:
                 rt.agent().pauseBegin(metrics::PauseKind::EvacPause);
+                setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Evacuate,
+                                                true));
                 break;
               case PauseJob::Full:
                 rt.agent().pauseBegin(metrics::PauseKind::FullGc);
+                setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Compact,
+                                                true));
                 break;
               case PauseJob::Remark:
                 rt.agent().pauseBegin(metrics::PauseKind::FinalMark);
+                setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Mark,
+                                                true));
                 break;
             }
             charge(rt.costs().safepointSync);
@@ -73,25 +80,28 @@ class G1::ControlThread : public rt::WorkerThread
           }
           case Phase::PauseWork: {
             GcWork work;
+            metrics::GcPhase primary = metrics::GcPhase::Evacuate;
             switch (job_) {
               case PauseJob::Young: {
                 gc_.pending_ = Request::None;
                 bool evac_failed = false;
                 work = gc_.doEvacPause(evac_failed);
                 if (evac_failed) {
-                    GcWork full = gc_.doFullGc();
-                    work.cost += full.cost;
-                    work.packets += full.packets;
+                    // doFullGc's shares cover its whole cost, so the
+                    // merged remainder stays the evacuation portion.
+                    work += gc_.doFullGc();
                 }
                 break;
               }
               case PauseJob::Full:
                 gc_.pending_ = Request::None;
                 work = gc_.doFullGc();
+                primary = metrics::GcPhase::Compact;
                 break;
               case PauseJob::Remark:
                 gc_.pendingRemark_ = false;
                 work = gc_.doRemarkCleanup();
+                primary = metrics::GcPhase::Mark;
                 break;
             }
             if (rt::validateEnabled()) {
@@ -103,7 +113,7 @@ class G1::ControlThread : public rt::WorkerThread
                 rt::validateHeap(rt, "g1-post-pause-work", vopts);
             }
             phase_ = Phase::PauseFinish;
-            gc_.pauseGang_->dispatch(work.cost, work.packets, this);
+            gc_.pauseGang_->dispatch(work, primary, this);
             block();
             return false;
           }
@@ -119,6 +129,7 @@ class G1::ControlThread : public rt::WorkerThread
                 gc_.markingActive_ = true;
                 gc_.markPending_ = true;
                 ++gc_.cycleId_;
+                rt.agent().concurrentCycleBegin();
                 auto &ctx = rt.heap();
                 ctx.bitmap.clearAll();
                 for (std::size_t i = 0; i < ctx.regions.regionCount(); ++i)
@@ -130,6 +141,9 @@ class G1::ControlThread : public rt::WorkerThread
                 rt.agent().concurrentCycleEnd();
             }
             rt.agent().pauseEnd();
+            // Post-pause bookkeeping (including this round's forced
+            // idle cycle) is glue, not late STW phase work.
+            setPhaseTag(0);
             rt.resumeWorld();
             rt.wakeAllocWaiters();
             phase_ = Phase::Idle;
@@ -173,6 +187,7 @@ class G1::ConcMarkThread : public rt::WorkerThread
         switch (phase_) {
           case Phase::Idle: {
             if (!gc_.markPending_) {
+                setPhaseTag(0);
                 block();
                 return false;
             }
@@ -180,7 +195,8 @@ class G1::ConcMarkThread : public rt::WorkerThread
             markedCycle_ = gc_.cycleId_;
             GcWork work = gc_.doConcurrentMark();
             phase_ = Phase::Marked;
-            gc_.concGang_->dispatch(work.cost, work.packets, this);
+            setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Mark, false));
+            gc_.concGang_->dispatch(work, metrics::GcPhase::Mark, this);
             block();
             return false;
           }
@@ -354,7 +370,7 @@ G1::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot, Addr value)
     }
 }
 
-G1::GcWork
+GcWork
 G1::doEvacPause(bool &evac_failed)
 {
     if (rt::validateEnabled()) {
@@ -558,7 +574,7 @@ G1::doEvacPause(bool &evac_failed)
     return w;
 }
 
-G1::GcWork
+GcWork
 G1::doFullGc()
 {
     if (rt::validateEnabled())
@@ -573,9 +589,15 @@ G1::doFullGc()
     for (heap::Region *r : compact.kept)
         old_->adopt(r);
 
+    Cycles remset_cost = rebuildRemsets(*rt_);
     GcWork w;
-    w.cost = compact.cost + rebuildRemsets(*rt_);
+    w.cost = compact.cost + remset_cost;
     w.packets = compact.packets;
+    // Fully self-describing: shares cover the whole cost, so merging
+    // this into another pause's work leaves its primary phase intact.
+    w.share(metrics::GcPhase::Mark, compact.markCost);
+    w.share(metrics::GcPhase::Compact, compact.cost - compact.markCost);
+    w.share(metrics::GcPhase::RemsetRefine, remset_cost);
 
     // Abort any concurrent cycle: its marking state is now invalid.
     ctx.satb.clear();
@@ -590,7 +612,7 @@ G1::doFullGc()
     return w;
 }
 
-G1::GcWork
+GcWork
 G1::doConcurrentMark()
 {
     GcWork w;
@@ -604,7 +626,7 @@ G1::doConcurrentMark()
     return w;
 }
 
-G1::GcWork
+GcWork
 G1::doRemarkCleanup()
 {
     auto &ctx = rt_->heap();
@@ -620,6 +642,7 @@ G1::doRemarkCleanup()
     TraceResult drained = drainSatb(*rt_, true);
     w.cost += drained.cost;
     markingActive_ = false;
+    Cycles mark_part = w.cost; // SATB flush + drain; the rest is cleanup
 
     // Cleanup: reclaim fully dead old regions, select mixed
     // candidates (most garbage first).
@@ -675,6 +698,7 @@ G1::doRemarkCleanup()
 
     w.packets = drained.objects / std::max<std::uint32_t>(
                     costs.packetObjects, 1) + 1;
+    w.share(metrics::GcPhase::Sweep, w.cost - mark_part);
     return w;
 }
 

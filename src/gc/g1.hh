@@ -69,12 +69,6 @@ class G1 : public rt::Collector
         Remark,
     };
 
-    struct GcWork
-    {
-        Cycles cost = 0;
-        std::uint64_t packets = 1;
-    };
-
     class ControlThread;
     class ConcMarkThread;
     friend class ControlThread;

@@ -1,5 +1,7 @@
 #include "gc/gang.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "rt/runtime.hh"
 
@@ -19,17 +21,27 @@ WorkGang::Worker::step()
     const rt::CostModel &costs = gang_.rt_.costs();
     if (!rendezvousPaid_) {
         rendezvousPaid_ = true;
+        setPhaseTag(gang_.firstTag_);
         charge(costs.workerRendezvous);
         return true;
     }
-    Cycles packet = gang_.takePacket();
-    if (packet == 0) {
+    std::uint8_t tag = 0;
+    if (!gang_.frontTag(tag)) {
         rendezvousPaid_ = false;
         block();
         gang_.workerIdle();
         return false;
     }
-    charge(packet + costs.packetSync);
+    if (tag != phaseTag() && chargedThisRound() > 0) {
+        // The scheduler commits a whole round's cycles under the tag
+        // it reads after run() returns; yield so the cycles charged
+        // so far land under the old tag, and retag at the next
+        // round's first step. Safe: a round's first step always
+        // charges, so the no-progress panic cannot trip.
+        return false;
+    }
+    setPhaseTag(tag);
+    charge(gang_.takePacket() + costs.packetSync);
     return true;
 }
 
@@ -48,31 +60,78 @@ WorkGang::WorkGang(rt::Runtime &runtime, const std::string &name,
 WorkGang::~WorkGang() = default;
 
 void
-WorkGang::dispatch(Cycles total_cost, std::uint64_t packets,
+WorkGang::dispatch(const GcWork &work, metrics::GcPhase primary,
                    sim::SimThread *client)
 {
     distill_assert(!busy(), "overlapping gang dispatch");
     distill_assert(client != nullptr, "gang dispatch without client");
-    packets = std::max<std::uint64_t>(packets, 1);
-    packetsLeft_ = packets;
-    packetCost_ = total_cost / packets;
-    remainderCost_ = total_cost % packets;
+    metrics::GcAgent &agent = rt_.agent();
+    const bool stw = agent.inPause();
+    std::vector<WorkShare> parts = partitionWork(work, primary);
+    std::uint64_t total_packets = std::max<std::uint64_t>(
+        std::max<std::uint64_t>(work.packets, 1), parts.size());
+
+    // Packets per slice proportional to its cost, at least one each,
+    // with the last slice absorbing the rounding slack. A
+    // single-slice dispatch reduces to the historical uniform split.
+    segments_.clear();
+    seg_ = 0;
+    std::uint64_t remaining = total_packets;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        std::uint64_t slices_after = parts.size() - 1 - i;
+        std::uint64_t pk;
+        if (slices_after == 0) {
+            pk = remaining;
+        } else {
+            pk = work.cost > 0
+                ? total_packets * parts[i].cost / work.cost
+                : 1;
+            pk = std::clamp<std::uint64_t>(pk, 1,
+                                           remaining - slices_after);
+        }
+        remaining -= pk;
+        Segment s;
+        s.tag = metrics::gcPhaseTag(parts[i].phase, stw);
+        s.packets = pk;
+        s.packetCost = parts[i].cost / pk;
+        s.remainder = parts[i].cost % pk;
+        segments_.push_back(s);
+    }
+    packetsLeft_ = total_packets;
+    firstTag_ = segments_.front().tag;
+    // Wall-clock span for the whole dispatch, closed when the last
+    // worker goes idle.
+    span_.emplace(agent, primary);
     client_ = client;
     active_ = static_cast<unsigned>(workers_.size());
     for (auto &w : workers_)
         w->makeRunnable();
 }
 
+bool
+WorkGang::frontTag(std::uint8_t &tag)
+{
+    while (seg_ < segments_.size() && segments_[seg_].packets == 0)
+        ++seg_;
+    if (seg_ >= segments_.size())
+        return false;
+    tag = segments_[seg_].tag;
+    return true;
+}
+
 Cycles
 WorkGang::takePacket()
 {
-    if (packetsLeft_ == 0)
-        return 0;
+    distill_assert(seg_ < segments_.size() &&
+                       segments_[seg_].packets > 0,
+                   "takePacket from an empty pool");
+    Segment &s = segments_[seg_];
+    --s.packets;
     --packetsLeft_;
-    Cycles cost = packetCost_;
-    if (packetsLeft_ == 0) {
-        cost += remainderCost_;
-        remainderCost_ = 0;
+    Cycles cost = s.packetCost;
+    if (s.packets == 0) {
+        cost += s.remainder;
+        s.remainder = 0;
     }
     // Ensure progress even for zero-cost packets.
     return std::max<Cycles>(cost, 1);
@@ -84,6 +143,7 @@ WorkGang::workerIdle()
     distill_assert(active_ > 0, "idle worker without active dispatch");
     --active_;
     if (active_ == 0 && packetsLeft_ == 0 && client_ != nullptr) {
+        span_.reset();
         sim::SimThread *client = client_;
         client_ = nullptr;
         client->makeRunnable();

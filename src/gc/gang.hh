@@ -11,16 +11,26 @@
  * per-packet synchronization and per-worker rendezvous overhead —
  * which is exactly why Parallel beats Serial on time but loses on
  * cycles (§IV-C(b)).
+ *
+ * The pool is segmented by GC phase for the cost-attribution ledger:
+ * each phase-tagged slice of the dispatched work becomes its own run
+ * of packets, and workers carry the slice's scheduler tag while
+ * paying for it, so per-phase cycle totals are exact rather than
+ * sampled (see metrics/phase.hh).
  */
 
 #ifndef DISTILL_GC_GANG_HH
 #define DISTILL_GC_GANG_HH
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "gc/work.hh"
+#include "metrics/agent.hh"
 #include "rt/worker.hh"
 
 namespace distill::rt
@@ -45,12 +55,16 @@ class WorkGang
     ~WorkGang();
 
     /**
-     * Distribute @p total_cost cycles of already-performed work over
-     * @p packets work packets and start the gang. @p client (usually
-     * the collector control thread) is woken when the last packet
-     * completes; the caller should block after dispatching.
+     * Distribute @p work over its packet count and start the gang.
+     * Cost declared in work.shares is charged under each share's
+     * phase; the undeclared remainder under @p primary, which also
+     * names the wall-clock PhaseScope spanning the whole dispatch.
+     * The STW variant of each tag is used when the agent reports an
+     * open pause. @p client (usually the collector control thread) is
+     * woken when the last packet completes; the caller should block
+     * after dispatching.
      */
-    void dispatch(Cycles total_cost, std::uint64_t packets,
+    void dispatch(const GcWork &work, metrics::GcPhase primary,
                   sim::SimThread *client);
 
     /** Whether a dispatch is still in flight. */
@@ -75,7 +89,22 @@ class WorkGang
         friend class WorkGang;
     };
 
-    /** Worker-side: take one packet's cost; 0 when pool is empty. */
+    /** One phase-tagged run of packets in the pool. */
+    struct Segment
+    {
+        std::uint8_t tag = 0;
+        std::uint64_t packets = 0;
+        Cycles packetCost = 0;
+        Cycles remainder = 0; //!< added to the segment's last packet
+    };
+
+    /**
+     * Worker-side: tag of the next packet; false when the pool is
+     * empty.
+     */
+    bool frontTag(std::uint8_t &tag);
+
+    /** Worker-side: take the next packet's cost (pool non-empty). */
     Cycles takePacket();
 
     /** Worker-side: report going idle; wakes the client when last. */
@@ -83,11 +112,13 @@ class WorkGang
 
     rt::Runtime &rt_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<Segment> segments_;
+    std::size_t seg_ = 0;
+    std::uint8_t firstTag_ = 0;
     std::uint64_t packetsLeft_ = 0;
-    Cycles packetCost_ = 0;
-    Cycles remainderCost_ = 0;
     unsigned active_ = 0;
     sim::SimThread *client_ = nullptr;
+    std::optional<metrics::PhaseScope> span_;
 };
 
 } // namespace distill::gc

@@ -42,12 +42,13 @@ class Shenandoah::ControlThread : public rt::WorkerThread
         switch (phase_) {
           case Phase::Idle: {
             if (gc_.pendingFull_ && !gc_.cycleInProgress_) {
-                beginPause(metrics::PauseKind::FullGc, Phase::FullWork);
+                beginPause(metrics::PauseKind::FullGc, Phase::FullWork,
+                           metrics::GcPhase::Compact);
                 return false;
             }
             if (gc_.pendingDegen_ && gc_.cycleInProgress_) {
                 beginPause(metrics::PauseKind::Degenerated,
-                           Phase::DegenWork);
+                           Phase::DegenWork, metrics::GcPhase::Mark);
                 return false;
             }
             if (gc_.cycleRequested_ && !gc_.cycleInProgress_) {
@@ -59,22 +60,27 @@ class Shenandoah::ControlThread : public rt::WorkerThread
                 gc_.evacDone_ = false;
                 gc_.updateRefsDone_ = false;
                 gc_.evacFailed_ = false;
+                rt.agent().concurrentCycleBegin();
                 beginPause(metrics::PauseKind::InitialMark,
-                           Phase::InitMarkWork);
+                           Phase::InitMarkWork, metrics::GcPhase::Mark);
                 return false;
             }
+            setPhaseTag(0);
             block();
             return false;
           }
 
           case Phase::InitMarkWork:
-            return pauseWork(gc_.doInitMark(), Phase::InitMarkFinish);
+            return pauseWork(gc_.doInitMark(), metrics::GcPhase::Mark,
+                             Phase::InitMarkFinish);
           case Phase::InitMarkFinish: {
             endPause();
             GcWork w = gc_.doConcMark();
             gc_.markDone_ = true;
             phase_ = Phase::ConcMarkDone;
-            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Mark,
+                                            false));
+            gc_.concGang_->dispatch(w, metrics::GcPhase::Mark, this);
             block();
             return false;
           }
@@ -84,17 +90,20 @@ class Shenandoah::ControlThread : public rt::WorkerThread
                 return true;
             }
             beginPause(metrics::PauseKind::FinalMark,
-                       Phase::FinalMarkWork);
+                       Phase::FinalMarkWork, metrics::GcPhase::Mark);
             return false;
           }
 
           case Phase::FinalMarkWork:
-            return pauseWork(gc_.doFinalMark(), Phase::FinalMarkFinish);
+            return pauseWork(gc_.doFinalMark(), metrics::GcPhase::Mark,
+                             Phase::FinalMarkFinish);
           case Phase::FinalMarkFinish: {
             endPause();
             GcWork w = gc_.doConcEvac();
             phase_ = Phase::EvacDone;
-            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Evacuate,
+                                            false));
+            gc_.concGang_->dispatch(w, metrics::GcPhase::Evacuate, this);
             block();
             return false;
           }
@@ -104,7 +113,8 @@ class Shenandoah::ControlThread : public rt::WorkerThread
                 return true;
             }
             beginPause(metrics::PauseKind::FinalPause,
-                       Phase::UpdateRefsPrepWork);
+                       Phase::UpdateRefsPrepWork,
+                       metrics::GcPhase::UpdateRefs);
             return false;
           }
 
@@ -113,23 +123,29 @@ class Shenandoah::ControlThread : public rt::WorkerThread
             // updated at final mark / during evacuation healing).
             GcWork w;
             w.cost = 1500;
-            return pauseWork(w, Phase::UpdateRefsPrepFinish);
+            return pauseWork(w, metrics::GcPhase::UpdateRefs,
+                             Phase::UpdateRefsPrepFinish);
           }
           case Phase::UpdateRefsPrepFinish: {
             endPause();
             GcWork w = gc_.doConcUpdateRefs();
             phase_ = Phase::UpdateRefsDone;
-            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            setPhaseTag(metrics::gcPhaseTag(
+                metrics::GcPhase::UpdateRefs, false));
+            gc_.concGang_->dispatch(w, metrics::GcPhase::UpdateRefs,
+                                    this);
             block();
             return false;
           }
           case Phase::UpdateRefsDone: {
-            beginPause(metrics::PauseKind::FinalPause, Phase::FlipWork);
+            beginPause(metrics::PauseKind::FinalPause, Phase::FlipWork,
+                       metrics::GcPhase::Sweep);
             return false;
           }
 
           case Phase::FlipWork:
-            return pauseWork(gc_.doFinalFlip(), Phase::FlipFinish);
+            return pauseWork(gc_.doFinalFlip(), metrics::GcPhase::Sweep,
+                             Phase::FlipFinish);
           case Phase::FlipFinish: {
             ++gc_.gcEpoch_;
             rt.agent().concurrentCycleEnd();
@@ -139,13 +155,15 @@ class Shenandoah::ControlThread : public rt::WorkerThread
           }
 
           case Phase::DegenWork: {
-            rt.agent().degeneratedGc();
+            rt.agent().degeneratedGcBegin();
             GcWork w = gc_.doDegenerate();
             gc_.pendingDegen_ = false;
-            return pauseWork(w, Phase::DegenFinish);
+            return pauseWork(w, metrics::GcPhase::Mark,
+                             Phase::DegenFinish);
           }
           case Phase::DegenFinish: {
             ++gc_.gcEpoch_;
+            rt.agent().degeneratedGcEnd();
             rt.agent().concurrentCycleEnd();
             endPause();
             phase_ = Phase::Idle;
@@ -154,7 +172,8 @@ class Shenandoah::ControlThread : public rt::WorkerThread
 
           case Phase::FullWork: {
             gc_.pendingFull_ = false;
-            return pauseWork(gc_.doFullGc(), Phase::FullFinish);
+            return pauseWork(gc_.doFullGc(), metrics::GcPhase::Compact,
+                             Phase::FullFinish);
           }
           case Phase::FullFinish: {
             ++gc_.gcEpoch_;
@@ -187,11 +206,16 @@ class Shenandoah::ControlThread : public rt::WorkerThread
         FullFinish,
     };
 
-    /** Open a pause and stop the world; continues at @p next. */
+    /**
+     * Open a pause and stop the world; continues at @p next. The
+     * safepoint-sync cost is attributed to @p tag_phase (STW).
+     */
     void
-    beginPause(metrics::PauseKind kind, Phase next)
+    beginPause(metrics::PauseKind kind, Phase next,
+               metrics::GcPhase tag_phase)
     {
         gc_.rt_->agent().pauseBegin(kind);
+        setPhaseTag(metrics::gcPhaseTag(tag_phase, true));
         charge(gc_.rt_->costs().safepointSync);
         phase_ = next;
         gc_.rt_->requestSafepoint(this);
@@ -199,10 +223,10 @@ class Shenandoah::ControlThread : public rt::WorkerThread
 
     /** Dispatch pause work to the pause gang; continues at @p next. */
     bool
-    pauseWork(const GcWork &work, Phase next)
+    pauseWork(const GcWork &work, metrics::GcPhase primary, Phase next)
     {
         phase_ = next;
-        gc_.pauseGang_->dispatch(work.cost, work.packets, this);
+        gc_.pauseGang_->dispatch(work, primary, this);
         block();
         return false;
     }
@@ -212,6 +236,8 @@ class Shenandoah::ControlThread : public rt::WorkerThread
     endPause()
     {
         gc_.rt_->agent().pauseEnd();
+        // Post-pause bookkeeping is glue until the next phase retags.
+        setPhaseTag(0);
         gc_.rt_->resumeWorld();
         gc_.rt_->wakeAllocWaiters();
     }
@@ -406,7 +432,7 @@ Shenandoah::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
     h->refSlots()[slot] = value;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doInitMark()
 {
     auto &ctx = rt_->heap();
@@ -423,7 +449,7 @@ Shenandoah::doInitMark()
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doConcMark()
 {
     GcWork w;
@@ -438,7 +464,7 @@ Shenandoah::doConcMark()
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doFinalMark()
 {
     auto &ctx = rt_->heap();
@@ -512,7 +538,7 @@ Shenandoah::doFinalMark()
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doConcEvac()
 {
     auto &ctx = rt_->heap();
@@ -553,7 +579,7 @@ Shenandoah::doConcEvac()
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doConcUpdateRefs()
 {
     auto &ctx = rt_->heap();
@@ -594,7 +620,7 @@ Shenandoah::doConcUpdateRefs()
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doFinalFlip()
 {
     auto &ctx = rt_->heap();
@@ -626,23 +652,25 @@ Shenandoah::doFinalFlip()
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doDegenerate()
 {
+    // Complete the interrupted cycle STW, keeping each sub-step's
+    // phase attribution.
     GcWork w;
     if (!markDone_)
-        w += doConcMark();
+        w.add(doConcMark(), metrics::GcPhase::Mark);
     if (!finalMarkDone_)
-        w += doFinalMark();
+        w.add(doFinalMark(), metrics::GcPhase::Mark);
     if (!evacDone_)
-        w += doConcEvac();
+        w.add(doConcEvac(), metrics::GcPhase::Evacuate);
     if (!updateRefsDone_)
-        w += doConcUpdateRefs();
-    w += doFinalFlip();
+        w.add(doConcUpdateRefs(), metrics::GcPhase::UpdateRefs);
+    w.add(doFinalFlip(), metrics::GcPhase::Sweep);
     return w;
 }
 
-Shenandoah::GcWork
+GcWork
 Shenandoah::doFullGc()
 {
     auto &ctx = rt_->heap();
@@ -665,6 +693,8 @@ Shenandoah::doFullGc()
     GcWork w;
     w.cost = compact.cost;
     w.packets = compact.packets;
+    w.share(metrics::GcPhase::Mark, compact.markCost);
+    w.share(metrics::GcPhase::Compact, compact.cost - compact.markCost);
     return w;
 }
 

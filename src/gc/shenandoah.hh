@@ -58,20 +58,6 @@ class Shenandoah : public rt::Collector
     std::size_t minBootRegions() const override { return 4; }
 
   private:
-    struct GcWork
-    {
-        Cycles cost = 0;
-        std::uint64_t packets = 1;
-
-        GcWork &
-        operator+=(const GcWork &other)
-        {
-            cost += other.cost;
-            packets += other.packets;
-            return *this;
-        }
-    };
-
     class ControlThread;
     friend class ControlThread;
 

@@ -38,6 +38,7 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
         switch (phase_) {
           case Phase::Idle: {
             if (gc_.pending_ == GcKind::None) {
+                setPhaseTag(0);
                 block();
                 return false;
             }
@@ -45,6 +46,10 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
             rt.agent().pauseBegin(kind_ == GcKind::Young
                                       ? metrics::PauseKind::YoungGc
                                       : metrics::PauseKind::FullGc);
+            setPhaseTag(metrics::gcPhaseTag(
+                kind_ == GcKind::Young ? metrics::GcPhase::Evacuate
+                                       : metrics::GcPhase::Compact,
+                true));
             charge(rt.costs().safepointSync);
             phase_ = Phase::Collect;
             rt.requestSafepoint(this);
@@ -59,16 +64,18 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
                 rt::validateHeap(rt, "stw-pre-collect", vopts);
             }
             GcWork work;
+            metrics::GcPhase primary = metrics::GcPhase::Compact;
             if (kind_ == GcKind::Young) {
+                primary = metrics::GcPhase::Evacuate;
                 bool promo_failed = false;
                 work = gc_.doYoungGc(promo_failed);
                 if (promo_failed) {
                     // HotSpot behavior: promotion failure finishes the
                     // scavenge with self-forwarding, then runs a full
-                    // collection in the same pause.
-                    GcWork full = gc_.doFullGc();
-                    work.cost += full.cost;
-                    work.packets += full.packets;
+                    // collection in the same pause. doFullGc's shares
+                    // cover its whole cost, so the merged remainder
+                    // stays the scavenge portion.
+                    work += gc_.doFullGc();
                 }
             } else {
                 work = gc_.doFullGc();
@@ -78,18 +85,42 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
                 vopts.checkGenRemset = true;
                 rt::validateHeap(rt, "stw-post-collect", vopts);
             }
-            phase_ = Phase::Finish;
             if (gc_.gang_ != nullptr) {
-                gc_.gang_->dispatch(work.cost, work.packets, this);
+                phase_ = Phase::Finish;
+                gc_.gang_->dispatch(work, primary, this);
                 block();
                 return false;
             }
-            charge(work.cost);
+            // Serial: pay the partitioned slices one per step so each
+            // is committed under its own phase tag (the scheduler
+            // reads the tag once per round, after run()).
+            rt.agent().phaseBegin(primary);
+            primary_ = primary;
+            shares_ = partitionWork(work, primary);
+            const WorkShare &first = shares_.front();
+            setPhaseTag(metrics::gcPhaseTag(first.phase, true));
+            charge(first.cost);
+            shareIdx_ = 1;
+            phase_ = shareIdx_ >= shares_.size() ? Phase::Finish
+                                                 : Phase::PaySerial;
+            return true;
+          }
+          case Phase::PaySerial: {
+            const WorkShare &s = shares_[shareIdx_];
+            setPhaseTag(metrics::gcPhaseTag(s.phase, true));
+            charge(s.cost);
+            if (++shareIdx_ >= shares_.size())
+                phase_ = Phase::Finish;
             return true;
           }
           case Phase::Finish: {
             ++gc_.gcEpoch_;
+            if (gc_.gang_ == nullptr)
+                rt.agent().phaseEnd(primary_);
             rt.agent().pauseEnd();
+            // Post-pause bookkeeping (including this round's forced
+            // idle cycle) is glue, not late STW phase work.
+            setPhaseTag(0);
             rt.resumeWorld();
             rt.wakeAllocWaiters();
             phase_ = Phase::Idle;
@@ -104,12 +135,19 @@ class StwGenCollector::ControlThread : public rt::WorkerThread
     {
         Idle,
         Collect,
+        PaySerial,
         Finish,
     };
 
     StwGenCollector &gc_;
     Phase phase_ = Phase::Idle;
     GcKind kind_ = GcKind::None;
+
+    // Serial (gang-less) payment state: remaining phase slices of the
+    // current pause's work.
+    std::vector<WorkShare> shares_;
+    std::size_t shareIdx_ = 0;
+    metrics::GcPhase primary_ = metrics::GcPhase::None;
 };
 
 StwGenCollector::StwGenCollector(std::string name, unsigned workers,
@@ -207,7 +245,7 @@ StwGenCollector::storeRef(rt::Mutator &mutator, Addr obj, unsigned slot,
     }
 }
 
-StwGenCollector::GcWork
+GcWork
 StwGenCollector::doYoungGc(bool &promo_failed)
 {
     auto &ctx = rt_->heap();
@@ -352,7 +390,7 @@ StwGenCollector::doYoungGc(bool &promo_failed)
     return w;
 }
 
-StwGenCollector::GcWork
+GcWork
 StwGenCollector::doFullGc()
 {
     CompactResult compact = fullCompact(*rt_);
@@ -364,6 +402,10 @@ StwGenCollector::doFullGc()
     GcWork w;
     w.cost = compact.cost;
     w.packets = compact.packets;
+    // Fully self-describing: shares cover the whole cost, so merging
+    // this into a failed scavenge's work leaves its primary intact.
+    w.share(metrics::GcPhase::Mark, compact.markCost);
+    w.share(metrics::GcPhase::Compact, compact.cost - compact.markCost);
     return w;
 }
 

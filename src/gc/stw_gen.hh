@@ -61,13 +61,6 @@ class StwGenCollector : public rt::Collector
         Full,
     };
 
-    /** Cost summary of one host-side collection. */
-    struct GcWork
-    {
-        Cycles cost = 0;
-        std::uint64_t packets = 1;
-    };
-
     class ControlThread;
     friend class ControlThread;
 

@@ -1,0 +1,77 @@
+#include "gc/work.hh"
+
+#include "base/logging.hh"
+
+namespace distill::gc
+{
+
+Cycles
+GcWork::sharedCost() const
+{
+    Cycles sum = 0;
+    for (const WorkShare &s : shares)
+        sum += s.cost;
+    return sum;
+}
+
+void
+GcWork::share(metrics::GcPhase phase, Cycles c)
+{
+    if (c == 0)
+        return;
+    for (WorkShare &s : shares) {
+        if (s.phase == phase) {
+            s.cost += c;
+            return;
+        }
+    }
+    shares.push_back({phase, c});
+}
+
+GcWork &
+GcWork::operator+=(const GcWork &other)
+{
+    cost += other.cost;
+    packets += other.packets;
+    for (const WorkShare &s : other.shares)
+        share(s.phase, s.cost);
+    return *this;
+}
+
+void
+GcWork::add(const GcWork &other, metrics::GcPhase phase)
+{
+    Cycles other_shared = other.sharedCost();
+    distill_assert(other_shared <= other.cost,
+                   "work shares exceed the total cost");
+    *this += other;
+    share(phase, other.cost - other_shared);
+}
+
+std::vector<WorkShare>
+partitionWork(const GcWork &work, metrics::GcPhase primary)
+{
+    Cycles shared = work.sharedCost();
+    distill_assert(shared <= work.cost,
+                   "work shares exceed the total cost");
+    std::vector<WorkShare> parts;
+    auto put = [&parts](metrics::GcPhase phase, Cycles c) {
+        if (c == 0)
+            return;
+        for (WorkShare &p : parts) {
+            if (p.phase == phase) {
+                p.cost += c;
+                return;
+            }
+        }
+        parts.push_back({phase, c});
+    };
+    put(primary, work.cost - shared);
+    for (const WorkShare &s : work.shares)
+        put(s.phase, s.cost);
+    if (parts.empty())
+        parts.push_back({primary, 0});
+    return parts;
+}
+
+} // namespace distill::gc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Phase-tagged GC work descriptor.
+ *
+ * Collectors compute collection work host-side and describe its cost
+ * with a GcWork: total cycles, a packet count for gang parallelism,
+ * and an optional breakdown of the cost into phase-tagged shares. The
+ * breakdown drives the cost-attribution ledger: WorkGang::dispatch
+ * charges each share's cycles under its phase's scheduler tag, and
+ * whatever cost is left undeclared is charged under the dispatch's
+ * primary phase — so the shares never need to cover everything, and
+ * the total is conserved by construction.
+ */
+
+#ifndef DISTILL_GC_WORK_HH
+#define DISTILL_GC_WORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "metrics/phase.hh"
+
+namespace distill::gc
+{
+
+/** One phase-tagged slice of a GcWork's cost. */
+struct WorkShare
+{
+    metrics::GcPhase phase = metrics::GcPhase::None;
+    Cycles cost = 0;
+};
+
+/**
+ * Cost summary of one host-side collection step, with an optional
+ * per-phase breakdown of the total.
+ */
+struct GcWork
+{
+    Cycles cost = 0;
+    std::uint64_t packets = 1;
+
+    /**
+     * Declared phase breakdown. The sum of share costs must not
+     * exceed @c cost; the difference is the *primary remainder*,
+     * attributed to the phase named at dispatch.
+     */
+    std::vector<WorkShare> shares;
+
+    /** Sum of the declared shares' costs. */
+    Cycles sharedCost() const;
+
+    /** Declare @p c cycles of the total as @p phase work. */
+    void share(metrics::GcPhase phase, Cycles c);
+
+    /** Merge @p other, keeping its phase breakdown as-is. */
+    GcWork &operator+=(const GcWork &other);
+
+    /**
+     * Merge @p other, tagging its undeclared remainder as @p phase
+     * (its already-declared shares merge untouched). Lets a composite
+     * step like Shenandoah's degenerated rescue keep each sub-step's
+     * attribution.
+     */
+    void add(const GcWork &other, metrics::GcPhase phase);
+};
+
+/**
+ * Partition @p work into phase-tagged slices that sum to work.cost
+ * exactly: the undeclared remainder under @p primary plus the
+ * declared shares, coalesced by phase, zero-cost slices dropped.
+ * Never returns an empty vector (a zero-cost work yields one
+ * zero-cost primary slice).
+ */
+std::vector<WorkShare> partitionWork(const GcWork &work,
+                                     metrics::GcPhase primary);
+
+} // namespace distill::gc
+
+#endif // DISTILL_GC_WORK_HH

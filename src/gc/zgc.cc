@@ -34,13 +34,15 @@ class Zgc::ControlThread : public rt::WorkerThread
         switch (phase_) {
           case Phase::Idle: {
             if (!gc_.cycleRequested_) {
+                setPhaseTag(0);
                 block();
                 return false;
             }
             gc_.cycleRequested_ = false;
             gc_.cycleInProgress_ = true;
+            rt.agent().concurrentCycleBegin();
             beginPause(metrics::PauseKind::InitialMark,
-                       Phase::MarkStartWork);
+                       Phase::MarkStartWork, metrics::GcPhase::Mark);
             return false;
           }
           case Phase::MarkStartWork: {
@@ -49,7 +51,8 @@ class Zgc::ControlThread : public rt::WorkerThread
             GcWork w = gc_.doMarkStart();
             if (rt::validateEnabled())
                 rt::validateHeap(rt, "zgc-post-mark-start", true);
-            return pauseWork(w, Phase::MarkStartFinish);
+            return pauseWork(w, Phase::MarkStartFinish,
+                             metrics::GcPhase::Mark);
           }
           case Phase::MarkStartFinish: {
             endPause();
@@ -57,27 +60,31 @@ class Zgc::ControlThread : public rt::WorkerThread
             if (rt::validateEnabled())
                 rt::validateHeap(rt, "zgc-post-conc-mark", true);
             phase_ = Phase::MarkDone;
-            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Mark, false));
+            gc_.concGang_->dispatch(w, metrics::GcPhase::Mark, this);
             block();
             return false;
           }
           case Phase::MarkDone: {
-            beginPause(metrics::PauseKind::FinalMark, Phase::MarkEndWork);
+            beginPause(metrics::PauseKind::FinalMark, Phase::MarkEndWork,
+                       metrics::GcPhase::Mark);
             return false;
           }
           case Phase::MarkEndWork:
-            return pauseWork(gc_.doMarkEnd(), Phase::MarkEndFinish);
+            return pauseWork(gc_.doMarkEnd(), Phase::MarkEndFinish,
+                             metrics::GcPhase::Mark);
           case Phase::MarkEndFinish: {
             endPause();
             beginPause(metrics::PauseKind::FinalPause,
-                       Phase::RelocStartWork);
+                       Phase::RelocStartWork, metrics::GcPhase::Relocate);
             return false;
           }
           case Phase::RelocStartWork: {
             GcWork w = gc_.doRelocateStart();
             if (rt::validateEnabled())
                 rt::validateHeap(rt, "zgc-post-reloc-start", true);
-            return pauseWork(w, Phase::RelocStartFinish);
+            return pauseWork(w, Phase::RelocStartFinish,
+                             metrics::GcPhase::Relocate);
           }
           case Phase::RelocStartFinish: {
             endPause();
@@ -89,7 +96,9 @@ class Zgc::ControlThread : public rt::WorkerThread
             gc_.settleStalls();
             rt.wakeAllocWaiters();
             phase_ = Phase::RelocDone;
-            gc_.concGang_->dispatch(w.cost, w.packets, this);
+            setPhaseTag(metrics::gcPhaseTag(metrics::GcPhase::Relocate,
+                                            false));
+            gc_.concGang_->dispatch(w, metrics::GcPhase::Relocate, this);
             block();
             return false;
           }
@@ -140,19 +149,21 @@ class Zgc::ControlThread : public rt::WorkerThread
     };
 
     void
-    beginPause(metrics::PauseKind kind, Phase next)
+    beginPause(metrics::PauseKind kind, Phase next,
+               metrics::GcPhase tag_phase)
     {
         gc_.rt_->agent().pauseBegin(kind);
+        setPhaseTag(metrics::gcPhaseTag(tag_phase, true));
         charge(gc_.rt_->costs().safepointSync);
         phase_ = next;
         gc_.rt_->requestSafepoint(this);
     }
 
     bool
-    pauseWork(const GcWork &work, Phase next)
+    pauseWork(const GcWork &work, Phase next, metrics::GcPhase primary)
     {
         phase_ = next;
-        gc_.pauseGang_->dispatch(work.cost, work.packets, this);
+        gc_.pauseGang_->dispatch(work, primary, this);
         block();
         return false;
     }
@@ -161,6 +172,8 @@ class Zgc::ControlThread : public rt::WorkerThread
     endPause()
     {
         gc_.rt_->agent().pauseEnd();
+        // Post-pause bookkeeping is glue until the next phase retags.
+        setPhaseTag(0);
         gc_.rt_->resumeWorld();
         gc_.rt_->wakeAllocWaiters();
     }
@@ -426,7 +439,7 @@ Zgc::markOnAccess(Addr ref)
         pendingMarks_.push_back(a);
 }
 
-Zgc::GcWork
+GcWork
 Zgc::doMarkStart()
 {
     auto &ctx = rt_->heap();
@@ -464,7 +477,7 @@ Zgc::doMarkStart()
     return w;
 }
 
-Zgc::GcWork
+GcWork
 Zgc::doConcMark()
 {
     auto &ctx = rt_->heap();
@@ -502,7 +515,7 @@ Zgc::doConcMark()
     return w;
 }
 
-Zgc::GcWork
+GcWork
 Zgc::drainPendingMarks()
 {
     GcWork w;
@@ -517,7 +530,7 @@ Zgc::drainPendingMarks()
     return w;
 }
 
-Zgc::GcWork
+GcWork
 Zgc::doMarkEnd()
 {
     GcWork w = drainPendingMarks();
@@ -525,7 +538,7 @@ Zgc::doMarkEnd()
     return w;
 }
 
-Zgc::GcWork
+GcWork
 Zgc::doRelocateStart()
 {
     auto &ctx = rt_->heap();
@@ -623,7 +636,7 @@ Zgc::doRelocateStart()
     return w;
 }
 
-Zgc::GcWork
+GcWork
 Zgc::doConcRelocate()
 {
     auto &ctx = rt_->heap();
@@ -672,6 +685,7 @@ Zgc::doConcRelocate()
             kept.push_back(r);
     }
 
+    Cycles before_remap = w.cost;
     // Remap: rewrite every live reference through the forwarding
     // tables. Real ZGC defers this walk into the next marking cycle
     // (healing loads from side tables meanwhile); our region manager
@@ -732,6 +746,7 @@ Zgc::doConcRelocate()
         if (slot != nullRef)
             slot = heal(slot);
     });
+    w.share(metrics::GcPhase::UpdateRefs, w.cost - before_remap);
 
     // Recycle the collection set and retire the tables.
     for (heap::Region *r : cset_) {

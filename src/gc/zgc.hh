@@ -55,12 +55,6 @@ class Zgc : public rt::Collector
     std::size_t minBootRegions() const override { return 4; }
 
   private:
-    struct GcWork
-    {
-        Cycles cost = 0;
-        std::uint64_t packets = 1;
-    };
-
     class ControlThread;
     friend class ControlThread;
 

@@ -14,7 +14,7 @@ namespace distill::lbo::detail
 {
 
 /** Bump when the cost model, workloads, or collectors change. */
-constexpr int cacheEpoch = 3;
+constexpr int cacheEpoch = 4;
 
 /** DISTILL_CACHE_DIR, defaulting to ".". */
 std::string cacheDir();

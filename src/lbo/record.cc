@@ -19,8 +19,11 @@ constexpr std::size_t failureFieldCount = 36;
 /** Field count of the pre-notes layout (no diagnostic metadata). */
 constexpr std::size_t forensicsFieldCount = 38;
 
+/** Field count of the pre-phase-attribution layout. */
+constexpr std::size_t notesFieldCount = 39;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 39;
+constexpr std::size_t currentFieldCount = 47;
 
 } // namespace
 
@@ -34,7 +37,9 @@ RunRecord::csvHeader()
            "meteredP90Ns,meteredP99Ns,meteredP9999Ns,meteredMaxNs,"
            "simpleP50Ns,simpleP99Ns,simpleP9999Ns,allocStallNs,"
            "degeneratedGcs,bytesAllocated,status,failReason,faultSeed,"
-           "schedSeed,signature,sidecar,notes";
+           "schedSeed,signature,sidecar,notes,markCycles,evacCycles,"
+           "updateRefsCycles,remsetRefineCycles,relocateCycles,"
+           "sweepCycles,compactCycles,gcGlueCycles";
 }
 
 const char *
@@ -82,7 +87,10 @@ RunRecord::toCsv() const
         << bytesAllocated << ',' << status << ','
         << sanitizeReason(failReason) << ',' << faultSeed << ','
         << schedSeed << ',' << sanitizeReason(signature) << ','
-        << sanitizeReason(sidecar) << ',' << sanitizeReason(notes);
+        << sanitizeReason(sidecar) << ',' << sanitizeReason(notes) << ','
+        << markCycles << ',' << evacCycles << ',' << updateRefsCycles
+        << ',' << remsetRefineCycles << ',' << relocateCycles << ','
+        << sweepCycles << ',' << compactCycles << ',' << gcGlueCycles;
     return out.str();
 }
 
@@ -103,6 +111,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
     if (fields.size() != legacyFieldCount &&
         fields.size() != failureFieldCount &&
         fields.size() != forensicsFieldCount &&
+        fields.size() != notesFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -159,10 +168,24 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.signature.clear();
             out.sidecar.clear();
         }
-        if (fields.size() >= currentFieldCount)
+        if (fields.size() >= notesFieldCount)
             out.notes = fields[i++];
         else
             out.notes.clear();
+        if (fields.size() >= currentFieldCount) {
+            out.markCycles = std::stod(fields[i++]);
+            out.evacCycles = std::stod(fields[i++]);
+            out.updateRefsCycles = std::stod(fields[i++]);
+            out.remsetRefineCycles = std::stod(fields[i++]);
+            out.relocateCycles = std::stod(fields[i++]);
+            out.sweepCycles = std::stod(fields[i++]);
+            out.compactCycles = std::stod(fields[i++]);
+            out.gcGlueCycles = std::stod(fields[i++]);
+        } else {
+            out.markCycles = out.evacCycles = out.updateRefsCycles = 0;
+            out.remsetRefineCycles = out.relocateCycles = 0;
+            out.sweepCycles = out.compactCycles = out.gcGlueCycles = 0;
+        }
     } catch (const std::exception &) {
         return false;
     }

@@ -98,16 +98,33 @@ struct RunRecord
     std::uint64_t degeneratedGcs = 0;
     std::uint64_t bytesAllocated = 0;
 
+    /**
+     * Per-phase GC-thread cycle attribution (the metrics ledger's
+     * gcPhase[] rows, flattened). The seven named phases plus
+     * gcGlueCycles (the declared GcPhase::None slack) sum exactly to
+     * gcThreadCycles — the conservation invariant RunMetrics enforces
+     * at finalize(). Zero in legacy rows parsed from pre-phase CSVs.
+     */
+    double markCycles = 0;
+    double evacCycles = 0;
+    double updateRefsCycles = 0;
+    double remsetRefineCycles = 0;
+    double relocateCycles = 0;
+    double sweepCycles = 0;
+    double compactCycles = 0;
+    double gcGlueCycles = 0;
+
     /** Serialize as one CSV line (matching csvHeader()). */
     std::string toCsv() const;
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * the current 39-field layout as well as the three historical
+     * the current 47-field layout as well as the four historical
      * ones (32 fields before the status/failReason columns existed,
-     * 36 before signature/sidecar, 38 before notes); legacy rows get
-     * status derived from their completed/oom flags and empty
-     * forensics/notes columns.
+     * 36 before signature/sidecar, 38 before notes, 39 before the
+     * per-phase attribution columns); legacy rows get status derived
+     * from their completed/oom flags, empty forensics/notes columns,
+     * and zeroed phase attribution.
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

@@ -66,6 +66,18 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     r.allocStallNs = static_cast<double>(m.allocStallNs);
     r.degeneratedGcs = m.degeneratedGcs;
     r.bytesAllocated = m.bytesAllocated;
+    auto phase_cycles = [&m](metrics::GcPhase p) {
+        return static_cast<double>(
+            m.gcPhase[static_cast<std::size_t>(p)].cycles);
+    };
+    r.markCycles = phase_cycles(metrics::GcPhase::Mark);
+    r.evacCycles = phase_cycles(metrics::GcPhase::Evacuate);
+    r.updateRefsCycles = phase_cycles(metrics::GcPhase::UpdateRefs);
+    r.remsetRefineCycles = phase_cycles(metrics::GcPhase::RemsetRefine);
+    r.relocateCycles = phase_cycles(metrics::GcPhase::Relocate);
+    r.sweepCycles = phase_cycles(metrics::GcPhase::Sweep);
+    r.compactCycles = phase_cycles(metrics::GcPhase::Compact);
+    r.gcGlueCycles = phase_cycles(metrics::GcPhase::None);
     return r;
 }
 

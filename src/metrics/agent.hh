@@ -15,6 +15,7 @@
 #ifndef DISTILL_METRICS_AGENT_HH
 #define DISTILL_METRICS_AGENT_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "base/histogram.hh"
 #include "base/types.hh"
 #include "metrics/cost.hh"
+#include "metrics/phase.hh"
 
 namespace distill::sim
 {
@@ -54,8 +56,9 @@ const char *pauseKindName(PauseKind kind);
  */
 struct GcLogEvent
 {
-    /** Event label: a pause kind, "concurrent-cycle", "degenerated",
-     *  or "alloc-stall". */
+    /** Event label: a pause kind, "concurrent-cycle",
+     *  "degenerated-cycle", "alloc-stall", or a phase span
+     *  ("phase:mark", ...). */
     const char *what = "";
 
     /** Event start, virtual nanoseconds. */
@@ -93,11 +96,38 @@ struct RunMetrics
     Histogram simpleLatencyNs;
     Histogram meteredLatencyNs;
 
-    /** Number of pauses by coarse class. */
+    /**
+     * Number of pauses by coarse class. Every pause lands in exactly
+     * one class (concurrentPauses counts the InitialMark / FinalMark /
+     * FinalPause brackets of concurrent cycles), so
+     * youngPauses + fullPauses + concurrentPauses == pauseNs.count().
+     */
     std::uint64_t youngPauses = 0;
     std::uint64_t fullPauses = 0;
+    std::uint64_t concurrentPauses = 0;
     std::uint64_t concurrentCycles = 0;
     std::uint64_t degeneratedGcs = 0;
+
+    /**
+     * Per-phase cost-attribution ledger, indexed by GcPhase. Filled
+     * at finalize() from the scheduler's per-tag cycle totals plus
+     * the phase spans collected during the run; entries' cycles sum
+     * to gcThreadCycles exactly (conservation-checked), with
+     * gcPhase[GcPhase::None] holding the declared glue slack.
+     */
+    std::array<GcPhaseStats, gcPhaseCount> gcPhase{};
+
+    /** Sum of attributed (non-glue) phase cycles. */
+    Cycles gcAttributedCycles() const
+    {
+        Cycles sum = 0;
+        for (std::size_t p = 1; p < gcPhaseCount; ++p)
+            sum += gcPhase[p].cycles;
+        return sum;
+    }
+
+    /** GC cycles left in the glue bucket (the declared slack). */
+    Cycles gcGlueCycles() const { return gcPhase[0].cycles; }
 
     /** Total wall time mutators spent stalled by GC throttling. */
     Ticks allocStallNs = 0;
@@ -143,11 +173,46 @@ class GcAgent
     /** Whether a pause is currently open. */
     bool inPause() const { return inPause_; }
 
-    /** Record a concurrent cycle completion. */
+    /**
+     * Open a phase span (reentrant per phase: nested/overlapping
+     * begins of the same phase coalesce into one wall span). Distinct
+     * phases may overlap, e.g. a concurrent mark spanning an
+     * evacuation pause.
+     */
+    void phaseBegin(GcPhase phase);
+
+    /** Close a phase span opened by phaseBegin. */
+    void phaseEnd(GcPhase phase);
+
+    /**
+     * Mark the start of a concurrent cycle so concurrentCycleEnd()
+     * can log the true span. Overwrites any still-open cycle: a full
+     * GC may abort a concurrent cycle without an explicit end.
+     */
+    void concurrentCycleBegin();
+
+    /**
+     * Record a concurrent cycle completion. Logs a
+     * "concurrent-cycle" event spanning from the matching
+     * concurrentCycleBegin(); without one, falls back to a
+     * zero-duration event at now.
+     */
     void concurrentCycleEnd();
 
-    /** Record a Shenandoah degenerated collection. */
-    void degeneratedGc();
+    /**
+     * Record the start of a Shenandoah degenerated (STW rescue)
+     * collection; bumps the degenerated counter immediately so a run
+     * that dies mid-rescue still reports it.
+     */
+    void degeneratedGcBegin();
+
+    /**
+     * Record the end of a degenerated collection: logs a
+     * "degenerated-cycle" event spanning the whole failed cycle
+     * (from concurrentCycleBegin when one was open, else from
+     * degeneratedGcBegin).
+     */
+    void degeneratedGcEnd();
 
     /** Record a mutator allocation stall of @p ns. */
     void allocStall(Ticks ns);
@@ -166,6 +231,9 @@ class GcAgent
     void finalize(bool completed, bool oom, std::string failure_reason);
 
   private:
+    /** Append to the bounded gcLog without a flight-recorder echo. */
+    void appendGcLog(const char *what, Ticks start_ns, Ticks duration_ns);
+
     sim::Scheduler &scheduler_;
     RunMetrics metrics_;
     bool inPause_ = false;
@@ -173,6 +241,46 @@ class GcAgent
     Ticks pauseStartNs_ = 0;
     Cycles pauseStartCycles_ = 0;
     bool finalized_ = false;
+    std::array<unsigned, gcPhaseCount> phaseOpen_{};
+    std::array<Ticks, gcPhaseCount> phaseStartNs_{};
+    bool cycleOpen_ = false;
+    Ticks cycleStartNs_ = 0;
+    bool degenOpen_ = false;
+    Ticks degenStartNs_ = 0;
+};
+
+/**
+ * RAII phase marker: collectors wrap their work loops in a PhaseScope
+ * so the wall span and the scheduler tag bracket the same region.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(GcAgent &agent, GcPhase phase)
+        : agent_(&agent), phase_(phase)
+    {
+        agent_->phaseBegin(phase_);
+    }
+
+    ~PhaseScope()
+    {
+        if (agent_ != nullptr)
+            agent_->phaseEnd(phase_);
+    }
+
+    PhaseScope(PhaseScope &&other) noexcept
+        : agent_(other.agent_), phase_(other.phase_)
+    {
+        other.agent_ = nullptr;
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+    PhaseScope &operator=(PhaseScope &&) = delete;
+
+  private:
+    GcAgent *agent_;
+    GcPhase phase_;
 };
 
 } // namespace distill::metrics

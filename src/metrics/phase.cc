@@ -1,0 +1,38 @@
+#include "metrics/phase.hh"
+
+namespace distill::metrics
+{
+
+const char *
+gcPhaseName(GcPhase phase)
+{
+    switch (phase) {
+    case GcPhase::None: return "glue";
+    case GcPhase::Mark: return "mark";
+    case GcPhase::Evacuate: return "evacuate";
+    case GcPhase::UpdateRefs: return "update-refs";
+    case GcPhase::RemsetRefine: return "remset-refine";
+    case GcPhase::Relocate: return "relocate";
+    case GcPhase::Sweep: return "sweep";
+    case GcPhase::Compact: return "compact";
+    }
+    return "?";
+}
+
+const char *
+gcPhaseEventLabel(GcPhase phase)
+{
+    switch (phase) {
+    case GcPhase::None: return "phase:glue";
+    case GcPhase::Mark: return "phase:mark";
+    case GcPhase::Evacuate: return "phase:evacuate";
+    case GcPhase::UpdateRefs: return "phase:update-refs";
+    case GcPhase::RemsetRefine: return "phase:remset-refine";
+    case GcPhase::Relocate: return "phase:relocate";
+    case GcPhase::Sweep: return "phase:sweep";
+    case GcPhase::Compact: return "phase:compact";
+    }
+    return "phase:?";
+}
+
+} // namespace distill::metrics

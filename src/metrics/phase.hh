@@ -1,0 +1,94 @@
+/**
+ * @file
+ * GC phase taxonomy for the cost-attribution ledger.
+ *
+ * Every cycle a GC thread burns is charged under exactly one phase
+ * tag; the scheduler accrues per-tag totals and GcAgent::finalize()
+ * checks that the per-phase sums conserve cycleTotals().gc exactly.
+ */
+
+#ifndef DISTILL_METRICS_PHASE_HH
+#define DISTILL_METRICS_PHASE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace distill::metrics
+{
+
+/**
+ * The collector-neutral phase taxonomy. None is the glue bucket:
+ * control-thread bookkeeping, idle wakeups, and any GC cycle not
+ * charged inside a declared phase. It is the ledger's explicit slack
+ * — never silently dropped, always visible as its own row.
+ */
+enum class GcPhase : std::uint8_t {
+    None = 0,    //!< unattributed glue / control-thread bookkeeping
+    Mark,        //!< tracing liveness (incl. SATB drain, final mark)
+    Evacuate,    //!< copying live objects out of collection regions
+    UpdateRefs,  //!< fixing references to moved objects (remap)
+    RemsetRefine,//!< remembered-set scan/rebuild work
+    Relocate,    //!< ZGC-style relocation (copy + forwarding install)
+    Sweep,       //!< reclaiming regions / cset retirement / flip
+    Compact,     //!< sliding full-heap compaction
+};
+
+/** Number of phases, including the None glue bucket. */
+inline constexpr std::size_t gcPhaseCount = 8;
+
+/**
+ * Number of distinct scheduler attribution tags: one concurrent and
+ * one in-pause (STW) variant per phase.
+ */
+inline constexpr std::size_t gcPhaseTagCount = 2 * gcPhaseCount;
+
+/** Short lowercase name ("glue", "mark", ...). */
+const char *gcPhaseName(GcPhase phase);
+
+/**
+ * Static event label ("phase:mark", ...) used for GcLogEvent and
+ * flight-recorder records; returns string literals, never allocates.
+ */
+const char *gcPhaseEventLabel(GcPhase phase);
+
+/**
+ * Scheduler attribution tag for cycles charged in @p phase; the STW
+ * bit distinguishes in-pause work from concurrent work so the ledger
+ * can report both splits from one per-tag array.
+ */
+constexpr std::uint8_t
+gcPhaseTag(GcPhase phase, bool stw)
+{
+    return static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(phase) +
+        (stw ? gcPhaseCount : 0));
+}
+
+/** Phase a tag attributes to (inverse of gcPhaseTag). */
+constexpr GcPhase
+gcPhaseOfTag(std::uint8_t tag)
+{
+    return static_cast<GcPhase>(tag % gcPhaseCount);
+}
+
+/** Whether a tag carries the STW (in-pause) bit. */
+constexpr bool
+gcTagIsStw(std::uint8_t tag)
+{
+    return tag >= gcPhaseCount;
+}
+
+/** Per-phase ledger entry accumulated into RunMetrics. */
+struct GcPhaseStats
+{
+    Ticks wallNs = 0;          //!< wall time covered by phase spans
+    std::uint64_t spans = 0;   //!< number of closed phase spans
+    Cycles cycles = 0;         //!< GC-thread cycles charged (all tags)
+    Cycles stwCycles = 0;      //!< subset charged inside a pause
+};
+
+} // namespace distill::metrics
+
+#endif // DISTILL_METRICS_PHASE_HH

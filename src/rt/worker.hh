@@ -87,6 +87,15 @@ class WorkerThread : public sim::SimThread
     /** Charge simulated cycles for work just performed. */
     void charge(Cycles cycles) { spent_ += cycles; }
 
+    /**
+     * Cycles charged so far in the current scheduling round. Phase
+     * attribution uses this: the scheduler commits a whole round's
+     * cycles under the phase tag observed after run() returns, so a
+     * step that would switch tags mid-round must yield first when
+     * cycles are already charged (see gc::WorkGang::Worker::step).
+     */
+    Cycles chargedThisRound() const { return spent_; }
+
   private:
     Cycles debt_ = 0;
     Cycles spent_ = 0;

@@ -195,10 +195,20 @@ Scheduler::run(const std::function<bool()> &done)
                       t->name().c_str());
             }
             t->cyclesConsumed_ += used;
-            if (t->kind() == SimThread::Kind::Gc)
+            if (t->kind() == SimThread::Kind::Gc) {
+                distill_assert(t->phaseTag() < SimThread::maxPhaseTags,
+                               "thread %s has phase tag %u out of range",
+                               t->name().c_str(),
+                               static_cast<unsigned>(t->phaseTag()));
                 cycleTotals_.gc += used;
-            else
+                cycleTotals_.gcByTag[t->phaseTag()] += used;
+            } else {
+                distill_assert(t->phaseTag() == 0,
+                               "mutator thread %s carries GC phase tag %u",
+                               t->name().c_str(),
+                               static_cast<unsigned>(t->phaseTag()));
                 cycleTotals_.mutator += used;
+            }
             max_used = std::max(max_used, used);
         }
 

@@ -20,6 +20,7 @@
 #ifndef DISTILL_SIM_SCHEDULER_HH
 #define DISTILL_SIM_SCHEDULER_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -76,6 +77,14 @@ struct CycleTotals
 {
     Cycles mutator = 0;
     Cycles gc = 0;
+
+    /**
+     * GC cycles split by the running thread's phase tag (see
+     * SimThread::phaseTag). Entries sum to @c gc exactly: every GC
+     * cycle accrues under precisely one tag, so per-phase attribution
+     * is conservation-checked rather than sampled.
+     */
+    std::array<Cycles, SimThread::maxPhaseTags> gcByTag{};
 
     Cycles total() const { return mutator + gc; }
 };

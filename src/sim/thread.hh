@@ -16,6 +16,7 @@
 #ifndef DISTILL_SIM_THREAD_HH
 #define DISTILL_SIM_THREAD_HH
 
+#include <cstdint>
 #include <string>
 
 #include "base/types.hh"
@@ -47,6 +48,13 @@ class SimThread
         Mutator,
         Gc,
     };
+
+    /**
+     * Number of distinct phase tags a thread may carry (see
+     * setPhaseTag). The sim layer treats tags as opaque small
+     * integers; the metrics layer defines their meaning.
+     */
+    static constexpr std::uint8_t maxPhaseTags = 16;
 
     SimThread(std::string name, Kind kind);
     virtual ~SimThread();
@@ -92,6 +100,19 @@ class SimThread
     /** Transition to Finished. */
     void finish();
 
+    /**
+     * Cost-attribution tag this thread's cycles accrue under. The
+     * scheduler reads the tag once per round, after run() returns, so
+     * implementations must only change it at a point where all cycles
+     * charged earlier in the round belong to the old tag (in practice:
+     * at the start of a step, before charging). Mutator-kind threads
+     * must keep tag 0.
+     */
+    std::uint8_t phaseTag() const { return phaseTag_; }
+
+    /** Set the attribution tag (must be < maxPhaseTags). */
+    void setPhaseTag(std::uint8_t tag) { phaseTag_ = tag; }
+
   private:
     friend class Scheduler;
 
@@ -100,6 +121,7 @@ class SimThread
     State state_ = State::Runnable;
     Ticks wakeupTime_ = 0;
     Cycles cyclesConsumed_ = 0;
+    std::uint8_t phaseTag_ = 0;
     Scheduler *scheduler_ = nullptr;
 };
 

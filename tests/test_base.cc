@@ -407,6 +407,131 @@ TEST(Histogram, Reset)
     EXPECT_EQ(h.percentile(99), 0u);
 }
 
+TEST(Histogram, WeightedRecordSurvivesOverflowBoundary)
+{
+    // Regression: value * weight products past 2^64 used to wrap the
+    // weighted-total accumulator, poisoning meanValue(). 2^62 * 8 =
+    // 2^65 overflows uint64; the 128-bit accumulator must not.
+    Histogram h;
+    std::uint64_t v = 1ULL << 62;
+    h.record(v, 8);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_NEAR(h.meanValue(), static_cast<double>(v),
+                static_cast<double>(v) * 1e-9);
+
+    // And across merge(), which sums two near-boundary accumulators.
+    Histogram other;
+    other.record(v, 8);
+    h.merge(other);
+    EXPECT_EQ(h.count(), 16u);
+    EXPECT_NEAR(h.meanValue(), static_cast<double>(v),
+                static_cast<double>(v) * 1e-9);
+}
+
+namespace
+{
+
+/**
+ * Exact percentile over the raw sample stream, mirroring
+ * Histogram::percentile's rank convention (ceiling rank, minimum 1).
+ */
+std::uint64_t
+exactPercentile(std::vector<std::uint64_t> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    if (rank == 0)
+        rank = 1;
+    return values[rank - 1];
+}
+
+/** Assert the histogram tracks the exact stream at every percentile. */
+void
+expectMatchesExact(const Histogram &h,
+                   const std::vector<std::uint64_t> &values,
+                   const char *label)
+{
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9,
+                     99.99, 100.0}) {
+        double got = static_cast<double>(h.percentile(p));
+        double expect = static_cast<double>(exactPercentile(values, p));
+        // The representative is the bucket upper bound: one part in 64
+        // of quantization, plus a grain of absolute slack for tiny
+        // values stored exactly.
+        EXPECT_LE(std::abs(got - expect), expect / 64.0 + 1.0)
+            << label << " at p=" << p;
+    }
+}
+
+} // namespace
+
+TEST(Histogram, DifferentialPercentilesUniform)
+{
+    Histogram h;
+    std::vector<std::uint64_t> values;
+    Rng rng(0xD1FF1);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = rng.below(50'000'000);
+        h.record(v);
+        values.push_back(v);
+    }
+    expectMatchesExact(h, values, "uniform");
+}
+
+TEST(Histogram, DifferentialPercentilesLogUniform)
+{
+    // Spans ~12 orders of magnitude, like pause-vs-latency data.
+    Histogram h;
+    std::vector<std::uint64_t> values;
+    Rng rng(0xD1FF2);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(
+            std::pow(2.0, rng.real() * 40.0));
+        h.record(v);
+        values.push_back(v);
+    }
+    expectMatchesExact(h, values, "log-uniform");
+}
+
+TEST(Histogram, DifferentialPercentilesHeavyTailed)
+{
+    // 97% fast ops with a sparse 1000x tail — the shape where a rank
+    // bug would silently misreport p99.9 while p50 still looks sane.
+    Histogram h;
+    std::vector<std::uint64_t> values;
+    Rng rng(0xD1FF3);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = rng.chance(0.03)
+            ? 1'000'000 + rng.below(1'000'000'000)
+            : 1'000 + rng.below(50'000);
+        h.record(v);
+        values.push_back(v);
+    }
+    expectMatchesExact(h, values, "heavy-tailed");
+}
+
+TEST(Histogram, DifferentialPercentilesAfterMerge)
+{
+    // Percentiles of a merged histogram must match the exact
+    // percentiles of the concatenated stream.
+    Histogram a;
+    Histogram b;
+    std::vector<std::uint64_t> values;
+    Rng rng(0xD1FF4);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t small = rng.below(100'000);
+        std::uint64_t large = 1'000'000 + rng.below(100'000'000);
+        a.record(small);
+        b.record(large);
+        values.push_back(small);
+        values.push_back(large);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), values.size());
+    expectMatchesExact(a, values, "merged");
+}
+
 TEST(Histogram, MeanValue)
 {
     Histogram h;

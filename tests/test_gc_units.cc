@@ -197,7 +197,10 @@ TEST(WorkGang, PaysDispatchedCost)
         {
             if (!dispatched_) {
                 dispatched_ = true;
-                gang_->dispatch(1'000'000, 10, this);
+                gc::GcWork work;
+                work.cost = 1'000'000;
+                work.packets = 10;
+                gang_->dispatch(work, metrics::GcPhase::Mark, this);
                 block();
                 return false;
             }
@@ -244,7 +247,10 @@ TEST(WorkGang, ParallelismShortensWallClock)
             {
                 if (!dispatched_) {
                     dispatched_ = true;
-                    gang_->dispatch(20'000'000, 64, this);
+                    gc::GcWork work;
+                    work.cost = 20'000'000;
+                    work.packets = 64;
+                    gang_->dispatch(work, metrics::GcPhase::Mark, this);
                     block();
                     return false;
                 }

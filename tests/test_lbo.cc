@@ -152,7 +152,7 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     r.faultSeed = 99;
     r.schedSeed = 55;
     std::string line = r.toCsv();
-    for (int i = 0; i < 7; ++i)
+    for (int i = 0; i < 15; ++i)
         line.resize(line.rfind(',')); // strip down to the 32 legacy columns
 
     RunRecord back;
@@ -168,7 +168,7 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     ok.completed = true;
     ok.oom = false;
     std::string ok_line = ok.toCsv();
-    for (int i = 0; i < 7; ++i)
+    for (int i = 0; i < 15; ++i)
         ok_line.resize(ok_line.rfind(','));
     ASSERT_TRUE(RunRecord::fromCsv(ok_line, back));
     EXPECT_EQ(back.status, "ok");
@@ -191,8 +191,8 @@ TEST(Record, PreForensicsCsvParses)
     r.signature = "SIGSEGV@evacuate";
     r.sidecar = "x.report";
     std::string line = r.toCsv();
-    for (int i = 0; i < 3; ++i)
-        line.resize(line.rfind(',')); // strip signature + sidecar + notes
+    for (int i = 0; i < 11; ++i)
+        line.resize(line.rfind(',')); // strip forensics, notes, phases
 
     RunRecord back;
     ASSERT_TRUE(RunRecord::fromCsv(line, back));
@@ -220,18 +220,80 @@ TEST(Record, CsvRoundTripForensicsColumns)
     EXPECT_EQ(back.signature, "SIGTERM@fault-livelock");
     EXPECT_EQ(back.sidecar, r.sidecar);
 
-    // Clean rows leave both columns empty, so the line ends ",," and
-    // getline swallows the final empty field; parsing must restore it.
+    // 39-field rows from clean runs ended ",," (empty forensics and
+    // notes), and getline swallows the final empty field; parsing
+    // must restore it. The current layout ends with numeric phase
+    // columns, so only trimmed-back legacy lines hit this path.
     RunRecord clean;
     clean.bench = "jme";
     clean.collector = "Serial";
     clean.completed = true;
     std::string line = clean.toCsv();
+    for (int i = 0; i < 8; ++i)
+        line.resize(line.rfind(',')); // strip the phase columns
     ASSERT_EQ(line.back(), ',');
     ASSERT_TRUE(RunRecord::fromCsv(line, back));
     EXPECT_EQ(back.status, "ok");
     EXPECT_TRUE(back.signature.empty());
     EXPECT_TRUE(back.sidecar.empty());
+}
+
+TEST(Record, PhaseColumnsRoundTrip)
+{
+    RunRecord r;
+    r.bench = "h2";
+    r.collector = "ZGC";
+    r.completed = true;
+    r.gcThreadCycles = 8e8;
+    r.markCycles = 3e8;
+    r.evacCycles = 0;
+    r.updateRefsCycles = 1e8;
+    r.remsetRefineCycles = 0;
+    r.relocateCycles = 3.5e8;
+    r.sweepCycles = 0;
+    r.compactCycles = 0;
+    r.gcGlueCycles = 0.5e8;
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(r.toCsv(), back));
+    EXPECT_EQ(back.markCycles, r.markCycles);
+    EXPECT_EQ(back.evacCycles, r.evacCycles);
+    EXPECT_EQ(back.updateRefsCycles, r.updateRefsCycles);
+    EXPECT_EQ(back.remsetRefineCycles, r.remsetRefineCycles);
+    EXPECT_EQ(back.relocateCycles, r.relocateCycles);
+    EXPECT_EQ(back.sweepCycles, r.sweepCycles);
+    EXPECT_EQ(back.compactCycles, r.compactCycles);
+    EXPECT_EQ(back.gcGlueCycles, r.gcGlueCycles);
+    // The round-tripped row preserves the conservation identity.
+    EXPECT_EQ(back.markCycles + back.evacCycles + back.updateRefsCycles +
+                  back.remsetRefineCycles + back.relocateCycles +
+                  back.sweepCycles + back.compactCycles +
+                  back.gcGlueCycles,
+              back.gcThreadCycles);
+}
+
+TEST(Record, PrePhaseCsvParses)
+{
+    // 39-field rows written before the attribution columns existed
+    // must keep parsing, with every phase column defaulting to zero.
+    RunRecord r;
+    r.bench = "h2";
+    r.collector = "G1";
+    r.completed = true;
+    r.gcThreadCycles = 5e8;
+    r.markCycles = 1e8;
+    r.gcGlueCycles = 4e8;
+    r.notes = "slow-teardown";
+    std::string line = r.toCsv();
+    for (int i = 0; i < 8; ++i)
+        line.resize(line.rfind(',')); // strip the phase columns
+
+    RunRecord back;
+    ASSERT_TRUE(RunRecord::fromCsv(line, back));
+    EXPECT_EQ(back.notes, "slow-teardown"); // last surviving column
+    EXPECT_EQ(back.gcThreadCycles, 5e8);
+    EXPECT_EQ(back.markCycles, 0.0);
+    EXPECT_EQ(back.gcGlueCycles, 0.0);
 }
 
 TEST(Sweep, ResumeSkipsTruncatedTrailingLine)

@@ -84,14 +84,20 @@ TEST(Agent, PauseKindsCounted)
     GcAgent agent(sched);
     for (PauseKind kind :
          {PauseKind::YoungGc, PauseKind::EvacPause, PauseKind::FullGc,
-          PauseKind::Degenerated, PauseKind::InitialMark}) {
+          PauseKind::Degenerated, PauseKind::InitialMark,
+          PauseKind::FinalMark, PauseKind::FinalPause}) {
         agent.pauseBegin(kind);
         agent.pauseEnd();
     }
     EXPECT_EQ(agent.metrics().youngPauses, 2u);
     EXPECT_EQ(agent.metrics().fullPauses, 2u);
-    EXPECT_EQ(agent.metrics().pauseNs.count(), 5u);
-    EXPECT_EQ(agent.metrics().gcLog.size(), 5u);
+    EXPECT_EQ(agent.metrics().concurrentPauses, 3u);
+    EXPECT_EQ(agent.metrics().pauseNs.count(), 7u);
+    // Every pause belongs to exactly one class.
+    EXPECT_EQ(agent.metrics().youngPauses + agent.metrics().fullPauses +
+                  agent.metrics().concurrentPauses,
+              agent.metrics().pauseNs.count());
+    EXPECT_EQ(agent.metrics().gcLog.size(), 7u);
 }
 
 TEST(Agent, EventLogHelpers)
@@ -100,7 +106,9 @@ TEST(Agent, EventLogHelpers)
     sim::Scheduler sched(machine);
     GcAgent agent(sched);
     agent.allocStall(5000);
-    agent.degeneratedGc();
+    agent.degeneratedGcBegin();
+    agent.degeneratedGcEnd();
+    agent.concurrentCycleBegin();
     agent.concurrentCycleEnd();
     const metrics::RunMetrics &m = agent.metrics();
     EXPECT_EQ(m.allocStalls, 1u);
@@ -109,7 +117,7 @@ TEST(Agent, EventLogHelpers)
     EXPECT_EQ(m.concurrentCycles, 1u);
     ASSERT_EQ(m.gcLog.size(), 3u);
     EXPECT_STREQ(m.gcLog[0].what, "alloc-stall");
-    EXPECT_STREQ(m.gcLog[1].what, "degenerated");
+    EXPECT_STREQ(m.gcLog[1].what, "degenerated-cycle");
     EXPECT_STREQ(m.gcLog[2].what, "concurrent-cycle");
 }
 

@@ -226,13 +226,12 @@ main(int argc, char **argv)
                                     ? 100.0 * m.stw.cycles /
                                         m.total.cycles
                                     : 0.0));
-    row("pauses", strprintf("%llu (young %llu, full %llu)",
-                            static_cast<unsigned long long>(
-                                m.pauseNs.count()),
-                            static_cast<unsigned long long>(
-                                m.youngPauses),
-                            static_cast<unsigned long long>(
-                                m.fullPauses)));
+    row("pauses",
+        strprintf("%llu (young %llu, full %llu, concurrent %llu)",
+                  static_cast<unsigned long long>(m.pauseNs.count()),
+                  static_cast<unsigned long long>(m.youngPauses),
+                  static_cast<unsigned long long>(m.fullPauses),
+                  static_cast<unsigned long long>(m.concurrentPauses)));
     row("pause p50/p99/max",
         strprintf("%.0f / %.0f / %.0f us",
                   m.pauseNs.percentile(50) / 1e3,
@@ -261,6 +260,34 @@ main(int argc, char **argv)
             strprintf("%.0f us", m.simpleLatencyNs.percentile(99) / 1e3));
     }
     table.print();
+
+    if (m.gcThreadCycles > 0) {
+        std::printf("\nGC cost attribution (%.1f Mcycles GC-thread "
+                    "total)\n",
+                    m.gcThreadCycles / 1e6);
+        TextTable phases(
+            {"phase", "cycles (M)", "share", "STW (M)", "wall (ms)",
+             "spans"});
+        for (std::size_t p = 0; p < metrics::gcPhaseCount; ++p) {
+            const metrics::GcPhaseStats &s = m.gcPhase[p];
+            if (s.cycles == 0 && s.spans == 0)
+                continue;
+            phases.beginRow();
+            phases.cell(metrics::gcPhaseName(
+                static_cast<metrics::GcPhase>(p)));
+            phases.cell(strprintf("%.2f", s.cycles / 1e6));
+            phases.cell(strprintf("%.1f%%",
+                                  100.0 * s.cycles / m.gcThreadCycles));
+            phases.cell(strprintf("%.2f", s.stwCycles / 1e6));
+            if (s.spans > 0)
+                phases.cell(strprintf("%.3f", s.wallNs / 1e6));
+            else
+                phases.blank();
+            phases.cell(strprintf(
+                "%llu", static_cast<unsigned long long>(s.spans)));
+        }
+        phases.print();
+    }
 
     if (show_log) {
         std::printf("\nGC event log (%zu events%s, showing last %zu)\n",

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Chrome trace-event exporter: run one (benchmark, collector, heap)
+ * tuple — accepting the same replay flags as distill_run, so a
+ * sweep's REPRO line converts straight into a timeline — and write
+ * the run's GC event log plus phase spans as trace JSON loadable in
+ * chrome://tracing or Perfetto.
+ *
+ * Usage:
+ *   distill_trace --bench h2 --gc Shenandoah [--heap-factor 3.0]
+ *                 [--heap-mib N | --heap-bytes N] [--seed S]
+ *                 [--sched-seed S] [--fault-plan P]
+ *                 [--max-virtual-time NS] [--out trace.json]
+ *   distill_trace --validate trace.json
+ *
+ * The export lays events out on four lanes of one process:
+ *   tid 0  STW pauses         (pause-kind events)
+ *   tid 1  concurrent cycles  (concurrent-cycle / degenerated-cycle)
+ *   tid 2  phases             (phase:* spans from the ledger)
+ *   tid 3  alloc stalls
+ *
+ * After writing, the tool re-reads the file through the same
+ * validator --validate uses and cross-checks the attribution ledger's
+ * conservation invariant, printing "trace-ok events=N" on success —
+ * the line the CI smoke tests match. A failed run still exports its
+ * (partial) trace: replaying failures is the point of the tool.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cli_parse.hh"
+#include "fault/plan.hh"
+#include "heap/layout.hh"
+#include "lbo/record.hh"
+#include "lbo/sweep.hh"
+#include "metrics/agent.hh"
+#include "rt/runtime.hh"
+#include "trace_json.hh"
+#include "wl/suite.hh"
+#include "wl/workload.hh"
+
+using namespace distill;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: distill_trace --bench <name> --gc <collector>\n"
+        "                     [--heap-factor F | --heap-mib N | "
+        "--heap-bytes N]\n"
+        "                     [--seed S] [--sched-seed S] "
+        "[--fault-plan P]\n"
+        "                     [--max-virtual-time NS] "
+        "[--out trace.json]\n"
+        "       distill_trace --validate <trace.json>\n");
+    std::exit(2);
+}
+
+/** Trace lane (tid) for a GC-log event label. */
+int
+laneFor(const std::string &label)
+{
+    static const char *const pauses[] = {
+        "young",      "full",       "initial-mark", "final-mark",
+        "evacuation", "phase-flip", "degenerated",
+    };
+    for (const char *p : pauses) {
+        if (label == p)
+            return 0;
+    }
+    if (label == "concurrent-cycle" || label == "degenerated-cycle")
+        return 1;
+    if (label == "alloc-stall")
+        return 3;
+    return 2; // phase:* spans (and any future labels) ride here
+}
+
+/** Escape a string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Validate @p path, print the verdict; returns the process status. */
+int
+validateFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "distill_trace: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    trace::TraceCheck check = trace::checkTrace(text.str());
+    if (!check.ok) {
+        std::printf("trace-invalid %s: %s\n", path.c_str(),
+                    check.error.c_str());
+        return 1;
+    }
+    std::printf("trace-ok events=%zu\n", check.events);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "h2";
+    std::string collector = "G1";
+    double factor = 3.0;
+    std::uint64_t heap_mib = 0;
+    std::uint64_t heap_bytes_arg = 0;
+    std::uint64_t seed = 0xD15711;
+    std::uint64_t sched_seed = 0;
+    std::uint64_t fault_plan = 0;
+    std::uint64_t max_virtual_time = 0;
+    std::string out_path = "distill-trace.json";
+    std::string validate_path;
+
+    // Accept "--key value" and "--key=value", like distill_run, so
+    // REPRO lines paste straight in with the binary name swapped.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto arg = [&](const char *name) {
+            if (args[i] != name)
+                return false;
+            if (i + 1 >= args.size())
+                usage();
+            return true;
+        };
+        if (arg("--bench")) {
+            bench = args[++i];
+        } else if (arg("--gc") || arg("--collector")) {
+            collector = args[++i];
+        } else if (arg("--heap-factor")) {
+            factor = cli::parsePositiveDouble("--heap-factor", args[++i]);
+        } else if (arg("--heap-mib")) {
+            heap_mib = cli::parseCount("--heap-mib", args[++i]);
+        } else if (arg("--heap-bytes") || arg("--heap")) {
+            heap_bytes_arg = cli::parseCount("--heap-bytes", args[++i]);
+        } else if (arg("--seed")) {
+            seed = cli::parseU64("--seed", args[++i]);
+        } else if (arg("--sched-seed")) {
+            sched_seed = cli::parseU64("--sched-seed", args[++i]);
+        } else if (arg("--fault-plan")) {
+            fault_plan = cli::parseU64("--fault-plan", args[++i]);
+        } else if (arg("--max-virtual-time")) {
+            max_virtual_time =
+                cli::parseCount("--max-virtual-time", args[++i]);
+        } else if (arg("--out")) {
+            out_path = args[++i];
+        } else if (arg("--validate")) {
+            validate_path = args[++i];
+        } else {
+            usage();
+        }
+    }
+
+    if (!validate_path.empty())
+        return validateFile(validate_path);
+
+    lbo::Environment env;
+    env.schedSeed = sched_seed;
+    env.faultSeed = fault_plan;
+    if (max_virtual_time > 0)
+        env.machine.maxVirtualTime = max_virtual_time;
+    lbo::SweepRunner runner;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
+    gc::CollectorKind kind = gc::collectorFromName(collector);
+
+    std::uint64_t heap_bytes = heap_bytes_arg > 0 ? heap_bytes_arg
+        : heap_mib > 0                            ? heap_mib * MiB
+        : roundUp(static_cast<std::uint64_t>(
+                      factor * static_cast<double>(spec.minHeapBytes)),
+                  heap::regionSize);
+
+    rt::RunConfig config;
+    config.machine = env.machine;
+    config.costs = env.costs;
+    config.seed = seed;
+    config.schedSeed = env.schedSeed;
+    config.faultSeed = env.faultSeed;
+    config.heapBytes = kind == gc::CollectorKind::Epsilon
+        ? env.machine.memoryBudget
+        : heap_bytes;
+
+    rt::Runtime runtime(config, gc::makeCollector(kind, env.gcOptions),
+                        wl::makeWorkload(spec));
+    runtime.execute();
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+
+    std::printf("%s under %s: %s (status=%s), %zu log events%s\n",
+                bench.c_str(), collector.c_str(),
+                m.completed ? "completed" : "FAILED",
+                lbo::RunRecord::statusFor(m.completed, m.oom,
+                                          m.failureReason),
+                m.gcLog.size(),
+                m.gcLogDropped
+                    ? strprintf(" (%llu dropped)",
+                                static_cast<unsigned long long>(
+                                    m.gcLogDropped))
+                          .c_str()
+                    : "");
+
+    // Conservation cross-check: the ledger's rows (glue included)
+    // must cover every GC-thread cycle. finalize() already asserts
+    // this inside the run; re-checking from the outside keeps the
+    // smoke test independent of the assert machinery.
+    Cycles attributed = m.gcGlueCycles() + m.gcAttributedCycles();
+    std::printf("conservation: attributed=%llu gcThreadCycles=%llu %s\n",
+                static_cast<unsigned long long>(attributed),
+                static_cast<unsigned long long>(m.gcThreadCycles),
+                attributed == m.gcThreadCycles ? "ok" : "LEAK");
+    if (attributed != m.gcThreadCycles)
+        return 1;
+
+    std::ostringstream json;
+    json.precision(3);
+    json << std::fixed;
+    json << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    static const char *const laneNames[] = {
+        "STW pauses", "concurrent cycles", "phases", "alloc stalls"};
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            json << ",\n";
+        first = false;
+    };
+    sep();
+    json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,"
+            "\"name\":\"process_name\",\"args\":{\"name\":\""
+         << jsonEscape(bench + " / " + collector) << "\"}}";
+    for (int lane = 0; lane < 4; ++lane) {
+        sep();
+        json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":" << lane
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+             << laneNames[lane] << "\"}}";
+    }
+    for (const metrics::GcLogEvent &e : m.gcLog) {
+        std::string label = e.what;
+        int lane = laneFor(label);
+        double ts_us = static_cast<double>(e.startNs) / 1e3;
+        sep();
+        if (e.durationNs > 0) {
+            json << "{\"ph\":\"X\",\"ts\":" << ts_us
+                 << ",\"dur\":" << static_cast<double>(e.durationNs) / 1e3
+                 << ",\"pid\":1,\"tid\":" << lane << ",\"name\":\""
+                 << jsonEscape(label) << "\"}";
+        } else {
+            json << "{\"ph\":\"i\",\"ts\":" << ts_us
+                 << ",\"pid\":1,\"tid\":" << lane << ",\"s\":\"t\","
+                 << "\"name\":\"" << jsonEscape(label) << "\"}";
+        }
+    }
+    json << "\n]}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "distill_trace: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << json.str();
+    out.close();
+
+    // Self-check: validate what actually landed on disk.
+    std::printf("wrote %s\n", out_path.c_str());
+    return validateFile(out_path);
+}

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Minimal JSON syntax checker plus a Chrome trace-event schema check,
+ * shared by distill_trace (self-validation of what it just wrote) and
+ * the CLI tests. Not a general-purpose parser: it validates without
+ * building a document tree, which is all a smoke check needs.
+ *
+ * Schema enforced on top of JSON well-formedness:
+ *   - the top level is an object with a "traceEvents" array;
+ *   - every element of that array is an object carrying a string
+ *     "ph" and numeric "ts"/"pid"/"tid";
+ *   - "X" (complete) events also carry a numeric "dur" and a string
+ *     "name".
+ */
+
+#ifndef DISTILL_TOOLS_TRACE_JSON_HH
+#define DISTILL_TOOLS_TRACE_JSON_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace distill::trace
+{
+
+/** Validation outcome: ok(), or why/where the input is malformed. */
+struct TraceCheck
+{
+    bool ok = true;
+    std::string error;       //!< empty when ok
+    std::size_t events = 0;  //!< elements seen in "traceEvents"
+
+    static TraceCheck
+    fail(std::string why)
+    {
+        TraceCheck c;
+        c.ok = false;
+        c.error = std::move(why);
+        return c;
+    }
+};
+
+namespace detail
+{
+
+/** Cursor over the JSON text with primitive-level scanners. */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eof()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+    /** Peek the next significant character (0 at end of input). */
+    char
+    peek()
+    {
+        skipWs();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    /** Scan a string literal; fills @p out without unescaping. */
+    bool
+    string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                char esc = text_[pos_++];
+                if (esc != '"' && esc != '\\' && esc != '/' &&
+                    esc != 'b' && esc != 'f' && esc != 'n' &&
+                    esc != 'r' && esc != 't' && esc != 'u')
+                    return false;
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i, ++pos_) {
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_])))
+                            return false;
+                    }
+                }
+            }
+            out.push_back(c);
+        }
+        return false; // unterminated
+    }
+
+    /** Scan a JSON number (no leading '+', no bare '.'). */
+    bool
+    number()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        std::size_t digits = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == digits)
+            return false;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            std::size_t frac = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == frac)
+                return false;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            std::size_t exp = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == exp)
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        skipWs();
+        std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    std::size_t pos_ = 0;
+
+  private:
+    const std::string &text_;
+};
+
+/** Validate any JSON value; on events arrays, see checkTrace below. */
+inline bool
+value(Scanner &s)
+{
+    char c = s.peek();
+    if (c == '"') {
+        std::string sink;
+        return s.string(sink);
+    }
+    if (c == '{') {
+        s.consume('{');
+        if (s.consume('}'))
+            return true;
+        do {
+            std::string key;
+            if (!s.string(key) || !s.consume(':') || !value(s))
+                return false;
+        } while (s.consume(','));
+        return s.consume('}');
+    }
+    if (c == '[') {
+        s.consume('[');
+        if (s.consume(']'))
+            return true;
+        do {
+            if (!value(s))
+                return false;
+        } while (s.consume(','));
+        return s.consume(']');
+    }
+    if (c == 't')
+        return s.literal("true");
+    if (c == 'f')
+        return s.literal("false");
+    if (c == 'n')
+        return s.literal("null");
+    return s.number();
+}
+
+/** One trace event object: records which schema keys it carried. */
+struct EventShape
+{
+    std::string ph;
+    bool hasTs = false, hasPid = false, hasTid = false;
+    bool hasDur = false, hasName = false;
+};
+
+inline bool
+eventObject(Scanner &s, EventShape &shape)
+{
+    if (!s.consume('{'))
+        return false;
+    if (s.consume('}'))
+        return true;
+    do {
+        std::string key;
+        if (!s.string(key) || !s.consume(':'))
+            return false;
+        if (key == "ph") {
+            if (!s.string(shape.ph))
+                return false;
+        } else if (key == "ts" || key == "pid" || key == "tid" ||
+                   key == "dur") {
+            if (!s.number())
+                return false;
+            (key == "ts"    ? shape.hasTs
+             : key == "pid" ? shape.hasPid
+             : key == "tid" ? shape.hasTid
+                            : shape.hasDur) = true;
+        } else if (key == "name") {
+            std::string sink;
+            if (!s.string(sink))
+                return false;
+            shape.hasName = true;
+        } else {
+            if (!value(s))
+                return false;
+        }
+    } while (s.consume(','));
+    return s.consume('}');
+}
+
+} // namespace detail
+
+/** "event N: why" — locates a schema failure for the error message. */
+inline std::string
+strEvent(std::size_t index, const char *why)
+{
+    return "event " + std::to_string(index) + ": " + why;
+}
+
+/**
+ * Validate @p text as Chrome trace-event JSON. Returns the number of
+ * events seen alongside the verdict, so callers can assert non-empty
+ * traces.
+ */
+inline TraceCheck
+checkTrace(const std::string &text)
+{
+    detail::Scanner s(text);
+    if (!s.consume('{'))
+        return TraceCheck::fail("top level is not an object");
+    TraceCheck out;
+    bool saw_events = false;
+    if (!s.consume('}')) {
+        do {
+            std::string key;
+            if (!s.string(key) || !s.consume(':'))
+                return TraceCheck::fail("malformed object member");
+            if (key == "traceEvents") {
+                saw_events = true;
+                if (!s.consume('['))
+                    return TraceCheck::fail(
+                        "traceEvents is not an array");
+                if (!s.consume(']')) {
+                    do {
+                        detail::EventShape shape;
+                        if (!detail::eventObject(s, shape))
+                            return TraceCheck::fail(strEvent(
+                                out.events, "malformed event object"));
+                        if (shape.ph.empty())
+                            return TraceCheck::fail(strEvent(
+                                out.events, "missing \"ph\""));
+                        if (!shape.hasTs || !shape.hasPid ||
+                            !shape.hasTid)
+                            return TraceCheck::fail(strEvent(
+                                out.events, "missing ts/pid/tid"));
+                        if (shape.ph == "X" &&
+                            (!shape.hasDur || !shape.hasName))
+                            return TraceCheck::fail(strEvent(
+                                out.events,
+                                "\"X\" event missing dur/name"));
+                        ++out.events;
+                    } while (s.consume(','));
+                    if (!s.consume(']'))
+                        return TraceCheck::fail(
+                            "unterminated traceEvents array");
+                }
+            } else {
+                if (!detail::value(s))
+                    return TraceCheck::fail("malformed value for \"" +
+                                            key + "\"");
+            }
+        } while (s.consume(','));
+        if (!s.consume('}'))
+            return TraceCheck::fail("unterminated top-level object");
+    }
+    if (!s.eof())
+        return TraceCheck::fail("trailing garbage after document");
+    if (!saw_events)
+        return TraceCheck::fail("no \"traceEvents\" member");
+    return out;
+}
+
+} // namespace distill::trace
+
+#endif // DISTILL_TOOLS_TRACE_JSON_HH
