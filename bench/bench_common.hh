@@ -7,6 +7,16 @@
  * the same on-disk run cache, so the binaries can share one sweep's
  * runs. Invocation count defaults to 5 (the paper uses 20); raise it
  * with DISTILL_INVOCATIONS for tighter confidence intervals.
+ *
+ * Virtual vs wall-clock time: every number these binaries print is
+ * *virtual* time — simulated nanoseconds advanced by sim::Scheduler,
+ * deterministic for a given seed and identical on any host. None of
+ * them may consult a host clock for results. Host-side (wall-clock)
+ * timing of the simulator itself is the exclusive business of
+ * src/base/host_timer.hh, used by tools/distill_bench and the
+ * perf-smoke entries; keep the two kinds of time in separate binaries
+ * so a reader can never mistake host throughput for a simulated
+ * result (or vice versa).
  */
 
 #ifndef DISTILL_BENCH_BENCH_COMMON_HH

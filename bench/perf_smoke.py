@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""ctest perf-smoke driver for the substrate microbenchmarks.
+
+Runs one benchmark from bench/micro_substrate with google-benchmark's
+JSON output and asserts its real time per iteration stays under a
+generous ceiling (20-30x the value measured on a quiet host). Only an
+order-of-magnitude regression -- an accidentally quadratic loop, a
+debug allocator left enabled, a lost fast path -- trips these; host
+noise does not. The precise trajectory lives in BENCH_<n>.json (see
+docs/BENCHMARKING.md); these entries exist so a catastrophic slowdown
+fails `ctest -L perf` and CI instead of only showing up there.
+"""
+
+import json
+import re
+import subprocess
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def main(argv):
+    if len(argv) != 4:
+        print("usage: perf_smoke.py BINARY BENCH_NAME CEILING_NS",
+              file=sys.stderr)
+        return 2
+    binary, name, ceiling_ns = argv[1], argv[2], float(argv[3])
+    proc = subprocess.run(
+        [binary,
+         "--benchmark_filter=^" + re.escape(name) + "$",
+         "--benchmark_format=json",
+         "--benchmark_min_time=0.05"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print("perf-smoke: %s exited with %d" % (binary, proc.returncode))
+        return 1
+    data = json.loads(proc.stdout)
+    rows = [b for b in data.get("benchmarks", [])
+            if b.get("name") == name]
+    if not rows:
+        print("perf-smoke: benchmark %s not found in %s" % (name, binary))
+        return 1
+    row = rows[0]
+    got_ns = float(row["real_time"]) * UNIT_NS[row.get("time_unit", "ns")]
+    verdict = "ok" if got_ns <= ceiling_ns else "FAIL"
+    print("perf-smoke %s: %s %.1f ns/op (ceiling %.0f ns)"
+          % (verdict, name, got_ns, ceiling_ns))
+    return 0 if got_ns <= ceiling_ns else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,7 +26,7 @@ fullCompact(rt::Runtime &runtime)
     // marking a stale old copy alongside its new copy would let the
     // plan pass below overwrite the old copy's forwarding pointer and
     // resurrect it as a second, distinct object.
-    RefHealer heal = [&](Addr ref, Cycles &cost) -> Addr {
+    auto heal = [&](Addr ref, Cycles &cost) -> Addr {
         Addr a = heap::uncolor(ref);
         for (unsigned hops = 0; hops < 64; ++hops) {
             heap::ObjectHeader *h = arena.header(a);
@@ -46,7 +46,7 @@ fullCompact(rt::Runtime &runtime)
     });
     std::vector<Addr> seeds = collectRootSeeds(runtime, root_cost);
     result.cost += root_cost;
-    TraceResult marked = markFromRoots(runtime, seeds, false, &heal);
+    TraceResult marked = markFromRootsWith(runtime, seeds, false, heal);
     result.cost += marked.cost;
     result.markCost = result.cost;
 

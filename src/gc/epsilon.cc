@@ -10,6 +10,11 @@ namespace distill::gc
 Epsilon::Epsilon(const GcOptions &opts)
     : opts_(opts)
 {
+    // No barriers at all: both fast paths are the stock recipes, and
+    // a TLAB hit needs no collector-side work either.
+    loadBarrier_ = rt::LoadBarrierKind::Plain;
+    storeBarrier_ = rt::StoreBarrierKind::Plain;
+    allocPath_ = rt::AllocPathKind::TlabPlain;
 }
 
 void

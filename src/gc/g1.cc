@@ -127,6 +127,7 @@ class G1::ControlThread : public rt::WorkerThread
                 // piggybacked on this pause, as in HotSpot).
                 gc_.cycleInProgress_ = true;
                 gc_.markingActive_ = true;
+                gc_.setMutatorFastPaths(true);
                 gc_.markPending_ = true;
                 ++gc_.cycleId_;
                 rt.agent().concurrentCycleBegin();
@@ -228,6 +229,14 @@ class G1::ConcMarkThread : public rt::WorkerThread
 G1::G1(const GcOptions &opts)
     : opts_(opts)
 {
+    // Loads are plain. Stores and TLAB hits are plain-shaped except
+    // while concurrent marking runs (the SATB pre-barrier enqueues
+    // overwritten values and new objects must be marked live then);
+    // the marking transitions flip every mutator's tags — see
+    // setMutatorFastPaths().
+    loadBarrier_ = rt::LoadBarrierKind::Plain;
+    storeBarrier_ = rt::StoreBarrierKind::G1Post;
+    allocPath_ = rt::AllocPathKind::TlabPlain;
 }
 
 G1::~G1() = default;
@@ -261,6 +270,20 @@ G1::oldOccupancy() const
     const auto &rm = rt_->heap().regions;
     return static_cast<double>(old_->usedBytes()) /
         static_cast<double>(rm.heapBytes());
+}
+
+void
+G1::setMutatorFastPaths(bool marking)
+{
+    rt::AllocPathKind alloc = marking ? rt::AllocPathKind::Virtual
+                                      : rt::AllocPathKind::TlabPlain;
+    rt::StoreBarrierKind store = marking
+        ? rt::StoreBarrierKind::Virtual
+        : rt::StoreBarrierKind::G1Post;
+    for (auto &m : rt_->mutators()) {
+        m->setAllocPath(alloc);
+        m->setStoreBarrier(store);
+    }
 }
 
 void
@@ -604,6 +627,7 @@ G1::doFullGc()
     for (auto &m : rt_->mutators())
         m->satbBuffer().clear();
     markingActive_ = false;
+    setMutatorFastPaths(false);
     cycleInProgress_ = false;
     pendingRemark_ = false;
     markPending_ = false;
@@ -642,6 +666,7 @@ G1::doRemarkCleanup()
     TraceResult drained = drainSatb(*rt_, true);
     w.cost += drained.cost;
     markingActive_ = false;
+    setMutatorFastPaths(false);
     Cycles mark_part = w.cost; // SATB flush + drain; the rest is cleanup
 
     // Cleanup: reclaim fully dead old regions, select mixed

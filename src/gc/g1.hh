@@ -97,6 +97,16 @@ class G1 : public rt::Collector
     /** Old-generation occupancy as a fraction of the heap. */
     double oldOccupancy() const;
 
+    /**
+     * Retag every mutator's allocation and store fast paths. Called
+     * at the marking transitions (all world-stopped): Virtual while
+     * concurrent marking is active — freshly allocated objects must
+     * be marked live and the SATB pre-barrier must enqueue
+     * overwritten values, neither of which the inline recipes do —
+     * and back to TlabPlain/G1Post when marking ends.
+     */
+    void setMutatorFastPaths(bool marking);
+
     GcOptions opts_;
     std::unique_ptr<BumpSpace> eden_;
     std::unique_ptr<BumpSpace> survivor_;

@@ -249,6 +249,15 @@ class Shenandoah::ControlThread : public rt::WorkerThread
 Shenandoah::Shenandoah(const GcOptions &opts)
     : opts_(opts)
 {
+    // Outside the cycle windows both barriers are fixed-shape: the
+    // load-reference barrier cannot hit its slow path while no
+    // evacuation is in flight, and the SATB pre-barrier only charges
+    // satbInactive while marking is off. The cycle transitions retag
+    // every mutator — see retagMutatorBarriers(). Allocation stays
+    // Virtual: Shenandoah re-evaluates its cycle trigger on every
+    // allocation, including TLAB hits.
+    loadBarrier_ = rt::LoadBarrierKind::Lvb;
+    storeBarrier_ = rt::StoreBarrierKind::SatbPlain;
 }
 
 Shenandoah::~Shenandoah() = default;
@@ -293,6 +302,21 @@ Shenandoah::maybeTriggerCycle()
         occupancy() > opts_.shenTriggerFraction) {
         cycleRequested_ = true;
         wakeControl();
+    }
+}
+
+void
+Shenandoah::retagMutatorBarriers()
+{
+    rt::LoadBarrierKind load = evacInFlight_
+        ? rt::LoadBarrierKind::Virtual
+        : rt::LoadBarrierKind::Lvb;
+    rt::StoreBarrierKind store = satbActive_
+        ? rt::StoreBarrierKind::Virtual
+        : rt::StoreBarrierKind::SatbPlain;
+    for (auto &m : rt_->mutators()) {
+        m->setLoadBarrier(load);
+        m->setStoreBarrier(store);
     }
 }
 
@@ -442,6 +466,7 @@ Shenandoah::doInitMark()
         ctx.regions.region(i).liveBytes = 0;
     satbActive_ = true;
     allocMarking_ = true;
+    retagMutatorBarriers();
     // Root scanning is concurrent in JDK 17 Shenandoah; carry its
     // cost into the concurrent mark phase and keep the pause O(1).
     rootCarry_ = rt_->costs().rootSlot * rt_->countRoots();
@@ -500,6 +525,9 @@ Shenandoah::doFinalMark()
         cset_.push_back(r);
     }
     evacInFlight_ = !cset_.empty();
+    // Covers the satbActive_ flip above too: no mutator runs between
+    // the two flips (both happen inside this pause step).
+    retagMutatorBarriers();
 
     // Evacuate root-referenced cset objects and update the roots.
     // JDK 17 Shenandoah processes most roots concurrently; the cost
@@ -645,6 +673,7 @@ Shenandoah::doFinalFlip()
     evacInFlight_ = false;
     allocMarking_ = false;
     cycleInProgress_ = false;
+    retagMutatorBarriers();
     if (evacFailed_) {
         // Could not free memory this cycle; escalate to a full GC.
         pendingFull_ = true;
@@ -689,6 +718,7 @@ Shenandoah::doFullGc()
     evacFailed_ = false;
     cset_.clear();
     ctx.bitmap.clearAll();
+    retagMutatorBarriers();
 
     GcWork w;
     w.cost = compact.cost;

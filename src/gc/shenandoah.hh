@@ -67,6 +67,15 @@ class Shenandoah : public rt::Collector
     /** Ask the control thread to begin a cycle if appropriate. */
     void maybeTriggerCycle();
 
+    /**
+     * Re-derive every mutator's barrier tags from satbActive_ and
+     * evacInFlight_. Called at the exact points those flags flip
+     * (always from GC-thread code, so no mutator can observe a stale
+     * tag): Virtual store while SATB marking is active, Virtual load
+     * while an evacuation is in flight, SatbPlain/Lvb otherwise.
+     */
+    void retagMutatorBarriers();
+
     /** Wake the control thread when it is safe to do so. */
     void wakeControl();
 

@@ -155,6 +155,14 @@ StwGenCollector::StwGenCollector(std::string name, unsigned workers,
     : name_(std::move(name)), workers_(workers), opts_(opts)
 {
     distill_assert(workers_ >= 1, "collector needs at least one worker");
+    // Serial/Parallel use the stock generational barrier recipes; the
+    // virtual overrides below stay as the documentation of record and
+    // the slow-path fallback.
+    loadBarrier_ = rt::LoadBarrierKind::Plain;
+    storeBarrier_ = rt::StoreBarrierKind::Generational;
+    // A TLAB hit in eden needs no collector-side work (escalation
+    // only happens on a miss), so the mutator may inline it.
+    allocPath_ = rt::AllocPathKind::TlabPlain;
 }
 
 StwGenCollector::~StwGenCollector() = default;

@@ -17,8 +17,9 @@ namespace distill::gc
 std::unordered_set<Addr> &
 debugObjectStarts()
 {
-    static std::unordered_set<Addr> starts;
-    return starts;
+    // Shared with the rt-layer inline allocation fast path, which
+    // records fresh objects without depending on gc/.
+    return rt::objectStartRegistry();
 }
 
 void
@@ -27,14 +28,7 @@ initObject(heap::Arena &arena, Addr addr, std::uint64_t size,
 {
     if (rt::validateEnabled())
         debugObjectStarts().insert(addr);
-    heap::ObjectHeader *h = arena.header(addr);
-    h->size = static_cast<std::uint32_t>(size);
-    h->numRefs = static_cast<std::uint16_t>(num_refs);
-    h->flags = 0;
-    h->forward = 0;
-    Addr *slots = h->refSlots();
-    for (std::uint32_t i = 0; i < num_refs; ++i)
-        slots[i] = nullRef;
+    heap::initObjectRaw(arena, addr, size, num_refs);
 }
 
 std::vector<Addr>
@@ -53,83 +47,26 @@ collectRootSeeds(rt::Runtime &runtime, Cycles &cost)
 namespace
 {
 
-/**
- * Generic transitive mark. Shared by markFromRoots and drainSatb.
- */
-TraceResult
-markTransitive(rt::Runtime &runtime, std::vector<Addr> stack,
-               bool per_region_live, const RefHealer *healer)
+/** Healer shim for the type-erased markFromRoots overload. */
+struct ErasedHealer
 {
-    TraceResult result;
-    auto &ctx = runtime.heap();
-    const rt::CostModel &costs = runtime.costs();
+    const RefHealer *healer;
 
-    // Seed marking: the stack holds addresses whose objects still
-    // need their mark tested.
-    std::vector<Addr> pending;
-    pending.reserve(1024);
-    for (Addr seed : stack) {
-        Addr a = heap::uncolor(seed);
-        if (a == nullRef)
-            continue;
-        if (ctx.bitmap.mark(a)) {
-            result.cost += costs.markObject;
-            ++result.objects;
-            heap::ObjectHeader *h = ctx.regions.header(a);
-            result.bytes += h->size;
-            if (per_region_live)
-                ctx.regions.regionOf(a).liveBytes += h->size;
-            pending.push_back(a);
-        }
+    Addr
+    operator()(Addr ref, Cycles &cost) const
+    {
+        return (*healer)(ref, cost);
     }
+};
 
-    while (!pending.empty()) {
-        Addr obj = pending.back();
-        pending.pop_back();
-        heap::ObjectHeader *h = ctx.regions.header(obj);
-        Addr *slots = h->refSlots();
-        for (std::uint32_t i = 0; i < h->numRefs; ++i) {
-            ++result.slots;
-            result.cost += costs.scanRefSlot;
-            Addr value = slots[i];
-            if (healer != nullptr && value != nullRef) {
-                Addr healed = (*healer)(value, result.cost);
-                if (healed != value) {
-                    slots[i] = healed;
-                    value = healed;
-                }
-            }
-            Addr target = heap::uncolor(value);
-            if (target == nullRef)
-                continue;
-            distill_assert(target >= heap::heapBase &&
-                           heap::regionIndexOf(target) <
-                               ctx.regions.regionCount(),
-                           "trace followed bad ref %llx in slot %u of "
-                           "%llx (size %u numRefs %u flags %x)",
-                           static_cast<unsigned long long>(value), i,
-                           static_cast<unsigned long long>(obj), h->size,
-                           h->numRefs, h->flags);
-            if (rt::validateEnabled()) {
-                distill_assert(debugObjectStarts().count(target) != 0,
-                               "trace followed non-object ref %llx in "
-                               "slot %u of %llx",
-                               static_cast<unsigned long long>(value), i,
-                               static_cast<unsigned long long>(obj));
-            }
-            if (ctx.bitmap.mark(target)) {
-                result.cost += costs.markObject;
-                ++result.objects;
-                heap::ObjectHeader *th = ctx.regions.header(target);
-                result.bytes += th->size;
-                if (per_region_live)
-                    ctx.regions.regionOf(target).liveBytes += th->size;
-                pending.push_back(target);
-            }
-        }
+struct NoHealer
+{
+    Addr
+    operator()(Addr ref, Cycles &) const
+    {
+        return ref;
     }
-    return result;
-}
+};
 
 } // namespace
 
@@ -137,7 +74,13 @@ TraceResult
 markFromRoots(rt::Runtime &runtime, const std::vector<Addr> &seeds,
               bool per_region_live, const RefHealer *healer)
 {
-    return markTransitive(runtime, seeds, per_region_live, healer);
+    if (healer != nullptr) {
+        return detail::markTransitive<true>(runtime, seeds,
+                                            per_region_live,
+                                            ErasedHealer{healer});
+    }
+    return detail::markTransitive<false>(runtime, seeds, per_region_live,
+                                         NoHealer{});
 }
 
 TraceResult
@@ -148,8 +91,8 @@ drainSatb(rt::Runtime &runtime, bool per_region_live)
     seeds.reserve(satb.size());
     while (!satb.empty())
         seeds.push_back(satb.pop());
-    return markTransitive(runtime, std::move(seeds), per_region_live,
-                          nullptr);
+    return detail::markTransitive<false>(runtime, std::move(seeds),
+                                         per_region_live, NoHealer{});
 }
 
 Cycles

@@ -15,14 +15,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "heap/arena.hh"
+#include "heap/layout.hh"
 #include "rt/cost_model.hh"
-
-namespace distill::rt
-{
-class Runtime;
-} // namespace distill::rt
+#include "rt/runtime.hh"
+#include "rt/validate.hh"
 
 namespace distill::gc
 {
@@ -41,6 +40,11 @@ struct TraceResult
  * tracer loads (ZGC folds remapping of last cycle's stale references
  * into marking). Receives the raw slot value, may add cost, and
  * returns the healed value, which the tracer writes back.
+ *
+ * Hot callers (full compaction, ZGC marking) should pass their lambda
+ * straight to markFromRootsWith so the healer inlines; this
+ * type-erased alias remains for call sites where an optional healer
+ * crosses a non-template API (and for tests).
  */
 using RefHealer = std::function<Addr(Addr ref, Cycles &cost)>;
 
@@ -61,6 +65,98 @@ void initObject(heap::Arena &arena, Addr addr, std::uint64_t size,
  */
 std::vector<Addr> collectRootSeeds(rt::Runtime &runtime, Cycles &cost);
 
+namespace detail
+{
+
+/**
+ * Generic transitive mark, shared by every public marking entry.
+ * Templated over the healer so per-slot healing inlines into the
+ * trace loop: with tens of millions of slots per full compaction, a
+ * type-erased healer call dominated the simulator's host profile.
+ * @tparam hasHealer compile-time switch; when false the healer
+ *         argument is never invoked and the branch folds away.
+ */
+template <bool hasHealer, typename HealerFn>
+TraceResult
+markTransitive(rt::Runtime &runtime, std::vector<Addr> stack,
+               bool per_region_live, HealerFn &&healer)
+{
+    TraceResult result;
+    auto &ctx = runtime.heap();
+    const rt::CostModel &costs = runtime.costs();
+    const bool validate = rt::validateEnabled();
+
+    // Seed marking: the stack holds addresses whose objects still
+    // need their mark tested.
+    std::vector<Addr> pending;
+    pending.reserve(1024);
+    for (Addr seed : stack) {
+        Addr a = heap::uncolor(seed);
+        if (a == nullRef)
+            continue;
+        if (ctx.bitmap.mark(a)) {
+            result.cost += costs.markObject;
+            ++result.objects;
+            heap::ObjectHeader *h = ctx.regions.header(a);
+            result.bytes += h->size;
+            if (per_region_live)
+                ctx.regions.regionOf(a).liveBytes += h->size;
+            pending.push_back(a);
+        }
+    }
+
+    while (!pending.empty()) {
+        Addr obj = pending.back();
+        pending.pop_back();
+        heap::ObjectHeader *h = ctx.regions.header(obj);
+        Addr *slots = h->refSlots();
+        for (std::uint32_t i = 0; i < h->numRefs; ++i) {
+            ++result.slots;
+            result.cost += costs.scanRefSlot;
+            Addr value = slots[i];
+            if constexpr (hasHealer) {
+                if (value != nullRef) {
+                    Addr healed = healer(value, result.cost);
+                    if (healed != value) {
+                        slots[i] = healed;
+                        value = healed;
+                    }
+                }
+            }
+            Addr target = heap::uncolor(value);
+            if (target == nullRef)
+                continue;
+            distill_assert(target >= heap::heapBase &&
+                           heap::regionIndexOf(target) <
+                               ctx.regions.regionCount(),
+                           "trace followed bad ref %llx in slot %u of "
+                           "%llx (size %u numRefs %u flags %x)",
+                           static_cast<unsigned long long>(value), i,
+                           static_cast<unsigned long long>(obj), h->size,
+                           h->numRefs, h->flags);
+            if (validate) {
+                distill_assert(debugObjectStarts().count(target) != 0,
+                               "trace followed non-object ref %llx in "
+                               "slot %u of %llx",
+                               static_cast<unsigned long long>(value), i,
+                               static_cast<unsigned long long>(obj));
+            }
+            if (ctx.bitmap.mark(target)) {
+                result.cost += costs.markObject;
+                ++result.objects;
+                heap::ObjectHeader *th = ctx.regions.header(target);
+                result.bytes += th->size;
+                if (per_region_live)
+                    ctx.regions.regionOf(target).liveBytes += th->size;
+                pending.push_back(target);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace detail
+
 /**
  * Mark transitively from @p seeds into the runtime's mark bitmap.
  * When @p per_region_live is set, accumulates liveBytes on each
@@ -72,6 +168,20 @@ TraceResult markFromRoots(rt::Runtime &runtime,
                           const std::vector<Addr> &seeds,
                           bool per_region_live,
                           const RefHealer *healer = nullptr);
+
+/**
+ * markFromRoots with a statically typed healer: the lambda inlines
+ * into the trace loop instead of going through std::function. Use
+ * this from collector hot paths.
+ */
+template <typename HealerFn>
+TraceResult
+markFromRootsWith(rt::Runtime &runtime, const std::vector<Addr> &seeds,
+                  bool per_region_live, HealerFn &&healer)
+{
+    return detail::markTransitive<true>(runtime, seeds, per_region_live,
+                                        std::forward<HealerFn>(healer));
+}
 
 /**
  * Drain the global SATB queue, marking transitively (final-mark

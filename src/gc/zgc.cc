@@ -486,7 +486,7 @@ Zgc::doConcMark()
 
     // Marking doubles as the remap phase for the previous cycle's
     // stale references: the healer rewrites every traversed slot.
-    RefHealer healer = [&](Addr ref, Cycles &cost) -> Addr {
+    auto healer = [&](Addr ref, Cycles &cost) -> Addr {
         Addr a = heap::uncolor(ref);
         heap::ForwardTable *ft =
             ctx.forwards.get(heap::regionIndexOf(a));
@@ -504,7 +504,7 @@ Zgc::doConcMark()
     concCarry_ = 0;
     std::vector<Addr> seeds = collectRootSeeds(*rt_, root_cost);
     w.cost += root_cost;
-    TraceResult marked = markFromRoots(*rt_, seeds, true, &healer);
+    TraceResult marked = markFromRootsWith(*rt_, seeds, true, healer);
     w.cost += marked.cost;
 
     // Remap complete: last cycle's forwarding tables can go.

@@ -1,25 +1,148 @@
 #include "heap/arena.hh"
 
+#include <sys/mman.h>
+
+#include <mutex>
+#include <utility>
+
 namespace distill::heap
 {
 
+namespace
+{
+
+/**
+ * Process-wide cache of retired arena mappings. Multi-run processes
+ * (benchmark matrices, sweeps, differential tests) construct a fresh
+ * Runtime — and thus a fresh Arena — per run; recycling the host
+ * mapping keeps its pages faulted in, where a fresh mmap would pay
+ * tens of thousands of minor faults per run to rebuild them.
+ * Recycled contents are left dirty: region contents may start
+ * undefined, and allocation paths initialize every byte they read.
+ */
+class MappingPool
+{
+  public:
+    /** @return {ptr, mapped bytes}, or {nullptr, 0} on a miss. */
+    std::pair<std::uint8_t *, std::size_t>
+    take(std::size_t bytes)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Smallest adequate mapping; a larger one is fine (the extra
+        // tail is simply never touched).
+        int best = -1;
+        for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+            if (entries_[i].bytes < bytes)
+                continue;
+            if (best < 0 || entries_[i].bytes < entries_[best].bytes)
+                best = i;
+        }
+        if (best < 0)
+            return {nullptr, 0};
+        Entry e = entries_[best];
+        entries_[best] = entries_.back();
+        entries_.pop_back();
+        return {e.ptr, e.bytes};
+    }
+
+    void
+    give(std::uint8_t *ptr, std::size_t bytes)
+    {
+        // Re-arm the trap for the next user: every region goes back
+        // to PROT_NONE so the recycled arena distinguishes committed
+        // from uncommitted exactly like a fresh one. Pages stay
+        // resident; recommitting is a protection flip, not a refault.
+        ::mprotect(ptr, bytes, PROT_NONE);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (entries_.size() >= maxEntries) {
+            // Evict the smallest cached mapping; bigger ones can
+            // serve more future arenas.
+            int victim = 0;
+            for (int i = 1; i < static_cast<int>(entries_.size()); ++i) {
+                if (entries_[i].bytes < entries_[victim].bytes)
+                    victim = i;
+            }
+            if (entries_[victim].bytes >= bytes) {
+                ::munmap(ptr, bytes);
+                return;
+            }
+            ::munmap(entries_[victim].ptr, entries_[victim].bytes);
+            entries_[victim] = entries_.back();
+            entries_.pop_back();
+        }
+        entries_.push_back({ptr, bytes});
+    }
+
+  private:
+    static constexpr std::size_t maxEntries = 8;
+
+    struct Entry
+    {
+        std::uint8_t *ptr;
+        std::size_t bytes;
+    };
+
+    std::mutex mu_;
+    std::vector<Entry> entries_;
+};
+
+MappingPool &
+pool()
+{
+    static MappingPool p;
+    return p;
+}
+
+} // namespace
+
 Arena::Arena(std::size_t max_regions)
-    : chunks_(max_regions)
+    : maxRegions_(max_regions),
+      committedBits_((max_regions + 63) / 64, 0)
 {
     distill_assert(max_regions > 0, "empty arena");
+    // One contiguous reservation for the whole simulated range.
+    // MAP_NORESERVE keeps the kernel from charging swap for pages the
+    // run never touches; untouched regions cost nothing, preserving
+    // the lazy-commit property of the old per-region chunk table.
+    std::size_t want = max_regions * regionSize;
+    auto [cached, cached_bytes] = pool().take(want);
+    if (cached != nullptr) {
+        base_ = cached;
+        mappedBytes_ = cached_bytes;
+    } else {
+        // PROT_NONE until committed; see commit().
+        void *p = ::mmap(nullptr, want, PROT_NONE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                         -1, 0);
+        distill_assert(p != MAP_FAILED,
+                       "arena reservation of %zu bytes failed", want);
+        base_ = static_cast<std::uint8_t *>(p);
+        mappedBytes_ = want;
+    }
+}
+
+Arena::~Arena()
+{
+    if (base_ != nullptr)
+        pool().give(base_, mappedBytes_);
 }
 
 void
 Arena::commit(std::size_t index)
 {
-    distill_assert(index < chunks_.size(),
+    distill_assert(index < maxRegions_,
                    "commit of region %zu beyond arena (%zu regions)",
-                   index, chunks_.size());
-    if (!chunks_[index]) {
-        // Only header/ref-slot bytes are ever read, and allocation
-        // paths initialize them before use, so the region contents
-        // may start undefined.
-        chunks_[index] = std::make_unique<std::uint8_t[]>(regionSize);
+                   index, maxRegions_);
+    std::uint64_t bit = 1ULL << (index & 63);
+    if ((committedBits_[index >> 6] & bit) == 0) {
+        // Region contents may start undefined (demand-zero on a fresh
+        // mapping, a previous run's bytes on a recycled one); only
+        // header/ref-slot bytes are ever read, and allocation paths
+        // initialize them before use.
+        int rc = ::mprotect(base_ + index * regionSize, regionSize,
+                            PROT_READ | PROT_WRITE);
+        distill_assert(rc == 0, "commit of region %zu failed", index);
+        committedBits_[index >> 6] |= bit;
         ++committed_;
     }
 }

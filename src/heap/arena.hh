@@ -2,18 +2,21 @@
  * @file
  * Region-granular backing store for the simulated heap.
  *
- * The arena lazily commits host memory one region at a time, so a
- * simulated machine with a large physical-memory budget (needed for
- * Epsilon) only costs host memory for regions actually used. Object
- * headers and reference slots are real bytes inside the committed
- * regions; payloads share the committed space but are never written.
+ * The arena reserves one contiguous host mapping covering the whole
+ * simulated address range, so translating a simulated address to a
+ * host pointer is a single add — no per-region chunk table to chase
+ * on the hottest path in the simulator. The mapping is demand-paged
+ * (MAP_NORESERVE): a simulated machine with a large physical-memory
+ * budget (needed for Epsilon) only costs host memory for pages
+ * actually touched. Object headers and reference slots are real bytes
+ * inside the mapping; payloads share the reserved space but are never
+ * written.
  */
 
 #ifndef DISTILL_HEAP_ARENA_HH
 #define DISTILL_HEAP_ARENA_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "base/logging.hh"
@@ -25,7 +28,14 @@ namespace distill::heap
 {
 
 /**
- * Lazily committed simulated memory, addressed by region.
+ * Contiguous demand-paged simulated memory, addressed by region.
+ *
+ * Regions must still be commit()ed before use: commit() flips the
+ * region's pages from PROT_NONE to read/write, so an access through a
+ * dangling simulated pointer into a never-committed region traps
+ * rather than silently reading demand-zero memory and corrupting
+ * results. The commit bitmap mirrors the protection state for cold
+ * callers (the heap-graph oracle) that need to query it.
  */
 class Arena
 {
@@ -35,26 +45,35 @@ class Arena
      *        commit (the simulated physical-memory budget).
      */
     explicit Arena(std::size_t max_regions);
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
 
     /** Number of regions the arena can address. */
-    std::size_t maxRegions() const { return chunks_.size(); }
+    std::size_t maxRegions() const { return maxRegions_; }
 
-    /** Number of regions currently backed by host memory. */
+    /** Number of regions currently committed. */
     std::size_t committedRegions() const { return committed_; }
 
     /** Commit region @p index (idempotent). */
     void commit(std::size_t index);
 
-    /** Whether region @p index is backed by host memory. */
+    /** Whether region @p index has been committed. */
     bool
     isCommitted(std::size_t index) const
     {
-        return index < chunks_.size() && chunks_[index] != nullptr;
+        return index < maxRegions_ &&
+            (committedBits_[index >> 6] & (1ULL << (index & 63))) != 0;
     }
 
     /**
      * Host pointer for simulated address @p addr (color bits are
-     * stripped). The region must be committed.
+     * stripped). The region must be committed: uncommitted regions
+     * are mapped PROT_NONE, so a stray access traps (SIGSEGV, caught
+     * by the crash handler when armed) instead of silently reading
+     * demand-zero bytes — the hardware performs the old per-access
+     * commit assert for free, keeping this hot path to a single add.
      */
     std::uint8_t *
     hostPtr(Addr addr)
@@ -62,10 +81,7 @@ class Arena
         Addr a = uncolor(addr);
         distill_assert(a >= heapBase, "bad address %llx",
                        static_cast<unsigned long long>(addr));
-        std::size_t idx = regionIndexOf(a);
-        distill_assert(idx < chunks_.size() && chunks_[idx],
-                       "access to uncommitted region %zu", idx);
-        return chunks_[idx].get() + regionOffsetOf(a);
+        return base_ + (a - heapBase);
     }
 
     /** Typed header accessor for the object at @p addr. */
@@ -76,8 +92,11 @@ class Arena
     }
 
   private:
-    std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+    std::uint8_t *base_ = nullptr;
+    std::size_t mappedBytes_ = 0;
+    std::size_t maxRegions_ = 0;
     std::size_t committed_ = 0;
+    std::vector<std::uint64_t> committedBits_;
 };
 
 /**
@@ -97,6 +116,26 @@ writeFiller(Arena &arena, Addr addr, std::uint64_t size)
     h->numRefs = 0;
     h->flags = 0;
     h->forward = 0;
+}
+
+/**
+ * Initialize the header and clear the reference slots of a freshly
+ * allocated object. Does not charge cycles (allocation paths do) and
+ * does not touch the validation registry (callers that support
+ * DISTILL_VALIDATE record the start address themselves).
+ */
+inline void
+initObjectRaw(Arena &arena, Addr addr, std::uint64_t size,
+              std::uint32_t num_refs)
+{
+    ObjectHeader *h = arena.header(addr);
+    h->size = static_cast<std::uint32_t>(size);
+    h->numRefs = static_cast<std::uint16_t>(num_refs);
+    h->flags = 0;
+    h->forward = 0;
+    Addr *slots = h->refSlots();
+    for (std::uint32_t i = 0; i < num_refs; ++i)
+        slots[i] = nullRef;
 }
 
 } // namespace distill::heap

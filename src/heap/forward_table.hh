@@ -14,7 +14,6 @@
 #define DISTILL_HEAP_FORWARD_TABLE_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "base/logging.hh"
@@ -26,28 +25,49 @@ namespace distill::heap
 
 /**
  * Forwarding table for one relocated region: old address -> new.
+ *
+ * Keyed by the object's aligned offset within its region, so the
+ * table is a flat array indexed in O(1) with no hashing. The load
+ * barrier and the marking healer consult this for every slot that
+ * still carries a stale color — millions of lookups per ZGC cycle —
+ * which made the previous hash-map version a top host-profile entry.
+ * One table costs regionSize/objectAlignment entries (128 KiB); only
+ * relocated regions carry one, and only until the next cycle's remap
+ * completes.
  */
 class ForwardTable
 {
   public:
+    ForwardTable() : slots_(regionSize / objectAlignment, nullRef) {}
+
     void
     insert(Addr from, Addr to)
     {
-        map_[uncolor(from)] = uncolor(to);
+        Addr &slot = slots_[slotOf(from)];
+        if (slot == nullRef)
+            ++count_;
+        slot = uncolor(to);
     }
 
     /** @return the forwarded address, or nullRef if not present. */
     Addr
     lookup(Addr from) const
     {
-        auto it = map_.find(uncolor(from));
-        return it == map_.end() ? nullRef : it->second;
+        return slots_[slotOf(from)];
     }
 
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return count_; }
 
   private:
-    std::unordered_map<Addr, Addr> map_;
+    static std::size_t
+    slotOf(Addr addr)
+    {
+        return static_cast<std::size_t>(regionOffsetOf(addr) /
+                                        objectAlignment);
+    }
+
+    std::vector<Addr> slots_;
+    std::size_t count_ = 0;
 };
 
 /**

@@ -18,6 +18,12 @@ setWalkContext(const char *context)
     walkContext = context;
 }
 
+const char *
+currentWalkContext()
+{
+    return walkContext;
+}
+
 RegionManager::RegionManager(std::uint64_t heap_bytes)
     : arena_((roundUp(heap_bytes, regionSize)) >> regionShift)
 {
@@ -118,41 +124,6 @@ RegionManager::releaseHeldRegions(std::size_t n)
         ++released;
     }
     return released;
-}
-
-void
-RegionManager::forEachObject(Region &region,
-                             const std::function<void(Addr)> &fn)
-{
-    Addr cursor = region.startAddr();
-    Addr end = region.startAddr() + region.top;
-    while (cursor < end) {
-        ObjectHeader *h = arena_.header(cursor);
-        distill_assert(h->size >= objectHeaderSize &&
-                       h->size % objectAlignment == 0 &&
-                       cursor + h->size <= end,
-                       "corrupt object size %u at %llx "
-                       "(region %zu state %u top %llu, walk '%s')",
-                       h->size, static_cast<unsigned long long>(cursor),
-                       region.index, static_cast<unsigned>(region.state),
-                       static_cast<unsigned long long>(region.top),
-                       walkContext);
-        // Cache the size before the callback: compaction callbacks
-        // may slide the object over its own header.
-        std::uint64_t size = h->size;
-        fn(cursor);
-        cursor += size;
-    }
-}
-
-void
-RegionManager::forEachRegion(RegionState state,
-                             const std::function<void(Region &)> &fn)
-{
-    for (Region &r : regions_) {
-        if (r.state == state)
-            fn(r);
-    }
 }
 
 std::size_t

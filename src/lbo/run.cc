@@ -9,7 +9,7 @@ namespace distill::lbo
 RunRecord
 runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
        std::uint64_t heap_bytes, double heap_factor, std::uint64_t seed,
-       unsigned invocation, const Environment &env)
+       unsigned invocation, const Environment &env, RunExtras *extras)
 {
     rt::RunConfig config;
     config.machine = env.machine;
@@ -25,6 +25,13 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
                         wl::makeWorkload(spec));
     runtime.execute();
     const metrics::RunMetrics &m = runtime.agent().metrics();
+    if (extras != nullptr) {
+        extras->objectsAllocated = m.objectsAllocated;
+        extras->schedRounds = m.schedRounds;
+        extras->schedDispatches = m.schedDispatches;
+        extras->refLoads = m.refLoads;
+        extras->refStores = m.refStores;
+    }
 
     RunRecord r;
     r.bench = spec.name;

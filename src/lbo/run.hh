@@ -41,17 +41,34 @@ struct Environment
 };
 
 /**
+ * Host-throughput counters a run produces beyond what RunRecord
+ * carries. distill_bench divides these by host time; they are kept
+ * out of the CSV schema because they describe simulator activity, not
+ * simulated GC cost.
+ */
+struct RunExtras
+{
+    std::uint64_t objectsAllocated = 0;
+    std::uint64_t schedRounds = 0;
+    std::uint64_t schedDispatches = 0;
+    std::uint64_t refLoads = 0;
+    std::uint64_t refStores = 0;
+};
+
+/**
  * Execute one invocation of @p spec under @p collector with a heap of
  * @p heap_bytes (ignored for Epsilon, which gets the machine memory
  * budget) and return its flattened measurements.
  *
  * @param seed Workload seed; runs with the same seed replay the same
  *        allocation/mutation sequence under every collector.
+ * @param extras When non-null, receives the run's host-throughput
+ *        counters (see RunExtras).
  */
 RunRecord runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
                  std::uint64_t heap_bytes, double heap_factor,
                  std::uint64_t seed, unsigned invocation,
-                 const Environment &env = {});
+                 const Environment &env = {}, RunExtras *extras = nullptr);
 
 } // namespace distill::lbo
 

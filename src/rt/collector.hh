@@ -65,12 +65,83 @@ struct AllocResult
 };
 
 /**
+ * Barrier fast-path tags. Reference loads and stores are the hottest
+ * operations in the whole simulator (hundreds of millions per run),
+ * and most collectors use stock barrier recipes, so Mutator dispatches
+ * on these tags and inlines the common recipes instead of paying a
+ * virtual call per access. A collector whose barrier does anything
+ * beyond the tagged recipe must keep the Virtual tag; the inlined
+ * recipes must charge exactly what the virtual implementations do, or
+ * golden determinism breaks.
+ */
+enum class LoadBarrierKind : std::uint8_t
+{
+    Plain,   //!< charge refLoad, read the slot (no read barrier)
+    /**
+     * Load-reference barrier whose slow path cannot trigger: charge
+     * refLoad + readBarrierFast, read the slot. Valid only while no
+     * evacuation is in flight; Shenandoah retags its mutators to
+     * Virtual for the duration of each evacuation window.
+     */
+    Lvb,
+    Virtual, //!< call the collector's virtual loadRef()
+};
+
+enum class StoreBarrierKind : std::uint8_t
+{
+    Plain,        //!< charge refStore, write the slot
+    Generational, //!< Plain + card-mark and old->young remembering
+    /**
+     * SATB pre-barrier with marking inactive: charge refStore, charge
+     * satbInactive, write the slot. Valid only while SATB marking is
+     * off; Shenandoah retags to Virtual while satbActive_.
+     */
+    SatbPlain,
+    /**
+     * G1's combined barrier with marking inactive: charge refStore +
+     * g1PostBarrier, charge satbInactive, write the slot, then the
+     * cross-region post-barrier (old-generation sources feed the
+     * destination region's remembered set). G1 retags to Virtual
+     * while concurrent marking is active.
+     */
+    G1Post,
+    Virtual,      //!< call the collector's virtual storeRef()
+};
+
+/**
+ * Mutator allocation fast-path tag. TlabPlain means a TLAB hit is
+ * exactly "charge the fast-path and init costs, bump, init" with no
+ * collector-specific side work, so the mutator may inline it; every
+ * miss — and every allocation under any other tag — goes through the
+ * virtual Collector::allocate(). Collectors whose allocation slow
+ * path must observe every allocation (ZGC and Shenandoah re-evaluate
+ * cycle triggers per allocation) stay Virtual; collectors that mark
+ * new objects while concurrent marking runs (G1) flip their mutators
+ * to Virtual for the duration of marking.
+ */
+enum class AllocPathKind : std::uint8_t
+{
+    TlabPlain, //!< TLAB hits may be inlined by the mutator
+    Virtual,   //!< every allocation calls Collector::allocate()
+};
+
+/**
  * Base class for all collectors.
  */
 class Collector
 {
   public:
     virtual ~Collector();
+
+    /** Mutator fast-path tag for reference loads. */
+    LoadBarrierKind loadBarrierKind() const { return loadBarrier_; }
+
+    /** Mutator fast-path tag for reference stores. */
+    StoreBarrierKind storeBarrierKind() const { return storeBarrier_; }
+
+    /** Mutator fast-path tag for allocation (initial value; G1 flips
+     *  its mutators dynamically around concurrent marking). */
+    AllocPathKind allocPathKind() const { return allocPath_; }
 
     /** Collector name as it appears in the paper's tables. */
     virtual const char *name() const = 0;
@@ -119,6 +190,12 @@ class Collector
 
   protected:
     Runtime *rt_ = nullptr;
+
+    /** Derived constructors relax these when their barrier matches a
+     *  stock recipe; the safe default is the virtual slow path. */
+    LoadBarrierKind loadBarrier_ = LoadBarrierKind::Virtual;
+    StoreBarrierKind storeBarrier_ = StoreBarrierKind::Virtual;
+    AllocPathKind allocPath_ = AllocPathKind::Virtual;
 };
 
 } // namespace distill::rt

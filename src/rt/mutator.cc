@@ -13,7 +13,19 @@ Mutator::Mutator(Runtime &runtime, unsigned id,
       runtime_(runtime),
       id_(id),
       program_(std::move(program)),
-      rng_(rng)
+      rng_(rng),
+      metrics_(&runtime.agent().metrics()),
+      costs_(&runtime.costs()),
+      regions_(&runtime.heap().regions),
+      arena_(&runtime.heap().regions.arena()),
+      oldToYoung_(&runtime.heap().oldToYoung),
+      remsets_(&runtime.heap().remsets),
+      collector_(&runtime.collector()),
+      sched_(&runtime.scheduler()),
+      fault_(runtime.faultInjector()),
+      loadKind_(collector_->loadBarrierKind()),
+      storeKind_(collector_->storeBarrierKind()),
+      allocKind_(collector_->allocPathKind())
 {
     distill_assert(program_ != nullptr, "mutator without a program");
 }
@@ -30,33 +42,27 @@ Mutator::now() const
         runtime_.scheduler().machine().cyclesToTicks(spent_);
 }
 
-void
-Mutator::charge(Cycles cycles)
-{
-    spent_ += static_cast<Cycles>(
-        static_cast<double>(cycles) *
-        runtime_.scheduler().mutatorDilation());
-}
 
 Addr
-Mutator::allocate(std::uint32_t num_refs, std::uint64_t payload_bytes)
+Mutator::allocateSlow(std::uint32_t num_refs, std::uint64_t payload_bytes)
 {
-    if (fault::FaultInjector *inj = runtime_.faultInjector();
-        inj != nullptr) {
+    if (fault_ != nullptr) {
         // Allocation-rate burst: inflate the payload, capped so the
         // object still fits comfortably within one region. The
         // collector and the bytesAllocated metric both see the
         // inflated size, keeping progress accounting consistent.
         payload_bytes =
-            inj->inflatePayload(payload_bytes, heap::regionSize / 4);
+            fault_->inflatePayload(payload_bytes, heap::regionSize / 4);
     }
     AllocResult result =
         runtime_.collector().allocate(*this, num_refs, payload_bytes);
     switch (result.status) {
-      case AllocStatus::Ok:
-        runtime_.agent().metrics().bytesAllocated +=
-            heap::objectSize(num_refs, payload_bytes);
+      case AllocStatus::Ok: {
+        metrics::RunMetrics &m = runtime_.agent().metrics();
+        m.bytesAllocated += heap::objectSize(num_refs, payload_bytes);
+        ++m.objectsAllocated;
         return result.addr;
+      }
       case AllocStatus::WaitForGc:
       case AllocStatus::Stall:
         markBlockedInStep();
@@ -73,32 +79,6 @@ Mutator::allocate(std::uint32_t num_refs, std::uint64_t payload_bytes)
         return nullRef;
     }
     panic("unreachable alloc status");
-}
-
-Addr
-Mutator::loadRef(Addr obj, unsigned slot)
-{
-    ++runtime_.agent().metrics().refLoads;
-    return runtime_.collector().loadRef(*this, obj, slot);
-}
-
-void
-Mutator::storeRef(Addr obj, unsigned slot, Addr value)
-{
-    ++runtime_.agent().metrics().refStores;
-    runtime_.collector().storeRef(*this, obj, slot, value);
-}
-
-void
-Mutator::compute(Cycles cycles)
-{
-    charge(cycles);
-}
-
-std::uint32_t
-Mutator::numRefs(Addr obj)
-{
-    return runtime_.heap().regions.header(obj)->numRefs;
 }
 
 void

@@ -21,8 +21,21 @@
 
 #include "base/rng.hh"
 #include "base/types.hh"
+#include "heap/arena.hh"
+#include "heap/region.hh"
+#include "heap/remset.hh"
+#include "metrics/agent.hh"
+#include "rt/collector.hh"
+#include "rt/cost_model.hh"
 #include "rt/program.hh"
+#include "rt/validate.hh"
+#include "sim/scheduler.hh"
 #include "sim/thread.hh"
+
+namespace distill::fault
+{
+class FaultInjector;
+}
 
 namespace distill::rt
 {
@@ -62,17 +75,90 @@ class Mutator : public sim::SimThread
      * Allocate an object (see Collector::allocate). Returns nullRef
      * when the thread was blocked/stalled; the program must then
      * return from step() immediately.
+     *
+     * TLAB hits under an AllocPathKind::TlabPlain collector inline
+     * here (allocation is the second-hottest mutator operation after
+     * the barriers); the recipe must charge exactly what
+     * gc::allocFromSpace charges on a hit. Everything else — misses,
+     * collectors with allocation-time side work, runs with a fault
+     * injector (payload inflation) — takes the virtual slow path.
      */
-    Addr allocate(std::uint32_t num_refs, std::uint64_t payload_bytes);
+    Addr
+    allocate(std::uint32_t num_refs, std::uint64_t payload_bytes)
+    {
+        if (allocKind_ == AllocPathKind::TlabPlain && fault_ == nullptr) {
+            std::uint64_t size = heap::objectSize(num_refs,
+                                                  payload_bytes);
+            if (tlab_.valid() && tlab_.end - tlab_.cur >= size) {
+                charge(costs_->allocFastPath +
+                       static_cast<Cycles>(
+                           costs_->allocInitPerByte *
+                           static_cast<double>(size)));
+                Addr out = tlab_.cur;
+                tlab_.cur += size;
+                if (validateEnabled())
+                    registerObjectStart(out);
+                heap::initObjectRaw(*arena_, out, size, num_refs);
+                metrics_->bytesAllocated += size;
+                ++metrics_->objectsAllocated;
+                return out;
+            }
+        }
+        return allocateSlow(num_refs, payload_bytes);
+    }
 
-    /** Barrier-mediated reference load from @p obj's slot @p slot. */
-    Addr loadRef(Addr obj, unsigned slot);
+    /**
+     * Barrier-mediated reference load from @p obj's slot @p slot.
+     * Dispatches on the collector's LoadBarrierKind tag: the stock
+     * recipes inline here (this is the hottest call in the simulator);
+     * anything else goes through the virtual Collector::loadRef.
+     */
+    Addr
+    loadRef(Addr obj, unsigned slot)
+    {
+        ++metrics_->refLoads;
+        switch (loadKind_) {
+          case LoadBarrierKind::Plain:
+            charge(costs_->refLoad);
+            return regions_->header(obj)->refSlots()[slot];
+          case LoadBarrierKind::Lvb:
+            charge(costs_->refLoad + costs_->readBarrierFast);
+            return regions_->header(obj)->refSlots()[slot];
+          case LoadBarrierKind::Virtual:
+            break;
+        }
+        return collector_->loadRef(*this, obj, slot);
+    }
 
-    /** Barrier-mediated reference store. */
-    void storeRef(Addr obj, unsigned slot, Addr value);
+    /** Barrier-mediated reference store (tag-dispatched like loadRef). */
+    void
+    storeRef(Addr obj, unsigned slot, Addr value)
+    {
+        ++metrics_->refStores;
+        switch (storeKind_) {
+          case StoreBarrierKind::Plain:
+            charge(costs_->refStore);
+            regions_->header(obj)->refSlots()[slot] = value;
+            return;
+          case StoreBarrierKind::Generational:
+            storeRefGenerational(obj, slot, value);
+            return;
+          case StoreBarrierKind::SatbPlain:
+            charge(costs_->refStore);
+            charge(costs_->satbInactive);
+            regions_->header(obj)->refSlots()[slot] = value;
+            return;
+          case StoreBarrierKind::G1Post:
+            storeRefG1Post(obj, slot, value);
+            return;
+          case StoreBarrierKind::Virtual:
+            collector_->storeRef(*this, obj, slot, value);
+            return;
+        }
+    }
 
     /** Spend @p cycles of pure application compute. */
-    void compute(Cycles cycles);
+    void compute(Cycles cycles) { charge(cycles); }
 
     /** Whether the last allocate() blocked or stalled this thread. */
     bool wasBlocked() const { return blockedInStep_; }
@@ -81,7 +167,11 @@ class Mutator : public sim::SimThread
     Ticks now() const;
 
     /** Number of reference slots of @p obj (shape is program-known). */
-    std::uint32_t numRefs(Addr obj);
+    std::uint32_t
+    numRefs(Addr obj)
+    {
+        return regions_->header(obj)->numRefs;
+    }
 
     /**
      * Put the thread to sleep until virtual time @p deadline (idle
@@ -102,13 +192,43 @@ class Mutator : public sim::SimThread
     MutatorProgram &program() { return *program_; }
 
     /** Charge cycles at the current contention-dilated rate. */
-    void charge(Cycles cycles);
+    void
+    charge(Cycles cycles)
+    {
+        // Dilation is exactly 1.0 outside contention windows; skip
+        // the int->double->int round trip then (bit-identical: the
+        // multiply by 1.0 is exact for any realistic cycle count).
+        double dilation = sched_->mutatorDilation();
+        if (dilation == 1.0) {
+            spent_ += cycles;
+            return;
+        }
+        spent_ += static_cast<Cycles>(
+            static_cast<double>(cycles) * dilation);
+    }
 
     /** Charge cycles with no dilation (used inside pauses/stalls). */
     void chargeRaw(Cycles cycles) { spent_ += cycles; }
 
     /** Mark this thread blocked within the current step. */
     void markBlockedInStep() { blockedInStep_ = true; }
+
+    /**
+     * Retag the allocation fast path (world-stopped only; G1 flips
+     * mutators to Virtual while concurrent marking is active).
+     */
+    void setAllocPath(AllocPathKind kind) { allocKind_ = kind; }
+
+    /**
+     * Retag the barrier fast paths. Collectors whose barriers change
+     * shape over a cycle (SATB marking windows, evacuation windows)
+     * call these at the exact points the corresponding flag flips;
+     * since GC-thread code runs between mutator quanta, retagging at
+     * the flip is observationally identical to the virtual barrier
+     * re-reading the flag on every access.
+     */
+    void setLoadBarrier(LoadBarrierKind kind) { loadKind_ = kind; }
+    void setStoreBarrier(StoreBarrierKind kind) { storeKind_ = kind; }
 
     /** Whether this thread is parked at a safepoint right now. */
     bool parkedAtSafepoint() const { return parkedAtSafepoint_; }
@@ -133,13 +253,71 @@ class Mutator : public sim::SimThread
   private:
     void parkAtSafepoint();
 
+    /** Allocation slow path: TLAB misses and Virtual-tagged runs. */
+    Addr allocateSlow(std::uint32_t num_refs,
+                      std::uint64_t payload_bytes);
+
     /** Retire the TLAB, mark the thread finished, notify the runtime. */
     void finishProgram();
+
+    /** The inlined generational store recipe (Serial/Parallel). Must
+     *  charge exactly what StwGenCollector::storeRef charges. */
+    void
+    storeRefGenerational(Addr obj, unsigned slot, Addr value)
+    {
+        charge(costs_->refStore + costs_->cardMark);
+        heap::ObjectHeader *h = regions_->header(obj);
+        h->refSlots()[slot] = value;
+        if (value == nullRef)
+            return;
+        heap::RegionState vs = regions_->regionOf(value).state;
+        if (regions_->regionOf(obj).state == heap::RegionState::Old &&
+            (vs == heap::RegionState::Eden ||
+             vs == heap::RegionState::Survivor) &&
+            !(h->flags & heap::flagRemembered)) {
+            h->flags |= heap::flagRemembered;
+            oldToYoung_->record(obj);
+            charge(costs_->remsetInsert);
+        }
+    }
+
+    /** The inlined G1 non-marking store recipe. Must charge exactly
+     *  what G1::storeRef charges with markingActive_ == false. */
+    void
+    storeRefG1Post(Addr obj, unsigned slot, Addr value)
+    {
+        charge(costs_->refStore + costs_->g1PostBarrier);
+        charge(costs_->satbInactive);
+        regions_->header(obj)->refSlots()[slot] = value;
+        if (value != nullRef &&
+            heap::regionIndexOf(value) != heap::regionIndexOf(obj) &&
+            regions_->regionOf(obj).state == heap::RegionState::Old) {
+            if (remsets_->forRegion(heap::regionIndexOf(value)).add(obj))
+                charge(costs_->remsetInsert);
+        }
+    }
 
     Runtime &runtime_;
     unsigned id_;
     std::unique_ptr<MutatorProgram> program_;
     Rng rng_;
+
+    // Fast-path caches, bound once at construction. The Runtime
+    // accessor chain (runtime().agent().metrics() etc.) is loop-
+    // invariant per run but was re-walked on every reference access.
+    metrics::RunMetrics *metrics_;
+    const CostModel *costs_;
+    heap::RegionManager *regions_;
+    heap::Arena *arena_;
+    heap::ObjectRememberedSet *oldToYoung_;
+    heap::RemSetTable *remsets_;
+    Collector *collector_;
+    sim::Scheduler *sched_;
+    fault::FaultInjector *fault_;
+    LoadBarrierKind loadKind_;
+    StoreBarrierKind storeKind_;
+    AllocPathKind allocKind_;
+
     Tlab tlab_;
     std::vector<Addr> satbBuffer_;
     Cycles debt_ = 0;

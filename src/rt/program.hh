@@ -23,7 +23,9 @@
 #ifndef DISTILL_RT_PROGRAM_HH
 #define DISTILL_RT_PROGRAM_HH
 
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "base/types.hh"
 
@@ -34,6 +36,13 @@ class Mutator;
 
 /** Callback applied to each root slot; may rewrite the slot. */
 using RootSlotVisitor = std::function<void(Addr &)>;
+
+/** A contiguous block of root slots exposed for direct iteration. */
+struct RootSpan
+{
+    Addr *data;
+    std::size_t size;
+};
 
 /**
  * A source of GC roots (thread-local program state or shared
@@ -46,6 +55,23 @@ class RootProvider
 
     /** Visit every reference-holding slot. */
     virtual void forEachRootSlot(const RootSlotVisitor &visit) = 0;
+
+    /**
+     * Append this provider's root slots to @p out as contiguous
+     * spans and return true, or return false when the roots are not
+     * span-shaped (caller falls back to forEachRootSlot). Root scans
+     * run per GC cycle over every slot, so providers backed by plain
+     * vectors should implement this: it lets Runtime::forEachRoot
+     * iterate slots directly instead of paying a type-erased
+     * callback per slot. Spans must cover exactly the slots
+     * forEachRootSlot visits, in the same order.
+     */
+    virtual bool
+    rootSpans(std::vector<RootSpan> &out)
+    {
+        (void)out;
+        return false;
+    }
 };
 
 /** Result of one program step. */

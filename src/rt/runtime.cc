@@ -66,6 +66,17 @@ Runtime::Runtime(const RunConfig &config,
               collector_->name());
     }
 
+    {
+        // Before the mutators: each Mutator caches the injector
+        // pointer at construction for its allocation fast path.
+        fault::FaultPlan plan = config_.faultPlan.enabled()
+            ? config_.faultPlan
+            : fault::FaultPlan::fromSeed(config_.faultSeed);
+        if (plan.enabled())
+            fault_ = std::make_unique<fault::FaultInjector>(
+                std::move(plan));
+    }
+
     Rng seeder(config_.seed);
     unsigned id = 0;
     for (auto &program : workload_.programs) {
@@ -80,15 +91,6 @@ Runtime::Runtime(const RunConfig &config,
         scheduler_.addThread(m.get());
 
     collector_->attach(*this);
-
-    {
-        fault::FaultPlan plan = config_.faultPlan.enabled()
-            ? config_.faultPlan
-            : fault::FaultPlan::fromSeed(config_.faultSeed);
-        if (plan.enabled())
-            fault_ = std::make_unique<fault::FaultInjector>(
-                std::move(plan));
-    }
 
     if (config_.schedSeed != 0) {
         scheduler_.setPerturbation(
@@ -297,15 +299,6 @@ Runtime::wakeAllocWaiters()
         }
     }
     allocWaiters_.clear();
-}
-
-void
-Runtime::forEachRoot(const RootSlotVisitor &visit)
-{
-    for (auto &m : mutators_)
-        m->program().forEachRootSlot(visit);
-    for (auto &provider : workload_.sharedRoots)
-        provider->forEachRootSlot(visit);
 }
 
 std::size_t

@@ -216,8 +216,21 @@ class Runtime
 
     // ----- Roots ------------------------------------------------------
 
-    /** Visit every root slot (thread programs + shared structures). */
-    void forEachRoot(const RootSlotVisitor &visit);
+    /**
+     * Visit every root slot (thread programs + shared structures).
+     * Templated so the visitor inlines: root scans touch every slot
+     * once per GC cycle, and span-shaped providers (the common case)
+     * are iterated directly without a per-slot callback.
+     */
+    template <typename Fn>
+    void
+    forEachRoot(Fn &&visit)
+    {
+        for (auto &m : mutators_)
+            visitRootsOf(m->program(), visit);
+        for (auto &provider : workload_.sharedRoots)
+            visitRootsOf(*provider, visit);
+    }
 
     /** Total number of root slots (for pause cost accounting). */
     std::size_t countRoots();
@@ -234,6 +247,22 @@ class Runtime
     std::vector<std::unique_ptr<Mutator>> &mutators() { return mutators_; }
 
   private:
+    /** Span fast path for one provider; falls back to the visitor. */
+    template <typename Fn>
+    void
+    visitRootsOf(RootProvider &provider, Fn &visit)
+    {
+        rootSpans_.clear();
+        if (provider.rootSpans(rootSpans_)) {
+            for (const RootSpan &span : rootSpans_) {
+                for (std::size_t i = 0; i < span.size; ++i)
+                    visit(span.data[i]);
+            }
+            return;
+        }
+        provider.forEachRootSlot([&](Addr &slot) { visit(slot); });
+    }
+
     void roundHook();
 
     /** Apply the fault plan's current state (round boundaries). */
@@ -263,6 +292,7 @@ class Runtime
     sim::SimThread *safepointRequester_ = nullptr;
 
     std::vector<Mutator *> allocWaiters_;
+    std::vector<RootSpan> rootSpans_;
 
     bool failed_ = false;
     bool finalized_ = false;

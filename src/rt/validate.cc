@@ -11,14 +11,17 @@
 namespace distill::rt
 {
 
-bool
-validateEnabled()
+std::unordered_set<Addr> &
+objectStartRegistry()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("DISTILL_VALIDATE");
-        return env != nullptr && env[0] == '1';
-    }();
-    return enabled;
+    static std::unordered_set<Addr> starts;
+    return starts;
+}
+
+void
+registerObjectStart(Addr addr)
+{
+    objectStartRegistry().insert(addr);
 }
 
 void

@@ -6,6 +6,11 @@
 #ifndef DISTILL_RT_VALIDATE_HH
 #define DISTILL_RT_VALIDATE_HH
 
+#include <cstdlib>
+#include <unordered_set>
+
+#include "base/types.hh"
+
 namespace distill::rt
 {
 
@@ -49,8 +54,32 @@ void validateHeap(Runtime &runtime, const char *context,
 void validateHeap(Runtime &runtime, const char *context,
                   bool marked_slots_only = false);
 
-/** Whether DISTILL_VALIDATE=1 is set. */
-bool validateEnabled();
+/**
+ * Whether DISTILL_VALIDATE=1 is set. Inline (function-local static)
+ * because GC hot loops consult this per object or per slot; after the
+ * first call it folds to a guarded load at the call site instead of a
+ * function call.
+ */
+inline bool
+validateEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("DISTILL_VALIDATE");
+        return env != nullptr && env[0] == '1';
+    }();
+    return enabled;
+}
+
+/**
+ * Debug registry of every allocated object's start address, consulted
+ * by validation-only assertions (live only under DISTILL_VALIDATE=1).
+ * Lives in the rt layer so the inline allocation fast path can record
+ * into it without depending on gc/.
+ */
+std::unordered_set<Addr> &objectStartRegistry();
+
+/** Out-of-line recorder (keeps the cold insert off the fast path). */
+void registerObjectStart(Addr addr);
 
 /**
  * Debug watchpoint: when DISTILL_WATCH=<hex sim addr> is set, report

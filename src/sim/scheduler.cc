@@ -56,6 +56,8 @@ Scheduler::setRoundHook(std::function<void()> hook)
 void
 Scheduler::wakeSleepers()
 {
+    if (sleepingCount_ == 0)
+        return;
     for (SimThread *t : threads_) {
         if (t->state() == SimThread::State::Sleeping &&
             t->wakeupTime() <= now_) {
@@ -177,6 +179,8 @@ Scheduler::run(const std::function<bool()> &done)
             mutatorDilation_ = 1.0;
         }
 
+        ++rounds_;
+        dispatches_ += selected_.size();
         Cycles max_used = 0;
         for (SimThread *t : selected_) {
             Cycles budget = config_.quantumCycles;

@@ -115,6 +115,12 @@ class Scheduler
     /** Aggregate cycles executed so far, by thread kind. */
     const CycleTotals &cycleTotals() const { return cycleTotals_; }
 
+    /** Scheduling rounds that dispatched at least one thread. */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Thread dispatches (SimThread::run invocations) so far. */
+    std::uint64_t dispatches() const { return dispatches_; }
+
     /** Every registered thread (crash-forensics thread summaries). */
     const std::vector<SimThread *> &threads() const { return threads_; }
 
@@ -145,6 +151,11 @@ class Scheduler
     const SchedulePerturb &perturbation() const { return perturb_; }
 
   private:
+    // SimThread state transitions maintain sleepingCount_ so the
+    // per-round sleeper wakeup scan can be skipped entirely in the
+    // common no-sleepers case.
+    friend class SimThread;
+
     /** Wake sleepers whose deadline has passed. */
     void wakeSleepers();
 
@@ -161,6 +172,9 @@ class Scheduler
     Ticks now_ = 0;
     double mutatorDilation_ = 1.0;
     CycleTotals cycleTotals_;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t dispatches_ = 0;
+    std::size_t sleepingCount_ = 0;
     std::function<void()> roundHook_;
 };
 

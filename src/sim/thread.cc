@@ -1,6 +1,7 @@
 #include "sim/thread.hh"
 
 #include "base/logging.hh"
+#include "sim/scheduler.hh"
 
 namespace distill::sim
 {
@@ -17,6 +18,8 @@ SimThread::makeRunnable()
 {
     distill_assert(state_ != State::Finished,
                    "thread %s resurrected", name_.c_str());
+    if (state_ == State::Sleeping && scheduler_ != nullptr)
+        --scheduler_->sleepingCount_;
     state_ = State::Runnable;
 }
 
@@ -25,6 +28,8 @@ SimThread::block()
 {
     distill_assert(state_ != State::Finished,
                    "thread %s blocked after finish", name_.c_str());
+    if (state_ == State::Sleeping && scheduler_ != nullptr)
+        --scheduler_->sleepingCount_;
     state_ = State::Blocked;
 }
 
@@ -33,6 +38,8 @@ SimThread::sleepUntil(Ticks deadline)
 {
     distill_assert(state_ != State::Finished,
                    "thread %s slept after finish", name_.c_str());
+    if (state_ != State::Sleeping && scheduler_ != nullptr)
+        ++scheduler_->sleepingCount_;
     state_ = State::Sleeping;
     wakeupTime_ = deadline;
 }
@@ -40,6 +47,8 @@ SimThread::sleepUntil(Ticks deadline)
 void
 SimThread::finish()
 {
+    if (state_ == State::Sleeping && scheduler_ != nullptr)
+        --scheduler_->sleepingCount_;
     state_ = State::Finished;
 }
 

@@ -46,6 +46,10 @@ TransactionProgram::TransactionProgram(const WorkloadSpec &spec,
       nursery_(spec.nurserySlots, nullRef),
       recent_(8, nullRef)
 {
+    payloadLog2Lo_ = std::log2(static_cast<double>(spec_.minPayload));
+    payloadLog2Hi_ = std::log2(static_cast<double>(std::max(
+        spec_.minPayload + 1, spec_.maxPayload)));
+
     // Each thread populates its contiguous share of the store.
     std::size_t share = store_.size() / spec_.threads;
     setupBase_ = static_cast<std::size_t>(thread_index) * share;
@@ -61,6 +65,14 @@ TransactionProgram::forEachRootSlot(const rt::RootSlotVisitor &visit)
         visit(slot);
     for (Addr &slot : recent_)
         visit(slot);
+}
+
+bool
+TransactionProgram::rootSpans(std::vector<rt::RootSpan> &out)
+{
+    out.push_back({nursery_.data(), nursery_.size()});
+    out.push_back({recent_.data(), recent_.size()});
+    return true;
 }
 
 Addr
@@ -83,9 +95,8 @@ TransactionProgram::allocateObject(rt::Mutator &mutator)
         rng.range(spec_.minRefs, spec_.maxRefs));
     // Log-uniform payload size: small objects dominate, occasional
     // larger arrays (matches managed-heap demographics).
-    double lo = std::log2(static_cast<double>(spec_.minPayload));
-    double hi = std::log2(static_cast<double>(std::max(
-        spec_.minPayload + 1, spec_.maxPayload)));
+    double lo = payloadLog2Lo_;
+    double hi = payloadLog2Hi_;
     std::uint64_t payload = static_cast<std::uint64_t>(
         std::exp2(lo + (hi - lo) * rng.real()));
 
@@ -111,7 +122,8 @@ TransactionProgram::allocateObject(rt::Mutator &mutator)
             mutator.storeRef(obj, i, target);
     }
     recent_[recentPos_] = obj;
-    recentPos_ = (recentPos_ + 1) % recent_.size();
+    if (++recentPos_ == recent_.size())
+        recentPos_ = 0;
     return obj;
 }
 
@@ -129,7 +141,8 @@ TransactionProgram::doTransaction(rt::Mutator &mutator)
         store_.replaceRandom(rng, obj);
     } else {
         nursery_[nurseryPos_] = obj;
-        nurseryPos_ = (nurseryPos_ + 1) % nursery_.size();
+        if (++nurseryPos_ == nursery_.size())
+            nurseryPos_ = 0;
     }
 
     // Reads.

@@ -46,6 +46,13 @@ class SharedStore : public rt::RootProvider
             visit(slot);
     }
 
+    bool
+    rootSpans(std::vector<rt::RootSpan> &out) override
+    {
+        out.push_back({slots_.data(), slots_.size()});
+        return true;
+    }
+
     std::size_t size() const { return slots_.size(); }
 
     void put(std::size_t index, Addr obj) { slots_.at(index) = obj; }
@@ -110,6 +117,8 @@ class TransactionProgram : public rt::MutatorProgram
 
     void forEachRootSlot(const rt::RootSlotVisitor &visit) override;
 
+    bool rootSpans(std::vector<rt::RootSpan> &out) override;
+
   private:
     enum class State
     {
@@ -130,6 +139,11 @@ class TransactionProgram : public rt::MutatorProgram
     unsigned threadIndex_;
     SharedStore &store_;
     std::shared_ptr<RequestClock> clock_;
+
+    /** Log-uniform payload-size endpoints, hoisted out of the
+     *  per-allocation path (two log2 calls per object otherwise). */
+    double payloadLog2Lo_ = 0.0;
+    double payloadLog2Hi_ = 0.0;
 
     State state_ = State::Setup;
     std::size_t setupDone_ = 0;

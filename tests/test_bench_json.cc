@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the BENCH_*.json writer/parser (tools/bench_json.hh)
+ * and the median/MAD helpers it reports with (base/host_timer.hh).
+ * The BENCH files are the repo's perf trajectory: every PR appends
+ * one, so the schema must round-trip exactly, reject garbage
+ * (NaN/Inf/negative timings, malformed JSON), and emit keys in a
+ * stable order so the files diff cleanly across PRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/host_timer.hh"
+#include "bench_json.hh"
+
+namespace
+{
+
+using namespace distill;
+using benchjson::BenchReport;
+using benchjson::CellResult;
+
+/** A minimal well-formed report used as the mutation baseline. */
+BenchReport
+sampleReport()
+{
+    BenchReport r;
+    r.pr = 6;
+    r.matrix = "full";
+    r.reps = 5;
+    r.warmup = 1;
+    r.cellsPerSec = 12.5;
+    r.simCyclesPerSec = 3.25e9;
+    r.eventsPerSec = 1.5e6;
+    r.allocsPerSec = 2.75e6;
+    r.baselineCellsPerSec = 8.0;
+    r.speedupVsBaseline = 12.5 / 8.0;
+
+    CellResult a;
+    a.name = "jme/Serial/2.5";
+    a.bench = "jme";
+    a.collector = "Serial";
+    a.heapFactor = 2.5;
+    a.hostMsMedian = 31.25;
+    a.hostMsMad = 0.5;
+    a.simCyclesPerSec = 3.0e9;
+    a.simNsPerSec = 9.0e8;
+    a.eventsPerSec = 1.25e6;
+    a.allocsPerSec = 2.5e6;
+    r.cells.push_back(a);
+
+    CellResult b;
+    b.name = "scheduler-microloop";
+    b.bench = "scheduler";
+    b.collector = "none";
+    b.hostMsMedian = 4.0;
+    b.eventsPerSec = 2.0e8;
+    r.cells.push_back(b);
+    return r;
+}
+
+TEST(BenchJson, RoundTripPreservesEveryField)
+{
+    BenchReport r = sampleReport();
+    std::string error;
+    ASSERT_TRUE(benchjson::validate(r, &error)) << error;
+
+    std::string json = benchjson::writeJson(r);
+    BenchReport back;
+    ASSERT_TRUE(benchjson::parse(json, &back, &error)) << error;
+    EXPECT_TRUE(benchjson::validate(back, &error)) << error;
+
+    EXPECT_EQ(back.version, r.version);
+    EXPECT_EQ(back.pr, r.pr);
+    EXPECT_EQ(back.matrix, r.matrix);
+    EXPECT_EQ(back.reps, r.reps);
+    EXPECT_EQ(back.warmup, r.warmup);
+    // %.17g serialization must round-trip doubles bit-exactly.
+    EXPECT_EQ(back.cellsPerSec, r.cellsPerSec);
+    EXPECT_EQ(back.simCyclesPerSec, r.simCyclesPerSec);
+    EXPECT_EQ(back.eventsPerSec, r.eventsPerSec);
+    EXPECT_EQ(back.allocsPerSec, r.allocsPerSec);
+    EXPECT_EQ(back.baselineCellsPerSec, r.baselineCellsPerSec);
+    EXPECT_EQ(back.speedupVsBaseline, r.speedupVsBaseline);
+
+    ASSERT_EQ(back.cells.size(), r.cells.size());
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+        EXPECT_EQ(back.cells[i].name, r.cells[i].name);
+        EXPECT_EQ(back.cells[i].bench, r.cells[i].bench);
+        EXPECT_EQ(back.cells[i].collector, r.cells[i].collector);
+        EXPECT_EQ(back.cells[i].heapFactor, r.cells[i].heapFactor);
+        EXPECT_EQ(back.cells[i].hostMsMedian, r.cells[i].hostMsMedian);
+        EXPECT_EQ(back.cells[i].hostMsMad, r.cells[i].hostMsMad);
+        EXPECT_EQ(back.cells[i].simCyclesPerSec,
+                  r.cells[i].simCyclesPerSec);
+        EXPECT_EQ(back.cells[i].simNsPerSec, r.cells[i].simNsPerSec);
+        EXPECT_EQ(back.cells[i].eventsPerSec, r.cells[i].eventsPerSec);
+        EXPECT_EQ(back.cells[i].allocsPerSec, r.cells[i].allocsPerSec);
+    }
+}
+
+TEST(BenchJson, StableKeyOrdering)
+{
+    // Two serializations of the same report are byte-identical, and
+    // the keys appear in the documented order — the property that
+    // makes BENCH_<n>.json diff cleanly across PRs.
+    BenchReport r = sampleReport();
+    std::string a = benchjson::writeJson(r);
+    std::string b = benchjson::writeJson(r);
+    EXPECT_EQ(a, b);
+
+    const char *ordered[] = {
+        "\"schema\"",   "\"version\"",  "\"pr\"",
+        "\"matrix\"",   "\"reps\"",     "\"warmup\"",
+        "\"headline\"", "\"cellsPerSec\"", "\"simCyclesPerSec\"",
+        "\"eventsPerSec\"", "\"allocsPerSec\"",
+        "\"baselineCellsPerSec\"", "\"speedupVsBaseline\"",
+        "\"cells\"",    "\"name\"",     "\"bench\"",
+        "\"collector\"", "\"heapFactor\"", "\"hostMsMedian\"",
+        "\"hostMsMad\"",
+    };
+    std::size_t at = 0;
+    for (const char *key : ordered) {
+        std::size_t found = a.find(key, at);
+        ASSERT_NE(found, std::string::npos) << key;
+        at = found;
+    }
+}
+
+TEST(BenchJson, ValidateRejectsNaNAndInf)
+{
+    std::string error;
+    BenchReport r = sampleReport();
+    r.cells[0].hostMsMedian = std::nan("");
+    EXPECT_FALSE(benchjson::validate(r, &error));
+    EXPECT_NE(error.find("jme/Serial/2.5"), std::string::npos);
+
+    r = sampleReport();
+    r.cellsPerSec = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(benchjson::validate(r, &error));
+
+    r = sampleReport();
+    r.cells[1].eventsPerSec = -1.0;
+    EXPECT_FALSE(benchjson::validate(r, &error));
+
+    // The writer never emits NaN as a number; the placeholder it
+    // writes instead fails to parse back as that field's value.
+    r = sampleReport();
+    r.speedupVsBaseline = std::nan("");
+    std::string json = benchjson::writeJson(r);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    BenchReport back;
+    EXPECT_FALSE(benchjson::parse(json, &back, &error));
+}
+
+TEST(BenchJson, ValidateRejectsSchemaDrift)
+{
+    std::string error;
+    BenchReport r = sampleReport();
+    r.version = benchjson::schemaVersion + 1;
+    EXPECT_FALSE(benchjson::validate(r, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+
+    r = sampleReport();
+    r.pr = 0;
+    EXPECT_FALSE(benchjson::validate(r, &error));
+
+    r = sampleReport();
+    r.matrix = "medium";
+    EXPECT_FALSE(benchjson::validate(r, &error));
+
+    r = sampleReport();
+    r.reps = 0;
+    EXPECT_FALSE(benchjson::validate(r, &error));
+
+    r = sampleReport();
+    r.cells.clear();
+    EXPECT_FALSE(benchjson::validate(r, &error));
+
+    r = sampleReport();
+    r.cells[1].name = r.cells[0].name;
+    EXPECT_FALSE(benchjson::validate(r, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+
+    r = sampleReport();
+    r.cells[0].hostMsMedian = 0.0; // a zero timing is a broken timer
+    EXPECT_FALSE(benchjson::validate(r, &error));
+}
+
+TEST(BenchJson, ParseRejectsMalformedDocuments)
+{
+    BenchReport sink;
+    std::string error;
+    EXPECT_FALSE(benchjson::parse("", &sink, &error));
+    EXPECT_FALSE(benchjson::parse("[]", &sink, &error));
+    EXPECT_FALSE(benchjson::parse("{", &sink, &error));
+    EXPECT_FALSE(benchjson::parse("{}", &sink, &error)); // no schema
+    EXPECT_FALSE(benchjson::parse(
+        "{\"schema\": \"distill-bench\"}", &sink, &error)); // no cells
+    EXPECT_FALSE(benchjson::parse(
+        "{\"schema\": \"other\", \"cells\": []}", &sink, &error));
+    EXPECT_FALSE(benchjson::parse(
+        "{\"schema\": \"distill-bench\", \"version\": 1.5, "
+        "\"cells\": []}",
+        &sink, &error)); // non-integer version
+    EXPECT_FALSE(benchjson::parse(
+        "{\"schema\": \"distill-bench\", \"cells\": "
+        "[{\"hostMsMedian\": nan}]}",
+        &sink, &error)); // bare nan is not JSON
+    EXPECT_FALSE(benchjson::parse(
+        "{\"schema\": \"distill-bench\", \"cells\": []} trailing",
+        &sink, &error));
+
+    // Unknown keys are tolerated (forward compatibility) as long as
+    // they hold well-formed JSON.
+    EXPECT_TRUE(benchjson::parse(
+        "{\"schema\": \"distill-bench\", \"cells\": [], "
+        "\"futureKey\": {\"nested\": [1, 2, null]}}",
+        &sink, &error))
+        << error;
+    EXPECT_FALSE(benchjson::parse(
+        "{\"schema\": \"distill-bench\", \"cells\": [], "
+        "\"futureKey\": {\"nested\": [1, 2, }}",
+        &sink, &error));
+}
+
+TEST(HostTimerStats, MedianHandComputed)
+{
+    EXPECT_DOUBLE_EQ(medianOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(medianOf({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(medianOf({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(medianOf({4.0, 1.0, 3.0, 2.0}), 2.5);
+    // Robustness: one wild outlier must not move the median.
+    EXPECT_DOUBLE_EQ(medianOf({5.0, 5.0, 5.0, 5.0, 1e9}), 5.0);
+}
+
+TEST(HostTimerStats, MadHandComputed)
+{
+    EXPECT_DOUBLE_EQ(madOf({}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(madOf({7.0}, 7.0), 0.0);
+    // samples {1,2,3,8}: median 2.5, |dev| = {1.5, .5, .5, 5.5},
+    // MAD = median of devs = (0.5 + 1.5) / 2 = 1.0
+    EXPECT_DOUBLE_EQ(madOf({1.0, 2.0, 3.0, 8.0}, 2.5), 1.0);
+    // Identical samples have zero spread.
+    EXPECT_DOUBLE_EQ(madOf({4.0, 4.0, 4.0}, 4.0), 0.0);
+}
+
+TEST(HostTimer, MeasuresMonotonically)
+{
+    HostTimer t;
+    std::uint64_t a = t.elapsedNs();
+    std::uint64_t b = t.elapsedNs();
+    EXPECT_GE(b, a);
+    t.restart();
+    // After restart the clock still advances and stays non-negative.
+    EXPECT_GE(t.elapsedSec(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Schema-versioned writer/parser for the `BENCH_<n>.json` perf
+ * trajectory records produced by tools/distill_bench.
+ *
+ * Each PR appends one `BENCH_<n>.json` at the repo root reporting
+ * host-side simulator throughput on a pinned matrix (see
+ * docs/BENCHMARKING.md). Files must diff cleanly across PRs, so the
+ * writer emits keys in a fixed order, one cell per line, with no
+ * environment-dependent content beyond the measurements themselves.
+ *
+ * Schema (version 1):
+ *   {
+ *     "schema": "distill-bench", "version": 1, "pr": <n>,
+ *     "matrix": "full"|"quick", "reps": R, "warmup": W,
+ *     "headline": { "cellsPerSec": ..., "simCyclesPerSec": ...,
+ *                   "eventsPerSec": ..., "allocsPerSec": ...,
+ *                   "baselineCellsPerSec": ..., "speedupVsBaseline": ... },
+ *     "cells": [ { "name": ..., "bench": ..., "collector": ...,
+ *                  "heapFactor": ..., "hostMsMedian": ...,
+ *                  "hostMsMad": ..., "simCyclesPerSec": ...,
+ *                  "simNsPerSec": ..., "eventsPerSec": ...,
+ *                  "allocsPerSec": ... }, ... ]
+ *   }
+ *
+ * All numbers must be finite and non-negative; parse() and validate()
+ * reject NaN/Inf/negative timings so a broken harness cannot poison
+ * the trajectory. baselineCellsPerSec is the same harness run on the
+ * same matrix *before* the PR's optimizations (0 when unknown), so
+ * speedupVsBaseline pins the PR's measured win.
+ */
+
+#ifndef DISTILL_TOOLS_BENCH_JSON_HH
+#define DISTILL_TOOLS_BENCH_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "trace_json.hh"
+
+namespace distill::benchjson
+{
+
+constexpr int schemaVersion = 1;
+inline const char *schemaName = "distill-bench";
+
+/** Host-throughput summary of one matrix cell (medians over reps). */
+struct CellResult
+{
+    std::string name;      //!< "<bench>/<collector>/<factor>" or a micro-loop label
+    std::string bench;     //!< workload name ("scheduler" for the micro-loop)
+    std::string collector; //!< collector name ("none" for the micro-loop)
+    double heapFactor = 0.0;
+
+    double hostMsMedian = 0.0;   //!< median host milliseconds per rep
+    double hostMsMad = 0.0;      //!< median absolute deviation of the above
+    double simCyclesPerSec = 0.0; //!< simulated cycles executed per host second
+    double simNsPerSec = 0.0;     //!< virtual nanoseconds simulated per host second
+    double eventsPerSec = 0.0;    //!< scheduler thread dispatches per host second
+    double allocsPerSec = 0.0;    //!< object allocations per host second
+};
+
+/** One whole `BENCH_<n>.json` document. */
+struct BenchReport
+{
+    int version = schemaVersion;
+    int pr = 0;               //!< the <n> in BENCH_<n>.json
+    std::string matrix = "full";
+    unsigned reps = 0;
+    unsigned warmup = 0;
+
+    double cellsPerSec = 0.0;        //!< matrix cells completed per host second
+    double simCyclesPerSec = 0.0;    //!< aggregate over workload cells
+    double eventsPerSec = 0.0;       //!< aggregate over workload cells
+    double allocsPerSec = 0.0;       //!< aggregate over workload cells
+    double baselineCellsPerSec = 0.0; //!< pre-optimization harness, same matrix
+    double speedupVsBaseline = 0.0;   //!< cellsPerSec / baseline (0 = no baseline)
+
+    std::vector<CellResult> cells;
+};
+
+namespace detail
+{
+
+/** Round-trip-exact JSON number; asserts finiteness at write time. */
+inline std::string
+num(double v)
+{
+    char buf[40];
+    if (!std::isfinite(v))
+        return "null"; // validate() rejects; never silently emit NaN
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** Escape a string for JSON (names are plain ASCII in practice). */
+inline std::string
+str(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+inline bool
+finiteNonNegative(double v)
+{
+    return std::isfinite(v) && v >= 0.0;
+}
+
+} // namespace detail
+
+/**
+ * Check @p report for schema conformance: version match, sane pr/reps,
+ * finite non-negative numbers everywhere, non-empty unique cell names.
+ * @return true when valid; otherwise false with @p error filled.
+ */
+inline bool
+validate(const BenchReport &report, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    if (report.version != schemaVersion)
+        return fail("unsupported schema version " +
+                    std::to_string(report.version));
+    if (report.pr < 1)
+        return fail("pr must be >= 1");
+    if (report.matrix != "full" && report.matrix != "quick")
+        return fail("matrix must be \"full\" or \"quick\"");
+    if (report.reps < 1)
+        return fail("reps must be >= 1");
+    if (report.cells.empty())
+        return fail("no cells");
+    const double headline[] = {
+        report.cellsPerSec,     report.simCyclesPerSec,
+        report.eventsPerSec,    report.allocsPerSec,
+        report.baselineCellsPerSec, report.speedupVsBaseline,
+    };
+    for (double v : headline) {
+        if (!detail::finiteNonNegative(v))
+            return fail("headline value is NaN/Inf/negative");
+    }
+    if (report.cellsPerSec <= 0.0)
+        return fail("cellsPerSec must be > 0");
+    for (const CellResult &c : report.cells) {
+        if (c.name.empty())
+            return fail("cell with empty name");
+        const double nums[] = {
+            c.heapFactor,      c.hostMsMedian, c.hostMsMad,
+            c.simCyclesPerSec, c.simNsPerSec,  c.eventsPerSec,
+            c.allocsPerSec,
+        };
+        for (double v : nums) {
+            if (!detail::finiteNonNegative(v))
+                return fail("cell " + c.name +
+                            ": value is NaN/Inf/negative");
+        }
+        if (c.hostMsMedian <= 0.0)
+            return fail("cell " + c.name + ": hostMsMedian must be > 0");
+        for (const CellResult &other : report.cells) {
+            if (&other != &c && other.name == c.name)
+                return fail("duplicate cell name " + c.name);
+        }
+    }
+    return true;
+}
+
+/**
+ * Serialize @p report with stable key ordering (the exact order the
+ * schema comment documents), one cell per line.
+ */
+inline std::string
+writeJson(const BenchReport &report)
+{
+    using detail::num;
+    using detail::str;
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": " + str(schemaName) + ",\n";
+    out += "  \"version\": " + std::to_string(report.version) + ",\n";
+    out += "  \"pr\": " + std::to_string(report.pr) + ",\n";
+    out += "  \"matrix\": " + str(report.matrix) + ",\n";
+    out += "  \"reps\": " + std::to_string(report.reps) + ",\n";
+    out += "  \"warmup\": " + std::to_string(report.warmup) + ",\n";
+    out += "  \"headline\": {\n";
+    out += "    \"cellsPerSec\": " + num(report.cellsPerSec) + ",\n";
+    out += "    \"simCyclesPerSec\": " + num(report.simCyclesPerSec) +
+        ",\n";
+    out += "    \"eventsPerSec\": " + num(report.eventsPerSec) + ",\n";
+    out += "    \"allocsPerSec\": " + num(report.allocsPerSec) + ",\n";
+    out += "    \"baselineCellsPerSec\": " +
+        num(report.baselineCellsPerSec) + ",\n";
+    out += "    \"speedupVsBaseline\": " + num(report.speedupVsBaseline) +
+        "\n";
+    out += "  },\n";
+    out += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const CellResult &c = report.cells[i];
+        out += "    { \"name\": " + str(c.name) +
+            ", \"bench\": " + str(c.bench) +
+            ", \"collector\": " + str(c.collector) +
+            ", \"heapFactor\": " + num(c.heapFactor) +
+            ", \"hostMsMedian\": " + num(c.hostMsMedian) +
+            ", \"hostMsMad\": " + num(c.hostMsMad) +
+            ", \"simCyclesPerSec\": " + num(c.simCyclesPerSec) +
+            ", \"simNsPerSec\": " + num(c.simNsPerSec) +
+            ", \"eventsPerSec\": " + num(c.eventsPerSec) +
+            ", \"allocsPerSec\": " + num(c.allocsPerSec) + " }";
+        out += i + 1 < report.cells.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+/**
+ * Parse @p text into @p report. Syntax reuses the trace_json scanner;
+ * unknown keys are tolerated (validated as generic JSON) so older
+ * readers survive additive schema growth. Returns false with
+ * @p error filled on malformed input; does NOT run validate() —
+ * callers decide whether a syntactically sound but out-of-range
+ * document is acceptable (tests exercise both layers separately).
+ */
+inline bool
+parse(const std::string &text, BenchReport *report, std::string *error)
+{
+    trace::detail::Scanner s(text);
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    // Scanner validates the number's JSON shape; strtod on the same
+    // span then extracts the value (the shape check is what rejects
+    // "nan"/"inf"/"+1", which strtod would happily accept).
+    auto readNum = [&](double &out) {
+        s.skipWs();
+        std::size_t start = s.pos_;
+        if (!s.number())
+            return false;
+        out = std::strtod(text.substr(start, s.pos_ - start).c_str(),
+                          nullptr);
+        return true;
+    };
+    auto readInt = [&](int &out) {
+        double v = 0.0;
+        if (!readNum(v) || v != static_cast<double>(static_cast<int>(v)))
+            return false;
+        out = static_cast<int>(v);
+        return true;
+    };
+
+    BenchReport r;
+    bool saw_schema = false, saw_cells = false;
+    if (!s.consume('{'))
+        return fail("top level is not an object");
+    if (!s.consume('}')) {
+        do {
+            std::string key;
+            if (!s.string(key) || !s.consume(':'))
+                return fail("malformed object member");
+            if (key == "schema") {
+                std::string name;
+                if (!s.string(name))
+                    return fail("\"schema\" is not a string");
+                if (name != schemaName)
+                    return fail("unexpected schema \"" + name + "\"");
+                saw_schema = true;
+            } else if (key == "version") {
+                if (!readInt(r.version))
+                    return fail("\"version\" is not an integer");
+            } else if (key == "pr") {
+                if (!readInt(r.pr))
+                    return fail("\"pr\" is not an integer");
+            } else if (key == "matrix") {
+                if (!s.string(r.matrix))
+                    return fail("\"matrix\" is not a string");
+            } else if (key == "reps" || key == "warmup") {
+                int v = 0;
+                if (!readInt(v) || v < 0)
+                    return fail("\"" + key +
+                                "\" is not a non-negative integer");
+                (key == "reps" ? r.reps : r.warmup) =
+                    static_cast<unsigned>(v);
+            } else if (key == "headline") {
+                if (!s.consume('{'))
+                    return fail("\"headline\" is not an object");
+                if (!s.consume('}')) {
+                    do {
+                        std::string hk;
+                        if (!s.string(hk) || !s.consume(':'))
+                            return fail("malformed headline member");
+                        double *slot =
+                            hk == "cellsPerSec" ? &r.cellsPerSec
+                            : hk == "simCyclesPerSec"
+                                ? &r.simCyclesPerSec
+                            : hk == "eventsPerSec" ? &r.eventsPerSec
+                            : hk == "allocsPerSec" ? &r.allocsPerSec
+                            : hk == "baselineCellsPerSec"
+                                ? &r.baselineCellsPerSec
+                            : hk == "speedupVsBaseline"
+                                ? &r.speedupVsBaseline
+                                : nullptr;
+                        if (slot != nullptr) {
+                            if (!readNum(*slot))
+                                return fail("headline \"" + hk +
+                                            "\" is not a number");
+                        } else if (!trace::detail::value(s)) {
+                            return fail("malformed headline value");
+                        }
+                    } while (s.consume(','));
+                    if (!s.consume('}'))
+                        return fail("unterminated headline object");
+                }
+            } else if (key == "cells") {
+                saw_cells = true;
+                if (!s.consume('['))
+                    return fail("\"cells\" is not an array");
+                if (!s.consume(']')) {
+                    do {
+                        CellResult c;
+                        if (!s.consume('{'))
+                            return fail("cell is not an object");
+                        if (!s.consume('}')) {
+                            do {
+                                std::string ck;
+                                if (!s.string(ck) || !s.consume(':'))
+                                    return fail(
+                                        "malformed cell member");
+                                if (ck == "name" || ck == "bench" ||
+                                    ck == "collector") {
+                                    std::string *slot =
+                                        ck == "name" ? &c.name
+                                        : ck == "bench" ? &c.bench
+                                                        : &c.collector;
+                                    if (!s.string(*slot))
+                                        return fail(
+                                            "cell \"" + ck +
+                                            "\" is not a string");
+                                } else {
+                                    double *slot =
+                                        ck == "heapFactor"
+                                            ? &c.heapFactor
+                                        : ck == "hostMsMedian"
+                                            ? &c.hostMsMedian
+                                        : ck == "hostMsMad"
+                                            ? &c.hostMsMad
+                                        : ck == "simCyclesPerSec"
+                                            ? &c.simCyclesPerSec
+                                        : ck == "simNsPerSec"
+                                            ? &c.simNsPerSec
+                                        : ck == "eventsPerSec"
+                                            ? &c.eventsPerSec
+                                        : ck == "allocsPerSec"
+                                            ? &c.allocsPerSec
+                                            : nullptr;
+                                    if (slot != nullptr) {
+                                        if (!readNum(*slot))
+                                            return fail(
+                                                "cell \"" + ck +
+                                                "\" is not a number");
+                                    } else if (!trace::detail::value(
+                                                   s)) {
+                                        return fail(
+                                            "malformed cell value");
+                                    }
+                                }
+                            } while (s.consume(','));
+                            if (!s.consume('}'))
+                                return fail("unterminated cell object");
+                        }
+                        r.cells.push_back(std::move(c));
+                    } while (s.consume(','));
+                    if (!s.consume(']'))
+                        return fail("unterminated cells array");
+                }
+            } else if (!trace::detail::value(s)) {
+                return fail("malformed value for \"" + key + "\"");
+            }
+        } while (s.consume(','));
+        if (!s.consume('}'))
+            return fail("unterminated top-level object");
+    }
+    if (!s.eof())
+        return fail("trailing garbage after document");
+    if (!saw_schema)
+        return fail("no \"schema\" member");
+    if (!saw_cells)
+        return fail("no \"cells\" member");
+    if (report != nullptr)
+        *report = std::move(r);
+    return true;
+}
+
+} // namespace distill::benchjson
+
+#endif // DISTILL_TOOLS_BENCH_JSON_HH

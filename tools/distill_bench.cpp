@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Self-timing benchmark harness: how fast does the *simulator itself*
+ * run on the host? (Everything else in the repo reports simulated
+ * cost; this tool is about wall-clock practicality of the sweeps —
+ * ROADMAP item 1.)
+ *
+ * The harness executes a pinned matrix — all six collectors x three
+ * shrunk workloads x two heap factors, plus a scheduler-only
+ * micro-loop — with warmup passes and N timed repetitions, and
+ * reports per-cell and headline host throughput: simulated cycles/s,
+ * scheduler dispatches (events)/s, object allocations/s, and matrix
+ * cells/s. Summaries use median/MAD (base/host_timer.hh). Results are
+ * written as a schema-versioned BENCH_<n>.json (tools/bench_json.hh)
+ * committed at the repo root, one per PR, forming the perf
+ * trajectory.
+ *
+ * Usage:
+ *   distill_bench [--quick] [--reps N] [--warmup N] [--out PATH]
+ *                 [--baseline PATH] [--assert-floor X]
+ *   distill_bench --validate PATH
+ *
+ * --quick runs a reduced matrix (one workload, one factor) with one
+ * rep for CI smoke; --baseline reads a previous BENCH_*.json and
+ * embeds its cells/sec as baselineCellsPerSec (printing a soft
+ * warning when the two differ by more than 30%); --assert-floor fails
+ * the process unless speedupVsBaseline >= X; --validate parses and
+ * schema-checks an existing file and exits.
+ *
+ * The matrix is pinned by construction: shrunk spec parameters, heap
+ * bytes, seeds, and cell order are hard-coded so BENCH files compare
+ * like for like across PRs. Workload cells pin spec.minHeapBytes and
+ * pass heapBytes = factor x minHeapBytes directly, so no min-heap
+ * probing runs inside the timed region.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/host_timer.hh"
+#include "base/logging.hh"
+#include "bench_json.hh"
+#include "cli_parse.hh"
+#include "gc/collectors.hh"
+#include "heap/layout.hh"
+#include "lbo/run.hh"
+#include "sim/scheduler.hh"
+#include "sim/thread.hh"
+#include "wl/suite.hh"
+
+using namespace distill;
+
+namespace
+{
+
+/** The BENCH_<n>.json this source tree writes. */
+constexpr int benchPr = 6;
+
+/** Pinned workload seed for every cell (matches the CLI default). */
+constexpr std::uint64_t benchSeed = 42;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: distill_bench [--quick] [--reps N] [--warmup N]\n"
+        "                     [--out PATH] [--baseline PATH]\n"
+        "                     [--assert-floor X]\n"
+        "       distill_bench --validate PATH\n");
+    std::exit(2);
+}
+
+/** One workload cell of the pinned matrix. */
+struct WorkCell
+{
+    std::string name;
+    wl::WorkloadSpec spec;
+    gc::CollectorKind collector;
+    double factor;
+    std::uint64_t heapBytes;
+};
+
+/**
+ * Shrink a suite spec so one invocation lands in the tens of
+ * milliseconds of host time: the matrix must fit in a CI smoke
+ * budget while still exercising every collector's full GC machinery.
+ * minHeapBytes is pinned (not measured) so heap sizing is identical
+ * on every host and no min-heap probe runs inside the timed region.
+ */
+wl::WorkloadSpec
+shrunkSpec(const char *name, std::uint64_t alloc_per_thread,
+           std::uint64_t min_heap_regions)
+{
+    wl::WorkloadSpec spec = wl::findSpec(name);
+    spec.allocBytesPerThread = alloc_per_thread;
+    spec.minHeapBytes = min_heap_regions * heap::regionSize;
+    return spec;
+}
+
+/**
+ * Build the pinned matrix. Factors give every collector breathing
+ * room at the low point and comfort at the high point; ZGC is the
+ * binding constraint (paper Table VIII: it needs the most headroom),
+ * which is why the low factor sits at 2.5 rather than the sweep
+ * default of 2.0.
+ */
+std::vector<WorkCell>
+buildMatrix(bool quick)
+{
+    const std::vector<wl::WorkloadSpec> workloads = {
+        shrunkSpec("jme", 1 * MiB, 12),
+        shrunkSpec("h2", 768 * KiB, 14),
+        shrunkSpec("xalan", 1 * MiB, 16),
+    };
+    const std::vector<double> factors = quick
+        ? std::vector<double>{3.5}
+        : std::vector<double>{2.5, 3.5};
+
+    std::vector<WorkCell> cells;
+    for (const wl::WorkloadSpec &spec : workloads) {
+        if (quick && spec.name != "jme")
+            continue;
+        for (gc::CollectorKind kind : gc::allCollectors()) {
+            for (double factor : factors) {
+                WorkCell cell;
+                cell.spec = spec;
+                cell.collector = kind;
+                cell.factor = factor;
+                cell.heapBytes = static_cast<std::uint64_t>(
+                    factor * static_cast<double>(spec.minHeapBytes));
+                char label[16];
+                std::snprintf(label, sizeof label, "%.1f", factor);
+                cell.name = spec.name + "/" +
+                    gc::collectorName(kind) + "/" + label;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+/**
+ * Scheduler micro-loop thread: consumes its whole quantum each round
+ * and periodically naps, so a timed run of the loop isolates the
+ * scheduler's round machinery (selection, dispatch, sleeper wakeup,
+ * clock advance) from any runtime/GC work.
+ */
+class SpinThread : public sim::SimThread
+{
+  public:
+    SpinThread(const sim::Scheduler &sched, unsigned id,
+               std::uint64_t rounds)
+        : SimThread(strprintf("spin-%u", id), Kind::Mutator),
+          sched_(sched),
+          left_(rounds)
+    {
+    }
+
+    Cycles
+    run(Cycles budget) override
+    {
+        if (left_ == 0) {
+            finish();
+            return 0;
+        }
+        --left_;
+        if ((left_ & 63) == 0)
+            sleepUntil(sched_.now() + 1);
+        return budget;
+    }
+
+  private:
+    const sim::Scheduler &sched_;
+    std::uint64_t left_;
+};
+
+/**
+ * Run the scheduler-only micro-loop once.
+ * @return dispatches executed.
+ */
+std::uint64_t
+schedulerMicroLoop(std::uint64_t rounds_per_thread)
+{
+    constexpr unsigned spinThreads = 8;
+    sim::MachineConfig machine;
+    machine.maxVirtualTime = ~static_cast<Ticks>(0) / 2;
+    sim::Scheduler scheduler(machine);
+    std::vector<std::unique_ptr<SpinThread>> threads;
+    threads.reserve(spinThreads);
+    for (unsigned i = 0; i < spinThreads; ++i) {
+        threads.push_back(std::make_unique<SpinThread>(
+            scheduler, i, rounds_per_thread));
+        scheduler.addThread(threads.back().get());
+    }
+    if (!scheduler.run({}))
+        fatal("scheduler micro-loop tripped the virtual-time limit");
+    return scheduler.dispatches();
+}
+
+std::string
+readFile(const char *flag, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("%s: cannot open '%s'", flag, path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    unsigned reps = 5;
+    unsigned warmup = 1;
+    std::string out_path;
+    std::string baseline_path;
+    double assert_floor = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--reps") {
+            reps = static_cast<unsigned>(
+                cli::parseCount("--reps", next()));
+        } else if (arg == "--warmup") {
+            warmup = static_cast<unsigned>(
+                cli::parseU64("--warmup", next()));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--assert-floor") {
+            assert_floor =
+                cli::parsePositiveDouble("--assert-floor", next());
+        } else if (arg == "--validate") {
+            std::string path = next();
+            std::string text = readFile("--validate", path);
+            benchjson::BenchReport report;
+            std::string error;
+            if (!benchjson::parse(text, &report, &error) ||
+                !benchjson::validate(report, &error))
+                fatal("%s: %s", path.c_str(), error.c_str());
+            std::printf("bench-json-ok pr=%d cells=%zu "
+                        "cellsPerSec=%.3f\n",
+                        report.pr, report.cells.size(),
+                        report.cellsPerSec);
+            return 0;
+        } else {
+            usage();
+        }
+    }
+    if (quick) {
+        reps = 1;
+        warmup = 0;
+    }
+    if (out_path.empty())
+        out_path = "BENCH_" + std::to_string(benchPr) + ".json";
+
+    const std::vector<WorkCell> matrix = buildMatrix(quick);
+    const std::uint64_t micro_rounds = quick ? 20'000 : 200'000;
+    const lbo::Environment env;
+
+    // Per-cell host-time samples across passes: pass-ordered reps so
+    // host drift (thermal, cache warmth) spreads over all cells
+    // instead of biasing whichever cell runs last.
+    std::vector<std::vector<double>> cell_ms(matrix.size() + 1);
+    std::vector<lbo::RunExtras> cell_extras(matrix.size());
+    std::vector<double> cell_cycles(matrix.size(), 0.0);
+    std::vector<double> cell_wall_ns(matrix.size(), 0.0);
+    std::uint64_t micro_dispatches = 0;
+
+    for (unsigned pass = 0; pass < warmup + reps; ++pass) {
+        bool timed = pass >= warmup;
+        for (std::size_t i = 0; i < matrix.size(); ++i) {
+            const WorkCell &cell = matrix[i];
+            lbo::RunExtras extras;
+            HostTimer timer;
+            lbo::RunRecord r =
+                lbo::runOne(cell.spec, cell.collector, cell.heapBytes,
+                            cell.factor, benchSeed, 0, env, &extras);
+            double ms = timer.elapsedSec() * 1e3;
+            if (r.failed()) {
+                fatal("matrix cell %s failed (%s): the pinned matrix "
+                      "must complete on every collector",
+                      cell.name.c_str(), r.status.c_str());
+            }
+            if (timed) {
+                cell_ms[i].push_back(ms);
+                cell_extras[i] = extras;
+                cell_cycles[i] = r.cycles;
+                cell_wall_ns[i] = r.wallNs;
+            }
+        }
+        {
+            HostTimer timer;
+            std::uint64_t dispatches = schedulerMicroLoop(micro_rounds);
+            double ms = timer.elapsedSec() * 1e3;
+            if (timed) {
+                cell_ms[matrix.size()].push_back(ms);
+                micro_dispatches = dispatches;
+            }
+        }
+        std::fprintf(stderr, "pass %u/%u done (%s)\n", pass + 1,
+                     warmup + reps, timed ? "timed" : "warmup");
+    }
+
+    benchjson::BenchReport report;
+    report.pr = benchPr;
+    report.matrix = quick ? "quick" : "full";
+    report.reps = reps;
+    report.warmup = warmup;
+
+    double total_sec = 0.0;
+    double work_sec = 0.0;
+    double total_cycles = 0.0;
+    std::uint64_t total_dispatches = 0;
+    std::uint64_t total_allocs = 0;
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        const WorkCell &cell = matrix[i];
+        double med_ms = medianOf(cell_ms[i]);
+        double sec = med_ms * 1e-3;
+        benchjson::CellResult c;
+        c.name = cell.name;
+        c.bench = cell.spec.name;
+        c.collector = gc::collectorName(cell.collector);
+        c.heapFactor = cell.factor;
+        c.hostMsMedian = med_ms;
+        c.hostMsMad = madOf(cell_ms[i], med_ms);
+        c.simCyclesPerSec = cell_cycles[i] / sec;
+        c.simNsPerSec = cell_wall_ns[i] / sec;
+        c.eventsPerSec =
+            static_cast<double>(cell_extras[i].schedDispatches) / sec;
+        c.allocsPerSec =
+            static_cast<double>(cell_extras[i].objectsAllocated) / sec;
+        report.cells.push_back(c);
+        total_sec += sec;
+        work_sec += sec;
+        total_cycles += cell_cycles[i];
+        total_dispatches += cell_extras[i].schedDispatches;
+        total_allocs += cell_extras[i].objectsAllocated;
+    }
+    {
+        double med_ms = medianOf(cell_ms[matrix.size()]);
+        double sec = med_ms * 1e-3;
+        benchjson::CellResult c;
+        c.name = "scheduler-microloop";
+        c.bench = "scheduler";
+        c.collector = "none";
+        c.hostMsMedian = med_ms;
+        c.hostMsMad = madOf(cell_ms[matrix.size()], med_ms);
+        c.eventsPerSec = static_cast<double>(micro_dispatches) / sec;
+        report.cells.push_back(c);
+        total_sec += sec;
+    }
+
+    report.cellsPerSec =
+        static_cast<double>(report.cells.size()) / total_sec;
+    report.simCyclesPerSec = total_cycles / work_sec;
+    report.eventsPerSec =
+        static_cast<double>(total_dispatches) / work_sec;
+    report.allocsPerSec = static_cast<double>(total_allocs) / work_sec;
+
+    if (!baseline_path.empty()) {
+        std::string text = readFile("--baseline", baseline_path);
+        benchjson::BenchReport baseline;
+        std::string error;
+        if (!benchjson::parse(text, &baseline, &error) ||
+            !benchjson::validate(baseline, &error))
+            fatal("--baseline %s: %s", baseline_path.c_str(),
+                  error.c_str());
+        if (baseline.matrix != report.matrix) {
+            warn("baseline matrix '%s' differs from this run's '%s'; "
+                 "headline comparison is apples to oranges",
+                 baseline.matrix.c_str(), report.matrix.c_str());
+        }
+        report.baselineCellsPerSec = baseline.cellsPerSec;
+        report.speedupVsBaseline =
+            report.cellsPerSec / baseline.cellsPerSec;
+        double delta_pct =
+            (report.speedupVsBaseline - 1.0) * 100.0;
+        if (delta_pct < -30.0 || delta_pct > 30.0) {
+            // Soft gate: CI annotates, humans decide. Host variance
+            // across runner generations makes a hard gate flaky.
+            warn("bench-diff: cells/sec %+.1f%% vs baseline %s "
+                 "(%.3f -> %.3f)",
+                 delta_pct, baseline_path.c_str(),
+                 baseline.cellsPerSec, report.cellsPerSec);
+        } else {
+            std::printf("bench-diff: cells/sec %+.1f%% vs baseline "
+                        "%s\n",
+                        delta_pct, baseline_path.c_str());
+        }
+    }
+
+    std::string error;
+    if (!benchjson::validate(report, &error))
+        fatal("generated report failed self-validation: %s",
+              error.c_str());
+    std::string json = benchjson::writeJson(report);
+    {
+        benchjson::BenchReport reread;
+        if (!benchjson::parse(json, &reread, &error))
+            fatal("generated report failed to re-parse: %s",
+                  error.c_str());
+    }
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot write '%s'", out_path.c_str());
+    out << json;
+    out.close();
+
+    std::printf("%-24s %12s %10s %14s %12s\n", "cell", "median-ms",
+                "mad-ms", "sim-Mcyc/s", "events/s");
+    for (const benchjson::CellResult &c : report.cells) {
+        std::printf("%-24s %12.2f %10.2f %14.1f %12.0f\n",
+                    c.name.c_str(), c.hostMsMedian, c.hostMsMad,
+                    c.simCyclesPerSec / 1e6, c.eventsPerSec);
+    }
+    std::printf("bench-ok pr=%d matrix=%s cells=%zu "
+                "cellsPerSec=%.3f simMcyclesPerSec=%.1f "
+                "eventsPerSec=%.0f allocsPerSec=%.0f\n",
+                report.pr, report.matrix.c_str(),
+                report.cells.size(), report.cellsPerSec,
+                report.simCyclesPerSec / 1e6, report.eventsPerSec,
+                report.allocsPerSec);
+    if (report.speedupVsBaseline > 0.0)
+        std::printf("bench-speedup %.3fx vs baseline\n",
+                    report.speedupVsBaseline);
+
+    if (assert_floor > 0.0) {
+        if (report.speedupVsBaseline <= 0.0)
+            fatal("--assert-floor needs --baseline");
+        if (report.speedupVsBaseline < assert_floor)
+            fatal("speedup %.3fx below floor %.3fx",
+                  report.speedupVsBaseline, assert_floor);
+    }
+    return 0;
+}
