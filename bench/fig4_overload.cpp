@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 4 companion: the same lusearch-at-3.0x metered-latency story,
+ * replayed through the open-loop serving path (src/serve) with and
+ * without overload protection.
+ *
+ * Unprotected, the serving run reproduces Fig. 4's qualitative
+ * ordering — the concurrent copying collectors' capacity loss turns
+ * into queue growth and far worse metered tails than the STW
+ * collectors. Protected (admission control + deadline + retry,
+ * distill_serve's --protect preset), every collector's tail collapses
+ * to roughly the deadline; the cost resurfaces as shed rate and retry
+ * amplification, which the table reports alongside goodput so the
+ * latency/goodput trade is explicit.
+ */
+
+#include "bench_common.hh"
+#include "heap/layout.hh"
+#include "serve/run.hh"
+
+using namespace distill;
+
+namespace
+{
+
+/** distill_serve's --protect preset, duplicated so the bench and the
+ * CLI stay comparable. */
+serve::ServePolicy
+protectPreset(const wl::WorkloadSpec &spec)
+{
+    serve::ServePolicy policy;
+    policy.queueCap = 16 * spec.threads;
+    double txn_ns = wl::estimateTxnCycles(spec) / 3.6;
+    auto req_ns = static_cast<Ticks>(
+        txn_ns * std::max(1u, spec.txnsPerRequest));
+    policy.deadlineNs = std::max<Ticks>(200'000, 32 * req_ns);
+    policy.maxRetries = 3;
+    return policy;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec =
+        runner.withMinHeap(wl::findSpec("lusearch"), env);
+
+    serve::ServeConfig base;
+    base.spec = spec;
+    base.heapBytes = roundUp(
+        static_cast<std::uint64_t>(3.0 *
+                                   static_cast<double>(spec.minHeapBytes)),
+        heap::regionSize);
+    base.heapFactor = 3.0;
+    base.env = env;
+
+    std::printf("Fig. 4 companion: lusearch served open-loop at 3.0x "
+                "heap, without and with overload protection\n");
+    std::printf("(metered latency in us; protection = admission cap + "
+                "deadline + retry, the distill_serve --protect "
+                "preset)\n\n");
+
+    TextTable table({"Collector", "Protect", "p50", "p99", "p99.99",
+                     "max", "goodput/s", "shed%", "retry-x"});
+    for (gc::CollectorKind kind : bench::paperCollectors()) {
+        for (bool protect : {false, true}) {
+            serve::ServeConfig config = base;
+            config.collector = kind;
+            config.policy = protect ? protectPreset(spec)
+                                    : serve::ServePolicy{};
+            serve::ServeResult r = serve::runServe(config);
+            table.beginRow();
+            table.cell(gc::collectorName(kind));
+            table.cell(protect ? "on" : "off");
+            table.cell(r.metered.percentile(50) / 1e3, 1);
+            table.cell(r.metered.percentile(99) / 1e3, 1);
+            table.cell(r.metered.percentile(99.99) / 1e3, 1);
+            table.cell(r.metered.max() / 1e3, 1);
+            table.cell(r.goodput(), 0);
+            table.cell(r.shedRate() * 100.0, 1);
+            table.cell(r.retryAmplification(), 2);
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -119,6 +119,17 @@ Histogram::merge(const Histogram &other)
     totalWeightedValue_ += other.totalWeightedValue_;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+Histogram::exportBuckets() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] != 0)
+            out.emplace_back(bucketUpperBound(i), buckets_[i]);
+    }
+    return out;
+}
+
 void
 Histogram::reset()
 {

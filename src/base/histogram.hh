@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace distill
@@ -54,6 +55,18 @@ class Histogram
 
     /** Merge another histogram into this one. */
     void merge(const Histogram &other);
+
+    /**
+     * Non-empty buckets as (representative value, count) pairs, in
+     * ascending value order. The representative is the bucket's upper
+     * bound, which maps back into the same bucket, so re-recording
+     * the pairs reconstructs an equivalent histogram (percentiles
+     * identical; min/max rounded up to their bucket bounds, i.e.
+     * within the structure's ~1.5 % quantization error). This is the
+     * cross-process serialization primitive for fleet aggregation.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    exportBuckets() const;
 
     /** Discard all recorded values. */
     void reset();

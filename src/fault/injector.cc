@@ -16,6 +16,8 @@ FaultInjector::advance(Ticks now)
     now_ = now;
     squeezeFraction_ = 0.0;
     burstFactor_ = 1.0;
+    trafficFactor_ = 1.0;
+    brownoutFactor_ = 1.0;
     denyActive_ = false;
     livelockActive_ = false;
     dueKills_.clear();
@@ -53,6 +55,12 @@ FaultInjector::advance(Ticks now)
             // One-shot like kills: latch the signal once due.
             if (crashSignal_ == 0)
                 crashSignal_ = static_cast<int>(e.target);
+            break;
+          case FaultKind::TrafficBurst:
+            trafficFactor_ = std::max(trafficFactor_, e.magnitude);
+            break;
+          case FaultKind::InstanceBrownout:
+            brownoutFactor_ = std::max(brownoutFactor_, e.magnitude);
             break;
           case FaultKind::MutatorKill:
             break;

@@ -68,6 +68,22 @@ class FaultInjector
     bool denyProgress() const { return denyActive_; }
 
     /**
+     * Active TrafficBurst arrival-rate multiplier (1.0 outside burst
+     * windows). The arrival schedule itself is generated from the
+     * plan's events upfront; this live view exists for diagnostics
+     * and the flight-recorder activation edges.
+     */
+    double trafficBurstFactor() const { return trafficFactor_; }
+
+    /**
+     * Active InstanceBrownout service-time multiplier (1.0 outside
+     * brownout windows). serve::ServeProgram charges
+     * (factor - 1) x computeCycles of extra per-transaction work
+     * while this is above 1.
+     */
+    double brownoutFactor() const { return brownoutFactor_; }
+
+    /**
      * Whether a wall-clock livelock is due: the runtime spins forever
      * at the round boundary that observes this (FaultKind::Livelock).
      */
@@ -101,6 +117,8 @@ class FaultInjector
     Ticks now_ = 0;
     double squeezeFraction_ = 0.0;
     double burstFactor_ = 1.0;
+    double trafficFactor_ = 1.0;
+    double brownoutFactor_ = 1.0;
     bool denyActive_ = false;
     bool livelockActive_ = false;
     int crashSignal_ = 0;

@@ -32,8 +32,28 @@ faultKindName(FaultKind kind)
       case FaultKind::DenyProgress: return "deny-progress";
       case FaultKind::Livelock: return "livelock";
       case FaultKind::Crash: return "crash";
+      case FaultKind::TrafficBurst: return "traffic-burst";
+      case FaultKind::InstanceBrownout: return "instance-brownout";
     }
     return "?";
+}
+
+bool
+faultKindFromName(const std::string &name, FaultKind &out)
+{
+    static constexpr FaultKind kinds[] = {
+        FaultKind::HeapSqueeze,   FaultKind::AllocBurst,
+        FaultKind::MutatorKill,   FaultKind::DenyProgress,
+        FaultKind::Livelock,      FaultKind::Crash,
+        FaultKind::TrafficBurst,  FaultKind::InstanceBrownout,
+    };
+    for (FaultKind kind : kinds) {
+        if (name == faultKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string
@@ -49,7 +69,9 @@ FaultPlan::describe() const
         if (e.durationNs > 0)
             out << "+" << static_cast<double>(e.durationNs) / 1e6 << "ms";
         if (e.kind == FaultKind::HeapSqueeze ||
-            e.kind == FaultKind::AllocBurst) {
+            e.kind == FaultKind::AllocBurst ||
+            e.kind == FaultKind::TrafficBurst ||
+            e.kind == FaultKind::InstanceBrownout) {
             out << "x" << e.magnitude;
         }
         if (e.kind == FaultKind::MutatorKill)
@@ -67,6 +89,9 @@ namespace
 /** Tag in the top sixteen bits marking a diagnostic plan seed. */
 constexpr std::uint64_t diagTag = 0xD1A6ULL;
 
+/** Tag in the top sixteen bits marking a serving-overload plan seed. */
+constexpr std::uint64_t serveTag = 0x5EAFULL;
+
 } // namespace
 
 std::uint64_t
@@ -81,6 +106,18 @@ bool
 FaultPlan::isDiagSeed(std::uint64_t plan_seed)
 {
     return (plan_seed >> 48) == diagTag;
+}
+
+std::uint64_t
+FaultPlan::serveSeed(std::uint64_t entropy)
+{
+    return (serveTag << 48) | (entropy & 0xFFFFFFFFFFFFULL);
+}
+
+bool
+FaultPlan::isServeSeed(std::uint64_t plan_seed)
+{
+    return (plan_seed >> 48) == serveTag;
 }
 
 FaultPlan
@@ -105,6 +142,46 @@ FaultPlan::fromSeed(std::uint64_t plan_seed)
         e.atNs = static_cast<Ticks>(at_us) * 1000;
         e.durationNs = 0; // to the end of the run
         plan.events.push_back(e);
+        return plan;
+    }
+
+    if (isServeSeed(plan_seed)) {
+        // Serving-overload plan: bursts multiply the arrival rate,
+        // brownouts inflate per-transaction service time. Windows sit
+        // in the low-millisecond range where metered serve runs live.
+        Rng rng(plan_seed ^ 0x5E12E5E12E5E12E5ULL);
+        auto traffic = [&] {
+            FaultEvent e;
+            e.kind = FaultKind::TrafficBurst;
+            e.atNs = logUniform(rng, 500e3, 20e6); // 500us .. 20ms
+            e.durationNs = logUniform(rng, 1e6, 10e6);
+            e.magnitude = 2.0 + 4.0 * rng.real(); // 2x .. 6x arrivals
+            plan.events.push_back(e);
+        };
+        auto brownout = [&] {
+            FaultEvent e;
+            e.kind = FaultKind::InstanceBrownout;
+            e.atNs = logUniform(rng, 500e3, 20e6);
+            e.durationNs = logUniform(rng, 1e6, 10e6);
+            e.magnitude = 1.5 + 2.5 * rng.real(); // 1.5x .. 4x service
+            plan.events.push_back(e);
+        };
+        switch (plan_seed & 3) {
+          case 1:
+            traffic();
+            break;
+          case 2:
+            brownout();
+            break;
+          case 3:
+            traffic();
+            brownout();
+            break;
+          default: // 0 mod 4
+            traffic();
+            traffic();
+            break;
+        }
         return plan;
     }
 

@@ -84,10 +84,33 @@ enum class FaultKind : std::uint8_t
      * deterministically.
      */
     Crash,
+
+    /**
+     * Traffic burst: the open-loop request arrival rate is multiplied
+     * by `magnitude` for the window. Consumed at arrival-schedule
+     * generation time by serve::generateArrivals (plans are pure
+     * time-indexed data, so the whole burst is known upfront); the
+     * injector also exposes the live factor for diagnostics.
+     */
+    TrafficBurst,
+
+    /**
+     * Instance brownout: per-transaction service time is inflated by
+     * `magnitude` for the window (a noisy neighbor, thermal throttle,
+     * or partial host failure under one serving instance). Consumed by
+     * serve::ServeProgram through FaultInjector::brownoutFactor.
+     */
+    InstanceBrownout,
 };
 
 /** Human-readable fault-kind name. */
 const char *faultKindName(FaultKind kind);
+
+/**
+ * Inverse of faultKindName: parse @p name into @p out. Returns false
+ * (leaving @p out untouched) for unknown names.
+ */
+bool faultKindFromName(const std::string &name, FaultKind &out);
 
 /** One scheduled fault. */
 struct FaultEvent
@@ -161,6 +184,20 @@ struct FaultPlan
 
     /** Whether @p plan_seed encodes a diagnostic plan. */
     static bool isDiagSeed(std::uint64_t plan_seed);
+
+    /**
+     * Encode a serving-overload plan: seeds whose top sixteen bits
+     * equal 0x5EAF expand into TrafficBurst / InstanceBrownout mixes
+     * (low two bits of @p entropy select the mix — 0: double burst,
+     * 1: single burst, 2: brownout, 3: burst + brownout — and the
+     * rest draws trigger times, windows, and magnitudes). Like
+     * diagSeed, the tag is carved out of fresh seed space, so every
+     * historical seed keeps its expansion bit-identically.
+     */
+    static std::uint64_t serveSeed(std::uint64_t entropy);
+
+    /** Whether @p plan_seed encodes a serving-overload plan. */
+    static bool isServeSeed(std::uint64_t plan_seed);
 };
 
 } // namespace distill::fault

@@ -1,6 +1,7 @@
 #include "lbo/cache_io.hh"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -17,7 +18,14 @@ std::string
 cacheDir()
 {
     const char *dir = std::getenv("DISTILL_CACHE_DIR");
-    return dir != nullptr && *dir != '\0' ? dir : ".";
+    if (dir != nullptr && *dir != '\0')
+        return dir;
+    // Keep hand-run caches out of the repo root: when the cwd has a
+    // data/ directory (the repo checkout does), caches land there.
+    std::error_code ec;
+    if (std::filesystem::is_directory("data", ec))
+        return "data";
+    return ".";
 }
 
 bool

@@ -14,9 +14,9 @@ namespace distill::lbo::detail
 {
 
 /** Bump when the cost model, workloads, or collectors change. */
-constexpr int cacheEpoch = 4;
+constexpr int cacheEpoch = 5;
 
-/** DISTILL_CACHE_DIR, defaulting to ".". */
+/** DISTILL_CACHE_DIR, else "data" when the cwd has one, else ".". */
 std::string cacheDir();
 
 /** Whether DISTILL_NO_CACHE leaves the on-disk caches enabled. */

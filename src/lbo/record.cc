@@ -22,8 +22,11 @@ constexpr std::size_t forensicsFieldCount = 38;
 /** Field count of the pre-phase-attribution layout. */
 constexpr std::size_t notesFieldCount = 39;
 
+/** Field count of the pre-serve-columns layout. */
+constexpr std::size_t phaseFieldCount = 47;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 47;
+constexpr std::size_t currentFieldCount = 54;
 
 } // namespace
 
@@ -39,7 +42,9 @@ RunRecord::csvHeader()
            "degeneratedGcs,bytesAllocated,status,failReason,faultSeed,"
            "schedSeed,signature,sidecar,notes,markCycles,evacCycles,"
            "updateRefsCycles,remsetRefineCycles,relocateCycles,"
-           "sweepCycles,compactCycles,gcGlueCycles";
+           "sweepCycles,compactCycles,gcGlueCycles,serveSeed,"
+           "serveIssued,serveCompleted,serveShed,serveDeadline,"
+           "serveRetries,serveRetryExhausted";
 }
 
 const char *
@@ -90,7 +95,10 @@ RunRecord::toCsv() const
         << sanitizeReason(sidecar) << ',' << sanitizeReason(notes) << ','
         << markCycles << ',' << evacCycles << ',' << updateRefsCycles
         << ',' << remsetRefineCycles << ',' << relocateCycles << ','
-        << sweepCycles << ',' << compactCycles << ',' << gcGlueCycles;
+        << sweepCycles << ',' << compactCycles << ',' << gcGlueCycles
+        << ',' << serveSeed << ',' << serveIssued << ',' << serveCompleted
+        << ',' << serveShed << ',' << serveDeadline << ',' << serveRetries
+        << ',' << serveRetryExhausted;
     return out.str();
 }
 
@@ -112,6 +120,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         fields.size() != failureFieldCount &&
         fields.size() != forensicsFieldCount &&
         fields.size() != notesFieldCount &&
+        fields.size() != phaseFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -172,7 +181,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.notes = fields[i++];
         else
             out.notes.clear();
-        if (fields.size() >= currentFieldCount) {
+        if (fields.size() >= phaseFieldCount) {
             out.markCycles = std::stod(fields[i++]);
             out.evacCycles = std::stod(fields[i++]);
             out.updateRefsCycles = std::stod(fields[i++]);
@@ -185,6 +194,19 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.markCycles = out.evacCycles = out.updateRefsCycles = 0;
             out.remsetRefineCycles = out.relocateCycles = 0;
             out.sweepCycles = out.compactCycles = out.gcGlueCycles = 0;
+        }
+        if (fields.size() >= currentFieldCount) {
+            out.serveSeed = std::stoull(fields[i++]);
+            out.serveIssued = std::stoull(fields[i++]);
+            out.serveCompleted = std::stoull(fields[i++]);
+            out.serveShed = std::stoull(fields[i++]);
+            out.serveDeadline = std::stoull(fields[i++]);
+            out.serveRetries = std::stoull(fields[i++]);
+            out.serveRetryExhausted = std::stoull(fields[i++]);
+        } else {
+            out.serveSeed = out.serveIssued = out.serveCompleted = 0;
+            out.serveShed = out.serveDeadline = 0;
+            out.serveRetries = out.serveRetryExhausted = 0;
         }
     } catch (const std::exception &) {
         return false;

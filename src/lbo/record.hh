@@ -114,17 +114,32 @@ struct RunRecord
     double compactCycles = 0;
     double gcGlueCycles = 0;
 
+    /**
+     * Serving-mode (distill_serve) attempt accounting. Zero for
+     * ordinary throughput/latency runs and legacy rows; a row is a
+     * serving row iff serveIssued > 0. The four outcome columns obey
+     * serveIssued == serveCompleted + serveShed + serveDeadline (the
+     * broker's attempt-conservation invariant).
+     */
+    std::uint64_t serveSeed = 0;      //!< --serve-seed (arrival schedule)
+    std::uint64_t serveIssued = 0;    //!< attempts entering the broker
+    std::uint64_t serveCompleted = 0; //!< attempts finished
+    std::uint64_t serveShed = 0;      //!< attempts shed (all reasons)
+    std::uint64_t serveDeadline = 0;  //!< attempts past deadline
+    std::uint64_t serveRetries = 0;   //!< retry attempts scheduled
+    std::uint64_t serveRetryExhausted = 0; //!< requests out of budget
+
     /** Serialize as one CSV line (matching csvHeader()). */
     std::string toCsv() const;
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * the current 47-field layout as well as the four historical
+     * the current 54-field layout as well as the five historical
      * ones (32 fields before the status/failReason columns existed,
      * 36 before signature/sidecar, 38 before notes, 39 before the
-     * per-phase attribution columns); legacy rows get status derived
-     * from their completed/oom flags, empty forensics/notes columns,
-     * and zeroed phase attribution.
+     * per-phase attribution columns, 47 before the serve columns);
+     * legacy rows get status derived from their completed/oom flags,
+     * empty forensics/notes columns, and zeroed phase/serve fields.
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

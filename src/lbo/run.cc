@@ -6,47 +6,13 @@
 namespace distill::lbo
 {
 
-RunRecord
-runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
-       std::uint64_t heap_bytes, double heap_factor, std::uint64_t seed,
-       unsigned invocation, const Environment &env, RunExtras *extras)
+void
+fillMetrics(RunRecord &r, const metrics::RunMetrics &m)
 {
-    rt::RunConfig config;
-    config.machine = env.machine;
-    config.costs = env.costs;
-    config.seed = seed;
-    config.schedSeed = env.schedSeed;
-    config.faultSeed = env.faultSeed;
-    config.heapBytes = collector == gc::CollectorKind::Epsilon
-        ? env.machine.memoryBudget
-        : heap_bytes;
-
-    rt::Runtime runtime(config, gc::makeCollector(collector, env.gcOptions),
-                        wl::makeWorkload(spec));
-    runtime.execute();
-    const metrics::RunMetrics &m = runtime.agent().metrics();
-    if (extras != nullptr) {
-        extras->objectsAllocated = m.objectsAllocated;
-        extras->schedRounds = m.schedRounds;
-        extras->schedDispatches = m.schedDispatches;
-        extras->refLoads = m.refLoads;
-        extras->refStores = m.refStores;
-    }
-
-    RunRecord r;
-    r.bench = spec.name;
-    r.collector = gc::collectorName(collector);
-    r.heapFactor = collector == gc::CollectorKind::Epsilon ? 0.0
-                                                           : heap_factor;
-    r.heapBytes = config.heapBytes;
-    r.seed = seed;
-    r.invocation = invocation;
     r.completed = m.completed;
     r.oom = m.oom;
     r.status = RunRecord::statusFor(m.completed, m.oom, m.failureReason);
     r.failReason = RunRecord::sanitizeReason(m.failureReason);
-    r.faultSeed = env.faultSeed;
-    r.schedSeed = env.schedSeed;
     r.wallNs = static_cast<double>(m.total.wallNs);
     r.cycles = static_cast<double>(m.total.cycles);
     r.stwWallNs = static_cast<double>(m.stw.wallNs);
@@ -85,6 +51,46 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     r.sweepCycles = phase_cycles(metrics::GcPhase::Sweep);
     r.compactCycles = phase_cycles(metrics::GcPhase::Compact);
     r.gcGlueCycles = phase_cycles(metrics::GcPhase::None);
+}
+
+RunRecord
+runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
+       std::uint64_t heap_bytes, double heap_factor, std::uint64_t seed,
+       unsigned invocation, const Environment &env, RunExtras *extras)
+{
+    rt::RunConfig config;
+    config.machine = env.machine;
+    config.costs = env.costs;
+    config.seed = seed;
+    config.schedSeed = env.schedSeed;
+    config.faultSeed = env.faultSeed;
+    config.heapBytes = collector == gc::CollectorKind::Epsilon
+        ? env.machine.memoryBudget
+        : heap_bytes;
+
+    rt::Runtime runtime(config, gc::makeCollector(collector, env.gcOptions),
+                        wl::makeWorkload(spec));
+    runtime.execute();
+    const metrics::RunMetrics &m = runtime.agent().metrics();
+    if (extras != nullptr) {
+        extras->objectsAllocated = m.objectsAllocated;
+        extras->schedRounds = m.schedRounds;
+        extras->schedDispatches = m.schedDispatches;
+        extras->refLoads = m.refLoads;
+        extras->refStores = m.refStores;
+    }
+
+    RunRecord r;
+    r.bench = spec.name;
+    r.collector = gc::collectorName(collector);
+    r.heapFactor = collector == gc::CollectorKind::Epsilon ? 0.0
+                                                           : heap_factor;
+    r.heapBytes = config.heapBytes;
+    r.seed = seed;
+    r.invocation = invocation;
+    r.faultSeed = env.faultSeed;
+    r.schedSeed = env.schedSeed;
+    fillMetrics(r, m);
     return r;
 }
 

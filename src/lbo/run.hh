@@ -9,6 +9,7 @@
 #include "gc/collectors.hh"
 #include "gc/options.hh"
 #include "lbo/record.hh"
+#include "metrics/agent.hh"
 #include "rt/cost_model.hh"
 #include "sim/machine.hh"
 #include "wl/spec.hh"
@@ -69,6 +70,16 @@ RunRecord runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
                  std::uint64_t heap_bytes, double heap_factor,
                  std::uint64_t seed, unsigned invocation,
                  const Environment &env = {}, RunExtras *extras = nullptr);
+
+/**
+ * Fill @p r's outcome, cost, pause/latency, and phase-attribution
+ * columns from finalized metrics @p m. Identity columns (bench,
+ * collector, heap, seed, invocation, fault/sched seeds) and the serve
+ * columns are the caller's responsibility. Shared by runOne and
+ * serve::runServe so both row flavors stay column-for-column
+ * consistent.
+ */
+void fillMetrics(RunRecord &r, const metrics::RunMetrics &m);
 
 } // namespace distill::lbo
 

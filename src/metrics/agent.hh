@@ -185,6 +185,13 @@ class GcAgent
     bool inPause() const { return inPause_; }
 
     /**
+     * Whether a concurrent GC cycle is currently open (between
+     * concurrentCycleBegin and its end). GC-aware load shedding and
+     * balancing treat an in-cycle instance as degraded capacity.
+     */
+    bool concurrentCycleOpen() const { return cycleOpen_; }
+
+    /**
      * Open a phase span (reentrant per phase: nested/overlapping
      * begins of the same phase coalesce into one wall span). Distinct
      * phases may overlap, e.g. a concurrent mark spanning an

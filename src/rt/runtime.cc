@@ -164,6 +164,25 @@ Runtime::applyFaults()
                                 scheduler_.now());
     }
 
+    // Serving-overload windows: record the activation edges so a
+    // sidecar or trace shows when the arrival-rate burst / brownout
+    // was in force. The factors themselves are consumed by the serve
+    // layer (arrival generation and per-transaction inflation).
+    if ((fault_->trafficBurstFactor() > 1.0) != burstWasActive_) {
+        burstWasActive_ = fault_->trafficBurstFactor() > 1.0;
+        diag::recorder().record(diag::EventKind::Fault,
+                                burstWasActive_ ? "traffic-burst"
+                                                : "traffic-burst-end",
+                                scheduler_.now());
+    }
+    if ((fault_->brownoutFactor() > 1.0) != brownoutWasActive_) {
+        brownoutWasActive_ = fault_->brownoutFactor() > 1.0;
+        diag::recorder().record(diag::EventKind::Fault,
+                                brownoutWasActive_ ? "brownout"
+                                                   : "brownout-end",
+                                scheduler_.now());
+    }
+
     // Mutator kills: flag the victim; it finishes at its next
     // scheduled step so the safepoint protocol is never bypassed.
     // Blocked or sleeping victims are woken to die promptly — but

@@ -297,6 +297,8 @@ class Runtime
     bool failed_ = false;
     bool finalized_ = false;
     bool denyWasActive_ = false;
+    bool burstWasActive_ = false;
+    bool brownoutWasActive_ = false;
     unsigned liveMutators_ = 0;
 };
 

@@ -1,0 +1,83 @@
+#include "serve/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace distill::serve
+{
+
+namespace
+{
+
+/** Peak TrafficBurst multiplier across the plan (>= 1). */
+double
+peakBurstFactor(const fault::FaultPlan &plan)
+{
+    double peak = 1.0;
+    for (const fault::FaultEvent &e : plan.events) {
+        if (e.kind == fault::FaultKind::TrafficBurst)
+            peak = std::max(peak, e.magnitude);
+    }
+    return peak;
+}
+
+/** TrafficBurst multiplier active at virtual time @p now (>= 1). */
+double
+burstFactorAt(const fault::FaultPlan &plan, Ticks now)
+{
+    double factor = 1.0;
+    for (const fault::FaultEvent &e : plan.events) {
+        if (e.kind == fault::FaultKind::TrafficBurst && e.activeAt(now))
+            factor = std::max(factor, e.magnitude);
+    }
+    return factor;
+}
+
+} // namespace
+
+std::vector<Ticks>
+generateArrivals(const ArrivalSpec &spec, const fault::FaultPlan &plan)
+{
+    distill_assert(spec.ratePerSec > 0.0, "arrival rate must be positive");
+    distill_assert(spec.diurnalAmplitude >= 0.0 &&
+                   spec.diurnalAmplitude < 1.0,
+                   "diurnal amplitude must be in [0, 1)");
+
+    std::vector<Ticks> arrivals;
+    arrivals.reserve(spec.requests);
+    if (spec.requests == 0)
+        return arrivals;
+
+    const double base = spec.ratePerSec * spec.loadFactor;
+    // Thinning envelope: the highest instantaneous rate the modulated
+    // process can reach. Candidates are drawn from a homogeneous
+    // Poisson process at this peak and accepted with probability
+    // rate(t) / peak, which yields the non-homogeneous process exactly.
+    const double peak =
+        base * (1.0 + spec.diurnalAmplitude) * peakBurstFactor(plan);
+    const double mean_gap_ns = 1e9 / peak;
+
+    Rng rng(spec.seed ^ 0xA221DA75A221DA75ULL);
+    const double omega = spec.diurnalPeriodNs > 0
+        ? 2.0 * std::acos(-1.0) / static_cast<double>(spec.diurnalPeriodNs)
+        : 0.0;
+
+    double t = 0.0;
+    while (arrivals.size() < spec.requests) {
+        t += std::max(1.0, rng.exponential(mean_gap_ns));
+        Ticks now = static_cast<Ticks>(t);
+        double rate = base * burstFactorAt(plan, now);
+        if (omega > 0.0 && spec.diurnalAmplitude > 0.0) {
+            rate *= 1.0 +
+                spec.diurnalAmplitude * std::sin(omega * static_cast<double>(now));
+        }
+        if (rng.real() * peak < rate)
+            arrivals.push_back(now);
+    }
+    return arrivals;
+}
+
+} // namespace distill::serve

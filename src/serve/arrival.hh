@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Open-loop request arrival processes.
+ *
+ * Production serving traffic is open-loop: clients issue requests on
+ * their own schedule, regardless of whether the server keeps up — the
+ * regime where GC pauses turn into queueing delay (the paper's
+ * metered measure) and, past saturation, into unbounded backlog
+ * unless the server sheds load. generateArrivals produces such a
+ * schedule deterministically: a Poisson base process, an optional
+ * diurnal (sinusoidal) modulation, and rate multipliers from
+ * FaultKind::TrafficBurst windows in the run's fault plan. Like
+ * FaultPlan::fromSeed, the whole schedule expands from one seed, so a
+ * `--serve-seed` token replays every arrival bit-identically.
+ */
+
+#ifndef DISTILL_SERVE_ARRIVAL_HH
+#define DISTILL_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "fault/plan.hh"
+
+namespace distill::serve
+{
+
+/**
+ * Parameters of one arrival schedule.
+ */
+struct ArrivalSpec
+{
+    /** Base arrival rate, requests per (virtual) second. */
+    double ratePerSec = 0.0;
+
+    /** Rate multiplier (1.0 = the workload's calibrated ~75 %
+     *  utilization; > 1.3 drives the system past saturation). */
+    double loadFactor = 1.0;
+
+    /**
+     * Diurnal modulation amplitude in [0, 1): the instantaneous rate
+     * swings between (1 - a) and (1 + a) times the base over one
+     * period. 0 disables the modulation.
+     */
+    double diurnalAmplitude = 0.0;
+
+    /** Diurnal period in virtual nanoseconds (a compressed "day"). */
+    Ticks diurnalPeriodNs = 20'000'000;
+
+    /** Number of arrivals to generate. */
+    std::uint64_t requests = 0;
+
+    /** Schedule seed; same seed, same spec => identical arrivals. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate @p spec.requests arrival times (ascending, virtual ns) via
+ * thinning: candidates are drawn from a Poisson process at the peak
+ * rate and accepted with probability rate(t) / peak, where rate(t)
+ * folds in the diurnal modulation and any active TrafficBurst window
+ * of @p plan. Deterministic in (spec, plan).
+ */
+std::vector<Ticks> generateArrivals(const ArrivalSpec &spec,
+                                    const fault::FaultPlan &plan);
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_ARRIVAL_HH

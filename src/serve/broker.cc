@@ -1,0 +1,222 @@
+#include "serve/broker.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace distill::serve
+{
+
+void
+ServeCounters::add(const ServeCounters &other)
+{
+    issued += other.issued;
+    completed += other.completed;
+    shedQueueFull += other.shedQueueFull;
+    shedGcPressure += other.shedGcPressure;
+    shedDrain += other.shedDrain;
+    deadlineQueue += other.deadlineQueue;
+    deadlineInflight += other.deadlineInflight;
+    retriesScheduled += other.retriesScheduled;
+    retryExhausted += other.retryExhausted;
+    uniqueRequests += other.uniqueRequests;
+    maxQueueDepth = std::max(maxQueueDepth, other.maxQueueDepth);
+}
+
+RequestBroker::RequestBroker(std::vector<Ticks> arrivals,
+                             const ServePolicy &policy, std::uint64_t seed)
+    : arrivals_(std::move(arrivals)),
+      policy_(policy),
+      rng_(seed ^ 0xB20CE2B20CE2B20CULL)
+{
+    distill_assert(std::is_sorted(arrivals_.begin(), arrivals_.end()),
+                   "arrival schedule must be ascending");
+}
+
+std::size_t
+RequestBroker::effectiveCap(const GcSignal &gc) const
+{
+    if (policy_.queueCap == 0)
+        return 0;
+    if (!policy_.gcAware)
+        return policy_.queueCap;
+    // GC-aware tightening: while the collector is visibly busy (an
+    // open concurrent cycle, heap occupancy past the threshold, or an
+    // escalated degradation ladder), accept only a quarter of the
+    // normal backlog so queued work does not pile up behind the cycle.
+    bool busy = gc.concurrentCycle ||
+        gc.heapPressure >= policy_.gcPressureThreshold ||
+        gc.ladderLevel >= 2;
+    if (!busy)
+        return policy_.queueCap;
+    return std::max<std::size_t>(1, policy_.queueCap / 4);
+}
+
+void
+RequestBroker::admit(std::uint64_t id, Ticks first_arrival, Ticks arrival,
+                     unsigned attempt, const GcSignal &gc)
+{
+    ++counters_.issued;
+    std::size_t cap = effectiveCap(gc);
+    if (cap != 0 && queue_.size() >= cap) {
+        bool tightened = policy_.gcAware && cap < policy_.queueCap;
+        if (tightened)
+            ++counters_.shedGcPressure;
+        else
+            ++counters_.shedQueueFull;
+        Request shed;
+        shed.id = id;
+        shed.firstArrivalNs = first_arrival;
+        shed.arrivalNs = arrival;
+        shed.attempt = attempt;
+        maybeRetry(shed, arrival);
+        return;
+    }
+    Request req;
+    req.id = id;
+    req.firstArrivalNs = first_arrival;
+    req.arrivalNs = arrival;
+    req.attempt = attempt;
+    if (policy_.deadlineNs != 0)
+        req.deadlineNs = arrival + policy_.deadlineNs;
+    queue_.push_back(req);
+    counters_.maxQueueDepth =
+        std::max<std::uint64_t>(counters_.maxQueueDepth, queue_.size());
+}
+
+void
+RequestBroker::maybeRetry(const Request &req, Ticks now)
+{
+    if (req.attempt > policy_.maxRetries) {
+        if (policy_.maxRetries > 0)
+            ++counters_.retryExhausted;
+        return;
+    }
+    // Capped exponential backoff with jitter: base << (attempt - 1),
+    // clamped, plus a uniform jitter of up to half the backoff so
+    // retry waves desynchronize (the classic thundering-herd fix).
+    Ticks backoff = policy_.backoffBaseNs;
+    for (unsigned i = 1; i < req.attempt && backoff < policy_.backoffCapNs;
+         ++i) {
+        backoff *= 2;
+    }
+    backoff = std::min(backoff, policy_.backoffCapNs);
+    backoff += rng_.below(backoff / 2 + 1);
+    PendingRetry retry;
+    retry.dueNs = now + backoff;
+    retry.id = req.id;
+    retry.firstArrivalNs = req.firstArrivalNs;
+    retry.attempt = req.attempt + 1;
+    retries_.push(retry);
+    ++counters_.retriesScheduled;
+}
+
+RequestBroker::Dispatch
+RequestBroker::next(Ticks now, const GcSignal &gc)
+{
+    lastNow_ = std::max(lastNow_, now);
+
+    // Ingest everything due by `now`: original arrivals and matured
+    // retries, merged in time order so admission decisions see the
+    // queue exactly as a real front door would.
+    for (;;) {
+        bool have_arrival = nextArrival_ < arrivals_.size() &&
+            arrivals_[nextArrival_] <= now;
+        bool have_retry = !retries_.empty() && retries_.top().dueNs <= now;
+        if (!have_arrival && !have_retry)
+            break;
+        bool arrival_first = have_arrival &&
+            (!have_retry || arrivals_[nextArrival_] <= retries_.top().dueNs);
+        if (arrival_first) {
+            Ticks at = arrivals_[nextArrival_++];
+            std::uint64_t id = nextId_++;
+            ++counters_.uniqueRequests;
+            admit(id, at, at, 1, gc);
+        } else {
+            PendingRetry retry = retries_.top();
+            retries_.pop();
+            admit(retry.id, retry.firstArrivalNs, retry.dueNs,
+                  retry.attempt, gc);
+        }
+    }
+
+    // Dequeue, dropping queued attempts whose deadline already passed.
+    while (!queue_.empty()) {
+        Request req = queue_.front();
+        queue_.pop_front();
+        if (req.deadlineNs != 0 && now >= req.deadlineNs) {
+            ++counters_.deadlineQueue;
+            maybeRetry(req, now);
+            continue;
+        }
+        req.dispatchNs = now;
+        ++inflight_;
+        Dispatch d;
+        d.kind = Dispatch::Kind::Work;
+        d.request = req;
+        return d;
+    }
+
+    // Nothing dispatchable: drained, or sleep until the next event.
+    bool more_arrivals = nextArrival_ < arrivals_.size();
+    if (!more_arrivals && retries_.empty() && inflight_ == 0) {
+        Dispatch d;
+        d.kind = Dispatch::Kind::Done;
+        return d;
+    }
+    Ticks wake = now + 100'000; // poll while peers hold in-flight work
+    if (more_arrivals)
+        wake = std::min(wake, arrivals_[nextArrival_]);
+    if (!retries_.empty())
+        wake = std::min(wake, retries_.top().dueNs);
+    Dispatch d;
+    d.kind = Dispatch::Kind::Sleep;
+    d.wakeNs = std::max(wake, now + 1);
+    return d;
+}
+
+void
+RequestBroker::complete(const Request &req, Ticks end)
+{
+    lastNow_ = std::max(lastNow_, end);
+    distill_assert(inflight_ > 0, "complete with no in-flight request");
+    --inflight_;
+    ++counters_.completed;
+    // Metered latency charges the whole journey — queueing, sheds, and
+    // backoff waits — against the first arrival (the paper's measure);
+    // simple latency covers the successful attempt's processing only.
+    metered_.record(end - std::min(req.firstArrivalNs, req.dispatchNs));
+    simple_.record(end - req.dispatchNs);
+}
+
+void
+RequestBroker::abandonInflight(const Request &req, Ticks now)
+{
+    lastNow_ = std::max(lastNow_, now);
+    distill_assert(inflight_ > 0, "abandon with no in-flight request");
+    --inflight_;
+    ++counters_.deadlineInflight;
+    maybeRetry(req, now);
+}
+
+void
+RequestBroker::drainRemaining()
+{
+    // Queued and in-flight attempts were already issued at admission;
+    // the run ending first is a shed with reason `drain`.
+    counters_.shedDrain += queue_.size();
+    queue_.clear();
+    counters_.shedDrain += inflight_;
+    inflight_ = 0;
+    while (!retries_.empty()) {
+        // Pending retries were scheduled but never issued; issue and
+        // immediately shed them so conservation covers the whole plan.
+        retries_.pop();
+        ++counters_.issued;
+        ++counters_.shedDrain;
+    }
+    distill_assert(counters_.conserves(),
+                   "serve attempt conservation violated");
+}
+
+} // namespace distill::serve

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Open-loop request broker: admission control, deadlines, retries.
+ *
+ * The broker owns the serving-side robustness policy. Arrivals come
+ * from a precomputed open-loop schedule (serve::generateArrivals);
+ * worker threads (serve::ServeProgram) pull dispatches from the broker
+ * one at a time. The policy layer implements the classic
+ * overload-protection triad:
+ *
+ *  - *admission control*: a bounded queue; arrivals past the cap are
+ *    shed immediately with a recorded reason, optionally tightening
+ *    the cap while the collector is in-cycle or the heap is under
+ *    pressure (GC-aware shedding);
+ *  - *deadlines*: a request whose per-attempt deadline passes while
+ *    queued is dropped at dispatch; ServeProgram additionally cancels
+ *    in-flight work past its deadline;
+ *  - *retries*: shed or expired requests re-enter the arrival stream
+ *    after capped exponential backoff with deterministic jitter, up to
+ *    a retry budget, after which they count as retry-exhausted.
+ *
+ * Every issued attempt is accounted for exactly once:
+ * issued == completed + shed + deadline-expired (ServeCounters::
+ * conserves()), mirroring the repo-wide GC cycle-conservation
+ * invariant, and every decision draws randomness only from the
+ * broker's own seeded Rng, so the full shed/retry trace is a pure
+ * function of (schedule, policy, completion times).
+ */
+
+#ifndef DISTILL_SERVE_BROKER_HH
+#define DISTILL_SERVE_BROKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "base/histogram.hh"
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace distill::serve
+{
+
+/** Overload-protection policy knobs. */
+struct ServePolicy
+{
+    /** Admission-queue bound; 0 = unbounded (no shedding). */
+    std::size_t queueCap = 0;
+
+    /** Per-attempt deadline in ns from attempt arrival; 0 = none. */
+    Ticks deadlineNs = 0;
+
+    /** Retry budget per request after shed/expiry; 0 = no retries. */
+    unsigned maxRetries = 0;
+
+    /** First-retry backoff; doubles per attempt. */
+    Ticks backoffBaseNs = 200'000;
+
+    /** Backoff growth cap. */
+    Ticks backoffCapNs = 5'000'000;
+
+    /** Tighten admission while the collector is busy (see GcSignal). */
+    bool gcAware = false;
+
+    /** Heap-occupancy fraction above which gcAware shedding kicks in. */
+    double gcPressureThreshold = 0.85;
+
+    bool protectionEnabled() const { return queueCap != 0 ||
+        deadlineNs != 0 || maxRetries != 0; }
+};
+
+/** Collector state advertised to the broker at dispatch time. */
+struct GcSignal
+{
+    /** A concurrent collection cycle is open right now. */
+    bool concurrentCycle = false;
+
+    /** Occupied fraction of the heap's regions, in [0, 1]. */
+    double heapPressure = 0.0;
+
+    /** Degradation-ladder level (serve::GcLadder::Level). */
+    int ladderLevel = 0;
+};
+
+/** One dispatched request attempt. */
+struct Request
+{
+    std::uint64_t id = 0;
+
+    /** Arrival of the *first* attempt (metered latency baseline). */
+    Ticks firstArrivalNs = 0;
+
+    /** Arrival of this attempt (original or post-backoff retry). */
+    Ticks arrivalNs = 0;
+
+    /** When a worker picked the attempt up. */
+    Ticks dispatchNs = 0;
+
+    /** Absolute expiry of this attempt; 0 = no deadline. */
+    Ticks deadlineNs = 0;
+
+    /** 1-based attempt number. */
+    unsigned attempt = 1;
+};
+
+/** Attempt-accounting counters; see conserves(). */
+struct ServeCounters
+{
+    std::uint64_t issued = 0;          //!< attempts entering the broker
+    std::uint64_t completed = 0;       //!< attempts finished by workers
+    std::uint64_t shedQueueFull = 0;   //!< dropped: queue at cap
+    std::uint64_t shedGcPressure = 0;  //!< dropped: GC-aware tightening
+    std::uint64_t shedDrain = 0;       //!< dropped: run ended first
+    std::uint64_t deadlineQueue = 0;   //!< expired while queued
+    std::uint64_t deadlineInflight = 0;//!< cancelled mid-processing
+    std::uint64_t retriesScheduled = 0;
+    std::uint64_t retryExhausted = 0;  //!< requests out of retry budget
+    std::uint64_t uniqueRequests = 0;  //!< distinct request ids issued
+    std::uint64_t maxQueueDepth = 0;
+
+    std::uint64_t
+    shedTotal() const
+    {
+        return shedQueueFull + shedGcPressure + shedDrain;
+    }
+
+    std::uint64_t
+    deadlineTotal() const
+    {
+        return deadlineQueue + deadlineInflight;
+    }
+
+    /** Attempt conservation: every issue has exactly one outcome. */
+    bool
+    conserves() const
+    {
+        return issued == completed + shedTotal() + deadlineTotal();
+    }
+
+    void add(const ServeCounters &other);
+};
+
+/**
+ * The broker proper. Single-threaded by construction: the simulated
+ * mutator threads interleave deterministically under sim::Scheduler,
+ * so no locking is needed and the dispatch order is reproducible.
+ */
+class RequestBroker
+{
+  public:
+    /** What a worker should do next. */
+    struct Dispatch
+    {
+        enum class Kind
+        {
+            Work,  //!< process `request`
+            Sleep, //!< nothing due; sleep until `wakeNs`
+            Done,  //!< schedule fully drained
+        };
+
+        Kind kind = Kind::Done;
+        Request request;
+        Ticks wakeNs = 0;
+    };
+
+    /**
+     * @param arrivals Ascending arrival schedule (virtual ns).
+     * @param policy   Protection policy (may be all-zero: unprotected).
+     * @param seed     Jitter stream seed.
+     */
+    RequestBroker(std::vector<Ticks> arrivals, const ServePolicy &policy,
+                  std::uint64_t seed);
+
+    /**
+     * Advance the broker to virtual time @p now and hand the calling
+     * worker its next dispatch. Ingests all arrivals and matured
+     * retries up to @p now (applying admission control per @p gc),
+     * drops queued requests whose deadline has passed, then dequeues.
+     */
+    Dispatch next(Ticks now, const GcSignal &gc);
+
+    /** Worker finished @p req at @p end; records latency. */
+    void complete(const Request &req, Ticks end);
+
+    /**
+     * Worker abandoned @p req mid-flight because its deadline passed.
+     * Counts deadline-inflight and schedules a retry if budget allows.
+     */
+    void abandonInflight(const Request &req, Ticks now);
+
+    /**
+     * End-of-run drain: everything still queued, in flight, or waiting
+     * in the retry heap is issued-then-shed (reason `drain`) so the
+     * conservation invariant holds exactly at report time.
+     */
+    void drainRemaining();
+
+    const ServeCounters &counters() const { return counters_; }
+    const Histogram &metered() const { return metered_; }
+    const Histogram &simple() const { return simple_; }
+
+    /** Latest virtual time observed via next()/complete(). */
+    Ticks horizonNs() const { return lastNow_; }
+
+  private:
+    struct PendingRetry
+    {
+        Ticks dueNs = 0;
+        std::uint64_t id = 0;
+        Ticks firstArrivalNs = 0;
+        unsigned attempt = 0;
+
+        bool
+        operator>(const PendingRetry &other) const
+        {
+            return dueNs != other.dueNs ? dueNs > other.dueNs
+                                        : id > other.id;
+        }
+    };
+
+    /** Admit or shed one attempt arriving at @p arrival. */
+    void admit(std::uint64_t id, Ticks first_arrival, Ticks arrival,
+               unsigned attempt, const GcSignal &gc);
+
+    /** Schedule a retry if budget allows; else count exhaustion. */
+    void maybeRetry(const Request &req, Ticks now);
+
+    /** Effective queue cap under @p gc (0 = unbounded). */
+    std::size_t effectiveCap(const GcSignal &gc) const;
+
+    std::vector<Ticks> arrivals_;
+    std::size_t nextArrival_ = 0;
+    ServePolicy policy_;
+    Rng rng_;
+
+    std::deque<Request> queue_;
+    std::priority_queue<PendingRetry, std::vector<PendingRetry>,
+                        std::greater<PendingRetry>> retries_;
+    std::uint64_t inflight_ = 0;
+    std::uint64_t nextId_ = 0;
+    Ticks lastNow_ = 0;
+
+    ServeCounters counters_;
+    Histogram metered_;
+    Histogram simple_;
+};
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_BROKER_HH

@@ -1,0 +1,292 @@
+#include "serve/fleet.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "lbo/pool.hh"
+
+namespace distill::serve
+{
+
+namespace
+{
+
+/** Whether @p windows (ascending, merged) covers time @p t. */
+bool
+coveredAt(const BusyWindows &windows, Ticks t)
+{
+    // First window ending after t; busy iff it already started.
+    auto it = std::upper_bound(
+        windows.begin(), windows.end(), t,
+        [](Ticks value, const std::pair<Ticks, Ticks> &w) {
+            return value < w.second;
+        });
+    return it != windows.end() && it->first <= t;
+}
+
+} // namespace
+
+std::vector<std::vector<Ticks>>
+routeArrivals(const FleetConfig &config, const std::vector<Ticks> &fleet)
+{
+    unsigned n = std::max(1u, config.instances);
+    std::vector<std::vector<Ticks>> routed(n);
+    if (!config.gcAware) {
+        // GC-blind: round-robin, the industry default. A request that
+        // lands on an instance mid-pause waits out the pause.
+        for (std::size_t i = 0; i < fleet.size(); ++i)
+            routed[i % n].push_back(fleet[i]);
+        return routed;
+    }
+
+    // GC-aware: skip instances advertising a busy window over the
+    // arrival time; among candidates pick the least-assigned so load
+    // stays level (ties break toward the lowest index, keeping the
+    // route deterministic).
+    std::vector<std::uint64_t> assigned(n, 0);
+    for (Ticks t : fleet) {
+        unsigned best = n; // sentinel: no idle candidate yet
+        for (unsigned i = 0; i < n; ++i) {
+            bool busy = i < config.adverts.size() &&
+                coveredAt(config.adverts[i], t);
+            if (busy)
+                continue;
+            if (best == n || assigned[i] < assigned[best])
+                best = i;
+        }
+        if (best == n) {
+            // Whole fleet advertises busy: fall back to least-loaded.
+            best = 0;
+            for (unsigned i = 1; i < n; ++i) {
+                if (assigned[i] < assigned[best])
+                    best = i;
+            }
+        }
+        routed[best].push_back(t);
+        ++assigned[best];
+    }
+    return routed;
+}
+
+std::string
+encodeServeResult(const ServeResult &result)
+{
+    std::ostringstream out;
+    out << "CSV " << result.record.toCsv() << '\n';
+    const ServeCounters &c = result.counters;
+    out << "COUNTERS " << c.issued << ' ' << c.completed << ' '
+        << c.shedQueueFull << ' ' << c.shedGcPressure << ' '
+        << c.shedDrain << ' ' << c.deadlineQueue << ' '
+        << c.deadlineInflight << ' ' << c.retriesScheduled << ' '
+        << c.retryExhausted << ' ' << c.uniqueRequests << ' '
+        << c.maxQueueDepth << '\n';
+    out << "ESCAL";
+    for (std::uint64_t e : result.escalations)
+        out << ' ' << e;
+    out << '\n';
+    out << "HORIZON " << result.horizonNs << '\n';
+    out << "HISTM";
+    for (const auto &[value, count] : result.metered.exportBuckets())
+        out << ' ' << value << ':' << count;
+    out << '\n';
+    out << "HISTS";
+    for (const auto &[value, count] : result.simple.exportBuckets())
+        out << ' ' << value << ':' << count;
+    out << '\n';
+    out << "BUSY";
+    for (const auto &[begin, end] : result.busyWindows)
+        out << ' ' << begin << ':' << end;
+    out << '\n';
+    out << "END\n";
+    return out.str();
+}
+
+bool
+decodeServeResult(const std::string &payload, ServeResult &out)
+{
+    out = ServeResult{};
+    std::istringstream in(payload);
+    std::string line;
+    bool have_csv = false;
+    bool have_end = false;
+    auto parse_pairs = [](std::istringstream &rest,
+                          auto &&consume) -> bool {
+        std::string tok;
+        while (rest >> tok) {
+            std::size_t colon = tok.find(':');
+            if (colon == std::string::npos)
+                return false;
+            try {
+                consume(std::stoull(tok.substr(0, colon)),
+                        std::stoull(tok.substr(colon + 1)));
+            } catch (const std::exception &) {
+                return false;
+            }
+        }
+        return true;
+    };
+    while (std::getline(in, line)) {
+        if (line == "END") {
+            have_end = true;
+            continue;
+        }
+        std::size_t space = line.find(' ');
+        std::string key = line.substr(0, space);
+        std::istringstream rest(
+            space == std::string::npos ? "" : line.substr(space + 1));
+        if (key == "CSV") {
+            if (!lbo::RunRecord::fromCsv(rest.str(), out.record))
+                return false;
+            have_csv = true;
+        } else if (key == "COUNTERS") {
+            ServeCounters &c = out.counters;
+            if (!(rest >> c.issued >> c.completed >> c.shedQueueFull >>
+                  c.shedGcPressure >> c.shedDrain >> c.deadlineQueue >>
+                  c.deadlineInflight >> c.retriesScheduled >>
+                  c.retryExhausted >> c.uniqueRequests >>
+                  c.maxQueueDepth)) {
+                return false;
+            }
+        } else if (key == "ESCAL") {
+            for (std::uint64_t &e : out.escalations) {
+                if (!(rest >> e))
+                    return false;
+            }
+        } else if (key == "HORIZON") {
+            if (!(rest >> out.horizonNs))
+                return false;
+        } else if (key == "HISTM") {
+            if (!parse_pairs(rest, [&](std::uint64_t v, std::uint64_t n) {
+                    out.metered.record(v, n);
+                })) {
+                return false;
+            }
+        } else if (key == "HISTS") {
+            if (!parse_pairs(rest, [&](std::uint64_t v, std::uint64_t n) {
+                    out.simple.record(v, n);
+                })) {
+                return false;
+            }
+        } else if (key == "BUSY") {
+            if (!parse_pairs(rest, [&](std::uint64_t a, std::uint64_t b) {
+                    out.busyWindows.emplace_back(a, b);
+                })) {
+                return false;
+            }
+        }
+        // Unknown keys are skipped (forward compatibility).
+    }
+    return have_csv && have_end;
+}
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    unsigned n = std::max(1u, config.instances);
+
+    // Fleet-wide open-loop schedule: N instances' worth of traffic.
+    ServeConfig scaled = config.base;
+    ArrivalSpec arrival = resolveArrival(scaled);
+    arrival.ratePerSec *= n;
+    arrival.requests *= n;
+    fault::FaultPlan plan =
+        fault::FaultPlan::fromSeed(scaled.env.faultSeed);
+    std::vector<Ticks> fleet_schedule = generateArrivals(arrival, plan);
+
+    // GC-aware routing needs adverts; produce them from a blind pass
+    // of the identical instances (real adverts are always stale — the
+    // balancer sees where pauses *were*, not where they will be; with
+    // split seeds held fixed the blind pass is a faithful preview).
+    FleetConfig effective = config;
+    if (config.gcAware && config.adverts.empty()) {
+        FleetConfig blind = config;
+        blind.gcAware = false;
+        blind.adverts.clear();
+        FleetResult preview = runFleet(blind);
+        effective.adverts.reserve(preview.instances.size());
+        for (const ServeResult &inst : preview.instances)
+            effective.adverts.push_back(inst.busyWindows);
+    }
+
+    std::vector<std::vector<Ticks>> routed =
+        routeArrivals(effective, fleet_schedule);
+
+    // Per-instance configs with split seeds: same derivation order on
+    // every path so --jobs 1 and --jobs N agree byte for byte.
+    std::vector<ServeConfig> configs;
+    configs.reserve(n);
+    std::uint64_t wstate = config.base.seed;
+    std::uint64_t sstate = config.base.serveSeed;
+    for (unsigned i = 0; i < n; ++i) {
+        ServeConfig inst = config.base;
+        inst.seed = splitMix64(wstate);
+        inst.serveSeed = splitMix64(sstate);
+        inst.invocation = i;
+        inst.explicitArrivals = std::move(routed[i]);
+        configs.push_back(std::move(inst));
+    }
+
+    // Execute. Children ship the line-based payload; the in-process
+    // fallback round-trips through the identical codec so both paths
+    // aggregate from exactly the same bytes.
+    std::vector<ServeResult> results(n);
+    bool pooled = config.jobs > 1 && lbo::ProcessPool::available();
+    if (pooled) {
+        lbo::ProcessPool pool(std::min(config.jobs, n));
+        for (unsigned i = 0; i < n; ++i) {
+            lbo::PoolJob job;
+            job.tag = i;
+            job.watchdogMs = config.watchdogMs;
+            ServeConfig inst = configs[i];
+            job.work = [inst]() {
+                return encodeServeResult(runServe(inst));
+            };
+            job.payloadComplete = [](const std::string &payload) {
+                return payload.size() >= 4 &&
+                    payload.compare(payload.size() - 4, 4, "END\n") == 0;
+            };
+            pool.submit(std::move(job));
+        }
+        std::vector<bool> done(n, false);
+        pool.run([&](lbo::PoolResult result) {
+            std::size_t i = static_cast<std::size_t>(result.tag);
+            if (result.spawned &&
+                decodeServeResult(result.payload, results[i])) {
+                done[i] = true;
+            }
+        });
+        // Any child that died, hung, or shipped a truncated payload is
+        // re-run in-process: slower but complete, and byte-identical
+        // because the codec round-trip is the same.
+        for (unsigned i = 0; i < n; ++i) {
+            if (done[i])
+                continue;
+            warn("fleet: instance %u child failed; rerunning in-process",
+                 i);
+            std::string payload = encodeServeResult(runServe(configs[i]));
+            if (!decodeServeResult(payload, results[i]))
+                fatal("fleet: serve payload codec self-mismatch");
+        }
+    } else {
+        for (unsigned i = 0; i < n; ++i) {
+            std::string payload = encodeServeResult(runServe(configs[i]));
+            if (!decodeServeResult(payload, results[i]))
+                fatal("fleet: serve payload codec self-mismatch");
+        }
+    }
+
+    FleetResult out;
+    out.instances = std::move(results);
+    for (const ServeResult &inst : out.instances) {
+        out.counters.add(inst.counters);
+        out.metered.merge(inst.metered);
+        out.simple.merge(inst.simple);
+        out.horizonNs = std::max(out.horizonNs, inst.horizonNs);
+    }
+    return out;
+}
+
+} // namespace distill::serve

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fleet-lite: N serving instances behind a load balancer.
+ *
+ * The paper measures one JVM at a time; production GC cost surfaces
+ * at the *fleet* tail, where one instance's collection pause inflates
+ * the aggregate p99.99 unless the balancer routes around it. Fleet
+ * mode runs N independent serving instances (same benchmark and
+ * collector, split seeds) against one fleet-wide arrival schedule
+ * routed by either:
+ *
+ *  - a *GC-blind* balancer: pure round-robin, the instance picked
+ *    knows nothing about collector state; or
+ *  - a *GC-aware* balancer: instances advertise their GC-busy wall
+ *    windows (from a prior blind run of the identical instance —
+ *    adverts in real fleets are always a little stale) and the router
+ *    prefers instances not inside a busy window at the arrival time,
+ *    breaking ties toward the least-loaded instance.
+ *
+ * Instances run in forked children through lbo::ProcessPool when
+ * --jobs > 1; results ship back as a line-based payload (CSV row,
+ * counters, exported histogram buckets) that the parent aggregates.
+ * The in-process fallback encodes/decodes the identical payload, so
+ * --jobs 1 and --jobs N produce byte-identical fleet CSVs.
+ */
+
+#ifndef DISTILL_SERVE_FLEET_HH
+#define DISTILL_SERVE_FLEET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/run.hh"
+
+namespace distill::serve
+{
+
+/** Fleet-run parameters. */
+struct FleetConfig
+{
+    /** Per-instance template; seeds are split per instance. */
+    ServeConfig base;
+
+    /** Serving instances (N >= 1). */
+    unsigned instances = 4;
+
+    /** GC-aware routing (see file comment); false = round-robin. */
+    bool gcAware = false;
+
+    /** Forked children to keep in flight (1 = in-process). */
+    unsigned jobs = 1;
+
+    /** Child wall-clock watchdog, ms (0 = none). */
+    std::uint64_t watchdogMs = 0;
+
+    /**
+     * Per-instance GC-busy adverts for the aware balancer; normally
+     * produced by a prior blind run (see runFleet). Index = instance.
+     */
+    std::vector<BusyWindows> adverts;
+};
+
+/** Aggregated fleet outcome. */
+struct FleetResult
+{
+    /** Per-instance results, instance order. */
+    std::vector<ServeResult> instances;
+
+    /** Fleet-wide attempt accounting (summed). */
+    ServeCounters counters;
+
+    /** Fleet-wide latency (all instances merged). */
+    Histogram metered;
+    Histogram simple;
+
+    /** Latest horizon across instances. */
+    Ticks horizonNs = 0;
+
+    /** Fleet goodput: completed requests per virtual second. */
+    double
+    goodput() const
+    {
+        return horizonNs == 0 ? 0.0
+            : static_cast<double>(counters.completed) * 1e9 /
+                  static_cast<double>(horizonNs);
+    }
+
+    double
+    shedRate() const
+    {
+        return counters.issued == 0 ? 0.0
+            : static_cast<double>(counters.shedTotal()) /
+                  static_cast<double>(counters.issued);
+    }
+
+    double
+    retryAmplification() const
+    {
+        return counters.uniqueRequests == 0 ? 0.0
+            : static_cast<double>(counters.issued) /
+                  static_cast<double>(counters.uniqueRequests);
+    }
+};
+
+/**
+ * Split one fleet-wide arrival schedule across @p config.instances
+ * per-instance schedules. Blind routing round-robins; aware routing
+ * avoids instances whose advert covers the arrival time, then picks
+ * the least-assigned candidate (deterministic index tiebreak).
+ * Exposed for tests.
+ */
+std::vector<std::vector<Ticks>>
+routeArrivals(const FleetConfig &config, const std::vector<Ticks> &fleet);
+
+/**
+ * Run the fleet. The fleet-wide schedule is the base arrival spec
+ * scaled by N (rate and request count); instance i runs with split
+ * workload/serve seeds derived from the base seeds. When
+ * @p config.gcAware and no adverts were supplied, a blind pass of
+ * each instance is run first (same split seeds) to produce them.
+ */
+FleetResult runFleet(const FleetConfig &config);
+
+/**
+ * Line-based child payload codec (exposed for the pool children and
+ * tests): "CSV <row>", "COUNTERS <11 u64>", "ESCAL <5 u64>",
+ * "HORIZON <ns>", "HISTM/HISTS <value:count ...>", "BUSY <a:b ...>".
+ */
+std::string encodeServeResult(const ServeResult &result);
+bool decodeServeResult(const std::string &payload, ServeResult &out);
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_FLEET_HH

@@ -1,0 +1,82 @@
+#include "serve/ladder.hh"
+
+#include "base/logging.hh"
+#include "diag/flight_recorder.hh"
+#include "metrics/agent.hh"
+#include "rt/runtime.hh"
+
+namespace distill::serve
+{
+
+const char *
+GcLadder::levelName(int level)
+{
+    switch (level) {
+      case Steady: return "steady";
+      case Concurrent: return "concurrent";
+      case Degenerated: return "degenerated";
+      case Full: return "full";
+      case AllocStall: return "alloc-stall";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** GC-log label for an escalation into @p level (string literal:
+ *  GcLogEvent does not own its label). */
+const char *
+escalationLabel(int level)
+{
+    switch (level) {
+      case GcLadder::Concurrent: return "ladder:concurrent";
+      case GcLadder::Degenerated: return "ladder:degenerated";
+      case GcLadder::Full: return "ladder:full";
+      case GcLadder::AllocStall: return "ladder:alloc-stall";
+    }
+    return "ladder:?";
+}
+
+} // namespace
+
+int
+GcLadder::poll(rt::Runtime &runtime)
+{
+    metrics::GcAgent &agent = runtime.agent();
+    const metrics::RunMetrics &m = agent.metrics();
+    Ticks now = runtime.scheduler().now();
+
+    // Target level: the worst evidence since the last poll. Counter
+    // deltas capture one-shot events (a degenerated GC between polls
+    // must escalate even if the cycle already ended); the open-cycle
+    // flag captures the ongoing state.
+    int target = Steady;
+    if (m.allocStalls > seenStalls_)
+        target = AllocStall;
+    else if (m.fullPauses > seenFull_)
+        target = Full;
+    else if (m.degeneratedGcs > seenDegenerated_)
+        target = Degenerated;
+    else if (agent.concurrentCycleOpen())
+        target = Concurrent;
+    seenStalls_ = m.allocStalls;
+    seenFull_ = m.fullPauses;
+    seenDegenerated_ = m.degeneratedGcs;
+
+    if (target > level_) {
+        ++escalations_[target];
+        agent.logEvent(escalationLabel(target), now, 0);
+        diag::recorder().record(diag::EventKind::RunState,
+                                escalationLabel(target), now,
+                                static_cast<std::uint64_t>(target));
+    } else if (target < level_) {
+        diag::recorder().record(diag::EventKind::RunState,
+                                "ladder:recover", now,
+                                static_cast<std::uint64_t>(target));
+    }
+    level_ = target;
+    return level_;
+}
+
+} // namespace distill::serve

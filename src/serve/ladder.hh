@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Graceful-degradation ladder.
+ *
+ * The paper's production collectors degrade along a well-worn path
+ * when pressed: concurrent cycles give way to degenerated (STW
+ * rescue) collections, then full collections, then allocation
+ * stalls/OOM. GcLadder tracks where a run currently sits on that
+ * ladder by polling the GC agent's counters, records every
+ * *escalation* edge in the phase ledger's GC log and the flight
+ * recorder (so traces and crash reports show the degradation
+ * history), and exposes the current level to the broker's GC-aware
+ * shedding and the fleet balancer's capacity adverts.
+ */
+
+#ifndef DISTILL_SERVE_LADDER_HH
+#define DISTILL_SERVE_LADDER_HH
+
+#include <array>
+#include <cstdint>
+
+namespace distill::rt
+{
+class Runtime;
+} // namespace distill::rt
+
+namespace distill::serve
+{
+
+/**
+ * Degradation level tracker; poll() from the serving loop.
+ */
+class GcLadder
+{
+  public:
+    /** Rungs, in escalation order. */
+    enum Level : int
+    {
+        Steady = 0,      //!< no collector activity beyond young GCs
+        Concurrent = 1,  //!< a concurrent cycle is in progress
+        Degenerated = 2, //!< a degenerated (STW rescue) GC happened
+        Full = 3,        //!< a full STW collection happened
+        AllocStall = 4,  //!< mutators stalled on allocation
+    };
+
+    static constexpr int levels = 5;
+
+    /** Name of @p level ("steady", "concurrent", ...). */
+    static const char *levelName(int level);
+
+    /**
+     * Re-derive the current level from @p runtime's metrics and log
+     * escalation edges (GC log + flight recorder). De-escalation is
+     * silent in the GC log but leaves a "ladder:recover" flight-
+     * recorder breadcrumb. @return the current level.
+     */
+    int poll(rt::Runtime &runtime);
+
+    int level() const { return level_; }
+
+    /** Escalations *into* each level over the run. */
+    const std::array<std::uint64_t, levels> &
+    escalations() const
+    {
+        return escalations_;
+    }
+
+  private:
+    int level_ = Steady;
+    std::uint64_t seenFull_ = 0;
+    std::uint64_t seenDegenerated_ = 0;
+    std::uint64_t seenStalls_ = 0;
+    std::array<std::uint64_t, levels> escalations_{};
+};
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_LADDER_HH

@@ -1,0 +1,90 @@
+#include "serve/program.hh"
+
+#include <algorithm>
+
+#include "fault/injector.hh"
+#include "rt/runtime.hh"
+
+namespace distill::serve
+{
+
+ServeProgram::ServeProgram(const wl::WorkloadSpec &spec,
+                           unsigned thread_index, wl::SharedStore &store,
+                           std::shared_ptr<RequestBroker> broker,
+                           std::shared_ptr<GcLadder> ladder)
+    : wl::TransactionProgram(spec, thread_index, store, nullptr),
+      broker_(std::move(broker)),
+      ladder_(std::move(ladder))
+{
+}
+
+GcSignal
+ServeProgram::gcSignal(rt::Mutator &mutator)
+{
+    rt::Runtime &rt = mutator.runtime();
+    GcSignal gc;
+    gc.ladderLevel = ladder_->poll(rt);
+    gc.concurrentCycle = rt.agent().concurrentCycleOpen();
+    const heap::RegionManager &regions = rt.heap().regions;
+    gc.heapPressure = regions.regionCount() == 0 ? 0.0
+        : 1.0 - static_cast<double>(regions.freeCount()) /
+              static_cast<double>(regions.regionCount());
+    return gc;
+}
+
+rt::StepResult
+ServeProgram::step(rt::Mutator &mutator)
+{
+    if (inSetup())
+        return stepSetup(mutator);
+
+    if (!inRequest_) {
+        RequestBroker::Dispatch d =
+            broker_->next(mutator.now(), gcSignal(mutator));
+        switch (d.kind) {
+          case RequestBroker::Dispatch::Kind::Done:
+            return rt::StepResult::Done;
+          case RequestBroker::Dispatch::Kind::Sleep:
+            mutator.sleepUntilTime(d.wakeNs);
+            return rt::StepResult::Running;
+          case RequestBroker::Dispatch::Kind::Work:
+            current_ = d.request;
+            inRequest_ = true;
+            txnsLeft_ = std::max(1u, spec().txnsPerRequest);
+            break;
+        }
+    }
+
+    if (!doTransaction(mutator))
+        return rt::StepResult::Running; // blocked; retry after wake
+
+    // Injected brownout: inflate this transaction's service time.
+    if (fault::FaultInjector *inj = mutator.runtime().faultInjector()) {
+        double factor = inj->brownoutFactor();
+        if (factor > 1.0) {
+            mutator.compute(static_cast<Cycles>(
+                (factor - 1.0) *
+                static_cast<double>(spec().computeCycles)));
+        }
+    }
+
+    Ticks now = mutator.now();
+    ladder_->poll(mutator.runtime());
+
+    // Deadline enforcement cancels in-flight work, not just queued
+    // work: a request that cannot make its deadline stops consuming
+    // capacity immediately (and may retry with backoff).
+    if (current_.deadlineNs != 0 && now >= current_.deadlineNs) {
+        broker_->abandonInflight(current_, now);
+        inRequest_ = false;
+        return rt::StepResult::Running;
+    }
+
+    if (--txnsLeft_ == 0) {
+        broker_->complete(current_, now);
+        inRequest_ = false;
+    }
+    return rt::StepResult::Running;
+}
+
+} // namespace distill::serve

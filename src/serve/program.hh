@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Serving-mode mutator program.
+ *
+ * ServeProgram reuses wl::TransactionProgram's object demographics —
+ * the same setup phase populating the shared store and the same
+ * per-transaction allocate/read/mutate/compute work — but replaces
+ * the closed steady-state driver (fixed allocation budget, optional
+ * back-to-back metered clock) with an open-loop pull from a shared
+ * RequestBroker. Each worker repeatedly asks the broker for the next
+ * dispatch, processes the request's transactions (cancelling past its
+ * deadline), and sleeps through idle gaps in virtual time, so GC
+ * pauses surface as queueing delay exactly as in a real server.
+ */
+
+#ifndef DISTILL_SERVE_PROGRAM_HH
+#define DISTILL_SERVE_PROGRAM_HH
+
+#include <memory>
+
+#include "serve/broker.hh"
+#include "serve/ladder.hh"
+#include "wl/workload.hh"
+
+namespace distill::serve
+{
+
+/**
+ * One serving worker thread (see file comment).
+ */
+class ServeProgram : public wl::TransactionProgram
+{
+  public:
+    ServeProgram(const wl::WorkloadSpec &spec, unsigned thread_index,
+                 wl::SharedStore &store,
+                 std::shared_ptr<RequestBroker> broker,
+                 std::shared_ptr<GcLadder> ladder);
+
+    rt::StepResult step(rt::Mutator &mutator) override;
+
+  private:
+    /** Snapshot collector state for GC-aware decisions. */
+    GcSignal gcSignal(rt::Mutator &mutator);
+
+    std::shared_ptr<RequestBroker> broker_;
+    std::shared_ptr<GcLadder> ladder_;
+
+    bool inRequest_ = false;
+    Request current_;
+    unsigned txnsLeft_ = 0;
+};
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_PROGRAM_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Single serving-run driver: one collector, one instance, one
+ * open-loop arrival schedule, optional overload protection.
+ *
+ * runServe is the serving analogue of lbo::runOne: it builds the
+ * runtime by hand (ServePrograms pulling from a shared RequestBroker
+ * instead of wl::makeWorkload's closed loop), executes it, and
+ * flattens the outcome into the same RunRecord schema — plus the
+ * serve columns and a broker-side counter block — so sweep tooling,
+ * triage, and CSV consumers handle serving rows uniformly.
+ */
+
+#ifndef DISTILL_SERVE_RUN_HH
+#define DISTILL_SERVE_RUN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/histogram.hh"
+#include "base/types.hh"
+#include "gc/collectors.hh"
+#include "lbo/run.hh"
+#include "serve/arrival.hh"
+#include "serve/broker.hh"
+#include "serve/ladder.hh"
+#include "wl/spec.hh"
+
+namespace distill::serve
+{
+
+/**
+ * Everything one serving invocation needs.
+ */
+struct ServeConfig
+{
+    wl::WorkloadSpec spec;
+    gc::CollectorKind collector = gc::CollectorKind::G1;
+
+    /** Heap size in bytes (already resolved from factor/MiB flags). */
+    std::uint64_t heapBytes = 0;
+
+    /** Heap factor relative to min heap, for the CSV column only. */
+    double heapFactor = 0.0;
+
+    /** Workload seed (object demographics, transaction mix). */
+    std::uint64_t seed = 0x5eed;
+
+    /** Serving seed: arrival schedule + broker jitter stream. */
+    std::uint64_t serveSeed = 1;
+
+    ArrivalSpec arrival;
+    ServePolicy policy;
+    lbo::Environment env;
+    unsigned invocation = 0;
+
+    /**
+     * Explicit arrival schedule; when non-empty it overrides
+     * (arrival, fault plan) generation. Used by the fleet router,
+     * which splits one fleet-wide schedule across instances.
+     */
+    std::vector<Ticks> explicitArrivals;
+};
+
+/** GC-busy wall windows [begin, end) in virtual ns. */
+using BusyWindows = std::vector<std::pair<Ticks, Ticks>>;
+
+/**
+ * One serving invocation's results: the flattened CSV row plus the
+ * broker-side detail that the row aggregates away.
+ */
+struct ServeResult
+{
+    lbo::RunRecord record;
+    ServeCounters counters;
+
+    /** Ladder escalations into each GcLadder::Level. */
+    std::array<std::uint64_t, GcLadder::levels> escalations{};
+
+    /** End-to-end (metered) and processing-only latency. */
+    Histogram metered;
+    Histogram simple;
+
+    /** Last virtual time the broker observed (goodput denominator). */
+    Ticks horizonNs = 0;
+
+    /**
+     * STW-pause / alloc-stall wall windows of this run, padded and
+     * merged; the capacity advert a GC-aware fleet balancer consumes.
+     */
+    BusyWindows busyWindows;
+
+    /**
+     * The run's GC event log, kept so distill_serve can export a
+     * Chrome trace of the serving run. Not shipped through the fleet
+     * codec — traces are a single-instance feature.
+     */
+    std::vector<metrics::GcLogEvent> gcLog;
+
+    /** Completed requests per virtual second. */
+    double
+    goodput() const
+    {
+        return horizonNs == 0 ? 0.0
+            : static_cast<double>(counters.completed) * 1e9 /
+                  static_cast<double>(horizonNs);
+    }
+
+    /** Fraction of issued attempts shed (any reason). */
+    double
+    shedRate() const
+    {
+        return counters.issued == 0 ? 0.0
+            : static_cast<double>(counters.shedTotal()) /
+                  static_cast<double>(counters.issued);
+    }
+
+    /** Attempts per unique request (1.0 = no retries). */
+    double
+    retryAmplification() const
+    {
+        return counters.uniqueRequests == 0 ? 0.0
+            : static_cast<double>(counters.issued) /
+                  static_cast<double>(counters.uniqueRequests);
+    }
+};
+
+/**
+ * Resolve @p config's arrival spec: derive the base rate from the
+ * workload (spec.requestsPerSec when set, else ~75 % of ideal
+ * capacity like wl's metered mode) and a default request count from
+ * the workload's allocation budget, leaving explicit values alone.
+ */
+ArrivalSpec resolveArrival(const ServeConfig &config);
+
+/**
+ * Serving-row status override: a run that completed but shed,
+ * expired, or exhausted retries on a large fraction of its attempts
+ * gets status "shed" / "deadline" / "retry-exhausted" so triage and
+ * sweep summaries surface overload the same way they surface OOMs.
+ */
+void classifyServeStatus(lbo::RunRecord &record,
+                         const ServeCounters &counters,
+                         const ServePolicy &policy);
+
+/**
+ * GC-busy windows from a finalized run's GC log: STW pauses,
+ * degenerated rescues, and allocation stalls, padded by @p pad_ns on
+ * both sides and merged. Empty for an idle collector.
+ */
+BusyWindows busyWindowsFromLog(const metrics::RunMetrics &metrics,
+                               Ticks pad_ns = 50'000);
+
+/** Execute one serving invocation (see file comment). */
+ServeResult runServe(const ServeConfig &config);
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_RUN_HH

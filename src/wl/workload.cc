@@ -184,23 +184,28 @@ TransactionProgram::doTransaction(rt::Mutator &mutator)
 }
 
 rt::StepResult
+TransactionProgram::stepSetup(rt::Mutator &mutator)
+{
+    if (setupDone_ >= setupTarget_) {
+        state_ = State::Steady;
+        // The allocation budget covers steady-state work only.
+        bytesAllocated_ = 0;
+        return rt::StepResult::Running;
+    }
+    Addr obj = allocateObject(mutator);
+    if (mutator.wasBlocked())
+        return rt::StepResult::Running; // retried after unblock
+    store_.put(setupBase_ + setupDone_, obj);
+    ++setupDone_;
+    return rt::StepResult::Running;
+}
+
+rt::StepResult
 TransactionProgram::step(rt::Mutator &mutator)
 {
     switch (state_) {
-      case State::Setup: {
-        if (setupDone_ >= setupTarget_) {
-            state_ = State::Steady;
-            // The allocation budget covers steady-state work only.
-            bytesAllocated_ = 0;
-            return rt::StepResult::Running;
-        }
-        Addr obj = allocateObject(mutator);
-        if (mutator.wasBlocked())
-            return rt::StepResult::Running; // retried after unblock
-        store_.put(setupBase_ + setupDone_, obj);
-        ++setupDone_;
-        return rt::StepResult::Running;
-      }
+      case State::Setup:
+        return stepSetup(mutator);
       case State::Steady: {
         if (bytesAllocated_ >= spec_.allocBytesPerThread)
             return rt::StepResult::Done;

@@ -119,15 +119,30 @@ class TransactionProgram : public rt::MutatorProgram
 
     bool rootSpans(std::vector<rt::RootSpan> &out) override;
 
+  protected:
+    // The transaction engine below is shared with serve::ServeProgram,
+    // which replaces the steady-state driver (an open-loop request
+    // broker instead of the closed allocation-budget loop) but runs
+    // the exact same setup phase and per-transaction work.
+
+    /** Whether the setup phase is still populating the store. */
+    bool inSetup() const { return state_ == State::Setup; }
+
+    /** One Setup-state step (see step()); flips to Steady when done. */
+    rt::StepResult stepSetup(rt::Mutator &mutator);
+
+    /** Run one transaction; @return false if the thread blocked. */
+    bool doTransaction(rt::Mutator &mutator);
+
+    /** The spec this program was instantiated from. */
+    const WorkloadSpec &spec() const { return spec_; }
+
   private:
     enum class State
     {
         Setup,
         Steady,
     };
-
-    /** Run one transaction; @return false if the thread blocked. */
-    bool doTransaction(rt::Mutator &mutator);
 
     /** Allocate one workload object; nullRef when blocked. */
     Addr allocateObject(rt::Mutator &mutator);

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Overload-resilient serving driver: run one benchmark as an
+ * open-loop metered server under one or more collectors, with the
+ * robustness policy layer (admission control, deadlines, retries,
+ * GC-aware shedding) on or off, optionally as a fleet of N instances
+ * behind a GC-blind or GC-aware balancer.
+ *
+ * Usage:
+ *   distill_serve --bench lusearch --gc ZGC [--heap-factor 3.0]
+ *                 [--load 1.5] [--requests N]
+ *                 [--queue-cap N] [--deadline-us N] [--retries N]
+ *                 [--backoff-us N] [--gc-aware]
+ *                 [--protect | --no-protection]
+ *                 [--serve-seed S] [--seed S] [--sched-seed S]
+ *                 [--fault-plan P] [--max-virtual-time NS]
+ *                 [--fleet N [--balancer blind|aware|both] [--jobs J]]
+ *                 [--csv out.csv] [--trace out.json]
+ *   distill_serve --collectors G1,ZGC,Shenandoah --compare ...
+ *
+ * Every run prints the broker's attempt-conservation line
+ * ("serve-conservation: ... ok") — the line CI's serve-smoke job
+ * matches — plus goodput, shed rate, retry amplification, latency
+ * percentiles, and the degradation-ladder escalation counts.
+ * --compare runs each collector both unprotected and protected and
+ * prints the Fig. 4-style companion table.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cli_parse.hh"
+#include "heap/layout.hh"
+#include "lbo/sweep.hh"
+#include "serve/fleet.hh"
+#include "serve/run.hh"
+#include "trace_json.hh"
+#include "wl/suite.hh"
+
+using namespace distill;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: distill_serve --bench <name> --gc <collector>\n"
+        "                     [--collectors A,B,...] [--compare]\n"
+        "                     [--heap-factor F | --heap-mib N | "
+        "--heap-bytes N]\n"
+        "                     [--load L] [--requests N] [--diurnal A]\n"
+        "                     [--queue-cap N] [--deadline-us N]\n"
+        "                     [--retries N] [--backoff-us N] "
+        "[--gc-aware]\n"
+        "                     [--protect | --no-protection]\n"
+        "                     [--serve-seed S] [--seed S] "
+        "[--sched-seed S]\n"
+        "                     [--fault-plan P] [--max-virtual-time NS]\n"
+        "                     [--fleet N] [--balancer blind|aware|both]\n"
+        "                     [--jobs J] [--watchdog-ms MS]\n"
+        "                     [--csv out.csv] [--trace out.json]\n");
+    std::exit(2);
+}
+
+/** Split a comma-separated list. */
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** The issue's default protection preset, scaled to the workload. */
+serve::ServePolicy
+protectPreset(const wl::WorkloadSpec &spec)
+{
+    serve::ServePolicy policy;
+    policy.queueCap = 16 * spec.threads;
+    double txn_ns = wl::estimateTxnCycles(spec) / 3.6;
+    auto req_ns = static_cast<Ticks>(
+        txn_ns * std::max(1u, spec.txnsPerRequest));
+    policy.deadlineNs = std::max<Ticks>(200'000, 32 * req_ns);
+    policy.maxRetries = 3;
+    return policy;
+}
+
+void
+printResultSummary(const char *label, const serve::ServeCounters &c,
+                   const Histogram &metered, const Histogram &simple,
+                   double goodput, double shed_rate, double retry_amp)
+{
+    std::printf(
+        "serve-conservation: issued=%llu completed=%llu shed=%llu "
+        "deadline-expired=%llu %s\n",
+        static_cast<unsigned long long>(c.issued),
+        static_cast<unsigned long long>(c.completed),
+        static_cast<unsigned long long>(c.shedTotal()),
+        static_cast<unsigned long long>(c.deadlineTotal()),
+        c.conserves() ? "ok" : "LEAK");
+    std::printf("%s: goodput=%.0f req/s shed-rate=%.2f%% "
+                "retry-amplification=%.3f max-queue=%llu\n",
+                label, goodput, shed_rate * 100.0, retry_amp,
+                static_cast<unsigned long long>(c.maxQueueDepth));
+    std::printf("%s: metered p50=%llu p90=%llu p99=%llu p99.99=%llu "
+                "max=%llu ns\n",
+                label,
+                static_cast<unsigned long long>(metered.percentile(50)),
+                static_cast<unsigned long long>(metered.percentile(90)),
+                static_cast<unsigned long long>(metered.percentile(99)),
+                static_cast<unsigned long long>(
+                    metered.percentile(99.99)),
+                static_cast<unsigned long long>(metered.max()));
+    std::printf("%s: simple p50=%llu p99=%llu ns\n", label,
+                static_cast<unsigned long long>(simple.percentile(50)),
+                static_cast<unsigned long long>(simple.percentile(99)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "lusearch";
+    std::vector<std::string> collectors = {"G1"};
+    bool compare = false;
+    double factor = 3.0;
+    std::uint64_t heap_mib = 0;
+    std::uint64_t heap_bytes_arg = 0;
+    double load = 1.0;
+    std::uint64_t requests = 0;
+    double diurnal = 0.0;
+    std::uint64_t diurnal_period_us = 20'000;
+    serve::ServePolicy policy;
+    bool protect = false;
+    bool no_protection = false;
+    std::uint64_t serve_seed = 1;
+    std::uint64_t seed = 0xD15711;
+    std::uint64_t sched_seed = 0;
+    std::uint64_t fault_plan = 0;
+    std::uint64_t max_virtual_time = 0;
+    unsigned fleet = 0;
+    std::string balancer = "blind";
+    unsigned jobs = 1;
+    std::uint64_t watchdog_ms = 0;
+    std::string csv_path;
+    std::string trace_path;
+
+    // Accept "--key value" and "--key=value", like the other tools,
+    // so REPRO lines paste straight in.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::size_t eq = a.find('=');
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+            eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto arg = [&](const char *name) {
+            if (args[i] != name)
+                return false;
+            if (i + 1 >= args.size())
+                usage();
+            return true;
+        };
+        auto flag = [&](const char *name) { return args[i] == name; };
+        if (arg("--bench")) {
+            bench = args[++i];
+        } else if (arg("--gc") || arg("--collector")) {
+            collectors = {args[++i]};
+        } else if (arg("--collectors")) {
+            collectors = splitList(args[++i]);
+        } else if (flag("--compare")) {
+            compare = true;
+        } else if (arg("--heap-factor")) {
+            factor = cli::parsePositiveDouble("--heap-factor", args[++i]);
+        } else if (arg("--heap-mib")) {
+            heap_mib = cli::parseCount("--heap-mib", args[++i]);
+        } else if (arg("--heap-bytes") || arg("--heap")) {
+            heap_bytes_arg = cli::parseCount("--heap-bytes", args[++i]);
+        } else if (arg("--load")) {
+            load = cli::parsePositiveDouble("--load", args[++i]);
+        } else if (arg("--requests")) {
+            requests = cli::parseCount("--requests", args[++i]);
+        } else if (arg("--diurnal")) {
+            diurnal = cli::parseDouble("--diurnal", args[++i]);
+        } else if (arg("--diurnal-period-us")) {
+            diurnal_period_us =
+                cli::parseCount("--diurnal-period-us", args[++i]);
+        } else if (arg("--queue-cap")) {
+            policy.queueCap = cli::parseCount("--queue-cap", args[++i]);
+        } else if (arg("--deadline-us")) {
+            policy.deadlineNs =
+                cli::parseCount("--deadline-us", args[++i]) * 1000;
+        } else if (arg("--retries")) {
+            policy.maxRetries = static_cast<unsigned>(
+                cli::parseU64("--retries", args[++i]));
+        } else if (arg("--backoff-us")) {
+            policy.backoffBaseNs =
+                cli::parseCount("--backoff-us", args[++i]) * 1000;
+        } else if (flag("--gc-aware")) {
+            policy.gcAware = true;
+        } else if (flag("--protect")) {
+            protect = true;
+        } else if (flag("--no-protection")) {
+            no_protection = true;
+        } else if (arg("--serve-seed")) {
+            serve_seed = cli::parseU64("--serve-seed", args[++i]);
+        } else if (arg("--seed")) {
+            seed = cli::parseU64("--seed", args[++i]);
+        } else if (arg("--sched-seed")) {
+            sched_seed = cli::parseU64("--sched-seed", args[++i]);
+        } else if (arg("--fault-plan")) {
+            fault_plan = cli::parseU64("--fault-plan", args[++i]);
+        } else if (arg("--max-virtual-time")) {
+            max_virtual_time =
+                cli::parseCount("--max-virtual-time", args[++i]);
+        } else if (arg("--fleet")) {
+            fleet = static_cast<unsigned>(
+                cli::parseCount("--fleet", args[++i]));
+        } else if (arg("--balancer")) {
+            balancer = args[++i];
+            if (balancer != "blind" && balancer != "aware" &&
+                balancer != "both")
+                usage();
+        } else if (arg("--jobs")) {
+            jobs = cli::parseJobs("--jobs", args[++i]);
+        } else if (arg("--watchdog-ms")) {
+            watchdog_ms = cli::parseCount("--watchdog-ms", args[++i]);
+        } else if (arg("--csv")) {
+            csv_path = args[++i];
+        } else if (arg("--trace")) {
+            trace_path = args[++i];
+        } else {
+            usage();
+        }
+    }
+    if (protect && no_protection)
+        fatal("--protect and --no-protection are mutually exclusive");
+
+    lbo::Environment env;
+    env.schedSeed = sched_seed;
+    env.faultSeed = fault_plan;
+    if (max_virtual_time > 0)
+        env.machine.maxVirtualTime = max_virtual_time;
+
+    lbo::SweepRunner runner;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec(bench), env);
+    std::uint64_t heap_bytes = heap_bytes_arg > 0 ? heap_bytes_arg
+        : heap_mib > 0                            ? heap_mib * MiB
+        : roundUp(static_cast<std::uint64_t>(
+                      factor * static_cast<double>(spec.minHeapBytes)),
+                  heap::regionSize);
+
+    if (protect)
+        policy = protectPreset(spec);
+    if (no_protection)
+        policy = serve::ServePolicy{};
+    if (policy.gcAware && policy.queueCap == 0) {
+        // GC-aware shedding needs a cap to tighten.
+        policy.queueCap = 16 * spec.threads;
+    }
+
+    serve::ServeConfig base;
+    base.spec = spec;
+    base.heapBytes = heap_bytes;
+    base.heapFactor = heap_bytes_arg > 0 || heap_mib > 0 ? 0.0 : factor;
+    base.seed = seed;
+    base.serveSeed = serve_seed;
+    base.arrival.loadFactor = load;
+    base.arrival.requests = requests;
+    base.arrival.diurnalAmplitude = diurnal;
+    base.arrival.diurnalPeriodNs = diurnal_period_us * 1000;
+    base.policy = policy;
+    base.env = env;
+
+    std::ofstream csv;
+    if (!csv_path.empty()) {
+        csv.open(csv_path, std::ios::trunc);
+        if (!csv)
+            fatal("cannot write %s", csv_path.c_str());
+        csv << lbo::RunRecord::csvHeader() << '\n';
+    }
+
+    int status = 0;
+
+    if (fleet > 0) {
+        // ----- Fleet-lite mode -------------------------------------
+        if (collectors.size() != 1)
+            fatal("--fleet runs one collector; use --gc");
+        base.collector = gc::collectorFromName(collectors[0]);
+        serve::FleetConfig fc;
+        fc.base = base;
+        fc.instances = fleet;
+        fc.jobs = jobs;
+        fc.watchdogMs = watchdog_ms;
+
+        std::vector<std::pair<std::string, bool>> modes;
+        if (balancer == "blind" || balancer == "both")
+            modes.emplace_back("blind", false);
+        if (balancer == "aware" || balancer == "both")
+            modes.emplace_back("aware", true);
+
+        std::vector<serve::BusyWindows> blind_adverts;
+        for (const auto &[name, aware] : modes) {
+            fc.gcAware = aware;
+            // "both" reuses the blind pass's adverts for the aware
+            // pass instead of re-running the preview fleet.
+            fc.adverts = aware ? blind_adverts
+                               : std::vector<serve::BusyWindows>{};
+            serve::FleetResult fr = serve::runFleet(fc);
+            if (!aware) {
+                blind_adverts.clear();
+                for (const serve::ServeResult &inst : fr.instances)
+                    blind_adverts.push_back(inst.busyWindows);
+            }
+            std::printf("fleet[%s]: %s x%u under %s heap=%llu MiB\n",
+                        name.c_str(), bench.c_str(), fleet,
+                        collectors[0].c_str(),
+                        static_cast<unsigned long long>(heap_bytes /
+                                                        MiB));
+            std::string label = "fleet[" + name + "]";
+            printResultSummary(label.c_str(), fr.counters, fr.metered,
+                               fr.simple, fr.goodput(), fr.shedRate(),
+                               fr.retryAmplification());
+            for (const serve::ServeResult &inst : fr.instances) {
+                if (inst.record.failed())
+                    status = 1;
+                if (csv.is_open())
+                    csv << inst.record.toCsv() << '\n';
+            }
+        }
+    } else {
+        // ----- Single-instance mode --------------------------------
+        struct Cell
+        {
+            std::string collector;
+            bool protectionOn;
+            serve::ServeResult result;
+        };
+        std::vector<Cell> cells;
+        for (const std::string &name : collectors) {
+            base.collector = gc::collectorFromName(name);
+            std::vector<std::pair<bool, serve::ServePolicy>> variants;
+            if (compare) {
+                variants.emplace_back(false, serve::ServePolicy{});
+                variants.emplace_back(true, protect || policy.protectionEnabled()
+                                                ? policy
+                                                : protectPreset(spec));
+            } else {
+                variants.emplace_back(policy.protectionEnabled(), policy);
+            }
+            for (const auto &[prot, pol] : variants) {
+                base.policy = pol;
+                serve::ServeResult r = serve::runServe(base);
+                std::printf(
+                    "serve: %s under %s heap=%llu MiB load=%.2f "
+                    "protection=%s status=%s\n",
+                    bench.c_str(), name.c_str(),
+                    static_cast<unsigned long long>(heap_bytes / MiB),
+                    load, prot ? "on" : "off",
+                    r.record.status.c_str());
+                printResultSummary("serve", r.counters, r.metered,
+                                   r.simple, r.goodput(), r.shedRate(),
+                                   r.retryAmplification());
+                std::printf(
+                    "ladder: concurrent=%llu degenerated=%llu "
+                    "full=%llu alloc-stall=%llu\n",
+                    static_cast<unsigned long long>(
+                        r.escalations[serve::GcLadder::Concurrent]),
+                    static_cast<unsigned long long>(
+                        r.escalations[serve::GcLadder::Degenerated]),
+                    static_cast<unsigned long long>(
+                        r.escalations[serve::GcLadder::Full]),
+                    static_cast<unsigned long long>(
+                        r.escalations[serve::GcLadder::AllocStall]));
+                if (!r.counters.conserves() ||
+                    (!r.record.completed && r.record.failed()))
+                    status = 1;
+                if (csv.is_open())
+                    csv << r.record.toCsv() << '\n';
+                if (!trace_path.empty() && !compare && fleet == 0 &&
+                    collectors.size() == 1) {
+                    std::ofstream out(trace_path);
+                    if (!out)
+                        fatal("cannot write %s", trace_path.c_str());
+                    // The serve trace reuses distill_trace's exact
+                    // writer; ladder escalations ride the phase lane.
+                    out << trace::renderGcLogTrace(
+                        bench + " / " + name + " (serve)",
+                        r.gcLog);
+                }
+                cells.push_back({name, prot, std::move(r)});
+            }
+        }
+        if (compare) {
+            std::printf("\n%-11s %-10s %12s %12s %10s %10s %8s\n",
+                        "collector", "protection", "metered-p99",
+                        "p99.99", "goodput", "shed-rate", "retry-x");
+            for (const Cell &cell : cells) {
+                const serve::ServeResult &r = cell.result;
+                std::printf("%-11s %-10s %12llu %12llu %10.0f %9.2f%% "
+                            "%8.3f\n",
+                            cell.collector.c_str(),
+                            cell.protectionOn ? "on" : "off",
+                            static_cast<unsigned long long>(
+                                r.metered.percentile(99)),
+                            static_cast<unsigned long long>(
+                                r.metered.percentile(99.99)),
+                            r.goodput(), r.shedRate() * 100.0,
+                            r.retryAmplification());
+            }
+        }
+    }
+
+    if (csv.is_open()) {
+        csv.close();
+        std::printf("wrote %s\n", csv_path.c_str());
+    }
+    return status;
+}

@@ -66,38 +66,6 @@ usage()
     std::exit(2);
 }
 
-/** Trace lane (tid) for a GC-log event label. */
-int
-laneFor(const std::string &label)
-{
-    static const char *const pauses[] = {
-        "young",      "full",       "initial-mark", "final-mark",
-        "evacuation", "phase-flip", "degenerated",
-    };
-    for (const char *p : pauses) {
-        if (label == p)
-            return 0;
-    }
-    if (label == "concurrent-cycle" || label == "degenerated-cycle")
-        return 1;
-    if (label == "alloc-stall")
-        return 3;
-    return 2; // phase:* spans (and any future labels) ride here
-}
-
-/** Escape a string for embedding in a JSON literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
 /** Validate @p path, print the verdict; returns the process status. */
 int
 validateFile(const std::string &path)
@@ -246,45 +214,8 @@ main(int argc, char **argv)
     if (attributed != m.gcThreadCycles)
         return 1;
 
-    std::ostringstream json;
-    json.precision(3);
-    json << std::fixed;
-    json << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    static const char *const laneNames[] = {
-        "STW pauses", "concurrent cycles", "phases", "alloc stalls"};
-    bool first = true;
-    auto sep = [&] {
-        if (!first)
-            json << ",\n";
-        first = false;
-    };
-    sep();
-    json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,"
-            "\"name\":\"process_name\",\"args\":{\"name\":\""
-         << jsonEscape(bench + " / " + collector) << "\"}}";
-    for (int lane = 0; lane < 4; ++lane) {
-        sep();
-        json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":" << lane
-             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-             << laneNames[lane] << "\"}}";
-    }
-    for (const metrics::GcLogEvent &e : m.gcLog) {
-        std::string label = e.what;
-        int lane = laneFor(label);
-        double ts_us = static_cast<double>(e.startNs) / 1e3;
-        sep();
-        if (e.durationNs > 0) {
-            json << "{\"ph\":\"X\",\"ts\":" << ts_us
-                 << ",\"dur\":" << static_cast<double>(e.durationNs) / 1e3
-                 << ",\"pid\":1,\"tid\":" << lane << ",\"name\":\""
-                 << jsonEscape(label) << "\"}";
-        } else {
-            json << "{\"ph\":\"i\",\"ts\":" << ts_us
-                 << ",\"pid\":1,\"tid\":" << lane << ",\"s\":\"t\","
-                 << "\"name\":\"" << jsonEscape(label) << "\"}";
-        }
-    }
-    json << "\n]}\n";
+    std::string json =
+        trace::renderGcLogTrace(bench + " / " + collector, m.gcLog);
 
     std::ofstream out(out_path);
     if (!out) {
@@ -292,7 +223,7 @@ main(int argc, char **argv)
                      out_path.c_str());
         return 1;
     }
-    out << json.str();
+    out << json;
     out.close();
 
     // Self-check: validate what actually landed on disk.

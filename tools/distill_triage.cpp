@@ -11,6 +11,13 @@
  * per underlying cause, largest first, each with a representative
  * REPRO line to replay and the sidecar report to read.
  *
+ * Serving rows (distill_serve CSVs) ride the same taxonomy: the
+ * overload statuses shed / deadline / retry-exhausted group by their
+ * digit-folded reasons, each group aggregates the attempt ledger
+ * (issued/completed/shed/deadline-expired/retry-exhausted), and the
+ * representative REPRO line goes through distill_serve --serve-seed
+ * so the whole arrival schedule replays.
+ *
  * Usage:
  *   distill_triage sweep.csv [--max-virtual-time NS] [--watchdog-ms MS]
  *
@@ -165,9 +172,35 @@ main(int argc, char **argv)
         }
         std::printf("  cells: %s\n", where.c_str());
         std::printf("  reason: %s\n", rep.failReason.c_str());
+        if (rep.serveIssued > 0) {
+            // Overload groups (status shed/deadline/retry-exhausted,
+            // or any serving row that failed outright): aggregate the
+            // attempt ledger so the group line quantifies the overload
+            // without opening each row.
+            std::uint64_t issued = 0, completed = 0, shed = 0,
+                          deadline = 0, exhausted = 0;
+            for (const lbo::RunRecord &r : rs) {
+                issued += r.serveIssued;
+                completed += r.serveCompleted;
+                shed += r.serveShed;
+                deadline += r.serveDeadline;
+                exhausted += r.serveRetryExhausted;
+            }
+            std::printf("  overload: issued=%llu completed=%llu "
+                        "shed=%llu deadline-expired=%llu "
+                        "retry-exhausted=%llu\n",
+                        static_cast<unsigned long long>(issued),
+                        static_cast<unsigned long long>(completed),
+                        static_cast<unsigned long long>(shed),
+                        static_cast<unsigned long long>(deadline),
+                        static_cast<unsigned long long>(exhausted));
+        }
         if (!rep.sidecar.empty())
             std::printf("  report: %s\n", rep.sidecar.c_str());
-        std::printf("  %s\n", cli::runRepro(rep, ctx).c_str());
+        std::printf("  %s\n",
+                    rep.serveIssued > 0
+                        ? cli::serveRepro(rep, ctx).c_str()
+                        : cli::runRepro(rep, ctx).c_str());
     }
     return 0;
 }

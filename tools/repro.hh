@@ -74,6 +74,28 @@ runRepro(const lbo::RunRecord &r, const ReproContext &ctx = {})
     return line;
 }
 
+/**
+ * Replay command for a serving row (serveIssued > 0): same identity
+ * flags, but through distill_serve with the serve seed, so the whole
+ * arrival schedule and every shed/retry decision replays.
+ */
+inline std::string
+serveRepro(const lbo::RunRecord &r, const ReproContext &ctx = {})
+{
+    std::string line = strprintf(
+        "REPRO: distill_serve --bench %s --gc %s --heap-bytes %llu "
+        "--seed %llu --serve-seed %llu",
+        r.bench.c_str(), r.collector.c_str(),
+        static_cast<unsigned long long>(r.heapBytes),
+        static_cast<unsigned long long>(r.seed),
+        static_cast<unsigned long long>(r.serveSeed));
+    appendFlag(line, "--sched-seed", r.schedSeed);
+    appendFlag(line, "--fault-plan", r.faultSeed);
+    appendFlag(line, "--max-virtual-time", ctx.maxVirtualTime,
+               ctx.defaultMaxVirtualTime);
+    return line;
+}
+
 } // namespace distill::cli
 
 #endif // DISTILL_TOOLS_REPRO_HH

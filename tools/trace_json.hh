@@ -1,9 +1,11 @@
 /**
  * @file
- * Minimal JSON syntax checker plus a Chrome trace-event schema check,
- * shared by distill_trace (self-validation of what it just wrote) and
- * the CLI tests. Not a general-purpose parser: it validates without
- * building a document tree, which is all a smoke check needs.
+ * Chrome trace-event JSON: the shared writer (GC event log -> trace
+ * JSON) plus a minimal syntax/schema checker, shared by distill_trace
+ * and distill_serve (each self-validates what it just wrote) and the
+ * CLI tests. The checker is not a general-purpose parser: it
+ * validates without building a document tree, which is all a smoke
+ * check needs.
  *
  * Schema enforced on top of JSON well-formedness:
  *   - the top level is an object with a "traceEvents" array;
@@ -18,10 +20,98 @@
 
 #include <cctype>
 #include <cstddef>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include "metrics/agent.hh"
 
 namespace distill::trace
 {
+
+/** Trace lane (tid) for a GC-log event label. */
+inline int
+laneFor(const std::string &label)
+{
+    static const char *const pauses[] = {
+        "young",      "full",       "initial-mark", "final-mark",
+        "evacuation", "phase-flip", "degenerated",
+    };
+    for (const char *p : pauses) {
+        if (label == p)
+            return 0;
+    }
+    if (label == "concurrent-cycle" || label == "degenerated-cycle")
+        return 1;
+    if (label == "alloc-stall")
+        return 3;
+    return 2; // phase:* spans (and any future labels) ride here
+}
+
+/** Escape a string for embedding in a JSON literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Render a run's GC event log as Chrome trace-event JSON on four
+ * lanes of one process (tid 0 STW pauses, 1 concurrent cycles, 2
+ * phases, 3 alloc stalls), with @p process_name as the process label.
+ * Byte-stable: the trace golden fixture pins this exact layout.
+ */
+inline std::string
+renderGcLogTrace(const std::string &process_name,
+                 const std::vector<metrics::GcLogEvent> &log)
+{
+    std::ostringstream json;
+    json.precision(3);
+    json << std::fixed;
+    json << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    static const char *const laneNames[] = {
+        "STW pauses", "concurrent cycles", "phases", "alloc stalls"};
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            json << ",\n";
+        first = false;
+    };
+    sep();
+    json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,"
+            "\"name\":\"process_name\",\"args\":{\"name\":\""
+         << jsonEscape(process_name) << "\"}}";
+    for (int lane = 0; lane < 4; ++lane) {
+        sep();
+        json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":" << lane
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+             << laneNames[lane] << "\"}}";
+    }
+    for (const metrics::GcLogEvent &e : log) {
+        std::string label = e.what;
+        int lane = laneFor(label);
+        double ts_us = static_cast<double>(e.startNs) / 1e3;
+        sep();
+        if (e.durationNs > 0) {
+            json << "{\"ph\":\"X\",\"ts\":" << ts_us
+                 << ",\"dur\":" << static_cast<double>(e.durationNs) / 1e3
+                 << ",\"pid\":1,\"tid\":" << lane << ",\"name\":\""
+                 << jsonEscape(label) << "\"}";
+        } else {
+            json << "{\"ph\":\"i\",\"ts\":" << ts_us
+                 << ",\"pid\":1,\"tid\":" << lane << ",\"s\":\"t\","
+                 << "\"name\":\"" << jsonEscape(label) << "\"}";
+        }
+    }
+    json << "\n]}\n";
+    return json.str();
+}
 
 /** Validation outcome: ok(), or why/where the input is malformed. */
 struct TraceCheck
