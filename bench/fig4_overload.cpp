@@ -12,10 +12,18 @@
  * to roughly the deadline; the cost resurfaces as shed rate and retry
  * amplification, which the table reports alongside goodput so the
  * latency/goodput trade is explicit.
+ *
+ * A second table puts a 4-instance fleet under the canonical chaos
+ * plan (instance crash + stall) with the supervisor on (failover +
+ * hedging + restart) versus off (arrivals keep landing on the
+ * corpse), so the availability machinery's effect on the fleet
+ * p99.99 and the lost-request count is a number, not a claim.
  */
 
 #include "bench_common.hh"
+#include "fault/plan.hh"
 #include "heap/layout.hh"
+#include "serve/fleet.hh"
 #include "serve/run.hh"
 
 using namespace distill;
@@ -86,5 +94,49 @@ main()
         }
     }
     table.print();
+
+    std::printf("\nChaos companion: lusearch x4 fleet, canonical chaos "
+                "plan (instance crash + stall), supervision on vs "
+                "off\n");
+    std::printf("(supervised = failover + hedging + 1 restart; "
+                "unsupervised = arrivals keep landing on the corpse)"
+                "\n\n");
+
+    TextTable chaosTable({"Collector", "Supervise", "p99", "p99.99",
+                          "goodput/s", "lost", "restarts", "failovers",
+                          "hedges"});
+    for (gc::CollectorKind kind : bench::paperCollectors()) {
+        for (bool supervise : {false, true}) {
+            serve::FleetConfig fc;
+            fc.base = base;
+            fc.base.collector = kind;
+            fc.base.policy = protectPreset(spec);
+            fc.base.env.faultSeed = fault::FaultPlan::chaosSeed(0);
+            fc.instances = 4;
+            fc.supervised = true;
+            if (supervise) {
+                fc.supervisor.hedgeDelayNs = 100'000;
+            } else {
+                // Supervision off: no restarts, no failover, no
+                // hedging — the ledger still closes over the losses.
+                fc.supervisor.restartBudget = 0;
+                fc.supervisor.failover = false;
+                fc.supervisor.hedgeDelayNs = 0;
+            }
+            serve::FleetResult fr = serve::runFleet(fc);
+            chaosTable.beginRow();
+            chaosTable.cell(gc::collectorName(kind));
+            chaosTable.cell(supervise ? "on" : "off");
+            chaosTable.cell(fr.metered.percentile(99) / 1e3, 1);
+            chaosTable.cell(fr.metered.percentile(99.99) / 1e3, 1);
+            chaosTable.cell(fr.goodput(), 0);
+            chaosTable.cell(static_cast<double>(fr.counters.lost), 0);
+            chaosTable.cell(static_cast<double>(fr.ledger.restarts), 0);
+            chaosTable.cell(static_cast<double>(fr.ledger.failovers), 0);
+            chaosTable.cell(
+                static_cast<double>(fr.ledger.hedgesIssued), 0);
+        }
+    }
+    chaosTable.print();
     return 0;
 }

@@ -64,6 +64,11 @@ FaultInjector::advance(Ticks now)
             break;
           case FaultKind::MutatorKill:
             break;
+          case FaultKind::InstanceCrash:
+          case FaultKind::InstanceStall:
+            // Fleet-level failures: consumed upfront by the fleet
+            // supervisor's planner, not by the per-run injector.
+            break;
         }
     }
     if (!denyActive_)

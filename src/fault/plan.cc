@@ -34,6 +34,8 @@ faultKindName(FaultKind kind)
       case FaultKind::Crash: return "crash";
       case FaultKind::TrafficBurst: return "traffic-burst";
       case FaultKind::InstanceBrownout: return "instance-brownout";
+      case FaultKind::InstanceCrash: return "instance-crash";
+      case FaultKind::InstanceStall: return "instance-stall";
     }
     return "?";
 }
@@ -46,6 +48,7 @@ faultKindFromName(const std::string &name, FaultKind &out)
         FaultKind::MutatorKill,   FaultKind::DenyProgress,
         FaultKind::Livelock,      FaultKind::Crash,
         FaultKind::TrafficBurst,  FaultKind::InstanceBrownout,
+        FaultKind::InstanceCrash, FaultKind::InstanceStall,
     };
     for (FaultKind kind : kinds) {
         if (name == faultKindName(kind)) {
@@ -78,6 +81,10 @@ FaultPlan::describe() const
             out << " thread " << e.target;
         if (e.kind == FaultKind::Crash)
             out << " signal " << e.target;
+        if (e.kind == FaultKind::InstanceCrash ||
+            e.kind == FaultKind::InstanceStall) {
+            out << " instance " << e.target;
+        }
     }
     out << ")";
     return out.str();
@@ -120,6 +127,19 @@ FaultPlan::isServeSeed(std::uint64_t plan_seed)
     return (plan_seed >> 48) == serveTag;
 }
 
+std::uint64_t
+FaultPlan::chaosSeed(std::uint64_t entropy)
+{
+    return (serveTag << 48) | (1ULL << 47) |
+        (entropy & 0x7FFFFFFFFFFFULL);
+}
+
+bool
+FaultPlan::isChaosSeed(std::uint64_t plan_seed)
+{
+    return isServeSeed(plan_seed) && (plan_seed & (1ULL << 47)) != 0;
+}
+
 FaultPlan
 FaultPlan::fromSeed(std::uint64_t plan_seed)
 {
@@ -142,6 +162,54 @@ FaultPlan::fromSeed(std::uint64_t plan_seed)
         e.atNs = static_cast<Ticks>(at_us) * 1000;
         e.durationNs = 0; // to the end of the run
         plan.events.push_back(e);
+        return plan;
+    }
+
+    if (isChaosSeed(plan_seed)) {
+        // Fleet-chaos plan: instance-level failures for the fleet
+        // supervisor. Triggers land mid-run for metered serve runs;
+        // victim instances are drawn mod the fleet size at plan time.
+        Rng rng(plan_seed ^ 0xC4A05C4A05C4A05CULL);
+        auto crash = [&] {
+            FaultEvent e;
+            e.kind = FaultKind::InstanceCrash;
+            e.atNs = logUniform(rng, 1e6, 10e6); // 1ms .. 10ms
+            e.durationNs = 0;
+            e.target = static_cast<unsigned>(rng.below(16));
+            plan.events.push_back(e);
+        };
+        auto stall = [&] {
+            FaultEvent e;
+            e.kind = FaultKind::InstanceStall;
+            e.atNs = logUniform(rng, 1e6, 10e6);
+            e.durationNs = logUniform(rng, 1e6, 5e6);
+            e.target = static_cast<unsigned>(rng.below(16));
+            plan.events.push_back(e);
+        };
+        auto brownout = [&] {
+            FaultEvent e;
+            e.kind = FaultKind::InstanceBrownout;
+            e.atNs = logUniform(rng, 1e6, 10e6);
+            e.durationNs = logUniform(rng, 1e6, 5e6);
+            e.magnitude = 1.5 + 2.5 * rng.real();
+            plan.events.push_back(e);
+        };
+        switch (plan_seed & 3) {
+          case 1:
+            crash();
+            break;
+          case 2:
+            stall();
+            break;
+          case 3:
+            crash();
+            brownout();
+            break;
+          default: // 0 mod 4
+            crash();
+            stall();
+            break;
+        }
         return plan;
     }
 

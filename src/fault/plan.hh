@@ -101,6 +101,29 @@ enum class FaultKind : std::uint8_t
      * serve::ServeProgram through FaultInjector::brownoutFactor.
      */
     InstanceBrownout,
+
+    /**
+     * Serving-instance crash: the instance identified by `target`
+     * (modulo the fleet size) dies at the trigger time. Unlike Crash,
+     * which raises a real signal in the host process, this is a
+     * *virtual* failure consumed at fleet-planning time by
+     * serve::FleetSupervisor — work queued or in flight at the trigger
+     * is lost, and the supervisor's restart/failover machinery decides
+     * what happens to the instance's remaining arrivals. Deterministic
+     * on every execution path (--jobs 1 and --jobs N agree).
+     */
+    InstanceCrash,
+
+    /**
+     * Serving-instance stall: the instance identified by `target`
+     * freezes for the window — no requests are served, queued work
+     * ages toward its deadlines — then resumes (a long GC-unrelated
+     * pause: page-cache thrash, a stuck NFS mount, a hypervisor
+     * migration). Consumed by serve::ServeProgram, which sleeps
+     * through the window, and by the fleet supervisor's hedging and
+     * circuit-breaker policies.
+     */
+    InstanceStall,
 };
 
 /** Human-readable fault-kind name. */
@@ -198,6 +221,20 @@ struct FaultPlan
 
     /** Whether @p plan_seed encodes a serving-overload plan. */
     static bool isServeSeed(std::uint64_t plan_seed);
+
+    /**
+     * Encode a fleet-chaos plan: the corner of the 0x5EAF serving seed
+     * space with bit 47 set expands into instance-failure mixes (low
+     * two bits of @p entropy select the mix — 0: crash + stall,
+     * 1: single crash, 2: single stall, 3: crash + brownout — and the
+     * rest draws trigger times, windows, and victim instances).
+     * Historical 0x5EAF seeds all had bit 47 clear, so every existing
+     * serving seed keeps its expansion bit-identically.
+     */
+    static std::uint64_t chaosSeed(std::uint64_t entropy);
+
+    /** Whether @p plan_seed encodes a fleet-chaos plan. */
+    static bool isChaosSeed(std::uint64_t plan_seed);
 };
 
 } // namespace distill::fault

@@ -25,8 +25,11 @@ constexpr std::size_t notesFieldCount = 39;
 /** Field count of the pre-serve-columns layout. */
 constexpr std::size_t phaseFieldCount = 47;
 
+/** Field count of the pre-fleet-recovery layout. */
+constexpr std::size_t serveFieldCount = 54;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 54;
+constexpr std::size_t currentFieldCount = 58;
 
 } // namespace
 
@@ -44,7 +47,8 @@ RunRecord::csvHeader()
            "updateRefsCycles,remsetRefineCycles,relocateCycles,"
            "sweepCycles,compactCycles,gcGlueCycles,serveSeed,"
            "serveIssued,serveCompleted,serveShed,serveDeadline,"
-           "serveRetries,serveRetryExhausted";
+           "serveRetries,serveRetryExhausted,serveLost,"
+           "serveHedgeCancelled,serveRestarts,serveFailovers";
 }
 
 const char *
@@ -98,7 +102,9 @@ RunRecord::toCsv() const
         << sweepCycles << ',' << compactCycles << ',' << gcGlueCycles
         << ',' << serveSeed << ',' << serveIssued << ',' << serveCompleted
         << ',' << serveShed << ',' << serveDeadline << ',' << serveRetries
-        << ',' << serveRetryExhausted;
+        << ',' << serveRetryExhausted << ',' << serveLost << ','
+        << serveHedgeCancelled << ',' << serveRestarts << ','
+        << serveFailovers;
     return out.str();
 }
 
@@ -121,6 +127,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         fields.size() != forensicsFieldCount &&
         fields.size() != notesFieldCount &&
         fields.size() != phaseFieldCount &&
+        fields.size() != serveFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -195,7 +202,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.remsetRefineCycles = out.relocateCycles = 0;
             out.sweepCycles = out.compactCycles = out.gcGlueCycles = 0;
         }
-        if (fields.size() >= currentFieldCount) {
+        if (fields.size() >= serveFieldCount) {
             out.serveSeed = std::stoull(fields[i++]);
             out.serveIssued = std::stoull(fields[i++]);
             out.serveCompleted = std::stoull(fields[i++]);
@@ -207,6 +214,15 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.serveSeed = out.serveIssued = out.serveCompleted = 0;
             out.serveShed = out.serveDeadline = 0;
             out.serveRetries = out.serveRetryExhausted = 0;
+        }
+        if (fields.size() >= currentFieldCount) {
+            out.serveLost = std::stoull(fields[i++]);
+            out.serveHedgeCancelled = std::stoull(fields[i++]);
+            out.serveRestarts = std::stoull(fields[i++]);
+            out.serveFailovers = std::stoull(fields[i++]);
+        } else {
+            out.serveLost = out.serveHedgeCancelled = 0;
+            out.serveRestarts = out.serveFailovers = 0;
         }
     } catch (const std::exception &) {
         return false;

@@ -129,17 +129,31 @@ struct RunRecord
     std::uint64_t serveRetries = 0;   //!< retry attempts scheduled
     std::uint64_t serveRetryExhausted = 0; //!< requests out of budget
 
+    /**
+     * Fleet-recovery accounting (distill_serve --chaos). Lost and
+     * hedge-cancelled extend the conservation identity to
+     * serveIssued == serveCompleted + serveShed + serveDeadline +
+     * serveLost + serveHedgeCancelled; restarts/failovers count the
+     * supervisor actions taken on this instance. Zero everywhere
+     * outside supervised fleet runs and in legacy rows.
+     */
+    std::uint64_t serveLost = 0;           //!< attempts lost at crash
+    std::uint64_t serveHedgeCancelled = 0; //!< losing hedge attempts
+    std::uint64_t serveRestarts = 0;       //!< supervisor restarts
+    std::uint64_t serveFailovers = 0;      //!< arrivals routed away
+
     /** Serialize as one CSV line (matching csvHeader()). */
     std::string toCsv() const;
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * the current 54-field layout as well as the five historical
+     * the current 58-field layout as well as the six historical
      * ones (32 fields before the status/failReason columns existed,
      * 36 before signature/sidecar, 38 before notes, 39 before the
-     * per-phase attribution columns, 47 before the serve columns);
-     * legacy rows get status derived from their completed/oom flags,
-     * empty forensics/notes columns, and zeroed phase/serve fields.
+     * per-phase attribution columns, 47 before the serve columns,
+     * 54 before the fleet-recovery columns); legacy rows get status
+     * derived from their completed/oom flags, empty forensics/notes
+     * columns, and zeroed phase/serve/recovery fields.
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

@@ -21,6 +21,8 @@ ServeCounters::add(const ServeCounters &other)
     retryExhausted += other.retryExhausted;
     uniqueRequests += other.uniqueRequests;
     maxQueueDepth = std::max(maxQueueDepth, other.maxQueueDepth);
+    lost += other.lost;
+    hedgeCancelled += other.hedgeCancelled;
 }
 
 RequestBroker::RequestBroker(std::vector<Ticks> arrivals,
@@ -217,6 +219,33 @@ RequestBroker::drainRemaining()
     }
     distill_assert(counters_.conserves(),
                    "serve attempt conservation violated");
+}
+
+void
+RequestBroker::drainLost()
+{
+    // Queued and in-flight attempts were issued at admission; the
+    // crash makes their outcome `lost`.
+    counters_.lost += queue_.size();
+    queue_.clear();
+    counters_.lost += inflight_;
+    inflight_ = 0;
+    while (!retries_.empty()) {
+        retries_.pop();
+        ++counters_.issued;
+        ++counters_.lost;
+    }
+    // Arrivals the broker never ingested were still part of this
+    // instance's routed plan: issue-and-lose them so the fleet-wide
+    // ledger closes over the full schedule.
+    while (nextArrival_ < arrivals_.size()) {
+        ++nextArrival_;
+        ++counters_.issued;
+        ++counters_.uniqueRequests;
+        ++counters_.lost;
+    }
+    distill_assert(counters_.conserves(),
+                   "serve attempt conservation violated at crash");
 }
 
 } // namespace distill::serve

@@ -118,6 +118,8 @@ struct ServeCounters
     std::uint64_t retryExhausted = 0;  //!< requests out of retry budget
     std::uint64_t uniqueRequests = 0;  //!< distinct request ids issued
     std::uint64_t maxQueueDepth = 0;
+    std::uint64_t lost = 0;            //!< vanished with a crashed instance
+    std::uint64_t hedgeCancelled = 0;  //!< hedge losers cancelled
 
     std::uint64_t
     shedTotal() const
@@ -131,11 +133,17 @@ struct ServeCounters
         return deadlineQueue + deadlineInflight;
     }
 
-    /** Attempt conservation: every issue has exactly one outcome. */
+    /**
+     * Attempt conservation: every issue has exactly one outcome. The
+     * fleet-recovery extension adds the two supervisor-era outcomes:
+     * issued == completed + shed + deadline-expired + lost +
+     * hedge-cancelled.
+     */
     bool
     conserves() const
     {
-        return issued == completed + shedTotal() + deadlineTotal();
+        return issued == completed + shedTotal() + deadlineTotal() +
+            lost + hedgeCancelled;
     }
 
     void add(const ServeCounters &other);
@@ -195,6 +203,16 @@ class RequestBroker
      * conservation invariant holds exactly at report time.
      */
     void drainRemaining();
+
+    /**
+     * Crash drain: the instance died, so everything not yet completed
+     * — queued, in flight, pending retries, and arrivals the broker
+     * never even ingested — is issued-then-lost. Used instead of
+     * drainRemaining() when the run ends at an injected InstanceCrash,
+     * so the extended conservation invariant covers the whole planned
+     * arrival schedule.
+     */
+    void drainLost();
 
     const ServeCounters &counters() const { return counters_; }
     const Histogram &metered() const { return metered_; }

@@ -7,15 +7,22 @@
  * the aggregate p99.99 unless the balancer routes around it. Fleet
  * mode runs N independent serving instances (same benchmark and
  * collector, split seeds) against one fleet-wide arrival schedule
- * routed by either:
+ * routed by one of four balancer policies (serve::Balancer):
  *
- *  - a *GC-blind* balancer: pure round-robin, the instance picked
- *    knows nothing about collector state; or
- *  - a *GC-aware* balancer: instances advertise their GC-busy wall
- *    windows (from a prior blind run of the identical instance —
- *    adverts in real fleets are always a little stale) and the router
- *    prefers instances not inside a busy window at the arrival time,
- *    breaking ties toward the least-loaded instance.
+ *  - *blind*: pure round-robin, the instance picked knows nothing
+ *    about collector state;
+ *  - *aware*: instances advertise their GC-busy wall windows (from a
+ *    prior blind run of the identical instance — adverts in real
+ *    fleets are always a little stale) and the router prefers
+ *    instances not inside a busy window at the arrival time, breaking
+ *    ties toward the least-loaded instance;
+ *  - *jsq*: join-shortest-queue over a sliding recency window;
+ *  - *p2c*: power-of-two-choices comparing stale load snapshots.
+ *
+ * With `supervised` set, a FleetSupervisor additionally plans
+ * instance-failure recovery (restarts, failover, hedging, circuit
+ * breaking) from the fault plan's InstanceCrash/InstanceStall events;
+ * see serve/supervisor.hh.
  *
  * Instances run in forked children through lbo::ProcessPool when
  * --jobs > 1; results ship back as a line-based payload (CSV row,
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "serve/run.hh"
+#include "serve/supervisor.hh"
 
 namespace distill::serve
 {
@@ -45,8 +53,8 @@ struct FleetConfig
     /** Serving instances (N >= 1). */
     unsigned instances = 4;
 
-    /** GC-aware routing (see file comment); false = round-robin. */
-    bool gcAware = false;
+    /** Routing policy (see file comment). */
+    Balancer balancer = Balancer::Blind;
 
     /** Forked children to keep in flight (1 = in-process). */
     unsigned jobs = 1;
@@ -59,13 +67,49 @@ struct FleetConfig
      * produced by a prior blind run (see runFleet). Index = instance.
      */
     std::vector<BusyWindows> adverts;
+
+    /** p2c load-snapshot refresh period (staleness), virtual ns. */
+    Ticks advertPeriodNs = 500'000;
+
+    /** jsq recency window: assignments this old stop counting. */
+    Ticks jsqWindowNs = 1'000'000;
+
+    /**
+     * Enable the fleet supervisor: InstanceCrash/InstanceStall events
+     * in the fault plan are planned into restarts, failover, hedging,
+     * and breaker ejections per `supervisor`. Off, those events are
+     * ignored by the fleet (instances never crash).
+     */
+    bool supervised = false;
+    SupervisorConfig supervisor;
+
+    /**
+     * When a pooled child dies, hangs, or ships a truncated payload:
+     * true = re-run the instance in-process (slower but complete);
+     * false = synthesize a status=crash record for it (see
+     * synthesizeCrashResult) so the fleet row is honest about the
+     * loss without re-running.
+     */
+    bool childFallback = true;
 };
 
 /** Aggregated fleet outcome. */
 struct FleetResult
 {
-    /** Per-instance results, instance order. */
+    /**
+     * Per-instance results, instance order. Under supervision each
+     * entry merges the instance's incarnations: counters, histograms,
+     * and escalations are summed, the record's serve columns reflect
+     * the merged counters (plus serveRestarts/serveFailovers from the
+     * plan), and the non-serve metric columns are incarnation 0's.
+     */
     std::vector<ServeResult> instances;
+
+    /** Supervisor accounting; all-zero when supervision is off. */
+    FleetLedger ledger;
+
+    /** Per-instance lifetimes (trace lanes); empty unsupervised. */
+    std::vector<InstanceTimeline> timelines;
 
     /** Fleet-wide attempt accounting (summed). */
     ServeCounters counters;
@@ -105,10 +149,10 @@ struct FleetResult
 
 /**
  * Split one fleet-wide arrival schedule across @p config.instances
- * per-instance schedules. Blind routing round-robins; aware routing
- * avoids instances whose advert covers the arrival time, then picks
- * the least-assigned candidate (deterministic index tiebreak).
- * Exposed for tests.
+ * per-instance schedules under @p config.balancer, with no failure
+ * awareness (the unsupervised route). Deterministic in (config,
+ * schedule); exposed for tests. Defined in supervisor.cc, which owns
+ * the shared routing engine.
  */
 std::vector<std::vector<Ticks>>
 routeArrivals(const FleetConfig &config, const std::vector<Ticks> &fleet);
@@ -116,19 +160,34 @@ routeArrivals(const FleetConfig &config, const std::vector<Ticks> &fleet);
 /**
  * Run the fleet. The fleet-wide schedule is the base arrival spec
  * scaled by N (rate and request count); instance i runs with split
- * workload/serve seeds derived from the base seeds. When
- * @p config.gcAware and no adverts were supplied, a blind pass of
- * each instance is run first (same split seeds) to produce them.
+ * workload/serve seeds derived from the base seeds. When the balancer
+ * is Aware and no adverts were supplied, a blind pass of each
+ * instance is run first (same split seeds) to produce them. With
+ * @p config.supervised, the FleetSupervisor plans recovery and the
+ * result carries the availability ledger and instance timelines.
  */
 FleetResult runFleet(const FleetConfig &config);
 
 /**
  * Line-based child payload codec (exposed for the pool children and
- * tests): "CSV <row>", "COUNTERS <11 u64>", "ESCAL <5 u64>",
+ * tests): "CSV <row>", "COUNTERS <13 u64>", "ESCAL <5 u64>",
  * "HORIZON <ns>", "HISTM/HISTS <value:count ...>", "BUSY <a:b ...>".
+ * decodeServeResult accepts only complete payloads: the CSV and
+ * COUNTERS lines and the END sentinel must all be present, so a
+ * truncated child pipe can never decode into a half-filled result.
  */
 std::string encodeServeResult(const ServeResult &result);
 bool decodeServeResult(const std::string &payload, ServeResult &out);
+
+/**
+ * Honest placeholder for a fleet child that died without shipping a
+ * decodable payload (used when FleetConfig::childFallback is off):
+ * status "crash", signature "<cause>@fleet-child", and every routed
+ * arrival accounted issued-and-lost so the fleet-wide extended
+ * conservation identity still closes over the loss.
+ */
+ServeResult synthesizeCrashResult(const ServeConfig &config,
+                                  const std::string &cause);
 
 } // namespace distill::serve
 

@@ -11,10 +11,12 @@ namespace distill::serve
 ServeProgram::ServeProgram(const wl::WorkloadSpec &spec,
                            unsigned thread_index, wl::SharedStore &store,
                            std::shared_ptr<RequestBroker> broker,
-                           std::shared_ptr<GcLadder> ladder)
+                           std::shared_ptr<GcLadder> ladder,
+                           InstanceHazards hazards)
     : wl::TransactionProgram(spec, thread_index, store, nullptr),
       broker_(std::move(broker)),
-      ladder_(std::move(ladder))
+      ladder_(std::move(ladder)),
+      hazards_(std::move(hazards))
 {
 }
 
@@ -37,6 +39,25 @@ ServeProgram::step(rt::Mutator &mutator)
 {
     if (inSetup())
         return stepSetup(mutator);
+
+    // Injected instance crash: the worker stops cold at the trigger.
+    // Whatever it was processing vanishes — the broker's crash drain
+    // accounts it as lost, never completed.
+    if (hazards_.crashAtNs != 0 && mutator.now() >= hazards_.crashAtNs)
+        return rt::StepResult::Done;
+
+    // Injected instance stall: freeze through the window. Queued work
+    // keeps aging toward its deadlines while the instance serves
+    // nothing, exactly like a wedged-but-breathing host.
+    for (const auto &[begin, end] : hazards_.stallWindows) {
+        if (mutator.now() >= begin && mutator.now() < end) {
+            Ticks wake = end;
+            if (hazards_.crashAtNs != 0)
+                wake = std::min(wake, hazards_.crashAtNs);
+            mutator.sleepUntilTime(wake);
+            return rt::StepResult::Running;
+        }
+    }
 
     if (!inRequest_) {
         RequestBroker::Dispatch d =

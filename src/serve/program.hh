@@ -17,6 +17,8 @@
 #define DISTILL_SERVE_PROGRAM_HH
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "serve/broker.hh"
 #include "serve/ladder.hh"
@@ -24,6 +26,21 @@
 
 namespace distill::serve
 {
+
+/**
+ * Planned instance-level hazards, in virtual time. The fleet
+ * supervisor computes these upfront from the fault plan (InstanceCrash
+ * / InstanceStall events), so every worker observes the same failure
+ * at the same virtual instant on every execution path.
+ */
+struct InstanceHazards
+{
+    /** The instance dies at this virtual time (0 = never). */
+    Ticks crashAtNs = 0;
+
+    /** Freeze windows [begin, end): the worker sleeps through them. */
+    std::vector<std::pair<Ticks, Ticks>> stallWindows;
+};
 
 /**
  * One serving worker thread (see file comment).
@@ -34,7 +51,8 @@ class ServeProgram : public wl::TransactionProgram
     ServeProgram(const wl::WorkloadSpec &spec, unsigned thread_index,
                  wl::SharedStore &store,
                  std::shared_ptr<RequestBroker> broker,
-                 std::shared_ptr<GcLadder> ladder);
+                 std::shared_ptr<GcLadder> ladder,
+                 InstanceHazards hazards = {});
 
     rt::StepResult step(rt::Mutator &mutator) override;
 
@@ -44,6 +62,7 @@ class ServeProgram : public wl::TransactionProgram
 
     std::shared_ptr<RequestBroker> broker_;
     std::shared_ptr<GcLadder> ladder_;
+    InstanceHazards hazards_;
 
     bool inRequest_ = false;
     Request current_;

@@ -68,10 +68,20 @@ classifyServeStatus(lbo::RunRecord &record, const ServeCounters &counters,
         : static_cast<double>(counters.retryExhausted) /
               static_cast<double>(counters.uniqueRequests);
 
+    double lost_rate = static_cast<double>(counters.lost) / issued;
+    double cancelled_rate =
+        static_cast<double>(counters.hedgeCancelled) / issued;
+
     const char *status = nullptr;
     double rate = 0.0;
     const char *what = nullptr;
-    if (policy.maxRetries > 0 && exhausted_rate > 0.10) {
+    if (lost_rate >= 0.10) {
+        // Lost-at-crash outranks the overload statuses: the requests
+        // did not degrade, they vanished with the instance.
+        status = "lost";
+        rate = lost_rate;
+        what = "attempts lost at instance crash";
+    } else if (policy.maxRetries > 0 && exhausted_rate > 0.10) {
         status = "retry-exhausted";
         rate = exhausted_rate;
         what = "requests exhausted retries";
@@ -83,6 +93,12 @@ classifyServeStatus(lbo::RunRecord &record, const ServeCounters &counters,
         status = "deadline";
         rate = deadline_rate;
         what = "attempts past deadline";
+    } else if (cancelled_rate >= 0.25) {
+        // Lowest priority: hedge cancellation is the supervisor
+        // working as designed, surfaced only when it dominates.
+        status = "hedge-cancelled";
+        rate = cancelled_rate;
+        what = "attempts cancelled by winning hedges";
     }
     if (status == nullptr)
         return;
@@ -139,7 +155,7 @@ runServe(const ServeConfig &config)
         fault::FaultPlan::fromSeed(config.env.faultSeed);
 
     std::vector<Ticks> arrivals = config.explicitArrivals;
-    if (arrivals.empty())
+    if (arrivals.empty() && !config.arrivalsExplicit)
         arrivals = generateArrivals(resolveArrival(config), plan);
 
     rt::RunConfig run_config;
@@ -157,16 +173,26 @@ runServe(const ServeConfig &config)
         std::move(arrivals), config.policy, config.serveSeed);
     auto ladder = std::make_shared<GcLadder>();
 
+    InstanceHazards hazards;
+    hazards.crashAtNs = config.crashAtNs;
+    hazards.stallWindows = config.stallWindows;
+
     rt::WorkloadInstance instance;
     for (unsigned t = 0; t < spec.threads; ++t) {
         instance.programs.push_back(std::make_unique<ServeProgram>(
-            spec, t, *store, broker, ladder));
+            spec, t, *store, broker, ladder, hazards));
     }
     instance.sharedRoots.push_back(std::move(store));
-    instance.exportStats = [broker](metrics::RunMetrics &m) {
+    bool crashed = config.crashAtNs != 0;
+    instance.exportStats = [broker, crashed](metrics::RunMetrics &m) {
         // A failed/timed-out run leaves work pending; drain it into
         // the shed-drain bucket so attempt conservation holds exactly.
-        broker->drainRemaining();
+        // A crashed instance loses that work instead: nothing unserved
+        // survives the crash, including never-ingested arrivals.
+        if (crashed)
+            broker->drainLost();
+        else
+            broker->drainRemaining();
         m.meteredLatencyNs.merge(broker->metered());
         m.simpleLatencyNs.merge(broker->simple());
     };
@@ -201,6 +227,13 @@ runServe(const ServeConfig &config)
         r.serveDeadline = c.deadlineTotal();
         r.serveRetries = c.retriesScheduled;
         r.serveRetryExhausted = c.retryExhausted;
+        r.serveLost = c.lost;
+        r.serveHedgeCancelled = c.hedgeCancelled;
+        if (crashed && c.lost > 0 && r.signature.empty()) {
+            // Deduplicatable signature so triage groups crashed
+            // instances the way it groups forensic crash cells.
+            r.signature = "instance-crash@serve";
+        }
         classifyServeStatus(r, c, config.policy);
 
         result.counters = c;

@@ -32,6 +32,9 @@
 namespace distill::serve
 {
 
+/** GC-busy wall windows [begin, end) in virtual ns. */
+using BusyWindows = std::vector<std::pair<Ticks, Ticks>>;
+
 /**
  * Everything one serving invocation needs.
  */
@@ -63,10 +66,27 @@ struct ServeConfig
      * which splits one fleet-wide schedule across instances.
      */
     std::vector<Ticks> explicitArrivals;
-};
 
-/** GC-busy wall windows [begin, end) in virtual ns. */
-using BusyWindows = std::vector<std::pair<Ticks, Ticks>>;
+    /**
+     * Treat explicitArrivals as authoritative even when empty (an
+     * instance the balancer routed nothing to serves nothing, rather
+     * than regenerating its own schedule). Set by the fleet paths.
+     */
+    bool arrivalsExplicit = false;
+
+    /**
+     * Planned instance crash (virtual ns; 0 = never): the workers stop
+     * at this instant and everything unserved drains as `lost`. Set by
+     * the fleet supervisor from InstanceCrash fault events.
+     */
+    Ticks crashAtNs = 0;
+
+    /**
+     * Planned freeze windows (InstanceStall events): the workers
+     * sleep through them while queued work ages.
+     */
+    std::vector<std::pair<Ticks, Ticks>> stallWindows;
+};
 
 /**
  * One serving invocation's results: the flattened CSV row plus the
@@ -141,6 +161,10 @@ ArrivalSpec resolveArrival(const ServeConfig &config);
  * expired, or exhausted retries on a large fraction of its attempts
  * gets status "shed" / "deadline" / "retry-exhausted" so triage and
  * sweep summaries surface overload the same way they surface OOMs.
+ * Fleet-recovery outcomes extend the set: "lost" (>= 10 % of attempts
+ * vanished with a crashed instance; outranks the overload statuses)
+ * and "hedge-cancelled" (>= 25 % cancelled by winning hedges; lowest
+ * priority).
  */
 void classifyServeStatus(lbo::RunRecord &record,
                          const ServeCounters &counters,

@@ -1,0 +1,521 @@
+#include "serve/supervisor.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <limits>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "fault/plan.hh"
+#include "serve/fleet.hh"
+
+namespace distill::serve
+{
+
+namespace
+{
+
+constexpr Ticks foreverNs = std::numeric_limits<Ticks>::max();
+
+/** Whether any window in @p windows (ascending begins) covers @p t. */
+bool
+coversAt(const std::vector<std::pair<Ticks, Ticks>> &windows, Ticks t)
+{
+    for (const auto &[begin, end] : windows) {
+        if (begin > t)
+            break;
+        if (t < end)
+            return true;
+    }
+    return false;
+}
+
+/** Windows of @p all clipped to [@p lo, @p hi); empty clips dropped. */
+std::vector<std::pair<Ticks, Ticks>>
+clipWindows(const std::vector<std::pair<Ticks, Ticks>> &all, Ticks lo,
+            Ticks hi)
+{
+    std::vector<std::pair<Ticks, Ticks>> out;
+    for (const auto &[begin, end] : all) {
+        Ticks b = std::max(begin, lo);
+        Ticks e = std::min(end, hi);
+        if (b < e)
+            out.emplace_back(b, e);
+    }
+    return out;
+}
+
+/**
+ * Shared routing engine for all balancer policies. pick() advances
+ * the per-arrival policy state exactly once per arrival, so the route
+ * is deterministic whatever availability later does to the choice;
+ * repick() re-selects within an availability mask without touching
+ * that state.
+ */
+class Router
+{
+  public:
+    Router(const FleetConfig &config, unsigned n)
+        : config_(config),
+          n_(n),
+          assigned_(n, 0),
+          recent_(n),
+          snapshot_(n, 0),
+          rng_(config.base.serveSeed ^ 0x92CC4A5E92CC4A5EULL)
+    {
+    }
+
+    unsigned
+    pick(Ticks t)
+    {
+        switch (config_.balancer) {
+          case Balancer::Blind:
+            return static_cast<unsigned>(rr_++ % n_);
+          case Balancer::Aware:
+            return awarePick(t, nullptr);
+          case Balancer::Jsq:
+            prune(t);
+            return jsqPick(nullptr);
+          case Balancer::P2c:
+            refreshSnapshot(t);
+            drawA_ = static_cast<unsigned>(rng_.below(n_));
+            if (n_ == 1) {
+                drawB_ = drawA_;
+            } else {
+                drawB_ = static_cast<unsigned>(rng_.below(n_ - 1));
+                if (drawB_ >= drawA_)
+                    ++drawB_;
+            }
+            return snapshot_[drawA_] <= snapshot_[drawB_] ? drawA_
+                                                          : drawB_;
+        }
+        return 0;
+    }
+
+    /** Re-pick within @p ok (at least one true) after a failover. */
+    unsigned
+    repick(Ticks t, unsigned primary, const std::vector<bool> &ok)
+    {
+        switch (config_.balancer) {
+          case Balancer::Blind:
+            // Next candidate in round-robin order after the failed pick.
+            for (unsigned step = 1; step <= n_; ++step) {
+                unsigned i = (primary + step) % n_;
+                if (ok[i])
+                    return i;
+            }
+            return primary;
+          case Balancer::Aware:
+            return awarePick(t, &ok);
+          case Balancer::Jsq:
+            return jsqPick(&ok);
+          case Balancer::P2c: {
+            // The other sampled instance if it is healthy; otherwise
+            // the lightest (stale snapshot) healthy instance.
+            unsigned other = drawA_ == primary ? drawB_ : drawA_;
+            if (ok[other])
+                return other;
+            unsigned best = n_;
+            for (unsigned i = 0; i < n_; ++i) {
+                if (!ok[i])
+                    continue;
+                if (best == n_ || snapshot_[i] < snapshot_[best])
+                    best = i;
+            }
+            return best == n_ ? primary : best;
+          }
+        }
+        return primary;
+    }
+
+    void
+    commit(unsigned i, Ticks t)
+    {
+        ++assigned_[i];
+        if (config_.balancer == Balancer::Jsq)
+            recent_[i].push_back(t);
+    }
+
+    const std::vector<std::uint64_t> &assigned() const { return assigned_; }
+
+  private:
+    unsigned
+    awarePick(Ticks t, const std::vector<bool> *ok)
+    {
+        // Skip instances advertising a GC-busy window over t; among
+        // the rest take the least-assigned (lowest index on ties).
+        // Whole set busy: least-assigned regardless of adverts.
+        unsigned best = n_;
+        for (unsigned i = 0; i < n_; ++i) {
+            if (ok != nullptr && !(*ok)[i])
+                continue;
+            bool busy = i < config_.adverts.size() &&
+                advertCovers(config_.adverts[i], t);
+            if (busy)
+                continue;
+            if (best == n_ || assigned_[i] < assigned_[best])
+                best = i;
+        }
+        if (best == n_) {
+            for (unsigned i = 0; i < n_; ++i) {
+                if (ok != nullptr && !(*ok)[i])
+                    continue;
+                if (best == n_ || assigned_[i] < assigned_[best])
+                    best = i;
+            }
+        }
+        return best == n_ ? 0 : best;
+    }
+
+    static bool
+    advertCovers(const BusyWindows &windows, Ticks t)
+    {
+        // First window ending after t; busy iff it already started.
+        auto it = std::upper_bound(
+            windows.begin(), windows.end(), t,
+            [](Ticks value, const std::pair<Ticks, Ticks> &w) {
+                return value < w.second;
+            });
+        return it != windows.end() && it->first <= t;
+    }
+
+    unsigned
+    jsqPick(const std::vector<bool> *ok) const
+    {
+        unsigned best = n_;
+        for (unsigned i = 0; i < n_; ++i) {
+            if (ok != nullptr && !(*ok)[i])
+                continue;
+            if (best == n_ || recent_[i].size() < recent_[best].size())
+                best = i;
+        }
+        return best == n_ ? 0 : best;
+    }
+
+    void
+    prune(Ticks t)
+    {
+        Ticks horizon =
+            t > config_.jsqWindowNs ? t - config_.jsqWindowNs : 0;
+        for (auto &dq : recent_) {
+            while (!dq.empty() && dq.front() < horizon)
+                dq.pop_front();
+        }
+    }
+
+    void
+    refreshSnapshot(Ticks t)
+    {
+        Ticks period = std::max<Ticks>(1, config_.advertPeriodNs);
+        Ticks epoch = t / period;
+        if (epoch == snapshotEpoch_ && snapshotValid_)
+            return;
+        snapshot_ = assigned_;
+        snapshotEpoch_ = epoch;
+        snapshotValid_ = true;
+    }
+
+    const FleetConfig &config_;
+    unsigned n_;
+    std::uint64_t rr_ = 0;
+    std::vector<std::uint64_t> assigned_;
+    std::vector<std::deque<Ticks>> recent_;
+    std::vector<std::uint64_t> snapshot_;
+    Ticks snapshotEpoch_ = 0;
+    bool snapshotValid_ = false;
+    unsigned drawA_ = 0;
+    unsigned drawB_ = 0;
+    Rng rng_;
+};
+
+} // namespace
+
+const char *
+balancerName(Balancer balancer)
+{
+    switch (balancer) {
+      case Balancer::Blind:
+        return "blind";
+      case Balancer::Aware:
+        return "aware";
+      case Balancer::Jsq:
+        return "jsq";
+      case Balancer::P2c:
+        return "p2c";
+    }
+    return "unknown";
+}
+
+bool
+balancerFromName(const std::string &name, Balancer &out)
+{
+    static constexpr Balancer all[] = {Balancer::Blind, Balancer::Aware,
+                                       Balancer::Jsq, Balancer::P2c};
+    for (Balancer b : all) {
+        if (name == balancerName(b)) {
+            out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FleetLedger::describe() const
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "fleet-availability: crashes=%llu stalls=%llu restarts=%llu "
+        "restarts-denied=%llu failovers=%llu hedges-issued=%llu "
+        "hedges-won=%llu hedges-lost=%llu hedge-cancelled=%llu "
+        "lost-at-crash=%llu breaker-ejections=%llu "
+        "breaker-readmissions=%llu",
+        static_cast<unsigned long long>(crashes),
+        static_cast<unsigned long long>(stalls),
+        static_cast<unsigned long long>(restarts),
+        static_cast<unsigned long long>(restartsDenied),
+        static_cast<unsigned long long>(failovers),
+        static_cast<unsigned long long>(hedgesIssued),
+        static_cast<unsigned long long>(hedgesWon),
+        static_cast<unsigned long long>(hedgesLost),
+        static_cast<unsigned long long>(hedgeCancelled),
+        static_cast<unsigned long long>(lostAtCrash),
+        static_cast<unsigned long long>(breakerEjections),
+        static_cast<unsigned long long>(breakerReadmissions));
+    return buf;
+}
+
+std::size_t
+FleetPlan::jobCount() const
+{
+    std::size_t total = 0;
+    for (const auto &incs : incarnations)
+        total += incs.size();
+    return total;
+}
+
+FleetSupervisor::FleetSupervisor(const FleetConfig &config)
+    : config_(config)
+{
+}
+
+FleetPlan
+FleetSupervisor::plan(const std::vector<Ticks> &fleet_schedule) const
+{
+    unsigned n = std::max(1u, config_.instances);
+    const SupervisorConfig &sup = config_.supervisor;
+
+    FleetPlan out;
+    out.incarnations.resize(n);
+    out.timelines.resize(n);
+    out.hedgeExtra.assign(n, 0);
+    out.failoversOut.assign(n, 0);
+    out.restartsOf.assign(n, 0);
+
+    // Collect this fleet's instance failures from the fault plan.
+    fault::FaultPlan fplan =
+        fault::FaultPlan::fromSeed(config_.base.env.faultSeed);
+    std::vector<std::vector<Ticks>> crashTimes(n);
+    std::vector<std::vector<std::pair<Ticks, Ticks>>> stallsOf(n);
+    for (const fault::FaultEvent &e : fplan.events) {
+        unsigned victim = e.target % n;
+        if (e.kind == fault::FaultKind::InstanceCrash) {
+            crashTimes[victim].push_back(e.atNs);
+            ++out.ledger.crashes;
+        } else if (e.kind == fault::FaultKind::InstanceStall) {
+            Ticks dur = e.durationNs == 0 ? defaultStallNs : e.durationNs;
+            stallsOf[victim].emplace_back(e.atNs, e.atNs + dur);
+            ++out.ledger.stalls;
+        }
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        std::sort(crashTimes[i].begin(), crashTimes[i].end());
+        std::sort(stallsOf[i].begin(), stallsOf[i].end());
+    }
+
+    // Incarnation segments, restart decisions, and down windows.
+    // `down` = detected-outage routing exclusions [detect, up-again)
+    // (or forever once the budget is spent); the [crash, detect)
+    // dead zone stays routable — those arrivals land on the corpse.
+    std::vector<std::vector<std::pair<Ticks, Ticks>>> down(n);
+    std::vector<std::vector<std::pair<Ticks, Ticks>>> doomZones(n);
+    for (unsigned i = 0; i < n; ++i) {
+        InstanceTimeline &tl = out.timelines[i];
+        auto &incs = out.incarnations[i];
+        tl.stalls = stallsOf[i];
+        Ticks segStart = 0;
+        unsigned used = 0;
+        bool alive = true;
+        for (Ticks c : crashTimes[i]) {
+            if (c < segStart)
+                continue; // the event hit an instance already down
+            IncarnationPlan inc;
+            inc.instance = i;
+            inc.incarnation = static_cast<unsigned>(incs.size());
+            inc.crashAtNs = c;
+            inc.stallWindows = clipWindows(stallsOf[i], segStart, c);
+            incs.push_back(std::move(inc));
+            tl.upSegments.emplace_back(segStart, c);
+            tl.crashes.push_back(c);
+            Ticks detect = c + sup.detectDelayNs;
+            doomZones[i].emplace_back(c, detect);
+            if (used < sup.restartBudget) {
+                ++used;
+                ++out.ledger.restarts;
+                ++out.restartsOf[i];
+                Ticks upAgain = detect + sup.restartDelayNs;
+                down[i].emplace_back(detect, upAgain);
+                tl.restarting.emplace_back(detect, upAgain);
+                segStart = upAgain;
+            } else {
+                ++out.ledger.restartsDenied;
+                down[i].emplace_back(detect, foreverNs);
+                tl.dead = true;
+                tl.deadAtNs = c;
+                alive = false;
+                break;
+            }
+        }
+        if (alive) {
+            IncarnationPlan inc;
+            inc.instance = i;
+            inc.incarnation = static_cast<unsigned>(incs.size());
+            inc.stallWindows =
+                clipWindows(stallsOf[i], segStart, foreverNs);
+            incs.push_back(std::move(inc));
+            tl.upSegments.emplace_back(segStart, 0); // to end of run
+        }
+    }
+
+    // Circuit breaker: each failure *detection* (crash or stall start
+    // plus the detect delay) strikes the instance; at the threshold it
+    // is ejected from routing for the cooldown, then re-admitted with
+    // the strike count reset. Detections during an ejection are moot —
+    // the breaker is already open.
+    if (sup.breakerThreshold > 0) {
+        for (unsigned i = 0; i < n; ++i) {
+            std::vector<Ticks> detections;
+            for (Ticks c : out.timelines[i].crashes)
+                detections.push_back(c + sup.detectDelayNs);
+            for (const auto &[begin, end] : stallsOf[i])
+                detections.push_back(begin + sup.detectDelayNs);
+            std::sort(detections.begin(), detections.end());
+            unsigned strikes = 0;
+            Ticks openUntil = 0;
+            for (Ticks t : detections) {
+                if (t < openUntil)
+                    continue;
+                if (++strikes < sup.breakerThreshold)
+                    continue;
+                openUntil = t + sup.breakerCooldownNs;
+                out.timelines[i].ejected.emplace_back(t, openUntil);
+                ++out.ledger.breakerEjections;
+                ++out.ledger.breakerReadmissions;
+                strikes = 0;
+            }
+        }
+    }
+
+    auto unavailable = [&](unsigned i, Ticks t) {
+        if (sup.failover && coversAt(down[i], t))
+            return true;
+        return coversAt(out.timelines[i].ejected, t);
+    };
+    auto doomed = [&](unsigned i, Ticks t) {
+        return coversAt(doomZones[i], t) || coversAt(stallsOf[i], t) ||
+            coversAt(down[i], t);
+    };
+    auto deadAt = [&](unsigned i, Ticks t) {
+        return out.timelines[i].dead && t >= out.timelines[i].deadAtNs;
+    };
+
+    // Route the fleet schedule in arrival order.
+    Router router(config_, n);
+    for (Ticks t : fleet_schedule) {
+        unsigned primary = router.pick(t);
+        unsigned target = primary;
+        if (unavailable(primary, t)) {
+            // Candidate tiers: available instances; else anything not
+            // dead for good; else the whole fleet (all corpses — the
+            // arrival is doomed wherever it lands).
+            std::vector<bool> ok(n, false);
+            bool any = false;
+            for (unsigned i = 0; i < n; ++i) {
+                ok[i] = !unavailable(i, t);
+                any = any || ok[i];
+            }
+            if (!any) {
+                for (unsigned i = 0; i < n; ++i) {
+                    ok[i] = !deadAt(i, t);
+                    any = any || ok[i];
+                }
+            }
+            if (!any)
+                ok.assign(n, true);
+            if (!ok[primary]) {
+                ++out.ledger.failovers;
+                ++out.failoversOut[primary];
+                target = router.repick(t, primary, ok);
+            }
+        }
+
+        // Hedge a doomed pick: the request is (notionally) issued to
+        // the doomed instance *and* a healthy peer; the peer finishes
+        // first, the doomed attempt is cancelled. Accounting charges
+        // the loser to the doomed instance via hedgeExtra.
+        if (sup.hedgeDelayNs > 0 && doomed(target, t)) {
+            ++out.ledger.hedgesIssued;
+            unsigned best = n;
+            const auto &assigned = router.assigned();
+            for (unsigned i = 0; i < n; ++i) {
+                if (i == target || unavailable(i, t) || doomed(i, t))
+                    continue;
+                if (best == n || assigned[i] < assigned[best])
+                    best = i;
+            }
+            if (best != n) {
+                ++out.hedgeExtra[target];
+                ++out.ledger.hedgeCancelled;
+                ++out.ledger.hedgesWon;
+                target = best;
+            } else {
+                ++out.ledger.hedgesLost;
+            }
+        }
+
+        router.commit(target, t);
+
+        // Deliver to the incarnation whose lifetime contains t: the
+        // last segment starting at or before t. Arrivals in a dead
+        // zone (or on a dead instance) land on the crashed incarnation
+        // and drain as lost — exactly what a real corpse does to
+        // requests the balancer has not yet routed around.
+        const auto &segs = out.timelines[target].upSegments;
+        std::size_t k = 0;
+        for (std::size_t s = 0; s < segs.size(); ++s) {
+            if (segs[s].first <= t)
+                k = s;
+        }
+        out.incarnations[target][k].arrivals.push_back(t);
+    }
+
+    return out;
+}
+
+std::vector<std::vector<Ticks>>
+routeArrivals(const FleetConfig &config, const std::vector<Ticks> &fleet)
+{
+    unsigned n = std::max(1u, config.instances);
+    std::vector<std::vector<Ticks>> routed(n);
+    Router router(config, n);
+    for (Ticks t : fleet) {
+        unsigned pick = router.pick(t);
+        router.commit(pick, t);
+        routed[pick].push_back(t);
+    }
+    return routed;
+}
+
+} // namespace distill::serve

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Fleet supervisor: failure detection, bounded restarts, failover,
+ * hedging, and circuit breaking — planned upfront in virtual time.
+ *
+ * Instance failures in this simulator are *virtual*: an InstanceCrash
+ * or InstanceStall fault event names a victim instance and a trigger
+ * time, nothing more. Because the whole fault plan expands from one
+ * seed, the supervisor can compute every consequence — when the crash
+ * is detected, when the replacement incarnation comes up, which
+ * arrivals route around the outage, which hedges fire — *before* any
+ * instance runs. That keeps recovery deterministic on every execution
+ * path: the plan is built once, parent-side, and --jobs 1 / --jobs N
+ * merely execute the same per-incarnation work lists.
+ *
+ * The output is a FleetPlan: per-instance incarnation work lists
+ * (arrival schedule + crash/stall hazards for serve::runServe), a
+ * per-instance lifetime timeline (for the Chrome-trace lanes), and a
+ * FleetLedger accounting every supervisor action. Together with the
+ * brokers' lost/hedge-cancelled counters the ledger closes the
+ * extended conservation identity
+ *
+ *   issued == completed + shed + deadline + lost + hedge-cancelled
+ *
+ * over the full fleet schedule, crashes and all.
+ */
+
+#ifndef DISTILL_SERVE_SUPERVISOR_HH
+#define DISTILL_SERVE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace distill::serve
+{
+
+struct FleetConfig;
+
+/**
+ * Load-balancer policy for splitting the fleet-wide arrival schedule.
+ */
+enum class Balancer : std::uint8_t
+{
+    /** Round-robin; the pick knows nothing about instance state. */
+    Blind,
+
+    /**
+     * GC-aware: skip instances whose (stale) GC-busy advert covers the
+     * arrival time, then least-assigned.
+     */
+    Aware,
+
+    /**
+     * Join-shortest-queue: least assignments within a sliding recency
+     * window — the idealized baseline real balancers approximate.
+     */
+    Jsq,
+
+    /**
+     * Power-of-two-choices with stale adverts: sample two distinct
+     * instances, compare load snapshots refreshed only every advert
+     * period, take the lighter one. The classic fix for JSQ's herding
+     * under stale information (Mitzenmacher).
+     */
+    P2c,
+};
+
+/** Lower-case policy name ("blind", "aware", "jsq", "p2c"). */
+const char *balancerName(Balancer balancer);
+
+/** Inverse of balancerName; false (out untouched) for unknown names. */
+bool balancerFromName(const std::string &name, Balancer &out);
+
+/** Supervisor policy knobs. */
+struct SupervisorConfig
+{
+    /**
+     * Restarts allowed per instance before it is declared dead and
+     * its remaining arrivals fail over permanently.
+     */
+    unsigned restartBudget = 1;
+
+    /**
+     * Virtual ns between an instance failing and the supervisor
+     * noticing (health-check interval): arrivals routed in this
+     * dead zone are doomed — they land on the corpse.
+     */
+    Ticks detectDelayNs = 200'000;
+
+    /** Virtual ns to bring a replacement incarnation up. */
+    Ticks restartDelayNs = 1'000'000;
+
+    /**
+     * Hedge delay (0 = hedging off). When an arrival's pick is doomed
+     * — crashed but undetected, or mid-stall — the supervisor issues
+     * a hedge to the best healthy peer; first completion wins and the
+     * loser is cancelled (accounted, never served).
+     */
+    Ticks hedgeDelayNs = 0;
+
+    /**
+     * Circuit breaker: after this many failure detections (0 = off)
+     * an instance is ejected from routing for breakerCooldownNs, then
+     * re-admitted with its failure count reset.
+     */
+    unsigned breakerThreshold = 0;
+
+    /** Ejection window length, virtual ns. */
+    Ticks breakerCooldownNs = 5'000'000;
+
+    /**
+     * Route arrivals away from instances that are down (detected
+     * crash through restart completion, or dead). Disabling this is
+     * the "no supervision" baseline: arrivals keep landing on the
+     * corpse and drain as lost.
+     */
+    bool failover = true;
+};
+
+/**
+ * Fleet availability ledger: one counter per supervisor action, so
+ * every recovered (or abandoned) request is visible in the output and
+ * the extended conservation identity can be checked end to end.
+ */
+struct FleetLedger
+{
+    std::uint64_t crashes = 0;     //!< InstanceCrash events planned
+    std::uint64_t stalls = 0;      //!< InstanceStall events planned
+    std::uint64_t restarts = 0;    //!< replacement incarnations started
+    std::uint64_t restartsDenied = 0; //!< budget-exhausted deaths
+    std::uint64_t failovers = 0;   //!< arrivals routed off a down pick
+    std::uint64_t hedgesIssued = 0; //!< hedges fired at doomed picks
+    std::uint64_t hedgesWon = 0;   //!< hedge completed on the peer
+    std::uint64_t hedgesLost = 0;  //!< no healthy peer; hedge wasted
+    std::uint64_t hedgeCancelled = 0; //!< losing attempts cancelled
+    std::uint64_t lostAtCrash = 0; //!< attempts lost with instances
+    std::uint64_t breakerEjections = 0;   //!< breaker opened
+    std::uint64_t breakerReadmissions = 0; //!< breaker closed again
+
+    /** One-line "fleet-availability: ..." summary for logs. */
+    std::string describe() const;
+};
+
+/**
+ * One incarnation's work list: the arrivals routed to it plus the
+ * hazards serve::runServe must model. Incarnation 0 is the original
+ * instance; higher incarnations are supervisor restarts (same split
+ * seeds, later arrivals).
+ */
+struct IncarnationPlan
+{
+    unsigned instance = 0;
+    unsigned incarnation = 0;
+    std::vector<Ticks> arrivals;
+
+    /** This incarnation dies at crashAtNs (0 = survives the run). */
+    Ticks crashAtNs = 0;
+
+    /** Stall windows overlapping this incarnation's lifetime. */
+    std::vector<std::pair<Ticks, Ticks>> stallWindows;
+};
+
+/**
+ * An instance's lifetime, for the Chrome-trace instance lanes and
+ * availability analysis. All windows are [begin, end) virtual ns;
+ * `end == 0` in upSegments marks "to end of run".
+ */
+struct InstanceTimeline
+{
+    /** Alive segments, one per incarnation. */
+    std::vector<std::pair<Ticks, Ticks>> upSegments;
+
+    /** Crash instants. */
+    std::vector<Ticks> crashes;
+
+    /** Stall windows. */
+    std::vector<std::pair<Ticks, Ticks>> stalls;
+
+    /** Detected-down windows (detection through restart completion). */
+    std::vector<std::pair<Ticks, Ticks>> restarting;
+
+    /** Circuit-breaker ejection windows. */
+    std::vector<std::pair<Ticks, Ticks>> ejected;
+
+    /** Restart budget exhausted: down for good from deadAtNs. */
+    bool dead = false;
+    Ticks deadAtNs = 0;
+};
+
+/**
+ * The supervisor's complete, deterministic recovery plan.
+ */
+struct FleetPlan
+{
+    /** incarnations[i] = instance i's incarnations, in order. */
+    std::vector<std::vector<IncarnationPlan>> incarnations;
+
+    /** Per-instance lifetime, index = instance. */
+    std::vector<InstanceTimeline> timelines;
+
+    /**
+     * Per-instance count of hedged-away attempts: each was notionally
+     * issued to this (doomed) instance and cancelled when the hedge
+     * won on a peer. The fleet merge charges them to the instance's
+     * issued and hedge-cancelled counters so conservation closes.
+     */
+    std::vector<std::uint64_t> hedgeExtra;
+
+    /** Per-instance arrivals routed *away* by failover. */
+    std::vector<std::uint64_t> failoversOut;
+
+    /** Per-instance supervisor restarts performed. */
+    std::vector<std::uint64_t> restartsOf;
+
+    FleetLedger ledger;
+
+    /** Total incarnations carrying work (pool job count). */
+    std::size_t jobCount() const;
+};
+
+/**
+ * Plans fleet recovery (see file comment). Pure: construction and
+ * plan() read the config and fault plan only; nothing executes.
+ */
+class FleetSupervisor
+{
+  public:
+    explicit FleetSupervisor(const FleetConfig &config);
+
+    /**
+     * Build the recovery plan for @p fleet_schedule (ascending
+     * fleet-wide arrival times). Deterministic in (config, schedule).
+     */
+    FleetPlan plan(const std::vector<Ticks> &fleet_schedule) const;
+
+  private:
+    const FleetConfig &config_;
+};
+
+/**
+ * Default stall length when an InstanceStall event has durationNs == 0
+ * ("to end of run" would freeze the instance forever).
+ */
+constexpr Ticks defaultStallNs = 5'000'000;
+
+} // namespace distill::serve
+
+#endif // DISTILL_SERVE_SUPERVISOR_HH

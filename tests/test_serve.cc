@@ -384,6 +384,10 @@ TEST(ServeRecord, ServeColumnsRoundTrip)
     r.serveDeadline = 0;
     r.serveRetries = 250;
     r.serveRetryExhausted = 12;
+    r.serveLost = 7;
+    r.serveHedgeCancelled = 5;
+    r.serveRestarts = 2;
+    r.serveFailovers = 9;
 
     lbo::RunRecord parsed;
     ASSERT_TRUE(lbo::RunRecord::fromCsv(r.toCsv(), parsed));
@@ -394,8 +398,31 @@ TEST(ServeRecord, ServeColumnsRoundTrip)
     EXPECT_EQ(parsed.serveDeadline, 0u);
     EXPECT_EQ(parsed.serveRetries, 250u);
     EXPECT_EQ(parsed.serveRetryExhausted, 12u);
+    EXPECT_EQ(parsed.serveLost, 7u);
+    EXPECT_EQ(parsed.serveHedgeCancelled, 5u);
+    EXPECT_EQ(parsed.serveRestarts, 2u);
+    EXPECT_EQ(parsed.serveFailovers, 9u);
     EXPECT_EQ(parsed.status, "shed");
     EXPECT_EQ(parsed.toCsv(), r.toCsv());
+}
+
+TEST(ServeRecord, PreRecoveryServeWidthStillParses)
+{
+    lbo::RunRecord r;
+    r.bench = "jme";
+    r.serveIssued = 500;
+    r.serveLost = 9; // must NOT survive the legacy round trip
+    std::string row = r.toCsv();
+    // Strip the 4 recovery columns to reconstruct a 54-field serve row.
+    std::size_t cut = row.size();
+    for (int i = 0; i < 4; ++i)
+        cut = row.rfind(',', cut - 1);
+    lbo::RunRecord parsed;
+    ASSERT_TRUE(lbo::RunRecord::fromCsv(row.substr(0, cut), parsed));
+    EXPECT_EQ(parsed.serveIssued, 500u);
+    EXPECT_EQ(parsed.serveLost, 0u)
+        << "pre-recovery serve rows read as recovery-free";
+    EXPECT_EQ(parsed.serveRestarts, 0u);
 }
 
 TEST(ServeRecord, LegacyPhaseWidthStillParses)
@@ -404,9 +431,9 @@ TEST(ServeRecord, LegacyPhaseWidthStillParses)
     r.bench = "jme";
     r.serveIssued = 77; // must NOT survive the legacy round trip
     std::string row = r.toCsv();
-    // Strip the 7 serve columns to reconstruct a 47-field phase row.
+    // Strip the 11 serve columns to reconstruct a 47-field phase row.
     std::size_t cut = row.size();
-    for (int i = 0; i < 7; ++i)
+    for (int i = 0; i < 11; ++i)
         cut = row.rfind(',', cut - 1);
     lbo::RunRecord parsed;
     ASSERT_TRUE(lbo::RunRecord::fromCsv(row.substr(0, cut), parsed));
@@ -438,7 +465,7 @@ TEST(ServeFleet, BlindRoutesRoundRobin)
 {
     serve::FleetConfig config;
     config.instances = 3;
-    config.gcAware = false;
+    config.balancer = serve::Balancer::Blind;
     std::vector<Ticks> schedule = {10, 20, 30, 40, 50, 60, 70};
     auto routed = serve::routeArrivals(config, schedule);
     ASSERT_EQ(routed.size(), 3u);
@@ -451,7 +478,7 @@ TEST(ServeFleet, AwareSkipsAdvertisedBusyWindows)
 {
     serve::FleetConfig config;
     config.instances = 2;
-    config.gcAware = true;
+    config.balancer = serve::Balancer::Aware;
     config.adverts.resize(2);
     config.adverts[0].emplace_back(0, 100); // instance 0 busy t<100
     std::vector<Ticks> schedule = {10, 50, 99, 150};
@@ -466,7 +493,7 @@ TEST(ServeFleet, AwareFallsBackWhenAllBusy)
 {
     serve::FleetConfig config;
     config.instances = 2;
-    config.gcAware = true;
+    config.balancer = serve::Balancer::Aware;
     config.adverts.resize(2);
     config.adverts[0].emplace_back(0, 100);
     config.adverts[1].emplace_back(0, 100);
@@ -481,10 +508,12 @@ TEST(ServeFleet, ResultCodecRoundTrips)
     r.record.bench = "jme";
     r.record.collector = "Serial";
     r.record.status = "shed";
-    r.counters.issued = 10;
+    r.counters.issued = 12;
     r.counters.completed = 4;
     r.counters.shedQueueFull = 6;
-    r.counters.uniqueRequests = 10;
+    r.counters.lost = 1;
+    r.counters.hedgeCancelled = 1;
+    r.counters.uniqueRequests = 12;
     r.escalations[serve::GcLadder::Full] = 3;
     r.horizonNs = 123'456;
     r.metered.record(1000);
@@ -497,8 +526,10 @@ TEST(ServeFleet, ResultCodecRoundTrips)
     ASSERT_TRUE(serve::decodeServeResult(serve::encodeServeResult(r),
                                          back));
     EXPECT_EQ(back.record.toCsv(), r.record.toCsv());
-    EXPECT_EQ(back.counters.issued, 10u);
+    EXPECT_EQ(back.counters.issued, 12u);
     EXPECT_EQ(back.counters.shedQueueFull, 6u);
+    EXPECT_EQ(back.counters.lost, 1u);
+    EXPECT_EQ(back.counters.hedgeCancelled, 1u);
     EXPECT_EQ(back.escalations[serve::GcLadder::Full], 3u);
     EXPECT_EQ(back.horizonNs, 123'456u);
     EXPECT_EQ(back.metered.count(), 2u);
@@ -523,6 +554,62 @@ TEST(ServeFleet, ResultCodecRoundTrips)
         << "payloads without the END sentinel are incomplete";
 }
 
+TEST(ServeFleet, CodecRejectsEveryTruncation)
+{
+    // A crashed child can hand the parent any prefix of its payload.
+    // Every proper prefix must decode false — never a quietly-partial
+    // result — so the supervisor's synthesized crash record is the
+    // only path such a child can take.
+    serve::ServeResult r;
+    r.record.bench = "jme";
+    r.record.collector = "G1";
+    r.record.status = "ok";
+    r.counters.issued = 5;
+    r.counters.completed = 5;
+    r.counters.uniqueRequests = 5;
+    r.horizonNs = 42;
+    r.metered.record(1000);
+    r.busyWindows.emplace_back(10, 20);
+    const std::string whole = serve::encodeServeResult(r);
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+        serve::ServeResult sink;
+        EXPECT_FALSE(
+            serve::decodeServeResult(whole.substr(0, len), sink))
+            << "prefix of length " << len << " decoded as complete";
+    }
+    serve::ServeResult ok;
+    ASSERT_TRUE(serve::decodeServeResult(whole, ok));
+}
+
+TEST(ServeFleet, CodecRejectsCorruptLines)
+{
+    serve::ServeResult r;
+    r.record.bench = "jme";
+    r.counters.issued = 3;
+    r.counters.completed = 3;
+    r.counters.uniqueRequests = 3;
+    const std::string whole = serve::encodeServeResult(r);
+
+    // Damage one line at a time: drop the COUNTERS line entirely, or
+    // scribble over the CSV line. Both lose required sections.
+    std::istringstream in(whole);
+    std::string line;
+    std::string without_counters;
+    while (std::getline(in, line)) {
+        if (line.rfind("COUNTERS ", 0) == 0)
+            continue;
+        without_counters += line + "\n";
+    }
+    serve::ServeResult sink;
+    EXPECT_FALSE(serve::decodeServeResult(without_counters, sink))
+        << "a payload missing its COUNTERS section is incomplete";
+
+    std::string bad_csv = whole;
+    bad_csv.replace(0, 4, "~~~~");
+    EXPECT_FALSE(serve::decodeServeResult(bad_csv, sink))
+        << "a mangled CSV row must not decode";
+}
+
 // ----- end-to-end determinism ----------------------------------------
 
 serve::ServeConfig
@@ -540,6 +627,27 @@ smallServeConfig()
     config.policy.deadlineNs = 2'000'000;
     config.policy.maxRetries = 2;
     return config;
+}
+
+TEST(ServeFleet, SynthesizedCrashRecordConserves)
+{
+    serve::ServeConfig config = smallServeConfig();
+    config.explicitArrivals = {100, 200, 300};
+    config.arrivalsExplicit = true;
+    serve::ServeResult r =
+        serve::synthesizeCrashResult(config, "spawn-failed");
+    EXPECT_EQ(r.record.status, "crash");
+    EXPECT_EQ(r.record.signature, "spawn-failed@fleet-child");
+    EXPECT_EQ(r.counters.issued, 3u);
+    EXPECT_EQ(r.counters.lost, 3u);
+    EXPECT_EQ(r.counters.completed, 0u);
+    EXPECT_TRUE(r.counters.conserves());
+    // The synthesized payload must survive the wire like any other.
+    serve::ServeResult back;
+    ASSERT_TRUE(
+        serve::decodeServeResult(serve::encodeServeResult(r), back));
+    EXPECT_EQ(back.counters.lost, 3u);
+    EXPECT_EQ(back.record.status, "crash");
 }
 
 TEST(ServeRun, SameSeedsSameCsvBytes)
@@ -570,7 +678,7 @@ TEST(ServeFleet, PooledMatchesInProcessByteForByte)
     serve::FleetConfig config;
     config.base = smallServeConfig();
     config.instances = 4;
-    config.gcAware = true;
+    config.balancer = serve::Balancer::Aware;
     config.jobs = 1;
     serve::FleetResult sequential = serve::runFleet(config);
     config.jobs = 4;

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Fleet-supervisor tests: the chaos corner of the fault-plan seed
+ * space, the broker's crash drain, the JSQ/P2C routing policies, the
+ * supervisor's upfront recovery plan (incarnations, failover, restart
+ * budget, circuit breaker, hedging), the collector x fault-kind chaos
+ * matrix under extended attempt conservation, --jobs byte identity
+ * with a mid-run instance crash, and the fleet's behavior when the
+ * process pool cannot even spawn children.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hh"
+#include "heap/layout.hh"
+#include "lbo/pool.hh"
+#include "serve/arrival.hh"
+#include "serve/broker.hh"
+#include "serve/fleet.hh"
+#include "serve/run.hh"
+#include "serve/supervisor.hh"
+#include "wl/suite.hh"
+
+namespace distill
+{
+namespace
+{
+
+using fault::FaultEvent;
+using fault::FaultKind;
+using fault::FaultPlan;
+using serve::Balancer;
+using serve::FleetConfig;
+using serve::FleetPlan;
+using serve::FleetSupervisor;
+using serve::ServeCounters;
+using serve::ServePolicy;
+
+// ----- chaos seed space ----------------------------------------------
+
+/** Count events of @p kind in @p plan. */
+std::size_t
+countKind(const FaultPlan &plan, FaultKind kind)
+{
+    return static_cast<std::size_t>(
+        std::count_if(plan.events.begin(), plan.events.end(),
+                      [&](const FaultEvent &e) { return e.kind == kind; }));
+}
+
+TEST(ChaosPlan, SeedTagAndMixes)
+{
+    for (std::uint64_t entropy : {0ull, 1ull, 2ull, 3ull, 0x1234ull}) {
+        std::uint64_t seed = FaultPlan::chaosSeed(entropy);
+        EXPECT_TRUE(FaultPlan::isChaosSeed(seed));
+        FaultPlan plan = FaultPlan::fromSeed(seed);
+        EXPECT_EQ(plan.planSeed, seed);
+        ASSERT_TRUE(plan.enabled());
+        for (const FaultEvent &e : plan.events) {
+            EXPECT_TRUE(e.kind == FaultKind::InstanceCrash ||
+                        e.kind == FaultKind::InstanceStall ||
+                        e.kind == FaultKind::InstanceBrownout)
+                << "chaos plans inject instance-level faults only";
+        }
+    }
+    // The low two bits select the failure mix.
+    FaultPlan one = FaultPlan::fromSeed(FaultPlan::chaosSeed(1));
+    EXPECT_EQ(countKind(one, FaultKind::InstanceCrash), 1u);
+    EXPECT_EQ(countKind(one, FaultKind::InstanceStall), 0u);
+    FaultPlan two = FaultPlan::fromSeed(FaultPlan::chaosSeed(2));
+    EXPECT_EQ(countKind(two, FaultKind::InstanceCrash), 0u);
+    EXPECT_EQ(countKind(two, FaultKind::InstanceStall), 1u);
+    FaultPlan three = FaultPlan::fromSeed(FaultPlan::chaosSeed(3));
+    EXPECT_EQ(countKind(three, FaultKind::InstanceCrash), 1u);
+    EXPECT_EQ(countKind(three, FaultKind::InstanceBrownout), 1u);
+    FaultPlan zero = FaultPlan::fromSeed(FaultPlan::chaosSeed(0));
+    EXPECT_EQ(countKind(zero, FaultKind::InstanceCrash), 1u);
+    EXPECT_EQ(countKind(zero, FaultKind::InstanceStall), 1u);
+    // Triggers land mid-run, after collector boot.
+    for (const FaultEvent &e : zero.events) {
+        EXPECT_GE(e.atNs, 1'000'000u);
+        EXPECT_LE(e.atNs, 10'000'000u);
+    }
+}
+
+TEST(ChaosPlan, HistoricalServeSeedsUnchanged)
+{
+    // Chaos seeds carve out the bit-47 corner of the 0x5EAF space;
+    // every historical serve seed (bit 47 clear) must keep expanding
+    // to serving faults only, bit-identically.
+    for (std::uint64_t entropy : {0ull, 7ull, 0xabcdefull}) {
+        std::uint64_t seed = FaultPlan::serveSeed(entropy);
+        EXPECT_FALSE(FaultPlan::isChaosSeed(seed));
+        FaultPlan plan = FaultPlan::fromSeed(seed);
+        EXPECT_EQ(countKind(plan, FaultKind::InstanceCrash), 0u);
+        EXPECT_EQ(countKind(plan, FaultKind::InstanceStall), 0u);
+    }
+    EXPECT_FALSE(FaultPlan::isChaosSeed(0));
+    EXPECT_FALSE(FaultPlan::isChaosSeed(FaultPlan::diagSeed(0)));
+}
+
+TEST(ChaosPlan, InstanceFaultNamesRoundTrip)
+{
+    for (FaultKind kind :
+         {FaultKind::InstanceCrash, FaultKind::InstanceStall}) {
+        FaultKind parsed = FaultKind::HeapSqueeze;
+        ASSERT_TRUE(
+            fault::faultKindFromName(fault::faultKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    EXPECT_STREQ(fault::faultKindName(FaultKind::InstanceCrash),
+                 "instance-crash");
+    EXPECT_STREQ(fault::faultKindName(FaultKind::InstanceStall),
+                 "instance-stall");
+}
+
+TEST(Balancer, NamesRoundTrip)
+{
+    for (Balancer b : {Balancer::Blind, Balancer::Aware, Balancer::Jsq,
+                       Balancer::P2c}) {
+        Balancer parsed = Balancer::Blind;
+        ASSERT_TRUE(
+            serve::balancerFromName(serve::balancerName(b), parsed))
+            << serve::balancerName(b);
+        EXPECT_EQ(parsed, b);
+    }
+    Balancer sink = Balancer::Aware;
+    EXPECT_FALSE(serve::balancerFromName("round-robin", sink));
+    EXPECT_EQ(sink, Balancer::Aware) << "failed parse must not write";
+}
+
+// ----- broker crash drain --------------------------------------------
+
+TEST(BrokerDrainLost, UningestedArrivalsAllLost)
+{
+    // The instance dies before ingesting anything: the whole planned
+    // schedule is issued-then-lost and conservation still closes.
+    serve::RequestBroker broker(std::vector<Ticks>(30, 1000),
+                                ServePolicy{}, 1);
+    broker.drainLost();
+    const ServeCounters &c = broker.counters();
+    EXPECT_EQ(c.issued, 30u);
+    EXPECT_EQ(c.uniqueRequests, 30u);
+    EXPECT_EQ(c.lost, 30u);
+    EXPECT_EQ(c.completed, 0u);
+    EXPECT_TRUE(c.conserves());
+}
+
+TEST(BrokerDrainLost, MidRunCrashLosesQueueAndInflight)
+{
+    ServePolicy policy;
+    policy.queueCap = 8;
+    policy.maxRetries = 2;
+    serve::RequestBroker broker(std::vector<Ticks>(20, 1000), policy, 1);
+    serve::GcSignal gc;
+    // Ingest the wave, complete two attempts, leave one in flight.
+    serve::RequestBroker::Dispatch d1 = broker.next(1000, gc);
+    ASSERT_EQ(d1.kind, serve::RequestBroker::Dispatch::Kind::Work);
+    broker.complete(d1.request, 1100);
+    serve::RequestBroker::Dispatch d2 = broker.next(1100, gc);
+    ASSERT_EQ(d2.kind, serve::RequestBroker::Dispatch::Kind::Work);
+    broker.complete(d2.request, 1200);
+    serve::RequestBroker::Dispatch d3 = broker.next(1200, gc);
+    ASSERT_EQ(d3.kind, serve::RequestBroker::Dispatch::Kind::Work);
+    broker.drainLost(); // crash with d3 still on the worker
+    const ServeCounters &c = broker.counters();
+    EXPECT_EQ(c.completed, 2u);
+    EXPECT_GT(c.lost, 0u) << "queued + in-flight attempts are lost";
+    EXPECT_TRUE(c.conserves());
+}
+
+// ----- routing policies ----------------------------------------------
+
+std::vector<Ticks>
+pacedSchedule(std::size_t n, Ticks step = 3000)
+{
+    std::vector<Ticks> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<Ticks>(i + 1) * step;
+    return out;
+}
+
+TEST(FleetRouting, JsqAndP2cDeterministicAndComplete)
+{
+    std::vector<Ticks> schedule = pacedSchedule(500);
+    for (Balancer b : {Balancer::Jsq, Balancer::P2c}) {
+        FleetConfig config;
+        config.instances = 4;
+        config.balancer = b;
+        auto once = serve::routeArrivals(config, schedule);
+        auto again = serve::routeArrivals(config, schedule);
+        EXPECT_EQ(once, again) << serve::balancerName(b);
+        std::size_t total = 0;
+        for (const auto &per : once) {
+            total += per.size();
+            EXPECT_TRUE(std::is_sorted(per.begin(), per.end()));
+        }
+        EXPECT_EQ(total, schedule.size()) << serve::balancerName(b);
+    }
+}
+
+TEST(FleetRouting, P2cDependsOnServeSeed)
+{
+    std::vector<Ticks> schedule = pacedSchedule(500);
+    FleetConfig config;
+    config.instances = 4;
+    config.balancer = Balancer::P2c;
+    auto a = serve::routeArrivals(config, schedule);
+    config.base.serveSeed = 99;
+    auto b = serve::routeArrivals(config, schedule);
+    EXPECT_NE(a, b) << "p2c sampling draws from the serve seed";
+}
+
+TEST(FleetRouting, JsqSpreadsASimultaneousWave)
+{
+    // 40 arrivals inside one recency window: JSQ must level them,
+    // 10 per instance, where e.g. a stuck round-robin pointer or an
+    // unpruned queue would skew the split.
+    std::vector<Ticks> wave(40, 5000);
+    FleetConfig config;
+    config.instances = 4;
+    config.balancer = Balancer::Jsq;
+    auto routed = serve::routeArrivals(config, wave);
+    for (const auto &per : routed)
+        EXPECT_EQ(per.size(), 10u);
+}
+
+// ----- supervisor planning -------------------------------------------
+
+/** A 4-instance supervised fleet config over the chaos plan @p e. */
+FleetConfig
+chaosConfig(std::uint64_t entropy)
+{
+    FleetConfig config;
+    config.base.spec = wl::findSpec("jme");
+    config.base.heapBytes = 8 * MiB;
+    config.base.heapFactor = 0.0;
+    config.base.env.faultSeed = FaultPlan::chaosSeed(entropy);
+    config.instances = 4;
+    config.supervised = true;
+    return config;
+}
+
+/** The instance the single chaos crash lands on, and its time. */
+void
+findCrash(const FleetConfig &config, unsigned &victim, Ticks &at)
+{
+    FaultPlan plan = FaultPlan::fromSeed(config.base.env.faultSeed);
+    for (const FaultEvent &e : plan.events) {
+        if (e.kind == FaultKind::InstanceCrash) {
+            victim = e.target % config.instances;
+            at = e.atNs;
+            return;
+        }
+    }
+    FAIL() << "chaos plan carries no crash";
+}
+
+TEST(SupervisorPlan, SingleCrashRestartsSameInstanceOnce)
+{
+    FleetConfig config = chaosConfig(1); // mix 1: one crash
+    unsigned victim = 0;
+    Ticks crash_at = 0;
+    findCrash(config, victim, crash_at);
+
+    // 2000 arrivals at 10us spacing: spans 20ms, past any trigger.
+    std::vector<Ticks> schedule = pacedSchedule(2000, 10'000);
+    FleetPlan plan = FleetSupervisor(config).plan(schedule);
+
+    EXPECT_EQ(plan.ledger.crashes, 1u);
+    EXPECT_EQ(plan.ledger.stalls, 0u);
+    EXPECT_EQ(plan.ledger.restarts, 1u);
+    EXPECT_EQ(plan.ledger.restartsDenied, 0u);
+    EXPECT_EQ(plan.restartsOf[victim], 1u);
+    EXPECT_EQ(plan.jobCount(), 5u) << "4 originals + 1 replacement";
+
+    const serve::InstanceTimeline &tl = plan.timelines[victim];
+    ASSERT_EQ(tl.crashes.size(), 1u);
+    EXPECT_EQ(tl.crashes[0], crash_at);
+    ASSERT_EQ(tl.upSegments.size(), 2u);
+    EXPECT_EQ(tl.upSegments[0].second, crash_at);
+    Ticks up_again = crash_at + config.supervisor.detectDelayNs +
+        config.supervisor.restartDelayNs;
+    EXPECT_EQ(tl.upSegments[1].first, up_again);
+    EXPECT_FALSE(tl.dead);
+
+    ASSERT_EQ(plan.incarnations[victim].size(), 2u);
+    EXPECT_EQ(plan.incarnations[victim][0].crashAtNs, crash_at);
+    EXPECT_EQ(plan.incarnations[victim][1].crashAtNs, 0u);
+    EXPECT_EQ(plan.incarnations[victim][1].incarnation, 1u);
+    // Every replacement arrival postdates the restart.
+    for (Ticks t : plan.incarnations[victim][1].arrivals)
+        EXPECT_GE(t, up_again);
+
+    // The detected-down window failed over; the ledger and the
+    // per-instance attribution agree.
+    EXPECT_GT(plan.ledger.failovers, 0u);
+    EXPECT_EQ(plan.failoversOut[victim], plan.ledger.failovers);
+
+    // No arrival is dropped by planning: routing is conservative.
+    std::size_t routed = 0;
+    for (const auto &incs : plan.incarnations)
+        for (const serve::IncarnationPlan &inc : incs)
+            routed += inc.arrivals.size();
+    EXPECT_EQ(routed, schedule.size());
+}
+
+TEST(SupervisorPlan, ExhaustedBudgetDeclaresInstanceDead)
+{
+    FleetConfig config = chaosConfig(1);
+    config.supervisor.restartBudget = 0;
+    unsigned victim = 0;
+    Ticks crash_at = 0;
+    findCrash(config, victim, crash_at);
+
+    std::vector<Ticks> schedule = pacedSchedule(2000, 10'000);
+    FleetPlan plan = FleetSupervisor(config).plan(schedule);
+
+    EXPECT_EQ(plan.ledger.restarts, 0u);
+    EXPECT_EQ(plan.ledger.restartsDenied, 1u);
+    const serve::InstanceTimeline &tl = plan.timelines[victim];
+    EXPECT_TRUE(tl.dead);
+    EXPECT_EQ(tl.deadAtNs, crash_at);
+    ASSERT_EQ(plan.incarnations[victim].size(), 1u);
+    // Failover keeps post-detection arrivals off the corpse; only the
+    // dead zone [crash, detect) still lands there.
+    Ticks detect = crash_at + config.supervisor.detectDelayNs;
+    for (Ticks t : plan.incarnations[victim][0].arrivals)
+        EXPECT_LT(t, detect);
+}
+
+TEST(SupervisorPlan, FailoverOffKeepsRoutingToTheCorpse)
+{
+    FleetConfig config = chaosConfig(1);
+    config.supervisor.restartBudget = 0;
+    config.supervisor.failover = false;
+    unsigned victim = 0;
+    Ticks crash_at = 0;
+    findCrash(config, victim, crash_at);
+
+    std::vector<Ticks> schedule = pacedSchedule(2000, 10'000);
+    FleetPlan plan = FleetSupervisor(config).plan(schedule);
+
+    EXPECT_EQ(plan.ledger.failovers, 0u);
+    Ticks detect = crash_at + config.supervisor.detectDelayNs;
+    bool corpse_hit = false;
+    for (Ticks t : plan.incarnations[victim][0].arrivals)
+        corpse_hit = corpse_hit || t >= detect;
+    EXPECT_TRUE(corpse_hit)
+        << "without failover, round-robin keeps feeding the corpse";
+}
+
+TEST(SupervisorPlan, BreakerEjectsAndReadmits)
+{
+    FleetConfig config = chaosConfig(0); // crash + stall
+    config.supervisor.breakerThreshold = 1;
+    config.supervisor.breakerCooldownNs = 2'000'000;
+
+    std::vector<Ticks> schedule = pacedSchedule(2000, 10'000);
+    FleetPlan plan = FleetSupervisor(config).plan(schedule);
+
+    EXPECT_GE(plan.ledger.breakerEjections, 1u);
+    EXPECT_EQ(plan.ledger.breakerEjections,
+              plan.ledger.breakerReadmissions);
+    bool any_window = false;
+    for (const serve::InstanceTimeline &tl : plan.timelines) {
+        for (const auto &[begin, end] : tl.ejected) {
+            any_window = true;
+            EXPECT_EQ(end - begin, config.supervisor.breakerCooldownNs);
+        }
+    }
+    EXPECT_TRUE(any_window);
+}
+
+TEST(SupervisorPlan, HedgingChargesWinnersAndLosersExactly)
+{
+    FleetConfig config = chaosConfig(0);
+    config.supervisor.hedgeDelayNs = 100'000;
+
+    std::vector<Ticks> schedule = pacedSchedule(2000, 10'000);
+    FleetPlan plan = FleetSupervisor(config).plan(schedule);
+
+    EXPECT_GT(plan.ledger.hedgesIssued, 0u);
+    EXPECT_EQ(plan.ledger.hedgesWon + plan.ledger.hedgesLost,
+              plan.ledger.hedgesIssued);
+    EXPECT_EQ(plan.ledger.hedgeCancelled, plan.ledger.hedgesWon)
+        << "every won hedge cancels exactly the doomed attempt";
+    std::uint64_t extra = 0;
+    for (std::uint64_t e : plan.hedgeExtra)
+        extra += e;
+    EXPECT_EQ(extra, plan.ledger.hedgeCancelled);
+}
+
+// ----- end-to-end chaos matrix ---------------------------------------
+
+serve::ServeConfig
+smallServeConfig(gc::CollectorKind collector)
+{
+    serve::ServeConfig config;
+    config.spec = wl::findSpec("jme");
+    config.collector = collector;
+    config.heapBytes = 8 * MiB;
+    config.heapFactor = 0.0;
+    config.arrival.requests = 200;
+    config.arrival.loadFactor = 1.5;
+    config.policy.queueCap = 8;
+    config.policy.deadlineNs = 2'000'000;
+    config.policy.maxRetries = 2;
+    return config;
+}
+
+TEST(FleetChaos, CollectorByFaultKindMatrixConserves)
+{
+    // Every collector x failure-mix cell must close the extended
+    // conservation identity, fleet-wide and per instance, with the
+    // availability ledger consistent with the planned mix.
+    for (gc::CollectorKind collector :
+         {gc::CollectorKind::Serial, gc::CollectorKind::G1,
+          gc::CollectorKind::Zgc}) {
+        // Mixes: 1 = crash, 2 = stall, 3 = crash + brownout.
+        for (std::uint64_t entropy : {1ull, 2ull, 3ull}) {
+            FleetConfig config;
+            config.base = smallServeConfig(collector);
+            config.base.env.faultSeed = FaultPlan::chaosSeed(entropy);
+            config.instances = 2;
+            config.supervised = true;
+            serve::FleetResult fleet = serve::runFleet(config);
+            const char *cell = gc::collectorName(collector);
+            EXPECT_TRUE(fleet.counters.conserves())
+                << cell << " entropy " << entropy;
+            EXPECT_GT(fleet.counters.completed, 0u) << cell;
+            for (const serve::ServeResult &inst : fleet.instances) {
+                EXPECT_TRUE(inst.counters.conserves())
+                    << cell << " entropy " << entropy;
+                EXPECT_EQ(inst.record.serveIssued, inst.counters.issued);
+                EXPECT_EQ(inst.record.serveLost, inst.counters.lost);
+            }
+            EXPECT_EQ(fleet.ledger.crashes, entropy == 2 ? 0u : 1u);
+            EXPECT_EQ(fleet.ledger.stalls, entropy == 2 ? 1u : 0u);
+            if (entropy != 2) {
+                EXPECT_EQ(fleet.ledger.restarts, 1u)
+                    << cell << ": default budget restarts the crash";
+            }
+            ASSERT_EQ(fleet.timelines.size(), 2u);
+        }
+    }
+}
+
+TEST(FleetChaos, JobsByteIdenticalUnderInjectedCrash)
+{
+    FleetConfig config;
+    config.base = smallServeConfig(gc::CollectorKind::Serial);
+    config.base.env.faultSeed = FaultPlan::chaosSeed(0);
+    config.instances = 4;
+    config.supervised = true;
+    config.supervisor.hedgeDelayNs = 100'000;
+    config.supervisor.breakerThreshold = 2;
+    config.jobs = 1;
+    serve::FleetResult sequential = serve::runFleet(config);
+    config.jobs = 4;
+    serve::FleetResult pooled = serve::runFleet(config);
+
+    ASSERT_EQ(sequential.instances.size(), pooled.instances.size());
+    for (std::size_t i = 0; i < sequential.instances.size(); ++i) {
+        EXPECT_EQ(sequential.instances[i].record.toCsv(),
+                  pooled.instances[i].record.toCsv())
+            << "instance " << i;
+    }
+    EXPECT_EQ(sequential.counters.issued, pooled.counters.issued);
+    EXPECT_EQ(sequential.counters.lost, pooled.counters.lost);
+    EXPECT_EQ(sequential.counters.hedgeCancelled,
+              pooled.counters.hedgeCancelled);
+    EXPECT_EQ(sequential.ledger.describe(), pooled.ledger.describe());
+    EXPECT_EQ(sequential.metered.percentile(99.99),
+              pooled.metered.percentile(99.99));
+    EXPECT_EQ(sequential.horizonNs, pooled.horizonNs);
+    EXPECT_TRUE(pooled.counters.conserves());
+}
+
+TEST(FleetChaos, RecoveryColumnsSurviveTheCsv)
+{
+    FleetConfig config;
+    config.base = smallServeConfig(gc::CollectorKind::Serial);
+    config.base.env.faultSeed = FaultPlan::chaosSeed(0);
+    config.instances = 4;
+    config.supervised = true;
+    serve::FleetResult fleet = serve::runFleet(config);
+    bool restarts_seen = false;
+    for (const serve::ServeResult &inst : fleet.instances) {
+        lbo::RunRecord parsed;
+        ASSERT_TRUE(
+            lbo::RunRecord::fromCsv(inst.record.toCsv(), parsed));
+        EXPECT_EQ(parsed.serveLost, inst.counters.lost);
+        EXPECT_EQ(parsed.serveRestarts, inst.record.serveRestarts);
+        restarts_seen = restarts_seen || parsed.serveRestarts > 0;
+    }
+    EXPECT_TRUE(restarts_seen)
+        << "the crashed instance's row must carry its restart";
+}
+
+// ----- spawn failure -------------------------------------------------
+
+class SpawnFailureTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        lbo::pool_testing::failSpawnAttempts(0, 0);
+    }
+};
+
+TEST_F(SpawnFailureTest, FleetFallsBackInProcessByteForByte)
+{
+    if (!lbo::ProcessPool::available())
+        GTEST_SKIP() << "no fork on this platform";
+    FleetConfig config;
+    config.base = smallServeConfig(gc::CollectorKind::Serial);
+    config.base.env.faultSeed = FaultPlan::chaosSeed(0);
+    config.instances = 2;
+    config.supervised = true;
+    config.jobs = 1;
+    serve::FleetResult reference = serve::runFleet(config);
+
+    lbo::pool_testing::failSpawnAttempts(1, 1000);
+    config.jobs = 2;
+    serve::FleetResult degraded = serve::runFleet(config);
+    lbo::pool_testing::failSpawnAttempts(0, 0);
+
+    ASSERT_EQ(reference.instances.size(), degraded.instances.size());
+    for (std::size_t i = 0; i < reference.instances.size(); ++i) {
+        EXPECT_EQ(reference.instances[i].record.toCsv(),
+                  degraded.instances[i].record.toCsv())
+            << "instance " << i;
+    }
+    EXPECT_EQ(reference.ledger.describe(), degraded.ledger.describe());
+    EXPECT_TRUE(degraded.counters.conserves());
+}
+
+TEST_F(SpawnFailureTest, NoFallbackSynthesizesHonestCrashRows)
+{
+    if (!lbo::ProcessPool::available())
+        GTEST_SKIP() << "no fork on this platform";
+    FleetConfig config;
+    config.base = smallServeConfig(gc::CollectorKind::Serial);
+    config.instances = 2;
+    config.jobs = 2;
+    config.childFallback = false;
+    lbo::pool_testing::failSpawnAttempts(1, 1000);
+    serve::FleetResult fleet = serve::runFleet(config);
+    lbo::pool_testing::failSpawnAttempts(0, 0);
+
+    ASSERT_EQ(fleet.instances.size(), 2u);
+    for (const serve::ServeResult &inst : fleet.instances) {
+        EXPECT_EQ(inst.record.status, "crash");
+        EXPECT_EQ(inst.record.signature, "spawn-failed@fleet-child");
+        EXPECT_EQ(inst.counters.lost, inst.counters.issued);
+        EXPECT_TRUE(inst.counters.conserves());
+    }
+    EXPECT_EQ(fleet.counters.lost, fleet.counters.issued)
+        << "a fleet that never spawned loses every routed attempt";
+    EXPECT_TRUE(fleet.counters.conserves());
+}
+
+} // namespace
+} // namespace distill

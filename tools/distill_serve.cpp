@@ -4,7 +4,8 @@
  * open-loop metered server under one or more collectors, with the
  * robustness policy layer (admission control, deadlines, retries,
  * GC-aware shedding) on or off, optionally as a fleet of N instances
- * behind a GC-blind or GC-aware balancer.
+ * behind a blind / GC-aware / JSQ / power-of-two-choices balancer,
+ * with optional chaos (supervised instance crashes and stalls).
  *
  * Usage:
  *   distill_serve --bench lusearch --gc ZGC [--heap-factor 3.0]
@@ -14,7 +15,9 @@
  *                 [--protect | --no-protection]
  *                 [--serve-seed S] [--seed S] [--sched-seed S]
  *                 [--fault-plan P] [--max-virtual-time NS]
- *                 [--fleet N [--balancer blind|aware|both] [--jobs J]]
+ *                 [--fleet N [--balancer POLICY] [--jobs J]]
+ *                 [--chaos] [--hedge-us N] [--restart-budget N]
+ *                 [--breaker N] [--no-failover]
  *                 [--csv out.csv] [--trace out.json]
  *   distill_serve --collectors G1,ZGC,Shenandoah --compare ...
  *
@@ -24,8 +27,16 @@
  * percentiles, and the degradation-ladder escalation counts.
  * --compare runs each collector both unprotected and protected and
  * prints the Fig. 4-style companion table.
+ *
+ * --chaos turns on the fleet supervisor (defaulting --fleet to 4 and
+ * the fault plan to the canonical chaos seed): InstanceCrash and
+ * InstanceStall events are planned into restarts, failover, hedging,
+ * and breaker ejections, the fleet-availability ledger is printed,
+ * and failed instances get per-signature REPRO lines. In fleet mode
+ * --trace exports the instance-lifetime lanes instead of a GC log.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +45,8 @@
 
 #include "base/logging.hh"
 #include "cli_parse.hh"
+#include "fault/plan.hh"
+#include "repro.hh"
 #include "heap/layout.hh"
 #include "lbo/sweep.hh"
 #include "serve/fleet.hh"
@@ -63,8 +76,12 @@ usage()
         "                     [--serve-seed S] [--seed S] "
         "[--sched-seed S]\n"
         "                     [--fault-plan P] [--max-virtual-time NS]\n"
-        "                     [--fleet N] [--balancer blind|aware|both]\n"
+        "                     [--fleet N] [--balancer "
+        "blind|aware|jsq|p2c|both|all]\n"
         "                     [--jobs J] [--watchdog-ms MS]\n"
+        "                     [--chaos] [--hedge-us N] "
+        "[--restart-budget N]\n"
+        "                     [--breaker N] [--no-failover]\n"
         "                     [--csv out.csv] [--trace out.json]\n");
     std::exit(2);
 }
@@ -107,11 +124,13 @@ printResultSummary(const char *label, const serve::ServeCounters &c,
 {
     std::printf(
         "serve-conservation: issued=%llu completed=%llu shed=%llu "
-        "deadline-expired=%llu %s\n",
+        "deadline-expired=%llu lost=%llu hedge-cancelled=%llu %s\n",
         static_cast<unsigned long long>(c.issued),
         static_cast<unsigned long long>(c.completed),
         static_cast<unsigned long long>(c.shedTotal()),
         static_cast<unsigned long long>(c.deadlineTotal()),
+        static_cast<unsigned long long>(c.lost),
+        static_cast<unsigned long long>(c.hedgeCancelled),
         c.conserves() ? "ok" : "LEAK");
     std::printf("%s: goodput=%.0f req/s shed-rate=%.2f%% "
                 "retry-amplification=%.3f max-queue=%llu\n",
@@ -158,6 +177,9 @@ main(int argc, char **argv)
     std::string balancer = "blind";
     unsigned jobs = 1;
     std::uint64_t watchdog_ms = 0;
+    bool chaos = false;
+    std::uint64_t hedge_us = 0;
+    serve::SupervisorConfig supervisor;
     std::string csv_path;
     std::string trace_path;
 
@@ -241,13 +263,26 @@ main(int argc, char **argv)
                 cli::parseCount("--fleet", args[++i]));
         } else if (arg("--balancer")) {
             balancer = args[++i];
-            if (balancer != "blind" && balancer != "aware" &&
-                balancer != "both")
+            serve::Balancer parsed;
+            if (!serve::balancerFromName(balancer, parsed) &&
+                balancer != "both" && balancer != "all")
                 usage();
         } else if (arg("--jobs")) {
             jobs = cli::parseJobs("--jobs", args[++i]);
         } else if (arg("--watchdog-ms")) {
             watchdog_ms = cli::parseCount("--watchdog-ms", args[++i]);
+        } else if (flag("--chaos")) {
+            chaos = true;
+        } else if (arg("--hedge-us")) {
+            hedge_us = cli::parseCount("--hedge-us", args[++i]);
+        } else if (arg("--restart-budget")) {
+            supervisor.restartBudget = static_cast<unsigned>(
+                cli::parseU64("--restart-budget", args[++i]));
+        } else if (arg("--breaker")) {
+            supervisor.breakerThreshold = static_cast<unsigned>(
+                cli::parseU64("--breaker", args[++i]));
+        } else if (flag("--no-failover")) {
+            supervisor.failover = false;
         } else if (arg("--csv")) {
             csv_path = args[++i];
         } else if (arg("--trace")) {
@@ -258,6 +293,16 @@ main(int argc, char **argv)
     }
     if (protect && no_protection)
         fatal("--protect and --no-protection are mutually exclusive");
+
+    if (chaos) {
+        // Chaos mode: a supervised fleet under the canonical
+        // instance-failure plan, unless the user pinned their own.
+        if (fleet == 0)
+            fleet = 4;
+        if (fault_plan == 0)
+            fault_plan = fault::FaultPlan::chaosSeed(0);
+        supervisor.hedgeDelayNs = hedge_us * 1000;
+    }
 
     lbo::Environment env;
     env.schedSeed = sched_seed;
@@ -315,40 +360,85 @@ main(int argc, char **argv)
         fc.instances = fleet;
         fc.jobs = jobs;
         fc.watchdogMs = watchdog_ms;
+        fc.supervised = chaos;
+        fc.supervisor = supervisor;
 
-        std::vector<std::pair<std::string, bool>> modes;
-        if (balancer == "blind" || balancer == "both")
-            modes.emplace_back("blind", false);
-        if (balancer == "aware" || balancer == "both")
-            modes.emplace_back("aware", true);
+        std::vector<serve::Balancer> modes;
+        if (balancer == "both") {
+            modes = {serve::Balancer::Blind, serve::Balancer::Aware};
+        } else if (balancer == "all") {
+            modes = {serve::Balancer::Blind, serve::Balancer::Aware,
+                     serve::Balancer::Jsq, serve::Balancer::P2c};
+        } else {
+            serve::Balancer one;
+            if (!serve::balancerFromName(balancer, one))
+                usage();
+            modes = {one};
+        }
 
         std::vector<serve::BusyWindows> blind_adverts;
-        for (const auto &[name, aware] : modes) {
-            fc.gcAware = aware;
-            // "both" reuses the blind pass's adverts for the aware
-            // pass instead of re-running the preview fleet.
-            fc.adverts = aware ? blind_adverts
-                               : std::vector<serve::BusyWindows>{};
+        for (serve::Balancer mode : modes) {
+            const char *name = serve::balancerName(mode);
+            fc.balancer = mode;
+            // Multi-policy runs reuse the blind pass's adverts for
+            // the aware pass instead of re-running the preview fleet.
+            fc.adverts = mode == serve::Balancer::Aware
+                ? blind_adverts
+                : std::vector<serve::BusyWindows>{};
             serve::FleetResult fr = serve::runFleet(fc);
-            if (!aware) {
+            if (mode == serve::Balancer::Blind) {
                 blind_adverts.clear();
                 for (const serve::ServeResult &inst : fr.instances)
                     blind_adverts.push_back(inst.busyWindows);
             }
-            std::printf("fleet[%s]: %s x%u under %s heap=%llu MiB\n",
-                        name.c_str(), bench.c_str(), fleet,
+            std::printf("fleet[%s]: %s x%u under %s heap=%llu MiB%s\n",
+                        name, bench.c_str(), fleet,
                         collectors[0].c_str(),
                         static_cast<unsigned long long>(heap_bytes /
-                                                        MiB));
-            std::string label = "fleet[" + name + "]";
+                                                        MiB),
+                        fc.supervised ? " supervised" : "");
+            std::string label = std::string("fleet[") + name + "]";
             printResultSummary(label.c_str(), fr.counters, fr.metered,
                                fr.simple, fr.goodput(), fr.shedRate(),
                                fr.retryAmplification());
+            if (fc.supervised)
+                std::printf("%s\n", fr.ledger.describe().c_str());
             for (const serve::ServeResult &inst : fr.instances) {
-                if (inst.record.failed())
+                // Under supervision, "lost"/"hedge-cancelled" are the
+                // *planned* consequences of injected chaos — reported,
+                // but not a tool failure. Anything else still is.
+                bool expected = fc.supervised &&
+                    (inst.record.status == "lost" ||
+                     inst.record.status == "hedge-cancelled");
+                if (inst.record.failed() && !expected)
                     status = 1;
                 if (csv.is_open())
                     csv << inst.record.toCsv() << '\n';
+            }
+            // One REPRO per distinct failure signature, mirroring the
+            // sweep tools, so a chaos failure pastes straight back.
+            std::vector<std::string> seen;
+            for (const serve::ServeResult &inst : fr.instances) {
+                const lbo::RunRecord &r = inst.record;
+                if (!r.failed() || r.signature.empty())
+                    continue;
+                if (std::find(seen.begin(), seen.end(), r.signature) !=
+                    seen.end())
+                    continue;
+                seen.push_back(r.signature);
+                std::printf("signature: %s\n%s\n", r.signature.c_str(),
+                            cli::serveRepro(r).c_str());
+            }
+            if (!trace_path.empty() && fc.supervised &&
+                modes.size() == 1) {
+                std::ofstream out(trace_path);
+                if (!out)
+                    fatal("cannot write %s", trace_path.c_str());
+                out << trace::renderFleetTimelineTrace(
+                    bench + " / " + collectors[0] + " (fleet " + name +
+                        ")",
+                    fr.timelines, fr.horizonNs);
+                std::printf("wrote %s\n", trace_path.c_str());
             }
         }
     } else {

@@ -12,11 +12,14 @@
  * REPRO line to replay and the sidecar report to read.
  *
  * Serving rows (distill_serve CSVs) ride the same taxonomy: the
- * overload statuses shed / deadline / retry-exhausted group by their
- * digit-folded reasons, each group aggregates the attempt ledger
- * (issued/completed/shed/deadline-expired/retry-exhausted), and the
- * representative REPRO line goes through distill_serve --serve-seed
- * so the whole arrival schedule replays.
+ * overload statuses shed / deadline / retry-exhausted and the
+ * fleet-recovery statuses lost / hedge-cancelled group by their
+ * digit-folded reasons (or forensic signature, e.g.
+ * "instance-crash@serve"), each group aggregates the attempt ledger
+ * including lost / hedge-cancelled attempts and supervisor
+ * restart/failover counts, and the representative REPRO line goes
+ * through distill_serve --serve-seed (plus --chaos for rows with
+ * recovery activity) so the whole arrival schedule replays.
  *
  * Usage:
  *   distill_triage sweep.csv [--max-virtual-time NS] [--watchdog-ms MS]
@@ -178,22 +181,33 @@ main(int argc, char **argv)
             // attempt ledger so the group line quantifies the overload
             // without opening each row.
             std::uint64_t issued = 0, completed = 0, shed = 0,
-                          deadline = 0, exhausted = 0;
+                          deadline = 0, exhausted = 0, lost = 0,
+                          cancelled = 0, restarts = 0, failovers = 0;
             for (const lbo::RunRecord &r : rs) {
                 issued += r.serveIssued;
                 completed += r.serveCompleted;
                 shed += r.serveShed;
                 deadline += r.serveDeadline;
                 exhausted += r.serveRetryExhausted;
+                lost += r.serveLost;
+                cancelled += r.serveHedgeCancelled;
+                restarts += r.serveRestarts;
+                failovers += r.serveFailovers;
             }
             std::printf("  overload: issued=%llu completed=%llu "
                         "shed=%llu deadline-expired=%llu "
-                        "retry-exhausted=%llu\n",
+                        "retry-exhausted=%llu lost=%llu "
+                        "hedge-cancelled=%llu restarts=%llu "
+                        "failovers=%llu\n",
                         static_cast<unsigned long long>(issued),
                         static_cast<unsigned long long>(completed),
                         static_cast<unsigned long long>(shed),
                         static_cast<unsigned long long>(deadline),
-                        static_cast<unsigned long long>(exhausted));
+                        static_cast<unsigned long long>(exhausted),
+                        static_cast<unsigned long long>(lost),
+                        static_cast<unsigned long long>(cancelled),
+                        static_cast<unsigned long long>(restarts),
+                        static_cast<unsigned long long>(failovers));
         }
         if (!rep.sidecar.empty())
             std::printf("  report: %s\n", rep.sidecar.c_str());

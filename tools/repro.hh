@@ -93,6 +93,15 @@ serveRepro(const lbo::RunRecord &r, const ReproContext &ctx = {})
     appendFlag(line, "--fault-plan", r.faultSeed);
     appendFlag(line, "--max-virtual-time", ctx.maxVirtualTime,
                ctx.defaultMaxVirtualTime);
+    if (r.serveLost + r.serveHedgeCancelled + r.serveRestarts +
+            r.serveFailovers > 0) {
+        // Recovery columns only populate under a supervised fleet;
+        // --chaos re-enables supervision (and its default fleet size)
+        // so the restart/failover machinery replays. The fleet size
+        // and balancer are not in the record — stock chaos runs use
+        // the defaults this flag restores.
+        line += " --chaos";
+    }
     return line;
 }
 

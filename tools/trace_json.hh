@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "metrics/agent.hh"
+#include "serve/supervisor.hh"
 
 namespace distill::trace
 {
@@ -107,6 +108,74 @@ renderGcLogTrace(const std::string &process_name,
             json << "{\"ph\":\"i\",\"ts\":" << ts_us
                  << ",\"pid\":1,\"tid\":" << lane << ",\"s\":\"t\","
                  << "\"name\":\"" << jsonEscape(label) << "\"}";
+        }
+    }
+    json << "\n]}\n";
+    return json.str();
+}
+
+/**
+ * Render a supervised fleet's instance lifetimes as Chrome trace-event
+ * JSON: one lane (tid) per instance carrying "up" / "stall" /
+ * "restarting" / "breaker-open" / "dead" spans and "crash" instants.
+ * Open-ended windows (an up segment with end 0, a dead instance)
+ * close at @p horizon_ns so every span has a finite duration.
+ */
+inline std::string
+renderFleetTimelineTrace(
+    const std::string &process_name,
+    const std::vector<serve::InstanceTimeline> &timelines,
+    Ticks horizon_ns)
+{
+    std::ostringstream json;
+    json.precision(3);
+    json << std::fixed;
+    json << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            json << ",\n";
+        first = false;
+    };
+    sep();
+    json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,"
+            "\"name\":\"process_name\",\"args\":{\"name\":\""
+         << jsonEscape(process_name) << "\"}}";
+    auto span = [&](int lane, const char *name, Ticks begin, Ticks end) {
+        if (end == 0 || end > horizon_ns)
+            end = horizon_ns;
+        if (end <= begin)
+            return;
+        sep();
+        json << "{\"ph\":\"X\",\"ts\":"
+             << static_cast<double>(begin) / 1e3
+             << ",\"dur\":" << static_cast<double>(end - begin) / 1e3
+             << ",\"pid\":1,\"tid\":" << lane << ",\"name\":\"" << name
+             << "\"}";
+    };
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+        const serve::InstanceTimeline &tl = timelines[i];
+        int lane = static_cast<int>(i);
+        sep();
+        json << "{\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":" << lane
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+                "\"instance " << i << "\"}}";
+        for (const auto &[begin, end] : tl.upSegments)
+            span(lane, "up", begin, end);
+        for (const auto &[begin, end] : tl.stalls)
+            span(lane, "stall", begin, end);
+        for (const auto &[begin, end] : tl.restarting)
+            span(lane, "restarting", begin, end);
+        for (const auto &[begin, end] : tl.ejected)
+            span(lane, "breaker-open", begin, end);
+        if (tl.dead)
+            span(lane, "dead", tl.deadAtNs, horizon_ns);
+        for (Ticks c : tl.crashes) {
+            sep();
+            json << "{\"ph\":\"i\",\"ts\":"
+                 << static_cast<double>(c) / 1e3
+                 << ",\"pid\":1,\"tid\":" << lane
+                 << ",\"s\":\"t\",\"name\":\"crash\"}";
         }
     }
     json << "\n]}\n";
