@@ -4,7 +4,15 @@
  * workers finish Shenandoah's cycles sooner (shorter windows, fewer
  * pacing stalls) but take more cores from the mutator and raise
  * contention — the "opportunity cost" the paper warns is invisible in
- * wall-clock-only evaluations.
+ * wall-clock-only evaluations. The gang's work-stealing tracer makes
+ * the coordination side of that cost visible too: concurrent
+ * dispatches stripe packets round-robin across the deques, so thieves
+ * pay steal probes and failed-steal spin, and the ledger reports them
+ * as conserved sub-phases. Shenandoah runs two gangs — the pause gang
+ * (parallelWorkers wide) and this ablation's concurrent gang — so the
+ * coordination column mixes both: starving the concurrent gang makes
+ * cycles lag and shifts work (and spin) onto the wide pause gang,
+ * while growing it shifts coordination into the concurrent stripes.
  */
 
 #include "bench_common.hh"
@@ -30,7 +38,8 @@ main()
     std::printf("Ablation (paper SIV-D(b)): Shenandoah concurrent "
                 "worker count on lusearch at 2.4x heap\n");
     TextTable table({"conc workers", "wall ms", "Gcycles",
-                     "mutator Gcycles", "stall ms", "metered p99.99 us"});
+                     "mutator Gcycles", "stall ms", "metered p99.99 us",
+                     "steal+spin M", "coord %"});
     for (unsigned workers : {1u, 2u, 4u}) {
         lbo::Environment custom = env;
         custom.gcOptions.concWorkers = workers;
@@ -39,6 +48,8 @@ main()
         RunningStat mut_cycles;
         RunningStat stall;
         RunningStat p9999;
+        RunningStat steal;
+        RunningStat coord_pct;
         for (unsigned inv = 0; inv < invocations; ++inv) {
             lbo::RunRecord r = lbo::runOne(
                 spec, gc::CollectorKind::Shenandoah, heap, 2.4,
@@ -51,6 +62,11 @@ main()
             mut_cycles.add(r.mutatorCycles);
             stall.add(r.allocStallNs);
             p9999.add(r.meteredP9999Ns);
+            steal.add(r.stealCycles + r.stealSpinCycles);
+            double coord = r.stealCycles + r.stealSpinCycles +
+                r.terminationSpinCycles;
+            if (r.gcThreadCycles > 0)
+                coord_pct.add(100.0 * coord / r.gcThreadCycles);
         }
         table.beginRow();
         table.cell(strprintf("%u", workers));
@@ -59,9 +75,14 @@ main()
         table.cell(mut_cycles.mean() / 1e9, 3);
         table.cell(stall.mean() / 1e6, 2);
         table.cell(p9999.mean() / 1e3, 1);
+        table.cell(steal.mean() / 1e6, 2);
+        table.cell(coord_pct.mean(), 1);
     }
     table.print();
     std::printf("(mutator cycles rise with workers: contention; stalls "
-                "fall: cycles finish sooner)\n");
+                "fall: cycles finish sooner; the coordination column "
+                "mixes both gangs — a starved concurrent gang shifts "
+                "work and spin onto the wide pause gang, a grown one "
+                "pays for its own stripes)\n");
     return 0;
 }

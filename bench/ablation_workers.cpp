@@ -2,9 +2,12 @@
  * @file
  * Ablation for §IV-C(b): the Serial-vs-Parallel tradeoff as a
  * function of GC worker count. Sweeps the Parallel collector's gang
- * size on one benchmark and reports wall time, cycles, and STW time —
- * parallelism buys pause time with synchronization cycles, and the
- * marginal benefit shrinks with each added worker.
+ * size on one benchmark and reports wall time, cycles, STW time, and
+ * the work-stealing tracer's coordination cost (steal probes, failed-
+ * steal spinning, termination) — parallelism buys pause time with
+ * coordination cycles, the mark frontier offers fewer independent
+ * chains than the gang has workers, and the surplus workers' spin
+ * share grows with every added worker.
  */
 
 #include "bench_common.hh"
@@ -29,7 +32,8 @@ main()
     std::printf("Ablation (paper SIV-C(b)): Parallel GC worker count "
                 "on h2 at 2.0x heap\n");
     TextTable table({"workers", "wall ms", "Gcycles", "STW ms",
-                     "gc Mcycles"});
+                     "gc Mcycles", "steal+spin M", "term M",
+                     "coord %"});
     for (unsigned workers : {1u, 2u, 4u, 8u}) {
         lbo::Environment custom = env;
         custom.gcOptions.parallelWorkers = workers;
@@ -37,6 +41,9 @@ main()
         RunningStat cycles;
         RunningStat stw;
         RunningStat gc_cycles;
+        RunningStat steal;
+        RunningStat term;
+        RunningStat coord_pct;
         for (unsigned inv = 0; inv < invocations; ++inv) {
             lbo::RunRecord r = lbo::runOne(
                 spec, gc::CollectorKind::Parallel, heap, 2.0,
@@ -48,6 +55,12 @@ main()
             cycles.add(r.cycles);
             stw.add(r.stwWallNs);
             gc_cycles.add(r.gcThreadCycles);
+            steal.add(r.stealCycles + r.stealSpinCycles);
+            term.add(r.terminationSpinCycles);
+            double coord = r.stealCycles + r.stealSpinCycles +
+                r.terminationSpinCycles;
+            if (r.gcThreadCycles > 0)
+                coord_pct.add(100.0 * coord / r.gcThreadCycles);
         }
         table.beginRow();
         table.cell(strprintf("%u", workers));
@@ -55,9 +68,15 @@ main()
         table.cell(cycles.mean() / 1e9, 3);
         table.cell(stw.mean() / 1e6, 3);
         table.cell(gc_cycles.mean() / 1e6, 2);
+        table.cell(steal.mean() / 1e6, 2);
+        table.cell(term.mean() / 1e6, 2);
+        table.cell(coord_pct.mean(), 1);
     }
     table.print();
     std::printf("(workers=1 is the Serial design point: cheapest "
-                "cycles, longest pauses)\n");
+                "cycles, longest pauses; the coordination share — "
+                "steal probes, failed-steal spin, termination — climbs "
+                "with the gang size while speedup saturates at the "
+                "frontier breadth)\n");
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "gc/gang.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/logging.hh"
 #include "rt/runtime.hh"
@@ -8,56 +9,358 @@
 namespace distill::gc
 {
 
-WorkGang::Worker::Worker(WorkGang &gang, const std::string &name)
-    : rt::WorkerThread(name, Kind::Gc), gang_(gang)
+namespace
+{
+
+/**
+ * Per-worker deque bound; pushes past it spill to the gang's shared
+ * overflow list. Generous relative to tree fanout (<= 3 children per
+ * pop) so spills only happen under pathological root imbalance.
+ */
+constexpr std::size_t dequeBound = 64;
+
+/** splitmix64 step: advances @p state, returns a mixed draw. */
+std::uint64_t
+mix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return h;
+}
+
+} // namespace
+
+WorkGang::Worker::Worker(WorkGang &gang, const std::string &name,
+                         unsigned index)
+    : rt::WorkerThread(name, Kind::Gc), gang_(gang), index_(index)
 {
     // Workers start blocked; dispatch() wakes them.
     block();
+}
+
+std::uint64_t
+WorkGang::Worker::nextRand()
+{
+    return mix64(rng_);
+}
+
+std::uint64_t
+WorkGang::nextRand()
+{
+    return mix64(rng_);
+}
+
+void
+WorkGang::Worker::flushPending()
+{
+    for (std::uint32_t node : pending_) {
+        if (deque_.size() < dequeBound)
+            deque_.push_back(node);
+        else
+            gang_.overflow_.push_back(node);
+    }
+    pending_.clear();
+}
+
+void
+WorkGang::Worker::payPacket(std::uint32_t node)
+{
+    const rt::CostModel &costs = gang_.rt_.costs();
+    const Packet &p = gang_.pool_[node];
+    charge(p.cost + costs.packetSync);
+    paidAny_ = true;
+    gang_.paidCost_ += p.cost;
+    distill_assert(gang_.packetsLeft_ > 0, "payPacket on a drained pool");
+    --gang_.packetsLeft_;
+    for (std::uint8_t i = 0; i < p.children; ++i)
+        pending_.push_back(p.child[i]);
+    backoff_ = 0;
+    // A concurrent dispatch completes at the final payment: the
+    // client resumes immediately (as it would when the last real
+    // packet retires) while the workers' termination protocol winds
+    // down off its critical path. STW dispatches instead complete
+    // when the last worker parks, keeping every pause cycle —
+    // termination included — inside the pause window.
+    if (gang_.packetsLeft_ == 0 && !gang_.stw_)
+        gang_.drainComplete();
 }
 
 bool
 WorkGang::Worker::step()
 {
     const rt::CostModel &costs = gang_.rt_.costs();
+    // 0. Termination owed for a drained concurrent dispatch is paid
+    //    before anything else; the client is already running again.
+    if (owesTermination_) {
+        std::uint8_t tag = metrics::gcPhaseTag(
+            metrics::GcPhase::Termination, false);
+        if (wouldRetag(tag))
+            return false;
+        setPhaseTag(tag);
+        charge(costs.terminationRounds * costs.terminationSpin);
+        owesTermination_ = false;
+        return true;
+    }
+    // No dispatch in flight: park until the next one.
+    if (gang_.client_ == nullptr) {
+        rendezvousPaid_ = false;
+        backoff_ = 0;
+        block();
+        gang_.workerIdle();
+        return false;
+    }
     if (!rendezvousPaid_) {
         rendezvousPaid_ = true;
         setPhaseTag(gang_.firstTag_);
         charge(costs.workerRendezvous);
         return true;
     }
-    std::uint8_t tag = 0;
-    if (!gang_.frontTag(tag)) {
-        rendezvousPaid_ = false;
-        block();
-        gang_.workerIdle();
-        return false;
+    // 1. Local work: in-hand packets (children discovered or steals
+    //    landed last step), then the own deque bottom, then the
+    //    shared spill list. The in-hand buffer is only published —
+    //    made stealable — by a step that is actually going to pay a
+    //    packet: flushing it on a retag-yield would hand an unpaid
+    //    stolen packet straight back to the next hungry thief, and a
+    //    lone visible packet could then circulate between workers
+    //    forever without ever being paid.
+    if (!pending_.empty() || !deque_.empty() ||
+        !gang_.overflow_.empty()) {
+        std::uint32_t cand = !pending_.empty()
+            ? pending_.back()
+            : (!deque_.empty() ? deque_.back() : gang_.overflow_.back());
+        if (wouldRetag(gang_.pool_[cand].tag)) {
+            // The scheduler commits a whole round's cycles under the
+            // tag it reads after run() returns; yield so the cycles
+            // charged so far land under the old tag, and retag at the
+            // next round's first step. Safe: a round's first step
+            // always charges, so the no-progress panic cannot trip.
+            return false;
+        }
+        // Publishing point: everything in hand becomes stealable,
+        // and the bottom of the refreshed deque is paid right now.
+        flushPending();
+        std::vector<std::uint32_t> *src =
+            !deque_.empty() ? &deque_ : &gang_.overflow_;
+        std::uint32_t node = src->back();
+        std::uint8_t tag = gang_.pool_[node].tag;
+        if (wouldRetag(tag))
+            return false; // spill reordering changed the tag: re-pick
+        setPhaseTag(tag);
+        src->pop_back();
+        payPacket(node);
+        return true;
     }
-    if (tag != phaseTag() && chargedThisRound() > 0) {
-        // The scheduler commits a whole round's cycles under the tag
-        // it reads after run() returns; yield so the cycles charged
-        // so far land under the old tag, and retag at the next
-        // round's first step. Safe: a round's first step always
-        // charges, so the no-progress panic cannot trip.
-        return false;
+
+    if (gang_.packetsLeft_ > 0) {
+        // 2. Hungry while work remains: probe victims in seeded
+        //    order for a steal-top.
+        unsigned n = gang_.size();
+        Worker *victim = nullptr;
+        unsigned probes = 0;
+        if (n > 1) {
+            unsigned start = static_cast<unsigned>(nextRand() % n);
+            for (unsigned k = 0; k < n && victim == nullptr; ++k) {
+                Worker &v = *gang_.workers_[(start + k) % n];
+                if (&v == this)
+                    continue;
+                ++probes;
+                if (!v.deque_.empty())
+                    victim = &v;
+            }
+        }
+        if (victim != nullptr) {
+            std::uint8_t tag = metrics::gcPhaseTag(
+                metrics::GcPhase::Steal, gang_.stw_);
+            if (wouldRetag(tag))
+                return false; // re-probe at the next round's start
+            setPhaseTag(tag);
+            std::uint32_t node = victim->deque_.front();
+            victim->deque_.erase(victim->deque_.begin());
+            // Into the private in-hand buffer, not the public deque:
+            // a freshly stolen packet must not itself be stolen before
+            // the thief's next fresh round pays it, or a single
+            // visible packet can circulate between hungry workers
+            // forever (each thief has already charged steal cycles, so
+            // the tag-switch yield defers its payment by one round).
+            pending_.push_back(node);
+            charge(probes * costs.stealAttempt);
+            gang_.stealAttempts_ += probes;
+            ++gang_.stealHits_;
+            backoff_ = 0;
+            return true;
+        }
+        // 3. Every visible deque is empty but packets remain in other
+        //    workers' hands (their children are still private): spin
+        //    with exponential backoff. Reaching the backoff ceiling
+        //    yields the rest of the round, so stealSpinMax sets the
+        //    duty cycle burned waiting out an imbalanced drain.
+        std::uint8_t tag = metrics::gcPhaseTag(
+            metrics::GcPhase::StealSpin, gang_.stw_);
+        if (wouldRetag(tag))
+            return false;
+        setPhaseTag(tag);
+        Cycles spin = backoff_ > 0 ? backoff_ : costs.stealSpin;
+        charge(probes * costs.stealAttempt + spin);
+        gang_.stealAttempts_ += probes;
+        if (spin >= costs.stealSpinMax) {
+            backoff_ = costs.stealSpin;
+            return false;
+        }
+        backoff_ = std::min<Cycles>(spin * 2, costs.stealSpinMax);
+        return true;
     }
-    setPhaseTag(tag);
-    charge(gang_.takePacket() + costs.packetSync);
-    return true;
+
+    // 4. STW pool drained: rounds-of-quiescence termination. A worker
+    //    that processed packets re-scans the drained pool
+    //    terminationRounds times before it believes the drain; the
+    //    scans are charged in one step (once packetsLeft_ hits zero no
+    //    new work can appear — children only come from payments) and
+    //    the worker parks. A worker that paid nothing this dispatch —
+    //    the pool drained before it ever obtained work — finds the
+    //    terminator's quiescence count already complete and parks
+    //    free, the way a late offer_termination returns immediately;
+    //    charging it full spin rounds would bill tiny pauses for
+    //    contention that never happened. The last parked worker wakes
+    //    the client, so the whole protocol stays inside the pause
+    //    window; while the world is stopped the extra round costs only
+    //    the charged cycles, since rounds advance by GC charges alone.
+    if (paidAny_) {
+        std::uint8_t tag = metrics::gcPhaseTag(
+            metrics::GcPhase::Termination, gang_.stw_);
+        if (wouldRetag(tag))
+            return false;
+        setPhaseTag(tag);
+        charge(costs.terminationRounds * costs.terminationSpin);
+    }
+    rendezvousPaid_ = false;
+    backoff_ = 0;
+    block();
+    gang_.workerIdle();
+    return false;
 }
 
 WorkGang::WorkGang(rt::Runtime &runtime, const std::string &name,
                    unsigned count)
-    : rt_(runtime)
+    : rt_(runtime), nameHash_(fnv1a(name))
 {
     distill_assert(count > 0, "empty work gang");
     for (unsigned i = 0; i < count; ++i) {
         workers_.push_back(std::make_unique<Worker>(
-            *this, strprintf("%s-worker-%u", name.c_str(), i)));
+            *this, strprintf("%s-worker-%u", name.c_str(), i), i));
         runtime.addGcThread(workers_.back().get());
     }
 }
 
 WorkGang::~WorkGang() = default;
+
+void
+WorkGang::buildShare(std::uint8_t tag, std::uint64_t packets, Cycles cost,
+                     std::uint64_t maxRoots, unsigned &cursor)
+{
+    distill_assert(packets > 0, "buildShare without packets");
+    const std::uint32_t base = static_cast<std::uint32_t>(pool_.size());
+    const Cycles each = cost / packets;
+    const std::uint64_t spread = cost % packets;
+
+    // Leaves first: packet j costs each (+1 for the first `spread`
+    // packets), so the share's total is conserved exactly — no
+    // last-packet remainder lump for whichever worker drains last.
+    for (std::uint64_t j = 0; j < packets; ++j) {
+        Packet p;
+        p.cost = each + (j < spread ? 1 : 0);
+        p.tag = tag;
+        pool_.push_back(p);
+        poolCost_ += p.cost;
+    }
+
+    // Concurrent dispatches model striped claiming (real concurrent
+    // markers carve the workload into stripes every worker can reach
+    // directly): every packet is immediately visible, so steals and
+    // spins only happen in the drain tail. The discovery-limited tree
+    // below is reserved for STW dispatches, where transitive tracing
+    // genuinely hides the frontier behind unpaid packets.
+    if (!stw_) {
+        for (std::uint64_t j = 0; j < packets; ++j) {
+            Worker &w = *workers_[cursor];
+            cursor = (cursor + 1) % static_cast<unsigned>(workers_.size());
+            std::uint32_t node = base + static_cast<std::uint32_t>(j);
+            if (w.deque_.size() < dequeBound)
+                w.deque_.push_back(node);
+            else
+                overflow_.push_back(node);
+        }
+        return;
+    }
+
+    // Chunk the share into root subtrees (seeded, uneven) and deal
+    // the roots round-robin onto worker deques. The chunk count is
+    // capped by the dispatch's root budget: the breadth of a mark
+    // frontier is a property of the object graph, not of the gang, so
+    // some pauses offer fewer independent subtrees than there are
+    // workers and the surplus workers burn their share of the pause
+    // probing and spinning — the imbalance that makes a parallel
+    // trace cost far more cycles than the work it retires (§IV-C(b)).
+    std::uint64_t chunks = std::min<std::uint64_t>(packets, maxRoots);
+    // Near-equal chunks with seeded jitter: collectors equalize their
+    // root partitions deliberately, so the imbalance premium comes
+    // from the budget being smaller than the gang, not from one
+    // lopsided chunk serializing the drain.
+    std::vector<std::uint32_t> cuts;
+    cuts.push_back(0);
+    for (std::uint64_t c = 1; c < chunks; ++c) {
+        std::uint64_t even = c * packets / chunks;
+        std::uint64_t slack = std::max<std::uint64_t>(
+            1, packets / (4 * chunks));
+        std::uint64_t jitter = nextRand() % (2 * slack + 1);
+        std::uint64_t cut = even + jitter > slack ? even + jitter - slack
+                                                  : 1;
+        cuts.push_back(static_cast<std::uint32_t>(
+            std::clamp<std::uint64_t>(cut, 1, packets - 1)));
+    }
+    cuts.push_back(static_cast<std::uint32_t>(packets));
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    // Link each chunk [a, b) into a discovery chain rooted at its
+    // first packet: each node hides the next, with an occasional
+    // (1/16) single-packet side leaf dangling off the chain. The
+    // chain keeps the stealable frontier pinned at the root budget
+    // for the whole drain — any wider fanout compounds over the
+    // thousands of packets in a pause and quietly restores
+    // worker-count parallelism — while the side leaves give thieves
+    // real, non-compounding steal targets.
+    for (std::size_t ci = 0; ci + 1 < cuts.size(); ++ci) {
+        std::uint32_t a = base + cuts[ci];
+        std::uint32_t b = base + cuts[ci + 1];
+        workers_[cursor]->deque_.push_back(a);
+        cursor = (cursor + 1) % static_cast<unsigned>(workers_.size());
+        std::uint32_t i = a;
+        while (i + 1 < b) {
+            Packet &p = pool_[i];
+            if (b - i >= 3 && nextRand() % 16 == 0) {
+                p.child[0] = i + 1; // side leaf (no children)
+                p.child[1] = i + 2; // chain continues
+                p.children = 2;
+                i += 2;
+            } else {
+                p.child[0] = i + 1;
+                p.children = 1;
+                ++i;
+            }
+        }
+    }
+}
 
 void
 WorkGang::dispatch(const GcWork &work, metrics::GcPhase primary,
@@ -66,16 +369,51 @@ WorkGang::dispatch(const GcWork &work, metrics::GcPhase primary,
     distill_assert(!busy(), "overlapping gang dispatch");
     distill_assert(client != nullptr, "gang dispatch without client");
     metrics::GcAgent &agent = rt_.agent();
-    const bool stw = agent.inPause();
+    stw_ = agent.inPause();
     std::vector<WorkShare> parts = partitionWork(work, primary);
     std::uint64_t total_packets = std::max<std::uint64_t>(
         std::max<std::uint64_t>(work.packets, 1), parts.size());
 
-    // Packets per slice proportional to its cost, at least one each,
-    // with the last slice absorbing the rounding slack. A
-    // single-slice dispatch reduces to the historical uniform split.
-    segments_.clear();
-    seg_ = 0;
+    // Fresh deterministic streams for this dispatch's tree shapes and
+    // victim choices: a function of the run seed, the gang identity,
+    // and the dispatch ordinal — independent of host parallelism.
+    ++dispatchEpoch_;
+    rng_ = rt_.config().seed ^ nameHash_ ^
+        (dispatchEpoch_ * 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<std::uint64_t>(workers_.size()) << 48);
+
+    pool_.clear();
+    pool_.reserve(total_packets);
+    overflow_.clear();
+    poolCost_ = 0;
+    paidCost_ = 0;
+    stealAttempts_ = 0;
+    stealHits_ = 0;
+    for (unsigned i = 0; i < workers_.size(); ++i) {
+        Worker &w = *workers_[i];
+        distill_assert(w.deque_.empty() && w.pending_.empty(),
+                       "worker deque not drained between dispatches");
+        w.rng_ = rng_ ^ ((i + 1) * 0xbf58476d1ce4e5b9ULL);
+        w.backoff_ = 0;
+        w.rendezvousPaid_ = false;
+        w.paidAny_ = false;
+    }
+
+    // STW dispatches draw one root budget for the whole pause — the
+    // object graph offers however many independent subtrees it
+    // offers, across every share of the dispatch — and split it over
+    // the shares by cost. Each share still gets at least one root.
+    // The draw spans [K/4, 3K/4): survivor graphs rarely offer a
+    // gang's worth of independent frontiers, which is precisely why
+    // parallel pause cycles run far ahead of the work retired
+    // (§IV-C(b)) and why speedup saturates well below K.
+    std::uint64_t root_budget =
+        std::max<std::uint64_t>(1, workers_.size() / 4) +
+        nextRand() % std::max<std::uint64_t>(1, workers_.size() / 2);
+
+    // Packets per share proportional to its cost, at least one each,
+    // with the last share absorbing the rounding slack.
+    unsigned cursor = 0;
     std::uint64_t remaining = total_packets;
     for (std::size_t i = 0; i < parts.size(); ++i) {
         std::uint64_t slices_after = parts.size() - 1 - i;
@@ -90,15 +428,17 @@ WorkGang::dispatch(const GcWork &work, metrics::GcPhase primary,
                                            remaining - slices_after);
         }
         remaining -= pk;
-        Segment s;
-        s.tag = metrics::gcPhaseTag(parts[i].phase, stw);
-        s.packets = pk;
-        s.packetCost = parts[i].cost / pk;
-        s.remainder = parts[i].cost % pk;
-        segments_.push_back(s);
+        std::uint64_t roots = work.cost > 0
+            ? std::clamp<std::uint64_t>(
+                  root_budget * parts[i].cost / work.cost, 1, pk)
+            : 1;
+        buildShare(metrics::gcPhaseTag(parts[i].phase, stw_), pk,
+                   parts[i].cost, roots, cursor);
     }
+    distill_assert(poolCost_ == work.cost,
+                   "packet pool does not conserve dispatched cost");
     packetsLeft_ = total_packets;
-    firstTag_ = segments_.front().tag;
+    firstTag_ = pool_.empty() ? 0 : pool_.front().tag;
     // Wall-clock span for the whole dispatch, closed when the last
     // worker goes idle.
     span_.emplace(agent, primary);
@@ -108,46 +448,42 @@ WorkGang::dispatch(const GcWork &work, metrics::GcPhase primary,
         w->makeRunnable();
 }
 
-bool
-WorkGang::frontTag(std::uint8_t &tag)
-{
-    while (seg_ < segments_.size() && segments_[seg_].packets == 0)
-        ++seg_;
-    if (seg_ >= segments_.size())
-        return false;
-    tag = segments_[seg_].tag;
-    return true;
-}
-
-Cycles
-WorkGang::takePacket()
-{
-    distill_assert(seg_ < segments_.size() &&
-                       segments_[seg_].packets > 0,
-                   "takePacket from an empty pool");
-    Segment &s = segments_[seg_];
-    --s.packets;
-    --packetsLeft_;
-    Cycles cost = s.packetCost;
-    if (s.packets == 0) {
-        cost += s.remainder;
-        s.remainder = 0;
-    }
-    // Ensure progress even for zero-cost packets.
-    return std::max<Cycles>(cost, 1);
-}
-
 void
 WorkGang::workerIdle()
 {
     distill_assert(active_ > 0, "idle worker without active dispatch");
     --active_;
-    if (active_ == 0 && packetsLeft_ == 0 && client_ != nullptr) {
-        span_.reset();
-        sim::SimThread *client = client_;
-        client_ = nullptr;
-        client->makeRunnable();
+    // STW dispatches complete when the last worker parks; concurrent
+    // dispatches already completed at the final payment (client_ is
+    // null by the time their workers wind down and park).
+    if (active_ == 0 && client_ != nullptr) {
+        distill_assert(packetsLeft_ == 0,
+                       "gang parked with packets outstanding");
+        drainComplete();
     }
+}
+
+void
+WorkGang::drainComplete()
+{
+    // Exact conservation: every dispatched cycle was charged by
+    // exactly one worker, no remainder lump left behind.
+    distill_assert(paidCost_ == poolCost_,
+                   "gang drain does not conserve charged cycles");
+    distill_assert(overflow_.empty(), "spill list not drained");
+    metrics::RunMetrics &m = rt_.agent().metrics();
+    m.stealAttempts += stealAttempts_;
+    m.stealHits += stealHits_;
+    if (!stw_) {
+        // Queue the termination wind-down each working worker still
+        // owes; payless workers exit the terminator immediately.
+        for (auto &w : workers_)
+            w->owesTermination_ = w->paidAny_;
+    }
+    span_.reset();
+    sim::SimThread *client = client_;
+    client_ = nullptr;
+    client->makeRunnable();
 }
 
 } // namespace distill::gc

@@ -1,22 +1,33 @@
 /**
  * @file
- * Parallel GC work gang.
+ * Work-stealing parallel GC gang.
  *
  * The simulator performs graph work (marking, copying) host-side in
  * the controlling GC thread, then *charges* the computed cycle cost
- * to a gang of simulated worker threads, split into packets pulled
- * from a shared pool. This yields the two effects the paper observes
- * for parallel collectors: wall-clock pause time ~ work/K (plus
- * imbalance from packet granularity), and total cycles ~ work plus
- * per-packet synchronization and per-worker rendezvous overhead —
- * which is exactly why Parallel beats Serial on time but loses on
- * cycles (§IV-C(b)).
+ * to a gang of simulated worker threads. Instead of pre-splitting the
+ * work into equal packets, dispatch builds a seeded packet *tree* —
+ * each packet hides its children until it has been processed, the way
+ * a mark packet hides the objects it will discover — and deals the
+ * tree's roots across per-worker bounded deques. Workers pop their
+ * own deque bottom; hungry workers probe seeded victims and steal the
+ * top, spin with exponential backoff when every visible deque is
+ * empty, and run a rounds-of-quiescence termination protocol once the
+ * pool drains. All of it is simulated cycles under the phase ledger's
+ * exact-conservation invariant, so `--jobs` byte-identity and golden
+ * determinism survive.
  *
- * The pool is segmented by GC phase for the cost-attribution ledger:
- * each phase-tagged slice of the dispatched work becomes its own run
- * of packets, and workers carry the slice's scheduler tag while
- * paying for it, so per-phase cycle totals are exact rather than
- * sampled (see metrics/phase.hh).
+ * This yields the three effects the paper observes for parallel
+ * collectors: wall-clock pause time ~ work/K (minus imbalance from
+ * chain-limited frontiers), total cycles ~ work plus per-packet
+ * synchronization, steal traffic, failed-steal spinning, and
+ * termination rounds — which is exactly why Parallel beats Serial on
+ * time but loses heavily on cycles (§IV-C(b)) — and sub-linear
+ * worker-count scaling with a rising steal/spin share.
+ *
+ * Attribution: each packet carries the scheduler tag of the GcWork
+ * share it was carved from; steal probes charge under GcPhase::Steal,
+ * failed-steal backoff under GcPhase::StealSpin, and termination
+ * rounds under GcPhase::Termination (see metrics/phase.hh).
  */
 
 #ifndef DISTILL_GC_GANG_HH
@@ -42,7 +53,8 @@ namespace distill::gc
 {
 
 /**
- * A gang of simulated GC worker threads paying for dispatched work.
+ * A gang of simulated GC worker threads paying for dispatched work
+ * through work-stealing deques.
  */
 class WorkGang
 {
@@ -55,20 +67,25 @@ class WorkGang
     ~WorkGang();
 
     /**
-     * Distribute @p work over its packet count and start the gang.
+     * Carve @p work into a seeded packet tree and start the gang.
      * Cost declared in work.shares is charged under each share's
      * phase; the undeclared remainder under @p primary, which also
      * names the wall-clock PhaseScope spanning the whole dispatch.
      * The STW variant of each tag is used when the agent reports an
      * open pause. @p client (usually the collector control thread) is
-     * woken when the last packet completes; the caller should block
-     * after dispatching.
+     * woken when the pool drains: for an STW dispatch that is after
+     * the last worker has terminated and parked; for a concurrent
+     * dispatch it is at the final packet payment, with the workers'
+     * termination wind-down charged off the client's critical path.
+     * The caller should block after dispatching. Total packet cost
+     * equals work.cost exactly (asserted), remainder cycles spread
+     * one-per-packet.
      */
     void dispatch(const GcWork &work, metrics::GcPhase primary,
                   sim::SimThread *client);
 
     /** Whether a dispatch is still in flight. */
-    bool busy() const { return packetsLeft_ > 0 || active_ > 0; }
+    bool busy() const { return packetsLeft_ > 0 || client_ != nullptr; }
 
     unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -76,49 +93,129 @@ class WorkGang
     class Worker : public rt::WorkerThread
     {
       public:
-        Worker(WorkGang &gang, const std::string &name);
+        Worker(WorkGang &gang, const std::string &name, unsigned index);
 
       protected:
         bool step() override;
         bool oneStepPerRound() const override { return false; }
 
       private:
+        /**
+         * Charge for @p node under its tag (already set), retire it,
+         * and stash its children privately until the next step.
+         */
+        void payPacket(std::uint32_t node);
+
+        /** Make privately held children visible (stealable). */
+        void flushPending();
+
+        /**
+         * True when switching to @p tag must wait for the next round
+         * because cycles are already charged under the current tag.
+         */
+        bool wouldRetag(std::uint8_t tag) const
+        {
+            return tag != phaseTag() && chargedThisRound() > 0;
+        }
+
+        /** Per-worker deterministic RNG (victim selection). */
+        std::uint64_t nextRand();
+
         WorkGang &gang_;
+        const unsigned index_;
         bool rendezvousPaid_ = false;
+        /**
+         * Whether this worker paid at least one packet this dispatch.
+         * Payless workers exit the termination protocol for free (the
+         * quiescence count is already complete when they first look).
+         */
+        bool paidAny_ = false;
+        std::uint64_t rng_ = 0;
+
+        /**
+         * Bounded mark deque of packet-tree node ids. The owner pops
+         * the bottom (back), thieves steal the top (front); pushes
+         * past the bound spill to the gang's shared overflow list.
+         */
+        std::vector<std::uint32_t> deque_;
+
+        /**
+         * Children discovered by the packet paid in the current step,
+         * invisible to thieves until this worker's next step — the
+         * in-hand window during which real tracers' deques look empty
+         * and steals fail. A packet charged beyond the round budget
+         * stretches the window across the worker's debt rounds.
+         */
+        std::vector<std::uint32_t> pending_;
+
+        /** Current steal-failure backoff (0 = none pending). */
+        Cycles backoff_ = 0;
+
+        /**
+         * Termination still to be charged for a drained concurrent
+         * dispatch (the client was woken at the final payment; the
+         * protocol cost is paid in the worker's next fresh round).
+         */
+        bool owesTermination_ = false;
 
         friend class WorkGang;
     };
 
-    /** One phase-tagged run of packets in the pool. */
-    struct Segment
+    /** One node of the dispatch's packet tree. */
+    struct Packet
     {
-        std::uint8_t tag = 0;
-        std::uint64_t packets = 0;
-        Cycles packetCost = 0;
-        Cycles remainder = 0; //!< added to the segment's last packet
+        Cycles cost = 0;             //!< charged when paid
+        std::uint32_t child[3] = {0, 0, 0};
+        std::uint8_t children = 0;
+        std::uint8_t tag = 0;        //!< scheduler attribution tag
     };
 
+    /** Deterministic gang-level RNG (tree shapes, root chunking). */
+    std::uint64_t nextRand();
+
     /**
-     * Worker-side: tag of the next packet; false when the pool is
-     * empty.
+     * Append one share's packet tree to the pool: @p packets leaves
+     * of ~cost/packets cycles (remainder spread one cycle per leaf),
+     * linked into seeded-fanout subtrees — at most @p maxRoots of
+     * them for an STW share — whose roots are dealt round-robin onto
+     * worker deques via @p cursor.
      */
-    bool frontTag(std::uint8_t &tag);
+    void buildShare(std::uint8_t tag, std::uint64_t packets, Cycles cost,
+                    std::uint64_t maxRoots, unsigned &cursor);
 
-    /** Worker-side: take the next packet's cost (pool non-empty). */
-    Cycles takePacket();
-
-    /** Worker-side: report going idle; wakes the client when last. */
+    /** Worker-side: report parking; wakes an STW client when last. */
     void workerIdle();
+
+    /**
+     * Pool fully paid: assert conservation, flush steal counters,
+     * close the dispatch span, and wake the client. Runs at the final
+     * packet payment for concurrent dispatches (queueing the workers'
+     * termination wind-down) and from the last parking worker for STW
+     * dispatches.
+     */
+    void drainComplete();
 
     rt::Runtime &rt_;
     std::vector<std::unique_ptr<Worker>> workers_;
-    std::vector<Segment> segments_;
-    std::size_t seg_ = 0;
-    std::uint8_t firstTag_ = 0;
+
+    std::vector<Packet> pool_;
+    std::vector<std::uint32_t> overflow_; //!< deque-bound spill, shared
     std::uint64_t packetsLeft_ = 0;
+    Cycles poolCost_ = 0; //!< total leaf cost (== dispatched work.cost)
+    Cycles paidCost_ = 0; //!< leaf cost charged so far this dispatch
+    std::uint8_t firstTag_ = 0;
+    bool stw_ = false;
     unsigned active_ = 0;
     sim::SimThread *client_ = nullptr;
     std::optional<metrics::PhaseScope> span_;
+
+    std::uint64_t nameHash_ = 0;
+    std::uint64_t dispatchEpoch_ = 0;
+    std::uint64_t rng_ = 0;
+
+    /** Dispatch-local steal counters, flushed to RunMetrics at drain. */
+    std::uint64_t stealAttempts_ = 0;
+    std::uint64_t stealHits_ = 0;
 };
 
 } // namespace distill::gc

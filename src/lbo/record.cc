@@ -28,8 +28,11 @@ constexpr std::size_t phaseFieldCount = 47;
 /** Field count of the pre-fleet-recovery layout. */
 constexpr std::size_t serveFieldCount = 54;
 
+/** Field count of the pre-work-stealing layout. */
+constexpr std::size_t recoveryFieldCount = 58;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 58;
+constexpr std::size_t currentFieldCount = 63;
 
 } // namespace
 
@@ -48,7 +51,9 @@ RunRecord::csvHeader()
            "sweepCycles,compactCycles,gcGlueCycles,serveSeed,"
            "serveIssued,serveCompleted,serveShed,serveDeadline,"
            "serveRetries,serveRetryExhausted,serveLost,"
-           "serveHedgeCancelled,serveRestarts,serveFailovers";
+           "serveHedgeCancelled,serveRestarts,serveFailovers,"
+           "stealCycles,stealSpinCycles,terminationSpinCycles,"
+           "stealAttempts,stealHits";
 }
 
 const char *
@@ -104,7 +109,9 @@ RunRecord::toCsv() const
         << ',' << serveShed << ',' << serveDeadline << ',' << serveRetries
         << ',' << serveRetryExhausted << ',' << serveLost << ','
         << serveHedgeCancelled << ',' << serveRestarts << ','
-        << serveFailovers;
+        << serveFailovers << ',' << stealCycles << ','
+        << stealSpinCycles << ',' << terminationSpinCycles << ','
+        << stealAttempts << ',' << stealHits;
     return out.str();
 }
 
@@ -128,6 +135,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         fields.size() != notesFieldCount &&
         fields.size() != phaseFieldCount &&
         fields.size() != serveFieldCount &&
+        fields.size() != recoveryFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -215,7 +223,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.serveShed = out.serveDeadline = 0;
             out.serveRetries = out.serveRetryExhausted = 0;
         }
-        if (fields.size() >= currentFieldCount) {
+        if (fields.size() >= recoveryFieldCount) {
             out.serveLost = std::stoull(fields[i++]);
             out.serveHedgeCancelled = std::stoull(fields[i++]);
             out.serveRestarts = std::stoull(fields[i++]);
@@ -223,6 +231,17 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         } else {
             out.serveLost = out.serveHedgeCancelled = 0;
             out.serveRestarts = out.serveFailovers = 0;
+        }
+        if (fields.size() >= currentFieldCount) {
+            out.stealCycles = std::stod(fields[i++]);
+            out.stealSpinCycles = std::stod(fields[i++]);
+            out.terminationSpinCycles = std::stod(fields[i++]);
+            out.stealAttempts = std::stoull(fields[i++]);
+            out.stealHits = std::stoull(fields[i++]);
+        } else {
+            out.stealCycles = out.stealSpinCycles = 0;
+            out.terminationSpinCycles = 0;
+            out.stealAttempts = out.stealHits = 0;
         }
     } catch (const std::exception &) {
         return false;

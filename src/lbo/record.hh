@@ -101,7 +101,9 @@ struct RunRecord
     /**
      * Per-phase GC-thread cycle attribution (the metrics ledger's
      * gcPhase[] rows, flattened). The seven named phases plus
-     * gcGlueCycles (the declared GcPhase::None slack) sum exactly to
+     * gcGlueCycles (the declared GcPhase::None slack) plus the three
+     * work-stealing sub-phase columns below (stealCycles,
+     * stealSpinCycles, terminationSpinCycles) sum exactly to
      * gcThreadCycles — the conservation invariant RunMetrics enforces
      * at finalize(). Zero in legacy rows parsed from pre-phase CSVs.
      */
@@ -142,18 +144,33 @@ struct RunRecord
     std::uint64_t serveRestarts = 0;       //!< supervisor restarts
     std::uint64_t serveFailovers = 0;      //!< arrivals routed away
 
+    /**
+     * Work-stealing tracer imbalance columns. The three cycle
+     * columns are the gcPhase[Steal/StealSpin/Termination] ledger
+     * rows (part of the conservation sum with the phase columns
+     * above); the two counters tally victim-deque probes and
+     * successful packet transfers across all gang dispatches. Zero
+     * for serial runs (no gang) and in legacy rows.
+     */
+    double stealCycles = 0;
+    double stealSpinCycles = 0;
+    double terminationSpinCycles = 0;
+    std::uint64_t stealAttempts = 0;
+    std::uint64_t stealHits = 0;
+
     /** Serialize as one CSV line (matching csvHeader()). */
     std::string toCsv() const;
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * the current 58-field layout as well as the six historical
+     * the current 63-field layout as well as the seven historical
      * ones (32 fields before the status/failReason columns existed,
      * 36 before signature/sidecar, 38 before notes, 39 before the
      * per-phase attribution columns, 47 before the serve columns,
-     * 54 before the fleet-recovery columns); legacy rows get status
-     * derived from their completed/oom flags, empty forensics/notes
-     * columns, and zeroed phase/serve/recovery fields.
+     * 54 before the fleet-recovery columns, 58 before the
+     * work-stealing columns); legacy rows get status derived from
+     * their completed/oom flags, empty forensics/notes columns, and
+     * zeroed phase/serve/recovery/steal fields.
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

@@ -51,6 +51,11 @@ fillMetrics(RunRecord &r, const metrics::RunMetrics &m)
     r.sweepCycles = phase_cycles(metrics::GcPhase::Sweep);
     r.compactCycles = phase_cycles(metrics::GcPhase::Compact);
     r.gcGlueCycles = phase_cycles(metrics::GcPhase::None);
+    r.stealCycles = phase_cycles(metrics::GcPhase::Steal);
+    r.stealSpinCycles = phase_cycles(metrics::GcPhase::StealSpin);
+    r.terminationSpinCycles = phase_cycles(metrics::GcPhase::Termination);
+    r.stealAttempts = m.stealAttempts;
+    r.stealHits = m.stealHits;
 }
 
 RunRecord

@@ -148,6 +148,15 @@ struct RunMetrics
     std::uint64_t schedRounds = 0;
     std::uint64_t schedDispatches = 0;
 
+    /**
+     * Work-stealing tracer counters, accumulated by gc::WorkGang at
+     * each dispatch drain: victim-deque probes (hits and misses) and
+     * successful packet transfers. The cycles burned stealing live in
+     * gcPhase[Steal/StealSpin/Termination]; these count the events.
+     */
+    std::uint64_t stealAttempts = 0;
+    std::uint64_t stealHits = 0;
+
     /** Barrier invocation counters (diagnostics). */
     std::uint64_t refLoads = 0;
     std::uint64_t refStores = 0;

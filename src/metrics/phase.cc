@@ -15,6 +15,9 @@ gcPhaseName(GcPhase phase)
     case GcPhase::Relocate: return "relocate";
     case GcPhase::Sweep: return "sweep";
     case GcPhase::Compact: return "compact";
+    case GcPhase::Steal: return "steal";
+    case GcPhase::StealSpin: return "steal-spin";
+    case GcPhase::Termination: return "termination";
     }
     return "?";
 }
@@ -31,6 +34,9 @@ gcPhaseEventLabel(GcPhase phase)
     case GcPhase::Relocate: return "phase:relocate";
     case GcPhase::Sweep: return "phase:sweep";
     case GcPhase::Compact: return "phase:compact";
+    case GcPhase::Steal: return "phase:steal";
+    case GcPhase::StealSpin: return "phase:steal-spin";
+    case GcPhase::Termination: return "phase:termination";
     }
     return "phase:?";
 }

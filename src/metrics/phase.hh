@@ -33,10 +33,13 @@ enum class GcPhase : std::uint8_t {
     Relocate,    //!< ZGC-style relocation (copy + forwarding install)
     Sweep,       //!< reclaiming regions / cset retirement / flip
     Compact,     //!< sliding full-heap compaction
+    Steal,       //!< work-stealing transfer (victim probes ending in a hit)
+    StealSpin,   //!< steal-failure backoff spinning while work remains
+    Termination, //!< rounds-of-quiescence termination protocol
 };
 
 /** Number of phases, including the None glue bucket. */
-inline constexpr std::size_t gcPhaseCount = 8;
+inline constexpr std::size_t gcPhaseCount = 11;
 
 /**
  * Number of distinct scheduler attribution tags: one concurrent and

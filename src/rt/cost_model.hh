@@ -95,6 +95,22 @@ struct CostModel
     std::uint32_t packetObjects = 48;
     /** Fixed per-collection cost of a parallel worker rendezvous. */
     Cycles workerRendezvous = 2500;
+
+    // ----- Work stealing --------------------------------------------
+    /** Probing one victim deque's top (CAS attempt + cache miss). */
+    Cycles stealAttempt = 120;
+    /** Initial steal-failure backoff spin; doubles per failure. */
+    Cycles stealSpin = 400;
+    /**
+     * Backoff ceiling. Once a hungry worker's backoff reaches the
+     * ceiling it yields the rest of its round, so the ceiling sets
+     * the duty cycle burned spinning while other workers drain.
+     */
+    Cycles stealSpinMax = 64'000;
+    /** Cycles burned per rounds-of-quiescence termination round. */
+    Cycles terminationSpin = 2'000;
+    /** Consecutive quiescent rounds required before a worker parks. */
+    std::uint32_t terminationRounds = 2;
 };
 
 } // namespace distill::rt

@@ -54,7 +54,7 @@ class SimThread
      * setPhaseTag). The sim layer treats tags as opaque small
      * integers; the metrics layer defines their meaning.
      */
-    static constexpr std::uint8_t maxPhaseTags = 16;
+    static constexpr std::uint8_t maxPhaseTags = 32;
 
     SimThread(std::string name, Kind kind);
     virtual ~SimThread();

@@ -225,11 +225,25 @@ TEST(WorkGang, PaysDispatchedCost)
 
     EXPECT_TRUE(client.done_);
     EXPECT_FALSE(gang.busy());
-    // Gang cycles = work + per-packet sync + per-worker rendezvous.
+    // The dispatched work lands under its own tag exactly: work +
+    // per-packet sync + per-worker rendezvous, with no remainder lump
+    // and none of the steal machinery mixed in.
     const rt::CostModel costs;
-    Cycles expect = 1'000'000 + 10 * costs.packetSync +
-        4 * costs.workerRendezvous;
-    EXPECT_EQ(runtime.scheduler().cycleTotals().gc, expect);
+    const auto &totals = runtime.scheduler().cycleTotals();
+    Cycles mark = totals.gcByTag[metrics::gcPhaseTag(
+        metrics::GcPhase::Mark, false)];
+    EXPECT_EQ(mark, 1'000'000 + 10 * costs.packetSync +
+        4 * costs.workerRendezvous);
+    // Termination is a fixed rounds-of-quiescence protocol per worker.
+    Cycles term = totals.gcByTag[metrics::gcPhaseTag(
+        metrics::GcPhase::Termination, false)];
+    EXPECT_EQ(term, 4 * costs.terminationRounds * costs.terminationSpin);
+    // Total GC cycles = the tagged work plus steal/spin/termination.
+    Cycles steal = totals.gcByTag[metrics::gcPhaseTag(
+        metrics::GcPhase::Steal, false)];
+    Cycles spin = totals.gcByTag[metrics::gcPhaseTag(
+        metrics::GcPhase::StealSpin, false)];
+    EXPECT_EQ(totals.gc, mark + steal + spin + term);
 }
 
 TEST(WorkGang, ParallelismShortensWallClock)

@@ -413,9 +413,10 @@ TEST(ServeRecord, PreRecoveryServeWidthStillParses)
     r.serveIssued = 500;
     r.serveLost = 9; // must NOT survive the legacy round trip
     std::string row = r.toCsv();
-    // Strip the 4 recovery columns to reconstruct a 54-field serve row.
+    // Strip the 5 steal and 4 recovery columns to reconstruct a
+    // 54-field serve row.
     std::size_t cut = row.size();
-    for (int i = 0; i < 4; ++i)
+    for (int i = 0; i < 9; ++i)
         cut = row.rfind(',', cut - 1);
     lbo::RunRecord parsed;
     ASSERT_TRUE(lbo::RunRecord::fromCsv(row.substr(0, cut), parsed));
@@ -431,9 +432,10 @@ TEST(ServeRecord, LegacyPhaseWidthStillParses)
     r.bench = "jme";
     r.serveIssued = 77; // must NOT survive the legacy round trip
     std::string row = r.toCsv();
-    // Strip the 11 serve columns to reconstruct a 47-field phase row.
+    // Strip the 5 steal and 11 serve columns to reconstruct a
+    // 47-field phase row.
     std::size_t cut = row.size();
-    for (int i = 0; i < 11; ++i)
+    for (int i = 0; i < 16; ++i)
         cut = row.rfind(',', cut - 1);
     lbo::RunRecord parsed;
     ASSERT_TRUE(lbo::RunRecord::fromCsv(row.substr(0, cut), parsed));
