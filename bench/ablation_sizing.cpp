@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The memory×time trade-off the paper's fixed-heap methodology holds
+ * constant: what happens to each collector's LBO when a dynamic
+ * heap-limit controller is allowed to move the committed footprint?
+ *
+ * Runs jme at 3.0x heap under all five production collectors crossed
+ * with the three sizing policies (fixed, adaptive, membalancer) and
+ * prints the (time LBO, cycle LBO, peak footprint) Pareto view —
+ * rows on their collector's frontier are marked "*". The expected
+ * shape: a shrinking controller trades a bounded time-LBO regression
+ * for a lower peak/average committed footprint, putting both the
+ * fixed and the controller rows on the frontier (they optimize
+ * different corners); a controller that only ever grows back to the
+ * fixed limit collapses onto the fixed row.
+ */
+
+#include "bench_common.hh"
+
+using namespace distill;
+
+int
+main()
+{
+    setVerbose(false);
+    lbo::SweepRunner runner;
+    lbo::Environment env;
+    wl::WorkloadSpec spec = runner.withMinHeap(wl::findSpec("jme"), env);
+
+    lbo::LboAnalyzer analyzer(bench::runSizingGrid(
+        runner, {spec}, {3.0}, bench::paperCollectors(),
+        bench::sizingPolicies()));
+
+    std::vector<std::string> policy_names;
+    for (heap::SizingPolicy policy : bench::sizingPolicies())
+        policy_names.push_back(heap::sizingPolicyName(policy));
+
+    lbo::printSizingParetoTable(
+        analyzer, {spec}, 3.0, bench::paperCollectors(), policy_names,
+        "jme at 3.0x heap: dynamic heap-limit controllers vs the "
+        "paper's fixed heaps");
+    return 0;
+}

@@ -31,6 +31,7 @@
 #include "base/stats.hh"
 #include "base/table.hh"
 #include "gc/collectors.hh"
+#include "heap/sizing.hh"
 #include "lbo/analyzer.hh"
 #include "lbo/report.hh"
 #include "lbo/sweep.hh"
@@ -57,6 +58,37 @@ runGrid(lbo::SweepRunner &runner,
     config.benchmarks = benchmarks;
     config.heapFactors = factors;
     config.collectors = collectors;
+    config.invocations = lbo::invocationsFromEnv(5);
+    return runner.run(config);
+}
+
+/** The three heap-sizing policies, fixed first (the baseline row). */
+inline const std::vector<heap::SizingPolicy> &
+sizingPolicies()
+{
+    static const std::vector<heap::SizingPolicy> policies = {
+        heap::SizingPolicy::Fixed,
+        heap::SizingPolicy::Adaptive,
+        heap::SizingPolicy::MemBalancer,
+    };
+    return policies;
+}
+
+/** runGrid with the sizing-policy dimension opened up. */
+inline std::vector<lbo::RunRecord>
+runSizingGrid(lbo::SweepRunner &runner,
+              const std::vector<wl::WorkloadSpec> &benchmarks,
+              const std::vector<double> &factors,
+              const std::vector<gc::CollectorKind> &collectors,
+              const std::vector<heap::SizingPolicy> &policies)
+{
+    lbo::SweepConfig config;
+    config.benchmarks = benchmarks;
+    config.heapFactors = factors;
+    config.collectors = collectors;
+    // Epsilon stays in the grid: sizing is forced to a no-op there,
+    // but its (total - gc) bound keeps the ideal estimate tight.
+    config.sizingPolicies = policies;
     config.invocations = lbo::invocationsFromEnv(5);
     return runner.run(config);
 }

@@ -1,6 +1,7 @@
 #include "gc/g1.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "base/logging.hh"
@@ -18,6 +19,30 @@ namespace
 
 /** Mutator-local SATB buffer flush threshold. */
 constexpr std::size_t satbFlushThreshold = 64;
+
+// Debug attribution for DISTILL_WATCH / DISTILL_WATCH_REGION runs
+// (mirrors the env parsing in region.cc / validate.cc): the free-path
+// warns below say which pause kind last recycled a watched region and
+// whether a watched source object was in its remembered set.
+std::size_t
+dbgWatchRegion()
+{
+    static const std::size_t idx = [] {
+        const char *env = std::getenv("DISTILL_WATCH_REGION");
+        return env != nullptr ? std::strtoull(env, nullptr, 10) : ~0ULL;
+    }();
+    return idx;
+}
+
+Addr
+dbgWatchAddr()
+{
+    static const Addr a = [] {
+        const char *env = std::getenv("DISTILL_WATCH");
+        return env != nullptr ? std::strtoull(env, nullptr, 16) : 0ULL;
+    }();
+    return a;
+}
 
 } // namespace
 
@@ -135,6 +160,15 @@ class G1::ControlThread : public rt::WorkerThread
                 ctx.bitmap.clearAll();
                 for (std::size_t i = 0; i < ctx.regions.regionCount(); ++i)
                     ctx.regions.region(i).liveBytes = 0;
+                // Snapshot the roots while the world is still stopped
+                // (the initial-mark work of this pause, as in
+                // HotSpot). Roots have no SATB barrier, so collecting
+                // them after resume would lose values overwritten
+                // before the marker thread wakes.
+                Cycles seed_cost = 0;
+                gc_.markSeeds_ = collectRootSeeds(rt, seed_cost);
+                gc_.markSeedCost_ = seed_cost;
+                charge(seed_cost);
                 gc_.wakeMarker();
             }
             if (job_ == PauseJob::Remark) {
@@ -469,7 +503,18 @@ G1::doEvacPause(bool &evac_failed)
         w.cost += copyObjectData(arena, ref, dst, costs);
         ++copied_objects;
         arena.header(dst)->setAge(promoted ? 0 : age);
-        if (markingActive_) {
+        // Preserve the source's mark state (as real G1 does when
+        // evacuating during a cycle). Evacuation reachability (roots +
+        // remsets) is broader than snapshot reachability, so a copy
+        // may be floating garbage: marking it unconditionally would
+        // assert liveness for an object whose referents the trace
+        // never marked, and cleanup would then reclaim a referent's
+        // region out from under a "live" pointer. Left unmarked, the
+        // dead copy is scrubbed at remark-cleanup and its stale slots
+        // die with it. Before the trace runs nothing is marked yet;
+        // those copies are marked by the trace itself, which walks the
+        // post-evacuation heap through the remapped seeds.
+        if (markingActive_ && ctx.bitmap.isMarked(ref)) {
             ctx.bitmap.mark(dst);
             rm.regionOf(dst).liveBytes += size;
         }
@@ -568,9 +613,33 @@ G1::doEvacPause(bool &evac_failed)
         }
         buffer = std::move(kept);
     }
+    // Root seeds captured at initial mark but not yet traced (the
+    // marker thread has not run) are addresses too — chase them
+    // through the forwarding pointers before the cset is freed.
+    if (!markSeeds_.empty()) {
+        std::vector<Addr> kept;
+        for (Addr e : markSeeds_) {
+            Addr nv = satb_fix(e);
+            if (nv != nullRef)
+                kept.push_back(nv);
+        }
+        markSeeds_ = std::move(kept);
+    }
 
     if (!failed_local) {
         for (heap::Region *cr : cset) {
+            if (cr->index == dbgWatchRegion()) {
+                warn("evac pause frees region %zu (state %u, remset "
+                     "size %zu, watch-src in remset %d)",
+                     cr->index, static_cast<unsigned>(cr->state),
+                     ctx.remsets.forRegion(cr->index).size(),
+                     dbgWatchAddr() != 0 &&
+                             ctx.remsets.forRegion(cr->index)
+                                     .entries()
+                                     .count(dbgWatchAddr()) != 0
+                         ? 1
+                         : 0);
+            }
             ctx.remsets.forRegion(cr->index).clear();
             ctx.bitmap.clearRegion(cr->index);
             rm.freeRegion(*cr);
@@ -631,6 +700,7 @@ G1::doFullGc()
     cycleInProgress_ = false;
     pendingRemark_ = false;
     markPending_ = false;
+    markSeeds_.clear();
     mixedCandidates_.clear();
     ctx.bitmap.clearAll();
     return w;
@@ -640,9 +710,10 @@ GcWork
 G1::doConcurrentMark()
 {
     GcWork w;
-    Cycles root_cost = 0;
-    std::vector<Addr> seeds = collectRootSeeds(*rt_, root_cost);
-    w.cost += root_cost;
+    // Seeds were snapshotted inside the initial-mark pause (and the
+    // root-scan cost charged there); trace from that snapshot.
+    std::vector<Addr> seeds = std::move(markSeeds_);
+    markSeeds_.clear();
     TraceResult marked = markFromRoots(*rt_, seeds, true);
     w.cost += marked.cost;
     w.packets = marked.objects / std::max<std::uint32_t>(
@@ -673,6 +744,48 @@ G1::doRemarkCleanup()
     // candidates (most garbage first).
     std::vector<heap::Region *> old_regions =
         { old_->regions().begin(), old_->regions().end() };
+
+    // Scrub: overwrite every dead object with a filler (as real G1
+    // scrubs regions after remark). The bitmap is authoritative here
+    // — it was cleared at cycle start, the trace marked everything
+    // live at the snapshot, and every allocation since (TLAB virtual
+    // path, evacuation copies, slow-path promotions) was marked
+    // eagerly — so unmarked objects are garbage whose reference slots
+    // are stale. Left in place they poison later pauses: a
+    // remset-recorded dead old source scanned by an evacuation — or a
+    // dead young object still awaiting its region's collection —
+    // would hold slots into regions that cleanup reclaimed and the
+    // allocator reused. Old regions that are wholly dead are skipped:
+    // they are reclaimed outright below.
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        heap::Region &r = rm.region(i);
+        if (r.state == heap::RegionState::Free || r.top == 0)
+            continue;
+        if (r.state == heap::RegionState::Old && r.liveBytes == 0)
+            continue; // reclaimed wholesale below
+        Addr run_start = nullRef;
+        std::uint64_t run_bytes = 0;
+        std::vector<std::pair<Addr, std::uint64_t>> dead_runs;
+        rm.forEachObject(r, [&](Addr obj) {
+            w.cost += costs.walkObject;
+            std::uint64_t size = rm.header(obj)->size;
+            if (ctx.bitmap.isMarked(obj)) {
+                if (run_bytes > 0) {
+                    dead_runs.emplace_back(run_start, run_bytes);
+                    run_bytes = 0;
+                }
+            } else {
+                if (run_bytes == 0)
+                    run_start = obj;
+                run_bytes += size;
+            }
+        });
+        if (run_bytes > 0)
+            dead_runs.emplace_back(run_start, run_bytes);
+        for (auto &[addr, bytes] : dead_runs)
+            heap::writeFiller(rm.arena(), addr, bytes);
+    }
+
     std::vector<std::pair<std::uint64_t, std::size_t>> candidates;
     std::vector<heap::Region *> reclaimed;
     for (heap::Region *r : old_regions) {
@@ -687,34 +800,49 @@ G1::doRemarkCleanup()
             candidates.emplace_back(r->liveBytes, r->index);
         }
     }
-    if (!reclaimed.empty()) {
-        // Prune every remset entry whose *source* lies in a reclaimed
-        // region. (Pruning via the sources' current slot values would
-        // miss entries recorded for since-overwritten slots, leaving
-        // dangling sources that corrupt later evacuations.)
-        for (heap::Region *r : reclaimed)
-            r->inCset = true; // temporary "dying" mark
-        for (std::size_t i = 0; i < rm.regionCount(); ++i) {
-            if (rm.region(i).state == heap::RegionState::Free)
-                continue;
-            auto &set = ctx.remsets.forRegion(i);
-            std::vector<Addr> stale;
-            for (Addr e : set.entries()) {
-                if (rm.regionOf(e).inCset)
-                    stale.push_back(e);
-            }
-            for (Addr e : stale) {
-                set.remove(e);
-                w.cost += costs.walkObject;
-            }
+    // Prune every remset entry that must never be scanned again:
+    // sources lying in a reclaimed region, and sources that died this
+    // cycle (unmarked at remark — the bitmap was cleared at cycle
+    // start, so unmarked old objects are garbage). Evacuation never
+    // updates a dead source's slots, so a dead entry scanned later
+    // follows stale pointers into regions that have since been
+    // reclaimed and reused — real G1 scrubs dead ranges for the same
+    // reason. (Pruning via the sources' current slot values would
+    // miss entries recorded for since-overwritten slots.)
+    for (heap::Region *r : reclaimed)
+        r->inCset = true; // temporary "dying" mark
+    for (std::size_t i = 0; i < rm.regionCount(); ++i) {
+        if (rm.region(i).state == heap::RegionState::Free)
+            continue;
+        auto &set = ctx.remsets.forRegion(i);
+        std::vector<Addr> stale;
+        for (Addr e : set.entries()) {
+            if (rm.regionOf(e).inCset || !ctx.bitmap.isMarked(e))
+                stale.push_back(e);
         }
-        for (heap::Region *r : reclaimed) {
-            r->inCset = false;
-            old_->removeRegion(r);
-            ctx.remsets.forRegion(r->index).clear();
-            ctx.bitmap.clearRegion(r->index);
-            rm.freeRegion(*r);
+        for (Addr e : stale) {
+            set.remove(e);
+            w.cost += costs.walkObject;
         }
+    }
+    for (heap::Region *r : reclaimed) {
+        if (r->index == dbgWatchRegion()) {
+            warn("cleanup reclaims region %zu (top %llu, remset size "
+                 "%zu, watch-src in remset %d)",
+                 r->index, static_cast<unsigned long long>(r->top),
+                 ctx.remsets.forRegion(r->index).size(),
+                 dbgWatchAddr() != 0 &&
+                         ctx.remsets.forRegion(r->index)
+                                 .entries()
+                                 .count(dbgWatchAddr()) != 0
+                     ? 1
+                     : 0);
+        }
+        r->inCset = false;
+        old_->removeRegion(r);
+        ctx.remsets.forRegion(r->index).clear();
+        ctx.bitmap.clearRegion(r->index);
+        rm.freeRegion(*r);
     }
     std::sort(candidates.begin(), candidates.end());
     mixedCandidates_.clear();

@@ -126,6 +126,16 @@ class G1 : public rt::Collector
      *  first. */
     std::vector<std::size_t> mixedCandidates_;
 
+    /**
+     * Root seeds captured inside the initial-mark pause. Roots have
+     * no SATB pre-barrier, so collecting them after the world resumes
+     * races mutator root writes: a value moved out of a root before
+     * the marker thread wakes would never be traced, and the
+     * remark-time cleanup would scrub or reclaim live objects.
+     */
+    std::vector<Addr> markSeeds_;
+    Cycles markSeedCost_ = 0;
+
     std::uint64_t gcEpoch_ = 0;
 
     /** Concurrent-cycle generation counter; guards stale marker work. */

@@ -43,7 +43,9 @@ BumpSpace::expand()
 Addr
 BumpSpace::alloc(std::uint64_t size)
 {
-    distill_assert(size <= heap::regionSize, "object larger than a region");
+    distill_assert(size <= heap::regionSize,
+                   "object larger than a region (%llu bytes)",
+                   static_cast<unsigned long long>(size));
     distill_assert(size % heap::objectAlignment == 0,
                    "unaligned allocation of %llu bytes",
                    static_cast<unsigned long long>(size));

@@ -1,5 +1,6 @@
 #include "heap/region.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "base/logging.hh"
@@ -81,6 +82,8 @@ RegionManager::allocRegion(RegionState state)
     r.top = 0;
     r.liveBytes = 0;
     r.inCset = false;
+    ++committedCount_;
+    peakCommittedCount_ = std::max(peakCommittedCount_, committedCount_);
     return &r;
 }
 
@@ -97,6 +100,9 @@ RegionManager::freeRegion(Region &region)
     region.liveBytes = 0;
     region.inCset = false;
     freeList_.push_back(region.index);
+    distill_assert(committedCount_ > 0,
+                   "freeRegion with zero committed count");
+    --committedCount_;
 }
 
 std::size_t
@@ -124,6 +130,33 @@ RegionManager::releaseHeldRegions(std::size_t n)
         ++released;
     }
     return released;
+}
+
+std::size_t
+RegionManager::uncommitFreeRegions(std::size_t n)
+{
+    std::size_t taken = 0;
+    while (taken < n && !freeList_.empty()) {
+        std::size_t idx = freeList_.back();
+        freeList_.pop_back();
+        distill_assert(regions_[idx].state == RegionState::Free,
+                       "region %zu on free list but not Free", idx);
+        uncommittedList_.push_back(idx);
+        ++taken;
+    }
+    return taken;
+}
+
+std::size_t
+RegionManager::recommitRegions(std::size_t n)
+{
+    std::size_t returned = 0;
+    while (returned < n && !uncommittedList_.empty()) {
+        freeList_.push_back(uncommittedList_.back());
+        uncommittedList_.pop_back();
+        ++returned;
+    }
+    return returned;
 }
 
 std::size_t

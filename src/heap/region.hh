@@ -141,6 +141,47 @@ class RegionManager
     /** Regions currently withheld by holdFreeRegions. */
     std::size_t heldCount() const { return heldList_.size(); }
 
+    // ----- Heap sizing: dynamic committed-region limit --------------
+
+    /**
+     * Withhold up to @p n free regions on behalf of the heap-sizing
+     * controller (see heap/sizing.hh). Mechanically identical to
+     * holdFreeRegions — regions keep state Free but leave the free
+     * list — but tracked on a separate list so a fault-plan squeeze
+     * and a shrunken controller limit each account for their own
+     * regions and can never double-withhold or double-release the
+     * other's.
+     * @return the number of regions actually uncommitted.
+     */
+    std::size_t uncommitFreeRegions(std::size_t n);
+
+    /**
+     * Return up to @p n controller-uncommitted regions to the free
+     * list (the limit grew back).
+     * @return the number of regions recommitted.
+     */
+    std::size_t recommitRegions(std::size_t n);
+
+    /** Regions currently withheld by uncommitFreeRegions. */
+    std::size_t uncommittedCount() const { return uncommittedList_.size(); }
+
+    /** Regions currently committed (in a non-Free state). */
+    std::size_t committedCount() const { return committedCount_; }
+
+    /** Current committed footprint in bytes. */
+    std::uint64_t
+    committedBytes() const
+    {
+        return static_cast<std::uint64_t>(committedCount_) * regionSize;
+    }
+
+    /** High-water mark of the committed footprint. */
+    std::uint64_t
+    peakCommittedBytes() const
+    {
+        return static_cast<std::uint64_t>(peakCommittedCount_) * regionSize;
+    }
+
     /**
      * Walk every object in @p region's allocated prefix. @p fn
      * receives the object address. The walk reads live header size
@@ -198,6 +239,9 @@ class RegionManager
     std::vector<Region> regions_;
     std::vector<std::size_t> freeList_;
     std::vector<std::size_t> heldList_;
+    std::vector<std::size_t> uncommittedList_;
+    std::size_t committedCount_ = 0;
+    std::size_t peakCommittedCount_ = 0;
 };
 
 } // namespace distill::heap

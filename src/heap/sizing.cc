@@ -1,0 +1,152 @@
+#include "heap/sizing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "heap/layout.hh"
+
+namespace distill::heap
+{
+
+const char *
+sizingPolicyName(SizingPolicy policy)
+{
+    switch (policy) {
+      case SizingPolicy::Fixed:
+        return "fixed";
+      case SizingPolicy::Adaptive:
+        return "adaptive";
+      case SizingPolicy::MemBalancer:
+        return "membalancer";
+    }
+    distill_assert(false, "unknown sizing policy %u",
+                   static_cast<unsigned>(policy));
+    return "fixed";
+}
+
+bool
+sizingPolicyFromName(const std::string &name, SizingPolicy &out)
+{
+    if (name == "fixed") {
+        out = SizingPolicy::Fixed;
+    } else if (name == "adaptive") {
+        out = SizingPolicy::Adaptive;
+    } else if (name == "membalancer") {
+        out = SizingPolicy::MemBalancer;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+HeapController::HeapController(const SizingConfig &config)
+    : config_(config)
+{
+    active_ = config_.policy != SizingPolicy::Fixed &&
+              config_.minHeapBytes > 0 &&
+              config_.maxHeapBytes > config_.minHeapBytes;
+    // Start wide open: every policy begins at the configured heap and
+    // earns its shrink from observed behaviour, so the first cycle is
+    // never artificially starved.
+    limitBytes_ = config_.maxHeapBytes;
+}
+
+void
+HeapController::onCycleEnd(const CycleSample &sample)
+{
+    if (!active_) {
+        return;
+    }
+    if (!haveLast_) {
+        // First boundary only establishes the baseline; rates need a
+        // delta.
+        last_ = sample;
+        haveLast_ = true;
+        return;
+    }
+    switch (config_.policy) {
+      case SizingPolicy::Adaptive:
+        adaptiveStep(sample);
+        break;
+      case SizingPolicy::MemBalancer:
+        membalancerStep(sample);
+        break;
+      case SizingPolicy::Fixed:
+        break;
+    }
+    last_ = sample;
+}
+
+void
+HeapController::adaptiveStep(const CycleSample &sample)
+{
+    // HotSpot's UseAdaptiveSizePolicy in miniature: compare the GC
+    // time fraction over the inter-cycle window against the target.
+    const Ticks wall = sample.nowNs - last_.nowNs;
+    const Ticks gc = sample.gcNs - last_.gcNs;
+    if (wall == 0) {
+        return;
+    }
+    const double fraction =
+        static_cast<double>(gc) / static_cast<double>(wall);
+    if (fraction > config_.gcTimeTarget) {
+        setLimit(static_cast<std::uint64_t>(
+            static_cast<double>(limitBytes_) * config_.growFactor));
+    } else if (fraction < config_.gcTimeTarget / 4.0) {
+        setLimit(static_cast<std::uint64_t>(
+            static_cast<double>(limitBytes_) * config_.shrinkFactor));
+    }
+}
+
+void
+HeapController::membalancerStep(const CycleSample &sample)
+{
+    // Kirisame et al.: spend extra memory E beyond the live set where
+    // the marginal time saved balances the marginal memory used:
+    //   E = sqrt(L · g · s / c)
+    // with L the live bytes, g the allocation rate (bytes/ns), s the
+    // per-cycle collection cost (ns), and c the tuning constant.
+    const Ticks wall = sample.nowNs - last_.nowNs;
+    if (wall == 0) {
+        return;
+    }
+    const double allocRate =
+        static_cast<double>(sample.allocatedBytes - last_.allocatedBytes) /
+        static_cast<double>(wall);
+    const double collectCost =
+        static_cast<double>(sample.gcNs - last_.gcNs);
+    const double live = static_cast<double>(sample.liveBytes);
+    const double extra =
+        std::sqrt(std::max(0.0, live * allocRate * collectCost) /
+                  config_.membalancerC);
+    setLimit(sample.liveBytes + static_cast<std::uint64_t>(extra));
+}
+
+void
+HeapController::setLimit(std::uint64_t target)
+{
+    target = std::clamp(target, config_.minHeapBytes,
+                        config_.maxHeapBytes);
+    // Region-granular: the region manager can only withhold whole
+    // regions. Rounding is biased toward the decision's direction —
+    // shrinks round down, grows round up — because rounding a shrink
+    // up can erase a multiplicative step smaller than one region and
+    // leave the limit permanently stuck above the floor.
+    if (target < limitBytes_) {
+        target = target / regionSize * regionSize;
+        target =
+            std::max(target, roundUp(config_.minHeapBytes, regionSize));
+    } else {
+        target = roundUp(target, regionSize);
+    }
+    target = std::min(target, config_.maxHeapBytes);
+    if (target > limitBytes_) {
+        ++grows_;
+    } else if (target < limitBytes_) {
+        ++shrinks_;
+    }
+    limitBytes_ = target;
+}
+
+} // namespace distill::heap

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Dynamic heap-limit controllers (ROADMAP item 4).
+ *
+ * Every experiment before this subsystem fixed the heap at k× the
+ * measured minimum; production runtimes instead *choose* a committed
+ * limit at run time. A HeapController is consulted at GC cycle
+ * boundaries with a CycleSample and answers one question: how many
+ * bytes may be committed right now? The runtime applies the answer as
+ * a committed-region limit through RegionManager::uncommitFreeRegions
+ * — the same state-Free withholding trick the fault injector's heap
+ * squeezes use — so collectors see nothing but a smaller free list
+ * and react through their ordinary pressure machinery.
+ *
+ * Three policies:
+ *  - Fixed: today's behaviour. The controller is inert and the limit
+ *    pins at the configured heap; byte-identical to pre-sizing runs.
+ *  - Adaptive: HotSpot-style GC-time throttling. If the fraction of
+ *    wall time spent on GC since the last consultation exceeds a
+ *    target (default 4 %), grow the limit ×1.25; if it falls below a
+ *    quarter of the target, shrink ×0.9. Clamped to
+ *    [min-heap, configured heap].
+ *  - MemBalancer: the square-root rule from "Optimal Heap Limits for
+ *    Reducing Browser Memory Use" (Kirisame et al., PAPERS.md):
+ *    extra = sqrt(live × allocation-rate × collection-cost / c), and
+ *    limit = live + extra, same clamp. Balances the marginal time
+ *    saved by more headroom against the marginal memory it costs.
+ *
+ * Controllers are pure arithmetic over the sample stream — no clocks,
+ * no randomness — so a (spec, collector, seed, schedule, fault-plan,
+ * policy) tuple replays bit-identically, which the golden suite and
+ * --jobs byte-identity checks rely on.
+ */
+
+#ifndef DISTILL_HEAP_SIZING_HH
+#define DISTILL_HEAP_SIZING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace distill::heap
+{
+
+/** Heap-limit policy selector; a first-class sweep dimension. */
+enum class SizingPolicy : std::uint8_t
+{
+    Fixed,       //!< Static limit at the configured heap size.
+    Adaptive,    //!< HotSpot-style GC-time-fraction target.
+    MemBalancer, //!< Kirisame et al. square-root rule.
+};
+
+/** Canonical lowercase name ("fixed", "adaptive", "membalancer"). */
+const char *sizingPolicyName(SizingPolicy policy);
+
+/**
+ * Parse a policy name; returns false (leaving @p out untouched) on
+ * anything unrecognized so CLI frontends can produce their own error.
+ */
+bool sizingPolicyFromName(const std::string &name, SizingPolicy &out);
+
+/** Tuning knobs; defaults documented in docs/COST_MODEL.md. */
+struct SizingConfig
+{
+    SizingPolicy policy = SizingPolicy::Fixed;
+
+    /**
+     * Lower clamp for the committed limit. Zero disables the
+     * controller outright (the Epsilon / --heap-bytes-override
+     * guarantee: without a measured min-heap there is no meaningful
+     * range to steer within, and the adaptive shrink would otherwise
+     * walk the limit toward a divide-by-zero floor).
+     */
+    std::uint64_t minHeapBytes = 0;
+
+    /** Upper clamp; the configured heap (k× min-heap). */
+    std::uint64_t maxHeapBytes = 0;
+
+    /** Adaptive: target GC-time fraction (HotSpot GCTimeRatio≈24). */
+    double gcTimeTarget = 0.04;
+
+    /** Adaptive: multiplicative expansion when over target. */
+    double growFactor = 1.25;
+
+    /** Adaptive: multiplicative contraction when under target/4. */
+    double shrinkFactor = 0.90;
+
+    /**
+     * MemBalancer tuning constant c: the assumed benefit-per-byte of
+     * extra heap. Smaller c ⇒ more headroom. Calibrated so mid-size
+     * workloads land between min-heap and the configured limit.
+     */
+    double membalancerC = 0.01;
+};
+
+/**
+ * One observation, taken at a GC cycle boundary (pause end or
+ * concurrent cycle end). All cumulative-since-run-start, virtual
+ * (simulated) time.
+ */
+struct CycleSample
+{
+    Ticks nowNs = 0;                //!< Virtual wall clock.
+    std::uint64_t liveBytes = 0;    //!< Post-cycle occupied bytes.
+    std::uint64_t allocatedBytes = 0; //!< Cumulative allocation.
+    Ticks gcNs = 0;                 //!< Cumulative GC-thread time.
+};
+
+/**
+ * The heap-limit controller: feed it cycle samples, read the limit.
+ * Inert (limit pinned at maxHeapBytes) when the policy is Fixed or
+ * minHeapBytes is zero.
+ */
+class HeapController
+{
+  public:
+    explicit HeapController(const SizingConfig &config);
+
+    /** Whether this controller can ever move the limit. */
+    bool active() const { return active_; }
+
+    /** Consume one cycle-boundary observation. */
+    void onCycleEnd(const CycleSample &sample);
+
+    /** Current committed-byte limit (always within the clamp). */
+    std::uint64_t limitBytes() const { return limitBytes_; }
+
+    /** Number of decisions that raised the limit. */
+    std::uint64_t grows() const { return grows_; }
+
+    /** Number of decisions that lowered the limit. */
+    std::uint64_t shrinks() const { return shrinks_; }
+
+  private:
+    void adaptiveStep(const CycleSample &sample);
+    void membalancerStep(const CycleSample &sample);
+    void setLimit(std::uint64_t target);
+
+    SizingConfig config_;
+    bool active_ = false;
+    std::uint64_t limitBytes_ = 0;
+    std::uint64_t grows_ = 0;
+    std::uint64_t shrinks_ = 0;
+
+    // Previous sample, for rate/fraction deltas.
+    CycleSample last_;
+    bool haveLast_ = false;
+};
+
+} // namespace distill::heap
+
+#endif // DISTILL_HEAP_SIZING_HH

@@ -14,7 +14,7 @@ LboAnalyzer::LboAnalyzer(std::vector<RunRecord> records)
     : records_(std::move(records))
 {
     for (const RunRecord &r : records_) {
-        Key key{r.bench, r.collector, r.heapFactor};
+        Key key{r.bench, r.collector, r.heapFactor, r.sizingPolicy};
         auto &bucket = byConfig_[key];
         auto it = allCompleted_.find(key);
         if (it == allCompleted_.end())
@@ -62,20 +62,22 @@ LboAnalyzer::gcOf(const RunRecord &r, metrics::Metric metric,
 std::vector<const RunRecord *>
 LboAnalyzer::configRecords(const std::string &bench,
                            const std::string &collector,
-                           double heap_factor) const
+                           double heap_factor,
+                           const std::string &sizing) const
 {
-    auto it = byConfig_.find(Key{bench, collector, heap_factor});
+    auto it = byConfig_.find(Key{bench, collector, heap_factor, sizing});
     return it == byConfig_.end() ? std::vector<const RunRecord *>{}
                                  : it->second;
 }
 
 bool
 LboAnalyzer::ran(const std::string &bench, const std::string &collector,
-                 double heap_factor) const
+                 double heap_factor, const std::string &sizing) const
 {
-    auto it = allCompleted_.find(Key{bench, collector, heap_factor});
+    Key key{bench, collector, heap_factor, sizing};
+    auto it = allCompleted_.find(key);
     return it != allCompleted_.end() && it->second &&
-        !byConfig_.at(Key{bench, collector, heap_factor}).empty();
+        !byConfig_.at(key).empty();
 }
 
 double
@@ -97,13 +99,15 @@ LboAnalyzer::idealEstimate(const std::string &bench,
 
 LboAnalyzer::Value
 LboAnalyzer::total(const std::string &bench, const std::string &collector,
-                   double heap_factor, metrics::Metric metric) const
+                   double heap_factor, metrics::Metric metric,
+                   const std::string &sizing) const
 {
     Value v;
-    if (!ran(bench, collector, heap_factor))
+    if (!ran(bench, collector, heap_factor, sizing))
         return v;
     RunningStat stat;
-    for (const RunRecord *r : configRecords(bench, collector, heap_factor))
+    for (const RunRecord *r :
+         configRecords(bench, collector, heap_factor, sizing))
         stat.add(totalOf(*r, metric));
     v.mean = stat.mean();
     v.ci = stat.ci95();
@@ -114,13 +118,15 @@ LboAnalyzer::total(const std::string &bench, const std::string &collector,
 LboAnalyzer::Value
 LboAnalyzer::gcCost(const std::string &bench, const std::string &collector,
                     double heap_factor, metrics::Metric metric,
-                    Attribution attribution) const
+                    Attribution attribution,
+                    const std::string &sizing) const
 {
     Value v;
-    if (!ran(bench, collector, heap_factor))
+    if (!ran(bench, collector, heap_factor, sizing))
         return v;
     RunningStat stat;
-    for (const RunRecord *r : configRecords(bench, collector, heap_factor))
+    for (const RunRecord *r :
+         configRecords(bench, collector, heap_factor, sizing))
         stat.add(gcOf(*r, metric, attribution));
     v.mean = stat.mean();
     v.ci = stat.ci95();
@@ -131,16 +137,17 @@ LboAnalyzer::gcCost(const std::string &bench, const std::string &collector,
 LboAnalyzer::Value
 LboAnalyzer::lbo(const std::string &bench, const std::string &collector,
                  double heap_factor, metrics::Metric metric,
-                 Attribution attribution) const
+                 Attribution attribution, const std::string &sizing) const
 {
     Value v;
-    if (!ran(bench, collector, heap_factor))
+    if (!ran(bench, collector, heap_factor, sizing))
         return v;
     double ideal = idealEstimate(bench, metric, attribution);
     if (ideal <= 0.0)
         return v;
     RunningStat stat;
-    for (const RunRecord *r : configRecords(bench, collector, heap_factor))
+    for (const RunRecord *r :
+         configRecords(bench, collector, heap_factor, sizing))
         stat.add(totalOf(*r, metric) / ideal);
     v.mean = stat.mean();
     v.ci = stat.ci95();
@@ -151,20 +158,59 @@ LboAnalyzer::lbo(const std::string &bench, const std::string &collector,
 LboAnalyzer::Value
 LboAnalyzer::stwPercent(const std::string &bench,
                         const std::string &collector, double heap_factor,
-                        metrics::Metric metric) const
+                        metrics::Metric metric,
+                        const std::string &sizing) const
 {
     Value v;
-    if (!ran(bench, collector, heap_factor))
+    if (!ran(bench, collector, heap_factor, sizing))
         return v;
     RunningStat stat;
-    for (const RunRecord *r : configRecords(bench, collector,
-                                            heap_factor)) {
+    for (const RunRecord *r :
+         configRecords(bench, collector, heap_factor, sizing)) {
         double total = totalOf(*r, metric);
         double stw = metric == metrics::Metric::WallTime ? r->stwWallNs
                                                          : r->stwCycles;
         if (total > 0.0)
             stat.add(100.0 * stw / total);
     }
+    v.mean = stat.mean();
+    v.ci = stat.ci95();
+    v.valid = true;
+    return v;
+}
+
+LboAnalyzer::Value
+LboAnalyzer::peakFootprint(const std::string &bench,
+                           const std::string &collector,
+                           double heap_factor,
+                           const std::string &sizing) const
+{
+    Value v;
+    if (!ran(bench, collector, heap_factor, sizing))
+        return v;
+    RunningStat stat;
+    for (const RunRecord *r :
+         configRecords(bench, collector, heap_factor, sizing))
+        stat.add(static_cast<double>(r->peakCommittedBytes));
+    v.mean = stat.mean();
+    v.ci = stat.ci95();
+    v.valid = true;
+    return v;
+}
+
+LboAnalyzer::Value
+LboAnalyzer::avgFootprint(const std::string &bench,
+                          const std::string &collector,
+                          double heap_factor,
+                          const std::string &sizing) const
+{
+    Value v;
+    if (!ran(bench, collector, heap_factor, sizing))
+        return v;
+    RunningStat stat;
+    for (const RunRecord *r :
+         configRecords(bench, collector, heap_factor, sizing))
+        stat.add(r->avgCommittedBytes);
     v.mean = stat.mean();
     v.ci = stat.ci95();
     v.valid = true;

@@ -23,6 +23,7 @@
 
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "lbo/record.hh"
@@ -58,38 +59,65 @@ class LboAnalyzer
 
     /**
      * Tightest upper bound on the ideal cost of @p bench: the minimum
-     * over every completed configuration of mean(total - gc).
+     * over every completed configuration of mean(total - gc) — all
+     * sizing policies included, since each is just another measured
+     * configuration bounding the same ideal.
      * @return 0 when no configuration of the benchmark completed.
      */
     double idealEstimate(const std::string &bench, metrics::Metric metric,
                          Attribution attribution) const;
 
-    /** Mean LBO (and CI) of one configuration; invalid if it failed. */
+    /**
+     * Mean LBO (and CI) of one configuration; invalid if it failed.
+     * A configuration is (bench, collector, heap factor, sizing
+     * policy); the policy defaults to "fixed" — the only one that
+     * exists in pre-sizing record sets — so every legacy caller reads
+     * the same cells it always did.
+     */
     Value lbo(const std::string &bench, const std::string &collector,
               double heap_factor, metrics::Metric metric,
-              Attribution attribution) const;
+              Attribution attribution,
+              const std::string &sizing = "fixed") const;
 
     /** Mean total cost of one configuration. */
     Value total(const std::string &bench, const std::string &collector,
-                double heap_factor, metrics::Metric metric) const;
+                double heap_factor, metrics::Metric metric,
+                const std::string &sizing = "fixed") const;
 
     /** Mean apparent GC cost of one configuration. */
     Value gcCost(const std::string &bench, const std::string &collector,
                  double heap_factor, metrics::Metric metric,
-                 Attribution attribution) const;
+                 Attribution attribution,
+                 const std::string &sizing = "fixed") const;
 
     /** Percent of total cost spent in STW pauses (Tables X/XI). */
     Value stwPercent(const std::string &bench, const std::string &collector,
-                     double heap_factor, metrics::Metric metric) const;
+                     double heap_factor, metrics::Metric metric,
+                     const std::string &sizing = "fixed") const;
+
+    /**
+     * Mean peak committed footprint (bytes) of one configuration —
+     * the third axis of the (time, cycles, footprint) Pareto view.
+     */
+    Value peakFootprint(const std::string &bench,
+                        const std::string &collector, double heap_factor,
+                        const std::string &sizing = "fixed") const;
+
+    /** Mean time-weighted average committed footprint (bytes). */
+    Value avgFootprint(const std::string &bench,
+                       const std::string &collector, double heap_factor,
+                       const std::string &sizing = "fixed") const;
 
     /** Whether every invocation of the configuration completed. */
     bool ran(const std::string &bench, const std::string &collector,
-             double heap_factor) const;
+             double heap_factor,
+             const std::string &sizing = "fixed") const;
 
     /** All completed records of one configuration. */
     std::vector<const RunRecord *>
     configRecords(const std::string &bench, const std::string &collector,
-                  double heap_factor) const;
+                  double heap_factor,
+                  const std::string &sizing = "fixed") const;
 
     const std::vector<RunRecord> &records() const { return records_; }
 
@@ -101,7 +129,7 @@ class LboAnalyzer
                        Attribution attribution);
 
   private:
-    using Key = std::tuple<std::string, std::string, double>;
+    using Key = std::tuple<std::string, std::string, double, std::string>;
 
     std::vector<RunRecord> records_;
     std::map<Key, std::vector<const RunRecord *>> byConfig_;

@@ -14,7 +14,7 @@ namespace distill::lbo::detail
 {
 
 /** Bump when the cost model, workloads, or collectors change. */
-constexpr int cacheEpoch = 6;
+constexpr int cacheEpoch = 7;
 
 /** DISTILL_CACHE_DIR, else "data" when the cwd has one, else ".". */
 std::string cacheDir();

@@ -31,8 +31,11 @@ constexpr std::size_t serveFieldCount = 54;
 /** Field count of the pre-work-stealing layout. */
 constexpr std::size_t recoveryFieldCount = 58;
 
+/** Field count of the pre-heap-sizing layout. */
+constexpr std::size_t stealFieldCount = 63;
+
 /** Field count of the current layout. */
-constexpr std::size_t currentFieldCount = 63;
+constexpr std::size_t currentFieldCount = 69;
 
 } // namespace
 
@@ -53,7 +56,9 @@ RunRecord::csvHeader()
            "serveRetries,serveRetryExhausted,serveLost,"
            "serveHedgeCancelled,serveRestarts,serveFailovers,"
            "stealCycles,stealSpinCycles,terminationSpinCycles,"
-           "stealAttempts,stealHits";
+           "stealAttempts,stealHits,sizingPolicy,heapLimitBytes,"
+           "peakCommittedBytes,avgCommittedBytes,sizingGrows,"
+           "sizingShrinks";
 }
 
 const char *
@@ -111,7 +116,10 @@ RunRecord::toCsv() const
         << serveHedgeCancelled << ',' << serveRestarts << ','
         << serveFailovers << ',' << stealCycles << ','
         << stealSpinCycles << ',' << terminationSpinCycles << ','
-        << stealAttempts << ',' << stealHits;
+        << stealAttempts << ',' << stealHits << ',' << sizingPolicy
+        << ',' << heapLimitBytes << ',' << peakCommittedBytes << ','
+        << avgCommittedBytes << ',' << sizingGrows << ','
+        << sizingShrinks;
     return out.str();
 }
 
@@ -136,6 +144,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
         fields.size() != phaseFieldCount &&
         fields.size() != serveFieldCount &&
         fields.size() != recoveryFieldCount &&
+        fields.size() != stealFieldCount &&
         fields.size() != currentFieldCount) {
         return false;
     }
@@ -232,7 +241,7 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.serveLost = out.serveHedgeCancelled = 0;
             out.serveRestarts = out.serveFailovers = 0;
         }
-        if (fields.size() >= currentFieldCount) {
+        if (fields.size() >= stealFieldCount) {
             out.stealCycles = std::stod(fields[i++]);
             out.stealSpinCycles = std::stod(fields[i++]);
             out.terminationSpinCycles = std::stod(fields[i++]);
@@ -242,6 +251,21 @@ RunRecord::fromCsv(const std::string &line, RunRecord &out)
             out.stealCycles = out.stealSpinCycles = 0;
             out.terminationSpinCycles = 0;
             out.stealAttempts = out.stealHits = 0;
+        }
+        if (fields.size() >= currentFieldCount) {
+            out.sizingPolicy = fields[i++];
+            out.heapLimitBytes = std::stoull(fields[i++]);
+            out.peakCommittedBytes = std::stoull(fields[i++]);
+            out.avgCommittedBytes = std::stod(fields[i++]);
+            out.sizingGrows = std::stoull(fields[i++]);
+            out.sizingShrinks = std::stoull(fields[i++]);
+        } else {
+            // Every pre-sizing row ran under the only policy that
+            // existed: the fixed heap limit.
+            out.sizingPolicy = "fixed";
+            out.heapLimitBytes = out.peakCommittedBytes = 0;
+            out.avgCommittedBytes = 0;
+            out.sizingGrows = out.sizingShrinks = 0;
         }
     } catch (const std::exception &) {
         return false;

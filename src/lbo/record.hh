@@ -158,19 +158,38 @@ struct RunRecord
     std::uint64_t stealAttempts = 0;
     std::uint64_t stealHits = 0;
 
+    /**
+     * Heap-sizing columns (heap/sizing.hh). sizingPolicy is the
+     * *effective* policy the run executed ("fixed" when a requested
+     * controller was forced inert — Epsilon, or no measured
+     * min-heap); heapLimitBytes is the controller's final committed
+     * limit (the configured heap under fixed). The footprint pair is
+     * measured for every run; the grow/shrink counters tally
+     * controller decisions and stay zero under fixed. Legacy rows
+     * parse as policy "fixed" with zeroed columns.
+     */
+    std::string sizingPolicy = "fixed";
+    std::uint64_t heapLimitBytes = 0;
+    std::uint64_t peakCommittedBytes = 0;
+    double avgCommittedBytes = 0;
+    std::uint64_t sizingGrows = 0;
+    std::uint64_t sizingShrinks = 0;
+
     /** Serialize as one CSV line (matching csvHeader()). */
     std::string toCsv() const;
 
     /**
      * Parse one CSV line; returns false on malformed input. Accepts
-     * the current 63-field layout as well as the seven historical
+     * the current 69-field layout as well as the eight historical
      * ones (32 fields before the status/failReason columns existed,
      * 36 before signature/sidecar, 38 before notes, 39 before the
      * per-phase attribution columns, 47 before the serve columns,
      * 54 before the fleet-recovery columns, 58 before the
-     * work-stealing columns); legacy rows get status derived from
-     * their completed/oom flags, empty forensics/notes columns, and
-     * zeroed phase/serve/recovery/steal fields.
+     * work-stealing columns, 63 before the heap-sizing columns);
+     * legacy rows get status derived from their completed/oom flags,
+     * empty forensics/notes columns, zeroed
+     * phase/serve/recovery/steal/footprint fields, and sizing policy
+     * "fixed".
      */
     static bool fromCsv(const std::string &line, RunRecord &out);
 

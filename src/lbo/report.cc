@@ -119,4 +119,131 @@ printPerBenchmarkTable(
     std::printf("(* excluded from summary statistics)\n\n");
 }
 
+void
+printSizingParetoTable(
+    const LboAnalyzer &analyzer,
+    const std::vector<wl::WorkloadSpec> &benchmarks, double factor,
+    const std::vector<gc::CollectorKind> &collectors,
+    const std::vector<std::string> &policies, const std::string &title)
+{
+    std::printf("%s\n", title.c_str());
+    TextTable table({"GC", "policy", "timeLBO", "cycLBO", "peakMiB",
+                     "avgMiB", "grows", "shrinks", "front"});
+
+    struct Point
+    {
+        std::string policy;
+        bool valid = false;
+        double timeLbo = 0, cycleLbo = 0, peakMiB = 0, avgMiB = 0;
+        double grows = 0, shrinks = 0;
+        bool pareto = false;
+    };
+
+    for (gc::CollectorKind kind : collectors) {
+        std::string name = gc::collectorName(kind);
+        std::vector<Point> points;
+        for (const std::string &policy : policies) {
+            Point p;
+            p.policy = policy;
+            std::vector<double> time_v, cycle_v, peak_v, avg_v;
+            double grow_sum = 0, shrink_sum = 0;
+            std::size_t grow_n = 0;
+            bool all_ran = true;
+            for (const wl::WorkloadSpec &spec : benchmarks) {
+                if (!analyzer.ran(spec.name, name, factor, policy)) {
+                    all_ran = false;
+                    break;
+                }
+                time_v.push_back(std::max(
+                    analyzer
+                        .lbo(spec.name, name, factor,
+                             metrics::Metric::WallTime,
+                             Attribution::GcThreads, policy)
+                        .mean,
+                    1e-3));
+                cycle_v.push_back(std::max(
+                    analyzer
+                        .lbo(spec.name, name, factor,
+                             metrics::Metric::Cycles,
+                             Attribution::GcThreads, policy)
+                        .mean,
+                    1e-3));
+                peak_v.push_back(std::max(
+                    analyzer.peakFootprint(spec.name, name, factor, policy)
+                        .mean,
+                    1.0));
+                avg_v.push_back(std::max(
+                    analyzer.avgFootprint(spec.name, name, factor, policy)
+                        .mean,
+                    1.0));
+                for (const RunRecord *r : analyzer.configRecords(
+                         spec.name, name, factor, policy)) {
+                    grow_sum += static_cast<double>(r->sizingGrows);
+                    shrink_sum += static_cast<double>(r->sizingShrinks);
+                    ++grow_n;
+                }
+            }
+            if (all_ran && !time_v.empty()) {
+                p.valid = true;
+                p.timeLbo = geomean(time_v);
+                p.cycleLbo = geomean(cycle_v);
+                p.peakMiB = geomean(peak_v) / (1024.0 * 1024.0);
+                p.avgMiB = geomean(avg_v) / (1024.0 * 1024.0);
+                p.grows = grow_n > 0 ? grow_sum / grow_n : 0;
+                p.shrinks = grow_n > 0 ? shrink_sum / grow_n : 0;
+            }
+            points.push_back(std::move(p));
+        }
+
+        // Per-collector Pareto frontier over (timeLBO, cycleLBO,
+        // peak footprint): a point is dominated when another policy is
+        // at least as good on every objective and strictly better on
+        // one (with a 0.1 % tolerance so float noise does not decide
+        // frontier membership).
+        constexpr double eps = 1e-3;
+        for (Point &p : points) {
+            if (!p.valid)
+                continue;
+            bool dominated = false;
+            for (const Point &q : points) {
+                if (!q.valid || &q == &p)
+                    continue;
+                bool no_worse = q.timeLbo <= p.timeLbo * (1 + eps) &&
+                    q.cycleLbo <= p.cycleLbo * (1 + eps) &&
+                    q.peakMiB <= p.peakMiB * (1 + eps);
+                bool better = q.timeLbo < p.timeLbo * (1 - eps) ||
+                    q.cycleLbo < p.cycleLbo * (1 - eps) ||
+                    q.peakMiB < p.peakMiB * (1 - eps);
+                if (no_worse && better) {
+                    dominated = true;
+                    break;
+                }
+            }
+            p.pareto = !dominated;
+        }
+
+        for (const Point &p : points) {
+            table.beginRow();
+            table.cell(name);
+            table.cell(p.policy);
+            if (!p.valid) {
+                for (int i = 0; i < 6; ++i)
+                    table.blank();
+                table.cell(std::string(""));
+                continue;
+            }
+            table.cell(p.timeLbo, 2);
+            table.cell(p.cycleLbo, 2);
+            table.cell(p.peakMiB, 1);
+            table.cell(p.avgMiB, 1);
+            table.cell(p.grows, 1);
+            table.cell(p.shrinks, 1);
+            table.cell(std::string(p.pareto ? "*" : ""));
+        }
+    }
+    table.print();
+    std::printf("(* on the collector's (time, cycles, peak-footprint) "
+                "Pareto frontier)\n\n");
+}
+
 } // namespace distill::lbo

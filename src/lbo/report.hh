@@ -46,6 +46,22 @@ void printPerBenchmarkTable(
     const std::string &title,
     const std::vector<std::string> &exclude_from_summary);
 
+/**
+ * The memory×time Pareto view: one row per (collector, sizing
+ * policy), with the three objectives the sizing sweep trades off —
+ * time LBO, cycle LBO (GC-thread attribution), and peak committed
+ * footprint (MiB) — plus the controller's final limit and decision
+ * counts. Cells are geometric means over @p benchmarks at heap
+ * multiplier @p factor. Rows on their collector's Pareto frontier
+ * (no other policy of the same collector is at least as good on all
+ * three objectives and better on one) are marked "*".
+ */
+void printSizingParetoTable(
+    const LboAnalyzer &analyzer,
+    const std::vector<wl::WorkloadSpec> &benchmarks, double factor,
+    const std::vector<gc::CollectorKind> &collectors,
+    const std::vector<std::string> &policies, const std::string &title);
+
 } // namespace distill::lbo
 
 #endif // DISTILL_LBO_REPORT_HH

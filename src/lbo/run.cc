@@ -56,6 +56,11 @@ fillMetrics(RunRecord &r, const metrics::RunMetrics &m)
     r.terminationSpinCycles = phase_cycles(metrics::GcPhase::Termination);
     r.stealAttempts = m.stealAttempts;
     r.stealHits = m.stealHits;
+    r.heapLimitBytes = m.heapLimitBytes;
+    r.peakCommittedBytes = m.peakCommittedBytes;
+    r.avgCommittedBytes = m.avgCommittedBytes;
+    r.sizingGrows = m.sizingGrows;
+    r.sizingShrinks = m.sizingShrinks;
 }
 
 RunRecord
@@ -72,6 +77,17 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     config.heapBytes = collector == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
+    // The Epsilon / no-min-heap guarantee: a heap-limit controller is
+    // only armed when there is a measured [min-heap, configured-heap]
+    // range to steer within. Epsilon never collects (no cycle
+    // boundaries to consult at) and runs on the machine-memory heap;
+    // specs without a measured min-heap (heap-bytes replay overrides)
+    // would hand the adaptive shrink a zero floor.
+    heap::SizingPolicy effective_policy = env.sizingPolicy;
+    if (collector == gc::CollectorKind::Epsilon || spec.minHeapBytes == 0)
+        effective_policy = heap::SizingPolicy::Fixed;
+    config.sizingPolicy = effective_policy;
+    config.minHeapBytes = spec.minHeapBytes;
 
     rt::Runtime runtime(config, gc::makeCollector(collector, env.gcOptions),
                         wl::makeWorkload(spec));
@@ -95,6 +111,7 @@ runOne(const wl::WorkloadSpec &spec, gc::CollectorKind collector,
     r.invocation = invocation;
     r.faultSeed = env.faultSeed;
     r.schedSeed = env.schedSeed;
+    r.sizingPolicy = heap::sizingPolicyName(effective_policy);
     fillMetrics(r, m);
     return r;
 }

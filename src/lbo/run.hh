@@ -8,6 +8,7 @@
 
 #include "gc/collectors.hh"
 #include "gc/options.hh"
+#include "heap/sizing.hh"
 #include "lbo/record.hh"
 #include "metrics/agent.hh"
 #include "rt/cost_model.hh"
@@ -39,6 +40,14 @@ struct Environment
      * resumed under a distinct key, so clean grids are unaffected.
      */
     std::uint64_t faultSeed = 0;
+
+    /**
+     * Heap-limit policy (heap/sizing.hh). Forced to Fixed for Epsilon
+     * and for specs without a measured min-heap: a controller needs a
+     * [min-heap, configured-heap] range to steer within. Non-fixed
+     * runs cache under a distinct key, so clean grids are unaffected.
+     */
+    heap::SizingPolicy sizingPolicy = heap::SizingPolicy::Fixed;
 };
 
 /**

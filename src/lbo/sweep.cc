@@ -264,15 +264,15 @@ std::string
 SweepRunner::key(const std::string &bench, const std::string &collector,
                  std::uint64_t heap_bytes, std::uint64_t seed,
                  unsigned invocation, std::uint64_t fault_seed,
-                 std::uint64_t sched_seed)
+                 std::uint64_t sched_seed, const std::string &sizing)
 {
     std::string k =
         strprintf("%s|%s|%llu|%llu|%u", bench.c_str(), collector.c_str(),
                   static_cast<unsigned long long>(heap_bytes),
                   static_cast<unsigned long long>(seed), invocation);
-    // Faulted/perturbed cells get a distinct key; the suffix is only
-    // added when nonzero so clean grids keep hitting pre-existing
-    // cache entries.
+    // Faulted/perturbed/controller cells get a distinct key; each
+    // suffix is only added when non-default so clean grids keep
+    // hitting pre-existing cache entries.
     if (fault_seed != 0) {
         k += strprintf("|f%llu",
                        static_cast<unsigned long long>(fault_seed));
@@ -281,6 +281,8 @@ SweepRunner::key(const std::string &bench, const std::string &collector,
         k += strprintf("|s%llu",
                        static_cast<unsigned long long>(sched_seed));
     }
+    if (!sizing.empty() && sizing != "fixed")
+        k += strprintf("|z%s", sizing.c_str());
     return k;
 }
 
@@ -295,8 +297,8 @@ SweepRunner::loadCaches()
             RunRecord r;
             if (RunRecord::fromCsv(line, r)) {
                 runCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
-                              r.invocation, r.faultSeed, r.schedSeed)] =
-                    r;
+                              r.invocation, r.faultSeed, r.schedSeed,
+                              r.sizingPolicy)] = r;
             }
         }
     }
@@ -336,7 +338,8 @@ SweepRunner::loadResumeFile(const std::string &path)
         if (!RunRecord::fromCsv(line, r))
             continue;
         resumeCache_[key(r.bench, r.collector, r.heapBytes, r.seed,
-                         r.invocation, r.faultSeed, r.schedSeed)] = r;
+                         r.invocation, r.faultSeed, r.schedSeed,
+                         r.sizingPolicy)] = r;
         ++loaded;
     }
     return loaded;
@@ -363,27 +366,30 @@ SweepRunner::executeCell(const wl::WorkloadSpec &spec,
                          gc::CollectorKind collector,
                          std::uint64_t heap_bytes, double heap_factor,
                          std::uint64_t seed, unsigned invocation,
+                         const Environment &env,
                          const SweepConfig &config)
 {
-    auto once = [&](const Environment &env) {
+    auto once = [&](const Environment &attempt_env) {
         return config.isolateInvocations
             ? runIsolated(spec, collector, heap_bytes, heap_factor, seed,
-                          invocation, env, config.watchdogMs)
+                          invocation, attempt_env, config.watchdogMs)
             : runOne(spec, collector, heap_bytes, heap_factor, seed,
-                     invocation, env);
+                     invocation, attempt_env);
     };
-    RunRecord r = once(config.env);
+    RunRecord r = once(env);
     // A perturbed schedule can fail spuriously (a pathological
     // interleaving tripping the virtual-time limit, say); re-run under
     // freshly derived perturbations to separate schedule bad luck from
     // real cell failures. Oracle divergences are real bugs — never
     // retried away.
     for (unsigned attempt = 1; attempt <= config.retries && r.failed() &&
-         r.status != "oracle" && config.env.schedSeed != 0;
+         r.status != "oracle" && env.schedSeed != 0;
          ++attempt) {
-        Environment retry_env = config.env;
+        // Copy from env, not config.env: the retry must preserve the
+        // cell's sizing policy.
+        Environment retry_env = env;
         std::uint64_t state =
-            config.env.schedSeed ^ (attempt * 0x9e3779b97f4a7c15ULL);
+            env.schedSeed ^ (attempt * 0x9e3779b97f4a7c15ULL);
         retry_env.schedSeed = splitMix64(state);
         if (retry_env.schedSeed == 0)
             retry_env.schedSeed = attempt;
@@ -402,15 +408,27 @@ SweepRunner::runCached(const wl::WorkloadSpec &spec,
                        gc::CollectorKind collector,
                        std::uint64_t heap_bytes, double heap_factor,
                        std::uint64_t seed, unsigned invocation,
+                       heap::SizingPolicy sizing,
                        const SweepConfig &config)
 {
-    const Environment &env = config.env;
+    Environment env = config.env;
+    env.sizingPolicy = sizing;
     std::uint64_t effective_heap = collector == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
+    // Key by the policy the run will actually execute — runOne forces
+    // Fixed for Epsilon and min-heap-less specs — so the no-op cells
+    // share the fixed cache entry instead of re-simulating identical
+    // runs under three names.
+    heap::SizingPolicy effective_sizing = sizing;
+    if (collector == gc::CollectorKind::Epsilon ||
+        spec.minHeapBytes == 0) {
+        effective_sizing = heap::SizingPolicy::Fixed;
+    }
     std::string k = key(spec.name, gc::collectorName(collector),
                         effective_heap, seed, invocation, env.faultSeed,
-                        env.schedSeed);
+                        env.schedSeed,
+                        heap::sizingPolicyName(effective_sizing));
     // Resume hits bypass everything, including onRecord: their rows
     // already live in the resume CSV.
     auto resumed = resumeCache_.find(k);
@@ -425,7 +443,7 @@ SweepRunner::runCached(const wl::WorkloadSpec &spec,
         }
     }
     RunRecord r = executeCell(spec, collector, heap_bytes, heap_factor,
-                              seed, invocation, config);
+                              seed, invocation, env, config);
     if (cacheEnabled_) {
         runCache_[k] = r;
         appendRun(r);
@@ -462,21 +480,27 @@ SweepRunner::run(const SweepConfig &config)
             std::uint64_t seed =
                 invocationSeed(config.baseSeed, spec.name, inv);
             if (config.includeEpsilon) {
+                // Heap- and policy-independent: every controller is a
+                // forced no-op for Epsilon, so one run serves the grid.
                 records.push_back(runCached(
                     spec, gc::CollectorKind::Epsilon, 0, 0.0, seed, inv,
-                    config));
+                    heap::SizingPolicy::Fixed, config));
             }
             for (double factor : config.heapFactors) {
                 std::uint64_t heap_bytes = roundUp(
                     static_cast<std::uint64_t>(
                         factor * static_cast<double>(spec.minHeapBytes)),
                     heap::regionSize);
-                for (gc::CollectorKind collector : config.collectors) {
-                    if (collector == gc::CollectorKind::Epsilon)
-                        continue; // handled above, heap-independent
-                    records.push_back(runCached(spec, collector,
-                                                heap_bytes, factor, seed,
-                                                inv, config));
+                for (heap::SizingPolicy sizing : config.sizingPolicies) {
+                    for (gc::CollectorKind collector :
+                         config.collectors) {
+                        if (collector == gc::CollectorKind::Epsilon)
+                            continue; // handled above
+                        records.push_back(
+                            runCached(spec, collector, heap_bytes,
+                                      factor, seed, inv, sizing,
+                                      config));
+                    }
                 }
             }
         }
@@ -501,9 +525,9 @@ SweepRunner::runPooled(const SweepConfig &config)
         specs.push_back(withMinHeap(raw, config.env));
 
     // Enumerate the grid in canonical order: per spec -> per
-    // invocation -> Epsilon -> per heap factor -> per collector. The
-    // returned vector preserves exactly this order regardless of
-    // completion order.
+    // invocation -> Epsilon -> per heap factor -> per sizing policy ->
+    // per collector. The returned vector preserves exactly this order
+    // regardless of completion order.
     struct Cell
     {
         std::size_t specIndex;
@@ -512,6 +536,7 @@ SweepRunner::runPooled(const SweepConfig &config)
         double heapFactor;
         std::uint64_t seed;
         unsigned invocation;
+        heap::SizingPolicy sizing;
         std::string key;
     };
     std::vector<Cell> cells;
@@ -522,18 +547,22 @@ SweepRunner::runPooled(const SweepConfig &config)
                 invocationSeed(config.baseSeed, spec.name, inv);
             if (config.includeEpsilon) {
                 cells.push_back({si, gc::CollectorKind::Epsilon, 0, 0.0,
-                                 seed, inv, ""});
+                                 seed, inv, heap::SizingPolicy::Fixed,
+                                 ""});
             }
             for (double factor : config.heapFactors) {
                 std::uint64_t heap_bytes = roundUp(
                     static_cast<std::uint64_t>(
                         factor * static_cast<double>(spec.minHeapBytes)),
                     heap::regionSize);
-                for (gc::CollectorKind collector : config.collectors) {
-                    if (collector == gc::CollectorKind::Epsilon)
-                        continue;
-                    cells.push_back({si, collector, heap_bytes, factor,
-                                     seed, inv, ""});
+                for (heap::SizingPolicy sizing : config.sizingPolicies) {
+                    for (gc::CollectorKind collector :
+                         config.collectors) {
+                        if (collector == gc::CollectorKind::Epsilon)
+                            continue;
+                        cells.push_back({si, collector, heap_bytes,
+                                         factor, seed, inv, sizing, ""});
+                    }
                 }
             }
         }
@@ -543,10 +572,17 @@ SweepRunner::runPooled(const SweepConfig &config)
             cell.collector == gc::CollectorKind::Epsilon
             ? config.env.machine.memoryBudget
             : cell.heapBytes;
+        // Mirror runCached: key by the policy the run will execute.
+        heap::SizingPolicy effective_sizing =
+            cell.collector == gc::CollectorKind::Epsilon ||
+                specs[cell.specIndex].minHeapBytes == 0
+            ? heap::SizingPolicy::Fixed
+            : cell.sizing;
         cell.key = key(specs[cell.specIndex].name,
                        gc::collectorName(cell.collector), effective_heap,
                        cell.seed, cell.invocation, config.env.faultSeed,
-                       config.env.schedSeed);
+                       config.env.schedSeed,
+                       heap::sizingPolicyName(effective_sizing));
     }
 
     std::vector<RunRecord> records(cells.size());
@@ -606,6 +642,7 @@ SweepRunner::runPooled(const SweepConfig &config)
         Pending p;
         p.cells.push_back(i);
         p.env = config.env;
+        p.env.sizingPolicy = cell.sizing;
         p.sidecar = diag::sidecarReportPath(
             detail::cacheDir(), specs[cell.specIndex].name,
             gc::collectorName(cell.collector), cell.heapBytes, cell.seed,
@@ -694,7 +731,10 @@ SweepRunner::runPooled(const SweepConfig &config)
                 config.env.schedSeed != 0 &&
                 p.attempt < config.retries) {
                 ++p.attempt;
+                // Copy from config.env but preserve the cell's sizing
+                // policy, exactly as the sequential retry loop does.
                 Environment retry_env = config.env;
+                retry_env.sizingPolicy = cell.sizing;
                 std::uint64_t state = config.env.schedSeed ^
                     (p.attempt * 0x9e3779b97f4a7c15ULL);
                 retry_env.schedSeed = splitMix64(state);

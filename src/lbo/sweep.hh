@@ -52,6 +52,17 @@ struct SweepConfig
     std::vector<double> heapFactors;
     std::vector<gc::CollectorKind> collectors;
 
+    /**
+     * Heap-limit policies to sweep (heap/sizing.hh); a first-class
+     * grid dimension like heapFactors. The default single-element
+     * {Fixed} reproduces the pre-sizing grid exactly — fixed cells
+     * keep their cache keys, so existing caches stay warm. Epsilon
+     * runs once per invocation regardless (every policy is a forced
+     * no-op for it).
+     */
+    std::vector<heap::SizingPolicy> sizingPolicies = {
+        heap::SizingPolicy::Fixed};
+
     /** Also run Epsilon once per benchmark for the LBO estimate. */
     bool includeEpsilon = true;
 
@@ -155,19 +166,22 @@ class SweepRunner
                         gc::CollectorKind collector,
                         std::uint64_t heap_bytes, double heap_factor,
                         std::uint64_t seed, unsigned invocation,
+                        heap::SizingPolicy sizing,
                         const SweepConfig &config);
 
     RunRecord executeCell(const wl::WorkloadSpec &spec,
                           gc::CollectorKind collector,
                           std::uint64_t heap_bytes, double heap_factor,
                           std::uint64_t seed, unsigned invocation,
+                          const Environment &env,
                           const SweepConfig &config);
 
     static std::string key(const std::string &bench,
                            const std::string &collector,
                            std::uint64_t heap_bytes, std::uint64_t seed,
                            unsigned invocation, std::uint64_t fault_seed,
-                           std::uint64_t sched_seed);
+                           std::uint64_t sched_seed,
+                           const std::string &sizing);
 
     /** The jobs > 1 executor: the whole grid through a ProcessPool. */
     std::vector<RunRecord> runPooled(const SweepConfig &config);

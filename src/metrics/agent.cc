@@ -118,6 +118,8 @@ GcAgent::concurrentCycleEnd()
     Ticks duration = cycleOpen_ ? scheduler_.now() - start : 0;
     cycleOpen_ = false;
     logEvent("concurrent-cycle", start, duration);
+    if (cycleBoundaryHook_ && !finalized_)
+        cycleBoundaryHook_();
 }
 
 void
@@ -173,6 +175,8 @@ GcAgent::pauseEnd()
         ++metrics_.concurrentPauses;
         break;
     }
+    if (cycleBoundaryHook_ && !finalized_)
+        cycleBoundaryHook_();
 }
 
 // Every scheduler tag must have a home in the ledger.

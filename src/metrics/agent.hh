@@ -17,7 +17,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/histogram.hh"
@@ -157,6 +159,18 @@ struct RunMetrics
     std::uint64_t stealAttempts = 0;
     std::uint64_t stealHits = 0;
 
+    /**
+     * Heap-sizing / footprint tracking (heap/sizing.hh). The
+     * committed-footprint numbers are measured for every run (fixed
+     * policy included); the controller-decision counters stay zero
+     * unless an active controller ran.
+     */
+    std::uint64_t peakCommittedBytes = 0;
+    double avgCommittedBytes = 0;
+    std::uint64_t heapLimitBytes = 0;
+    std::uint64_t sizingGrows = 0;
+    std::uint64_t sizingShrinks = 0;
+
     /** Barrier invocation counters (diagnostics). */
     std::uint64_t refLoads = 0;
     std::uint64_t refStores = 0;
@@ -251,6 +265,19 @@ class GcAgent
     RunMetrics &metrics() { return metrics_; }
 
     /**
+     * Install a hook fired at every GC cycle boundary: the end of each
+     * STW pause and of each concurrent cycle. The runtime uses this to
+     * consult the heap-sizing controller exactly where HotSpot's
+     * policies run — after a collection, when live-set and cost
+     * numbers are fresh.
+     */
+    void
+    setCycleBoundaryHook(std::function<void()> hook)
+    {
+        cycleBoundaryHook_ = std::move(hook);
+    }
+
+    /**
      * Close the books on a run: fills in whole-run totals from the
      * scheduler. Call exactly once, after the workload finishes (or
      * fails).
@@ -274,6 +301,7 @@ class GcAgent
     Ticks cycleStartNs_ = 0;
     bool degenOpen_ = false;
     Ticks degenStartNs_ = 0;
+    std::function<void()> cycleBoundaryHook_;
 };
 
 /**

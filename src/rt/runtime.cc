@@ -92,6 +92,27 @@ Runtime::Runtime(const RunConfig &config,
 
     collector_->attach(*this);
 
+    if (config_.sizingPolicy != heap::SizingPolicy::Fixed &&
+        config_.minHeapBytes > 0) {
+        heap::SizingConfig sizing_config;
+        sizing_config.policy = config_.sizingPolicy;
+        // The clamp floor must keep the collector bootable: a limit
+        // below minBootRegions would withhold regions the collector
+        // cannot make progress without, turning a shrink decision into
+        // a deadlock instead of heap pressure.
+        sizing_config.minHeapBytes = std::max<std::uint64_t>(
+            config_.minHeapBytes,
+            static_cast<std::uint64_t>(collector_->minBootRegions()) *
+                heap::regionSize);
+        sizing_config.maxHeapBytes = heap_.regions.heapBytes();
+        auto controller =
+            std::make_unique<heap::HeapController>(sizing_config);
+        if (controller->active()) {
+            sizing_ = std::move(controller);
+            agent_.setCycleBoundaryHook([this] { consultSizing(); });
+        }
+    }
+
     if (config_.schedSeed != 0) {
         scheduler_.setPerturbation(
             sim::SchedulePerturb::fromSeed(config_.schedSeed));
@@ -207,6 +228,55 @@ Runtime::applyFaults()
 }
 
 void
+Runtime::consultSizing()
+{
+    heap::CycleSample sample;
+    sample.nowNs = scheduler_.now();
+    sample.liveBytes = heap_.regions.usedBytes();
+    sample.allocatedBytes = agent_.metrics().bytesAllocated;
+    sample.gcNs =
+        config_.machine.cyclesToTicks(scheduler_.cycleTotals().gc);
+    sizing_->onCycleEnd(sample);
+}
+
+void
+Runtime::applySizingTarget()
+{
+    auto &rm = heap_.regions;
+    const std::size_t limit_regions = static_cast<std::size_t>(
+        sizing_->limitBytes() >> heap::regionShift);
+    const std::size_t committed = rm.committedCount();
+    const std::size_t allowed_free =
+        limit_regions > committed ? limit_regions - committed : 0;
+    const std::size_t idle = rm.freeCount() + rm.uncommittedCount();
+    const std::size_t target =
+        idle > allowed_free ? idle - allowed_free : 0;
+    if (rm.uncommittedCount() < target)
+        rm.uncommitFreeRegions(target - rm.uncommittedCount());
+    else if (rm.uncommittedCount() > target)
+        rm.recommitRegions(rm.uncommittedCount() - target);
+}
+
+void
+Runtime::recordFootprintMetrics()
+{
+    metrics::RunMetrics &m = agent_.metrics();
+    const Ticks now = scheduler_.now();
+    footprintIntegralByteNs_ +=
+        static_cast<double>(heap_.regions.committedBytes()) *
+        static_cast<double>(now - footprintLastNs_);
+    footprintLastNs_ = now;
+    m.peakCommittedBytes = heap_.regions.peakCommittedBytes();
+    m.avgCommittedBytes =
+        now > 0 ? footprintIntegralByteNs_ / static_cast<double>(now)
+                : static_cast<double>(heap_.regions.committedBytes());
+    m.heapLimitBytes =
+        sizing_ != nullptr ? sizing_->limitBytes() : heap_.regions.heapBytes();
+    m.sizingGrows = sizing_ != nullptr ? sizing_->grows() : 0;
+    m.sizingShrinks = sizing_ != nullptr ? sizing_->shrinks() : 0;
+}
+
+void
 Runtime::updateCrashContext()
 {
     diag::RunContext &ctx = diag::runContext();
@@ -245,6 +315,18 @@ Runtime::roundHook()
         updateCrashContext();
     if (fault_ != nullptr)
         applyFaults();
+    if (sizing_ != nullptr)
+        applySizingTarget();
+    // Time-weighted committed-footprint integral (measured for every
+    // run, fixed policy included — avgCommittedBytes must mean the
+    // same thing across policies).
+    {
+        const Ticks now = scheduler_.now();
+        footprintIntegralByteNs_ +=
+            static_cast<double>(heap_.regions.committedBytes()) *
+            static_cast<double>(now - footprintLastNs_);
+        footprintLastNs_ = now;
+    }
     if (safepointRequested_ && !worldStopped_) {
         bool any_runnable = std::any_of(
             mutators_.begin(), mutators_.end(), [](const auto &m) {
@@ -348,6 +430,7 @@ Runtime::fail(std::string reason, bool oom)
         // A pause may be open if the failing collector was mid-GC.
         if (agent_.inPause())
             agent_.pauseEnd();
+        recordFootprintMetrics();
         agent_.finalize(false, oom, std::move(reason));
     }
 }
@@ -376,6 +459,7 @@ Runtime::execute()
         // time-to-safepoint window, leaving the pause open.
         if (agent_.inPause())
             agent_.pauseEnd();
+        recordFootprintMetrics();
         agent_.finalize(completed, false, "");
     }
     if (workload_.exportStats)

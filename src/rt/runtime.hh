@@ -29,6 +29,7 @@
 #include "heap/region.hh"
 #include "heap/remset.hh"
 #include "heap/satb.hh"
+#include "heap/sizing.hh"
 #include "metrics/agent.hh"
 #include "rt/collector.hh"
 #include "rt/cost_model.hh"
@@ -73,6 +74,20 @@ struct RunConfig
      * (used by tests that need a specific event schedule).
      */
     fault::FaultPlan faultPlan;
+
+    /**
+     * Heap-limit policy (heap/sizing.hh). Fixed keeps today's static
+     * limit and is byte-identical to pre-sizing behaviour.
+     */
+    heap::SizingPolicy sizingPolicy = heap::SizingPolicy::Fixed;
+
+    /**
+     * Measured minimum heap for this (workload, collector) pair; the
+     * controllers' lower clamp. Zero (the default, and the Epsilon /
+     * replay-override case) disables every controller — there is no
+     * meaningful range to steer within without it.
+     */
+    std::uint64_t minHeapBytes = 0;
 };
 
 /**
@@ -269,6 +284,26 @@ class Runtime
     void applyFaults();
 
     /**
+     * Feed the heap-sizing controller a fresh CycleSample; installed
+     * as the agent's cycle-boundary hook when a controller is active.
+     */
+    void consultSizing();
+
+    /**
+     * Re-assert the controller's committed-region limit against live
+     * heap state (round boundaries, after applyFaults). Recomputing
+     * the withholding target from scratch each round — rather than
+     * applying deltas at decision points — is what makes a fault-plan
+     * squeeze landing or lifting while the limit is shrunk safe: both
+     * mechanisms keep their own lists, and this target only covers
+     * regions the squeeze has not already taken.
+     */
+    void applySizingTarget();
+
+    /** Fold footprint/sizing numbers into the metrics (pre-finalize). */
+    void recordFootprintMetrics();
+
+    /**
      * Refresh diag::runContext() (heap/region totals, per-thread
      * last-known state) for the crash handler; called at round
      * boundaries while diag::armed().
@@ -284,6 +319,9 @@ class Runtime
     std::vector<std::unique_ptr<Mutator>> mutators_;
     Rng gcRng_;
     std::unique_ptr<fault::FaultInjector> fault_;
+    std::unique_ptr<heap::HeapController> sizing_;
+    double footprintIntegralByteNs_ = 0;
+    Ticks footprintLastNs_ = 0;
     std::unique_ptr<HeapObserver> ownedObserver_;
     HeapObserver *observer_ = nullptr;
 

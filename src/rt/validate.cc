@@ -85,11 +85,21 @@ validateHeap(Runtime &runtime, const char *context,
         heap::Region &r = rm.regionOf(a);
         distill_assert(r.state != heap::RegionState::Free,
                        "[%s] %s of %llx points into free region %zu "
-                       "(value %llx)",
+                       "(value %llx; holder region %zu state %u, "
+                       "holder marked %d)",
                        context, what,
                        static_cast<unsigned long long>(holder),
                        r.index,
-                       static_cast<unsigned long long>(ref));
+                       static_cast<unsigned long long>(ref),
+                       holder == nullRef ? static_cast<std::size_t>(0)
+                                         : heap::regionIndexOf(holder),
+                       holder == nullRef
+                           ? 0u
+                           : static_cast<unsigned>(
+                                 rm.regionOf(holder).state),
+                       holder == nullRef
+                           ? -1
+                           : (ctx.bitmap.isMarked(holder) ? 1 : 0));
         distill_assert(heap::regionOffsetOf(a) < r.top,
                        "[%s] %s of %llx points past region %zu top",
                        context, what,

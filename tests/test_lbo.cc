@@ -152,7 +152,7 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     r.faultSeed = 99;
     r.schedSeed = 55;
     std::string line = r.toCsv();
-    for (int i = 0; i < 31; ++i)
+    for (int i = 0; i < 37; ++i)
         line.resize(line.rfind(',')); // strip down to the 32 legacy columns
 
     RunRecord back;
@@ -168,7 +168,7 @@ TEST(Record, LegacyCsvWithoutFailureColumnsParses)
     ok.completed = true;
     ok.oom = false;
     std::string ok_line = ok.toCsv();
-    for (int i = 0; i < 31; ++i)
+    for (int i = 0; i < 37; ++i)
         ok_line.resize(ok_line.rfind(','));
     ASSERT_TRUE(RunRecord::fromCsv(ok_line, back));
     EXPECT_EQ(back.status, "ok");
@@ -191,7 +191,7 @@ TEST(Record, PreForensicsCsvParses)
     r.signature = "SIGSEGV@evacuate";
     r.sidecar = "x.report";
     std::string line = r.toCsv();
-    for (int i = 0; i < 27; ++i)
+    for (int i = 0; i < 33; ++i)
         line.resize(line.rfind(',')); // strip forensics, notes, phases, serve
 
     RunRecord back;
@@ -229,7 +229,7 @@ TEST(Record, CsvRoundTripForensicsColumns)
     clean.collector = "Serial";
     clean.completed = true;
     std::string line = clean.toCsv();
-    for (int i = 0; i < 24; ++i)
+    for (int i = 0; i < 30; ++i)
         line.resize(line.rfind(',')); // strip the phase and serve columns
     ASSERT_EQ(line.back(), ',');
     ASSERT_TRUE(RunRecord::fromCsv(line, back));
@@ -285,7 +285,7 @@ TEST(Record, PrePhaseCsvParses)
     r.gcGlueCycles = 4e8;
     r.notes = "slow-teardown";
     std::string line = r.toCsv();
-    for (int i = 0; i < 24; ++i)
+    for (int i = 0; i < 30; ++i)
         line.resize(line.rfind(',')); // strip the phase and serve columns
 
     RunRecord back;

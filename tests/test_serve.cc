@@ -416,7 +416,7 @@ TEST(ServeRecord, PreRecoveryServeWidthStillParses)
     // Strip the 5 steal and 4 recovery columns to reconstruct a
     // 54-field serve row.
     std::size_t cut = row.size();
-    for (int i = 0; i < 9; ++i)
+    for (int i = 0; i < 15; ++i)
         cut = row.rfind(',', cut - 1);
     lbo::RunRecord parsed;
     ASSERT_TRUE(lbo::RunRecord::fromCsv(row.substr(0, cut), parsed));
@@ -435,7 +435,7 @@ TEST(ServeRecord, LegacyPhaseWidthStillParses)
     // Strip the 5 steal and 11 serve columns to reconstruct a
     // 47-field phase row.
     std::size_t cut = row.size();
-    for (int i = 0; i < 16; ++i)
+    for (int i = 0; i < 22; ++i)
         cut = row.rfind(',', cut - 1);
     lbo::RunRecord parsed;
     ASSERT_TRUE(lbo::RunRecord::fromCsv(row.substr(0, cut), parsed));

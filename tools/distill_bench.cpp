@@ -59,7 +59,7 @@ namespace
 {
 
 /** The BENCH_<n>.json this source tree writes. */
-constexpr int benchPr = 8;
+constexpr int benchPr = 9;
 
 /** Pinned workload seed for every cell (matches the CLI default). */
 constexpr std::uint64_t benchSeed = 42;

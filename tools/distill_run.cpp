@@ -9,6 +9,7 @@
  * Usage:
  *   distill_run --bench h2 --gc Shenandoah [--heap-factor 3.0]
  *               [--heap-mib 24 | --heap-bytes N] [--seed 42]
+ *               [--sizing fixed|adaptive|membalancer]
  *               [--sched-seed S] [--fault-plan P]
  *               [--max-virtual-time NS] [--watchdog-ms MS]
  *               [--log] [--log-limit 40]
@@ -17,6 +18,11 @@
  * none, 3.0x of the measured min heap is used. --sched-seed,
  * --fault-plan and --max-virtual-time accept the values printed in a
  * sweep's REPRO lines, replaying a failed cell bit-identically.
+ *
+ * --sizing selects the heap-limit controller (default fixed). Under
+ * Epsilon the controller is always a guaranteed no-op (the run is a
+ * replay of allocation against the full memory budget), so --sizing
+ * tokens pasted from a sweep REPRO line are accepted but inert there.
  *
  * --watchdog-ms arms a wall-clock watchdog (src/diag/): when a hang
  * cell is replayed (e.g. a livelock fault plan), the process prints
@@ -39,6 +45,7 @@
 #include "diag/crash_handler.hh"
 #include "fault/plan.hh"
 #include "heap/layout.hh"
+#include "heap/sizing.hh"
 #include "lbo/record.hh"
 #include "lbo/sweep.hh"
 #include "metrics/agent.hh"
@@ -59,6 +66,8 @@ usage()
                  "usage: distill_run --bench <name> --gc <collector>\n"
                  "                   [--heap-factor F | --heap-mib N | "
                  "--heap-bytes N]\n"
+                 "                   [--sizing "
+                 "fixed|adaptive|membalancer]\n"
                  "                   [--seed S] [--sched-seed S] "
                  "[--fault-plan P]\n"
                  "                   [--max-virtual-time NS] "
@@ -88,6 +97,7 @@ main(int argc, char **argv)
     std::uint64_t fault_plan = 0;
     std::uint64_t max_virtual_time = 0;
     std::uint64_t watchdog_ms = 0;
+    heap::SizingPolicy sizing = heap::SizingPolicy::Fixed;
     bool show_log = false;
     std::size_t log_limit = 40;
 
@@ -135,6 +145,11 @@ main(int argc, char **argv)
                 cli::parseCount("--max-virtual-time", args[++i]);
         } else if (arg("--watchdog-ms")) {
             watchdog_ms = cli::parseCount("--watchdog-ms", args[++i]);
+        } else if (arg("--sizing")) {
+            if (!heap::sizingPolicyFromName(args[++i], sizing))
+                fatal("unknown --sizing policy: %s (expected fixed, "
+                      "adaptive, or membalancer)",
+                      args[i].c_str());
         } else if (arg("--log-limit")) {
             log_limit = cli::parseU64("--log-limit", args[++i]);
         } else if (args[i] == "--log") {
@@ -168,6 +183,12 @@ main(int argc, char **argv)
     config.heapBytes = kind == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
+    // Mirror the sweep's effective-policy rule: Epsilon (and a
+    // benchmark with no measured min-heap anchor) always runs fixed.
+    if (kind == gc::CollectorKind::Epsilon || spec.minHeapBytes == 0)
+        sizing = heap::SizingPolicy::Fixed;
+    config.sizingPolicy = sizing;
+    config.minHeapBytes = spec.minHeapBytes;
 
     if (fault_plan != 0)
         std::printf("fault plan %llu: %s\n",
@@ -249,6 +270,21 @@ main(int argc, char **argv)
     row("allocated", strprintf("%.1f MiB",
                                static_cast<double>(m.bytesAllocated) /
                                    (1 << 20)));
+    row("sizing policy", heap::sizingPolicyName(sizing));
+    row("heap limit", strprintf("%.1f MiB",
+                                static_cast<double>(m.heapLimitBytes) /
+                                    (1 << 20)));
+    row("peak committed", strprintf(
+                              "%.1f MiB",
+                              static_cast<double>(m.peakCommittedBytes) /
+                                  (1 << 20)));
+    row("avg committed",
+        strprintf("%.1f MiB", m.avgCommittedBytes / (1 << 20)));
+    if (sizing != heap::SizingPolicy::Fixed)
+        row("sizing decisions",
+            strprintf("%llu grows, %llu shrinks",
+                      static_cast<unsigned long long>(m.sizingGrows),
+                      static_cast<unsigned long long>(m.sizingShrinks)));
     row("energy estimate", strprintf("%.3f J", m.total.energyNj() / 1e9));
     if (spec.latencySensitive && m.meteredLatencyNs.count() > 0) {
         row("metered latency p50/p99/p99.99",
@@ -323,6 +359,7 @@ main(int argc, char **argv)
         rr.seed = seed;
         rr.schedSeed = sched_seed;
         rr.faultSeed = fault_plan;
+        rr.sizingPolicy = heap::sizingPolicyName(sizing);
         cli::ReproContext ctx;
         ctx.maxVirtualTime = max_virtual_time;
         ctx.watchdogMs = watchdog_ms;

@@ -8,6 +8,7 @@
  * Usage:
  *   distill_sweep [--benchmarks a,b,...] [--factors 1.4,3.0,...]
  *                 [--collectors Serial,G1,...] [--invocations N]
+ *                 [--sizing fixed,adaptive,membalancer|all]
  *                 [--no-epsilon] [--csv out.csv] [--resume out.csv]
  *                 [--fault-plan SEED] [--sched-seed SEED]
  *                 [--retries N] [--isolate] [--jobs N]
@@ -16,6 +17,16 @@
  * Defaults: the 16-benchmark geomean set, the paper's eight heap
  * multipliers, all five production collectors plus Epsilon, 5
  * invocations, CSV to stdout.
+ *
+ * The sizing dimension:
+ *   --sizing a,b,...   run every cell under each named heap-sizing
+ *                      policy (fixed, adaptive, membalancer; "all"
+ *                      expands to all three). Non-fixed policies let
+ *                      the runtime's HeapController move the committed
+ *                      region limit at GC cycle boundaries; Epsilon
+ *                      and benchmarks without a measured min-heap
+ *                      anchor always run fixed (the controller would
+ *                      have no [min, max] range to steer inside).
  *
  * Robustness features:
  *   --fault-plan SEED  inject the deterministic fault plan derived
@@ -69,6 +80,7 @@
 #include "check/oracle.hh"
 #include "cli_parse.hh"
 #include "fault/plan.hh"
+#include "heap/sizing.hh"
 #include "lbo/sweep.hh"
 #include "repro.hh"
 #include "wl/suite.hh"
@@ -97,7 +109,9 @@ usage()
         stderr,
         "usage: distill_sweep [--benchmarks a,b,...] "
         "[--factors 1.4,3.0] [--collectors Serial,G1,...]\n"
-        "                     [--invocations N] [--no-epsilon] "
+        "                     [--invocations N] "
+        "[--sizing fixed,adaptive,membalancer|all]\n"
+        "                     [--no-epsilon] "
         "[--csv out.csv] [--resume out.csv]\n"
         "                     [--fault-plan SEED] [--sched-seed SEED] "
         "[--retries N] [--isolate]\n"
@@ -115,6 +129,7 @@ main(int argc, char **argv)
     std::vector<std::string> benchmarks;
     std::vector<double> factors;
     std::vector<std::string> collectors;
+    std::vector<heap::SizingPolicy> sizing_policies;
     unsigned invocations = lbo::invocationsFromEnv(5);
     bool include_epsilon = true;
     std::string csv_path;
@@ -146,6 +161,21 @@ main(int argc, char **argv)
                 cli::parseCount("--invocations", argv[++i]));
         } else if (arg("--collectors")) {
             collectors = splitCsv(argv[++i]);
+        } else if (arg("--sizing")) {
+            for (const std::string &name : splitCsv(argv[++i])) {
+                if (name == "all") {
+                    sizing_policies = {heap::SizingPolicy::Fixed,
+                                       heap::SizingPolicy::Adaptive,
+                                       heap::SizingPolicy::MemBalancer};
+                    break;
+                }
+                heap::SizingPolicy policy;
+                if (!heap::sizingPolicyFromName(name, policy))
+                    fatal("unknown --sizing policy: %s (expected fixed, "
+                          "adaptive, membalancer, or all)",
+                          name.c_str());
+                sizing_policies.push_back(policy);
+            }
         } else if (arg("--csv")) {
             csv_path = argv[++i];
         } else if (arg("--resume")) {
@@ -191,6 +221,8 @@ main(int argc, char **argv)
     config.watchdogMs = watchdog_ms;
     config.heapFactors =
         factors.empty() ? lbo::paperHeapFactors() : factors;
+    if (!sizing_policies.empty())
+        config.sizingPolicies = sizing_policies;
 
     lbo::SweepRunner runner;
     if (!resume_path.empty()) {

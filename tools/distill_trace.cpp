@@ -9,6 +9,7 @@
  * Usage:
  *   distill_trace --bench h2 --gc Shenandoah [--heap-factor 3.0]
  *                 [--heap-mib N | --heap-bytes N] [--seed S]
+ *                 [--sizing fixed|adaptive|membalancer]
  *                 [--sched-seed S] [--fault-plan P]
  *                 [--max-virtual-time NS] [--out trace.json]
  *   distill_trace --validate trace.json
@@ -37,6 +38,7 @@
 #include "cli_parse.hh"
 #include "fault/plan.hh"
 #include "heap/layout.hh"
+#include "heap/sizing.hh"
 #include "lbo/record.hh"
 #include "lbo/sweep.hh"
 #include "metrics/agent.hh"
@@ -58,6 +60,7 @@ usage()
         "usage: distill_trace --bench <name> --gc <collector>\n"
         "                     [--heap-factor F | --heap-mib N | "
         "--heap-bytes N]\n"
+        "                     [--sizing fixed|adaptive|membalancer]\n"
         "                     [--seed S] [--sched-seed S] "
         "[--fault-plan P]\n"
         "                     [--max-virtual-time NS] "
@@ -102,6 +105,7 @@ main(int argc, char **argv)
     std::uint64_t sched_seed = 0;
     std::uint64_t fault_plan = 0;
     std::uint64_t max_virtual_time = 0;
+    heap::SizingPolicy sizing = heap::SizingPolicy::Fixed;
     std::string out_path = "distill-trace.json";
     std::string validate_path;
 
@@ -147,6 +151,11 @@ main(int argc, char **argv)
         } else if (arg("--max-virtual-time")) {
             max_virtual_time =
                 cli::parseCount("--max-virtual-time", args[++i]);
+        } else if (arg("--sizing")) {
+            if (!heap::sizingPolicyFromName(args[++i], sizing))
+                fatal("unknown --sizing policy: %s (expected fixed, "
+                      "adaptive, or membalancer)",
+                      args[i].c_str());
         } else if (arg("--out")) {
             out_path = args[++i];
         } else if (arg("--validate")) {
@@ -183,6 +192,12 @@ main(int argc, char **argv)
     config.heapBytes = kind == gc::CollectorKind::Epsilon
         ? env.machine.memoryBudget
         : heap_bytes;
+    // Same effective-policy rule as the sweep and distill_run: the
+    // controller is a guaranteed no-op without a min-heap anchor.
+    if (kind == gc::CollectorKind::Epsilon || spec.minHeapBytes == 0)
+        sizing = heap::SizingPolicy::Fixed;
+    config.sizingPolicy = sizing;
+    config.minHeapBytes = spec.minHeapBytes;
 
     rt::Runtime runtime(config, gc::makeCollector(kind, env.gcOptions),
                         wl::makeWorkload(spec));

@@ -68,6 +68,8 @@ runRepro(const lbo::RunRecord &r, const ReproContext &ctx = {})
         static_cast<unsigned long long>(r.seed));
     appendFlag(line, "--sched-seed", r.schedSeed);
     appendFlag(line, "--fault-plan", r.faultSeed);
+    if (!r.sizingPolicy.empty() && r.sizingPolicy != "fixed")
+        line += strprintf(" --sizing %s", r.sizingPolicy.c_str());
     appendFlag(line, "--max-virtual-time", ctx.maxVirtualTime,
                ctx.defaultMaxVirtualTime);
     appendFlag(line, "--watchdog-ms", ctx.watchdogMs);
